@@ -1,0 +1,74 @@
+//! Error type for the analysis layer.
+
+use std::fmt;
+
+/// Errors produced by the schedulability-analysis functions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// A supply function was constructed with inconsistent parameters
+    /// (e.g. a quantum larger than the period or a negative rate).
+    InvalidSupply {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+    /// An analysis routine was handed an empty task set.
+    EmptyTaskSet,
+    /// The task set is trivially infeasible: its utilisation (or the
+    /// utilisation of one task) exceeds what any supply can deliver.
+    Overloaded {
+        /// Total utilisation of the offending task set.
+        utilization: f64,
+    },
+    /// A period or horizon parameter was not a positive finite number.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A fixed-point iteration (response-time analysis) did not converge
+    /// within the iteration budget — the task set is treated as
+    /// unschedulable on the given supply.
+    NoConvergence {
+        /// The task index whose response time failed to converge.
+        task_index: usize,
+    },
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSupply { reason } => write!(f, "invalid supply function: {reason}"),
+            Self::EmptyTaskSet => write!(f, "analysis requires at least one task"),
+            Self::Overloaded { utilization } => {
+                write!(f, "task set utilisation {utilization:.3} exceeds available capacity")
+            }
+            Self::InvalidParameter { name, value } => {
+                write!(f, "parameter {name} must be positive and finite (got {value})")
+            }
+            Self::NoConvergence { task_index } => {
+                write!(f, "response-time iteration for task index {task_index} did not converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AnalysisError::InvalidParameter { name: "period", value: -3.0 };
+        assert!(e.to_string().contains("period"));
+        assert!(e.to_string().contains("-3"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn check<E: std::error::Error>(_: &E) {}
+        check(&AnalysisError::EmptyTaskSet);
+    }
+}

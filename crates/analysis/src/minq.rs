@@ -1,0 +1,355 @@
+//! The minimum-quantum function `minQ(T, alg, P)` (Eq. 6 and Eq. 11).
+//!
+//! The paper inverts the two hierarchical schedulability tests: instead of
+//! asking "is the task set schedulable on a slot `(Q̃, P)`?", it asks "given
+//! the slot period `P`, what is the smallest useful quantum `Q̃` that makes
+//! the task set schedulable?". Substituting `α = Q̃/P`, `Δ = P − Q̃` into
+//! Eq. 4 / Eq. 8 and solving the resulting quadratic in `Q̃` gives the
+//! closed form used by both:
+//!
+//! ```text
+//! q(t) = ( sqrt((t − P)² + 4 P W(t)) − (t − P) ) / 2
+//! ```
+//!
+//! * **Fixed priorities** (Eq. 6): `minQ = max_i  min_{t ∈ schedP_i} q(t)`
+//!   with the level-i workload `W_i(t)` of Eq. 5 — each task only needs
+//!   *one* scheduling point to fit, and the slot must accommodate the most
+//!   demanding task.
+//! * **EDF** (Eq. 11): `minQ = max_{t ∈ dlSet} q(t)` with the demand
+//!   `W(t)` of Eq. 9 — the demand condition must hold at *every* absolute
+//!   deadline.
+//!
+//! A returned quantum larger than `P` simply means that the task set cannot
+//! be accommodated at that period (even a slot covering the whole period is
+//! not enough); the design layer treats it accordingly.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::TaskSet;
+
+use crate::error::AnalysisError;
+use crate::points::{capped_hyperperiod, deadline_set, scheduling_points};
+use crate::scheduler::Algorithm;
+use crate::workload::{edf_demand, fp_workload};
+
+/// Cap on the EDF analysis horizon (see [`crate::edf::DEFAULT_HORIZON_CAP`]).
+const HORIZON_CAP: f64 = 100_000.0;
+
+/// Result of a minimum-quantum computation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinQuantum {
+    /// The minimum useful quantum `Q̃` that makes the task set schedulable
+    /// at the given period.
+    pub quantum: f64,
+    /// The slot period `P` the computation was performed for.
+    pub period: f64,
+    /// The time instant at which the constraint is binding (the scheduling
+    /// point or deadline that determined the value).
+    pub binding_instant: f64,
+}
+
+impl MinQuantum {
+    /// The bandwidth `Q̃ / P` this quantum allocates.
+    pub fn bandwidth(&self) -> f64 {
+        self.quantum / self.period
+    }
+
+    /// Whether the task set is feasible at this period at all, i.e. the
+    /// required quantum fits inside the period.
+    pub fn feasible(&self) -> bool {
+        self.quantum <= self.period + 1e-9
+    }
+}
+
+/// The per-point quantum requirement `q(t)` derived from Eq. 4/8.
+#[inline]
+pub fn quantum_at_point(t: f64, period: f64, workload: f64) -> f64 {
+    let a = t - period;
+    ((a * a + 4.0 * period * workload).sqrt() - a) / 2.0
+}
+
+/// Computes `minQ(T, alg, P)`: the minimum useful slot quantum that makes
+/// `tasks` schedulable by `algorithm` when the slot recurs every `period`.
+///
+/// # Errors
+///
+/// Returns an error for an empty task set or a non-positive/non-finite
+/// period.
+pub fn min_quantum(
+    tasks: &TaskSet,
+    algorithm: Algorithm,
+    period: f64,
+) -> Result<MinQuantum, AnalysisError> {
+    if tasks.is_empty() {
+        return Err(AnalysisError::EmptyTaskSet);
+    }
+    if !(period > 0.0 && period.is_finite()) {
+        return Err(AnalysisError::InvalidParameter { name: "period", value: period });
+    }
+    match algorithm {
+        Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic => {
+            let order = algorithm
+                .priority_order()
+                .expect("fixed-priority algorithms define an order");
+            let sorted = tasks.sorted_by_priority(order);
+            let mut worst = MinQuantum { quantum: 0.0, period, binding_instant: 0.0 };
+            for (i, task) in sorted.iter().enumerate() {
+                let hp = &sorted[..i];
+                let points = scheduling_points(task.deadline, hp);
+                // Each task needs only its best scheduling point (Eq. 6: min over t).
+                let mut best = MinQuantum {
+                    quantum: f64::INFINITY,
+                    period,
+                    binding_instant: task.deadline,
+                };
+                for &t in &points {
+                    let q = quantum_at_point(t, period, fp_workload(task, hp, t));
+                    if q < best.quantum {
+                        best = MinQuantum { quantum: q, period, binding_instant: t };
+                    }
+                }
+                if best.quantum > worst.quantum {
+                    worst = best;
+                }
+            }
+            Ok(worst)
+        }
+        Algorithm::EarliestDeadlineFirst => {
+            let horizon = capped_hyperperiod(tasks.tasks(), HORIZON_CAP);
+            let deadlines = deadline_set(tasks.tasks(), horizon);
+            let mut worst = MinQuantum { quantum: 0.0, period, binding_instant: 0.0 };
+            for &t in &deadlines {
+                let q = quantum_at_point(t, period, edf_demand(tasks.tasks(), t));
+                if q > worst.quantum {
+                    worst = MinQuantum { quantum: q, period, binding_instant: t };
+                }
+            }
+            Ok(worst)
+        }
+    }
+}
+
+/// `max_i minQ(T_i, alg, P)` over several per-channel task sets — the form
+/// the per-mode constraints Eq. 13–14 take for FS (2 channels) and NF
+/// (4 channels). Channels with no tasks contribute nothing.
+///
+/// # Errors
+///
+/// Propagates errors from [`min_quantum`]; an empty list of channels
+/// yields a zero quantum (the mode needs no slot at all).
+pub fn min_quantum_multi(
+    channels: &[TaskSet],
+    algorithm: Algorithm,
+    period: f64,
+) -> Result<MinQuantum, AnalysisError> {
+    if !(period > 0.0 && period.is_finite()) {
+        return Err(AnalysisError::InvalidParameter { name: "period", value: period });
+    }
+    let mut worst = MinQuantum { quantum: 0.0, period, binding_instant: 0.0 };
+    for channel in channels {
+        if channel.is_empty() {
+            continue;
+        }
+        let mq = min_quantum(channel, algorithm, period)?;
+        if mq.quantum > worst.quantum {
+            worst = mq;
+        }
+    }
+    Ok(worst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf;
+    use crate::fp;
+    use crate::supply::LinearSupply;
+    use ftsched_task::{Mode, PriorityOrder, Task};
+
+    fn task(id: u32, c: f64, t: f64) -> Task {
+        Task::implicit_deadline(id, c, t, Mode::NonFaultTolerant).unwrap()
+    }
+
+    fn set(tasks: Vec<Task>) -> TaskSet {
+        TaskSet::new(tasks).unwrap()
+    }
+
+    #[test]
+    fn quantum_at_point_solves_the_quadratic() {
+        // q must satisfy q² + q(t−P) − P·W = 0.
+        for (t, p, w) in [(4.0, 2.0, 1.0), (10.0, 3.0, 2.5), (1.0, 5.0, 0.7)] {
+            let q = quantum_at_point(t, p, w);
+            let residual = q * q + q * (t - p) - p * w;
+            assert!(residual.abs() < 1e-9, "t={t} p={p} w={w}");
+            assert!(q >= 0.0);
+        }
+    }
+
+    #[test]
+    fn single_task_edf_quantum_has_closed_form() {
+        // One task (C=1, T=D=4), period P: the binding deadline is t = 4
+        // with W = 1 ⇒ q = (sqrt((4−P)² + 4P) − (4−P)) / 2.
+        let ts = set(vec![task(1, 1.0, 4.0)]);
+        for p in [0.5, 1.0, 2.0, 3.0] {
+            let mq = min_quantum(&ts, Algorithm::EarliestDeadlineFirst, p).unwrap();
+            let expected = (((4.0 - p) * (4.0 - p) + 4.0 * p).sqrt() - (4.0 - p)) / 2.0;
+            assert!((mq.quantum - expected).abs() < 1e-9, "P={p}");
+            assert!((mq.binding_instant - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantum_is_schedulability_threshold_for_edf() {
+        // The supply built from the returned quantum must be schedulable,
+        // and a slightly smaller quantum must not be.
+        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 2.0, 12.0)]);
+        for p in [0.5, 1.0, 2.0] {
+            let mq = min_quantum(&ts, Algorithm::EarliestDeadlineFirst, p).unwrap();
+            assert!(mq.feasible(), "P={p}");
+            let ok = LinearSupply::from_slot(mq.quantum + 1e-9, p).unwrap();
+            assert!(edf::schedulable_with_supply(&ts, &ok), "P={p}");
+            if mq.quantum > 1e-3 {
+                let bad = LinearSupply::from_slot(mq.quantum - 1e-3, p).unwrap();
+                assert!(!edf::schedulable_with_supply(&ts, &bad), "P={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantum_is_schedulability_threshold_for_rm() {
+        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 2.0, 12.0)]);
+        for p in [0.5, 1.0, 2.0] {
+            let mq = min_quantum(&ts, Algorithm::RateMonotonic, p).unwrap();
+            assert!(mq.feasible());
+            let ok = LinearSupply::from_slot((mq.quantum + 1e-9).min(p), p).unwrap();
+            assert!(fp::schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &ok));
+            if mq.quantum > 1e-3 {
+                let bad = LinearSupply::from_slot(mq.quantum - 1e-3, p).unwrap();
+                assert!(!fp::schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &bad));
+            }
+        }
+    }
+
+    #[test]
+    fn edf_never_needs_more_quantum_than_rm() {
+        let sets = vec![
+            set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 1.0, 12.0)]),
+            set(vec![task(6, 1.0, 10.0), task(7, 1.0, 15.0), task(8, 2.0, 20.0)]),
+            set(vec![task(10, 1.0, 12.0), task(11, 1.0, 15.0), task(12, 1.0, 20.0), task(13, 2.0, 30.0)]),
+        ];
+        for ts in &sets {
+            for p in [0.5, 1.0, 1.5, 2.0, 2.5] {
+                let rm = min_quantum(ts, Algorithm::RateMonotonic, p).unwrap();
+                let edf = min_quantum(ts, Algorithm::EarliestDeadlineFirst, p).unwrap();
+                assert!(
+                    edf.quantum <= rm.quantum + 1e-9,
+                    "EDF {:.4} > RM {:.4} at P={p}",
+                    edf.quantum,
+                    rm.quantum
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quantum_grows_with_period() {
+        // A longer slot period means a longer starvation interval, so the
+        // required quantum cannot shrink.
+        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0)]);
+        for alg in [Algorithm::RateMonotonic, Algorithm::EarliestDeadlineFirst] {
+            let mut prev = 0.0;
+            for i in 1..40 {
+                let p = i as f64 * 0.1;
+                let q = min_quantum(&ts, alg, p).unwrap().quantum;
+                assert!(q + 1e-9 >= prev, "{alg}: q({p}) = {q} < {prev}");
+                prev = q;
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_never_falls_below_utilization() {
+        // Necessary condition: Q̃/P ≥ U(T).
+        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 2.0, 12.0)]);
+        let u = ts.utilization();
+        for alg in [Algorithm::RateMonotonic, Algorithm::EarliestDeadlineFirst] {
+            for p in [0.2, 0.5, 1.0, 2.0, 3.0] {
+                let mq = min_quantum(&ts, alg, p).unwrap();
+                assert!(
+                    mq.bandwidth() + 1e-9 >= u,
+                    "{alg}: bandwidth {:.4} < U {:.4} at P={p}",
+                    mq.bandwidth(),
+                    u
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_periods_are_reported_as_quantum_beyond_period() {
+        // An overloaded channel (U > 1) can never fit, so the required
+        // quantum exceeds the slot period.
+        let ts = set(vec![task(1, 1.9, 2.0), task(2, 0.5, 2.0)]);
+        let mq = min_quantum(&ts, Algorithm::EarliestDeadlineFirst, 10.0).unwrap();
+        assert!(!mq.feasible());
+        // A single schedulable task, by contrast, can always be hosted by a
+        // slot spanning the whole period (the supply becomes dedicated).
+        let single = set(vec![task(1, 1.0, 2.0)]);
+        let mq = min_quantum(&single, Algorithm::EarliestDeadlineFirst, 10.0).unwrap();
+        assert!(mq.feasible());
+        assert!(mq.quantum > 9.0, "quantum {:.3} should be close to the period", mq.quantum);
+    }
+
+    #[test]
+    fn multi_channel_quantum_takes_the_worst_channel() {
+        let c1 = set(vec![task(6, 1.0, 10.0), task(7, 1.0, 15.0), task(8, 2.0, 20.0)]);
+        let c2 = set(vec![task(9, 1.0, 4.0)]);
+        let p = 2.0;
+        let q1 = min_quantum(&c1, Algorithm::EarliestDeadlineFirst, p).unwrap().quantum;
+        let q2 = min_quantum(&c2, Algorithm::EarliestDeadlineFirst, p).unwrap().quantum;
+        let multi = min_quantum_multi(&[c1, c2], Algorithm::EarliestDeadlineFirst, p).unwrap();
+        assert!((multi.quantum - q1.max(q2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_channel_with_no_channels_needs_no_slot() {
+        let multi = min_quantum_multi(&[], Algorithm::EarliestDeadlineFirst, 2.0).unwrap();
+        assert_eq!(multi.quantum, 0.0);
+    }
+
+    #[test]
+    fn rm_and_dm_agree_on_implicit_deadlines() {
+        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 1.0, 12.0)]);
+        for p in [0.5, 1.0, 2.0] {
+            let rm = min_quantum(&ts, Algorithm::RateMonotonic, p).unwrap();
+            let dm = min_quantum(&ts, Algorithm::DeadlineMonotonic, p).unwrap();
+            assert!((rm.quantum - dm.quantum).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        let ts = set(vec![task(1, 1.0, 6.0)]);
+        assert!(matches!(
+            min_quantum(&ts, Algorithm::EarliestDeadlineFirst, 0.0),
+            Err(AnalysisError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            min_quantum(&ts, Algorithm::EarliestDeadlineFirst, f64::NAN),
+            Err(AnalysisError::InvalidParameter { .. })
+        ));
+        assert!(matches!(
+            min_quantum_multi(&[], Algorithm::RateMonotonic, -1.0),
+            Err(AnalysisError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn quantum_shrinks_as_period_goes_to_zero() {
+        // As P → 0 the slot approaches a fluid (ideal) processor and the
+        // required bandwidth approaches the utilisation/density bound.
+        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0)]);
+        let mq = min_quantum(&ts, Algorithm::EarliestDeadlineFirst, 0.01).unwrap();
+        assert!(mq.bandwidth() < ts.utilization() + 0.05);
+    }
+}

@@ -1,0 +1,233 @@
+//! Multiple slots per period — the extension the paper lists as future
+//! work in §5 ("the same fault-tolerance service during more than one time
+//! quantum per period").
+//!
+//! Splitting a mode's budget `Q̃` into `k` equal sub-slots spread evenly
+//! over the period `P` keeps the rate `α = Q̃/P` unchanged but shrinks the
+//! worst-case service delay from `Δ = P − Q̃` to `Δ_k = (P − Q̃)/k`: the
+//! longest interval with no service is now one inter-slot gap instead of
+//! the whole remainder of the period. The improved supply function lets
+//! the same task set be schedulable with a *smaller* total budget, at the
+//! cost of `k` times as many mode switches per period (so the overhead
+//! `O_k` is paid `k` times).
+//!
+//! [`MultiSlotSupply`] models the split-budget supply exactly (it is the
+//! Lemma 1 supply with period `P/k` and quantum `Q̃/k`), and
+//! [`min_quantum_multislot`] re-derives the minimum-budget computation of
+//! Eq. 6/11 under the improved delay.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::TaskSet;
+
+use crate::error::AnalysisError;
+use crate::minq::{min_quantum, MinQuantum};
+use crate::scheduler::Algorithm;
+use crate::supply::{LinearSupply, PeriodicSlotSupply, SupplyFunction};
+
+/// Supply of a mode whose budget is split into `k` equal sub-slots evenly
+/// spaced inside the period.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiSlotSupply {
+    /// Total useful budget per period (`Q̃`).
+    budget: f64,
+    /// Major period `P`.
+    period: f64,
+    /// Number of equal sub-slots the budget is split into (`k ≥ 1`).
+    slots: u32,
+    inner: PeriodicSlotSupply,
+}
+
+impl MultiSlotSupply {
+    /// Creates the supply for a budget `Q̃ = budget` split into `slots`
+    /// equal sub-slots inside every period `P = period`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `slots = 0` and the same parameter errors as
+    /// [`PeriodicSlotSupply::new`].
+    pub fn new(budget: f64, period: f64, slots: u32) -> Result<Self, AnalysisError> {
+        if slots == 0 {
+            return Err(AnalysisError::InvalidSupply {
+                reason: "the budget must be split into at least one slot".into(),
+            });
+        }
+        let inner = PeriodicSlotSupply::new(budget / slots as f64, period / slots as f64)?;
+        Ok(MultiSlotSupply { budget, period, slots, inner })
+    }
+
+    /// The total per-period budget `Q̃`.
+    pub fn budget(&self) -> f64 {
+        self.budget
+    }
+
+    /// The number of sub-slots per period.
+    pub fn slots(&self) -> u32 {
+        self.slots
+    }
+
+    /// The linear lower bound `(α, Δ/k)` of this supply.
+    pub fn linear_bound(&self) -> LinearSupply {
+        self.inner.linear_bound()
+    }
+}
+
+impl SupplyFunction for MultiSlotSupply {
+    fn supply(&self, t: f64) -> f64 {
+        self.inner.supply(t)
+    }
+    fn rate(&self) -> f64 {
+        self.budget / self.period
+    }
+    fn delay(&self) -> f64 {
+        (self.period - self.budget) / self.slots as f64
+    }
+    fn inverse(&self, demand: f64) -> f64 {
+        self.inner.inverse(demand)
+    }
+}
+
+/// The minimum total per-period budget that makes `tasks` schedulable when
+/// the budget is delivered in `slots` equal sub-slots per period of length
+/// `period` (generalisation of Eq. 6/11; `slots = 1` reduces exactly to
+/// [`min_quantum`]).
+///
+/// # Errors
+///
+/// Same as [`min_quantum`], plus `slots = 0`.
+pub fn min_quantum_multislot(
+    tasks: &TaskSet,
+    algorithm: Algorithm,
+    period: f64,
+    slots: u32,
+) -> Result<MinQuantum, AnalysisError> {
+    if slots == 0 {
+        return Err(AnalysisError::InvalidSupply {
+            reason: "the budget must be split into at least one slot".into(),
+        });
+    }
+    // Splitting the budget into k even sub-slots is equivalent to a
+    // single-slot schedule with period P/k and quantum Q̃/k, so the
+    // closed-form inversion applies to the sub-period and the total budget
+    // is k times the sub-quantum.
+    let sub = min_quantum(tasks, algorithm, period / slots as f64)?;
+    Ok(MinQuantum {
+        quantum: sub.quantum * slots as f64,
+        period,
+        binding_instant: sub.binding_instant,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edf;
+    use ftsched_task::{Mode, Task};
+
+    fn task(id: u32, c: f64, t: f64) -> Task {
+        Task::implicit_deadline(id, c, t, Mode::NonFaultTolerant).unwrap()
+    }
+
+    fn ft_channel() -> TaskSet {
+        TaskSet::new(vec![
+            task(10, 1.0, 12.0),
+            task(11, 1.0, 15.0),
+            task(12, 1.0, 20.0),
+            task(13, 2.0, 30.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_slot_reduces_to_the_paper_formulation() {
+        let ts = ft_channel();
+        for p in [0.855, 1.5, 2.966] {
+            let single = min_quantum(&ts, Algorithm::EarliestDeadlineFirst, p).unwrap();
+            let multi =
+                min_quantum_multislot(&ts, Algorithm::EarliestDeadlineFirst, p, 1).unwrap();
+            assert!((single.quantum - multi.quantum).abs() < 1e-12);
+        }
+        let s1 = MultiSlotSupply::new(0.82, 2.966, 1).unwrap();
+        let s0 = PeriodicSlotSupply::new(0.82, 2.966).unwrap();
+        for t in [0.5, 1.0, 3.0, 7.0] {
+            assert!((s1.supply(t) - s0.supply(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn splitting_the_budget_reduces_the_delay_but_not_the_rate() {
+        for k in [1u32, 2, 3, 4, 8] {
+            let s = MultiSlotSupply::new(0.9, 3.0, k).unwrap();
+            assert!((s.rate() - 0.3).abs() < 1e-12);
+            assert!((s.delay() - 2.1 / k as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn more_slots_never_decrease_the_supply() {
+        let coarse = MultiSlotSupply::new(0.9, 3.0, 1).unwrap();
+        let fine = MultiSlotSupply::new(0.9, 3.0, 4).unwrap();
+        let mut t = 0.0;
+        while t < 12.0 {
+            assert!(fine.supply(t) + 1e-9 >= coarse.supply(t), "t={t}");
+            t += 0.05;
+        }
+    }
+
+    #[test]
+    fn more_slots_never_need_a_larger_budget() {
+        let ts = ft_channel();
+        let p = 2.966;
+        let mut prev = f64::INFINITY;
+        for k in [1u32, 2, 3, 4, 6] {
+            let q = min_quantum_multislot(&ts, Algorithm::EarliestDeadlineFirst, p, k)
+                .unwrap()
+                .quantum;
+            assert!(q <= prev + 1e-9, "k={k}: {q} > {prev}");
+            prev = q;
+        }
+        // And the improvement is real: 4 sub-slots need strictly less
+        // budget than 1 on this workload.
+        let one = min_quantum_multislot(&ts, Algorithm::EarliestDeadlineFirst, p, 1).unwrap();
+        let four = min_quantum_multislot(&ts, Algorithm::EarliestDeadlineFirst, p, 4).unwrap();
+        assert!(four.quantum < one.quantum - 1e-3);
+    }
+
+    #[test]
+    fn multislot_budget_is_sufficient_for_the_split_supply() {
+        let ts = ft_channel();
+        let p = 2.966;
+        for k in [2u32, 3, 5] {
+            let mq = min_quantum_multislot(&ts, Algorithm::EarliestDeadlineFirst, p, k).unwrap();
+            let supply = MultiSlotSupply::new(mq.quantum + 1e-9, p, k).unwrap().linear_bound();
+            assert!(edf::schedulable_with_supply(&ts, &supply), "k={k}");
+            if mq.quantum > 1e-3 {
+                let starved =
+                    MultiSlotSupply::new(mq.quantum - 1e-3, p, k).unwrap().linear_bound();
+                assert!(!edf::schedulable_with_supply(&ts, &starved), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        assert!(MultiSlotSupply::new(1.0, 3.0, 0).is_err());
+        assert!(MultiSlotSupply::new(4.0, 3.0, 2).is_err());
+        assert!(min_quantum_multislot(
+            &ft_channel(),
+            Algorithm::EarliestDeadlineFirst,
+            2.0,
+            0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let s = MultiSlotSupply::new(0.9, 3.0, 3).unwrap();
+        for demand in [0.2, 0.9, 2.0] {
+            let t = s.inverse(demand);
+            assert!((s.supply(t) - demand).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Test-point sets for the two schedulability theorems.
+//!
+//! * For fixed priorities (Theorem 1 of the paper / Theorem 3 of Lipari &
+//!   Bini), the feasibility of task `τ_i` must be checked on the set of
+//!   **scheduling points** `schedP_i` defined by Bini & Buttazzo
+//!   ("Schedulability analysis of periodic fixed priority systems", IEEE
+//!   TC 2004): the smallest set of instants where the cumulative
+//!   higher-priority workload can change its slope.
+//! * For EDF (Theorem 2), the demand condition must hold at every absolute
+//!   deadline up to the hyperperiod — the set `dlSet(T)`.
+
+use ftsched_task::Task;
+
+/// The Bini–Buttazzo scheduling-point set `schedP_i` for a task with
+/// relative deadline `deadline` and higher-priority tasks `hp` (any order).
+///
+/// The set is defined recursively:
+///
+/// ```text
+/// P_0(t)     = { t }
+/// P_j(t)     = P_{j-1}( ⌊t / T_j⌋ · T_j )  ∪  P_{j-1}(t)
+/// schedP_i   = P_{i-1}(D_i)
+/// ```
+///
+/// The returned vector is sorted, deduplicated and contains only strictly
+/// positive instants.
+pub fn scheduling_points(deadline: f64, hp: &[Task]) -> Vec<f64> {
+    let mut points = Vec::new();
+    build_points(deadline, hp, hp.len(), &mut points);
+    points.sort_by(|a, b| a.partial_cmp(b).expect("points are finite"));
+    points.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    points.retain(|&t| t > 0.0);
+    points
+}
+
+fn build_points(t: f64, hp: &[Task], level: usize, out: &mut Vec<f64>) {
+    if level == 0 {
+        out.push(t);
+        return;
+    }
+    let tj = hp[level - 1].period;
+    let floored = (t / tj).floor() * tj;
+    build_points(t, hp, level - 1, out);
+    if floored < t && floored > 0.0 {
+        build_points(floored, hp, level - 1, out);
+    }
+}
+
+/// The absolute-deadline set `dlSet(T)` of the paper's Theorem 2: every
+/// absolute deadline `k·T_i + D_i ≤ horizon` of every task, assuming
+/// synchronous release at time zero.
+///
+/// The returned vector is sorted, deduplicated and bounded by `horizon`
+/// (normally the hyperperiod of the set).
+pub fn deadline_set(tasks: &[Task], horizon: f64) -> Vec<f64> {
+    let mut deadlines = Vec::new();
+    for task in tasks {
+        let mut k = 0u64;
+        loop {
+            let d = k as f64 * task.period + task.deadline;
+            if d > horizon + 1e-9 {
+                break;
+            }
+            deadlines.push(d);
+            k += 1;
+            // Guard against pathological tiny periods producing an
+            // unboundedly large point set.
+            if deadlines.len() > 4_000_000 {
+                break;
+            }
+        }
+    }
+    deadlines.sort_by(|a, b| a.partial_cmp(b).expect("deadlines are finite"));
+    deadlines.dedup_by(|a, b| (*a - *b).abs() < 1e-9);
+    deadlines
+}
+
+/// Hyperperiod (LCM of periods) computed on the analysis side, working on
+/// the `f64` periods via the task-crate tick conversion. Returns `horizon`
+/// capped at `cap` when the exact hyperperiod would exceed it (generated
+/// workloads with co-prime periods can explode combinatorially).
+pub fn capped_hyperperiod(tasks: &[Task], cap: f64) -> f64 {
+    let ticks = tasks
+        .iter()
+        .map(Task::period_in_ticks)
+        .fold(1u64, ftsched_task::time::lcm);
+    let hp = ticks as f64 / ftsched_task::time::TICKS_PER_UNIT as f64;
+    if hp.is_finite() && hp > 0.0 {
+        hp.min(cap)
+    } else {
+        cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsched_task::{Mode, Task};
+
+    fn task(id: u32, c: f64, t: f64) -> Task {
+        Task::implicit_deadline(id, c, t, Mode::NonFaultTolerant).unwrap()
+    }
+
+    #[test]
+    fn no_higher_priority_tasks_gives_only_the_deadline() {
+        let pts = scheduling_points(10.0, &[]);
+        assert_eq!(pts, vec![10.0]);
+    }
+
+    #[test]
+    fn one_higher_priority_task_adds_its_period_multiples() {
+        // hp task with T = 4, analysed deadline 10: P_1(10) = P_0(8) ∪ P_0(10).
+        let hp = vec![task(1, 1.0, 4.0)];
+        let pts = scheduling_points(10.0, &hp);
+        assert_eq!(pts, vec![8.0, 10.0]);
+    }
+
+    #[test]
+    fn two_higher_priority_tasks_follow_the_recursion() {
+        // hp: T1 = 3, T2 = 5, deadline 7.
+        // P_2(7) = P_1(5) ∪ P_1(7); P_1(5) = {3, 5} (floor(5/3)*3 = 3),
+        // P_1(7) = {6, 7}. Result: {3, 5, 6, 7}.
+        let hp = vec![task(1, 0.5, 3.0), task(2, 0.5, 5.0)];
+        let pts = scheduling_points(7.0, &hp);
+        assert_eq!(pts, vec![3.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn scheduling_points_are_bounded_by_the_deadline() {
+        let hp = vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 1.0, 12.0)];
+        let pts = scheduling_points(24.0, &hp);
+        assert!(pts.iter().all(|&t| t > 0.0 && t <= 24.0 + 1e-12));
+        assert!(pts.contains(&24.0));
+        // All points are multiples of some hp period or the deadline itself.
+        for &p in &pts {
+            let is_multiple = hp.iter().any(|h| (p / h.period - (p / h.period).round()).abs() < 1e-9);
+            assert!(is_multiple || (p - 24.0).abs() < 1e-12, "unexpected point {p}");
+        }
+    }
+
+    #[test]
+    fn deadline_set_contains_all_deadlines_up_to_horizon() {
+        let tasks = vec![task(1, 1.0, 4.0), task(2, 1.0, 6.0)];
+        let dl = deadline_set(&tasks, 12.0);
+        assert_eq!(dl, vec![4.0, 6.0, 8.0, 12.0]);
+    }
+
+    #[test]
+    fn deadline_set_handles_constrained_deadlines() {
+        let t1 = Task::constrained_deadline(1, 1.0, 10.0, 4.0, Mode::NonFaultTolerant).unwrap();
+        let dl = deadline_set(&[t1], 25.0);
+        assert_eq!(dl, vec![4.0, 14.0, 24.0]);
+    }
+
+    #[test]
+    fn deadline_set_is_sorted_and_unique() {
+        let tasks = vec![task(1, 1.0, 4.0), task(2, 1.0, 8.0), task(3, 1.0, 2.0)];
+        let dl = deadline_set(&tasks, 16.0);
+        for w in dl.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        // 4 and 8 appear as deadlines of several tasks but only once in the set.
+        assert_eq!(dl.iter().filter(|&&d| (d - 8.0).abs() < 1e-9).count(), 1);
+    }
+
+    #[test]
+    fn capped_hyperperiod_matches_lcm_for_small_sets() {
+        let tasks = vec![task(1, 1.0, 12.0), task(2, 1.0, 15.0), task(3, 1.0, 20.0), task(4, 2.0, 30.0)];
+        assert!((capped_hyperperiod(&tasks, 1e9) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn capped_hyperperiod_respects_the_cap() {
+        let tasks = vec![task(1, 1.0, 7.001), task(2, 1.0, 11.003), task(3, 1.0, 13.007)];
+        let capped = capped_hyperperiod(&tasks, 500.0);
+        assert!(capped <= 500.0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Selection of the local (per-channel) scheduling algorithm.
+//!
+//! The paper develops its example for both fixed priorities under the
+//! rate-monotonic assignment (RM) and EDF. The rest of the workspace refers
+//! to the algorithm through [`Algorithm`], so that analysis, design and the
+//! simulator all agree on what "RM" or "EDF" means.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::PriorityOrder;
+
+/// The local scheduling algorithm used on each channel inside a slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Fixed priorities with the rate-monotonic assignment (shorter period
+    /// ⇒ higher priority). The "FP/RM" configuration of the paper's §4.
+    RateMonotonic,
+    /// Fixed priorities with the deadline-monotonic assignment (shorter
+    /// relative deadline ⇒ higher priority). Coincides with RM for the
+    /// implicit-deadline task sets of the paper but is the better default
+    /// for constrained deadlines.
+    DeadlineMonotonic,
+    /// Earliest deadline first.
+    EarliestDeadlineFirst,
+}
+
+impl Algorithm {
+    /// All algorithms, for exhaustive sweeps in tests and experiments.
+    pub const ALL: [Algorithm; 3] = [
+        Algorithm::RateMonotonic,
+        Algorithm::DeadlineMonotonic,
+        Algorithm::EarliestDeadlineFirst,
+    ];
+
+    /// True for the two fixed-priority variants.
+    #[inline]
+    pub const fn is_fixed_priority(self) -> bool {
+        matches!(self, Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic)
+    }
+
+    /// The priority order used when the algorithm is fixed-priority;
+    /// `None` for EDF (priorities are per-job).
+    #[inline]
+    pub const fn priority_order(self) -> Option<PriorityOrder> {
+        match self {
+            Algorithm::RateMonotonic => Some(PriorityOrder::RateMonotonic),
+            Algorithm::DeadlineMonotonic => Some(PriorityOrder::DeadlineMonotonic),
+            Algorithm::EarliestDeadlineFirst => None,
+        }
+    }
+
+    /// Short label used in tables and plots (`RM`, `DM`, `EDF`).
+    #[inline]
+    pub const fn label(self) -> &'static str {
+        match self {
+            Algorithm::RateMonotonic => "RM",
+            Algorithm::DeadlineMonotonic => "DM",
+            Algorithm::EarliestDeadlineFirst => "EDF",
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_priority_classification() {
+        assert!(Algorithm::RateMonotonic.is_fixed_priority());
+        assert!(Algorithm::DeadlineMonotonic.is_fixed_priority());
+        assert!(!Algorithm::EarliestDeadlineFirst.is_fixed_priority());
+    }
+
+    #[test]
+    fn priority_order_mapping() {
+        assert_eq!(
+            Algorithm::RateMonotonic.priority_order(),
+            Some(PriorityOrder::RateMonotonic)
+        );
+        assert_eq!(
+            Algorithm::DeadlineMonotonic.priority_order(),
+            Some(PriorityOrder::DeadlineMonotonic)
+        );
+        assert_eq!(Algorithm::EarliestDeadlineFirst.priority_order(), None);
+    }
+
+    #[test]
+    fn labels_are_conventional() {
+        assert_eq!(Algorithm::RateMonotonic.to_string(), "RM");
+        assert_eq!(Algorithm::EarliestDeadlineFirst.to_string(), "EDF");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        for alg in Algorithm::ALL {
+            let json = serde_json::to_string(&alg).unwrap();
+            let back: Algorithm = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, alg);
+        }
+    }
+}

@@ -1,0 +1,439 @@
+//! Supply functions (§3.1 of the paper).
+//!
+//! A mode `k` only serves its tasks during its slot of length `Q̃_k` inside
+//! every period `P`. The *supply function* `Z_k(t)` is the minimum amount of
+//! execution time the mode is guaranteed to provide in **any** window of
+//! length `t` (Definition 1). The paper uses:
+//!
+//! * the exact supply of **Lemma 1**, a staircase-like piecewise-linear
+//!   function ([`PeriodicSlotSupply`]);
+//! * its **linear lower bound** `Z'(t) = max(0, α (t − Δ))` with
+//!   `α = Q̃ / P` and `Δ = P − Q̃` (Eq. 2–3), which is what all the
+//!   closed-form derivations (Eq. 6, 11, 15) are based on
+//!   ([`LinearSupply`]).
+//!
+//! A trivial dedicated-processor supply (`Z(t) = t`) is also provided as
+//! the reference the classic uniprocessor tests reduce to.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::AnalysisError;
+
+/// Minimum guaranteed execution time as a function of window length.
+pub trait SupplyFunction {
+    /// Minimum time provided in any window of length `t ≥ 0`.
+    fn supply(&self, t: f64) -> f64;
+
+    /// Long-run fraction of processor time provided (the rate `α`).
+    fn rate(&self) -> f64;
+
+    /// Maximum initial interval with no service (the delay `Δ`).
+    fn delay(&self) -> f64;
+
+    /// Smallest window length `t` such that `supply(t) ≥ demand`, i.e. the
+    /// pseudo-inverse of the supply function. Returns `f64::INFINITY` when
+    /// the demand can never be met (rate 0 and positive demand).
+    fn inverse(&self, demand: f64) -> f64 {
+        if demand <= 0.0 {
+            return 0.0;
+        }
+        if self.rate() <= 0.0 {
+            return f64::INFINITY;
+        }
+        // Generic numeric inversion by exponential search + bisection on a
+        // non-decreasing function. Concrete implementations override this
+        // with closed forms where available.
+        let mut hi = self.delay().max(1.0);
+        while self.supply(hi) < demand {
+            hi *= 2.0;
+            if !hi.is_finite() {
+                return f64::INFINITY;
+            }
+        }
+        let mut lo = 0.0_f64;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.supply(mid) >= demand {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+}
+
+/// A processor entirely dedicated to the task set: `Z(t) = t`.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DedicatedSupply;
+
+impl SupplyFunction for DedicatedSupply {
+    fn supply(&self, t: f64) -> f64 {
+        t.max(0.0)
+    }
+    fn rate(&self) -> f64 {
+        1.0
+    }
+    fn delay(&self) -> f64 {
+        0.0
+    }
+    fn inverse(&self, demand: f64) -> f64 {
+        demand.max(0.0)
+    }
+}
+
+/// The linear lower bound `Z'(t) = max(0, α (t − Δ))` of Eq. 3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearSupply {
+    /// Rate `α ∈ (0, 1]`: fraction of processor bandwidth provided.
+    alpha: f64,
+    /// Delay `Δ ≥ 0`: longest interval with no service.
+    delta: f64,
+}
+
+impl LinearSupply {
+    /// Creates a linear supply from rate `alpha` and delay `delta`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects rates outside `(0, 1]` and negative or non-finite delays.
+    pub fn new(alpha: f64, delta: f64) -> Result<Self, AnalysisError> {
+        if !(alpha > 0.0 && alpha <= 1.0 && alpha.is_finite()) {
+            return Err(AnalysisError::InvalidSupply {
+                reason: format!("rate alpha = {alpha} must be in (0, 1]"),
+            });
+        }
+        if !(delta >= 0.0 && delta.is_finite()) {
+            return Err(AnalysisError::InvalidSupply {
+                reason: format!("delay delta = {delta} must be non-negative"),
+            });
+        }
+        Ok(LinearSupply { alpha, delta })
+    }
+
+    /// Builds the linear bound for a periodic slot of useful length
+    /// `quantum = Q̃` inside a period `P` (Eq. 2: `α = Q̃/P`,
+    /// `Δ = P − Q̃`).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive periods and quanta outside `(0, P]`.
+    pub fn from_slot(quantum: f64, period: f64) -> Result<Self, AnalysisError> {
+        check_slot(quantum, period)?;
+        LinearSupply::new(quantum / period, period - quantum)
+    }
+
+    /// The rate `α`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The delay `Δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+}
+
+impl SupplyFunction for LinearSupply {
+    fn supply(&self, t: f64) -> f64 {
+        (self.alpha * (t - self.delta)).max(0.0)
+    }
+    fn rate(&self) -> f64 {
+        self.alpha
+    }
+    fn delay(&self) -> f64 {
+        self.delta
+    }
+    fn inverse(&self, demand: f64) -> f64 {
+        if demand <= 0.0 {
+            0.0
+        } else {
+            self.delta + demand / self.alpha
+        }
+    }
+}
+
+/// The exact supply function of Lemma 1 for a slot of useful length `Q̃`
+/// repeating every `P`:
+///
+/// ```text
+/// Z(t) = j·Q̃                     if t ∈ [ jP, (j+1)P − Q̃ )
+///      = t − (j+1)(P − Q̃)        otherwise
+/// with j = ⌊ t / P ⌋.
+/// ```
+///
+/// The worst-case alignment places the start of the window immediately
+/// after a slot ends, so the first service arrives only after
+/// `Δ = P − Q̃`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicSlotSupply {
+    /// Useful slot length `Q̃`.
+    quantum: f64,
+    /// Slot period `P`.
+    period: f64,
+}
+
+impl PeriodicSlotSupply {
+    /// Creates the exact supply for a useful quantum `Q̃ = quantum` inside
+    /// a period `P = period`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive periods and quanta outside `(0, P]`.
+    pub fn new(quantum: f64, period: f64) -> Result<Self, AnalysisError> {
+        check_slot(quantum, period)?;
+        Ok(PeriodicSlotSupply { quantum, period })
+    }
+
+    /// The useful slot length `Q̃`.
+    pub fn quantum(&self) -> f64 {
+        self.quantum
+    }
+
+    /// The slot period `P`.
+    pub fn period(&self) -> f64 {
+        self.period
+    }
+
+    /// The linear lower bound of this supply (Eq. 2–3).
+    pub fn linear_bound(&self) -> LinearSupply {
+        LinearSupply::from_slot(self.quantum, self.period)
+            .expect("parameters already validated")
+    }
+}
+
+impl SupplyFunction for PeriodicSlotSupply {
+    fn supply(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let p = self.period;
+        let q = self.quantum;
+        let j = (t / p).floor();
+        let flat_until = (j + 1.0) * p - q;
+        if t < flat_until {
+            j * q
+        } else {
+            t - (j + 1.0) * (p - q)
+        }
+    }
+
+    fn rate(&self) -> f64 {
+        self.quantum / self.period
+    }
+
+    fn delay(&self) -> f64 {
+        self.period - self.quantum
+    }
+
+    fn inverse(&self, demand: f64) -> f64 {
+        if demand <= 0.0 {
+            return 0.0;
+        }
+        let q = self.quantum;
+        let p = self.period;
+        // demand is met during the (j+1)-th slot, where j = ceil(demand/q) - 1
+        // full slots are consumed before it.
+        let j = (demand / q).ceil() - 1.0;
+        let consumed_before = j * q;
+        let within = demand - consumed_before; // in (0, q]
+        (j + 1.0) * (p - q) + j * q + within
+    }
+}
+
+fn check_slot(quantum: f64, period: f64) -> Result<(), AnalysisError> {
+    if !(period > 0.0 && period.is_finite()) {
+        return Err(AnalysisError::InvalidSupply {
+            reason: format!("period {period} must be positive"),
+        });
+    }
+    if !(quantum > 0.0 && quantum.is_finite()) {
+        return Err(AnalysisError::InvalidSupply {
+            reason: format!("quantum {quantum} must be positive"),
+        });
+    }
+    if quantum > period + 1e-12 {
+        return Err(AnalysisError::InvalidSupply {
+            reason: format!("quantum {quantum} cannot exceed period {period}"),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_supply_is_identity() {
+        let s = DedicatedSupply;
+        assert_eq!(s.supply(5.0), 5.0);
+        assert_eq!(s.supply(-1.0), 0.0);
+        assert_eq!(s.rate(), 1.0);
+        assert_eq!(s.delay(), 0.0);
+        assert_eq!(s.inverse(3.5), 3.5);
+    }
+
+    #[test]
+    fn linear_supply_matches_eq_3() {
+        let s = LinearSupply::from_slot(0.82, 2.966).unwrap();
+        assert!((s.alpha() - 0.82 / 2.966).abs() < 1e-12);
+        assert!((s.delta() - (2.966 - 0.82)).abs() < 1e-12);
+        assert_eq!(s.supply(1.0), 0.0); // still inside the delay
+        let t = 5.0;
+        assert!((s.supply(t) - s.alpha() * (t - s.delta())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_supply_rejects_bad_parameters() {
+        assert!(LinearSupply::new(0.0, 1.0).is_err());
+        assert!(LinearSupply::new(1.2, 1.0).is_err());
+        assert!(LinearSupply::new(0.5, -1.0).is_err());
+        assert!(LinearSupply::from_slot(2.0, 1.0).is_err());
+        assert!(LinearSupply::from_slot(1.0, 0.0).is_err());
+        assert!(LinearSupply::from_slot(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn exact_supply_is_zero_during_the_initial_delay() {
+        let s = PeriodicSlotSupply::new(1.0, 4.0).unwrap();
+        // delay = 3: no service before t = 3 in the worst case.
+        for t in [0.0, 0.5, 1.0, 2.0, 2.99] {
+            assert_eq!(s.supply(t), 0.0, "t={t}");
+        }
+        assert!((s.supply(3.5) - 0.5).abs() < 1e-12);
+        assert!((s.supply(4.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_supply_matches_lemma_1_on_a_grid() {
+        let q = 0.82;
+        let p = 2.966;
+        let s = PeriodicSlotSupply::new(q, p).unwrap();
+        // Direct re-evaluation of the Lemma 1 formula.
+        let lemma = |t: f64| {
+            let j = (t / p).floor();
+            if t >= j * p && t < (j + 1.0) * p - q {
+                j * q
+            } else {
+                t - (j + 1.0) * (p - q)
+            }
+        };
+        let mut t = 0.0;
+        while t < 6.0 * p {
+            assert!((s.supply(t) - lemma(t)).abs() < 1e-9, "t={t}");
+            t += 0.013;
+        }
+    }
+
+    #[test]
+    fn exact_supply_is_monotone_and_1_lipschitz() {
+        let s = PeriodicSlotSupply::new(1.3, 5.0).unwrap();
+        let mut prev_t = 0.0;
+        let mut prev_z = 0.0;
+        let mut t = 0.0;
+        while t < 40.0 {
+            let z = s.supply(t);
+            assert!(z + 1e-12 >= prev_z, "supply must be non-decreasing at t={t}");
+            assert!(
+                z - prev_z <= (t - prev_t) + 1e-9,
+                "supply cannot grow faster than real time at t={t}"
+            );
+            prev_t = t;
+            prev_z = z;
+            t += 0.07;
+        }
+    }
+
+    #[test]
+    fn linear_bound_never_exceeds_exact_supply() {
+        for (q, p) in [(1.0, 4.0), (0.82, 2.966), (2.0, 2.0), (0.23, 0.855)] {
+            let exact = PeriodicSlotSupply::new(q, p).unwrap();
+            let linear = exact.linear_bound();
+            let mut t = 0.0;
+            while t < 10.0 * p {
+                assert!(
+                    linear.supply(t) <= exact.supply(t) + 1e-9,
+                    "Z'({t}) = {} > Z({t}) = {} for q={q}, p={p}",
+                    linear.supply(t),
+                    exact.supply(t)
+                );
+                t += p / 37.0;
+            }
+        }
+    }
+
+    #[test]
+    fn linear_bound_touches_exact_supply_at_period_ends() {
+        // Z'(Δ + jP) = j·Q̃ = Z(Δ + jP): the bound is tight at the start of
+        // every slot in the worst-case alignment.
+        let q = 1.0;
+        let p = 4.0;
+        let exact = PeriodicSlotSupply::new(q, p).unwrap();
+        let linear = exact.linear_bound();
+        for j in 0..5 {
+            let t = (p - q) + j as f64 * p;
+            assert!((exact.supply(t) - linear.supply(t)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn full_quantum_supply_equals_dedicated() {
+        let s = PeriodicSlotSupply::new(3.0, 3.0).unwrap();
+        for t in [0.0, 0.5, 1.0, 2.5, 7.0] {
+            assert!((s.supply(t) - t).abs() < 1e-9);
+        }
+        assert_eq!(s.delay(), 0.0);
+        assert_eq!(s.rate(), 1.0);
+    }
+
+    #[test]
+    fn exact_inverse_round_trips() {
+        let s = PeriodicSlotSupply::new(1.0, 4.0).unwrap();
+        for demand in [0.1, 0.5, 1.0, 1.5, 2.0, 3.7, 10.0] {
+            let t = s.inverse(demand);
+            assert!((s.supply(t) - demand).abs() < 1e-9, "demand={demand} t={t}");
+            // Just before t the supply must be strictly below the demand.
+            assert!(s.supply(t - 1e-6) < demand);
+        }
+        assert_eq!(s.inverse(0.0), 0.0);
+    }
+
+    #[test]
+    fn linear_inverse_round_trips() {
+        let s = LinearSupply::from_slot(1.0, 4.0).unwrap();
+        for demand in [0.1, 1.0, 2.5] {
+            let t = s.inverse(demand);
+            assert!((s.supply(t) - demand).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn generic_inverse_fallback_works() {
+        // Use the default trait implementation through a custom wrapper.
+        struct Wrapper(PeriodicSlotSupply);
+        impl SupplyFunction for Wrapper {
+            fn supply(&self, t: f64) -> f64 {
+                self.0.supply(t)
+            }
+            fn rate(&self) -> f64 {
+                self.0.rate()
+            }
+            fn delay(&self) -> f64 {
+                self.0.delay()
+            }
+        }
+        let w = Wrapper(PeriodicSlotSupply::new(1.0, 4.0).unwrap());
+        for demand in [0.4, 1.7, 5.0] {
+            let t = w.inverse(demand);
+            assert!((w.supply(t) - demand).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rates_and_delays_match_eq_2() {
+        let s = PeriodicSlotSupply::new(0.815, 2.966).unwrap();
+        assert!((s.rate() - 0.815 / 2.966).abs() < 1e-12);
+        assert!((s.delay() - (2.966 - 0.815)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,138 @@
+//! Workload and demand functions.
+//!
+//! * [`fp_workload`] — the level-i workload `W_i(t)` of the paper's Eq. 5:
+//!   the task's own WCET plus the maximum interference of all
+//!   higher-priority tasks in a window of length `t` released synchronously.
+//! * [`edf_demand`] — the processor demand `W(t)` of Eq. 9 (Baruah's demand
+//!   bound function): total execution of all jobs released *and* due within
+//!   a synchronous window of length `t`.
+//! * [`request_bound`] — the request bound function (all jobs *released*
+//!   within the window), used by the response-time analysis in [`crate::fp`].
+
+use ftsched_task::Task;
+
+/// Level-i workload `W_i(t) = C_i + Σ_{j ∈ hp(i)} ⌈t / T_j⌉ C_j` (Eq. 5).
+///
+/// `task` is the task under analysis, `hp` its higher-priority tasks.
+pub fn fp_workload(task: &Task, hp: &[Task], t: f64) -> f64 {
+    let mut w = task.wcet;
+    for h in hp {
+        w += (t / h.period).ceil() * h.wcet;
+    }
+    w
+}
+
+/// EDF processor demand
+/// `W(t) = Σ_i max(⌊(t + T_i − D_i) / T_i⌋, 0) · C_i` (Eq. 9).
+///
+/// For implicit deadlines this reduces to `Σ_i ⌊t / T_i⌋ C_i`.
+pub fn edf_demand(tasks: &[Task], t: f64) -> f64 {
+    tasks
+        .iter()
+        .map(|task| {
+            let jobs = ((t + task.period - task.deadline) / task.period).floor();
+            jobs.max(0.0) * task.wcet
+        })
+        .sum()
+}
+
+/// Request bound function `RBF(t) = Σ_i ⌈t / T_i⌉ C_i`: the maximum
+/// execution requested by jobs of `tasks` released in a synchronous window
+/// of length `t` (used for response-time fixed points).
+pub fn request_bound(tasks: &[Task], t: f64) -> f64 {
+    tasks.iter().map(|task| (t / task.period).ceil() * task.wcet).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsched_task::{Mode, Task};
+
+    fn task(id: u32, c: f64, t: f64) -> Task {
+        Task::implicit_deadline(id, c, t, Mode::NonFaultTolerant).unwrap()
+    }
+
+    #[test]
+    fn fp_workload_with_no_interference_is_the_wcet() {
+        let t = task(1, 2.0, 10.0);
+        assert_eq!(fp_workload(&t, &[], 5.0), 2.0);
+        assert_eq!(fp_workload(&t, &[], 100.0), 2.0);
+    }
+
+    #[test]
+    fn fp_workload_counts_ceiling_interference() {
+        let low = task(3, 1.0, 12.0);
+        let hp = vec![task(1, 1.0, 4.0), task(2, 2.0, 6.0)];
+        // At t = 6: ⌈6/4⌉·1 + ⌈6/6⌉·2 = 2 + 2 = 4, plus C = 1.
+        assert_eq!(fp_workload(&low, &hp, 6.0), 5.0);
+        // At t = 6.1: ⌈6.1/6⌉ = 2 → one more unit of the second hp task.
+        assert_eq!(fp_workload(&low, &hp, 6.1), 7.0);
+    }
+
+    #[test]
+    fn fp_workload_is_non_decreasing_in_t() {
+        let low = task(3, 1.5, 20.0);
+        let hp = vec![task(1, 1.0, 4.0), task(2, 2.0, 7.0)];
+        let mut prev = 0.0;
+        let mut t = 0.1;
+        while t < 40.0 {
+            let w = fp_workload(&low, &hp, t);
+            assert!(w + 1e-12 >= prev);
+            prev = w;
+            t += 0.1;
+        }
+    }
+
+    #[test]
+    fn edf_demand_for_implicit_deadlines_uses_floor() {
+        let tasks = vec![task(1, 1.0, 4.0), task(2, 2.0, 6.0)];
+        // t = 12: ⌊12/4⌋·1 + ⌊12/6⌋·2 = 3 + 4 = 7.
+        assert_eq!(edf_demand(&tasks, 12.0), 7.0);
+        // t = 3.9: no complete job fits.
+        assert_eq!(edf_demand(&tasks, 3.9), 0.0);
+        // t = 4: exactly one job of τ1.
+        assert_eq!(edf_demand(&tasks, 4.0), 1.0);
+    }
+
+    #[test]
+    fn edf_demand_handles_constrained_deadlines() {
+        let t1 = Task::constrained_deadline(1, 1.0, 10.0, 4.0, Mode::NonFaultTolerant).unwrap();
+        // jobs with deadline within t: floor((t + 10 - 4)/10).
+        let ts = std::slice::from_ref(&t1);
+        assert_eq!(edf_demand(ts, 3.9), 0.0);
+        assert_eq!(edf_demand(ts, 4.0), 1.0);
+        assert_eq!(edf_demand(ts, 13.9), 1.0);
+        assert_eq!(edf_demand(ts, 14.0), 2.0);
+    }
+
+    #[test]
+    fn edf_demand_never_exceeds_request_bound() {
+        let tasks = vec![task(1, 1.0, 4.0), task(2, 2.0, 6.0), task(3, 3.0, 10.0)];
+        let mut t = 0.0;
+        while t < 60.0 {
+            assert!(edf_demand(&tasks, t) <= request_bound(&tasks, t) + 1e-12);
+            t += 0.5;
+        }
+    }
+
+    #[test]
+    fn edf_demand_at_hyperperiod_equals_utilization_times_hyperperiod() {
+        let tasks = vec![task(1, 1.0, 4.0), task(2, 2.0, 6.0)];
+        let hyper = 12.0;
+        let u: f64 = tasks.iter().map(Task::utilization).sum();
+        assert!((edf_demand(&tasks, hyper) - u * hyper).abs() < 1e-12);
+    }
+
+    #[test]
+    fn request_bound_is_positive_for_any_positive_window() {
+        let tasks = vec![task(1, 1.0, 4.0)];
+        assert_eq!(request_bound(&tasks, 0.1), 1.0);
+        assert_eq!(request_bound(&tasks, 4.1), 2.0);
+    }
+
+    #[test]
+    fn empty_task_list_has_zero_demand() {
+        assert_eq!(edf_demand(&[], 100.0), 0.0);
+        assert_eq!(request_bound(&[], 100.0), 0.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Criterion benchmark of the Figure 4 computation: sweeping the
+//! left-hand side of Eq. 15 over the period grid and locating the
+//! annotated points (maximum feasible period, maximum admissible
+//! overhead) for both EDF and RM.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftsched_bench::{paper_edf, paper_rm};
+use ftsched_design::region::{max_feasible_period, sweep_region, RegionConfig};
+
+fn bench_region_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_region_sweep");
+    let config = RegionConfig { period_min: 0.02, period_max: 3.5, samples: 350, refine_iterations: 20 };
+    for (label, problem) in [("EDF", paper_edf()), ("RM", paper_rm())] {
+        group.bench_with_input(BenchmarkId::new("sweep", label), &problem, |b, problem| {
+            b.iter(|| sweep_region(black_box(problem), black_box(&config)).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("max_feasible_period", label),
+            &problem,
+            |b, problem| {
+                b.iter(|| max_feasible_period(black_box(problem), black_box(&config)).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_single_lhs_evaluation(c: &mut Criterion) {
+    let problem = paper_edf();
+    c.bench_function("fig4_eq15_lhs_single_period", |b| {
+        b.iter(|| problem.eq15_lhs(black_box(2.0)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_region_sweep, bench_single_lhs_evaluation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion benchmark of the supply-function primitives (Figure 3): the
+//! exact Lemma 1 supply, its linear bound, and their inverses.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ftsched_analysis::{LinearSupply, PeriodicSlotSupply, SupplyFunction};
+
+fn bench_supply_evaluation(c: &mut Criterion) {
+    let exact = PeriodicSlotSupply::new(0.82, 2.966).unwrap();
+    let linear = LinearSupply::from_slot(0.82, 2.966).unwrap();
+    let mut group = c.benchmark_group("supply_eval");
+    group.bench_function("exact_lemma1", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut t = 0.0;
+            while t < 30.0 {
+                acc += exact.supply(black_box(t));
+                t += 0.1;
+            }
+            acc
+        })
+    });
+    group.bench_function("linear_bound", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            let mut t = 0.0;
+            while t < 30.0 {
+                acc += linear.supply(black_box(t));
+                t += 0.1;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_supply_inverse(c: &mut Criterion) {
+    let exact = PeriodicSlotSupply::new(0.82, 2.966).unwrap();
+    c.bench_function("supply_inverse_exact", |b| {
+        b.iter(|| exact.inverse(black_box(5.0)))
+    });
+}
+
+criterion_group!(benches, bench_supply_evaluation, bench_supply_inverse);
+criterion_main!(benches);

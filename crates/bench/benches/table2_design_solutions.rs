@@ -1,0 +1,50 @@
+//! Criterion benchmark of the Table 2 design procedure: solving the paper
+//! example for both design goals, and the end-to-end pipeline including
+//! the simulated validation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ftsched_bench::paper_edf;
+use ftsched_core::pipeline::{design_and_validate, PipelineConfig};
+use ftsched_design::goals::solve;
+use ftsched_design::region::RegionConfig;
+use ftsched_design::DesignGoal;
+
+fn bench_design_goals(c: &mut Criterion) {
+    let problem = paper_edf();
+    let config = RegionConfig { period_min: 0.02, period_max: 3.5, samples: 350, refine_iterations: 20 };
+    let mut group = c.benchmark_group("table2_solve");
+    for (label, goal) in [
+        ("min_overhead", DesignGoal::MinimizeOverheadBandwidth),
+        ("max_slack", DesignGoal::MaximizeSlackBandwidth),
+        ("fixed_period", DesignGoal::FixedPeriod(1.0)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &goal, |b, &goal| {
+            b.iter(|| solve(black_box(&problem), goal, black_box(&config)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let problem = paper_edf();
+    let config = PipelineConfig {
+        region: RegionConfig { period_min: 0.02, period_max: 3.5, samples: 350, refine_iterations: 20 },
+        horizon_hyperperiods: 1,
+        ..PipelineConfig::default()
+    };
+    c.bench_function("table2_design_and_validate_pipeline", |b| {
+        b.iter(|| {
+            design_and_validate(
+                black_box(&problem),
+                DesignGoal::MinimizeOverheadBandwidth,
+                black_box(&config),
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_design_goals, bench_full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Regenerates **Figure 2** of the paper as data: the mode-switch timeline
+//! of one slot cycle for the Table 2(b) design — which mode owns each part
+//! of the period, where the switch overheads fall, and how the useful
+//! quanta `Q̃_k` relate to the slot lengths `Q_k`.
+//!
+//! ```text
+//! cargo run -p ftsched-bench --bin fig2_timeline
+//! ```
+
+use ftsched_bench::{paper_edf, section};
+use ftsched_core::prelude::*;
+use ftsched_core::pipeline::slots_from_solution;
+use ftsched_design::goals::solve;
+
+fn main() {
+    let problem = paper_edf();
+    let solution = solve(
+        &problem,
+        DesignGoal::MinimizeOverheadBandwidth,
+        &RegionConfig::paper_figure4(),
+    )
+    .expect("the paper design is feasible");
+    let slots = slots_from_solution(&solution).expect("consistent allocation");
+
+    section("Figure 2: slot layout of one period (Table 2(b) design, EDF)");
+    println!("period P = {:.3}\n", slots.period().as_units());
+    println!("{:<8} {:>10} {:>10} {:>10} {:>12} {:>12}", "slot", "Q~_k", "O_k", "Q_k", "starts at", "ends at");
+    let mut cursor = 0.0;
+    for mode in Mode::ALL {
+        let useful = slots.useful_quantum(mode).as_units();
+        let overhead = slots.overhead(mode).as_units();
+        println!(
+            "{:<8} {:>10.3} {:>10.3} {:>10.3} {:>12.3} {:>12.3}",
+            mode.short_name(),
+            useful,
+            overhead,
+            useful + overhead,
+            cursor,
+            cursor + useful + overhead
+        );
+        cursor += useful + overhead;
+    }
+    println!(
+        "{:<8} {:>10.3} {:>10} {:>10} {:>12.3} {:>12.3}",
+        "slack",
+        slots.slack().as_units(),
+        "-",
+        "-",
+        cursor,
+        slots.period().as_units()
+    );
+
+    section("Phase of every 0.1-unit sample of the first two periods");
+    println!("{:>8} {:>12}", "t", "phase");
+    let mut t = 0.0;
+    while t < 2.0 * slots.period().as_units() {
+        let phase = match slots.phase_at(Time::from_units(t)) {
+            Some(p) if p.is_useful() => format!("{} useful", p.mode()),
+            Some(p) => format!("{} switch-overhead", p.mode()),
+            None => "unallocated slack".to_string(),
+        };
+        println!("{t:>8.2} {phase:>22}");
+        t += 0.1;
+    }
+}

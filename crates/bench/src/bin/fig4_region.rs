@@ -1,0 +1,46 @@
+//! Regenerates **Figure 4** of the paper: the left-hand side of Eq. 15 as
+//! a function of the period `P`, for both EDF and RM, together with the
+//! five annotated points:
+//!
+//! 1. maximum feasible period under EDF with zero overhead (paper: 3.176);
+//! 2. maximum feasible period under RM with zero overhead (paper: 2.381);
+//! 3. maximum admissible total overhead under EDF (paper: 0.201);
+//! 4. maximum admissible total overhead under RM (paper: 0.129);
+//! 5. maximum feasible period under EDF with `O_tot = 0.05` (paper: 2.966).
+//!
+//! ```text
+//! cargo run --release -p ftsched-bench --bin fig4_region
+//! ```
+
+use ftsched_bench::{paper_edf, paper_rm, section};
+use ftsched_core::prelude::*;
+use ftsched_design::region::{max_admissible_overhead, max_feasible_period, sweep_region};
+use ftsched_design::report::region_to_csv;
+use ftsched_task::PerMode;
+
+fn main() {
+    let config = RegionConfig::paper_figure4();
+    let edf = paper_edf();
+    let rm = paper_rm();
+    let edf_zero = edf.with_overheads(PerMode::splat(0.0)).unwrap();
+    let rm_zero = rm.with_overheads(PerMode::splat(0.0)).unwrap();
+
+    section("Figure 4 data series: lhs of Eq. 15 vs period P");
+    let edf_region = sweep_region(&edf, &config).expect("sweep succeeds");
+    let rm_region = sweep_region(&rm, &config).expect("sweep succeeds");
+    print!("{}", region_to_csv("EDF", &edf_region));
+    println!();
+    print!("{}", region_to_csv("RM", &rm_region));
+
+    section("Figure 4 annotated points (paper value in parentheses)");
+    let p1 = max_feasible_period(&edf_zero, &config).unwrap();
+    let p2 = max_feasible_period(&rm_zero, &config).unwrap();
+    let p3 = max_admissible_overhead(&edf_zero, &config).unwrap();
+    let p4 = max_admissible_overhead(&rm_zero, &config).unwrap();
+    let p5 = max_feasible_period(&edf, &config).unwrap();
+    println!("point 1  max period, EDF, Otot=0      : {p1:.3}   (3.176)");
+    println!("point 2  max period, RM,  Otot=0      : {p2:.3}   (2.381)");
+    println!("point 3  max admissible Otot, EDF     : {:.3} at P={:.3}   (0.201)", p3.lhs, p3.period);
+    println!("point 4  max admissible Otot, RM      : {:.3} at P={:.3}   (0.129)", p4.lhs, p4.period);
+    println!("point 5  max period, EDF, Otot=0.05   : {p5:.3}   (2.966)");
+}

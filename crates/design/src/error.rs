@@ -1,0 +1,115 @@
+//! Error type for the design layer.
+
+use std::fmt;
+
+use ftsched_analysis::AnalysisError;
+use ftsched_task::TaskModelError;
+
+/// Errors produced while building or solving a design problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DesignError {
+    /// The underlying task model is structurally invalid.
+    TaskModel(TaskModelError),
+    /// An analysis routine failed.
+    Analysis(AnalysisError),
+    /// The overheads are negative or not finite.
+    InvalidOverhead {
+        /// The rejected overhead value.
+        value: f64,
+    },
+    /// No feasible period exists for the given problem and overhead — the
+    /// whole feasible region of Eq. 15 lies below `O_tot`.
+    NoFeasiblePeriod {
+        /// The total overhead that could not be accommodated.
+        total_overhead: f64,
+        /// The largest value of the left-hand side of Eq. 15 that was found
+        /// over the searched period range (the maximum admissible
+        /// overhead).
+        max_admissible_overhead: f64,
+    },
+    /// A requested period is not inside the feasible region.
+    InfeasiblePeriod {
+        /// The requested period.
+        period: f64,
+        /// Slack of Eq. 15 at that period (negative ⇒ infeasible).
+        slack: f64,
+    },
+    /// The period search range is empty or inverted.
+    InvalidSearchRange {
+        /// Lower end of the range.
+        min: f64,
+        /// Upper end of the range.
+        max: f64,
+    },
+    /// Automatic partitioning failed: some task could not be placed on any
+    /// channel without exceeding unit utilisation.
+    PartitioningFailed {
+        /// Identifier of the task that could not be placed.
+        task: ftsched_task::TaskId,
+    },
+}
+
+impl fmt::Display for DesignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::TaskModel(e) => write!(f, "task model error: {e}"),
+            Self::Analysis(e) => write!(f, "analysis error: {e}"),
+            Self::InvalidOverhead { value } => {
+                write!(f, "overhead {value} must be non-negative and finite")
+            }
+            Self::NoFeasiblePeriod { total_overhead, max_admissible_overhead } => write!(
+                f,
+                "no feasible period: total overhead {total_overhead:.3} exceeds the maximum \
+                 admissible overhead {max_admissible_overhead:.3}"
+            ),
+            Self::InfeasiblePeriod { period, slack } => write!(
+                f,
+                "period {period:.3} is infeasible (Eq. 15 slack {slack:.3} is negative)"
+            ),
+            Self::InvalidSearchRange { min, max } => {
+                write!(f, "invalid period search range [{min}, {max}]")
+            }
+            Self::PartitioningFailed { task } => {
+                write!(f, "automatic partitioning failed: task {task} does not fit on any channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
+impl From<TaskModelError> for DesignError {
+    fn from(e: TaskModelError) -> Self {
+        DesignError::TaskModel(e)
+    }
+}
+
+impl From<AnalysisError> for DesignError {
+    fn from(e: AnalysisError) -> Self {
+        DesignError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_from_lower_layers() {
+        let e: DesignError = TaskModelError::EmptyTaskSet.into();
+        assert!(matches!(e, DesignError::TaskModel(_)));
+        let e: DesignError = AnalysisError::EmptyTaskSet.into();
+        assert!(matches!(e, DesignError::Analysis(_)));
+    }
+
+    #[test]
+    fn display_mentions_key_numbers() {
+        let e = DesignError::NoFeasiblePeriod {
+            total_overhead: 0.3,
+            max_admissible_overhead: 0.201,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0.3"));
+        assert!(s.contains("0.201"));
+    }
+}

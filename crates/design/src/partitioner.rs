@@ -1,0 +1,248 @@
+//! Automatic task-to-channel partitioning.
+//!
+//! The paper assumes the partition is supplied manually (§3) and cites
+//! Baruah [6] for automatic approaches. For the campaign experiments we
+//! need a partitioner that works on thousands of generated task sets, so
+//! this module implements the classic bin-packing heuristics used for
+//! partitioned multiprocessor scheduling:
+//!
+//! * **first-fit decreasing** — place each task (in decreasing utilisation
+//!   order) on the first channel where it fits;
+//! * **best-fit decreasing** — place it on the feasible channel with the
+//!   least remaining capacity;
+//! * **worst-fit decreasing** — place it on the feasible channel with the
+//!   most remaining capacity (balances load, which helps the per-mode
+//!   `max_i minQ` term).
+//!
+//! "Fits" means the channel's utilisation stays at most 1 — the necessary
+//! condition; the design layer then verifies true schedulability through
+//! `minQ`.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::{Mode, ModePartition, SystemPartition, Task, TaskId, TaskSet};
+
+use crate::error::DesignError;
+
+/// The bin-packing heuristic used to assign tasks to channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PartitionHeuristic {
+    /// First-fit decreasing by utilisation.
+    FirstFitDecreasing,
+    /// Best-fit decreasing by utilisation.
+    BestFitDecreasing,
+    /// Worst-fit decreasing by utilisation (load balancing).
+    WorstFitDecreasing,
+}
+
+impl PartitionHeuristic {
+    /// All heuristics, for comparison sweeps.
+    pub const ALL: [PartitionHeuristic; 3] = [
+        PartitionHeuristic::FirstFitDecreasing,
+        PartitionHeuristic::BestFitDecreasing,
+        PartitionHeuristic::WorstFitDecreasing,
+    ];
+
+    /// Short label for reports.
+    pub const fn label(self) -> &'static str {
+        match self {
+            PartitionHeuristic::FirstFitDecreasing => "FFD",
+            PartitionHeuristic::BestFitDecreasing => "BFD",
+            PartitionHeuristic::WorstFitDecreasing => "WFD",
+        }
+    }
+}
+
+/// Partitions the tasks of one mode onto that mode's channels with the
+/// given heuristic.
+///
+/// # Errors
+///
+/// [`DesignError::PartitioningFailed`] if some task cannot be placed on
+/// any channel without exceeding unit utilisation.
+pub fn partition_mode(
+    tasks: &TaskSet,
+    mode: Mode,
+    heuristic: PartitionHeuristic,
+) -> Result<ModePartition, DesignError> {
+    let mut mode_tasks: Vec<&Task> = tasks.iter().filter(|t| t.mode == mode).collect();
+    if mode_tasks.is_empty() {
+        return Ok(ModePartition::empty(mode));
+    }
+    // Decreasing utilisation order, deterministic tie-break on id.
+    mode_tasks.sort_by(|a, b| {
+        b.utilization()
+            .partial_cmp(&a.utilization())
+            .expect("utilisations are finite")
+            .then(a.id.cmp(&b.id))
+    });
+
+    let channels = mode.channels();
+    let mut load = vec![0.0_f64; channels];
+    let mut assignment: Vec<Vec<TaskId>> = vec![Vec::new(); channels];
+
+    for task in mode_tasks {
+        let u = task.utilization();
+        let candidates: Vec<usize> =
+            (0..channels).filter(|&c| load[c] + u <= 1.0 + 1e-9).collect();
+        if candidates.is_empty() {
+            return Err(DesignError::PartitioningFailed { task: task.id });
+        }
+        let chosen = match heuristic {
+            PartitionHeuristic::FirstFitDecreasing => candidates[0],
+            PartitionHeuristic::BestFitDecreasing => *candidates
+                .iter()
+                .max_by(|&&a, &&b| load[a].partial_cmp(&load[b]).expect("finite"))
+                .expect("non-empty"),
+            PartitionHeuristic::WorstFitDecreasing => *candidates
+                .iter()
+                .min_by(|&&a, &&b| load[a].partial_cmp(&load[b]).expect("finite"))
+                .expect("non-empty"),
+        };
+        load[chosen] += u;
+        assignment[chosen].push(task.id);
+    }
+
+    // Drop trailing channels that stayed empty so that channel_count()
+    // reflects the channels actually used.
+    while assignment.last().is_some_and(Vec::is_empty) {
+        assignment.pop();
+    }
+    Ok(ModePartition::new(mode, assignment)?)
+}
+
+/// Partitions the whole application (all three modes) with the same
+/// heuristic.
+///
+/// # Errors
+///
+/// Propagates per-mode partitioning failures.
+pub fn partition_system(
+    tasks: &TaskSet,
+    heuristic: PartitionHeuristic,
+) -> Result<SystemPartition, DesignError> {
+    let ft = partition_mode(tasks, Mode::FaultTolerant, heuristic)?;
+    let fs = partition_mode(tasks, Mode::FailSilent, heuristic)?;
+    let nf = partition_mode(tasks, Mode::NonFaultTolerant, heuristic)?;
+    let partition = SystemPartition::new(ft, fs, nf);
+    partition.validate(tasks)?;
+    Ok(partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsched_task::examples::paper_taskset;
+    use ftsched_task::Task;
+
+    fn nf_task(id: u32, u: f64) -> Task {
+        Task::implicit_deadline(id, u * 10.0, 10.0, Mode::NonFaultTolerant).unwrap()
+    }
+
+    #[test]
+    fn paper_taskset_partitions_with_every_heuristic() {
+        let tasks = paper_taskset();
+        for heuristic in PartitionHeuristic::ALL {
+            let partition = partition_system(&tasks, heuristic).unwrap();
+            partition.validate(&tasks).unwrap();
+            // The FT mode has one channel holding all four FT tasks.
+            assert_eq!(partition.mode(Mode::FaultTolerant).channel_count(), 1);
+            assert_eq!(partition.mode(Mode::FaultTolerant).assigned_ids().len(), 4);
+        }
+    }
+
+    #[test]
+    fn worst_fit_balances_load_better_than_first_fit() {
+        // Four tasks of utilisation 0.3 on four NF channels: WFD spreads
+        // them (max load 0.3), FFD stacks three on the first channel
+        // (max load 0.9) because they all fit.
+        let tasks = TaskSet::new(vec![
+            nf_task(1, 0.3),
+            nf_task(2, 0.3),
+            nf_task(3, 0.3),
+            nf_task(4, 0.3),
+        ])
+        .unwrap();
+        let wfd =
+            partition_mode(&tasks, Mode::NonFaultTolerant, PartitionHeuristic::WorstFitDecreasing)
+                .unwrap();
+        let ffd =
+            partition_mode(&tasks, Mode::NonFaultTolerant, PartitionHeuristic::FirstFitDecreasing)
+                .unwrap();
+        let max_load = |p: &ModePartition| {
+            p.channel_task_sets(&tasks)
+                .unwrap()
+                .iter()
+                .map(TaskSet::utilization)
+                .fold(0.0_f64, f64::max)
+        };
+        assert!(max_load(&wfd) < max_load(&ffd));
+        assert!((max_load(&wfd) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_fit_packs_tightly() {
+        // Tasks 0.6, 0.4, 0.3: BFD puts 0.4 with 0.6 (exactly filling a
+        // channel), then 0.3 on a fresh one → 2 channels used.
+        let tasks = TaskSet::new(vec![nf_task(1, 0.6), nf_task(2, 0.4), nf_task(3, 0.3)]).unwrap();
+        let bfd =
+            partition_mode(&tasks, Mode::NonFaultTolerant, PartitionHeuristic::BestFitDecreasing)
+                .unwrap();
+        let sets = bfd.channel_task_sets(&tasks).unwrap();
+        assert_eq!(sets.len(), 2);
+        let loads: Vec<f64> = sets.iter().map(TaskSet::utilization).collect();
+        assert!(loads.iter().any(|&l| (l - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn infeasible_mode_load_fails() {
+        // FS mode has two channels; total FS utilisation 2.4 cannot fit.
+        let tasks = TaskSet::new(vec![
+            Task::implicit_deadline(1, 8.0, 10.0, Mode::FailSilent).unwrap(),
+            Task::implicit_deadline(2, 8.0, 10.0, Mode::FailSilent).unwrap(),
+            Task::implicit_deadline(3, 8.0, 10.0, Mode::FailSilent).unwrap(),
+        ])
+        .unwrap();
+        for heuristic in PartitionHeuristic::ALL {
+            assert!(matches!(
+                partition_mode(&tasks, Mode::FailSilent, heuristic),
+                Err(DesignError::PartitioningFailed { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_mode_gives_an_empty_partition() {
+        let tasks = TaskSet::new(vec![nf_task(1, 0.5)]).unwrap();
+        let ft = partition_mode(&tasks, Mode::FaultTolerant, PartitionHeuristic::FirstFitDecreasing)
+            .unwrap();
+        assert_eq!(ft.channel_count(), 0);
+    }
+
+    #[test]
+    fn partitioned_system_is_usable_as_a_design_problem() {
+        use crate::problem::DesignProblem;
+        use ftsched_analysis::Algorithm;
+        use ftsched_task::PerMode;
+        let tasks = paper_taskset();
+        let partition = partition_system(&tasks, PartitionHeuristic::WorstFitDecreasing).unwrap();
+        let problem = DesignProblem::new(
+            tasks,
+            partition,
+            PerMode::splat(0.05 / 3.0),
+            Algorithm::EarliestDeadlineFirst,
+        )
+        .unwrap();
+        // The automatic partition must admit at least as large a feasible
+        // region as some period > 0.5 (sanity check, not the paper's
+        // manual numbers).
+        assert!(problem.eq15_lhs(0.5).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn heuristic_labels() {
+        assert_eq!(PartitionHeuristic::FirstFitDecreasing.label(), "FFD");
+        assert_eq!(PartitionHeuristic::BestFitDecreasing.label(), "BFD");
+        assert_eq!(PartitionHeuristic::WorstFitDecreasing.label(), "WFD");
+    }
+}

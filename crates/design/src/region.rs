@@ -1,0 +1,412 @@
+//! The feasible-period region of Eq. 15 (the paper's Figure 4).
+//!
+//! For a given design problem, define
+//!
+//! ```text
+//! f(P) = P − Σ_{k ∈ {FT,FS,NF}}  max_{i = 1..numP_k}  minQ(T_k^i, alg, P)
+//! ```
+//!
+//! Eq. 15 states that a period `P` can only be feasible if
+//! `f(P) ≥ O_tot`. The paper's Figure 4 plots `f(P)` against `P` for both
+//! EDF and RM; the horizontal line at `O_tot` cuts out the feasible
+//! periods. From the same curve one reads off:
+//!
+//! * the **maximum feasible period** for a given overhead (points 1, 2 and
+//!   5 in the figure) — used by the "minimise overhead bandwidth" design
+//!   goal;
+//! * the **maximum admissible overhead** (points 3 and 4) — the peak of
+//!   the curve;
+//! * the period maximising the **redistributable slack bandwidth**
+//!   `(f(P) − O_tot)/P` — the second design goal of §4.
+//!
+//! Sweeps are embarrassingly parallel over the period grid and use `rayon`.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::error::DesignError;
+use crate::problem::DesignProblem;
+
+/// Configuration of the period sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionConfig {
+    /// Smallest period to consider (must be > 0).
+    pub period_min: f64,
+    /// Largest period to consider.
+    pub period_max: f64,
+    /// Number of grid samples between `period_min` and `period_max`.
+    pub samples: usize,
+    /// Number of refinement iterations (bisection steps / local grid
+    /// passes) applied after the coarse sweep.
+    pub refine_iterations: usize,
+}
+
+impl RegionConfig {
+    /// The sweep used to reproduce the paper's Figure 4: periods up to 3.5
+    /// with a fine grid.
+    pub fn paper_figure4() -> Self {
+        RegionConfig { period_min: 0.02, period_max: 3.5, samples: 1_400, refine_iterations: 60 }
+    }
+
+    /// A default sweep whose upper bound adapts to the task set (twice the
+    /// largest deadline is always past the peak of `f`).
+    pub fn for_problem(problem: &DesignProblem) -> Self {
+        let max_deadline =
+            problem.tasks.iter().map(|t| t.deadline).fold(0.0_f64, f64::max).max(1.0);
+        RegionConfig {
+            period_min: 0.02,
+            period_max: max_deadline,
+            samples: 1_000,
+            refine_iterations: 60,
+        }
+    }
+
+    fn validate(&self) -> Result<(), DesignError> {
+        if !(self.period_min > 0.0
+            && self.period_max > self.period_min
+            && self.period_min.is_finite()
+            && self.period_max.is_finite()
+            && self.samples >= 2)
+        {
+            return Err(DesignError::InvalidSearchRange {
+                min: self.period_min,
+                max: self.period_max,
+            });
+        }
+        Ok(())
+    }
+
+    fn grid(&self) -> Vec<f64> {
+        let step = (self.period_max - self.period_min) / (self.samples - 1) as f64;
+        (0..self.samples).map(|i| self.period_min + i as f64 * step).collect()
+    }
+}
+
+/// One sample of the Figure 4 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegionPoint {
+    /// The candidate slot period `P`.
+    pub period: f64,
+    /// The left-hand side of Eq. 15, `f(P)`.
+    pub lhs: f64,
+}
+
+/// The sampled feasible-period region of one design problem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FeasibleRegion {
+    /// Samples of `f(P)` in increasing period order.
+    pub points: Vec<RegionPoint>,
+    /// Total overhead `O_tot` of the problem the sweep was computed for.
+    pub total_overhead: f64,
+}
+
+impl FeasibleRegion {
+    /// The sample with the largest `f(P)` — an approximation of the
+    /// maximum admissible overhead (points 3/4 of Figure 4).
+    pub fn peak(&self) -> RegionPoint {
+        *self
+            .points
+            .iter()
+            .max_by(|a, b| a.lhs.partial_cmp(&b.lhs).expect("finite lhs"))
+            .expect("a sweep always has samples")
+    }
+
+    /// The largest sampled period with `f(P) ≥ threshold`.
+    pub fn last_feasible_sample(&self, threshold: f64) -> Option<RegionPoint> {
+        self.points.iter().rev().find(|p| p.lhs >= threshold).copied()
+    }
+
+    /// All samples with `f(P) ≥ threshold` (the feasible sub-grid).
+    pub fn feasible_samples(&self, threshold: f64) -> Vec<RegionPoint> {
+        self.points.iter().filter(|p| p.lhs >= threshold).copied().collect()
+    }
+}
+
+/// Sweeps `f(P)` over the configured period grid (in parallel).
+///
+/// # Errors
+///
+/// Returns a [`DesignError`] for an invalid search range or analysis
+/// failure.
+pub fn sweep_region(
+    problem: &DesignProblem,
+    config: &RegionConfig,
+) -> Result<FeasibleRegion, DesignError> {
+    config.validate()?;
+    let grid = config.grid();
+    let points: Result<Vec<RegionPoint>, DesignError> = grid
+        .par_iter()
+        .map(|&period| Ok(RegionPoint { period, lhs: problem.eq15_lhs(period)? }))
+        .collect();
+    Ok(FeasibleRegion { points: points?, total_overhead: problem.total_overhead() })
+}
+
+/// The largest feasible period for the problem's total overhead: the
+/// largest `P` in the search range with `f(P) ≥ O_tot` (point 5 of
+/// Figure 4 for `O_tot = 0.05`, points 1/2 for `O_tot = 0`).
+///
+/// The coarse grid locates the last feasible sample and bisection refines
+/// the boundary where `f` drops below the overhead.
+///
+/// # Errors
+///
+/// [`DesignError::NoFeasiblePeriod`] if no sampled period is feasible.
+pub fn max_feasible_period(
+    problem: &DesignProblem,
+    config: &RegionConfig,
+) -> Result<f64, DesignError> {
+    let region = sweep_region(problem, config)?;
+    let threshold = problem.total_overhead();
+    let last = region.last_feasible_sample(threshold).ok_or_else(|| {
+        DesignError::NoFeasiblePeriod {
+            total_overhead: threshold,
+            max_admissible_overhead: region.peak().lhs,
+        }
+    })?;
+
+    // Bracket [last feasible sample, next (infeasible) sample] and bisect on
+    // the continuous function f(P) − threshold.
+    let idx = region
+        .points
+        .iter()
+        .position(|p| (p.period - last.period).abs() < 1e-12)
+        .expect("sample comes from the sweep");
+    if idx + 1 >= region.points.len() {
+        // Feasible up to the end of the search range.
+        return Ok(last.period);
+    }
+    let mut lo = last.period;
+    let mut hi = region.points[idx + 1].period;
+    for _ in 0..config.refine_iterations {
+        let mid = 0.5 * (lo + hi);
+        if problem.eq15_lhs(mid)? >= threshold {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// The maximum admissible total overhead: `max_P f(P)` over the search
+/// range, refined with a local fine grid around the best coarse sample
+/// (points 3 and 4 of Figure 4). Returns the maximising period and the
+/// overhead value.
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn max_admissible_overhead(
+    problem: &DesignProblem,
+    config: &RegionConfig,
+) -> Result<RegionPoint, DesignError> {
+    let region = sweep_region(problem, config)?;
+    let coarse = region.peak();
+    let step = (config.period_max - config.period_min) / (config.samples - 1) as f64;
+    refine_maximum(problem, coarse, step, config.refine_iterations, |lhs, _| lhs)
+}
+
+/// The period maximising the redistributable slack bandwidth
+/// `(f(P) − O_tot) / P` over the feasible periods — the second design goal
+/// of §4 (Table 2(c)). Returns the maximising period and the corresponding
+/// `f(P)` value.
+///
+/// # Errors
+///
+/// [`DesignError::NoFeasiblePeriod`] if no period is feasible for the
+/// problem's overhead.
+pub fn max_slack_ratio_period(
+    problem: &DesignProblem,
+    config: &RegionConfig,
+) -> Result<RegionPoint, DesignError> {
+    let region = sweep_region(problem, config)?;
+    let threshold = problem.total_overhead();
+    let feasible = region.feasible_samples(threshold);
+    if feasible.is_empty() {
+        return Err(DesignError::NoFeasiblePeriod {
+            total_overhead: threshold,
+            max_admissible_overhead: region.peak().lhs,
+        });
+    }
+    let coarse = *feasible
+        .iter()
+        .max_by(|a, b| {
+            let ra = (a.lhs - threshold) / a.period;
+            let rb = (b.lhs - threshold) / b.period;
+            ra.partial_cmp(&rb).expect("finite ratios")
+        })
+        .expect("feasible set is non-empty");
+    let step = (config.period_max - config.period_min) / (config.samples - 1) as f64;
+    refine_maximum(problem, coarse, step, config.refine_iterations, |lhs, period| {
+        (lhs - threshold) / period
+    })
+}
+
+/// Refines a maximiser of `score(f(P), P)` with successive local grids
+/// around the coarse sample.
+fn refine_maximum(
+    problem: &DesignProblem,
+    coarse: RegionPoint,
+    initial_step: f64,
+    iterations: usize,
+    score: impl Fn(f64, f64) -> f64,
+) -> Result<RegionPoint, DesignError> {
+    let mut best = coarse;
+    let mut best_score = score(coarse.lhs, coarse.period);
+    let mut step = initial_step;
+    // Each pass samples 21 points spanning ±step around the current best and
+    // then shrinks the window; a handful of passes reaches ~1e-9 precision.
+    let passes = (iterations / 10).clamp(4, 12);
+    for _ in 0..passes {
+        let lo = (best.period - step).max(1e-6);
+        let hi = best.period + step;
+        let local_step = (hi - lo) / 20.0;
+        for i in 0..=20 {
+            let period = lo + i as f64 * local_step;
+            let lhs = problem.eq15_lhs(period)?;
+            let s = score(lhs, period);
+            if s > best_score {
+                best_score = s;
+                best = RegionPoint { period, lhs };
+            }
+        }
+        step = local_step;
+    }
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::paper_problem;
+    use ftsched_analysis::Algorithm;
+    use ftsched_task::PerMode;
+
+    fn edf_problem_with_overhead(o: f64) -> DesignProblem {
+        paper_problem(Algorithm::EarliestDeadlineFirst)
+            .with_overheads(PerMode::splat(o / 3.0))
+            .unwrap()
+    }
+
+    fn rm_problem_with_overhead(o: f64) -> DesignProblem {
+        paper_problem(Algorithm::RateMonotonic).with_overheads(PerMode::splat(o / 3.0)).unwrap()
+    }
+
+    #[test]
+    fn sweep_produces_the_requested_samples() {
+        let p = edf_problem_with_overhead(0.05);
+        let config =
+            RegionConfig { period_min: 0.1, period_max: 3.5, samples: 50, refine_iterations: 20 };
+        let region = sweep_region(&p, &config).unwrap();
+        assert_eq!(region.points.len(), 50);
+        assert!((region.points[0].period - 0.1).abs() < 1e-12);
+        assert!((region.points[49].period - 3.5).abs() < 1e-12);
+        assert!((region.total_overhead - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_ranges_are_rejected() {
+        let p = edf_problem_with_overhead(0.05);
+        let bad =
+            RegionConfig { period_min: 2.0, period_max: 1.0, samples: 10, refine_iterations: 5 };
+        assert!(matches!(
+            sweep_region(&p, &bad),
+            Err(DesignError::InvalidSearchRange { .. })
+        ));
+        let bad =
+            RegionConfig { period_min: 0.0, period_max: 1.0, samples: 10, refine_iterations: 5 };
+        assert!(sweep_region(&p, &bad).is_err());
+    }
+
+    // ---- Figure 4 anchor points -------------------------------------------
+
+    #[test]
+    fn figure4_point1_edf_max_period_with_zero_overhead() {
+        // Paper: maximum feasible period 3.176 under EDF with O_tot = 0.
+        let p = edf_problem_with_overhead(0.0);
+        let period = max_feasible_period(&p, &RegionConfig::paper_figure4()).unwrap();
+        assert!((period - 3.176).abs() < 0.01, "EDF max period {period:.4}");
+    }
+
+    #[test]
+    fn figure4_point2_rm_max_period_with_zero_overhead() {
+        // Paper: maximum feasible period 2.381 under RM with O_tot = 0.
+        let p = rm_problem_with_overhead(0.0);
+        let period = max_feasible_period(&p, &RegionConfig::paper_figure4()).unwrap();
+        assert!((period - 2.381).abs() < 0.01, "RM max period {period:.4}");
+    }
+
+    #[test]
+    fn figure4_point3_edf_max_admissible_overhead() {
+        // Paper: maximum admissible total overhead 0.201 under EDF.
+        let p = edf_problem_with_overhead(0.0);
+        let peak = max_admissible_overhead(&p, &RegionConfig::paper_figure4()).unwrap();
+        assert!((peak.lhs - 0.201).abs() < 0.005, "EDF max overhead {:.4}", peak.lhs);
+    }
+
+    #[test]
+    fn figure4_point4_rm_max_admissible_overhead() {
+        // Paper: maximum admissible total overhead 0.129 under RM.
+        let p = rm_problem_with_overhead(0.0);
+        let peak = max_admissible_overhead(&p, &RegionConfig::paper_figure4()).unwrap();
+        assert!((peak.lhs - 0.129).abs() < 0.005, "RM max overhead {:.4}", peak.lhs);
+    }
+
+    #[test]
+    fn figure4_point5_edf_max_period_with_paper_overhead() {
+        // Paper: maximum feasible period 2.966 under EDF with O_tot = 0.05.
+        let p = edf_problem_with_overhead(0.05);
+        let period = max_feasible_period(&p, &RegionConfig::paper_figure4()).unwrap();
+        assert!((period - 2.966).abs() < 0.01, "EDF max period {period:.4}");
+    }
+
+    #[test]
+    fn edf_region_dominates_rm_region() {
+        // Every RM-feasible period is EDF-feasible (Figure 4: the EDF curve
+        // lies above the RM curve).
+        let edf = edf_problem_with_overhead(0.05);
+        let rm = rm_problem_with_overhead(0.05);
+        let config =
+            RegionConfig { period_min: 0.1, period_max: 3.5, samples: 120, refine_iterations: 0 };
+        let edf_region = sweep_region(&edf, &config).unwrap();
+        let rm_region = sweep_region(&rm, &config).unwrap();
+        for (e, r) in edf_region.points.iter().zip(&rm_region.points) {
+            assert!(e.lhs + 1e-9 >= r.lhs, "P={}", e.period);
+        }
+    }
+
+    #[test]
+    fn no_feasible_period_when_overhead_exceeds_the_peak() {
+        let p = edf_problem_with_overhead(0.3); // > 0.201
+        let err = max_feasible_period(&p, &RegionConfig::paper_figure4()).unwrap_err();
+        match err {
+            DesignError::NoFeasiblePeriod { max_admissible_overhead, .. } => {
+                assert!((max_admissible_overhead - 0.201).abs() < 0.01);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn max_slack_ratio_matches_table_2c() {
+        // Paper Table 2(c): the slack-maximising design has P = 0.855 and
+        // redistributes 12.1 % of the bandwidth.
+        let p = edf_problem_with_overhead(0.05);
+        let best = max_slack_ratio_period(&p, &RegionConfig::paper_figure4()).unwrap();
+        let ratio = (best.lhs - 0.05) / best.period;
+        assert!((best.period - 0.855).abs() < 0.02, "slack-optimal period {:.4}", best.period);
+        assert!((ratio - 0.121).abs() < 0.005, "slack ratio {ratio:.4}");
+    }
+
+    #[test]
+    fn feasible_samples_threshold_filters() {
+        let p = edf_problem_with_overhead(0.05);
+        let config =
+            RegionConfig { period_min: 0.1, period_max: 3.5, samples: 200, refine_iterations: 0 };
+        let region = sweep_region(&p, &config).unwrap();
+        let feasible = region.feasible_samples(0.05);
+        assert!(!feasible.is_empty());
+        assert!(feasible.iter().all(|pt| pt.lhs >= 0.05));
+        assert!(feasible.len() < region.points.len());
+    }
+}

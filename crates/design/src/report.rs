@@ -1,0 +1,135 @@
+//! Plain-text and CSV rendering of regions, solutions and comparisons.
+//!
+//! The experiment binaries in `ftsched-bench` print exactly these strings,
+//! so the tables and figure series of the paper can be regenerated with
+//! `cargo run` and diffed against `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+use ftsched_task::{Mode, TaskSet};
+
+use crate::region::FeasibleRegion;
+use crate::solution::DesignSolution;
+
+/// Renders the paper's Table 1 (the task set) as an aligned text table.
+pub fn render_table1(tasks: &TaskSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<6} {:>4} {:>8} {:>8} {:>8}", "Mode", "i", "C_i", "T_i", "U_i");
+    for mode in Mode::ALL {
+        for task in tasks.iter().filter(|t| t.mode == mode) {
+            let _ = writeln!(
+                out,
+                "{:<6} {:>4} {:>8.3} {:>8.3} {:>8.3}",
+                mode.short_name(),
+                task.id.0,
+                task.wcet,
+                task.period,
+                task.utilization()
+            );
+        }
+    }
+    out
+}
+
+/// Renders a Figure 4 sweep as CSV: `period,lhs` rows with a header.
+pub fn region_to_csv(label: &str, region: &FeasibleRegion) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# {label}: left-hand side of Eq. 15 vs period P");
+    let _ = writeln!(out, "period,lhs");
+    for point in &region.points {
+        let _ = writeln!(out, "{:.6},{:.6}", point.period, point.lhs);
+    }
+    out
+}
+
+/// Renders one design solution as the pair of rows of the paper's Table 2.
+pub fn render_table2_rows(label: &str, solution: &DesignSolution) -> String {
+    let rows = solution.table2_rows();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        label, "P", "Otot", "Q~FT", "Q~FS", "Q~NF", "slack"
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+        "length",
+        rows.length.period,
+        rows.length.total_overhead,
+        rows.length.useful_ft,
+        rows.length.useful_fs,
+        rows.length.useful_nf,
+        rows.length.slack
+    );
+    let _ = writeln!(
+        out,
+        "{:<14} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+        "alloc. util.",
+        1.0,
+        rows.utilization.overhead,
+        rows.utilization.ft,
+        rows.utilization.fs,
+        rows.utilization.nf,
+        rows.utilization.slack
+    );
+    out
+}
+
+/// Renders the Table 2(a) row of required (maximum per-channel)
+/// utilisations.
+pub fn render_required_utilization(solution: &DesignSolution) -> String {
+    let req = solution.required_utilization;
+    format!(
+        "{:<14} {:>8} {:>8} {:>8.3} {:>8.3} {:>8.3} {:>8}\n",
+        "req. util.", "", "", req.ft, req.fs, req.nf, ""
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goals::{solve, DesignGoal};
+    use crate::problem::paper_problem;
+    use crate::region::{sweep_region, RegionConfig};
+    use ftsched_analysis::Algorithm;
+    use ftsched_task::examples::paper_taskset;
+
+    #[test]
+    fn table1_lists_all_13_tasks_grouped_by_mode() {
+        let rendered = render_table1(&paper_taskset());
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 14); // header + 13 tasks
+        // FT rows come first, NF rows last (slot order).
+        assert!(lines[1].starts_with("FT"));
+        assert!(lines[13].starts_with("NF"));
+    }
+
+    #[test]
+    fn region_csv_has_one_row_per_sample() {
+        let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+        let config =
+            RegionConfig { period_min: 0.5, period_max: 3.0, samples: 20, refine_iterations: 0 };
+        let region = sweep_region(&problem, &config).unwrap();
+        let csv = region_to_csv("EDF", &region);
+        assert_eq!(csv.lines().count(), 22); // comment + header + 20 rows
+        assert!(csv.contains("period,lhs"));
+    }
+
+    #[test]
+    fn table2_rows_contain_the_headline_numbers() {
+        let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+        let sol = solve(
+            &problem,
+            DesignGoal::MinimizeOverheadBandwidth,
+            &RegionConfig::paper_figure4(),
+        )
+        .unwrap();
+        let rendered = render_table2_rows("(b)", &sol);
+        assert!(rendered.contains("2.96"));
+        assert!(rendered.contains("length"));
+        assert!(rendered.contains("alloc. util."));
+        let req = render_required_utilization(&sol);
+        assert!(req.contains("0.267") || req.contains("0.266"));
+    }
+}

@@ -1,0 +1,169 @@
+//! Sensitivity analysis of a chosen design.
+//!
+//! Table 2(c) motivates keeping slack so the design can absorb run-time
+//! changes. This module quantifies that robustness for a *fixed* period:
+//!
+//! * [`max_total_overhead_at_period`] — how large `O_tot` may grow before
+//!   Eq. 15 fails at the chosen period;
+//! * [`wcet_scaling_margin`] — the largest factor by which *every* WCET can
+//!   be inflated while the design stays feasible (a global margin against
+//!   WCET under-estimation);
+//! * [`mode_bandwidth_margin`] — per mode, how much extra bandwidth demand
+//!   the unallocated slack could absorb if it were handed to that mode.
+
+use ftsched_task::{PerMode, Task, TaskSet};
+
+use crate::error::DesignError;
+use crate::problem::DesignProblem;
+use crate::quanta::minimum_allocation;
+
+/// The maximum total overhead the design tolerates at a fixed period:
+/// exactly the Eq. 15 slack `f(P)`.
+///
+/// # Errors
+///
+/// Propagates analysis errors for invalid periods.
+pub fn max_total_overhead_at_period(
+    problem: &DesignProblem,
+    period: f64,
+) -> Result<f64, DesignError> {
+    problem.eq15_lhs(period)
+}
+
+/// The largest uniform WCET inflation factor `λ ≥ 1` such that the problem
+/// with every `C_i` replaced by `λ C_i` still admits the given period.
+/// Returns 1.0 if the design has no margin at all. Binary search to the
+/// requested tolerance.
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn wcet_scaling_margin(
+    problem: &DesignProblem,
+    period: f64,
+    tolerance: f64,
+) -> Result<f64, DesignError> {
+    let feasible_at = |factor: f64| -> Result<bool, DesignError> {
+        let scaled = scale_wcets(problem, factor)?;
+        match minimum_allocation(&scaled, period) {
+            Ok(_) => Ok(true),
+            Err(DesignError::InfeasiblePeriod { .. }) => Ok(false),
+            Err(e) => Err(e),
+        }
+    };
+    if !feasible_at(1.0)? {
+        return Ok(1.0);
+    }
+    let mut lo = 1.0;
+    let mut hi = 2.0;
+    while feasible_at(hi)? {
+        lo = hi;
+        hi *= 2.0;
+        if hi > 64.0 {
+            return Ok(hi);
+        }
+    }
+    while hi - lo > tolerance {
+        let mid = 0.5 * (lo + hi);
+        if feasible_at(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+/// Per-mode bandwidth headroom at a fixed period: the unallocated slack of
+/// the minimal allocation expressed as extra bandwidth the mode could be
+/// given (`slack / P`), plus the spare already inside the mode's slot
+/// (allocated minus required utilisation).
+///
+/// # Errors
+///
+/// Propagates allocation errors (infeasible period).
+pub fn mode_bandwidth_margin(
+    problem: &DesignProblem,
+    period: f64,
+) -> Result<PerMode<f64>, DesignError> {
+    let alloc = minimum_allocation(problem, period)?;
+    let required = problem.required_utilizations()?;
+    let bw = alloc.allocated_bandwidth();
+    let redistributable = alloc.slack_bandwidth();
+    Ok(PerMode::from_fn(|m| (bw[m] - required[m]).max(0.0) + redistributable))
+}
+
+/// A copy of the problem with every WCET multiplied by `factor`.
+fn scale_wcets(problem: &DesignProblem, factor: f64) -> Result<DesignProblem, DesignError> {
+    let scaled: Result<Vec<Task>, _> = problem
+        .tasks
+        .iter()
+        .map(|t| {
+            let mut clone = t.clone();
+            clone.wcet = (t.wcet * factor).min(clone.deadline);
+            clone.validate().map(|_| clone)
+        })
+        .collect();
+    let tasks = TaskSet::new(scaled?)?;
+    Ok(DesignProblem {
+        tasks,
+        partition: problem.partition.clone(),
+        overheads: problem.overheads,
+        algorithm: problem.algorithm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::paper_problem;
+    use ftsched_analysis::Algorithm;
+    use ftsched_task::Mode;
+
+    fn problem() -> DesignProblem {
+        paper_problem(Algorithm::EarliestDeadlineFirst)
+    }
+
+    #[test]
+    fn overhead_margin_equals_eq15_slack() {
+        let p = problem();
+        let margin = max_total_overhead_at_period(&p, 0.855).unwrap();
+        // Table 2(c): f(0.855) ≈ 0.103 + 0.05 = 0.153.
+        assert!((margin - 0.153).abs() < 0.01, "margin {margin:.4}");
+    }
+
+    #[test]
+    fn wcet_margin_is_larger_at_the_slack_optimal_period() {
+        let p = problem();
+        let tight = wcet_scaling_margin(&p, 2.966, 1e-3).unwrap();
+        let roomy = wcet_scaling_margin(&p, 0.855, 1e-3).unwrap();
+        assert!(tight >= 1.0);
+        assert!(roomy > tight, "roomy {roomy:.3} vs tight {tight:.3}");
+        assert!(roomy > 1.05);
+    }
+
+    #[test]
+    fn wcet_margin_is_one_when_the_period_has_no_room() {
+        // Just past the max feasible period the margin collapses to 1.
+        let p = problem();
+        let margin = wcet_scaling_margin(&p, 3.3, 1e-3).unwrap();
+        assert!((margin - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mode_margins_are_positive_inside_the_region() {
+        let p = problem();
+        let margins = mode_bandwidth_margin(&p, 0.855).unwrap();
+        for mode in Mode::ALL {
+            assert!(margins[mode] > 0.0, "{mode}");
+        }
+        // The redistributable part (~12 %) is included in every mode's margin.
+        assert!(margins.nf >= 0.12);
+    }
+
+    #[test]
+    fn margins_fail_cleanly_outside_the_region() {
+        let p = problem();
+        assert!(mode_bandwidth_margin(&p, 3.4).is_err());
+    }
+}

@@ -1,0 +1,228 @@
+//! The outcome of the design procedure: a chosen period, the per-mode slot
+//! allocation and all the derived quantities the paper reports in Table 2.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::{Mode, PerMode};
+
+use crate::error::DesignError;
+use crate::goals::DesignGoal;
+use crate::problem::DesignProblem;
+use crate::quanta::QuantaAllocation;
+
+/// A complete design solution for one [`DesignProblem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSolution {
+    /// The goal that produced this solution.
+    pub goal: DesignGoal,
+    /// The chosen slot period `P`.
+    pub period: f64,
+    /// The slot allocation (quanta, overheads, slack).
+    pub allocation: QuantaAllocation,
+    /// Per-mode maximum channel utilisation (the "required utilisation" row
+    /// of Table 2(a)).
+    pub required_utilization: PerMode<f64>,
+    /// The scheduling algorithm the solution was computed for.
+    pub algorithm: ftsched_analysis::Algorithm,
+}
+
+impl DesignSolution {
+    /// Builds a solution from a problem, a chosen period and its
+    /// allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition errors (cannot occur for validated problems).
+    pub fn new(
+        problem: &DesignProblem,
+        goal: DesignGoal,
+        allocation: QuantaAllocation,
+    ) -> Result<Self, DesignError> {
+        Ok(DesignSolution {
+            goal,
+            period: allocation.period,
+            allocation,
+            required_utilization: problem.required_utilizations()?,
+            algorithm: problem.algorithm,
+        })
+    }
+
+    /// Allocated bandwidth per mode (`Q̃_k / P`).
+    pub fn allocated_bandwidth(&self) -> PerMode<f64> {
+        self.allocation.allocated_bandwidth()
+    }
+
+    /// Bandwidth lost to mode-switch overhead (`O_tot / P`).
+    pub fn overhead_bandwidth(&self) -> f64 {
+        self.allocation.overhead_bandwidth()
+    }
+
+    /// Bandwidth that can be redistributed at run time (`slack / P`).
+    pub fn slack_bandwidth(&self) -> f64 {
+        self.allocation.slack_bandwidth()
+    }
+
+    /// Spare bandwidth per mode: allocated minus required. Always
+    /// non-negative for a correct design.
+    pub fn spare_bandwidth(&self) -> PerMode<f64> {
+        let bw = self.allocated_bandwidth();
+        PerMode::from_fn(|m| bw[m] - self.required_utilization[m])
+    }
+
+    /// True if every mode's allocated bandwidth covers its required
+    /// utilisation (the necessary condition spelled out in §4).
+    pub fn covers_requirements(&self) -> bool {
+        let spare = self.spare_bandwidth();
+        Mode::ALL.iter().all(|&m| spare[m] >= -1e-9)
+    }
+
+    /// Renders this solution as rows in the format of the paper's Table 2:
+    /// `(label, P, O_tot, Q̃_FT, Q̃_FS, Q̃_NF, slack)` for the "length" row
+    /// and the corresponding bandwidth row.
+    pub fn table2_rows(&self) -> Table2Rows {
+        let bw = self.allocated_bandwidth();
+        Table2Rows {
+            length: Table2LengthRow {
+                period: self.period,
+                total_overhead: self.allocation.overheads.total(),
+                useful_ft: self.allocation.useful.ft,
+                useful_fs: self.allocation.useful.fs,
+                useful_nf: self.allocation.useful.nf,
+                slack: self.allocation.slack,
+            },
+            utilization: Table2UtilizationRow {
+                overhead: self.overhead_bandwidth(),
+                ft: bw.ft,
+                fs: bw.fs,
+                nf: bw.nf,
+                slack: self.slack_bandwidth(),
+            },
+        }
+    }
+}
+
+/// The pair of rows Table 2 prints for each design alternative.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2Rows {
+    /// Absolute slot lengths (the "length" row).
+    pub length: Table2LengthRow,
+    /// The same quantities normalised by the period (the "alloc. util."
+    /// row).
+    pub utilization: Table2UtilizationRow,
+}
+
+/// Absolute lengths row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2LengthRow {
+    /// Chosen period `P`.
+    pub period: f64,
+    /// Total overhead `O_tot`.
+    pub total_overhead: f64,
+    /// Useful FT quantum `Q̃_FT`.
+    pub useful_ft: f64,
+    /// Useful FS quantum `Q̃_FS`.
+    pub useful_fs: f64,
+    /// Useful NF quantum `Q̃_NF`.
+    pub useful_nf: f64,
+    /// Unallocated slack.
+    pub slack: f64,
+}
+
+/// Bandwidth (per-period) row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table2UtilizationRow {
+    /// Overhead bandwidth `O_tot / P`.
+    pub overhead: f64,
+    /// FT bandwidth `Q̃_FT / P`.
+    pub ft: f64,
+    /// FS bandwidth `Q̃_FS / P`.
+    pub fs: f64,
+    /// NF bandwidth `Q̃_NF / P`.
+    pub nf: f64,
+    /// Slack bandwidth `slack / P`.
+    pub slack: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::goals::{solve, DesignGoal};
+    use crate::problem::paper_problem;
+    use crate::region::RegionConfig;
+    use ftsched_analysis::Algorithm;
+
+    #[test]
+    fn min_overhead_solution_reproduces_table_2b() {
+        let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+        let solution = solve(
+            &problem,
+            DesignGoal::MinimizeOverheadBandwidth,
+            &RegionConfig::paper_figure4(),
+        )
+        .unwrap();
+        let rows = solution.table2_rows();
+        assert!((rows.length.period - 2.966).abs() < 0.01);
+        assert!((rows.length.useful_ft - 0.820).abs() < 0.006);
+        assert!((rows.length.useful_fs - 1.281).abs() < 0.006);
+        assert!((rows.length.useful_nf - 0.815).abs() < 0.006);
+        assert!(rows.length.slack.abs() < 0.01);
+        assert!((rows.utilization.overhead - 0.017).abs() < 0.003);
+        assert!((rows.utilization.ft - 0.276).abs() < 0.005);
+        assert!((rows.utilization.fs - 0.432).abs() < 0.006);
+        assert!((rows.utilization.nf - 0.275).abs() < 0.005);
+        assert!(solution.covers_requirements());
+    }
+
+    #[test]
+    fn max_slack_solution_reproduces_table_2c() {
+        let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+        let solution = solve(
+            &problem,
+            DesignGoal::MaximizeSlackBandwidth,
+            &RegionConfig::paper_figure4(),
+        )
+        .unwrap();
+        let rows = solution.table2_rows();
+        assert!((rows.length.period - 0.855).abs() < 0.02, "P = {:.4}", rows.length.period);
+        assert!((rows.length.useful_ft - 0.230).abs() < 0.01);
+        assert!((rows.length.useful_fs - 0.252).abs() < 0.01);
+        assert!((rows.length.useful_nf - 0.220).abs() < 0.01);
+        assert!((rows.length.slack - 0.103).abs() < 0.01);
+        assert!((rows.utilization.slack - 0.121).abs() < 0.006);
+        assert!(solution.covers_requirements());
+    }
+
+    #[test]
+    fn spare_bandwidth_is_nonnegative_for_valid_designs() {
+        let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+        for goal in [DesignGoal::MinimizeOverheadBandwidth, DesignGoal::MaximizeSlackBandwidth] {
+            let solution = solve(&problem, goal, &RegionConfig::paper_figure4()).unwrap();
+            let spare = solution.spare_bandwidth();
+            for mode in Mode::ALL {
+                assert!(spare[mode] >= -1e-9, "{goal:?} {mode}");
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+        let solution = solve(
+            &problem,
+            DesignGoal::FixedPeriod(1.0),
+            &RegionConfig::paper_figure4(),
+        )
+        .unwrap();
+        let json = serde_json::to_string(&solution).unwrap();
+        let back: DesignSolution = serde_json::from_str(&json).unwrap();
+        // JSON float formatting may lose the last bit; compare with a
+        // tolerance rather than exact equality.
+        assert_eq!(back.goal, solution.goal);
+        assert_eq!(back.algorithm, solution.algorithm);
+        assert!((back.period - solution.period).abs() < 1e-12);
+        assert!((back.allocation.slack - solution.allocation.slack).abs() < 1e-9);
+        for mode in Mode::ALL {
+            assert!((back.allocation.useful[mode] - solution.allocation.useful[mode]).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Grouping of the four physical cores into logical channels, one layout
+//! per operating mode (§2.4).
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::{Mode, PROCESSOR_COUNT};
+
+use crate::cpu::CoreId;
+
+/// The assignment of physical cores to logical channels in one mode.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelLayout {
+    /// The mode this layout realises.
+    pub mode: Mode,
+    /// `groups[c]` lists the cores ganged into channel `c`.
+    pub groups: Vec<Vec<CoreId>>,
+}
+
+impl ChannelLayout {
+    /// The canonical layout for a mode:
+    ///
+    /// * FT — one channel with all four cores (`{0,1,2,3}`);
+    /// * FS — two channels `{0,1}` and `{2,3}`;
+    /// * NF — four singleton channels.
+    pub fn canonical(mode: Mode) -> Self {
+        let groups = match mode {
+            Mode::FaultTolerant => vec![vec![CoreId(0), CoreId(1), CoreId(2), CoreId(3)]],
+            Mode::FailSilent => {
+                vec![vec![CoreId(0), CoreId(1)], vec![CoreId(2), CoreId(3)]]
+            }
+            Mode::NonFaultTolerant => {
+                (0..PROCESSOR_COUNT).map(|i| vec![CoreId(i)]).collect()
+            }
+        };
+        ChannelLayout { mode, groups }
+    }
+
+    /// Number of logical channels in this layout.
+    pub fn channel_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The cores belonging to channel `channel`.
+    pub fn cores_of(&self, channel: usize) -> &[CoreId] {
+        &self.groups[channel]
+    }
+
+    /// The channel a given core belongs to, if any.
+    pub fn channel_of_core(&self, core: CoreId) -> Option<usize> {
+        self.groups.iter().position(|g| g.contains(&core))
+    }
+
+    /// Validates that the layout uses each of the four cores exactly once
+    /// and matches the mode's expected channel count.
+    pub fn is_valid(&self) -> bool {
+        let mut seen = [false; PROCESSOR_COUNT];
+        let mut total = 0;
+        for group in &self.groups {
+            for &CoreId(c) in group {
+                if c >= PROCESSOR_COUNT || seen[c] {
+                    return false;
+                }
+                seen[c] = true;
+                total += 1;
+            }
+        }
+        total == PROCESSOR_COUNT && self.groups.len() == self.mode.channels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_layouts_are_valid_and_match_mode_channel_counts() {
+        for mode in Mode::ALL {
+            let layout = ChannelLayout::canonical(mode);
+            assert!(layout.is_valid(), "{mode}");
+            assert_eq!(layout.channel_count(), mode.channels());
+        }
+    }
+
+    #[test]
+    fn ft_layout_gangs_all_cores() {
+        let layout = ChannelLayout::canonical(Mode::FaultTolerant);
+        assert_eq!(layout.cores_of(0).len(), 4);
+        for c in 0..4 {
+            assert_eq!(layout.channel_of_core(CoreId(c)), Some(0));
+        }
+    }
+
+    #[test]
+    fn fs_layout_pairs_cores() {
+        let layout = ChannelLayout::canonical(Mode::FailSilent);
+        assert_eq!(layout.cores_of(0), &[CoreId(0), CoreId(1)]);
+        assert_eq!(layout.cores_of(1), &[CoreId(2), CoreId(3)]);
+        assert_eq!(layout.channel_of_core(CoreId(3)), Some(1));
+    }
+
+    #[test]
+    fn nf_layout_isolates_cores() {
+        let layout = ChannelLayout::canonical(Mode::NonFaultTolerant);
+        for c in 0..4 {
+            assert_eq!(layout.cores_of(c), &[CoreId(c)]);
+        }
+        assert_eq!(layout.channel_of_core(CoreId(9)), None);
+    }
+
+    #[test]
+    fn invalid_layouts_are_detected() {
+        let duplicate = ChannelLayout {
+            mode: Mode::FailSilent,
+            groups: vec![vec![CoreId(0), CoreId(0)], vec![CoreId(2), CoreId(3)]],
+        };
+        assert!(!duplicate.is_valid());
+        let missing = ChannelLayout {
+            mode: Mode::FailSilent,
+            groups: vec![vec![CoreId(0), CoreId(1)], vec![CoreId(2)]],
+        };
+        assert!(!missing.is_valid());
+        let wrong_count = ChannelLayout {
+            mode: Mode::FaultTolerant,
+            groups: vec![vec![CoreId(0), CoreId(1)], vec![CoreId(2), CoreId(3)]],
+        };
+        assert!(!wrong_count.is_valid());
+        let out_of_range = ChannelLayout {
+            mode: Mode::NonFaultTolerant,
+            groups: vec![vec![CoreId(0)], vec![CoreId(1)], vec![CoreId(2)], vec![CoreId(7)]],
+        };
+        assert!(!out_of_range.is_valid());
+    }
+}

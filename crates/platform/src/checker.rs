@@ -1,0 +1,213 @@
+//! The checker of Figure 1: the hardware block that compares the outputs
+//! of the cores ganged into a channel before granting the bus/memory
+//! access.
+//!
+//! * With **four** (or three) replicas the checker can vote: the majority
+//!   value is committed and a dissenting core is reported (fault masked).
+//! * With **two** replicas the checker can only compare: on a mismatch the
+//!   access is blocked and the channel is silenced (fault detected).
+//! * With **one** replica there is nothing to compare: the value is
+//!   committed as-is (a fault may propagate).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::cpu::OutputWord;
+
+/// The verdict of the checker for one work unit on one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckerVerdict {
+    /// All replicas agreed; the value is committed.
+    Agreement {
+        /// The committed value.
+        value: OutputWord,
+    },
+    /// Replicas disagreed but a strict majority existed; the majority value
+    /// is committed and the fault is masked.
+    MajorityVote {
+        /// The committed (majority) value.
+        value: OutputWord,
+        /// Number of dissenting replicas.
+        dissenters: usize,
+    },
+    /// Replicas disagreed with no strict majority (two-replica channel, or
+    /// a tie): the access is blocked and the channel is silenced.
+    Blocked,
+    /// Single replica: the value is committed without any check.
+    Unchecked {
+        /// The committed value.
+        value: OutputWord,
+    },
+}
+
+impl CheckerVerdict {
+    /// The value that reaches the shared memory, if any.
+    pub fn committed_value(&self) -> Option<OutputWord> {
+        match self {
+            CheckerVerdict::Agreement { value }
+            | CheckerVerdict::MajorityVote { value, .. }
+            | CheckerVerdict::Unchecked { value } => Some(*value),
+            CheckerVerdict::Blocked => None,
+        }
+    }
+
+    /// Whether the checker observed (and therefore detected) a divergence.
+    pub fn fault_observed(&self) -> bool {
+        matches!(self, CheckerVerdict::MajorityVote { .. } | CheckerVerdict::Blocked)
+    }
+}
+
+/// Running statistics of one checker instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckerStats {
+    /// Comparisons where all replicas agreed.
+    pub agreements: u64,
+    /// Comparisons resolved by majority vote (fault masked).
+    pub votes: u64,
+    /// Comparisons that blocked the access (fault detected, channel
+    /// silenced).
+    pub blocks: u64,
+    /// Values committed without any replica to compare against.
+    pub unchecked: u64,
+}
+
+/// The checker itself. It is stateless apart from its statistics: every
+/// comparison is independent, as in the hardware block it models.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Checker {
+    stats: CheckerStats,
+}
+
+impl Checker {
+    /// Creates a checker with zeroed statistics.
+    pub fn new() -> Self {
+        Checker::default()
+    }
+
+    /// Compares the outputs presented by the replicas of one channel and
+    /// returns the verdict. `outputs` must contain one word per replica
+    /// (1, 2, 3 or 4 entries).
+    pub fn check(&mut self, outputs: &[OutputWord]) -> CheckerVerdict {
+        assert!(!outputs.is_empty(), "a channel always has at least one core");
+        if outputs.len() == 1 {
+            self.stats.unchecked += 1;
+            return CheckerVerdict::Unchecked { value: outputs[0] };
+        }
+        if outputs.iter().all(|&o| o == outputs[0]) {
+            self.stats.agreements += 1;
+            return CheckerVerdict::Agreement { value: outputs[0] };
+        }
+        // Disagreement: look for a strict majority.
+        let mut counts: HashMap<OutputWord, usize> = HashMap::with_capacity(outputs.len());
+        for &o in outputs {
+            *counts.entry(o).or_insert(0) += 1;
+        }
+        let (&value, &count) =
+            counts.iter().max_by_key(|&(_, &c)| c).expect("at least one output");
+        if count * 2 > outputs.len() {
+            self.stats.votes += 1;
+            CheckerVerdict::MajorityVote { value, dissenters: outputs.len() - count }
+        } else {
+            self.stats.blocks += 1;
+            CheckerVerdict::Blocked
+        }
+    }
+
+    /// The accumulated statistics.
+    pub fn stats(&self) -> CheckerStats {
+        self.stats
+    }
+
+    /// Resets the statistics (used when the platform is reconfigured for a
+    /// fresh experiment).
+    pub fn reset_stats(&mut self) {
+        self.stats = CheckerStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(v: u64) -> OutputWord {
+        OutputWord(v)
+    }
+
+    #[test]
+    fn agreement_commits_the_common_value() {
+        let mut c = Checker::new();
+        let verdict = c.check(&[w(7), w(7), w(7), w(7)]);
+        assert_eq!(verdict, CheckerVerdict::Agreement { value: w(7) });
+        assert_eq!(verdict.committed_value(), Some(w(7)));
+        assert!(!verdict.fault_observed());
+        assert_eq!(c.stats().agreements, 1);
+    }
+
+    #[test]
+    fn one_dissenter_in_four_is_outvoted() {
+        let mut c = Checker::new();
+        let verdict = c.check(&[w(7), w(9), w(7), w(7)]);
+        assert_eq!(verdict, CheckerVerdict::MajorityVote { value: w(7), dissenters: 1 });
+        assert_eq!(verdict.committed_value(), Some(w(7)));
+        assert!(verdict.fault_observed());
+        assert_eq!(c.stats().votes, 1);
+    }
+
+    #[test]
+    fn mismatch_in_a_pair_blocks_the_access() {
+        let mut c = Checker::new();
+        let verdict = c.check(&[w(7), w(9)]);
+        assert_eq!(verdict, CheckerVerdict::Blocked);
+        assert_eq!(verdict.committed_value(), None);
+        assert!(verdict.fault_observed());
+        assert_eq!(c.stats().blocks, 1);
+    }
+
+    #[test]
+    fn two_versus_two_tie_blocks() {
+        let mut c = Checker::new();
+        let verdict = c.check(&[w(7), w(7), w(9), w(9)]);
+        assert_eq!(verdict, CheckerVerdict::Blocked);
+    }
+
+    #[test]
+    fn three_replica_channel_votes_out_one_dissenter() {
+        // The paper notes that 3 cores are enough for an FT channel.
+        let mut c = Checker::new();
+        let verdict = c.check(&[w(7), w(9), w(7)]);
+        assert_eq!(verdict, CheckerVerdict::MajorityVote { value: w(7), dissenters: 1 });
+    }
+
+    #[test]
+    fn single_replica_is_committed_unchecked() {
+        let mut c = Checker::new();
+        let verdict = c.check(&[w(13)]);
+        assert_eq!(verdict, CheckerVerdict::Unchecked { value: w(13) });
+        assert!(!verdict.fault_observed());
+        assert_eq!(c.stats().unchecked, 1);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut c = Checker::new();
+        c.check(&[w(1), w(1)]);
+        c.check(&[w(1), w(2)]);
+        c.check(&[w(3)]);
+        c.check(&[w(4), w(4), w(4), w(5)]);
+        let s = c.stats();
+        assert_eq!(
+            (s.agreements, s.blocks, s.unchecked, s.votes),
+            (1, 1, 1, 1)
+        );
+        c.reset_stats();
+        assert_eq!(c.stats(), CheckerStats::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn empty_channel_is_a_programming_error() {
+        let mut c = Checker::new();
+        let _ = c.check(&[]);
+    }
+}

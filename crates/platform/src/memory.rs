@@ -1,0 +1,133 @@
+//! The shared memory behind the checker.
+//!
+//! The whole point of the lock-step arrangement is that *no wrong value
+//! ever reaches the shared memory* while a protected mode is active. The
+//! memory model therefore keeps a log of committed writes together with
+//! the golden (fault-free) value each write should have carried, so that
+//! experiments can audit memory integrity after a fault-injection campaign.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::Time;
+
+use crate::cpu::OutputWord;
+
+/// One committed write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommittedWrite {
+    /// Simulated time of the commit.
+    pub at: Time,
+    /// Identifier of the task whose work unit produced the value.
+    pub task_seed: u64,
+    /// Position of the work unit inside its job.
+    pub unit_index: u64,
+    /// The value that was committed.
+    pub value: OutputWord,
+    /// The value a fault-free execution would have committed.
+    pub golden: OutputWord,
+}
+
+impl CommittedWrite {
+    /// Whether the committed value matches the fault-free value.
+    pub fn is_correct(&self) -> bool {
+        self.value == self.golden
+    }
+}
+
+/// The shared memory write log.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SharedMemory {
+    writes: Vec<CommittedWrite>,
+    corrupted_writes: u64,
+}
+
+impl SharedMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        SharedMemory::default()
+    }
+
+    /// Records a committed write.
+    pub fn commit(&mut self, write: CommittedWrite) {
+        if !write.is_correct() {
+            self.corrupted_writes += 1;
+        }
+        self.writes.push(write);
+    }
+
+    /// All committed writes, in commit order.
+    pub fn writes(&self) -> &[CommittedWrite] {
+        &self.writes
+    }
+
+    /// Number of committed writes.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True if nothing has been committed yet.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Number of writes whose committed value differs from the golden
+    /// value — the memory-integrity violations.
+    pub fn corrupted_writes(&self) -> u64 {
+        self.corrupted_writes
+    }
+
+    /// True if every committed value equals its golden value.
+    pub fn integrity_preserved(&self) -> bool {
+        self.corrupted_writes == 0
+    }
+
+    /// Clears the log (fresh experiment on the same platform).
+    pub fn clear(&mut self) {
+        self.writes.clear();
+        self.corrupted_writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write(value: u64, golden: u64) -> CommittedWrite {
+        CommittedWrite {
+            at: Time::from_ticks(0),
+            task_seed: 1,
+            unit_index: 0,
+            value: OutputWord(value),
+            golden: OutputWord(golden),
+        }
+    }
+
+    #[test]
+    fn correct_writes_preserve_integrity() {
+        let mut m = SharedMemory::new();
+        m.commit(write(5, 5));
+        m.commit(write(9, 9));
+        assert_eq!(m.len(), 2);
+        assert!(m.integrity_preserved());
+        assert_eq!(m.corrupted_writes(), 0);
+    }
+
+    #[test]
+    fn corrupted_writes_are_counted() {
+        let mut m = SharedMemory::new();
+        m.commit(write(5, 5));
+        m.commit(write(5, 7));
+        assert!(!m.integrity_preserved());
+        assert_eq!(m.corrupted_writes(), 1);
+        assert!(!m.writes()[1].is_correct());
+    }
+
+    #[test]
+    fn clear_resets_the_log() {
+        let mut m = SharedMemory::new();
+        m.commit(write(1, 2));
+        m.clear();
+        assert!(m.is_empty());
+        assert!(m.integrity_preserved());
+    }
+}

@@ -1,0 +1,393 @@
+//! The assembled reconfigurable platform of Figure 1.
+//!
+//! [`Platform`] owns the four cores, the checker and the shared memory,
+//! and exposes the two operations the rest of the system needs:
+//!
+//! * **reconfiguration** ([`Platform::set_mode`]) — change the channel
+//!   layout on line, as the checker of the paper does at every mode
+//!   switch;
+//! * **execution** ([`Platform::execute_unit`] / [`Platform::run_job`]) —
+//!   run work units on a channel, with every replica of the channel
+//!   executing the same unit in lock-step and the checker adjudicating
+//!   the result before it reaches the shared memory.
+//!
+//! Fault injection is driven externally (by a
+//! [`crate::fault::FaultInjector`] or directly by tests) through
+//! [`Platform::inject_fault`] and [`Platform::clear_fault`].
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::{Mode, Time, PROCESSOR_COUNT};
+
+use crate::channel::ChannelLayout;
+use crate::checker::{Checker, CheckerStats, CheckerVerdict};
+use crate::cpu::{golden_output, Core, CoreId, OutputWord};
+use crate::fault::Fault;
+use crate::memory::{CommittedWrite, SharedMemory};
+
+/// Static configuration of the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// The mode the platform boots in.
+    pub initial_mode: Mode,
+    /// Whether committed writes are also appended to the shared-memory log
+    /// (disable for very long campaigns to keep memory bounded; integrity
+    /// counters are maintained either way).
+    pub record_writes: bool,
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        PlatformConfig { initial_mode: Mode::FaultTolerant, record_writes: true }
+    }
+}
+
+/// Aggregate statistics of one platform instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlatformStats {
+    /// Work units executed (per channel invocation, not per replica).
+    pub units_executed: u64,
+    /// Units whose result was committed after full agreement.
+    pub units_agreed: u64,
+    /// Units whose result was committed by majority vote (fault masked).
+    pub units_masked: u64,
+    /// Units whose commit was blocked by the comparator (channel silenced).
+    pub units_blocked: u64,
+    /// Units committed without any check (NF mode).
+    pub units_unchecked: u64,
+    /// Committed values that differ from the fault-free value.
+    pub wrong_commits: u64,
+    /// Faults injected into cores.
+    pub faults_injected: u64,
+    /// Mode switches performed.
+    pub reconfigurations: u64,
+}
+
+/// Result of running a whole job (a sequence of work units) on a channel.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobExecutionReport {
+    /// Units whose result was committed (correctly or not).
+    pub committed_units: u64,
+    /// Units blocked by the comparator.
+    pub blocked_units: u64,
+    /// Units for which the checker observed a divergence.
+    pub divergent_units: u64,
+    /// Units that committed a wrong value.
+    pub wrong_units: u64,
+}
+
+impl JobExecutionReport {
+    /// Whether the job completed with every unit committed correctly.
+    pub fn completed_correctly(&self) -> bool {
+        self.blocked_units == 0 && self.wrong_units == 0
+    }
+}
+
+/// The reconfigurable four-core platform.
+#[derive(Debug, Clone)]
+pub struct Platform {
+    cores: Vec<Core>,
+    checker: Checker,
+    memory: SharedMemory,
+    layout: ChannelLayout,
+    config: PlatformConfig,
+    stats: PlatformStats,
+}
+
+impl Platform {
+    /// Builds a platform in the configured initial mode.
+    pub fn new(config: PlatformConfig) -> Self {
+        Platform {
+            cores: (0..PROCESSOR_COUNT).map(|i| Core::new(CoreId(i))).collect(),
+            checker: Checker::new(),
+            memory: SharedMemory::new(),
+            layout: ChannelLayout::canonical(config.initial_mode),
+            config,
+            stats: PlatformStats::default(),
+        }
+    }
+
+    /// The mode the platform is currently configured in.
+    pub fn mode(&self) -> Mode {
+        self.layout.mode
+    }
+
+    /// The current channel layout.
+    pub fn layout(&self) -> &ChannelLayout {
+        &self.layout
+    }
+
+    /// Number of channels available in the current mode.
+    pub fn channel_count(&self) -> usize {
+        self.layout.channel_count()
+    }
+
+    /// Reconfigures the platform into `mode`. Reconfiguration
+    /// re-synchronises the lock-step state of every core (the paper's mode
+    /// switch includes task-state synchronisation), so any lingering
+    /// corruption from a past transient is cleared.
+    pub fn set_mode(&mut self, mode: Mode) {
+        if mode == self.layout.mode {
+            return;
+        }
+        self.layout = ChannelLayout::canonical(mode);
+        for core in &mut self.cores {
+            core.recover();
+        }
+        self.stats.reconfigurations += 1;
+    }
+
+    /// Injects a transient fault into the struck core.
+    pub fn inject_fault(&mut self, fault: &Fault) {
+        self.cores[fault.core.0].inject_fault(fault.mask);
+        self.stats.faults_injected += 1;
+    }
+
+    /// Clears the corruption of a core (end of the transient window).
+    pub fn clear_fault(&mut self, core: CoreId) {
+        self.cores[core.0].recover();
+    }
+
+    /// Whether any core currently carries corrupted state.
+    pub fn any_core_corrupted(&self) -> bool {
+        self.cores.iter().any(Core::is_corrupted)
+    }
+
+    /// Executes one work unit of `task_seed` on channel `channel` at time
+    /// `now`: every replica of the channel executes it, the checker
+    /// adjudicates and an approved value is committed to the shared
+    /// memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range for the current mode.
+    pub fn execute_unit(
+        &mut self,
+        channel: usize,
+        task_seed: u64,
+        unit_index: u64,
+        now: Time,
+    ) -> CheckerVerdict {
+        assert!(
+            channel < self.layout.channel_count(),
+            "channel {channel} does not exist in {} mode",
+            self.layout.mode
+        );
+        let outputs: Vec<OutputWord> = self
+            .layout
+            .groups[channel]
+            .iter()
+            .map(|&core| self.cores[core.0].execute_unit(task_seed, unit_index))
+            .collect();
+        let verdict = self.checker.check(&outputs);
+        self.stats.units_executed += 1;
+        match verdict {
+            CheckerVerdict::Agreement { .. } => self.stats.units_agreed += 1,
+            CheckerVerdict::MajorityVote { .. } => self.stats.units_masked += 1,
+            CheckerVerdict::Blocked => self.stats.units_blocked += 1,
+            CheckerVerdict::Unchecked { .. } => self.stats.units_unchecked += 1,
+        }
+        if let Some(value) = verdict.committed_value() {
+            let golden = golden_output(task_seed, unit_index);
+            if value != golden {
+                self.stats.wrong_commits += 1;
+            }
+            if self.config.record_writes {
+                self.memory.commit(CommittedWrite { at: now, task_seed, unit_index, value, golden });
+            }
+        }
+        verdict
+    }
+
+    /// Runs a whole job of `units` work units on `channel`, starting at
+    /// `start` (each unit is stamped with the same start time — unit-level
+    /// timing is irrelevant to the fault semantics).
+    pub fn run_job(
+        &mut self,
+        channel: usize,
+        task_seed: u64,
+        units: u64,
+        start: Time,
+    ) -> JobExecutionReport {
+        let mut report = JobExecutionReport::default();
+        for unit in 0..units {
+            let verdict = self.execute_unit(channel, task_seed, unit, start);
+            if verdict.fault_observed() {
+                report.divergent_units += 1;
+            }
+            match verdict {
+                CheckerVerdict::Blocked => report.blocked_units += 1,
+                other => {
+                    report.committed_units += 1;
+                    if other.committed_value() != Some(golden_output(task_seed, unit)) {
+                        report.wrong_units += 1;
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// The shared memory write log.
+    pub fn memory(&self) -> &SharedMemory {
+        &self.memory
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> PlatformStats {
+        self.stats
+    }
+
+    /// The checker's own counters.
+    pub fn checker_stats(&self) -> CheckerStats {
+        self.checker.stats()
+    }
+
+    /// Clears memory, statistics and corruption for a fresh experiment,
+    /// keeping the current mode.
+    pub fn reset(&mut self) {
+        self.memory.clear();
+        self.checker.reset_stats();
+        self.stats = PlatformStats::default();
+        for core in &mut self.cores {
+            core.recover();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsched_task::Duration;
+
+    fn platform(mode: Mode) -> Platform {
+        Platform::new(PlatformConfig { initial_mode: mode, record_writes: true })
+    }
+
+    fn fault_on(core: usize) -> Fault {
+        Fault {
+            at: Time::ZERO,
+            duration: Duration::from_units(1.0),
+            core: CoreId(core),
+            mask: 0xABCD,
+        }
+    }
+
+    #[test]
+    fn fault_free_execution_commits_correct_results_in_every_mode() {
+        for mode in Mode::ALL {
+            let mut p = platform(mode);
+            for channel in 0..p.channel_count() {
+                let report = p.run_job(channel, 11, 10, Time::ZERO);
+                assert!(report.completed_correctly(), "{mode} channel {channel}");
+                assert_eq!(report.committed_units, 10);
+            }
+            assert!(p.memory().integrity_preserved());
+            assert_eq!(p.stats().wrong_commits, 0);
+        }
+    }
+
+    #[test]
+    fn ft_mode_masks_a_single_core_fault() {
+        let mut p = platform(Mode::FaultTolerant);
+        p.inject_fault(&fault_on(2));
+        let report = p.run_job(0, 42, 20, Time::ZERO);
+        assert!(report.completed_correctly());
+        assert_eq!(report.divergent_units, 20);
+        assert_eq!(report.wrong_units, 0);
+        assert!(p.memory().integrity_preserved());
+        assert_eq!(p.stats().units_masked, 20);
+    }
+
+    #[test]
+    fn fs_mode_silences_the_faulty_pair_but_not_the_other() {
+        let mut p = platform(Mode::FailSilent);
+        p.inject_fault(&fault_on(1)); // pair {0,1} is hit
+        let hit = p.run_job(0, 42, 10, Time::ZERO);
+        assert_eq!(hit.blocked_units, 10);
+        assert_eq!(hit.committed_units, 0);
+        assert!(!hit.completed_correctly());
+        let clean = p.run_job(1, 43, 10, Time::ZERO);
+        assert!(clean.completed_correctly());
+        // Nothing wrong ever reached the memory.
+        assert!(p.memory().integrity_preserved());
+        assert_eq!(p.stats().units_blocked, 10);
+    }
+
+    #[test]
+    fn nf_mode_lets_wrong_results_through_on_the_faulty_core_only() {
+        let mut p = platform(Mode::NonFaultTolerant);
+        p.inject_fault(&fault_on(3));
+        let clean = p.run_job(0, 7, 5, Time::ZERO);
+        assert!(clean.completed_correctly());
+        let dirty = p.run_job(3, 8, 5, Time::ZERO);
+        assert_eq!(dirty.wrong_units, 5);
+        assert!(!p.memory().integrity_preserved());
+        assert_eq!(p.memory().corrupted_writes(), 5);
+        assert_eq!(p.stats().wrong_commits, 5);
+    }
+
+    #[test]
+    fn clearing_the_fault_restores_correct_execution() {
+        let mut p = platform(Mode::NonFaultTolerant);
+        p.inject_fault(&fault_on(0));
+        assert!(p.any_core_corrupted());
+        p.clear_fault(CoreId(0));
+        assert!(!p.any_core_corrupted());
+        let report = p.run_job(0, 9, 5, Time::ZERO);
+        assert!(report.completed_correctly());
+    }
+
+    #[test]
+    fn mode_switch_reconfigures_channels_and_resynchronises_cores() {
+        let mut p = platform(Mode::FaultTolerant);
+        assert_eq!(p.channel_count(), 1);
+        p.inject_fault(&fault_on(1));
+        p.set_mode(Mode::NonFaultTolerant);
+        assert_eq!(p.channel_count(), 4);
+        assert_eq!(p.mode(), Mode::NonFaultTolerant);
+        // The switch re-synchronised state, so the old corruption is gone.
+        assert!(!p.any_core_corrupted());
+        assert_eq!(p.stats().reconfigurations, 1);
+        // Switching to the same mode is a no-op.
+        p.set_mode(Mode::NonFaultTolerant);
+        assert_eq!(p.stats().reconfigurations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist")]
+    fn out_of_range_channel_panics() {
+        let mut p = platform(Mode::FaultTolerant);
+        let _ = p.execute_unit(1, 1, 0, Time::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_state_but_keeps_the_mode() {
+        let mut p = platform(Mode::FailSilent);
+        p.inject_fault(&fault_on(0));
+        let _ = p.run_job(0, 3, 4, Time::ZERO);
+        p.reset();
+        assert_eq!(p.stats(), PlatformStats::default());
+        assert!(p.memory().is_empty());
+        assert_eq!(p.mode(), Mode::FailSilent);
+        assert!(!p.any_core_corrupted());
+    }
+
+    #[test]
+    fn write_log_can_be_disabled() {
+        let mut p =
+            Platform::new(PlatformConfig { initial_mode: Mode::NonFaultTolerant, record_writes: false });
+        p.inject_fault(&fault_on(0));
+        let _ = p.run_job(0, 3, 4, Time::ZERO);
+        assert!(p.memory().is_empty());
+        // Integrity accounting still works through the stats counter.
+        assert_eq!(p.stats().wrong_commits, 4);
+    }
+
+    #[test]
+    fn checker_stats_are_exposed() {
+        let mut p = platform(Mode::FaultTolerant);
+        let _ = p.run_job(0, 1, 3, Time::ZERO);
+        assert_eq!(p.checker_stats().agreements, 3);
+    }
+}

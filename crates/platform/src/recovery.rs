@@ -1,0 +1,197 @@
+//! Fault recovery policies.
+//!
+//! The paper deliberately leaves recovery out of scope but sketches its
+//! three steps in §2.1: wait for the transient to end, correct the data
+//! errors left behind, and restart the unprotected tasks that were
+//! affected. This module implements that sketch as explicit, testable
+//! policies so the fault-injection experiments can also quantify the
+//! *recovery load* each policy would impose:
+//!
+//! * [`RecoveryPolicy::None`] — do nothing (the baseline the paper's
+//!   analysis assumes: lost FS work and corrupted NF results are simply
+//!   accepted);
+//! * [`RecoveryPolicy::RestartAffected`] — re-execute every silenced FS job
+//!   and every corrupted NF job once the fault has cleared;
+//! * [`RecoveryPolicy::CheckpointRollback`] — charge only a fraction of
+//!   each affected job (work since the last checkpoint) plus a fixed
+//!   rollback cost.
+//!
+//! The planner does not modify the schedule; it computes the *additional
+//! demand* recovery would inject, which the designer can then compare
+//! against the slack bandwidth of Table 2(c) — exactly the kind of
+//! trade-off the paper's flexible scheme is meant to support.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::Duration;
+
+use crate::outcome::JobOutcome;
+
+/// How the system reacts to jobs that were silenced or corrupted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RecoveryPolicy {
+    /// Accept the loss / corruption (the paper's analysis baseline).
+    None,
+    /// Re-execute every affected job from the start.
+    RestartAffected,
+    /// Roll back to the last checkpoint: re-execute `resume_fraction` of
+    /// the job plus a fixed `rollback_cost`.
+    CheckpointRollback {
+        /// Fraction of the job's WCET that must be re-executed (0..=1).
+        resume_fraction: f64,
+        /// Fixed cost of restoring the checkpoint, in time units.
+        rollback_cost: f64,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Extra execution demand recovery adds for one affected job of the
+    /// given WCET.
+    pub fn recovery_demand(&self, wcet: Duration) -> Duration {
+        match *self {
+            RecoveryPolicy::None => Duration::ZERO,
+            RecoveryPolicy::RestartAffected => wcet,
+            RecoveryPolicy::CheckpointRollback { resume_fraction, rollback_cost } => {
+                let fraction = resume_fraction.clamp(0.0, 1.0);
+                Duration::from_units(wcet.as_units() * fraction + rollback_cost.max(0.0))
+            }
+        }
+    }
+
+    /// Whether this policy reacts to the given job outcome at all. Masked
+    /// and fault-free jobs never need recovery; silenced jobs lost their
+    /// result; corrupted jobs additionally need their effects undone.
+    pub fn applies_to(&self, outcome: JobOutcome) -> bool {
+        if matches!(self, RecoveryPolicy::None) {
+            return false;
+        }
+        matches!(outcome, JobOutcome::SilencedLost | JobOutcome::WrongResult)
+    }
+}
+
+/// Aggregated recovery demand of one simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryPlan {
+    /// Number of jobs that need to be re-executed (fully or partially).
+    pub jobs_to_recover: u64,
+    /// Total extra execution time the recovery injects.
+    pub extra_demand: Duration,
+    /// Extra demand expressed as bandwidth over the observed horizon.
+    pub extra_bandwidth: f64,
+}
+
+/// Computes the recovery plan for a set of `(outcome, wcet)` pairs observed
+/// over `horizon` time units.
+pub fn plan_recovery(
+    policy: RecoveryPolicy,
+    affected: impl IntoIterator<Item = (JobOutcome, Duration)>,
+    horizon: f64,
+) -> RecoveryPlan {
+    let mut plan = RecoveryPlan::default();
+    for (outcome, wcet) in affected {
+        if !policy.applies_to(outcome) {
+            continue;
+        }
+        plan.jobs_to_recover += 1;
+        plan.extra_demand += policy.recovery_demand(wcet);
+    }
+    plan.extra_bandwidth = if horizon > 0.0 {
+        plan.extra_demand.as_units() / horizon
+    } else {
+        0.0
+    };
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(units: f64) -> Duration {
+        Duration::from_units(units)
+    }
+
+    #[test]
+    fn none_policy_never_recovers() {
+        let plan = plan_recovery(
+            RecoveryPolicy::None,
+            vec![(JobOutcome::WrongResult, d(2.0)), (JobOutcome::SilencedLost, d(1.0))],
+            100.0,
+        );
+        assert_eq!(plan.jobs_to_recover, 0);
+        assert_eq!(plan.extra_demand, Duration::ZERO);
+        assert_eq!(plan.extra_bandwidth, 0.0);
+    }
+
+    #[test]
+    fn restart_policy_reexecutes_full_wcet() {
+        let policy = RecoveryPolicy::RestartAffected;
+        assert_eq!(policy.recovery_demand(d(2.5)), d(2.5));
+        let plan = plan_recovery(
+            policy,
+            vec![
+                (JobOutcome::WrongResult, d(2.0)),
+                (JobOutcome::SilencedLost, d(1.0)),
+                (JobOutcome::CorrectMasked, d(3.0)),
+                (JobOutcome::CorrectNoFault, d(3.0)),
+            ],
+            100.0,
+        );
+        assert_eq!(plan.jobs_to_recover, 2);
+        assert!((plan.extra_demand.as_units() - 3.0).abs() < 1e-9);
+        assert!((plan.extra_bandwidth - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn checkpoint_policy_charges_fraction_plus_rollback() {
+        let policy =
+            RecoveryPolicy::CheckpointRollback { resume_fraction: 0.25, rollback_cost: 0.1 };
+        assert!((policy.recovery_demand(d(2.0)).as_units() - 0.6).abs() < 1e-9);
+        // Fractions are clamped to [0, 1] and negative costs ignored.
+        let weird =
+            RecoveryPolicy::CheckpointRollback { resume_fraction: 3.0, rollback_cost: -1.0 };
+        assert!((weird.recovery_demand(d(2.0)).as_units() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masked_and_clean_jobs_never_need_recovery() {
+        for policy in [
+            RecoveryPolicy::RestartAffected,
+            RecoveryPolicy::CheckpointRollback { resume_fraction: 0.5, rollback_cost: 0.0 },
+        ] {
+            assert!(!policy.applies_to(JobOutcome::CorrectNoFault));
+            assert!(!policy.applies_to(JobOutcome::CorrectMasked));
+            assert!(policy.applies_to(JobOutcome::SilencedLost));
+            assert!(policy.applies_to(JobOutcome::WrongResult));
+        }
+    }
+
+    #[test]
+    fn checkpointing_beats_restart_for_the_same_workload() {
+        let affected = vec![
+            (JobOutcome::WrongResult, d(2.0)),
+            (JobOutcome::SilencedLost, d(4.0)),
+            (JobOutcome::WrongResult, d(1.0)),
+        ];
+        let restart = plan_recovery(RecoveryPolicy::RestartAffected, affected.clone(), 50.0);
+        let checkpoint = plan_recovery(
+            RecoveryPolicy::CheckpointRollback { resume_fraction: 0.3, rollback_cost: 0.05 },
+            affected,
+            50.0,
+        );
+        assert_eq!(restart.jobs_to_recover, checkpoint.jobs_to_recover);
+        assert!(checkpoint.extra_demand < restart.extra_demand);
+        assert!(checkpoint.extra_bandwidth < restart.extra_bandwidth);
+    }
+
+    #[test]
+    fn zero_horizon_yields_zero_bandwidth() {
+        let plan = plan_recovery(
+            RecoveryPolicy::RestartAffected,
+            vec![(JobOutcome::WrongResult, d(1.0))],
+            0.0,
+        );
+        assert_eq!(plan.extra_bandwidth, 0.0);
+        assert_eq!(plan.jobs_to_recover, 1);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type for the simulation layer.
+
+use std::fmt;
+
+use ftsched_task::TaskModelError;
+
+/// Errors produced while configuring or running a simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The slot schedule is inconsistent (slots longer than the period,
+    /// zero period, negative overheads…).
+    InvalidSlotSchedule {
+        /// Human-readable description.
+        reason: String,
+    },
+    /// The underlying task model is invalid.
+    TaskModel(TaskModelError),
+    /// The simulation horizon is not positive.
+    InvalidHorizon,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidSlotSchedule { reason } => write!(f, "invalid slot schedule: {reason}"),
+            Self::TaskModel(e) => write!(f, "task model error: {e}"),
+            Self::InvalidHorizon => write!(f, "simulation horizon must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<TaskModelError> for SimError {
+    fn from(e: TaskModelError) -> Self {
+        SimError::TaskModel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e: SimError = TaskModelError::EmptyTaskSet.into();
+        assert!(e.to_string().contains("task model"));
+        assert!(SimError::InvalidHorizon.to_string().contains("horizon"));
+    }
+}

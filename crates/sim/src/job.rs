@@ -1,0 +1,145 @@
+//! Job instances: one activation of a sporadic task.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::{Duration, Task, TaskId, Time};
+
+/// Identifier of a job: the task plus the activation index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct JobId {
+    /// The task this job belongs to.
+    pub task: TaskId,
+    /// Zero-based activation index.
+    pub activation: u64,
+}
+
+/// One activation of a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Job {
+    /// Identifier (task, activation index).
+    pub id: JobId,
+    /// Release instant.
+    pub release: Time,
+    /// Absolute deadline.
+    pub deadline: Time,
+    /// Worst-case execution time of the job.
+    pub wcet: Duration,
+    /// Execution time still owed.
+    pub remaining: Duration,
+    /// Fixed priority of the owning task (smaller = higher priority); used
+    /// only by the fixed-priority queues.
+    pub priority: usize,
+}
+
+impl Job {
+    /// Builds the `activation`-th job of a task under the worst-case
+    /// (synchronous, strictly periodic) arrival pattern, with the given
+    /// fixed priority.
+    pub fn nth_of(task: &Task, activation: u64, priority: usize) -> Job {
+        let release = Time::ZERO + task.period_ticks() * activation;
+        Job {
+            id: JobId { task: task.id, activation },
+            release,
+            deadline: release + task.deadline_ticks(),
+            wcet: task.wcet_ticks(),
+            remaining: task.wcet_ticks(),
+            priority,
+        }
+    }
+
+    /// Whether the job has finished executing.
+    pub fn is_complete(&self) -> bool {
+        self.remaining.is_zero()
+    }
+
+    /// Executes the job for `amount`, returning the time actually consumed
+    /// (never more than the remaining work).
+    pub fn execute(&mut self, amount: Duration) -> Duration {
+        let consumed = amount.min(self.remaining);
+        self.remaining -= consumed;
+        consumed
+    }
+}
+
+/// Generates all jobs of the tasks in `tasks` released strictly before
+/// `horizon`, with priorities taken from the task's position in `tasks`
+/// (index 0 = highest priority).
+pub fn release_jobs(tasks: &[Task], horizon: Duration) -> Vec<Job> {
+    let horizon_time = Time::ZERO + horizon;
+    let mut jobs = Vec::new();
+    for (priority, task) in tasks.iter().enumerate() {
+        let mut activation = 0u64;
+        loop {
+            let job = Job::nth_of(task, activation, priority);
+            if job.release >= horizon_time {
+                break;
+            }
+            jobs.push(job);
+            activation += 1;
+        }
+    }
+    jobs.sort_by_key(|j| (j.release, j.id.task));
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsched_task::Mode;
+
+    fn task(id: u32, c: f64, t: f64) -> Task {
+        Task::implicit_deadline(id, c, t, Mode::NonFaultTolerant).unwrap()
+    }
+
+    #[test]
+    fn nth_job_has_periodic_release_and_deadline() {
+        let t = task(1, 1.0, 4.0);
+        let j0 = Job::nth_of(&t, 0, 0);
+        let j3 = Job::nth_of(&t, 3, 0);
+        assert_eq!(j0.release, Time::from_units(0.0));
+        assert_eq!(j0.deadline, Time::from_units(4.0));
+        assert_eq!(j3.release, Time::from_units(12.0));
+        assert_eq!(j3.deadline, Time::from_units(16.0));
+        assert_eq!(j3.id.activation, 3);
+    }
+
+    #[test]
+    fn execute_consumes_remaining_work() {
+        let t = task(1, 2.0, 4.0);
+        let mut j = Job::nth_of(&t, 0, 0);
+        assert!(!j.is_complete());
+        let used = j.execute(Duration::from_units(1.5));
+        assert_eq!(used.as_units(), 1.5);
+        let used = j.execute(Duration::from_units(5.0));
+        assert!((used.as_units() - 0.5).abs() < 1e-9);
+        assert!(j.is_complete());
+        assert_eq!(j.execute(Duration::from_units(1.0)), Duration::ZERO);
+    }
+
+    #[test]
+    fn release_jobs_covers_the_horizon_exclusively() {
+        let tasks = vec![task(1, 1.0, 4.0), task(2, 1.0, 6.0)];
+        let jobs = release_jobs(&tasks, Duration::from_units(12.0));
+        // Task 1 releases at 0, 4, 8; task 2 at 0, 6 → 5 jobs. Releases at
+        // exactly the horizon are excluded.
+        assert_eq!(jobs.len(), 5);
+        assert!(jobs.iter().all(|j| j.release < Time::from_units(12.0)));
+        // Sorted by release time.
+        for pair in jobs.windows(2) {
+            assert!(pair[0].release <= pair[1].release);
+        }
+    }
+
+    #[test]
+    fn priorities_follow_task_order() {
+        let tasks = vec![task(1, 1.0, 4.0), task(2, 1.0, 6.0)];
+        let jobs = release_jobs(&tasks, Duration::from_units(8.0));
+        for job in &jobs {
+            match job.id.task.0 {
+                1 => assert_eq!(job.priority, 0),
+                2 => assert_eq!(job.priority, 1),
+                _ => unreachable!(),
+            }
+        }
+    }
+}

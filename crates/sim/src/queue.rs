@@ -1,0 +1,134 @@
+//! Ready queues for the per-channel dispatchers.
+//!
+//! The engine keeps the set of released-but-unfinished jobs of one channel
+//! in a [`ReadyQueue`] and asks it which job to run next:
+//!
+//! * under **fixed priorities** (RM/DM) the job of the highest-priority
+//!   task wins, ties broken by earliest release then activation index;
+//! * under **EDF** the job with the earliest absolute deadline wins, ties
+//!   broken by task id so the schedule is deterministic.
+
+use ftsched_analysis::Algorithm;
+
+use crate::job::Job;
+
+/// The set of pending jobs of one channel, ordered by the dispatching
+/// policy.
+#[derive(Debug, Clone)]
+pub struct ReadyQueue {
+    algorithm: Algorithm,
+    jobs: Vec<Job>,
+}
+
+impl ReadyQueue {
+    /// Creates an empty queue for the given dispatching policy.
+    pub fn new(algorithm: Algorithm) -> Self {
+        ReadyQueue { algorithm, jobs: Vec::new() }
+    }
+
+    /// Adds a released job.
+    pub fn push(&mut self, job: Job) {
+        self.jobs.push(job);
+    }
+
+    /// Number of pending jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if no job is pending.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Index of the job that should run next, if any.
+    fn best_index(&self) -> Option<usize> {
+        if self.jobs.is_empty() {
+            return None;
+        }
+        let best = match self.algorithm {
+            Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic => self
+                .jobs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| (j.priority, j.release, j.id.activation, j.id.task)),
+            Algorithm::EarliestDeadlineFirst => self
+                .jobs
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, j)| (j.deadline, j.id.task, j.id.activation)),
+        };
+        best.map(|(i, _)| i)
+    }
+
+    /// A reference to the job that would run next, without removing it.
+    pub fn peek(&self) -> Option<&Job> {
+        self.best_index().map(|i| &self.jobs[i])
+    }
+
+    /// Removes and returns the job that should run next.
+    pub fn pop(&mut self) -> Option<Job> {
+        self.best_index().map(|i| self.jobs.swap_remove(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Job;
+    use ftsched_task::{Mode, Task};
+
+    fn job(task_id: u32, c: f64, t: f64, activation: u64, priority: usize) -> Job {
+        let task = Task::implicit_deadline(task_id, c, t, Mode::NonFaultTolerant).unwrap();
+        Job::nth_of(&task, activation, priority)
+    }
+
+    #[test]
+    fn fixed_priority_queue_orders_by_priority() {
+        let mut q = ReadyQueue::new(Algorithm::RateMonotonic);
+        q.push(job(3, 1.0, 12.0, 0, 2));
+        q.push(job(1, 1.0, 4.0, 0, 0));
+        q.push(job(2, 1.0, 8.0, 0, 1));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop().unwrap().id.task.0, 1);
+        assert_eq!(q.pop().unwrap().id.task.0, 2);
+        assert_eq!(q.pop().unwrap().id.task.0, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn edf_queue_orders_by_absolute_deadline() {
+        let mut q = ReadyQueue::new(Algorithm::EarliestDeadlineFirst);
+        // Task 1 activation 1 has deadline 8; task 2 activation 0 has deadline 6.
+        q.push(job(1, 1.0, 4.0, 1, 0));
+        q.push(job(2, 1.0, 6.0, 0, 1));
+        assert_eq!(q.peek().unwrap().id.task.0, 2);
+        assert_eq!(q.pop().unwrap().id.task.0, 2);
+        assert_eq!(q.pop().unwrap().id.task.0, 1);
+    }
+
+    #[test]
+    fn edf_ties_break_deterministically_by_task_id() {
+        let mut q = ReadyQueue::new(Algorithm::EarliestDeadlineFirst);
+        q.push(job(5, 1.0, 10.0, 0, 0));
+        q.push(job(2, 1.0, 10.0, 0, 1));
+        assert_eq!(q.pop().unwrap().id.task.0, 2);
+    }
+
+    #[test]
+    fn fp_ties_break_by_release_then_activation() {
+        let mut q = ReadyQueue::new(Algorithm::RateMonotonic);
+        q.push(job(1, 1.0, 4.0, 1, 0)); // released at 4
+        q.push(job(1, 1.0, 4.0, 0, 0)); // released at 0
+        assert_eq!(q.pop().unwrap().id.activation, 0);
+        assert_eq!(q.pop().unwrap().id.activation, 1);
+    }
+
+    #[test]
+    fn empty_queue_behaviour() {
+        let mut q = ReadyQueue::new(Algorithm::EarliestDeadlineFirst);
+        assert!(q.is_empty());
+        assert!(q.peek().is_none());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,387 @@
+//! The slot schedule of Figure 2: a period `P` divided into an FT slot, an
+//! FS slot and an NF slot, each ending with the overhead of switching out
+//! of that mode.
+//!
+//! ```text
+//! |<----------------------------- P ----------------------------->|
+//! | Q̃_FT      |O_FT| Q̃_FS        |O_FS| Q̃_NF          |O_NF|
+//! |  FT useful |sw. |  FS useful  |sw. |  NF useful    |sw. |
+//! ```
+//!
+//! [`SlotSchedule::phase_at`] answers "which mode owns instant `t`, and is
+//! it useful time or switch overhead?", and the window iterators hand the
+//! engine the useful intervals of one mode inside a horizon.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_task::{Duration, Mode, PerMode, Time};
+
+use crate::error::SimError;
+
+/// The phase of the cycle an instant falls in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotPhase {
+    /// Useful time of the given mode: that mode's tasks execute.
+    Useful(Mode),
+    /// Mode-switch overhead charged to the given mode's slot: nobody
+    /// executes.
+    Overhead(Mode),
+}
+
+impl SlotPhase {
+    /// The mode whose slot the instant belongs to.
+    pub fn mode(self) -> Mode {
+        match self {
+            SlotPhase::Useful(m) | SlotPhase::Overhead(m) => m,
+        }
+    }
+
+    /// Whether application tasks can execute during this phase.
+    pub fn is_useful(self) -> bool {
+        matches!(self, SlotPhase::Useful(_))
+    }
+}
+
+/// A half-open interval of useful time `[start, end)` belonging to one mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UsefulWindow {
+    /// Start of the window.
+    pub start: Time,
+    /// End of the window (exclusive).
+    pub end: Time,
+}
+
+impl UsefulWindow {
+    /// Length of the window.
+    pub fn length(&self) -> Duration {
+        self.end - self.start
+    }
+}
+
+/// The periodic slot schedule.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotSchedule {
+    period: Duration,
+    useful: PerMode<Duration>,
+    overheads: PerMode<Duration>,
+}
+
+impl SlotSchedule {
+    /// Builds a slot schedule from the period, the useful quanta `Q̃_k` and
+    /// the overheads `O_k` (all in paper time units).
+    ///
+    /// The slots need not fill the period: any remainder is unallocated
+    /// slack at the end of the cycle (no mode executes there), matching
+    /// the "keep the slack unallocated" design of Table 2(c).
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive periods, negative components and cycles whose
+    /// slots exceed the period.
+    pub fn new(
+        period: f64,
+        useful: PerMode<f64>,
+        overheads: PerMode<f64>,
+    ) -> Result<Self, SimError> {
+        if !(period > 0.0 && period.is_finite()) {
+            return Err(SimError::InvalidSlotSchedule {
+                reason: format!("period {period} must be positive"),
+            });
+        }
+        for (mode, &q) in useful.iter() {
+            if !(q >= 0.0 && q.is_finite()) {
+                return Err(SimError::InvalidSlotSchedule {
+                    reason: format!("useful quantum for {mode} is {q}"),
+                });
+            }
+        }
+        for (mode, &o) in overheads.iter() {
+            if !(o >= 0.0 && o.is_finite()) {
+                return Err(SimError::InvalidSlotSchedule {
+                    reason: format!("overhead for {mode} is {o}"),
+                });
+            }
+        }
+        let total = useful.total() + overheads.total();
+        if total > period + 1e-9 {
+            return Err(SimError::InvalidSlotSchedule {
+                reason: format!("slots ({total:.6}) exceed the period ({period:.6})"),
+            });
+        }
+        Ok(SlotSchedule {
+            period: Duration::from_units(period),
+            useful: useful.map(|&q| Duration::from_units(q)),
+            overheads: overheads.map(|&o| Duration::from_units(o)),
+        })
+    }
+
+    /// The cycle period `P`.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Useful quantum `Q̃_k` of a mode.
+    pub fn useful_quantum(&self, mode: Mode) -> Duration {
+        *self.useful.get(mode)
+    }
+
+    /// Switch-out overhead `O_k` of a mode.
+    pub fn overhead(&self, mode: Mode) -> Duration {
+        *self.overheads.get(mode)
+    }
+
+    /// Unallocated slack per cycle.
+    ///
+    /// Tick rounding of the individual components may overshoot the period
+    /// by a tick or two, so the subtraction saturates at zero.
+    pub fn slack(&self) -> Duration {
+        let allocated: Duration = Mode::ALL
+            .iter()
+            .map(|&m| self.useful_quantum(m) + self.overhead(m))
+            .sum();
+        self.period.saturating_sub(allocated)
+    }
+
+    /// Offset of a mode's slot start within the cycle.
+    fn slot_offset(&self, mode: Mode) -> Duration {
+        Mode::ALL
+            .iter()
+            .take_while(|&&m| m != mode)
+            .map(|&m| self.useful_quantum(m) + self.overhead(m))
+            .sum()
+    }
+
+    /// The phase owning instant `t`, or `None` if `t` falls in the
+    /// unallocated slack at the end of the cycle.
+    pub fn phase_at(&self, t: Time) -> Option<SlotPhase> {
+        let offset = Duration::from_ticks(t.ticks() % self.period.ticks());
+        let mut cursor = Duration::ZERO;
+        for mode in Mode::ALL {
+            let useful = self.useful_quantum(mode);
+            let overhead = self.overhead(mode);
+            if offset < cursor + useful {
+                return Some(SlotPhase::Useful(mode));
+            }
+            if offset < cursor + useful + overhead {
+                return Some(SlotPhase::Overhead(mode));
+            }
+            cursor += useful + overhead;
+        }
+        None
+    }
+
+    /// The useful windows of a mode inside `[0, horizon)`, in order.
+    pub fn useful_windows(&self, mode: Mode, horizon: Duration) -> Vec<UsefulWindow> {
+        let quantum = self.useful_quantum(mode);
+        if quantum.is_zero() {
+            return Vec::new();
+        }
+        let offset = self.slot_offset(mode);
+        let mut windows = Vec::new();
+        let mut cycle_start = Time::ZERO;
+        let horizon_time = Time::ZERO + horizon;
+        while cycle_start < horizon_time {
+            let start = cycle_start + offset;
+            let end = (start + quantum).min(horizon_time);
+            if start >= horizon_time {
+                break;
+            }
+            windows.push(UsefulWindow { start, end });
+            cycle_start += self.period;
+        }
+        windows
+    }
+
+    /// Total useful time granted to a mode in the window `[t0, t1)` —
+    /// the empirical counterpart of the supply function, for the actual
+    /// (best-case) alignment where slots start at time zero.
+    pub fn supply_in(&self, mode: Mode, t0: Time, t1: Time) -> Duration {
+        if t1 <= t0 {
+            return Duration::ZERO;
+        }
+        let horizon = t1 - Time::ZERO;
+        self.useful_windows(mode, horizon)
+            .into_iter()
+            .map(|w| {
+                let s = w.start.max(t0);
+                let e = w.end.min(t1);
+                if e > s {
+                    e - s
+                } else {
+                    Duration::ZERO
+                }
+            })
+            .sum()
+    }
+
+    /// The minimum supply granted to a mode over all windows of length
+    /// `window` that start on a grid of `steps` offsets within one period
+    /// (an empirical estimate of the worst-case supply `Z_k(window)`).
+    pub fn empirical_min_supply(&self, mode: Mode, window: Duration, steps: usize) -> Duration {
+        let mut min = Duration::MAX;
+        for i in 0..steps.max(1) {
+            let offset = Duration::from_ticks(self.period.ticks() * i as u64 / steps.max(1) as u64);
+            let t0 = Time::ZERO + offset;
+            let t1 = t0 + window;
+            let s = self.supply_in(mode, t0, t1);
+            if s < min {
+                min = s;
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Table 2(b) schedule: P = 2.966, quanta 0.820/1.281/0.815,
+    /// overheads 0.05/3 each.
+    fn table2b() -> SlotSchedule {
+        SlotSchedule::new(
+            2.966,
+            PerMode { ft: 0.820, fs: 1.281, nf: 0.815 },
+            PerMode::splat(0.05 / 3.0),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_inconsistent_schedules() {
+        assert!(SlotSchedule::new(0.0, PerMode::splat(0.1), PerMode::splat(0.0)).is_err());
+        assert!(SlotSchedule::new(1.0, PerMode::splat(0.4), PerMode::splat(0.1)).is_err());
+        assert!(SlotSchedule::new(1.0, PerMode { ft: -0.1, fs: 0.1, nf: 0.1 }, PerMode::splat(0.0))
+            .is_err());
+        assert!(SlotSchedule::new(1.0, PerMode::splat(0.1), PerMode { ft: f64::NAN, fs: 0.0, nf: 0.0 })
+            .is_err());
+    }
+
+    #[test]
+    fn table2b_schedule_has_no_slack() {
+        let s = table2b();
+        assert!(s.slack().as_units() < 0.01);
+        assert!((s.period().as_units() - 2.966).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phases_follow_the_figure_2_layout() {
+        let s = table2b();
+        // Instant 0.1 is inside the FT useful part.
+        assert_eq!(s.phase_at(Time::from_units(0.1)), Some(SlotPhase::Useful(Mode::FaultTolerant)));
+        // Just after Q̃_FT comes the FT switch-out overhead.
+        assert_eq!(
+            s.phase_at(Time::from_units(0.825)),
+            Some(SlotPhase::Overhead(Mode::FaultTolerant))
+        );
+        // Then the FS useful part.
+        assert_eq!(
+            s.phase_at(Time::from_units(0.9)),
+            Some(SlotPhase::Useful(Mode::FailSilent))
+        );
+        // The NF slot comes last.
+        assert_eq!(
+            s.phase_at(Time::from_units(2.9)),
+            Some(SlotPhase::Useful(Mode::NonFaultTolerant))
+        );
+        // Phases repeat every period.
+        assert_eq!(
+            s.phase_at(Time::from_units(0.1 + 2.966)),
+            Some(SlotPhase::Useful(Mode::FaultTolerant))
+        );
+    }
+
+    #[test]
+    fn slack_region_has_no_phase() {
+        let s = SlotSchedule::new(
+            1.0,
+            PerMode { ft: 0.2, fs: 0.2, nf: 0.2 },
+            PerMode::splat(0.05),
+        )
+        .unwrap();
+        assert!((s.slack().as_units() - 0.25).abs() < 1e-9);
+        assert_eq!(s.phase_at(Time::from_units(0.9)), None);
+        assert!(s.phase_at(Time::from_units(0.74)).is_some());
+    }
+
+    #[test]
+    fn useful_windows_tile_the_horizon() {
+        let s = table2b();
+        let horizon = Duration::from_units(3.0 * 2.966);
+        for mode in Mode::ALL {
+            let windows = s.useful_windows(mode, horizon);
+            assert_eq!(windows.len(), 3, "{mode}");
+            for w in &windows {
+                assert!((w.length().as_units() - s.useful_quantum(mode).as_units()).abs() < 1e-9);
+                // Every instant of the window is a useful phase of the mode.
+                let mid = w.start + w.length() / 2;
+                assert_eq!(s.phase_at(mid), Some(SlotPhase::Useful(mode)));
+            }
+        }
+    }
+
+    #[test]
+    fn windows_are_clamped_to_the_horizon() {
+        let s = table2b();
+        let horizon = Duration::from_units(0.5);
+        let ft = s.useful_windows(Mode::FaultTolerant, horizon);
+        assert_eq!(ft.len(), 1);
+        assert!((ft[0].length().as_units() - 0.5).abs() < 1e-9);
+        let nf = s.useful_windows(Mode::NonFaultTolerant, horizon);
+        assert!(nf.is_empty());
+    }
+
+    #[test]
+    fn zero_quantum_mode_gets_no_windows() {
+        let s = SlotSchedule::new(
+            1.0,
+            PerMode { ft: 0.0, fs: 0.3, nf: 0.3 },
+            PerMode::splat(0.0),
+        )
+        .unwrap();
+        assert!(s.useful_windows(Mode::FaultTolerant, Duration::from_units(10.0)).is_empty());
+    }
+
+    #[test]
+    fn supply_in_counts_only_the_modes_windows() {
+        let s = table2b();
+        let one_period = s.period();
+        for mode in Mode::ALL {
+            let supplied = s.supply_in(mode, Time::ZERO, Time::ZERO + one_period);
+            assert!(
+                (supplied.as_units() - s.useful_quantum(mode).as_units()).abs() < 1e-9,
+                "{mode}"
+            );
+        }
+    }
+
+    #[test]
+    fn empirical_supply_dominates_the_linear_lower_bound() {
+        // The actual supply over any window must be at least the
+        // worst-case linear bound Z'(t) = max(0, α (t − Δ)).
+        let s = table2b();
+        for mode in Mode::ALL {
+            let q = s.useful_quantum(mode).as_units();
+            let p = s.period().as_units();
+            let alpha = q / p;
+            let delta = p - q;
+            for window_units in [0.5, 1.0, 2.0, 3.0, 5.0, 7.5] {
+                let window = Duration::from_units(window_units);
+                let empirical = s.empirical_min_supply(mode, window, 64).as_units();
+                let bound = (alpha * (window_units - delta)).max(0.0);
+                assert!(
+                    empirical + 1e-6 >= bound,
+                    "{mode}: window {window_units}: empirical {empirical:.4} < bound {bound:.4}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = table2b();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SlotSchedule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,195 @@
+//! Error types for the task-model layer.
+//!
+//! All structural problems with a workload description (non-positive
+//! periods, deadlines larger than periods, empty partitions, references to
+//! unknown tasks, …) are reported through [`TaskModelError`] so that the
+//! higher layers can surface a precise diagnostic instead of panicking.
+
+use std::fmt;
+
+use crate::mode::Mode;
+use crate::task::TaskId;
+
+/// Errors produced while constructing or validating tasks, task sets and
+/// partitions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TaskModelError {
+    /// A task was given a non-positive worst-case execution time.
+    NonPositiveWcet {
+        /// Identifier of the offending task.
+        task: TaskId,
+        /// The WCET that was rejected.
+        wcet: f64,
+    },
+    /// A task was given a non-positive minimum inter-arrival time.
+    NonPositivePeriod {
+        /// Identifier of the offending task.
+        task: TaskId,
+        /// The period that was rejected.
+        period: f64,
+    },
+    /// A task was given a non-positive relative deadline.
+    NonPositiveDeadline {
+        /// Identifier of the offending task.
+        task: TaskId,
+        /// The deadline that was rejected.
+        deadline: f64,
+    },
+    /// The constrained-deadline assumption `D_i <= T_i` of the paper
+    /// (§2.3) was violated.
+    DeadlineExceedsPeriod {
+        /// Identifier of the offending task.
+        task: TaskId,
+        /// Relative deadline of the task.
+        deadline: f64,
+        /// Period of the task.
+        period: f64,
+    },
+    /// A task's WCET exceeds its deadline, so it can never complete in time
+    /// even on a dedicated processor.
+    WcetExceedsDeadline {
+        /// Identifier of the offending task.
+        task: TaskId,
+        /// Worst-case execution time of the task.
+        wcet: f64,
+        /// Relative deadline of the task.
+        deadline: f64,
+    },
+    /// Two tasks in the same task set share an identifier.
+    DuplicateTaskId {
+        /// The duplicated identifier.
+        task: TaskId,
+    },
+    /// A partition referenced a task that is not part of the task set.
+    UnknownTask {
+        /// The unknown identifier.
+        task: TaskId,
+    },
+    /// A task appears in more than one channel of a mode partition.
+    TaskAssignedTwice {
+        /// The task assigned to two channels.
+        task: TaskId,
+    },
+    /// A task of the given mode was left out of the partition for that mode.
+    TaskNotAssigned {
+        /// The task missing from the partition.
+        task: TaskId,
+        /// The mode whose partition is incomplete.
+        mode: Mode,
+    },
+    /// A task was assigned to the partition of a mode it does not require.
+    ModeMismatch {
+        /// The misplaced task.
+        task: TaskId,
+        /// The mode the task actually requires.
+        expected: Mode,
+        /// The mode of the partition it was assigned to.
+        found: Mode,
+    },
+    /// A partition used more channels than the mode provides.
+    TooManyChannels {
+        /// The mode whose partition is over-subscribed.
+        mode: Mode,
+        /// Number of channels the partition used.
+        used: usize,
+        /// Number of channels the mode provides.
+        available: usize,
+    },
+    /// An empty task set was supplied where at least one task is required.
+    EmptyTaskSet,
+    /// A generator was asked for an impossible workload (for example a
+    /// per-task utilisation above 1 or a zero task count).
+    InvalidGeneratorConfig {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TaskModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NonPositiveWcet { task, wcet } => {
+                write!(f, "task {task}: worst-case execution time {wcet} must be positive")
+            }
+            Self::NonPositivePeriod { task, period } => {
+                write!(f, "task {task}: period {period} must be positive")
+            }
+            Self::NonPositiveDeadline { task, deadline } => {
+                write!(f, "task {task}: deadline {deadline} must be positive")
+            }
+            Self::DeadlineExceedsPeriod { task, deadline, period } => write!(
+                f,
+                "task {task}: deadline {deadline} exceeds period {period} (constrained-deadline model)"
+            ),
+            Self::WcetExceedsDeadline { task, wcet, deadline } => write!(
+                f,
+                "task {task}: WCET {wcet} exceeds deadline {deadline}; the task can never meet it"
+            ),
+            Self::DuplicateTaskId { task } => write!(f, "duplicate task identifier {task}"),
+            Self::UnknownTask { task } => write!(f, "partition references unknown task {task}"),
+            Self::TaskAssignedTwice { task } => {
+                write!(f, "task {task} is assigned to more than one channel")
+            }
+            Self::TaskNotAssigned { task, mode } => {
+                write!(f, "task {task} requires mode {mode} but is not assigned to any channel")
+            }
+            Self::ModeMismatch { task, expected, found } => write!(
+                f,
+                "task {task} requires mode {expected} but was assigned to a {found} channel"
+            ),
+            Self::TooManyChannels { mode, used, available } => write!(
+                f,
+                "partition for mode {mode} uses {used} channels but the platform provides {available}"
+            ),
+            Self::EmptyTaskSet => write!(f, "task set must contain at least one task"),
+            Self::InvalidGeneratorConfig { reason } => {
+                write!(f, "invalid workload generator configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaskModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_the_task() {
+        let err = TaskModelError::NonPositiveWcet { task: TaskId(7), wcet: -1.0 };
+        let msg = err.to_string();
+        assert!(msg.contains("7"));
+        assert!(msg.contains("-1"));
+    }
+
+    #[test]
+    fn display_mode_mismatch_mentions_both_modes() {
+        let err = TaskModelError::ModeMismatch {
+            task: TaskId(3),
+            expected: Mode::FaultTolerant,
+            found: Mode::NonFaultTolerant,
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("FT"));
+        assert!(msg.contains("NF"));
+    }
+
+    #[test]
+    fn error_implements_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&TaskModelError::EmptyTaskSet);
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            TaskModelError::DuplicateTaskId { task: TaskId(1) },
+            TaskModelError::DuplicateTaskId { task: TaskId(1) }
+        );
+        assert_ne!(
+            TaskModelError::DuplicateTaskId { task: TaskId(1) },
+            TaskModelError::DuplicateTaskId { task: TaskId(2) }
+        );
+    }
+}

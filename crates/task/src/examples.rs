@@ -1,0 +1,158 @@
+//! The concrete example of the paper's §4: the 13-task application of
+//! Table 1 and its manual partition.
+//!
+//! | Mode | i  | C_i | T_i |
+//! |------|----|-----|-----|
+//! | NF   | 1  | 1   | 6   |
+//! | NF   | 2  | 1   | 8   |
+//! | NF   | 3  | 1   | 12  |
+//! | NF   | 4  | 2   | 10  |
+//! | NF   | 5  | 6   | 24  |
+//! | FS   | 6  | 1   | 10  |
+//! | FS   | 7  | 1   | 15  |
+//! | FS   | 8  | 2   | 20  |
+//! | FS   | 9  | 1   | 4   |
+//! | FT   | 10 | 1   | 12  |
+//! | FT   | 11 | 1   | 15  |
+//! | FT   | 12 | 1   | 20  |
+//! | FT   | 13 | 2   | 30  |
+//!
+//! Deadlines equal periods. The manual partition of §4 is
+//! `T_NF^1 = {τ1}`, `T_NF^2 = {τ2, τ3}`, `T_NF^3 = {τ4}`, `T_NF^4 = {τ5}`,
+//! `T_FS^1 = {τ6, τ7, τ8}`, `T_FS^2 = {τ9}`, and all FT tasks on the single
+//! FT channel.
+
+use crate::mode::Mode;
+use crate::partition::{ModePartition, SystemPartition};
+use crate::task::{Task, TaskId};
+use crate::taskset::TaskSet;
+
+/// Raw `(id, C, T, mode)` rows of Table 1.
+pub const TABLE_1: [(u32, f64, f64, Mode); 13] = [
+    (1, 1.0, 6.0, Mode::NonFaultTolerant),
+    (2, 1.0, 8.0, Mode::NonFaultTolerant),
+    (3, 1.0, 12.0, Mode::NonFaultTolerant),
+    (4, 2.0, 10.0, Mode::NonFaultTolerant),
+    (5, 6.0, 24.0, Mode::NonFaultTolerant),
+    (6, 1.0, 10.0, Mode::FailSilent),
+    (7, 1.0, 15.0, Mode::FailSilent),
+    (8, 2.0, 20.0, Mode::FailSilent),
+    (9, 1.0, 4.0, Mode::FailSilent),
+    (10, 1.0, 12.0, Mode::FaultTolerant),
+    (11, 1.0, 15.0, Mode::FaultTolerant),
+    (12, 1.0, 20.0, Mode::FaultTolerant),
+    (13, 2.0, 30.0, Mode::FaultTolerant),
+];
+
+/// The total switching overhead `O_tot = 0.05` used for the "realistic"
+/// design example of §4 (Table 2 rows (b) and (c)).
+pub const PAPER_TOTAL_OVERHEAD: f64 = 0.05;
+
+/// Builds the 13-task set of Table 1.
+pub fn paper_taskset() -> TaskSet {
+    let tasks: Vec<Task> = TABLE_1
+        .iter()
+        .map(|&(id, c, t, mode)| {
+            Task::implicit_deadline(id, c, t, mode)
+                .expect("Table 1 parameters are structurally valid")
+        })
+        .collect();
+    TaskSet::new(tasks).expect("Table 1 task set is valid")
+}
+
+/// Builds the manual partition of §4 for the Table 1 task set.
+pub fn paper_partition() -> SystemPartition {
+    let id = TaskId;
+    let nf = ModePartition::new(
+        Mode::NonFaultTolerant,
+        vec![vec![id(1)], vec![id(2), id(3)], vec![id(4)], vec![id(5)]],
+    )
+    .expect("NF partition uses at most 4 channels");
+    let fs = ModePartition::new(
+        Mode::FailSilent,
+        vec![vec![id(6), id(7), id(8)], vec![id(9)]],
+    )
+    .expect("FS partition uses at most 2 channels");
+    let ft = ModePartition::new(
+        Mode::FaultTolerant,
+        vec![vec![id(10), id(11), id(12), id(13)]],
+    )
+    .expect("FT partition uses 1 channel");
+    SystemPartition::new(ft, fs, nf)
+}
+
+/// The paper task set together with its manual partition, pre-validated.
+pub fn paper_example() -> (TaskSet, SystemPartition) {
+    let tasks = paper_taskset();
+    let partition = paper_partition();
+    partition
+        .validate(&tasks)
+        .expect("the paper partition covers exactly the Table 1 tasks");
+    (tasks, partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_has_thirteen_tasks() {
+        let set = paper_taskset();
+        assert_eq!(set.len(), 13);
+        assert!(set.all_implicit_deadlines());
+    }
+
+    #[test]
+    fn mode_utilizations_match_table_2a() {
+        // Table 2(a): required (max per-channel) utilisation per mode is
+        // FT 0.267, FS 0.267, NF 0.250.
+        let (tasks, partition) = paper_example();
+        let max_u = partition.max_channel_utilizations(&tasks).unwrap();
+        assert!((max_u.ft - 0.2667).abs() < 5e-4, "FT {:.4}", max_u.ft);
+        assert!((max_u.fs - 0.2667).abs() < 5e-4, "FS {:.4}", max_u.fs);
+        assert!((max_u.nf - 0.25).abs() < 1e-9, "NF {:.4}", max_u.nf);
+    }
+
+    #[test]
+    fn total_mode_utilizations() {
+        let tasks = paper_taskset();
+        // Whole-mode utilisations (not per-channel): NF sums the 5 NF tasks.
+        let u_nf = tasks.mode_utilization(Mode::NonFaultTolerant);
+        let expected_nf = 1.0 / 6.0 + 1.0 / 8.0 + 1.0 / 12.0 + 0.2 + 0.25;
+        assert!((u_nf - expected_nf).abs() < 1e-12);
+        let u_ft = tasks.mode_utilization(Mode::FaultTolerant);
+        assert!((u_ft - (1.0 / 12.0 + 1.0 / 15.0 + 0.05 + 2.0 / 30.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_is_valid_and_covers_all_tasks() {
+        let (tasks, partition) = paper_example();
+        partition.validate(&tasks).unwrap();
+        let per_mode = partition.channel_task_sets(&tasks).unwrap();
+        assert_eq!(per_mode.nf.len(), 4);
+        assert_eq!(per_mode.fs.len(), 2);
+        assert_eq!(per_mode.ft.len(), 1);
+        assert_eq!(per_mode.ft[0].len(), 4);
+    }
+
+    #[test]
+    fn fs_channel_1_holds_tasks_6_7_8() {
+        let (tasks, partition) = paper_example();
+        let fs_sets = partition.mode(Mode::FailSilent).channel_task_sets(&tasks).unwrap();
+        let ids: Vec<u32> = fs_sets[0].ids().iter().map(|i| i.0).collect();
+        assert_eq!(ids, vec![6, 7, 8]);
+        assert!((fs_sets[0].utilization() - 0.2667).abs() < 5e-4);
+    }
+
+    #[test]
+    fn ft_hyperperiod_is_60() {
+        let tasks = paper_taskset();
+        let ft = tasks.tasks_in_mode(Mode::FaultTolerant).unwrap();
+        assert!((ft.hyperperiod() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_overhead_constant() {
+        assert_eq!(PAPER_TOTAL_OVERHEAD, 0.05);
+    }
+}

@@ -1,0 +1,48 @@
+//! # ftsched-task
+//!
+//! Task model substrate for the `ftsched` reproduction of
+//! *"A Flexible Scheme for Scheduling Fault-Tolerant Real-Time Tasks on
+//! Multiprocessors"* (Cirinei, Bini, Lipari, Ferrari — IPPS 2007).
+//!
+//! This crate provides everything the analysis, design and simulation layers
+//! need to talk about workloads:
+//!
+//! * [`time`] — the two time domains used throughout the workspace: a
+//!   discrete, tick-based [`time::Time`] for the simulators and plain `f64`
+//!   seconds for the closed-form analysis of the paper.
+//! * [`mode`] — the three operating modes of the platform
+//!   ([`mode::Mode::FaultTolerant`], [`mode::Mode::FailSilent`],
+//!   [`mode::Mode::NonFaultTolerant`]) and their channel/replication
+//!   characteristics.
+//! * [`task`] — the sporadic task model `(C_i, T_i, D_i, mode_i)` of §2.3.
+//! * [`taskset`] — collections of tasks, utilisation and hyperperiod math,
+//!   priority assignment (RM / DM) and grouping by mode.
+//! * [`partition`] — static partitions of a mode's tasks onto the channels
+//!   that mode provides (4 for NF, 2 for FS, 1 for FT), as required by the
+//!   partitioned scheduling strategy of §3.
+//! * [`generator`] — seeded random workload generators (UUniFast and
+//!   friends) used by the extension experiments.
+//! * [`examples`] — the concrete 13-task example of the paper's Table 1 and
+//!   its manual partition from §4.
+//!
+//! The crate is deliberately free of any scheduling logic: it only describes
+//! workloads and checks their structural validity.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod examples;
+pub mod generator;
+pub mod mode;
+pub mod partition;
+pub mod task;
+pub mod taskset;
+pub mod time;
+
+pub use error::TaskModelError;
+pub use mode::{Mode, PerMode, PROCESSOR_COUNT};
+pub use partition::{ModePartition, SystemPartition};
+pub use task::{Task, TaskBuilder, TaskId};
+pub use taskset::{PriorityOrder, TaskSet};
+pub use time::{Duration, Time};

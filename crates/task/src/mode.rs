@@ -1,0 +1,291 @@
+//! Operating modes of the reconfigurable platform (§2.2 and §2.4 of the
+//! paper).
+//!
+//! Under the single-transient-fault assumption, the platform can be
+//! configured in three ways:
+//!
+//! * **FT (fault-tolerant)** — all four processors run in redundant
+//!   lock-step behind a majority voter. A fault in any one core is *masked*;
+//!   the application never sees a wrong result. One logical channel.
+//! * **FS (fail-silent)** — the processors are coupled into two lock-step
+//!   pairs, each behind a comparator. A fault in one core of a pair is
+//!   *detected* and the pair's output is blocked (the channel goes silent);
+//!   wrong results never propagate, but the affected work is lost. Two
+//!   logical channels.
+//! * **NF (non-fault-tolerant)** — all four processors run independently.
+//!   Maximum parallelism, no fault protection. Four logical channels.
+//!
+//! The number of logical channels per mode is what the partitioned
+//! scheduling strategy of §3 partitions tasks onto, and what the design
+//! equations (Eq. 13–14) take the per-channel maximum over.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Number of physical processors on the platform of Fig. 1.
+pub const PROCESSOR_COUNT: usize = 4;
+
+/// The three operating modes of the platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Mode {
+    /// Redundant lock-step of all four cores with majority voting: faults
+    /// are masked.
+    FaultTolerant,
+    /// Two independent lock-step pairs with comparators: faults are detected
+    /// and the faulty channel is silenced.
+    FailSilent,
+    /// Four independent cores: no protection, maximum parallelism.
+    NonFaultTolerant,
+}
+
+impl Mode {
+    /// All modes, in the slot order used by the paper's Figure 2
+    /// (FT slot first, then FS, then NF).
+    pub const ALL: [Mode; 3] = [Mode::FaultTolerant, Mode::FailSilent, Mode::NonFaultTolerant];
+
+    /// Number of logical execution channels the platform offers in this
+    /// mode (`numP_k` in Eq. 15).
+    #[inline]
+    pub const fn channels(self) -> usize {
+        match self {
+            Mode::FaultTolerant => 1,
+            Mode::FailSilent => 2,
+            Mode::NonFaultTolerant => 4,
+        }
+    }
+
+    /// Number of physical cores ganged together to form one channel in this
+    /// mode.
+    #[inline]
+    pub const fn cores_per_channel(self) -> usize {
+        PROCESSOR_COUNT / self.channels()
+    }
+
+    /// Whether a single transient fault can ever cause a *wrong* value to
+    /// reach the shared memory while the platform runs in this mode.
+    #[inline]
+    pub const fn can_propagate_wrong_results(self) -> bool {
+        matches!(self, Mode::NonFaultTolerant)
+    }
+
+    /// Whether a single transient fault is masked (execution continues with
+    /// the correct result) in this mode.
+    #[inline]
+    pub const fn masks_faults(self) -> bool {
+        matches!(self, Mode::FaultTolerant)
+    }
+
+    /// Whether a single transient fault is detected (even if not corrected)
+    /// in this mode.
+    #[inline]
+    pub const fn detects_faults(self) -> bool {
+        matches!(self, Mode::FaultTolerant | Mode::FailSilent)
+    }
+
+    /// Short identifier used in tables and traces (`FT`, `FS`, `NF`).
+    #[inline]
+    pub const fn short_name(self) -> &'static str {
+        match self {
+            Mode::FaultTolerant => "FT",
+            Mode::FailSilent => "FS",
+            Mode::NonFaultTolerant => "NF",
+        }
+    }
+
+    /// Index of the mode in the canonical slot order (FT = 0, FS = 1,
+    /// NF = 2).
+    #[inline]
+    pub const fn slot_index(self) -> usize {
+        match self {
+            Mode::FaultTolerant => 0,
+            Mode::FailSilent => 1,
+            Mode::NonFaultTolerant => 2,
+        }
+    }
+
+    /// Parses the two-letter identifier used in configuration files.
+    pub fn parse(s: &str) -> Option<Mode> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "FT" => Some(Mode::FaultTolerant),
+            "FS" => Some(Mode::FailSilent),
+            "NF" => Some(Mode::NonFaultTolerant),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// A per-mode triple of values, indexed by [`Mode`].
+///
+/// Many quantities in the paper come in threes — slot lengths `Q_k`,
+/// overheads `O_k`, available quanta `Q̃_k`, per-mode `minQ` values — and
+/// `PerMode` gives them a small, copyable container with ergonomic indexing.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PerMode<T> {
+    /// Value associated with the fault-tolerant mode.
+    pub ft: T,
+    /// Value associated with the fail-silent mode.
+    pub fs: T,
+    /// Value associated with the non-fault-tolerant mode.
+    pub nf: T,
+}
+
+impl<T> PerMode<T> {
+    /// Builds a `PerMode` by evaluating `f` on every mode.
+    pub fn from_fn(mut f: impl FnMut(Mode) -> T) -> Self {
+        PerMode {
+            ft: f(Mode::FaultTolerant),
+            fs: f(Mode::FailSilent),
+            nf: f(Mode::NonFaultTolerant),
+        }
+    }
+
+    /// Returns a reference to the value for `mode`.
+    pub fn get(&self, mode: Mode) -> &T {
+        match mode {
+            Mode::FaultTolerant => &self.ft,
+            Mode::FailSilent => &self.fs,
+            Mode::NonFaultTolerant => &self.nf,
+        }
+    }
+
+    /// Returns a mutable reference to the value for `mode`.
+    pub fn get_mut(&mut self, mode: Mode) -> &mut T {
+        match mode {
+            Mode::FaultTolerant => &mut self.ft,
+            Mode::FailSilent => &mut self.fs,
+            Mode::NonFaultTolerant => &mut self.nf,
+        }
+    }
+
+    /// Applies `f` to every element, preserving the mode association.
+    pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> PerMode<U> {
+        PerMode { ft: f(&self.ft), fs: f(&self.fs), nf: f(&self.nf) }
+    }
+
+    /// Iterates over `(mode, &value)` pairs in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (Mode, &T)> {
+        Mode::ALL.iter().map(move |&m| (m, self.get(m)))
+    }
+}
+
+impl<T: Copy> PerMode<T> {
+    /// Builds a `PerMode` with the same value for every mode.
+    pub fn splat(value: T) -> Self {
+        PerMode { ft: value, fs: value, nf: value }
+    }
+}
+
+impl PerMode<f64> {
+    /// Sum of the three per-mode values (used for `O_tot` and for the
+    /// left-hand side of Eq. 15).
+    pub fn total(&self) -> f64 {
+        self.ft + self.fs + self.nf
+    }
+}
+
+impl<T> std::ops::Index<Mode> for PerMode<T> {
+    type Output = T;
+    fn index(&self, mode: Mode) -> &T {
+        self.get(mode)
+    }
+}
+
+impl<T> std::ops::IndexMut<Mode> for PerMode<T> {
+    fn index_mut(&mut self, mode: Mode) -> &mut T {
+        self.get_mut(mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_counts_match_the_paper() {
+        assert_eq!(Mode::FaultTolerant.channels(), 1);
+        assert_eq!(Mode::FailSilent.channels(), 2);
+        assert_eq!(Mode::NonFaultTolerant.channels(), 4);
+    }
+
+    #[test]
+    fn cores_per_channel_partition_the_platform() {
+        for mode in Mode::ALL {
+            assert_eq!(mode.channels() * mode.cores_per_channel(), PROCESSOR_COUNT);
+        }
+    }
+
+    #[test]
+    fn fault_semantics_per_mode() {
+        assert!(Mode::FaultTolerant.masks_faults());
+        assert!(Mode::FaultTolerant.detects_faults());
+        assert!(!Mode::FaultTolerant.can_propagate_wrong_results());
+
+        assert!(!Mode::FailSilent.masks_faults());
+        assert!(Mode::FailSilent.detects_faults());
+        assert!(!Mode::FailSilent.can_propagate_wrong_results());
+
+        assert!(!Mode::NonFaultTolerant.masks_faults());
+        assert!(!Mode::NonFaultTolerant.detects_faults());
+        assert!(Mode::NonFaultTolerant.can_propagate_wrong_results());
+    }
+
+    #[test]
+    fn slot_order_is_ft_fs_nf() {
+        assert_eq!(Mode::ALL[0], Mode::FaultTolerant);
+        assert_eq!(Mode::ALL[1], Mode::FailSilent);
+        assert_eq!(Mode::ALL[2], Mode::NonFaultTolerant);
+        for (i, m) in Mode::ALL.iter().enumerate() {
+            assert_eq!(m.slot_index(), i);
+        }
+    }
+
+    #[test]
+    fn parse_round_trips_short_names() {
+        for mode in Mode::ALL {
+            assert_eq!(Mode::parse(mode.short_name()), Some(mode));
+            assert_eq!(Mode::parse(&mode.short_name().to_lowercase()), Some(mode));
+        }
+        assert_eq!(Mode::parse("bogus"), None);
+    }
+
+    #[test]
+    fn per_mode_indexing_and_total() {
+        let mut pm = PerMode::splat(0.0);
+        pm[Mode::FaultTolerant] = 1.0;
+        pm[Mode::FailSilent] = 2.0;
+        pm[Mode::NonFaultTolerant] = 3.5;
+        assert_eq!(pm.total(), 6.5);
+        assert_eq!(pm[Mode::FailSilent], 2.0);
+    }
+
+    #[test]
+    fn per_mode_from_fn_and_map() {
+        let channels = PerMode::from_fn(|m| m.channels());
+        assert_eq!(channels.ft, 1);
+        assert_eq!(channels.fs, 2);
+        assert_eq!(channels.nf, 4);
+        let doubled = channels.map(|&c| c * 2);
+        assert_eq!(doubled.nf, 8);
+    }
+
+    #[test]
+    fn per_mode_iter_follows_slot_order() {
+        let pm = PerMode { ft: "a", fs: "b", nf: "c" };
+        let collected: Vec<_> = pm.iter().map(|(m, v)| (m.short_name(), *v)).collect();
+        assert_eq!(collected, vec![("FT", "a"), ("FS", "b"), ("NF", "c")]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let json = serde_json::to_string(&Mode::FailSilent).unwrap();
+        let back: Mode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Mode::FailSilent);
+    }
+}

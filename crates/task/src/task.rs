@@ -1,0 +1,361 @@
+//! The sporadic task model of §2.3.
+//!
+//! A task `τ_i` is the triplet `(C_i, T_i, D_i)` — worst-case execution
+//! time, minimum inter-arrival time and relative deadline — plus the
+//! operating mode it requires (`mode_i`). Tasks are independent (no shared
+//! resources) and deadlines are constrained (`D_i ≤ T_i`), exactly as in the
+//! paper.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TaskModelError;
+use crate::mode::Mode;
+use crate::time::{Duration, TICKS_PER_UNIT};
+
+/// Identifier of a task inside a task set.
+///
+/// The paper numbers tasks `τ_1 … τ_13`; we keep the same convention of
+/// small integer identifiers (they need not be contiguous).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "τ{}", self.0)
+    }
+}
+
+/// A sporadic real-time task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    /// Identifier, unique within a task set.
+    pub id: TaskId,
+    /// Human-readable name (defaults to `"tau<i>"`).
+    pub name: String,
+    /// Worst-case execution time `C_i`, in paper time units.
+    pub wcet: f64,
+    /// Minimum inter-arrival time (period) `T_i`, in paper time units.
+    pub period: f64,
+    /// Relative deadline `D_i ≤ T_i`, in paper time units.
+    pub deadline: f64,
+    /// Operating mode the task requires (FT, FS or NF).
+    pub mode: Mode,
+}
+
+impl Task {
+    /// Convenience constructor for an implicit-deadline task
+    /// (`D_i = T_i`), the case used throughout the paper's example.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaskModelError`] if any parameter is non-positive or
+    /// `wcet > period`.
+    pub fn implicit_deadline(
+        id: u32,
+        wcet: f64,
+        period: f64,
+        mode: Mode,
+    ) -> Result<Task, TaskModelError> {
+        TaskBuilder::new(id).wcet(wcet).period(period).mode(mode).build()
+    }
+
+    /// Convenience constructor for a constrained-deadline task.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaskModelError`] if any parameter is non-positive,
+    /// `deadline > period` or `wcet > deadline`.
+    pub fn constrained_deadline(
+        id: u32,
+        wcet: f64,
+        period: f64,
+        deadline: f64,
+        mode: Mode,
+    ) -> Result<Task, TaskModelError> {
+        TaskBuilder::new(id).wcet(wcet).period(period).deadline(deadline).mode(mode).build()
+    }
+
+    /// Utilisation `U_i = C_i / T_i`.
+    #[inline]
+    pub fn utilization(&self) -> f64 {
+        self.wcet / self.period
+    }
+
+    /// Density `C_i / D_i` (equals utilisation for implicit deadlines).
+    #[inline]
+    pub fn density(&self) -> f64 {
+        self.wcet / self.deadline
+    }
+
+    /// Whether the task has an implicit deadline (`D_i = T_i`).
+    #[inline]
+    pub fn has_implicit_deadline(&self) -> bool {
+        (self.deadline - self.period).abs() < f64::EPSILON * self.period.max(1.0)
+    }
+
+    /// Worst-case execution time as a discrete simulator duration.
+    #[inline]
+    pub fn wcet_ticks(&self) -> Duration {
+        Duration::from_units(self.wcet)
+    }
+
+    /// Period as a discrete simulator duration.
+    #[inline]
+    pub fn period_ticks(&self) -> Duration {
+        Duration::from_units(self.period)
+    }
+
+    /// Relative deadline as a discrete simulator duration.
+    #[inline]
+    pub fn deadline_ticks(&self) -> Duration {
+        Duration::from_units(self.deadline)
+    }
+
+    /// Period expressed in raw ticks; used for hyperperiod computations.
+    #[inline]
+    pub fn period_in_ticks(&self) -> u64 {
+        (self.period * TICKS_PER_UNIT as f64).round() as u64
+    }
+
+    /// Validates the structural constraints of the sporadic model.
+    pub fn validate(&self) -> Result<(), TaskModelError> {
+        if self.wcet <= 0.0 || !self.wcet.is_finite() {
+            return Err(TaskModelError::NonPositiveWcet { task: self.id, wcet: self.wcet });
+        }
+        if self.period <= 0.0 || !self.period.is_finite() {
+            return Err(TaskModelError::NonPositivePeriod { task: self.id, period: self.period });
+        }
+        if self.deadline <= 0.0 || !self.deadline.is_finite() {
+            return Err(TaskModelError::NonPositiveDeadline {
+                task: self.id,
+                deadline: self.deadline,
+            });
+        }
+        if self.deadline > self.period + 1e-12 {
+            return Err(TaskModelError::DeadlineExceedsPeriod {
+                task: self.id,
+                deadline: self.deadline,
+                period: self.period,
+            });
+        }
+        if self.wcet > self.deadline + 1e-12 {
+            return Err(TaskModelError::WcetExceedsDeadline {
+                task: self.id,
+                wcet: self.wcet,
+                deadline: self.deadline,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} [{}] C={} T={} D={} U={:.3}",
+            self.id,
+            self.mode,
+            self.wcet,
+            self.period,
+            self.deadline,
+            self.utilization()
+        )
+    }
+}
+
+/// Builder for [`Task`] values.
+///
+/// ```
+/// use ftsched_task::{Mode, TaskBuilder};
+///
+/// let task = TaskBuilder::new(9)
+///     .name("sensor-fusion")
+///     .wcet(1.0)
+///     .period(4.0)
+///     .mode(Mode::FailSilent)
+///     .build()
+///     .unwrap();
+/// assert_eq!(task.deadline, 4.0); // implicit deadline by default
+/// assert_eq!(task.utilization(), 0.25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskBuilder {
+    id: TaskId,
+    name: Option<String>,
+    wcet: f64,
+    period: f64,
+    deadline: Option<f64>,
+    mode: Mode,
+}
+
+impl TaskBuilder {
+    /// Starts building the task with identifier `id`.
+    pub fn new(id: u32) -> Self {
+        TaskBuilder {
+            id: TaskId(id),
+            name: None,
+            wcet: 0.0,
+            period: 0.0,
+            deadline: None,
+            mode: Mode::NonFaultTolerant,
+        }
+    }
+
+    /// Sets the human-readable name.
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Sets the worst-case execution time `C_i`.
+    pub fn wcet(mut self, wcet: f64) -> Self {
+        self.wcet = wcet;
+        self
+    }
+
+    /// Sets the minimum inter-arrival time `T_i`.
+    pub fn period(mut self, period: f64) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Sets the relative deadline `D_i`. If omitted, the deadline defaults
+    /// to the period (implicit deadline).
+    pub fn deadline(mut self, deadline: f64) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the required operating mode.
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Finalises the task, validating all structural constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TaskModelError`] describing the first violated
+    /// constraint.
+    pub fn build(self) -> Result<Task, TaskModelError> {
+        let task = Task {
+            id: self.id,
+            name: self.name.unwrap_or_else(|| format!("tau{}", self.id.0)),
+            wcet: self.wcet,
+            period: self.period,
+            deadline: self.deadline.unwrap_or(self.period),
+            mode: self.mode,
+        };
+        task.validate()?;
+        Ok(task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implicit_deadline_defaults_deadline_to_period() {
+        let t = Task::implicit_deadline(1, 1.0, 6.0, Mode::NonFaultTolerant).unwrap();
+        assert_eq!(t.deadline, 6.0);
+        assert!(t.has_implicit_deadline());
+        assert!((t.utilization() - 1.0 / 6.0).abs() < 1e-12);
+        assert_eq!(t.utilization(), t.density());
+    }
+
+    #[test]
+    fn constrained_deadline_is_accepted() {
+        let t = Task::constrained_deadline(2, 1.0, 10.0, 5.0, Mode::FaultTolerant).unwrap();
+        assert!(!t.has_implicit_deadline());
+        assert_eq!(t.density(), 0.2);
+        assert_eq!(t.utilization(), 0.1);
+    }
+
+    #[test]
+    fn zero_wcet_is_rejected() {
+        let err = Task::implicit_deadline(1, 0.0, 6.0, Mode::NonFaultTolerant).unwrap_err();
+        assert!(matches!(err, TaskModelError::NonPositiveWcet { .. }));
+    }
+
+    #[test]
+    fn zero_period_is_rejected() {
+        let err = TaskBuilder::new(1).wcet(1.0).period(0.0).build().unwrap_err();
+        assert!(matches!(err, TaskModelError::NonPositivePeriod { .. }));
+    }
+
+    #[test]
+    fn negative_deadline_is_rejected() {
+        let err = TaskBuilder::new(1).wcet(1.0).period(5.0).deadline(-2.0).build().unwrap_err();
+        assert!(matches!(err, TaskModelError::NonPositiveDeadline { .. }));
+    }
+
+    #[test]
+    fn deadline_beyond_period_is_rejected() {
+        let err = Task::constrained_deadline(3, 1.0, 5.0, 6.0, Mode::FailSilent).unwrap_err();
+        assert!(matches!(err, TaskModelError::DeadlineExceedsPeriod { .. }));
+    }
+
+    #[test]
+    fn wcet_beyond_deadline_is_rejected() {
+        let err = Task::constrained_deadline(3, 4.0, 5.0, 3.0, Mode::FailSilent).unwrap_err();
+        assert!(matches!(err, TaskModelError::WcetExceedsDeadline { .. }));
+    }
+
+    #[test]
+    fn infinite_parameters_are_rejected() {
+        let err =
+            TaskBuilder::new(1).wcet(f64::INFINITY).period(5.0).build().unwrap_err();
+        assert!(matches!(err, TaskModelError::NonPositiveWcet { .. }));
+    }
+
+    #[test]
+    fn builder_sets_name_and_mode() {
+        let t = TaskBuilder::new(4)
+            .name("engine-control")
+            .wcet(2.0)
+            .period(10.0)
+            .mode(Mode::FaultTolerant)
+            .build()
+            .unwrap();
+        assert_eq!(t.name, "engine-control");
+        assert_eq!(t.mode, Mode::FaultTolerant);
+    }
+
+    #[test]
+    fn default_name_follows_id() {
+        let t = Task::implicit_deadline(13, 2.0, 30.0, Mode::FaultTolerant).unwrap();
+        assert_eq!(t.name, "tau13");
+    }
+
+    #[test]
+    fn tick_conversions_are_consistent() {
+        let t = Task::implicit_deadline(5, 6.0, 24.0, Mode::NonFaultTolerant).unwrap();
+        assert_eq!(t.wcet_ticks().as_units(), 6.0);
+        assert_eq!(t.period_ticks().as_units(), 24.0);
+        assert_eq!(t.deadline_ticks(), t.period_ticks());
+        assert_eq!(t.period_in_ticks(), 24 * crate::time::TICKS_PER_UNIT);
+    }
+
+    #[test]
+    fn display_contains_mode_and_utilization() {
+        let t = Task::implicit_deadline(9, 1.0, 4.0, Mode::FailSilent).unwrap();
+        let s = format!("{t}");
+        assert!(s.contains("FS"));
+        assert!(s.contains("0.250"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Task::implicit_deadline(9, 1.0, 4.0, Mode::FailSilent).unwrap();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Task = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,363 @@
+//! Time representation shared by all `ftsched` crates.
+//!
+//! The paper works with two views of time:
+//!
+//! * the **analysis** (Eq. 6, 11, 15) is a continuous closed form — it takes
+//!   square roots of time quantities — so the analysis layer works with
+//!   plain `f64` seconds;
+//! * the **simulation** needs an exact, drift-free clock so that event
+//!   ordering and slot boundaries are reproducible. For that we use
+//!   [`Time`] / [`Duration`], thin wrappers around a `u64` count of *ticks*.
+//!
+//! One tick is 1 µs of model time by default ([`TICKS_PER_UNIT`] = 10⁶ per
+//! "paper time unit"), which is fine-grained enough to represent all the slot
+//! lengths of Table 2 (three significant decimals) without rounding the
+//! integer task parameters of Table 1.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Number of simulator ticks per paper "time unit".
+///
+/// Table 1 expresses computation times and periods in small integers; the
+/// design solutions of Table 2 have three significant decimals (e.g.
+/// `P = 2.966`). A microsecond-per-unit resolution keeps both exact.
+pub const TICKS_PER_UNIT: u64 = 1_000_000;
+
+/// An absolute instant of simulated time, measured in ticks since the start
+/// of the simulation.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Time(pub u64);
+
+/// A span of simulated time, measured in ticks.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Duration(pub u64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0);
+    /// The largest representable instant; used as an "infinitely far away"
+    /// sentinel for events that are not scheduled.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates an instant from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Time(ticks)
+    }
+
+    /// Creates an instant from a number of paper time units.
+    #[inline]
+    pub fn from_units(units: f64) -> Self {
+        assert!(units >= 0.0, "absolute time cannot be negative: {units}");
+        Time((units * TICKS_PER_UNIT as f64).round() as u64)
+    }
+
+    /// Raw tick count since the origin.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This instant expressed in paper time units.
+    #[inline]
+    pub fn as_units(self) -> f64 {
+        self.0 as f64 / TICKS_PER_UNIT as f64
+    }
+
+    /// Duration elapsed since `earlier`, saturating at zero if `earlier` is
+    /// in the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration, `None` on overflow.
+    #[inline]
+    pub fn checked_add(self, d: Duration) -> Option<Time> {
+        self.0.checked_add(d.0).map(Time)
+    }
+}
+
+impl Duration {
+    /// The empty duration.
+    pub const ZERO: Duration = Duration(0);
+    /// The largest representable duration.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// Creates a duration from a number of paper time units.
+    #[inline]
+    pub fn from_units(units: f64) -> Self {
+        assert!(units >= 0.0, "a duration cannot be negative: {units}");
+        Duration((units * TICKS_PER_UNIT as f64).round() as u64)
+    }
+
+    /// Raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// This duration expressed in paper time units.
+    #[inline]
+    pub fn as_units(self) -> f64 {
+        self.0 as f64 / TICKS_PER_UNIT as f64
+    }
+
+    /// True if the duration is zero ticks long.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtraction clamped at zero.
+    #[inline]
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// The smaller of two durations.
+    #[inline]
+    pub fn min(self, other: Duration) -> Duration {
+        Duration(self.0.min(other.0))
+    }
+
+    /// The larger of two durations.
+    #[inline]
+    pub fn max(self, other: Duration) -> Duration {
+        Duration(self.0.max(other.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Duration) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Duration> for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Time {
+        Time(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Time) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Duration {
+    #[inline]
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Duration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Duration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl Rem<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn rem(self, rhs: Duration) -> Duration {
+        Duration(self.0 % rhs.0)
+    }
+}
+
+impl Sum for Duration {
+    fn sum<I: Iterator<Item = Duration>>(iter: I) -> Duration {
+        iter.fold(Duration::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_units())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_units())
+    }
+}
+
+/// Greatest common divisor of two tick counts (Euclid).
+#[inline]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = b;
+        b = a % b;
+        a = t;
+    }
+    a
+}
+
+/// Least common multiple of two tick counts, saturating at `u64::MAX` on
+/// overflow so that pathological hyperperiods degrade gracefully instead of
+/// panicking.
+#[inline]
+pub fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let g = gcd(a, b);
+    (a / g).saturating_mul(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_round_trip_is_exact_for_table_1_values() {
+        for units in [1.0, 2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 20.0, 24.0, 30.0] {
+            let t = Duration::from_units(units);
+            assert!((t.as_units() - units).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn unit_round_trip_is_exact_for_table_2_values() {
+        for units in [2.966, 0.820, 1.281, 0.815, 0.855, 0.230, 0.252, 0.220, 0.05] {
+            let t = Duration::from_units(units);
+            assert!((t.as_units() - units).abs() < 1e-6, "{units}");
+        }
+    }
+
+    #[test]
+    fn time_plus_duration_is_associative_with_ticks() {
+        let t = Time::from_ticks(10) + Duration::from_ticks(32);
+        assert_eq!(t.ticks(), 42);
+        assert_eq!((t - Time::from_ticks(2)).ticks(), 40);
+    }
+
+    #[test]
+    fn saturating_since_clamps_at_zero() {
+        let early = Time::from_ticks(5);
+        let late = Time::from_ticks(9);
+        assert_eq!(late.saturating_since(early).ticks(), 4);
+        assert_eq!(early.saturating_since(late).ticks(), 0);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = Duration::from_ticks(30);
+        let b = Duration::from_ticks(12);
+        assert_eq!((a + b).ticks(), 42);
+        assert_eq!((a - b).ticks(), 18);
+        assert_eq!((a * 2).ticks(), 60);
+        assert_eq!((a / 3).ticks(), 10);
+        assert_eq!((a % b).ticks(), 6);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.saturating_sub(Duration::from_ticks(100)), Duration::ZERO);
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: Duration =
+            [1u64, 2, 3, 4].iter().map(|&t| Duration::from_ticks(t)).sum();
+        assert_eq!(total.ticks(), 10);
+    }
+
+    #[test]
+    fn gcd_lcm_basics() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(0, 5), 5);
+        assert_eq!(lcm(4, 6), 12);
+        assert_eq!(lcm(0, 6), 0);
+        assert_eq!(lcm(12, 15), 60);
+    }
+
+    #[test]
+    fn lcm_saturates_instead_of_overflowing() {
+        let huge = u64::MAX / 2 + 1;
+        assert_eq!(lcm(huge, huge - 1), u64::MAX);
+    }
+
+    #[test]
+    fn display_uses_units() {
+        let d = Duration::from_units(2.966);
+        assert_eq!(format!("{d}"), "2.966000");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be negative")]
+    fn negative_duration_panics() {
+        let _ = Duration::from_units(-1.0);
+    }
+
+    #[test]
+    fn checked_add_detects_overflow() {
+        assert!(Time::MAX.checked_add(Duration::from_ticks(1)).is_none());
+        assert_eq!(
+            Time::from_ticks(1).checked_add(Duration::from_ticks(1)),
+            Some(Time::from_ticks(2))
+        );
+    }
+}

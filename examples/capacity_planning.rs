@@ -1,0 +1,97 @@
+//! Capacity planning: how much workload can the flexible platform admit?
+//!
+//! Sweeps randomly generated mixed-criticality workloads over a range of
+//! total utilisations and reports, for EDF and RM, the fraction of
+//! workloads that admit a feasible design (a non-empty feasible-period
+//! region of Eq. 15). It also compares the paper's flexible scheme against
+//! the static baselines (all-FT lock-step, fully parallel, primary/backup).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example capacity_planning
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ftsched_core::prelude::*;
+use ftsched_design::baseline;
+use ftsched_design::problem::DesignProblem;
+
+const SETS_PER_POINT: usize = 40;
+const TASKS_PER_SET: usize = 12;
+const TOTAL_OVERHEAD: f64 = 0.05;
+
+fn main() {
+    let utilizations = [0.6, 0.9, 1.2, 1.5, 1.8, 2.1, 2.4];
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>14}",
+        "U", "EDF", "RM", "lock-step", "parallel", "primary/backup"
+    );
+
+    for &target_u in &utilizations {
+        let mut rng = StdRng::seed_from_u64(420 + (target_u * 100.0) as u64);
+        let config = GeneratorConfig::paper_like(TASKS_PER_SET, target_u);
+
+        let mut feasible_edf = 0usize;
+        let mut feasible_rm = 0usize;
+        let mut lockstep = 0usize;
+        let mut parallel = 0usize;
+        let mut primary_backup = 0usize;
+        let mut generated = 0usize;
+
+        for _ in 0..SETS_PER_POINT {
+            let Ok(tasks) = generate_taskset(&mut rng, &config) else { continue };
+            let Ok(partition) = partition_system(&tasks, PartitionHeuristic::WorstFitDecreasing)
+            else {
+                generated += 1;
+                continue; // counts as infeasible for the flexible scheme
+            };
+            generated += 1;
+            let problem = DesignProblem::with_total_overhead(
+                tasks.clone(),
+                partition,
+                TOTAL_OVERHEAD,
+                Algorithm::EarliestDeadlineFirst,
+            )
+            .expect("valid problem");
+            let region = RegionConfig::for_problem(&problem);
+
+            if baseline::flexible_scheme_schedulable(&problem, &region) {
+                feasible_edf += 1;
+            }
+            let rm_problem = problem.with_algorithm(Algorithm::RateMonotonic);
+            if baseline::flexible_scheme_schedulable(&rm_problem, &region) {
+                feasible_rm += 1;
+            }
+            if baseline::static_lockstep_schedulable(&tasks, Algorithm::EarliestDeadlineFirst) {
+                lockstep += 1;
+            }
+            if baseline::static_parallel_schedulable(&tasks, Algorithm::EarliestDeadlineFirst) {
+                parallel += 1;
+            }
+            if baseline::primary_backup_schedulable(&tasks, Algorithm::EarliestDeadlineFirst) {
+                primary_backup += 1;
+            }
+        }
+
+        let pct = |n: usize| 100.0 * n as f64 / generated.max(1) as f64;
+        println!(
+            "{:>6.2} {:>9.1}% {:>9.1}% {:>11.1}% {:>11.1}% {:>13.1}%",
+            target_u,
+            pct(feasible_edf),
+            pct(feasible_rm),
+            pct(lockstep),
+            pct(parallel),
+            pct(primary_backup)
+        );
+    }
+
+    println!(
+        "\nReading the table: the flexible scheme tracks the parallel platform far beyond the\n\
+         U = 1 wall that limits the static all-FT lock-step, while still honouring every task's\n\
+         fault-robustness requirement (which the parallel baseline does not), and it admits more\n\
+         workloads than primary/backup replication once protected tasks dominate the load."
+    );
+}

@@ -1,0 +1,146 @@
+//! Integration tests of the full design pipeline on workloads other than
+//! the paper's example: automatically generated and automatically
+//! partitioned task sets must flow through region computation, quantum
+//! allocation, slack distribution and simulation without contradiction.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ftsched_core::prelude::*;
+use ftsched_design::problem::DesignProblem;
+use ftsched_design::quanta::minimum_allocation;
+
+fn generated_problem(seed: u64, utilization: f64) -> Option<DesignProblem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut config = GeneratorConfig::paper_like(10, utilization);
+    config.max_task_utilization = 0.6;
+    let tasks = generate_taskset(&mut rng, &config).ok()?;
+    let partition = partition_system(&tasks, PartitionHeuristic::WorstFitDecreasing).ok()?;
+    DesignProblem::with_total_overhead(tasks, partition, 0.05, Algorithm::EarliestDeadlineFirst)
+        .ok()
+}
+
+#[test]
+fn generated_workloads_design_and_validate_cleanly() {
+    let mut designed = 0;
+    for seed in 0..20u64 {
+        let Some(problem) = generated_problem(seed, 1.2) else { continue };
+        let config = PipelineConfig {
+            region: RegionConfig::for_problem(&problem),
+            horizon_hyperperiods: 1,
+            ..PipelineConfig::default()
+        };
+        match design_and_validate(&problem, DesignGoal::MinimizeOverheadBandwidth, &config) {
+            Ok(outcome) => {
+                designed += 1;
+                assert!(
+                    outcome.simulation.all_deadlines_met(),
+                    "seed {seed}: design P = {:.3} missed {} deadlines",
+                    outcome.solution.period,
+                    outcome.simulation.deadline_misses
+                );
+                assert!(outcome.solution.covers_requirements(), "seed {seed}");
+            }
+            Err(_) => { /* genuinely infeasible workloads are fine */ }
+        }
+    }
+    assert!(designed >= 10, "only {designed}/20 generated workloads admitted a design");
+}
+
+#[test]
+fn both_goals_agree_on_feasibility() {
+    for seed in 0..10u64 {
+        let Some(problem) = generated_problem(seed, 1.0) else { continue };
+        let region = RegionConfig::for_problem(&problem);
+        let a = ftsched_design::goals::solve(&problem, DesignGoal::MinimizeOverheadBandwidth, &region);
+        let b = ftsched_design::goals::solve(&problem, DesignGoal::MaximizeSlackBandwidth, &region);
+        assert_eq!(a.is_ok(), b.is_ok(), "seed {seed}: goals disagree on feasibility");
+        if let (Ok(a), Ok(b)) = (a, b) {
+            // The max-period goal never has more slack bandwidth than the
+            // slack-maximising goal.
+            assert!(a.slack_bandwidth() <= b.slack_bandwidth() + 1e-9, "seed {seed}");
+            // And the slack-maximising goal never has a larger period.
+            assert!(b.period <= a.period + 1e-9, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn partition_heuristics_produce_valid_partitions_and_wfd_matches_the_manual_design() {
+    let tasks = paper_taskset();
+    for heuristic in PartitionHeuristic::ALL {
+        // Every heuristic must at least produce a structurally valid
+        // partition; whether a feasible period then exists depends on how
+        // well it balances the channels (FFD/BFD happily stack all NF
+        // tasks on one processor, which shrinks the region to nothing).
+        let partition = partition_system(&tasks, heuristic).unwrap();
+        partition.validate(&tasks).unwrap();
+        let problem = DesignProblem::with_total_overhead(
+            tasks.clone(),
+            partition,
+            0.05,
+            Algorithm::EarliestDeadlineFirst,
+        )
+        .unwrap();
+        match design_and_validate(&problem, DesignGoal::MinimizeOverheadBandwidth, &PipelineConfig::default()) {
+            Ok(outcome) => assert!(outcome.simulation.all_deadlines_met(), "{heuristic:?}"),
+            Err(err) => assert!(
+                !matches!(heuristic, PartitionHeuristic::WorstFitDecreasing),
+                "WFD should balance the paper set into a feasible design, got {err:?}"
+            ),
+        }
+    }
+    // The load-balancing heuristic reproduces a design comparable to the
+    // paper's manual partition.
+    let wfd = partition_system(&tasks, PartitionHeuristic::WorstFitDecreasing).unwrap();
+    let problem =
+        DesignProblem::with_total_overhead(tasks, wfd, 0.05, Algorithm::EarliestDeadlineFirst)
+            .unwrap();
+    let outcome = design_and_validate(
+        &problem,
+        DesignGoal::MinimizeOverheadBandwidth,
+        &PipelineConfig::default(),
+    )
+    .unwrap();
+    assert!(outcome.simulation.all_deadlines_met());
+    assert!(outcome.solution.period > 1.4, "WFD design period {:.3}", outcome.solution.period);
+}
+
+#[test]
+fn minimum_allocation_is_tight_against_the_region_boundary() {
+    // At the maximum feasible period the slack must vanish; slightly below
+    // it must be positive.
+    let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+    let config = RegionConfig::paper_figure4();
+    let p_max = ftsched_design::region::max_feasible_period(&problem, &config).unwrap();
+    let at_boundary = minimum_allocation(&problem, p_max).unwrap();
+    assert!(at_boundary.slack < 0.01);
+    let inside = minimum_allocation(&problem, p_max * 0.8).unwrap();
+    assert!(inside.slack > 0.0);
+}
+
+#[test]
+fn sensitivity_margins_are_consistent_with_the_region() {
+    let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+    // The overhead margin at a period equals f(P), so it must be at least
+    // the configured O_tot everywhere inside the feasible region.
+    for period in [0.6, 0.855, 1.5, 2.0, 2.5, 2.9] {
+        let margin =
+            ftsched_design::sensitivity::max_total_overhead_at_period(&problem, period).unwrap();
+        assert!(margin >= 0.05 - 1e-9, "P = {period}: margin {margin:.4}");
+    }
+    // WCET margins shrink as the period approaches the boundary.
+    let m_small = ftsched_design::sensitivity::wcet_scaling_margin(&problem, 1.0, 1e-3).unwrap();
+    let m_large = ftsched_design::sensitivity::wcet_scaling_margin(&problem, 2.9, 1e-3).unwrap();
+    assert!(m_small >= m_large - 1e-6);
+}
+
+#[test]
+fn baseline_comparison_on_the_paper_example() {
+    let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+    let cmp = compare_schemes(&problem, &RegionConfig::paper_figure4()).unwrap();
+    assert!(cmp.verdict(Scheme::Flexible));
+    assert!(!cmp.verdict(Scheme::StaticLockstep), "U ≈ 1.35 cannot fit one processor");
+    assert!(cmp.verdict(Scheme::StaticParallel));
+    assert!(cmp.verdict(Scheme::PrimaryBackup));
+}

@@ -1,0 +1,145 @@
+//! Property-based tests linking the design theory to the simulator: for
+//! randomly generated workloads, any design the theory declares feasible
+//! must simulate without deadline misses, and the fault semantics of the
+//! three modes must hold under arbitrary single-transient-fault schedules.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ftsched_core::prelude::*;
+use ftsched_design::problem::DesignProblem;
+use ftsched_design::quanta::minimum_allocation;
+
+/// Generates a problem from a seed; returns `None` when the workload does
+/// not partition (too heavy), which the properties simply skip.
+fn problem_from_seed(seed: u64, utilization: f64) -> Option<DesignProblem> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut config = GeneratorConfig::paper_like(8, utilization);
+    config.max_task_utilization = 0.5;
+    let tasks = generate_taskset(&mut rng, &config).ok()?;
+    let partition = partition_system(&tasks, PartitionHeuristic::WorstFitDecreasing).ok()?;
+    DesignProblem::with_total_overhead(tasks, partition, 0.04, Algorithm::EarliestDeadlineFirst)
+        .ok()
+}
+
+fn slots_for(problem: &DesignProblem, period: f64) -> Option<SlotSchedule> {
+    let alloc = minimum_allocation(problem, period).ok()?;
+    SlotSchedule::new(
+        period,
+        PerMode::from_fn(|m| alloc.useful[m]),
+        PerMode::from_fn(|m| alloc.overheads[m]),
+    )
+    .ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theory → practice: a period inside the feasible region simulates
+    /// with zero deadline misses (fault-free).
+    #[test]
+    fn feasible_designs_never_miss_deadlines(seed in 0u64..5000, period_tenths in 4u32..20) {
+        let Some(problem) = problem_from_seed(seed, 1.0) else { return Ok(()) };
+        let period = period_tenths as f64 / 10.0;
+        let Some(slots) = slots_for(&problem, period) else { return Ok(()) };
+        let horizon = problem.tasks.hyperperiod().min(400.0);
+        let report = simulate(
+            &problem.tasks,
+            &problem.partition,
+            problem.algorithm,
+            &slots,
+            &SimulationConfig { horizon, fault_schedule: FaultSchedule::none(), record_trace: false },
+        ).unwrap();
+        prop_assert!(
+            report.all_deadlines_met(),
+            "seed {seed}, P={period}: {} misses over horizon {horizon}",
+            report.deadline_misses
+        );
+    }
+
+    /// Fault semantics: under any single-transient-fault schedule, FT and
+    /// FS jobs never commit wrong results; only NF jobs can.
+    #[test]
+    fn protected_modes_never_commit_wrong_results(
+        seed in 0u64..5000,
+        fault_seed in 0u64..5000,
+        mean_gap_tenths in 20u32..200,
+    ) {
+        let Some(problem) = problem_from_seed(seed, 1.0) else { return Ok(()) };
+        let Some(slots) = slots_for(&problem, 1.0) else { return Ok(()) };
+        let horizon = problem.tasks.hyperperiod().min(300.0);
+        let mut rng = StdRng::seed_from_u64(fault_seed);
+        let faults = FaultSchedule::poisson(
+            &mut rng,
+            Time::from_units(horizon),
+            Duration::from_units(mean_gap_tenths as f64 / 10.0),
+            Duration::from_units(0.3),
+        );
+        let report = simulate(
+            &problem.tasks,
+            &problem.partition,
+            problem.algorithm,
+            &slots,
+            &SimulationConfig { horizon, fault_schedule: faults, record_trace: false },
+        ).unwrap();
+        prop_assert_eq!(report.outcomes[Mode::FaultTolerant].wrong_result, 0);
+        prop_assert_eq!(report.outcomes[Mode::FailSilent].wrong_result, 0);
+        prop_assert_eq!(report.outcomes[Mode::FaultTolerant].silenced_lost, 0);
+        // Every classified job is accounted for exactly once.
+        prop_assert_eq!(report.total_outcomes().total(), report.released_jobs);
+    }
+
+    /// Faults never cause deadline misses by themselves (the paper's fault
+    /// model does not re-execute lost work, so timing is unaffected).
+    #[test]
+    fn faults_do_not_perturb_timing(seed in 0u64..5000, fault_seed in 0u64..5000) {
+        let Some(problem) = problem_from_seed(seed, 0.9) else { return Ok(()) };
+        let Some(slots) = slots_for(&problem, 1.2) else { return Ok(()) };
+        let horizon = problem.tasks.hyperperiod().min(200.0);
+        let mut rng = StdRng::seed_from_u64(fault_seed);
+        let faults = FaultSchedule::poisson(
+            &mut rng,
+            Time::from_units(horizon),
+            Duration::from_units(5.0),
+            Duration::from_units(0.2),
+        );
+        let clean = simulate(
+            &problem.tasks, &problem.partition, problem.algorithm, &slots,
+            &SimulationConfig { horizon, fault_schedule: FaultSchedule::none(), record_trace: false },
+        ).unwrap();
+        let faulty = simulate(
+            &problem.tasks, &problem.partition, problem.algorithm, &slots,
+            &SimulationConfig { horizon, fault_schedule: faults, record_trace: false },
+        ).unwrap();
+        prop_assert_eq!(clean.deadline_misses, faulty.deadline_misses);
+        prop_assert_eq!(clean.released_jobs, faulty.released_jobs);
+        prop_assert_eq!(clean.completed_jobs, faulty.completed_jobs);
+    }
+
+    /// The slot schedule's empirical supply dominates the linear bound for
+    /// arbitrary quanta/periods (the soundness of using Z' in the design).
+    #[test]
+    fn slot_supply_soundness(
+        q_ft in 1u32..20, q_fs in 1u32..20, q_nf in 1u32..20,
+        slack_tenths in 0u32..10, window_tenths in 1u32..100,
+    ) {
+        let quanta = PerMode {
+            ft: q_ft as f64 / 10.0,
+            fs: q_fs as f64 / 10.0,
+            nf: q_nf as f64 / 10.0,
+        };
+        let period = quanta.total() + slack_tenths as f64 / 10.0;
+        let slots = SlotSchedule::new(period, quanta, PerMode::splat(0.0)).unwrap();
+        let window = Duration::from_units(window_tenths as f64 / 10.0);
+        for mode in Mode::ALL {
+            let supply = LinearSupply::from_slot(slots.useful_quantum(mode).as_units(), period).unwrap();
+            let empirical = slots.empirical_min_supply(mode, window, 31).as_units();
+            prop_assert!(
+                empirical + 1e-6 >= supply.supply(window.as_units()),
+                "{mode}: empirical {empirical:.4} < bound {:.4}",
+                supply.supply(window.as_units())
+            );
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Integration tests tying the analysis to the simulator: designs declared
+//! feasible by the closed-form theory must run without deadline misses,
+//! designs that starve a mode must visibly fail, and the simulated supply
+//! must dominate the analytical lower bound.
+
+use ftsched_core::prelude::*;
+use ftsched_design::quanta::minimum_allocation;
+
+fn table2b_slots() -> SlotSchedule {
+    SlotSchedule::new(
+        2.966,
+        PerMode { ft: 0.820, fs: 1.281, nf: 0.815 },
+        PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0),
+    )
+    .unwrap()
+}
+
+#[test]
+fn table2b_design_meets_every_deadline_over_many_hyperperiods() {
+    let (tasks, partition) = paper_example();
+    let report = simulate(
+        &tasks,
+        &partition,
+        Algorithm::EarliestDeadlineFirst,
+        &table2b_slots(),
+        &SimulationConfig::fault_free(600.0),
+    )
+    .unwrap();
+    assert!(report.released_jobs > 300);
+    assert!(report.all_deadlines_met(), "{} misses", report.deadline_misses);
+    assert!(report.integrity_preserved());
+}
+
+#[test]
+fn every_feasible_period_of_the_paper_example_simulates_cleanly() {
+    let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+    for period in [0.5, 0.855, 1.3, 2.0, 2.5, 2.966] {
+        let alloc = minimum_allocation(&problem, period).unwrap();
+        let slots = SlotSchedule::new(
+            period,
+            PerMode::from_fn(|m| alloc.useful[m]),
+            PerMode::from_fn(|m| alloc.overheads[m]),
+        )
+        .unwrap();
+        let report = simulate(
+            &problem.tasks,
+            &problem.partition,
+            Algorithm::EarliestDeadlineFirst,
+            &slots,
+            &SimulationConfig::fault_free(240.0),
+        )
+        .unwrap();
+        assert!(
+            report.all_deadlines_met(),
+            "P = {period}: {} deadline misses",
+            report.deadline_misses
+        );
+    }
+}
+
+#[test]
+fn starving_each_mode_in_turn_causes_misses_in_that_mode_only() {
+    let (tasks, partition) = paper_example();
+    for starved in Mode::ALL {
+        let mut quanta = PerMode { ft: 0.820, fs: 1.281, nf: 0.815 };
+        quanta[starved] = 0.05; // far below the required minimum
+        let slots =
+            SlotSchedule::new(2.966, quanta, PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0)).unwrap();
+        let report = simulate(
+            &tasks,
+            &partition,
+            Algorithm::EarliestDeadlineFirst,
+            &slots,
+            &SimulationConfig::fault_free(240.0),
+        )
+        .unwrap();
+        assert!(report.deadline_misses > 0, "starving {starved} should cause misses");
+        // Misses must be confined to tasks of the starved mode.
+        let trace = report.trace.expect("trace recorded");
+        for record in trace.jobs.iter().filter(|r| !r.deadline_met) {
+            let task = tasks.get(record.job.task).unwrap();
+            assert_eq!(task.mode, starved, "a {} task missed while starving {starved}", task.mode);
+        }
+    }
+}
+
+#[test]
+fn simulated_response_times_stay_below_the_analytical_deadline_bound() {
+    let (tasks, partition) = paper_example();
+    let report = simulate(
+        &tasks,
+        &partition,
+        Algorithm::EarliestDeadlineFirst,
+        &table2b_slots(),
+        &SimulationConfig::fault_free(240.0),
+    )
+    .unwrap();
+    for task in tasks.iter() {
+        if let Some(rt) = report.worst_response_time(task.id) {
+            assert!(rt.as_units() <= task.deadline + 1e-9, "{}", task.id);
+        }
+    }
+}
+
+#[test]
+fn slot_supply_dominates_the_linear_bound_used_by_the_analysis() {
+    // Empirical minimum supply over sliding windows ≥ Z'(t) for every mode
+    // and a range of window lengths — the soundness of the whole analysis.
+    let slots = table2b_slots();
+    for mode in Mode::ALL {
+        let q = slots.useful_quantum(mode).as_units();
+        let p = slots.period().as_units();
+        let supply = LinearSupply::from_slot(q, p).unwrap();
+        for window in [0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 9.0] {
+            let empirical =
+                slots.empirical_min_supply(mode, Duration::from_units(window), 97).as_units();
+            assert!(
+                empirical + 1e-6 >= supply.supply(window),
+                "{mode}: window {window}: {empirical:.4} < {:.4}",
+                supply.supply(window)
+            );
+        }
+    }
+}
+
+#[test]
+fn rm_and_edf_simulations_agree_when_both_are_feasible() {
+    // At a period feasible for both schedulers, both simulate cleanly.
+    let problem_edf = paper_problem(Algorithm::EarliestDeadlineFirst);
+    let problem_rm = paper_problem(Algorithm::RateMonotonic);
+    let period = 1.5;
+    for problem in [&problem_edf, &problem_rm] {
+        let alloc = minimum_allocation(problem, period).unwrap();
+        let slots = SlotSchedule::new(
+            period,
+            PerMode::from_fn(|m| alloc.useful[m]),
+            PerMode::from_fn(|m| alloc.overheads[m]),
+        )
+        .unwrap();
+        let report = simulate(
+            &problem.tasks,
+            &problem.partition,
+            problem.algorithm,
+            &slots,
+            &SimulationConfig::fault_free(120.0),
+        )
+        .unwrap();
+        assert!(report.all_deadlines_met(), "{}", problem.algorithm);
+    }
+}
+
+#[test]
+fn execution_slices_never_overlap_and_respect_slot_boundaries() {
+    let (tasks, partition) = paper_example();
+    let slots = table2b_slots();
+    let report = simulate(
+        &tasks,
+        &partition,
+        Algorithm::EarliestDeadlineFirst,
+        &slots,
+        &SimulationConfig::fault_free(120.0),
+    )
+    .unwrap();
+    let trace = report.trace.unwrap();
+    assert!(trace.slices_are_disjoint_per_channel());
+    for slice in &trace.slices {
+        // Every executed instant belongs to the useful phase of the slice's
+        // mode (check the slice midpoint; boundaries are half-open).
+        let mid = slice.start + slice.length() / 2;
+        match slots.phase_at(mid) {
+            Some(phase) => {
+                assert!(phase.is_useful(), "slice executes during an overhead window");
+                assert_eq!(phase.mode(), slice.mode);
+            }
+            None => panic!("slice executes during unallocated slack"),
+        }
+    }
+}
