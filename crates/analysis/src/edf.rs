@@ -166,18 +166,28 @@ mod tests {
         use crate::fp;
         use ftsched_task::PriorityOrder;
         let candidates = vec![
-            set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 1.0, 12.0)]),
-            set(vec![task(1, 1.0, 10.0), task(2, 1.0, 15.0), task(3, 2.0, 20.0)]),
+            set(vec![
+                task(1, 1.0, 6.0),
+                task(2, 1.0, 8.0),
+                task(3, 1.0, 12.0),
+            ]),
+            set(vec![
+                task(1, 1.0, 10.0),
+                task(2, 1.0, 15.0),
+                task(3, 2.0, 20.0),
+            ]),
             set(vec![task(4, 2.0, 10.0)]),
         ];
         for ts in candidates {
             for (q, p) in [(0.5, 2.0), (0.82, 2.966), (1.2, 3.0)] {
                 let supply = LinearSupply::from_slot(q, p).unwrap();
-                let by_rm =
-                    fp::schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &supply);
+                let by_rm = fp::schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &supply);
                 let by_edf = schedulable_with_supply(&ts, &supply);
                 if by_rm {
-                    assert!(by_edf, "RM accepted but EDF refused (q={q}, p={p}, set={ts:?})");
+                    assert!(
+                        by_edf,
+                        "RM accepted but EDF refused (q={q}, p={p}, set={ts:?})"
+                    );
                 }
             }
         }
@@ -197,7 +207,11 @@ mod tests {
 
     #[test]
     fn horizon_cap_keeps_the_test_running_on_nasty_periods() {
-        let ts = set(vec![task(1, 0.5, 7.001), task(2, 0.5, 11.003), task(3, 0.5, 13.007)]);
+        let ts = set(vec![
+            task(1, 0.5, 7.001),
+            task(2, 0.5, 11.003),
+            task(3, 0.5, 13.007),
+        ]);
         let supply = LinearSupply::from_slot(1.0, 2.0).unwrap();
         // Must terminate quickly despite the enormous true hyperperiod.
         let _ = schedulable_with_supply_capped(&ts, &supply, 1_000.0);

@@ -41,13 +41,22 @@ impl fmt::Display for AnalysisError {
             Self::InvalidSupply { reason } => write!(f, "invalid supply function: {reason}"),
             Self::EmptyTaskSet => write!(f, "analysis requires at least one task"),
             Self::Overloaded { utilization } => {
-                write!(f, "task set utilisation {utilization:.3} exceeds available capacity")
+                write!(
+                    f,
+                    "task set utilisation {utilization:.3} exceeds available capacity"
+                )
             }
             Self::InvalidParameter { name, value } => {
-                write!(f, "parameter {name} must be positive and finite (got {value})")
+                write!(
+                    f,
+                    "parameter {name} must be positive and finite (got {value})"
+                )
             }
             Self::NoConvergence { task_index } => {
-                write!(f, "response-time iteration for task index {task_index} did not converge")
+                write!(
+                    f,
+                    "response-time iteration for task index {task_index} did not converge"
+                )
             }
         }
     }
@@ -61,7 +70,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = AnalysisError::InvalidParameter { name: "period", value: -3.0 };
+        let e = AnalysisError::InvalidParameter {
+            name: "period",
+            value: -3.0,
+        };
         assert!(e.to_string().contains("period"));
         assert!(e.to_string().contains("-3"));
     }

@@ -68,7 +68,11 @@ pub fn response_time_analysis(
         let hp = &sorted[..i];
         let rt = response_time_single(task, hp);
         let schedulable = rt.map(|r| r <= task.deadline + 1e-9).unwrap_or(false);
-        results.push(ResponseTime { task: task.id, response_time: rt, schedulable });
+        results.push(ResponseTime {
+            task: task.id,
+            response_time: rt,
+            schedulable,
+        });
     }
     Ok(results)
 }
@@ -78,8 +82,10 @@ pub fn response_time_analysis(
 fn response_time_single(task: &Task, hp: &[Task]) -> Option<f64> {
     let mut r = task.wcet;
     for _ in 0..10_000 {
-        let next: f64 =
-            task.wcet + hp.iter().map(|h| (r / h.period).ceil() * h.wcet).sum::<f64>();
+        let next: f64 = task.wcet
+            + hp.iter()
+                .map(|h| (r / h.period).ceil() * h.wcet)
+                .sum::<f64>();
         if (next - r).abs() < 1e-9 {
             return Some(next);
         }
@@ -166,7 +172,9 @@ mod tests {
         assert!((liu_layland_bound(2) - 0.8284).abs() < 1e-4);
         assert!((liu_layland_bound(3) - 0.7798).abs() < 1e-4);
         // The bound decreases towards ln 2.
-        assert!(liu_layland_bound(1000) > std::f64::consts::LN_2 && liu_layland_bound(1000) < 0.694);
+        assert!(
+            liu_layland_bound(1000) > std::f64::consts::LN_2 && liu_layland_bound(1000) < 0.694
+        );
         assert_eq!(liu_layland_bound(0), 1.0);
     }
 
@@ -181,7 +189,11 @@ mod tests {
     #[test]
     fn rta_classic_example_converges() {
         // Classic RM example: (1,4), (2,6), (3,12) → response times 1, 3, 10.
-        let ts = set(vec![task(1, 1.0, 4.0), task(2, 2.0, 6.0), task(3, 3.0, 12.0)]);
+        let ts = set(vec![
+            task(1, 1.0, 4.0),
+            task(2, 2.0, 6.0),
+            task(3, 3.0, 12.0),
+        ]);
         let res = response_time_analysis(&ts, PriorityOrder::RateMonotonic).unwrap();
         let rts: Vec<f64> = res.iter().map(|r| r.response_time.unwrap()).collect();
         assert_eq!(rts, vec![1.0, 3.0, 10.0]);
@@ -192,14 +204,20 @@ mod tests {
     #[test]
     fn rta_detects_deadline_misses() {
         // Utilisation 1.04 > 1: the lowest-priority task must miss.
-        let ts = set(vec![task(1, 2.0, 4.0), task(2, 2.0, 5.0), task(3, 2.0, 14.0)]);
+        let ts = set(vec![
+            task(1, 2.0, 4.0),
+            task(2, 2.0, 5.0),
+            task(3, 2.0, 14.0),
+        ]);
         assert!(!schedulable_dedicated(&ts, PriorityOrder::RateMonotonic));
     }
 
     #[test]
     fn rta_rejects_empty_sets() {
         let err = response_time_analysis(
-            &set(vec![task(1, 1.0, 4.0)]).subset(&[ftsched_task::TaskId(1)]).unwrap(),
+            &set(vec![task(1, 1.0, 4.0)])
+                .subset(&[ftsched_task::TaskId(1)])
+                .unwrap(),
             PriorityOrder::RateMonotonic,
         );
         assert!(err.is_ok());
@@ -213,10 +231,26 @@ mod tests {
     #[test]
     fn supply_test_with_dedicated_supply_matches_rta() {
         let candidates = vec![
-            set(vec![task(1, 1.0, 4.0), task(2, 2.0, 6.0), task(3, 3.0, 12.0)]),
-            set(vec![task(1, 2.0, 4.0), task(2, 2.0, 5.0), task(3, 2.0, 14.0)]),
-            set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 1.0, 12.0)]),
-            set(vec![task(1, 3.0, 6.0), task(2, 2.0, 8.0), task(3, 2.0, 12.0)]),
+            set(vec![
+                task(1, 1.0, 4.0),
+                task(2, 2.0, 6.0),
+                task(3, 3.0, 12.0),
+            ]),
+            set(vec![
+                task(1, 2.0, 4.0),
+                task(2, 2.0, 5.0),
+                task(3, 2.0, 14.0),
+            ]),
+            set(vec![
+                task(1, 1.0, 6.0),
+                task(2, 1.0, 8.0),
+                task(3, 1.0, 12.0),
+            ]),
+            set(vec![
+                task(1, 3.0, 6.0),
+                task(2, 2.0, 8.0),
+                task(3, 2.0, 12.0),
+            ]),
         ];
         for ts in candidates {
             let rta = schedulable_dedicated(&ts, PriorityOrder::RateMonotonic);
@@ -229,7 +263,11 @@ mod tests {
     fn supply_test_rejects_overloaded_sets() {
         let ts = set(vec![task(1, 3.0, 4.0)]);
         let supply = LinearSupply::from_slot(1.0, 2.0).unwrap(); // rate 0.5
-        assert!(!schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &supply));
+        assert!(!schedulable_with_supply(
+            &ts,
+            PriorityOrder::RateMonotonic,
+            &supply
+        ));
     }
 
     #[test]
@@ -238,10 +276,18 @@ mod tests {
         // Eq. 4: ∃ t ∈ {4}: Δ ≤ t − W/α = 4 − 1·3 = 1 → 2 ≤ 1 is false.
         let ts = set(vec![task(1, 1.0, 4.0)]);
         let tight = LinearSupply::from_slot(1.0, 3.0).unwrap();
-        assert!(!schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &tight));
+        assert!(!schedulable_with_supply(
+            &ts,
+            PriorityOrder::RateMonotonic,
+            &tight
+        ));
         // With Q̃ = 2, P = 3: Δ = 1, t − W/α = 4 − 1.5 = 2.5 ≥ 1 → feasible.
         let ok = LinearSupply::from_slot(2.0, 3.0).unwrap();
-        assert!(schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &ok));
+        assert!(schedulable_with_supply(
+            &ts,
+            PriorityOrder::RateMonotonic,
+            &ok
+        ));
     }
 
     #[test]
@@ -253,15 +299,21 @@ mod tests {
 
     #[test]
     fn exact_supply_is_no_more_pessimistic_than_linear_bound() {
-        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 1.0, 12.0)]);
+        let ts = set(vec![
+            task(1, 1.0, 6.0),
+            task(2, 1.0, 8.0),
+            task(3, 1.0, 12.0),
+        ]);
         for (q, p) in [(0.8, 3.0), (1.0, 4.0), (0.6, 2.0), (1.4, 4.0)] {
             let exact = PeriodicSlotSupply::new(q, p).unwrap();
             let linear = exact.linear_bound();
-            let by_linear =
-                schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &linear);
+            let by_linear = schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &linear);
             let by_exact = schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &exact);
             if by_linear {
-                assert!(by_exact, "linear bound accepted but exact refused (q={q}, p={p})");
+                assert!(
+                    by_exact,
+                    "linear bound accepted but exact refused (q={q}, p={p})"
+                );
             }
         }
     }
@@ -273,7 +325,11 @@ mod tests {
         // public API contract directly instead.
         let supply = LinearSupply::from_slot(0.1, 10.0).unwrap();
         // A single tiny task on a tiny supply: utilisation check dominates.
-        assert!(!schedulable_with_supply(&empty, PriorityOrder::RateMonotonic, &supply));
+        assert!(!schedulable_with_supply(
+            &empty,
+            PriorityOrder::RateMonotonic,
+            &supply
+        ));
     }
 
     #[test]

@@ -84,7 +84,10 @@ pub fn min_quantum(
         return Err(AnalysisError::EmptyTaskSet);
     }
     if !(period > 0.0 && period.is_finite()) {
-        return Err(AnalysisError::InvalidParameter { name: "period", value: period });
+        return Err(AnalysisError::InvalidParameter {
+            name: "period",
+            value: period,
+        });
     }
     match algorithm {
         Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic => {
@@ -92,7 +95,11 @@ pub fn min_quantum(
                 .priority_order()
                 .expect("fixed-priority algorithms define an order");
             let sorted = tasks.sorted_by_priority(order);
-            let mut worst = MinQuantum { quantum: 0.0, period, binding_instant: 0.0 };
+            let mut worst = MinQuantum {
+                quantum: 0.0,
+                period,
+                binding_instant: 0.0,
+            };
             for (i, task) in sorted.iter().enumerate() {
                 let hp = &sorted[..i];
                 let points = scheduling_points(task.deadline, hp);
@@ -105,7 +112,11 @@ pub fn min_quantum(
                 for &t in &points {
                     let q = quantum_at_point(t, period, fp_workload(task, hp, t));
                     if q < best.quantum {
-                        best = MinQuantum { quantum: q, period, binding_instant: t };
+                        best = MinQuantum {
+                            quantum: q,
+                            period,
+                            binding_instant: t,
+                        };
                     }
                 }
                 if best.quantum > worst.quantum {
@@ -117,11 +128,19 @@ pub fn min_quantum(
         Algorithm::EarliestDeadlineFirst => {
             let horizon = capped_hyperperiod(tasks.tasks(), HORIZON_CAP);
             let deadlines = deadline_set(tasks.tasks(), horizon);
-            let mut worst = MinQuantum { quantum: 0.0, period, binding_instant: 0.0 };
+            let mut worst = MinQuantum {
+                quantum: 0.0,
+                period,
+                binding_instant: 0.0,
+            };
             for &t in &deadlines {
                 let q = quantum_at_point(t, period, edf_demand(tasks.tasks(), t));
                 if q > worst.quantum {
-                    worst = MinQuantum { quantum: q, period, binding_instant: t };
+                    worst = MinQuantum {
+                        quantum: q,
+                        period,
+                        binding_instant: t,
+                    };
                 }
             }
             Ok(worst)
@@ -143,9 +162,16 @@ pub fn min_quantum_multi(
     period: f64,
 ) -> Result<MinQuantum, AnalysisError> {
     if !(period > 0.0 && period.is_finite()) {
-        return Err(AnalysisError::InvalidParameter { name: "period", value: period });
+        return Err(AnalysisError::InvalidParameter {
+            name: "period",
+            value: period,
+        });
     }
-    let mut worst = MinQuantum { quantum: 0.0, period, binding_instant: 0.0 };
+    let mut worst = MinQuantum {
+        quantum: 0.0,
+        period,
+        binding_instant: 0.0,
+    };
     for channel in channels {
         if channel.is_empty() {
             continue;
@@ -202,7 +228,11 @@ mod tests {
     fn quantum_is_schedulability_threshold_for_edf() {
         // The supply built from the returned quantum must be schedulable,
         // and a slightly smaller quantum must not be.
-        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 2.0, 12.0)]);
+        let ts = set(vec![
+            task(1, 1.0, 6.0),
+            task(2, 1.0, 8.0),
+            task(3, 2.0, 12.0),
+        ]);
         for p in [0.5, 1.0, 2.0] {
             let mq = min_quantum(&ts, Algorithm::EarliestDeadlineFirst, p).unwrap();
             assert!(mq.feasible(), "P={p}");
@@ -217,15 +247,27 @@ mod tests {
 
     #[test]
     fn quantum_is_schedulability_threshold_for_rm() {
-        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 2.0, 12.0)]);
+        let ts = set(vec![
+            task(1, 1.0, 6.0),
+            task(2, 1.0, 8.0),
+            task(3, 2.0, 12.0),
+        ]);
         for p in [0.5, 1.0, 2.0] {
             let mq = min_quantum(&ts, Algorithm::RateMonotonic, p).unwrap();
             assert!(mq.feasible());
             let ok = LinearSupply::from_slot((mq.quantum + 1e-9).min(p), p).unwrap();
-            assert!(fp::schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &ok));
+            assert!(fp::schedulable_with_supply(
+                &ts,
+                PriorityOrder::RateMonotonic,
+                &ok
+            ));
             if mq.quantum > 1e-3 {
                 let bad = LinearSupply::from_slot(mq.quantum - 1e-3, p).unwrap();
-                assert!(!fp::schedulable_with_supply(&ts, PriorityOrder::RateMonotonic, &bad));
+                assert!(!fp::schedulable_with_supply(
+                    &ts,
+                    PriorityOrder::RateMonotonic,
+                    &bad
+                ));
             }
         }
     }
@@ -233,9 +275,22 @@ mod tests {
     #[test]
     fn edf_never_needs_more_quantum_than_rm() {
         let sets = vec![
-            set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 1.0, 12.0)]),
-            set(vec![task(6, 1.0, 10.0), task(7, 1.0, 15.0), task(8, 2.0, 20.0)]),
-            set(vec![task(10, 1.0, 12.0), task(11, 1.0, 15.0), task(12, 1.0, 20.0), task(13, 2.0, 30.0)]),
+            set(vec![
+                task(1, 1.0, 6.0),
+                task(2, 1.0, 8.0),
+                task(3, 1.0, 12.0),
+            ]),
+            set(vec![
+                task(6, 1.0, 10.0),
+                task(7, 1.0, 15.0),
+                task(8, 2.0, 20.0),
+            ]),
+            set(vec![
+                task(10, 1.0, 12.0),
+                task(11, 1.0, 15.0),
+                task(12, 1.0, 20.0),
+                task(13, 2.0, 30.0),
+            ]),
         ];
         for ts in &sets {
             for p in [0.5, 1.0, 1.5, 2.0, 2.5] {
@@ -270,7 +325,11 @@ mod tests {
     #[test]
     fn bandwidth_never_falls_below_utilization() {
         // Necessary condition: Q̃/P ≥ U(T).
-        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 2.0, 12.0)]);
+        let ts = set(vec![
+            task(1, 1.0, 6.0),
+            task(2, 1.0, 8.0),
+            task(3, 2.0, 12.0),
+        ]);
         let u = ts.utilization();
         for alg in [Algorithm::RateMonotonic, Algorithm::EarliestDeadlineFirst] {
             for p in [0.2, 0.5, 1.0, 2.0, 3.0] {
@@ -297,16 +356,28 @@ mod tests {
         let single = set(vec![task(1, 1.0, 2.0)]);
         let mq = min_quantum(&single, Algorithm::EarliestDeadlineFirst, 10.0).unwrap();
         assert!(mq.feasible());
-        assert!(mq.quantum > 9.0, "quantum {:.3} should be close to the period", mq.quantum);
+        assert!(
+            mq.quantum > 9.0,
+            "quantum {:.3} should be close to the period",
+            mq.quantum
+        );
     }
 
     #[test]
     fn multi_channel_quantum_takes_the_worst_channel() {
-        let c1 = set(vec![task(6, 1.0, 10.0), task(7, 1.0, 15.0), task(8, 2.0, 20.0)]);
+        let c1 = set(vec![
+            task(6, 1.0, 10.0),
+            task(7, 1.0, 15.0),
+            task(8, 2.0, 20.0),
+        ]);
         let c2 = set(vec![task(9, 1.0, 4.0)]);
         let p = 2.0;
-        let q1 = min_quantum(&c1, Algorithm::EarliestDeadlineFirst, p).unwrap().quantum;
-        let q2 = min_quantum(&c2, Algorithm::EarliestDeadlineFirst, p).unwrap().quantum;
+        let q1 = min_quantum(&c1, Algorithm::EarliestDeadlineFirst, p)
+            .unwrap()
+            .quantum;
+        let q2 = min_quantum(&c2, Algorithm::EarliestDeadlineFirst, p)
+            .unwrap()
+            .quantum;
         let multi = min_quantum_multi(&[c1, c2], Algorithm::EarliestDeadlineFirst, p).unwrap();
         assert!((multi.quantum - q1.max(q2)).abs() < 1e-12);
     }
@@ -319,7 +390,11 @@ mod tests {
 
     #[test]
     fn rm_and_dm_agree_on_implicit_deadlines() {
-        let ts = set(vec![task(1, 1.0, 6.0), task(2, 1.0, 8.0), task(3, 1.0, 12.0)]);
+        let ts = set(vec![
+            task(1, 1.0, 6.0),
+            task(2, 1.0, 8.0),
+            task(3, 1.0, 12.0),
+        ]);
         for p in [0.5, 1.0, 2.0] {
             let rm = min_quantum(&ts, Algorithm::RateMonotonic, p).unwrap();
             let dm = min_quantum(&ts, Algorithm::DeadlineMonotonic, p).unwrap();

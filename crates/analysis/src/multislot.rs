@@ -53,7 +53,12 @@ impl MultiSlotSupply {
             });
         }
         let inner = PeriodicSlotSupply::new(budget / slots as f64, period / slots as f64)?;
-        Ok(MultiSlotSupply { budget, period, slots, inner })
+        Ok(MultiSlotSupply {
+            budget,
+            period,
+            slots,
+            inner,
+        })
     }
 
     /// The total per-period budget `Q̃`.
@@ -143,8 +148,7 @@ mod tests {
         let ts = ft_channel();
         for p in [0.855, 1.5, 2.966] {
             let single = min_quantum(&ts, Algorithm::EarliestDeadlineFirst, p).unwrap();
-            let multi =
-                min_quantum_multislot(&ts, Algorithm::EarliestDeadlineFirst, p, 1).unwrap();
+            let multi = min_quantum_multislot(&ts, Algorithm::EarliestDeadlineFirst, p, 1).unwrap();
             assert!((single.quantum - multi.quantum).abs() < 1e-12);
         }
         let s1 = MultiSlotSupply::new(0.82, 2.966, 1).unwrap();
@@ -199,11 +203,14 @@ mod tests {
         let p = 2.966;
         for k in [2u32, 3, 5] {
             let mq = min_quantum_multislot(&ts, Algorithm::EarliestDeadlineFirst, p, k).unwrap();
-            let supply = MultiSlotSupply::new(mq.quantum + 1e-9, p, k).unwrap().linear_bound();
+            let supply = MultiSlotSupply::new(mq.quantum + 1e-9, p, k)
+                .unwrap()
+                .linear_bound();
             assert!(edf::schedulable_with_supply(&ts, &supply), "k={k}");
             if mq.quantum > 1e-3 {
-                let starved =
-                    MultiSlotSupply::new(mq.quantum - 1e-3, p, k).unwrap().linear_bound();
+                let starved = MultiSlotSupply::new(mq.quantum - 1e-3, p, k)
+                    .unwrap()
+                    .linear_bound();
                 assert!(!edf::schedulable_with_supply(&ts, &starved), "k={k}");
             }
         }
@@ -213,13 +220,9 @@ mod tests {
     fn invalid_parameters_are_rejected() {
         assert!(MultiSlotSupply::new(1.0, 3.0, 0).is_err());
         assert!(MultiSlotSupply::new(4.0, 3.0, 2).is_err());
-        assert!(min_quantum_multislot(
-            &ft_channel(),
-            Algorithm::EarliestDeadlineFirst,
-            2.0,
-            0
-        )
-        .is_err());
+        assert!(
+            min_quantum_multislot(&ft_channel(), Algorithm::EarliestDeadlineFirst, 2.0, 0).is_err()
+        );
     }
 
     #[test]

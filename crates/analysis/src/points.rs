@@ -133,8 +133,13 @@ mod tests {
         assert!(pts.contains(&24.0));
         // All points are multiples of some hp period or the deadline itself.
         for &p in &pts {
-            let is_multiple = hp.iter().any(|h| (p / h.period - (p / h.period).round()).abs() < 1e-9);
-            assert!(is_multiple || (p - 24.0).abs() < 1e-12, "unexpected point {p}");
+            let is_multiple = hp
+                .iter()
+                .any(|h| (p / h.period - (p / h.period).round()).abs() < 1e-9);
+            assert!(
+                is_multiple || (p - 24.0).abs() < 1e-12,
+                "unexpected point {p}"
+            );
         }
     }
 
@@ -165,13 +170,22 @@ mod tests {
 
     #[test]
     fn capped_hyperperiod_matches_lcm_for_small_sets() {
-        let tasks = vec![task(1, 1.0, 12.0), task(2, 1.0, 15.0), task(3, 1.0, 20.0), task(4, 2.0, 30.0)];
+        let tasks = vec![
+            task(1, 1.0, 12.0),
+            task(2, 1.0, 15.0),
+            task(3, 1.0, 20.0),
+            task(4, 2.0, 30.0),
+        ];
         assert!((capped_hyperperiod(&tasks, 1e9) - 60.0).abs() < 1e-9);
     }
 
     #[test]
     fn capped_hyperperiod_respects_the_cap() {
-        let tasks = vec![task(1, 1.0, 7.001), task(2, 1.0, 11.003), task(3, 1.0, 13.007)];
+        let tasks = vec![
+            task(1, 1.0, 7.001),
+            task(2, 1.0, 11.003),
+            task(3, 1.0, 13.007),
+        ];
         let capped = capped_hyperperiod(&tasks, 500.0);
         assert!(capped <= 500.0);
     }

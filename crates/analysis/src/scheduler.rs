@@ -35,7 +35,10 @@ impl Algorithm {
     /// True for the two fixed-priority variants.
     #[inline]
     pub const fn is_fixed_priority(self) -> bool {
-        matches!(self, Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic)
+        matches!(
+            self,
+            Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic
+        )
     }
 
     /// The priority order used when the algorithm is fixed-priority;

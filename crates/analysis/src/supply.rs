@@ -197,8 +197,7 @@ impl PeriodicSlotSupply {
 
     /// The linear lower bound of this supply (Eq. 2–3).
     pub fn linear_bound(&self) -> LinearSupply {
-        LinearSupply::from_slot(self.quantum, self.period)
-            .expect("parameters already validated")
+        LinearSupply::from_slot(self.quantum, self.period).expect("parameters already validated")
     }
 }
 
@@ -334,7 +333,10 @@ mod tests {
         let mut t = 0.0;
         while t < 40.0 {
             let z = s.supply(t);
-            assert!(z + 1e-12 >= prev_z, "supply must be non-decreasing at t={t}");
+            assert!(
+                z + 1e-12 >= prev_z,
+                "supply must be non-decreasing at t={t}"
+            );
             assert!(
                 z - prev_z <= (t - prev_t) + 1e-9,
                 "supply cannot grow faster than real time at t={t}"

@@ -40,7 +40,10 @@ pub fn edf_demand(tasks: &[Task], t: f64) -> f64 {
 /// execution requested by jobs of `tasks` released in a synchronous window
 /// of length `t` (used for response-time fixed points).
 pub fn request_bound(tasks: &[Task], t: f64) -> f64 {
-    tasks.iter().map(|task| (t / task.period).ceil() * task.wcet).sum()
+    tasks
+        .iter()
+        .map(|task| (t / task.period).ceil() * task.wcet)
+        .sum()
 }
 
 #[cfg(test)]

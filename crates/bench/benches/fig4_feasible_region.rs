@@ -11,7 +11,12 @@ use ftsched_design::region::{max_feasible_period, sweep_region, RegionConfig};
 
 fn bench_region_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig4_region_sweep");
-    let config = RegionConfig { period_min: 0.02, period_max: 3.5, samples: 350, refine_iterations: 20 };
+    let config = RegionConfig {
+        period_min: 0.02,
+        period_max: 3.5,
+        samples: 350,
+        refine_iterations: 20,
+    };
     for (label, problem) in [("EDF", paper_edf()), ("RM", paper_rm())] {
         group.bench_with_input(BenchmarkId::new("sweep", label), &problem, |b, problem| {
             b.iter(|| sweep_region(black_box(problem), black_box(&config)).unwrap())

@@ -12,9 +12,15 @@ use ftsched_task::{Mode, TaskSet};
 fn mode_sets() -> Vec<(&'static str, TaskSet)> {
     let tasks = paper_taskset();
     vec![
-        ("FT_channel", tasks.tasks_in_mode(Mode::FaultTolerant).unwrap()),
+        (
+            "FT_channel",
+            tasks.tasks_in_mode(Mode::FaultTolerant).unwrap(),
+        ),
         ("FS_channel", tasks.tasks_in_mode(Mode::FailSilent).unwrap()),
-        ("NF_all", tasks.tasks_in_mode(Mode::NonFaultTolerant).unwrap()),
+        (
+            "NF_all",
+            tasks.tasks_in_mode(Mode::NonFaultTolerant).unwrap(),
+        ),
     ]
 }
 
@@ -22,11 +28,9 @@ fn bench_min_quantum(c: &mut Criterion) {
     let mut group = c.benchmark_group("minq");
     for (label, set) in mode_sets() {
         for alg in [Algorithm::EarliestDeadlineFirst, Algorithm::RateMonotonic] {
-            group.bench_with_input(
-                BenchmarkId::new(alg.label(), label),
-                &set,
-                |b, set| b.iter(|| min_quantum(black_box(set), alg, black_box(1.5)).unwrap()),
-            );
+            group.bench_with_input(BenchmarkId::new(alg.label(), label), &set, |b, set| {
+                b.iter(|| min_quantum(black_box(set), alg, black_box(1.5)).unwrap())
+            });
         }
     }
     group.finish();

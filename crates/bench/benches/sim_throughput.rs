@@ -16,7 +16,11 @@ use ftsched_task::{Duration, PerMode, Time};
 fn table2b_slots() -> SlotSchedule {
     SlotSchedule::new(
         2.966,
-        PerMode { ft: 0.820, fs: 1.281, nf: 0.815 },
+        PerMode {
+            ft: 0.820,
+            fs: 1.281,
+            nf: 0.815,
+        },
         PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0),
     )
     .unwrap()
@@ -28,18 +32,26 @@ fn bench_fault_free_simulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_fault_free");
     for horizon in [120.0, 600.0, 2400.0] {
         group.throughput(Throughput::Elements(horizon as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(horizon as u64), &horizon, |b, &horizon| {
-            b.iter(|| {
-                simulate(
-                    black_box(&tasks),
-                    black_box(&partition),
-                    Algorithm::EarliestDeadlineFirst,
-                    black_box(&slots),
-                    &SimulationConfig { horizon, fault_schedule: FaultSchedule::none(), record_trace: false },
-                )
-                .unwrap()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(horizon as u64),
+            &horizon,
+            |b, &horizon| {
+                b.iter(|| {
+                    simulate(
+                        black_box(&tasks),
+                        black_box(&partition),
+                        Algorithm::EarliestDeadlineFirst,
+                        black_box(&slots),
+                        &SimulationConfig {
+                            horizon,
+                            fault_schedule: FaultSchedule::none(),
+                            record_trace: false,
+                        },
+                    )
+                    .unwrap()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -73,5 +85,9 @@ fn bench_fault_injected_simulation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_fault_free_simulation, bench_fault_injected_simulation);
+criterion_group!(
+    benches,
+    bench_fault_free_simulation,
+    bench_fault_injected_simulation
+);
 criterion_main!(benches);

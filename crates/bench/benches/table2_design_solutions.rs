@@ -13,7 +13,12 @@ use ftsched_design::DesignGoal;
 
 fn bench_design_goals(c: &mut Criterion) {
     let problem = paper_edf();
-    let config = RegionConfig { period_min: 0.02, period_max: 3.5, samples: 350, refine_iterations: 20 };
+    let config = RegionConfig {
+        period_min: 0.02,
+        period_max: 3.5,
+        samples: 350,
+        refine_iterations: 20,
+    };
     let mut group = c.benchmark_group("table2_solve");
     for (label, goal) in [
         ("min_overhead", DesignGoal::MinimizeOverheadBandwidth),
@@ -30,7 +35,12 @@ fn bench_design_goals(c: &mut Criterion) {
 fn bench_full_pipeline(c: &mut Criterion) {
     let problem = paper_edf();
     let config = PipelineConfig {
-        region: RegionConfig { period_min: 0.02, period_max: 3.5, samples: 350, refine_iterations: 20 },
+        region: RegionConfig {
+            period_min: 0.02,
+            period_max: 3.5,
+            samples: 350,
+            refine_iterations: 20,
+        },
         horizon_hyperperiods: 1,
         ..PipelineConfig::default()
     };

@@ -29,7 +29,9 @@ fn exact_min_quantum(channels: &[TaskSet], period: f64) -> f64 {
             Ok(s) => s,
             Err(_) => return false,
         };
-        channels.iter().all(|c| edf::schedulable_with_supply(c, &supply))
+        channels
+            .iter()
+            .all(|c| edf::schedulable_with_supply(c, &supply))
     };
     if schedulable(1e-9) {
         return 0.0;
@@ -67,19 +69,29 @@ fn main() {
         let linear: f64 = Mode::ALL
             .iter()
             .map(|&m| {
-                ftsched_analysis::min_quantum_multi(channels.get(m), Algorithm::EarliestDeadlineFirst, p)
-                    .unwrap()
-                    .quantum
+                ftsched_analysis::min_quantum_multi(
+                    channels.get(m),
+                    Algorithm::EarliestDeadlineFirst,
+                    p,
+                )
+                .unwrap()
+                .quantum
             })
             .sum();
-        let exact: f64 = Mode::ALL.iter().map(|&m| exact_min_quantum(channels.get(m), p)).sum();
+        let exact: f64 = Mode::ALL
+            .iter()
+            .map(|&m| exact_min_quantum(channels.get(m), p))
+            .sum();
         if p - linear >= overhead {
             linear_max_p = p;
         }
         if p - exact >= overhead {
             exact_max_p = p;
         }
-        println!("{p:>7.2} {linear:>22.4} {exact:>22.4} {:>11.2}%", 100.0 * (linear - exact) / exact.max(1e-9));
+        println!(
+            "{p:>7.2} {linear:>22.4} {exact:>22.4} {:>11.2}%",
+            100.0 * (linear - exact) / exact.max(1e-9)
+        );
         p += 0.2;
     }
 

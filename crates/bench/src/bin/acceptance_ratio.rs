@@ -2,89 +2,63 @@
 //! (EDF vs RM hierarchical tests) over randomly generated mixed-criticality
 //! workloads, as a function of the total utilisation.
 //!
-//! For each utilisation level a batch of UUniFast task sets is generated,
-//! automatically partitioned with worst-fit decreasing, and the feasible
-//! period region of Eq. 15 is computed for both schedulers; the acceptance
-//! ratio is the fraction of workloads whose region is non-empty for
-//! `O_tot = 0.05`.
+//! A thin wrapper over the `ftsched-campaign` engine: the experiment is a
+//! declarative [`CampaignSpec`] (the same shape as
+//! `examples/acceptance_ratio.json`) whose grid crosses both schedulers
+//! with a utilisation sweep. Seeds pair the two algorithm columns on
+//! identical task sets, so the EDF ⊇ RM dominance of the hierarchical
+//! tests is visible row by row.
 //!
 //! ```text
 //! cargo run --release -p ftsched-bench --bin acceptance_ratio [--fast] [--seed N]
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
-
 use ftsched_bench::{section, ExperimentOptions};
-use ftsched_core::prelude::*;
-use ftsched_design::baseline::flexible_scheme_schedulable;
-use ftsched_design::problem::DesignProblem;
+use ftsched_campaign::prelude::*;
+
+/// The Ext-A campaign for a given seed and per-point sample count.
+fn spec(seed: u64, sets_per_point: usize) -> CampaignSpec {
+    CampaignSpec {
+        master_seed: seed,
+        trials_per_scenario: sets_per_point,
+        workload: WorkloadSpec::Synthetic {
+            task_count: 13,
+            max_task_utilization: 0.7,
+            periods: PeriodDistribution::table1_like(),
+            mode_mix: ModeMix::paper_like(),
+            period_granularity: None,
+        },
+        algorithms: vec![Algorithm::EarliestDeadlineFirst, Algorithm::RateMonotonic],
+        utilizations: (4..=30).step_by(2).map(|u| u as f64 / 10.0).collect(),
+        kind: TrialKind::DesignOnly,
+        region_samples: Some(300),
+        region_refine_iterations: Some(10),
+        ..CampaignSpec::base("acceptance-ratio")
+    }
+}
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    let sets_per_point = options.scaled(200, 20);
-    let task_count = 13;
-    let total_overhead = 0.05;
-    let utilizations: Vec<f64> =
-        (4..=30).step_by(2).map(|u| u as f64 / 10.0).collect();
+    let spec = spec(options.seed, options.scaled(200, 20));
 
     section("Ext-A: acceptance ratio vs total utilisation (flexible scheme, Eq. 15)");
     println!(
-        "{} task sets per point, {} tasks each, O_tot = {}, seed {}",
-        sets_per_point, task_count, total_overhead, options.seed
+        "{} task sets per point, 13 tasks each, O_tot = {}, seed {}\n",
+        spec.trials_per_scenario, spec.total_overhead, spec.master_seed
     );
-    println!("\n{:>6} {:>12} {:>12} {:>12}", "U", "EDF accept", "RM accept", "generated");
 
-    for &target in &utilizations {
-        let results: Vec<(bool, bool)> = (0..sets_per_point)
-            .into_par_iter()
-            .filter_map(|i| {
-                let mut rng =
-                    StdRng::seed_from_u64(options.seed ^ (target * 1000.0) as u64 ^ (i as u64) << 17);
-                let mut config = GeneratorConfig::paper_like(task_count, target);
-                config.max_task_utilization = 0.7;
-                let tasks = generate_taskset(&mut rng, &config).ok()?;
-                let partition =
-                    match partition_system(&tasks, PartitionHeuristic::WorstFitDecreasing) {
-                        Ok(p) => p,
-                        Err(_) => return Some((false, false)),
-                    };
-                let problem = DesignProblem::with_total_overhead(
-                    tasks,
-                    partition,
-                    total_overhead,
-                    Algorithm::EarliestDeadlineFirst,
-                )
-                .ok()?;
-                let region = RegionConfig {
-                    samples: 300,
-                    refine_iterations: 10,
-                    ..RegionConfig::for_problem(&problem)
-                };
-                let edf_ok = flexible_scheme_schedulable(&problem, &region);
-                let rm_ok = flexible_scheme_schedulable(
-                    &problem.with_algorithm(Algorithm::RateMonotonic),
-                    &region,
-                );
-                Some((edf_ok, rm_ok))
-            })
-            .collect();
-
-        let generated = results.len();
-        let edf = results.iter().filter(|(e, _)| *e).count();
-        let rm = results.iter().filter(|(_, r)| *r).count();
-        println!(
-            "{:>6.2} {:>11.1}% {:>11.1}% {:>12}",
-            target,
-            100.0 * edf as f64 / generated.max(1) as f64,
-            100.0 * rm as f64 / generated.max(1) as f64,
-            generated
-        );
-    }
+    let report = run_campaign(
+        &spec,
+        &ExecutorConfig {
+            progress: true,
+            ..Default::default()
+        },
+    )
+    .expect("the Ext-A spec is valid");
+    println!("{}", report.render_table());
 
     println!(
-        "\nExpected shape: both curves start at 100% for light workloads; RM drops earlier and\n\
+        "Expected shape: both curves start at 100% for light workloads; RM drops earlier and\n\
          faster than EDF (the RM region of Figure 4 is strictly contained in the EDF region);\n\
          both fall to 0% as the per-mode load approaches the platform capacity."
     );

@@ -4,89 +4,75 @@
 //! primary/backup replication — over randomly generated mixed-criticality
 //! workloads.
 //!
+//! A thin wrapper over the `ftsched-campaign` engine (the same campaign as
+//! `examples/baseline_comparison.json`) with per-trial baseline-scheme
+//! comparison enabled; all four verdicts are evaluated on the same task
+//! set of each trial.
+//!
 //! ```text
 //! cargo run --release -p ftsched-bench --bin baseline_comparison [--fast] [--seed N]
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
-
 use ftsched_bench::{section, ExperimentOptions};
-use ftsched_core::prelude::*;
-use ftsched_design::baseline::{self, Scheme};
-use ftsched_design::problem::DesignProblem;
+use ftsched_campaign::prelude::*;
+use ftsched_design::baseline::Scheme;
+
+/// The Ext-D campaign for a given seed and per-point sample count.
+fn spec(seed: u64, sets_per_point: usize) -> CampaignSpec {
+    CampaignSpec {
+        master_seed: seed,
+        trials_per_scenario: sets_per_point,
+        workload: WorkloadSpec::Synthetic {
+            task_count: 12,
+            max_task_utilization: 0.7,
+            periods: PeriodDistribution::table1_like(),
+            mode_mix: ModeMix::paper_like(),
+            period_granularity: None,
+        },
+        algorithms: vec![Algorithm::EarliestDeadlineFirst],
+        utilizations: vec![0.6, 1.0, 1.4, 1.8, 2.2, 2.6],
+        kind: TrialKind::DesignOnly,
+        compare_baselines: true,
+        region_samples: Some(300),
+        region_refine_iterations: Some(10),
+        ..CampaignSpec::base("baseline-comparison")
+    }
+}
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    let sets_per_point = options.scaled(120, 15);
-    let utilizations = [0.6, 1.0, 1.4, 1.8, 2.2, 2.6];
+    let spec = spec(options.seed, options.scaled(120, 15));
 
     section("Ext-D: schedulable fraction per scheme vs total utilisation");
-    println!("{} random 12-task workloads per point, paper-like mode mix, seed {}\n", sets_per_point, options.seed);
     println!(
-        "{:>6} {:>12} {:>14} {:>14} {:>16} {:>10}",
+        "{} random 12-task workloads per point, paper-like mode mix, seed {}\n",
+        spec.trials_per_scenario, spec.master_seed
+    );
+    println!(
+        "{:>6} {:>12} {:>16} {:>16} {:>16} {:>10}",
         "U", "flexible", "static-lockstep", "static-parallel", "primary/backup", "sampled"
     );
 
-    for &target in &utilizations {
-        let verdicts: Vec<[bool; 4]> = (0..sets_per_point)
-            .into_par_iter()
-            .filter_map(|i| {
-                let mut rng = StdRng::seed_from_u64(
-                    options.seed ^ (target * 997.0) as u64 ^ ((i as u64) << 13),
-                );
-                let mut config = GeneratorConfig::paper_like(12, target);
-                config.max_task_utilization = 0.7;
-                let tasks = generate_taskset(&mut rng, &config).ok()?;
-                let lockstep = baseline::static_lockstep_schedulable(
-                    &tasks,
-                    Algorithm::EarliestDeadlineFirst,
-                );
-                let parallel = baseline::static_parallel_schedulable(
-                    &tasks,
-                    Algorithm::EarliestDeadlineFirst,
-                );
-                let pb = baseline::primary_backup_schedulable(
-                    &tasks,
-                    Algorithm::EarliestDeadlineFirst,
-                );
-                let flexible = partition_system(&tasks, PartitionHeuristic::WorstFitDecreasing)
-                    .ok()
-                    .and_then(|partition| {
-                        DesignProblem::with_total_overhead(
-                            tasks.clone(),
-                            partition,
-                            0.05,
-                            Algorithm::EarliestDeadlineFirst,
-                        )
-                        .ok()
-                    })
-                    .map(|problem| {
-                        let region = RegionConfig {
-                            samples: 300,
-                            refine_iterations: 10,
-                            ..RegionConfig::for_problem(&problem)
-                        };
-                        baseline::flexible_scheme_schedulable(&problem, &region)
-                    })
-                    .unwrap_or(false);
-                Some([flexible, lockstep, parallel, pb])
-            })
-            .collect();
-
-        let sampled = verdicts.len();
-        let pct = |idx: usize| {
-            100.0 * verdicts.iter().filter(|v| v[idx]).count() as f64 / sampled.max(1) as f64
-        };
+    let report = run_campaign(
+        &spec,
+        &ExecutorConfig {
+            progress: true,
+            ..Default::default()
+        },
+    )
+    .expect("the Ext-D spec is valid");
+    for scenario in &report.scenarios {
+        let b = &scenario.stats.baselines;
+        let evaluated = b.evaluated.max(1) as f64;
+        let pct = |count: u64| 100.0 * count as f64 / evaluated;
         println!(
-            "{:>6.2} {:>11.1}% {:>13.1}% {:>13.1}% {:>15.1}% {:>10}",
-            target,
-            pct(0),
-            pct(1),
-            pct(2),
-            pct(3),
-            sampled
+            "{:>6.2} {:>11.1}% {:>15.1}% {:>15.1}% {:>15.1}% {:>10}",
+            scenario.utilization.unwrap_or(f64::NAN),
+            pct(b.flexible),
+            pct(b.static_lockstep),
+            pct(b.static_parallel),
+            pct(b.primary_backup),
+            b.evaluated,
         );
     }
 

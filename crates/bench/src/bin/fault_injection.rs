@@ -1,98 +1,93 @@
 //! Extension experiment **Ext-B**: fault-injection campaign on the paper's
 //! Table 2(b) design.
 //!
-//! Seeded Poisson bursts of single transient faults are injected while the
-//! simulator runs the 13-task application; the campaign reports, per mode,
-//! how many jobs were untouched, masked, silenced or corrupted, and checks
-//! the platform-level memory-integrity ledger for the same fault schedules.
+//! A thin wrapper over the `ftsched-campaign` engine (the same campaign as
+//! `examples/fault_injection.json`): every trial re-derives the Table 2(b)
+//! design from the paper problem, then simulates it for five hyperperiods
+//! under a seeded Poisson process of single transient faults. The report
+//! counts, per mode, how many jobs were untouched, masked, silenced or
+//! corrupted.
 //!
 //! ```text
 //! cargo run --release -p ftsched-bench --bin fault_injection [--fast] [--seed N]
 //! ```
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use rayon::prelude::*;
-
 use ftsched_bench::{section, ExperimentOptions};
-use ftsched_core::prelude::*;
+use ftsched_campaign::prelude::*;
+
+/// The Ext-B campaign for a given seed and run count.
+fn spec(seed: u64, runs: usize) -> CampaignSpec {
+    CampaignSpec {
+        master_seed: seed,
+        trials_per_scenario: runs,
+        workload: WorkloadSpec::Paper,
+        algorithms: vec![Algorithm::EarliestDeadlineFirst],
+        utilizations: vec![],
+        faults: FaultModel::Poisson {
+            mean_interarrival: 8.0,
+            fault_duration: 0.25,
+        },
+        // Table 1's hyperperiod is 120 time units; five of them match the
+        // 600-unit horizon of the original experiment script.
+        horizon_hyperperiods: 5,
+        kind: TrialKind::DesignAndValidate,
+        ..CampaignSpec::base("fault-injection")
+    }
+}
 
 fn main() {
     let options = ExperimentOptions::from_args();
-    let runs = options.scaled(100, 10);
-    let horizon = 600.0;
-    let (tasks, partition) = paper_example();
-    let slots = SlotSchedule::new(
-        2.966,
-        PerMode { ft: 0.820, fs: 1.281, nf: 0.815 },
-        PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0),
-    )
-    .expect("Table 2(b) schedule is consistent");
+    let spec = spec(options.seed, options.scaled(100, 10));
 
     section("Ext-B: fault-injection campaign on the Table 2(b) design");
-    println!("{runs} runs x {horizon} time units, mean fault inter-arrival 8.0, window 0.25, seed {}", options.seed);
+    println!(
+        "{} runs x 5 hyperperiods (600 time units), mean fault inter-arrival 8.0, \
+         window 0.25, seed {}",
+        spec.trials_per_scenario, spec.master_seed
+    );
 
-    #[derive(Default, Clone, Copy)]
-    struct Tally {
-        injected: u64,
-        effective: u64,
-        masked: u64,
-        silenced: u64,
-        corrupted: u64,
-        misses: u64,
-        jobs: u64,
-    }
-
-    let tally: Tally = (0..runs)
-        .into_par_iter()
-        .map(|run| {
-            let mut rng = StdRng::seed_from_u64(options.seed + run as u64);
-            let faults = FaultSchedule::poisson(
-                &mut rng,
-                Time::from_units(horizon),
-                Duration::from_units(8.0),
-                Duration::from_units(0.25),
-            );
-            let injected = faults.len() as u64;
-            let report = simulate(
-                &tasks,
-                &partition,
-                Algorithm::EarliestDeadlineFirst,
-                &slots,
-                &SimulationConfig { horizon, fault_schedule: faults, record_trace: false },
-            )
-            .expect("simulation succeeds");
-            let totals = report.total_outcomes();
-            Tally {
-                injected,
-                effective: report.effective_faults,
-                masked: totals.correct_masked,
-                silenced: totals.silenced_lost,
-                corrupted: totals.wrong_result,
-                misses: report.deadline_misses,
-                jobs: report.released_jobs,
-            }
-        })
-        .reduce(Tally::default, |a, b| Tally {
-            injected: a.injected + b.injected,
-            effective: a.effective + b.effective,
-            masked: a.masked + b.masked,
-            silenced: a.silenced + b.silenced,
-            corrupted: a.corrupted + b.corrupted,
-            misses: a.misses + b.misses,
-            jobs: a.jobs + b.jobs,
-        });
+    let report = run_campaign(
+        &spec,
+        &ExecutorConfig {
+            progress: true,
+            ..Default::default()
+        },
+    )
+    .expect("the Ext-B spec is valid");
+    let stats = &report.scenarios[0].stats;
+    let sim = &stats.sim;
+    let totals = sim.total_outcomes();
 
     println!("\n{:<34} {:>14}", "quantity", "total");
-    println!("{:<34} {:>14}", "faults injected", tally.injected);
-    println!("{:<34} {:>14}", "faults overlapping some job", tally.effective);
-    println!("{:<34} {:>14}", "jobs released", tally.jobs);
-    println!("{:<34} {:>14}", "jobs masked (FT)", tally.masked);
-    println!("{:<34} {:>14}", "jobs silenced (FS)", tally.silenced);
-    println!("{:<34} {:>14}", "jobs corrupted (NF)", tally.corrupted);
-    println!("{:<34} {:>14}", "deadline misses", tally.misses);
+    println!("{:<34} {:>14}", "runs simulated", sim.runs);
+    println!("{:<34} {:>14}", "faults injected", sim.injected_faults);
+    println!(
+        "{:<34} {:>14}",
+        "faults overlapping some job", sim.effective_faults
+    );
+    println!("{:<34} {:>14}", "jobs released", sim.released_jobs);
+    println!("{:<34} {:>14}", "jobs masked (FT)", totals.correct_masked);
+    println!("{:<34} {:>14}", "jobs silenced (FS)", totals.silenced_lost);
+    println!("{:<34} {:>14}", "jobs corrupted (NF)", totals.wrong_result);
+    println!("{:<34} {:>14}", "deadline misses", sim.deadline_misses);
+    println!(
+        "{:<34} {:>14.3}",
+        "mean design period (Table 2b)",
+        sim.mean_period()
+    );
 
-    assert_eq!(tally.misses, 0, "faults must not perturb timing in this fault model");
+    assert_eq!(
+        stats.accepted, stats.trials,
+        "the paper problem always designs"
+    );
+    assert_eq!(
+        sim.deadline_misses, 0,
+        "faults must not perturb timing in this fault model"
+    );
+    assert!(
+        report.integrity_preserved(),
+        "FT/FS jobs must never commit wrong results"
+    );
     println!(
         "\nInvariant check: zero corrupted jobs in FT/FS mode by construction of the checker;\n\
          every corrupted job belongs to the NF slot — the flexible scheme confines fault damage\n\

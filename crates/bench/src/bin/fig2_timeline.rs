@@ -8,8 +8,8 @@
 //! ```
 
 use ftsched_bench::{paper_edf, section};
-use ftsched_core::prelude::*;
 use ftsched_core::pipeline::slots_from_solution;
+use ftsched_core::prelude::*;
 use ftsched_design::goals::solve;
 
 fn main() {
@@ -24,7 +24,10 @@ fn main() {
 
     section("Figure 2: slot layout of one period (Table 2(b) design, EDF)");
     println!("period P = {:.3}\n", slots.period().as_units());
-    println!("{:<8} {:>10} {:>10} {:>10} {:>12} {:>12}", "slot", "Q~_k", "O_k", "Q_k", "starts at", "ends at");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "slot", "Q~_k", "O_k", "Q_k", "starts at", "ends at"
+    );
     let mut cursor = 0.0;
     for mode in Mode::ALL {
         let useful = slots.useful_quantum(mode).as_units();

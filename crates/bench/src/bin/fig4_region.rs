@@ -40,7 +40,13 @@ fn main() {
     let p5 = max_feasible_period(&edf, &config).unwrap();
     println!("point 1  max period, EDF, Otot=0      : {p1:.3}   (3.176)");
     println!("point 2  max period, RM,  Otot=0      : {p2:.3}   (2.381)");
-    println!("point 3  max admissible Otot, EDF     : {:.3} at P={:.3}   (0.201)", p3.lhs, p3.period);
-    println!("point 4  max admissible Otot, RM      : {:.3} at P={:.3}   (0.129)", p4.lhs, p4.period);
+    println!(
+        "point 3  max admissible Otot, EDF     : {:.3} at P={:.3}   (0.201)",
+        p3.lhs, p3.period
+    );
+    println!(
+        "point 4  max admissible Otot, RM      : {:.3} at P={:.3}   (0.129)",
+        p4.lhs, p4.period
+    );
     println!("point 5  max period, EDF, Otot=0.05   : {p5:.3}   (2.966)");
 }

@@ -31,5 +31,8 @@ fn main() {
             required[mode]
         );
     }
-    println!("\ntotal application utilisation: {:.3}", tasks.utilization());
+    println!(
+        "\ntotal application utilisation: {:.3}",
+        tasks.utilization()
+    );
 }

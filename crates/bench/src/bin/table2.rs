@@ -19,8 +19,14 @@ fn main() {
 
     section("Table 2: possible design solutions (EDF, O_tot = 0.05)");
     let goals = [
-        ("(b) min overhead bandwidth", DesignGoal::MinimizeOverheadBandwidth),
-        ("(c) max redistributable slack", DesignGoal::MaximizeSlackBandwidth),
+        (
+            "(b) min overhead bandwidth",
+            DesignGoal::MinimizeOverheadBandwidth,
+        ),
+        (
+            "(c) max redistributable slack",
+            DesignGoal::MaximizeSlackBandwidth,
+        ),
     ];
     let mut printed_required = false;
     for (label, goal) in goals {

@@ -26,7 +26,10 @@ pub struct ExperimentOptions {
 
 impl Default for ExperimentOptions {
     fn default() -> Self {
-        ExperimentOptions { seed: 2007, fast: false }
+        ExperimentOptions {
+            seed: 2007,
+            fast: false,
+        }
     }
 }
 

@@ -1,0 +1,176 @@
+//! The parallel campaign executor.
+//!
+//! Work distribution is *dynamic* (workers claim fixed-size blocks of the
+//! global trial index space from an atomic cursor) but aggregation is
+//! *static*: block boundaries depend only on [`ExecutorConfig::block_size`],
+//! each block folds its trials in index order, and the final reduction
+//! merges block accumulators in block order. Scheduling therefore affects
+//! wall-clock time only — the report is a pure function of the spec, down
+//! to the last floating-point bit, whatever the worker count. The
+//! determinism contract is enforced by `tests/campaign_determinism.rs`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::report::{CampaignReport, ScenarioReport};
+use crate::spec::CampaignSpec;
+use crate::stats::ScenarioStats;
+use crate::trial::run_trial;
+use crate::CampaignError;
+
+/// Execution knobs. These may change *how fast* a campaign runs, never
+/// *what* it computes.
+#[derive(Debug, Clone)]
+pub struct ExecutorConfig {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Trials per work block. Must be at least 1. The default (32) keeps
+    /// worker hand-offs rare while still load-balancing skewed grids.
+    pub block_size: usize,
+    /// Print a progress line to stderr while running.
+    pub progress: bool,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            threads: 0,
+            block_size: 32,
+            progress: false,
+        }
+    }
+}
+
+impl ExecutorConfig {
+    /// Resolved worker count.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// Runs a campaign: expands the spec's grid, fans the trials out over
+/// worker threads and folds the results into one report.
+///
+/// # Errors
+///
+/// Returns [`CampaignError::InvalidSpec`] when the spec fails
+/// [`CampaignSpec::validate`]; individual trial failures (generation,
+/// partitioning, design rejection) are *data*, counted in the report.
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    config: &ExecutorConfig,
+) -> Result<CampaignReport, CampaignError> {
+    spec.validate()?;
+    if config.block_size == 0 {
+        return Err(CampaignError::InvalidSpec(
+            "block_size must be at least 1".into(),
+        ));
+    }
+    let scenarios = spec.scenarios();
+    let trials_per = spec.trials_per_scenario;
+    let total = scenarios.len() * trials_per;
+    let block_size = config.block_size;
+    let blocks = total.div_ceil(block_size);
+    let threads = config.effective_threads().min(blocks.max(1));
+
+    // Per-block partial statistics, keyed by scenario index in
+    // first-touch (= trial index) order.
+    type BlockPartials = Vec<(usize, ScenarioStats)>;
+
+    // Each block folds its contiguous trial range into per-scenario
+    // accumulators.
+    let run_block = |b: usize| -> BlockPartials {
+        let lo = b * block_size;
+        let hi = (lo + block_size).min(total);
+        let mut partials: BlockPartials = Vec::new();
+        for t in lo..hi {
+            let scenario = &scenarios[t / trials_per];
+            let trial = t % trials_per;
+            let outcome = run_trial(spec, scenario, trial);
+            match partials.last_mut() {
+                Some((idx, stats)) if *idx == scenario.index => stats.observe(&outcome),
+                _ => {
+                    let mut stats = ScenarioStats::default();
+                    stats.observe(&outcome);
+                    partials.push((scenario.index, stats));
+                }
+            }
+        }
+        partials
+    };
+
+    let slots: Vec<Mutex<Option<BlockPartials>>> = (0..blocks).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+
+    if threads <= 1 {
+        for (b, slot) in slots.iter().enumerate() {
+            *slot.lock().unwrap() = Some(run_block(b));
+            if config.progress {
+                print_progress(&spec.name, (b + 1) * block_size, total);
+            }
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let b = cursor.fetch_add(1, Ordering::Relaxed);
+                    if b >= blocks {
+                        break;
+                    }
+                    let partials = run_block(b);
+                    let completed = (b * block_size + block_size).min(total) - b * block_size;
+                    *slots[b].lock().unwrap() = Some(partials);
+                    let finished = done.fetch_add(completed, Ordering::Relaxed) + completed;
+                    if config.progress {
+                        print_progress(&spec.name, finished, total);
+                    }
+                });
+            }
+        });
+    }
+    if config.progress {
+        eprintln!();
+    }
+
+    // Deterministic reduction: blocks in index order, scenarios keyed by
+    // grid index.
+    let mut stats: Vec<ScenarioStats> = vec![ScenarioStats::default(); scenarios.len()];
+    for slot in slots {
+        let partials = slot
+            .into_inner()
+            .expect("no worker panicked")
+            .expect("every block was executed");
+        for (scenario_index, partial) in partials {
+            stats[scenario_index].merge(&partial);
+        }
+    }
+
+    let scenario_reports: Vec<ScenarioReport> = scenarios
+        .iter()
+        .zip(stats)
+        .map(|(scenario, stats)| ScenarioReport {
+            scenario: scenario.index,
+            algorithm: scenario.algorithm,
+            utilization: scenario.utilization,
+            stats,
+        })
+        .collect();
+
+    // Wall-clock time is deliberately NOT part of the report: a report is
+    // a pure function of its spec, byte for byte (callers wanting timing
+    // measure around this call).
+    Ok(CampaignReport::new(spec.clone(), scenario_reports))
+}
+
+fn print_progress(name: &str, done: usize, total: usize) {
+    let done = done.min(total);
+    let percent = 100.0 * done as f64 / total.max(1) as f64;
+    eprint!("\r{name}: {done}/{total} trials ({percent:5.1}%)");
+}

@@ -1,0 +1,98 @@
+//! # ftsched-campaign
+//!
+//! A parallel, deterministic experiment-campaign engine for the `ftsched`
+//! workspace.
+//!
+//! The paper evaluates one hand-built task set (Table 1) and one design
+//! sweep (Figure 4). The extension experiments need much more: thousands
+//! of generate → partition → design → simulate pipelines swept over
+//! utilisations, algorithms and fault models. This crate turns those
+//! one-off experiment scripts into a subsystem:
+//!
+//! * [`spec`] — a declarative, serialisable [`CampaignSpec`] describing a
+//!   scenario grid (workload × algorithm × utilisation) plus the design
+//!   goal, slack policy, fault model and horizon of every trial. A JSON
+//!   spec file *is* the experiment.
+//! * [`seed`] — per-trial seeds derived from the master seed by a frozen
+//!   SplitMix64 mix of the trial's grid coordinates; any report line can
+//!   be re-run in isolation.
+//! * [`trial`] — the per-trial kernel over
+//!   [`ftsched_core::design_and_validate`] (or the cheaper
+//!   feasible-region check), with optional baseline-scheme comparison.
+//! * [`stats`] — mergeable streaming accumulators; workers never keep raw
+//!   trial lists, so memory stays flat at any campaign size.
+//! * [`executor`] — a scoped-thread fan-out with dynamic scheduling but
+//!   *static* aggregation order, making every report a pure function of
+//!   its spec: **byte-identical output for any worker count**.
+//! * [`report`] — JSON / CSV / table renderings that echo the spec for
+//!   reproducibility.
+//!
+//! ```
+//! use ftsched_campaign::prelude::*;
+//!
+//! let spec = CampaignSpec {
+//!     utilizations: vec![0.8, 1.6],
+//!     trials_per_scenario: 8,
+//!     ..CampaignSpec::base("doc-example")
+//! };
+//! let report = run_campaign(&spec, &ExecutorConfig::default()).unwrap();
+//! assert_eq!(report.total_trials(), 16);
+//! // Light workloads are (almost) always feasible.
+//! assert!(report.scenarios[0].stats.acceptance_ratio() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod executor;
+pub mod report;
+pub mod seed;
+pub mod spec;
+pub mod stats;
+pub mod trial;
+
+use std::fmt;
+
+pub use executor::{run_campaign, ExecutorConfig};
+pub use report::{CampaignReport, ScenarioReport};
+pub use spec::{CampaignSpec, Scenario, TrialKind, WorkloadSpec};
+pub use stats::{BaselineCounts, ExactSum, ScenarioStats, SimAggregate};
+pub use trial::{run_trial, run_trial_full, SimSummary, TrialOutcome, TrialStatus};
+
+/// Campaign-level errors. Per-trial failures (generation, partitioning,
+/// design rejection) are not errors — they are counted outcomes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CampaignError {
+    /// The spec fails validation; the string explains why.
+    InvalidSpec(String),
+}
+
+impl fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CampaignError::InvalidSpec(reason) => write!(f, "invalid campaign spec: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// The most commonly used items, re-exported — including the spec
+/// vocabulary from the lower layers (algorithms, goals, policies, fault
+/// models) so spec-building code needs only this one import.
+pub mod prelude {
+    pub use crate::executor::{run_campaign, ExecutorConfig};
+    pub use crate::report::{CampaignReport, ScenarioReport};
+    pub use crate::seed::trial_seed;
+    pub use crate::spec::{CampaignSpec, Scenario, TrialKind, WorkloadSpec};
+    pub use crate::stats::ScenarioStats;
+    pub use crate::trial::{run_trial, run_trial_full, TrialOutcome, TrialStatus};
+    pub use crate::CampaignError;
+
+    pub use ftsched_analysis::Algorithm;
+    pub use ftsched_design::partitioner::PartitionHeuristic;
+    pub use ftsched_design::quanta::SlackPolicy;
+    pub use ftsched_design::DesignGoal;
+    pub use ftsched_platform::FaultModel;
+    pub use ftsched_task::generator::{ModeMix, PeriodDistribution};
+}

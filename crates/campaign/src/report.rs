@@ -1,0 +1,250 @@
+//! Campaign reports: JSON, CSV and human-readable renderings.
+//!
+//! A [`CampaignReport`] is a pure function of its spec (the executor
+//! guarantees this); it echoes the spec so a report file alone is enough
+//! to reproduce, extend or audit the experiment.
+
+use std::fmt::Write as _;
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_analysis::Algorithm;
+use ftsched_task::Mode;
+
+use crate::spec::{CampaignSpec, TrialKind};
+use crate::stats::ScenarioStats;
+
+/// Aggregated results for one scenario grid point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioReport {
+    /// Grid index (matches [`CampaignSpec::scenarios`] order).
+    pub scenario: usize,
+    /// Local scheduling algorithm of the point.
+    pub algorithm: Algorithm,
+    /// Target utilisation of the point (`None` for the paper workload).
+    pub utilization: Option<f64>,
+    /// The merged trial statistics.
+    pub stats: ScenarioStats,
+}
+
+/// The complete result of one campaign run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// The spec that produced this report, echoed verbatim.
+    pub spec: CampaignSpec,
+    /// Per-scenario results, in grid order.
+    pub scenarios: Vec<ScenarioReport>,
+}
+
+impl CampaignReport {
+    /// Assembles a report (used by the executor).
+    pub fn new(spec: CampaignSpec, scenarios: Vec<ScenarioReport>) -> Self {
+        CampaignReport { spec, scenarios }
+    }
+
+    /// Total trials across all scenarios.
+    pub fn total_trials(&self) -> u64 {
+        self.scenarios.iter().map(|s| s.stats.trials).sum()
+    }
+
+    /// Pretty JSON rendering of the full report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("campaign reports always serialise")
+    }
+
+    /// CSV rendering: a header plus one row per scenario, stable column
+    /// order, suitable for plotting scripts.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,algorithm,utilization,trials,sampled,accepted,acceptance_ratio,\
+             generation_failures,partition_failures,design_rejected,simulation_failures,\
+             sim_runs,released_jobs,completed_jobs,deadline_misses,injected_faults,\
+             effective_faults,masked_jobs,silenced_jobs,corrupted_jobs,mean_period,\
+             mean_slack_bandwidth,max_response_time,baseline_evaluated,baseline_flexible,\
+             baseline_lockstep,baseline_parallel,baseline_primary_backup\n",
+        );
+        for s in &self.scenarios {
+            let st = &s.stats;
+            let totals = st.sim.total_outcomes();
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                s.scenario,
+                s.algorithm.label(),
+                s.utilization.map(|u| u.to_string()).unwrap_or_default(),
+                st.trials,
+                st.sampled(),
+                st.accepted,
+                st.acceptance_ratio(),
+                st.generation_failures,
+                st.partition_failures,
+                st.design_rejected,
+                st.simulation_failures,
+                st.sim.runs,
+                st.sim.released_jobs,
+                st.sim.completed_jobs,
+                st.sim.deadline_misses,
+                st.sim.injected_faults,
+                st.sim.effective_faults,
+                totals.correct_masked,
+                totals.silenced_lost,
+                totals.wrong_result,
+                st.sim.mean_period(),
+                st.sim.mean_slack_bandwidth(),
+                st.sim.max_response_time,
+                st.baselines.evaluated,
+                st.baselines.flexible,
+                st.baselines.static_lockstep,
+                st.baselines.static_parallel,
+                st.baselines.primary_backup,
+            );
+        }
+        out
+    }
+
+    /// Human-readable summary table: one row per utilisation bucket, one
+    /// acceptance column per algorithm (plus fault columns for
+    /// validation campaigns).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let algorithms = &self.spec.algorithms;
+        let validating = self.spec.kind == TrialKind::DesignAndValidate;
+
+        let _ = write!(out, "{:>8}", "U");
+        for alg in algorithms {
+            let _ = write!(out, " {:>12}", format!("{} accept", alg.label()));
+        }
+        let _ = write!(out, " {:>9}", "sampled");
+        if validating {
+            let _ = write!(
+                out,
+                " {:>9} {:>9} {:>9} {:>9} {:>9}",
+                "faults", "masked", "silenced", "corrupt", "misses"
+            );
+        }
+        out.push('\n');
+
+        // Scenario order is algorithm-major; walk utilisation-major here.
+        let points = self.scenarios.len() / algorithms.len().max(1);
+        for p in 0..points {
+            let row: Vec<&ScenarioReport> = (0..algorithms.len())
+                .map(|a| &self.scenarios[a * points + p])
+                .collect();
+            match row[0].utilization {
+                Some(u) => {
+                    let _ = write!(out, "{u:>8.2}");
+                }
+                None => {
+                    let _ = write!(out, "{:>8}", "paper");
+                }
+            }
+            for s in &row {
+                let _ = write!(out, " {:>11.1}%", 100.0 * s.stats.acceptance_ratio());
+            }
+            let _ = write!(out, " {:>9}", row[0].stats.sampled());
+            if validating {
+                let mut faults = 0;
+                let mut masked = 0;
+                let mut silenced = 0;
+                let mut corrupted = 0;
+                let mut misses = 0;
+                for s in &row {
+                    let totals = s.stats.sim.total_outcomes();
+                    faults += s.stats.sim.injected_faults;
+                    masked += totals.correct_masked;
+                    silenced += totals.silenced_lost;
+                    corrupted += totals.wrong_result;
+                    misses += s.stats.sim.deadline_misses;
+                }
+                let _ = write!(
+                    out,
+                    " {faults:>9} {masked:>9} {silenced:>9} {corrupted:>9} {misses:>9}"
+                );
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Sanity predicate used by validation campaigns: no protected-mode
+    /// corruption anywhere in the report.
+    pub fn integrity_preserved(&self) -> bool {
+        self.scenarios.iter().all(|s| {
+            s.stats.sim.outcomes[Mode::FaultTolerant].wrong_result == 0
+                && s.stats.sim.outcomes[Mode::FailSilent].wrong_result == 0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+
+    fn tiny_report() -> CampaignReport {
+        let spec = CampaignSpec {
+            algorithms: vec![Algorithm::EarliestDeadlineFirst, Algorithm::RateMonotonic],
+            utilizations: vec![0.5, 1.5],
+            trials_per_scenario: 4,
+            ..CampaignSpec::base("render-test")
+        };
+        let scenarios = spec
+            .scenarios()
+            .iter()
+            .map(|sc| {
+                let mut stats = ScenarioStats::default();
+                stats.trials = 4;
+                stats.accepted = if sc.utilization == Some(0.5) { 4 } else { 1 };
+                stats.design_rejected = 4 - stats.accepted;
+                ScenarioReport {
+                    scenario: sc.index,
+                    algorithm: sc.algorithm,
+                    utilization: sc.utilization,
+                    stats,
+                }
+            })
+            .collect();
+        CampaignReport::new(spec, scenarios)
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = tiny_report();
+        let json = report.to_json();
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn csv_has_one_row_per_scenario_and_stable_header() {
+        let report = tiny_report();
+        let csv = report.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("scenario,algorithm,utilization,trials"));
+        assert!(lines[1].starts_with("0,EDF,0.5,4,4,4,1,"));
+        let header_cols = lines[0].split(',').count();
+        assert!(lines[1..]
+            .iter()
+            .all(|l| l.split(',').count() == header_cols));
+    }
+
+    #[test]
+    fn table_is_utilization_major_with_per_algorithm_columns() {
+        let table = tiny_report().render_table();
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("EDF accept") && lines[0].contains("RM accept"));
+        assert!(lines[1].trim_start().starts_with("0.50"));
+        assert!(lines[1].contains("100.0%"));
+        assert!(lines[2].trim_start().starts_with("1.50"));
+        assert!(lines[2].contains("25.0%"));
+    }
+
+    #[test]
+    fn totals_and_integrity() {
+        let report = tiny_report();
+        assert_eq!(report.total_trials(), 16);
+        assert!(report.integrity_preserved());
+    }
+}

@@ -1,0 +1,71 @@
+//! Deterministic per-trial seed derivation.
+//!
+//! Every trial of a campaign owns an independent RNG seeded from a pure
+//! function of `(master_seed, workload_point, trial_index)`. The second
+//! coordinate is the trial's position along the **workload axis**
+//! ([`crate::spec::Scenario::workload_point`]), *not* its full scenario
+//! index: scenarios that differ only in algorithm share workload points
+//! and therefore draw identical task sets and fault schedules — algorithm
+//! comparisons are paired by construction.
+//!
+//! Nothing about scheduling — thread count, block size, execution order —
+//! enters the derivation, which is what makes campaign results
+//! reproducible trial-by-trial: the coordinates recorded in a report are
+//! sufficient to re-run exactly that trial in isolation.
+//!
+//! The mixer is SplitMix64 (Steele, Lea & Flood), applied in two rounds
+//! with distinct odd constants per coordinate so that nearby workload
+//! points and trial indices land far apart in seed space. The function is
+//! frozen: changing it would silently re-randomise every published
+//! campaign, so treat any modification as a breaking change to the
+//! report format.
+
+/// One SplitMix64 scramble round.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives the RNG seed of one trial from the campaign's master seed and
+/// the trial's workload-axis coordinates (see the module docs for why the
+/// workload point — not the scenario index — is the second coordinate).
+pub fn trial_seed(master_seed: u64, workload_point: usize, trial_index: usize) -> u64 {
+    let a = splitmix64(master_seed ^ (workload_point as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+    splitmix64(a ^ (trial_index as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_pure_functions_of_coordinates() {
+        assert_eq!(trial_seed(2007, 3, 17), trial_seed(2007, 3, 17));
+        assert_ne!(trial_seed(2007, 3, 17), trial_seed(2007, 3, 18));
+        assert_ne!(trial_seed(2007, 3, 17), trial_seed(2007, 4, 17));
+        assert_ne!(trial_seed(2007, 3, 17), trial_seed(2008, 3, 17));
+    }
+
+    #[test]
+    fn nearby_coordinates_do_not_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for scenario in 0..64 {
+            for trial in 0..256 {
+                assert!(
+                    seen.insert(trial_seed(42, scenario, trial)),
+                    "collision at ({scenario}, {trial})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn derivation_is_frozen() {
+        // Golden values: a change here means every published campaign
+        // re-randomises. Update only with a report-format version bump.
+        assert_eq!(trial_seed(0, 0, 0), 12035550249420947055);
+        assert_eq!(trial_seed(2007, 1, 2), 13932908895897689928);
+    }
+}

@@ -1,0 +1,417 @@
+//! Declarative campaign specifications.
+//!
+//! A [`CampaignSpec`] describes a *grid* of scenarios — workload
+//! parameters crossed with scheduling algorithms and utilisation levels —
+//! plus everything one trial needs: design goal, slack policy, fault
+//! model, simulation horizon. Specs serialise to JSON (see
+//! `examples/*.json` at the repository root) and expand deterministically
+//! into an ordered scenario list; together with the per-trial seed
+//! derivation of [`crate::seed`], a spec file *is* the experiment.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_analysis::Algorithm;
+use ftsched_design::partitioner::PartitionHeuristic;
+use ftsched_design::quanta::SlackPolicy;
+use ftsched_design::region::RegionConfig;
+use ftsched_design::{DesignGoal, DesignProblem};
+use ftsched_platform::FaultModel;
+use ftsched_task::generator::{GeneratorConfig, ModeMix, PeriodDistribution};
+
+use crate::CampaignError;
+
+/// Where each trial's workload comes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// The paper's 13-task Table 1 example with its §4 manual partition.
+    /// The spec's `utilizations` axis must be empty for this workload
+    /// (the task set fixes its own utilisation).
+    Paper,
+    /// Seeded random task sets (UUniFast-discard utilisations, the
+    /// spec's `utilizations` axis supplies the per-scenario target).
+    Synthetic {
+        /// Number of tasks per generated set.
+        task_count: usize,
+        /// Per-task utilisation cap (UUniFast-discard).
+        max_task_utilization: f64,
+        /// Period distribution.
+        periods: PeriodDistribution,
+        /// FT/FS/NF shares.
+        mode_mix: ModeMix,
+        /// Optional period grid (keeps hyperperiods tractable).
+        period_granularity: Option<f64>,
+    },
+}
+
+impl WorkloadSpec {
+    /// A synthetic workload with the paper-like defaults of
+    /// [`GeneratorConfig::paper_like`].
+    pub fn synthetic_paper_like(task_count: usize) -> Self {
+        WorkloadSpec::Synthetic {
+            task_count,
+            max_task_utilization: 1.0,
+            periods: PeriodDistribution::table1_like(),
+            mode_mix: ModeMix::paper_like(),
+            period_granularity: None,
+        }
+    }
+
+    /// The generator configuration for one scenario's target utilisation
+    /// (`None` for the paper workload).
+    pub fn generator_config(&self, total_utilization: f64) -> Option<GeneratorConfig> {
+        match *self {
+            WorkloadSpec::Paper => None,
+            WorkloadSpec::Synthetic {
+                task_count,
+                max_task_utilization,
+                periods,
+                mode_mix,
+                period_granularity,
+            } => Some(GeneratorConfig {
+                task_count,
+                total_utilization,
+                max_task_utilization,
+                periods,
+                mode_mix,
+                period_granularity,
+            }),
+        }
+    }
+}
+
+/// How far each trial's pipeline runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrialKind {
+    /// Stop after the feasibility question: is the period region of
+    /// Eq. 15 non-empty for the configured overhead? Cheap; the kernel of
+    /// acceptance-ratio and baseline-comparison campaigns.
+    DesignOnly,
+    /// Run the full `design_and_validate` pipeline: choose a design for
+    /// the goal, build the slot schedule, simulate it over the horizon
+    /// under the fault model. The kernel of fault-injection and
+    /// validation campaigns.
+    DesignAndValidate,
+}
+
+/// A declarative experiment campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Human-readable campaign name (echoed in reports).
+    pub name: String,
+    /// Master seed; per-trial seeds derive from it (see [`crate::seed`]).
+    pub master_seed: u64,
+    /// Trials per scenario grid point.
+    pub trials_per_scenario: usize,
+    /// Workload source.
+    pub workload: WorkloadSpec,
+    /// Grid axis: local scheduling algorithms to evaluate.
+    pub algorithms: Vec<Algorithm>,
+    /// Grid axis: target total utilisations (empty for [`WorkloadSpec::Paper`]).
+    pub utilizations: Vec<f64>,
+    /// Partitioning heuristic for synthetic workloads.
+    pub partition_heuristic: PartitionHeuristic,
+    /// Total mode-switch overhead `O_tot`, split evenly over the modes.
+    pub total_overhead: f64,
+    /// Design objective (only used by [`TrialKind::DesignAndValidate`]).
+    pub goal: DesignGoal,
+    /// Slack distribution policy (only used by [`TrialKind::DesignAndValidate`]).
+    pub slack_policy: SlackPolicy,
+    /// Fault process injected during validation.
+    pub faults: FaultModel,
+    /// Simulation horizon in task-set hyperperiods (at least 1).
+    pub horizon_hyperperiods: u32,
+    /// How far each trial runs.
+    pub kind: TrialKind,
+    /// Also evaluate the three static baseline schemes per trial.
+    pub compare_baselines: bool,
+    /// Override for the period-region sample count (default: adaptive).
+    pub region_samples: Option<usize>,
+    /// Override for the region bisection refinement iterations.
+    pub region_refine_iterations: Option<usize>,
+}
+
+impl CampaignSpec {
+    /// A minimal, valid spec with paper-flavoured defaults; campaigns
+    /// usually start from this and override the axes they sweep.
+    pub fn base(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            master_seed: 2007,
+            trials_per_scenario: 100,
+            workload: WorkloadSpec::synthetic_paper_like(13),
+            algorithms: vec![Algorithm::EarliestDeadlineFirst],
+            utilizations: vec![1.0],
+            partition_heuristic: PartitionHeuristic::WorstFitDecreasing,
+            total_overhead: 0.05,
+            goal: DesignGoal::MinimizeOverheadBandwidth,
+            slack_policy: SlackPolicy::KeepUnallocated,
+            faults: FaultModel::None,
+            horizon_hyperperiods: 2,
+            kind: TrialKind::DesignOnly,
+            compare_baselines: false,
+            region_samples: None,
+            region_refine_iterations: None,
+        }
+    }
+
+    /// Validates the spec before execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CampaignError::InvalidSpec`] describing the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), CampaignError> {
+        let fail = |reason: String| Err(CampaignError::InvalidSpec(reason));
+        if self.trials_per_scenario == 0 {
+            return fail("trials_per_scenario must be at least 1".into());
+        }
+        if self.algorithms.is_empty() {
+            return fail("at least one algorithm is required".into());
+        }
+        if !(self.total_overhead >= 0.0 && self.total_overhead.is_finite()) {
+            return fail(format!(
+                "total_overhead {} must be non-negative",
+                self.total_overhead
+            ));
+        }
+        if self.horizon_hyperperiods == 0 {
+            return fail("horizon_hyperperiods must be at least 1".into());
+        }
+        if let FaultModel::Poisson {
+            mean_interarrival,
+            fault_duration,
+        } = self.faults
+        {
+            if !(mean_interarrival > 0.0 && fault_duration > 0.0) {
+                return fail(format!(
+                    "Poisson fault model needs positive parameters \
+                     (mean {mean_interarrival}, duration {fault_duration})"
+                ));
+            }
+        }
+        match &self.workload {
+            WorkloadSpec::Paper => {
+                if !self.utilizations.is_empty() {
+                    return fail(
+                        "the paper workload fixes its own utilisation; \
+                         `utilizations` must be empty"
+                            .into(),
+                    );
+                }
+            }
+            WorkloadSpec::Synthetic { .. } => {
+                if self.utilizations.is_empty() {
+                    return fail("synthetic workloads need at least one utilisation".into());
+                }
+                for &u in &self.utilizations {
+                    // Probe a full generator configuration per axis value
+                    // so spec errors surface before any trial runs.
+                    let config = self
+                        .workload
+                        .generator_config(u)
+                        .expect("synthetic workloads have generator configs");
+                    config
+                        .validate()
+                        .map_err(|e| CampaignError::InvalidSpec(format!("utilisation {u}: {e}")))?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Expands the grid into its ordered scenario list
+    /// (algorithm-major, then utilisation, matching report order).
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let points: Vec<Option<f64>> = match &self.workload {
+            WorkloadSpec::Paper => vec![None],
+            WorkloadSpec::Synthetic { .. } => self.utilizations.iter().copied().map(Some).collect(),
+        };
+        let mut out = Vec::with_capacity(self.algorithms.len() * points.len());
+        for &algorithm in &self.algorithms {
+            for (workload_point, &utilization) in points.iter().enumerate() {
+                let index = out.len();
+                out.push(Scenario {
+                    index,
+                    workload_point,
+                    algorithm,
+                    utilization,
+                });
+            }
+        }
+        out
+    }
+
+    /// Total number of trials the campaign will run.
+    pub fn trial_count(&self) -> usize {
+        self.scenarios().len() * self.trials_per_scenario
+    }
+
+    /// The period-region sweep configuration for one problem, with the
+    /// spec's overrides applied.
+    pub fn region_config(&self, problem: &DesignProblem) -> RegionConfig {
+        let mut region = RegionConfig::for_problem(problem);
+        if let Some(samples) = self.region_samples {
+            region.samples = samples;
+        }
+        if let Some(refine) = self.region_refine_iterations {
+            region.refine_iterations = refine;
+        }
+        region
+    }
+}
+
+/// One point of the expanded scenario grid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Position in the expanded grid (stable across runs of one spec).
+    pub index: usize,
+    /// Position along the workload axis only. Per-trial seeds derive from
+    /// *this* coordinate, not `index`, so scenarios that differ only in
+    /// algorithm draw identical workloads — algorithm comparisons are
+    /// paired, the stronger experimental design (and the one the EDF ⊇ RM
+    /// dominance property is stated for).
+    pub workload_point: usize,
+    /// Local scheduling algorithm.
+    pub algorithm: Algorithm,
+    /// Target total utilisation (`None` for the paper workload).
+    pub utilization: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sweep_spec() -> CampaignSpec {
+        CampaignSpec {
+            algorithms: vec![Algorithm::EarliestDeadlineFirst, Algorithm::RateMonotonic],
+            utilizations: vec![0.5, 1.0, 1.5],
+            trials_per_scenario: 7,
+            ..CampaignSpec::base("test")
+        }
+    }
+
+    #[test]
+    fn grid_expansion_is_algorithm_major_and_stable() {
+        let scenarios = sweep_spec().scenarios();
+        assert_eq!(scenarios.len(), 6);
+        assert_eq!(scenarios[0].algorithm, Algorithm::EarliestDeadlineFirst);
+        assert_eq!(scenarios[0].utilization, Some(0.5));
+        assert_eq!(scenarios[2].utilization, Some(1.5));
+        assert_eq!(scenarios[3].algorithm, Algorithm::RateMonotonic);
+        assert!(scenarios.iter().enumerate().all(|(i, s)| s.index == i));
+        // The workload axis repeats per algorithm: paired comparisons.
+        assert_eq!(scenarios[0].workload_point, scenarios[3].workload_point);
+        assert_eq!(scenarios[2].workload_point, scenarios[5].workload_point);
+        assert_ne!(scenarios[0].workload_point, scenarios[1].workload_point);
+        assert_eq!(sweep_spec().trial_count(), 42);
+    }
+
+    #[test]
+    fn paper_workload_is_a_single_point_per_algorithm() {
+        let spec = CampaignSpec {
+            workload: WorkloadSpec::Paper,
+            utilizations: vec![],
+            ..sweep_spec()
+        };
+        spec.validate().unwrap();
+        assert_eq!(spec.scenarios().len(), 2);
+        assert_eq!(spec.scenarios()[0].utilization, None);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        let spec = sweep_spec();
+        spec.validate().unwrap();
+        assert!(CampaignSpec {
+            trials_per_scenario: 0,
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            algorithms: vec![],
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            utilizations: vec![],
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            total_overhead: -0.1,
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            horizon_hyperperiods: 0,
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            faults: FaultModel::Poisson {
+                mean_interarrival: 0.0,
+                fault_duration: 1.0
+            },
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            workload: WorkloadSpec::Paper,
+            // utilisation axis left non-empty: invalid for Paper
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            utilizations: vec![-1.0],
+            ..spec
+        }
+        .validate()
+        .is_err());
+    }
+
+    #[test]
+    fn spec_serde_round_trip() {
+        let spec = CampaignSpec {
+            workload: WorkloadSpec::Synthetic {
+                task_count: 10,
+                max_task_utilization: 0.7,
+                periods: PeriodDistribution::LogUniform {
+                    min: 5.0,
+                    max: 50.0,
+                },
+                mode_mix: ModeMix::uniform(),
+                period_granularity: Some(2.5),
+            },
+            faults: FaultModel::Poisson {
+                mean_interarrival: 8.0,
+                fault_duration: 0.25,
+            },
+            kind: TrialKind::DesignAndValidate,
+            compare_baselines: true,
+            region_samples: Some(300),
+            ..sweep_spec()
+        };
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn optional_spec_fields_may_be_omitted_in_json() {
+        let json = serde_json::to_string(&sweep_spec()).unwrap();
+        // Drop the two nullable region overrides entirely.
+        let trimmed = json
+            .replace("\"region_samples\":null,", "")
+            .replace("\"region_refine_iterations\":null", "");
+        let trimmed = trimmed.trim_end_matches(['}', ',']).to_string() + "}";
+        let back: CampaignSpec = serde_json::from_str(&trimmed).unwrap();
+        assert_eq!(back, sweep_spec());
+    }
+}

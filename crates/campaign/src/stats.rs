@@ -1,0 +1,345 @@
+//! Mergeable streaming statistics.
+//!
+//! Campaign workers never keep raw trial lists: each worker folds its
+//! block of trials into a [`ScenarioStats`] accumulator, and the executor
+//! merges block accumulators **in block order** at the end. Merging is
+//! associative, and because the merge order is fixed by trial index — not
+//! by scheduling — every floating-point sum is evaluated in exactly the
+//! same order regardless of worker count. That is the whole mechanism
+//! behind the engine's byte-identical-reports guarantee; see
+//! `tests/campaign_determinism.rs` for the proof.
+
+use serde::{Deserialize, Serialize};
+
+use ftsched_sim::report::OutcomeCounts;
+use ftsched_task::{Mode, PerMode};
+
+use crate::trial::{TrialOutcome, TrialStatus};
+
+/// Order-independent accumulator for sums of small reals.
+///
+/// Floating-point addition is not associative, so folding trials into
+/// blocks and merging block partials would let the executor's block size
+/// leak into `f64` sums. `ExactSum` quantises each observation to
+/// `2^-24` time units (≈ 6 × 10⁻⁸, far below reporting precision) and
+/// sums the resulting integer ticks, where addition **is** exactly
+/// associative and commutative. Saturating arithmetic bounds the domain
+/// at ±5.5 × 10¹¹ — billions of trials of any realistic magnitude.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExactSum {
+    ticks: i64,
+}
+
+impl ExactSum {
+    const SCALE: f64 = (1u64 << 24) as f64;
+
+    /// Adds one observation.
+    pub fn observe(&mut self, value: f64) {
+        let ticks = (value * Self::SCALE).round();
+        // Saturate rather than wrap on absurd magnitudes (±5.5e11).
+        let ticks = if ticks >= i64::MAX as f64 {
+            i64::MAX
+        } else if ticks <= i64::MIN as f64 {
+            i64::MIN
+        } else {
+            ticks as i64
+        };
+        self.ticks = self.ticks.saturating_add(ticks);
+    }
+
+    /// Merges another accumulator (associative and commutative).
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.ticks = self.ticks.saturating_add(other.ticks);
+    }
+
+    /// The accumulated sum.
+    pub fn value(&self) -> f64 {
+        self.ticks as f64 / Self::SCALE
+    }
+}
+
+/// Per-scheme acceptance counters for the baseline comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineCounts {
+    /// Trials with baseline verdicts recorded.
+    pub evaluated: u64,
+    /// The paper's flexible scheme.
+    pub flexible: u64,
+    /// Permanently lock-stepped platform.
+    pub static_lockstep: u64,
+    /// Permanently parallel platform.
+    pub static_parallel: u64,
+    /// Software primary/backup replication.
+    pub primary_backup: u64,
+}
+
+/// Aggregated simulation counters for accepted validation trials.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimAggregate {
+    /// Simulated (accepted `DesignAndValidate`) trials.
+    pub runs: u64,
+    /// Total jobs released.
+    pub released_jobs: u64,
+    /// Total jobs completed.
+    pub completed_jobs: u64,
+    /// Total deadline misses.
+    pub deadline_misses: u64,
+    /// Total faults drawn from the fault model.
+    pub injected_faults: u64,
+    /// Total faults overlapping at least one job.
+    pub effective_faults: u64,
+    /// Per-mode job outcome counters, summed.
+    pub outcomes: PerMode<OutcomeCounts>,
+    /// Sum of chosen periods (for the mean), in [`ExactSum`] ticks.
+    pub sum_period: ExactSum,
+    /// Sum of slack bandwidths (for the mean), in [`ExactSum`] ticks.
+    pub sum_slack_bandwidth: ExactSum,
+    /// Sum of overhead bandwidths (for the mean), in [`ExactSum`] ticks.
+    pub sum_overhead_bandwidth: ExactSum,
+    /// Sum of per-trial worst response times, in [`ExactSum`] ticks.
+    pub sum_max_response_time: ExactSum,
+    /// Worst response time over every simulated trial (`max` is exact and
+    /// associative in `f64`, so no quantisation is needed here).
+    pub max_response_time: f64,
+}
+
+impl SimAggregate {
+    fn observe(&mut self, sim: &crate::trial::SimSummary) {
+        self.runs += 1;
+        self.released_jobs += sim.released_jobs;
+        self.completed_jobs += sim.completed_jobs;
+        self.deadline_misses += sim.deadline_misses;
+        self.injected_faults += sim.injected_faults;
+        self.effective_faults += sim.effective_faults;
+        for mode in Mode::ALL {
+            add_outcomes(&mut self.outcomes[mode], &sim.outcomes[mode]);
+        }
+        self.sum_period.observe(sim.period);
+        self.sum_slack_bandwidth.observe(sim.slack_bandwidth);
+        self.sum_overhead_bandwidth.observe(sim.overhead_bandwidth);
+        self.sum_max_response_time.observe(sim.max_response_time);
+        self.max_response_time = self.max_response_time.max(sim.max_response_time);
+    }
+
+    fn merge(&mut self, other: &SimAggregate) {
+        self.runs += other.runs;
+        self.released_jobs += other.released_jobs;
+        self.completed_jobs += other.completed_jobs;
+        self.deadline_misses += other.deadline_misses;
+        self.injected_faults += other.injected_faults;
+        self.effective_faults += other.effective_faults;
+        for mode in Mode::ALL {
+            add_outcomes(&mut self.outcomes[mode], &other.outcomes[mode]);
+        }
+        self.sum_period.merge(&other.sum_period);
+        self.sum_slack_bandwidth.merge(&other.sum_slack_bandwidth);
+        self.sum_overhead_bandwidth
+            .merge(&other.sum_overhead_bandwidth);
+        self.sum_max_response_time
+            .merge(&other.sum_max_response_time);
+        self.max_response_time = self.max_response_time.max(other.max_response_time);
+    }
+
+    /// Total outcome counters over all modes.
+    pub fn total_outcomes(&self) -> OutcomeCounts {
+        let mut total = OutcomeCounts::default();
+        for mode in Mode::ALL {
+            add_outcomes(&mut total, &self.outcomes[mode]);
+        }
+        total
+    }
+
+    /// Mean chosen period over the simulated trials.
+    pub fn mean_period(&self) -> f64 {
+        mean(self.sum_period.value(), self.runs)
+    }
+
+    /// Mean slack bandwidth over the simulated trials.
+    pub fn mean_slack_bandwidth(&self) -> f64 {
+        mean(self.sum_slack_bandwidth.value(), self.runs)
+    }
+
+    /// Mean per-trial worst response time.
+    pub fn mean_max_response_time(&self) -> f64 {
+        mean(self.sum_max_response_time.value(), self.runs)
+    }
+}
+
+fn add_outcomes(into: &mut OutcomeCounts, from: &OutcomeCounts) {
+    into.correct_no_fault += from.correct_no_fault;
+    into.correct_masked += from.correct_masked;
+    into.silenced_lost += from.silenced_lost;
+    into.wrong_result += from.wrong_result;
+}
+
+fn mean(sum: f64, n: u64) -> f64 {
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// The streaming accumulator for one scenario grid point.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioStats {
+    /// Trials observed.
+    pub trials: u64,
+    /// Trials whose workload generation failed.
+    pub generation_failures: u64,
+    /// Trials whose partitioning failed.
+    pub partition_failures: u64,
+    /// Trials rejected by the design stage (empty period region).
+    pub design_rejected: u64,
+    /// Trials accepted by the design stage.
+    pub accepted: u64,
+    /// Accepted designs the simulator nonetheless rejected.
+    pub simulation_failures: u64,
+    /// Baseline-scheme counters (when the spec compares baselines).
+    pub baselines: BaselineCounts,
+    /// Simulation aggregate (for `DesignAndValidate` campaigns).
+    pub sim: SimAggregate,
+}
+
+impl ScenarioStats {
+    /// Folds one trial outcome into the accumulator.
+    pub fn observe(&mut self, outcome: &TrialOutcome) {
+        self.trials += 1;
+        match outcome.status {
+            TrialStatus::Accepted => self.accepted += 1,
+            TrialStatus::GenerationFailed => self.generation_failures += 1,
+            TrialStatus::PartitionFailed => self.partition_failures += 1,
+            TrialStatus::DesignRejected => self.design_rejected += 1,
+            TrialStatus::SimulationFailed => self.simulation_failures += 1,
+        }
+        if let Some(b) = &outcome.baselines {
+            self.baselines.evaluated += 1;
+            self.baselines.flexible += u64::from(b.flexible);
+            self.baselines.static_lockstep += u64::from(b.static_lockstep);
+            self.baselines.static_parallel += u64::from(b.static_parallel);
+            self.baselines.primary_backup += u64::from(b.primary_backup);
+        }
+        if let Some(sim) = &outcome.sim {
+            self.sim.observe(sim);
+        }
+    }
+
+    /// Merges another accumulator into this one. Associative; callers
+    /// must fix the merge order (the executor merges in block order).
+    pub fn merge(&mut self, other: &ScenarioStats) {
+        self.trials += other.trials;
+        self.generation_failures += other.generation_failures;
+        self.partition_failures += other.partition_failures;
+        self.design_rejected += other.design_rejected;
+        self.accepted += other.accepted;
+        self.simulation_failures += other.simulation_failures;
+        self.baselines.evaluated += other.baselines.evaluated;
+        self.baselines.flexible += other.baselines.flexible;
+        self.baselines.static_lockstep += other.baselines.static_lockstep;
+        self.baselines.static_parallel += other.baselines.static_parallel;
+        self.baselines.primary_backup += other.baselines.primary_backup;
+        self.sim.merge(&other.sim);
+    }
+
+    /// Trials that produced a workload (the acceptance-ratio denominator
+    /// of the extension experiments: generation failures are excluded,
+    /// partition failures count as rejections).
+    pub fn sampled(&self) -> u64 {
+        self.trials - self.generation_failures
+    }
+
+    /// Fraction of sampled workloads the design stage accepted.
+    pub fn acceptance_ratio(&self) -> f64 {
+        if self.sampled() == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.sampled() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trial::{BaselineVerdicts, SimSummary, TrialOutcome, TrialStatus};
+
+    fn outcome(status: TrialStatus, with_sim: bool) -> TrialOutcome {
+        TrialOutcome {
+            scenario: 0,
+            trial: 0,
+            seed: 1,
+            status,
+            baselines: Some(BaselineVerdicts {
+                flexible: status == TrialStatus::Accepted,
+                static_lockstep: false,
+                static_parallel: true,
+                primary_backup: false,
+            }),
+            sim: with_sim.then(|| SimSummary {
+                period: 2.0,
+                slack_bandwidth: 0.1,
+                overhead_bandwidth: 0.02,
+                released_jobs: 100,
+                completed_jobs: 99,
+                deadline_misses: 0,
+                injected_faults: 5,
+                effective_faults: 3,
+                outcomes: PerMode::splat(OutcomeCounts {
+                    correct_no_fault: 30,
+                    correct_masked: 2,
+                    silenced_lost: 1,
+                    wrong_result: 0,
+                }),
+                max_response_time: 1.5,
+            }),
+        }
+    }
+
+    #[test]
+    fn observe_and_merge_agree_with_sequential_fold() {
+        let outcomes = [
+            outcome(TrialStatus::Accepted, true),
+            outcome(TrialStatus::DesignRejected, false),
+            outcome(TrialStatus::Accepted, true),
+            outcome(TrialStatus::GenerationFailed, false),
+            outcome(TrialStatus::PartitionFailed, false),
+        ];
+        let mut sequential = ScenarioStats::default();
+        for o in &outcomes {
+            sequential.observe(o);
+        }
+
+        let mut left = ScenarioStats::default();
+        let mut right = ScenarioStats::default();
+        for o in &outcomes[..2] {
+            left.observe(o);
+        }
+        for o in &outcomes[2..] {
+            right.observe(o);
+        }
+        let mut merged = ScenarioStats::default();
+        merged.merge(&left);
+        merged.merge(&right);
+
+        assert_eq!(sequential, merged);
+        assert_eq!(merged.trials, 5);
+        assert_eq!(merged.sampled(), 4);
+        assert_eq!(merged.accepted, 2);
+        assert!((merged.acceptance_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(merged.sim.runs, 2);
+        assert_eq!(merged.sim.released_jobs, 200);
+        assert_eq!(merged.sim.total_outcomes().correct_no_fault, 180);
+        assert!((merged.sim.mean_period() - 2.0).abs() < 1e-12);
+        assert_eq!(merged.baselines.evaluated, 5);
+        assert_eq!(merged.baselines.flexible, 2);
+        assert_eq!(merged.baselines.static_parallel, 5);
+    }
+
+    #[test]
+    fn empty_stats_have_safe_ratios() {
+        let stats = ScenarioStats::default();
+        assert_eq!(stats.acceptance_ratio(), 0.0);
+        assert_eq!(stats.sim.mean_period(), 0.0);
+        assert_eq!(stats.sim.mean_max_response_time(), 0.0);
+    }
+}

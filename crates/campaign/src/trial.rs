@@ -1,0 +1,349 @@
+//! The per-trial kernel: one seeded workload through the
+//! design(-and-validate) pipeline.
+//!
+//! A trial is a pure function of `(spec, scenario, trial_index)`: it
+//! derives its seed with [`crate::seed::trial_seed`], draws the workload
+//! and the fault schedule from one RNG in a fixed order, and runs either
+//! the feasibility check or the full [`ftsched_core::design_and_validate`]
+//! pipeline. Re-running a trial with the coordinates recorded in a report
+//! reproduces its outcome exactly.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use ftsched_core::pipeline::{design_and_validate, PipelineError, PipelineOutcome};
+use ftsched_core::PipelineConfig;
+use ftsched_design::baseline::compare_schemes;
+use ftsched_design::partitioner::partition_system;
+use ftsched_design::problem::DesignProblem;
+use ftsched_design::region::max_feasible_period;
+use ftsched_platform::FaultSchedule;
+use ftsched_sim::report::OutcomeCounts;
+use ftsched_sim::SimulationReport;
+use ftsched_task::generator::generate_taskset;
+use ftsched_task::{PerMode, Time};
+
+use crate::seed::trial_seed;
+use crate::spec::{CampaignSpec, Scenario, TrialKind, WorkloadSpec};
+
+/// Why a trial stopped where it did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrialStatus {
+    /// The design stage found a feasible period (and, for
+    /// [`TrialKind::DesignAndValidate`], the simulation ran).
+    Accepted,
+    /// The workload generator could not satisfy the configuration
+    /// (UUniFast-discard cap, degenerate parameters).
+    GenerationFailed,
+    /// No valid partition of the workload onto the mode channels.
+    PartitionFailed,
+    /// The feasible-period region of Eq. 15 is empty for the overhead.
+    DesignRejected,
+    /// The design stage succeeded but the simulator rejected the slot
+    /// schedule (should not happen for consistent designs).
+    SimulationFailed,
+}
+
+/// Compact, serialisable result of one trial's simulation stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimSummary {
+    /// Chosen slot period.
+    pub period: f64,
+    /// Bandwidth left unallocated by the chosen design.
+    pub slack_bandwidth: f64,
+    /// Bandwidth spent on mode-switch overheads.
+    pub overhead_bandwidth: f64,
+    /// Jobs released inside the horizon.
+    pub released_jobs: u64,
+    /// Jobs completed inside the horizon.
+    pub completed_jobs: u64,
+    /// Deadline misses.
+    pub deadline_misses: u64,
+    /// Faults drawn from the fault model for this trial.
+    pub injected_faults: u64,
+    /// Faults that overlapped at least one job.
+    pub effective_faults: u64,
+    /// Per-mode job outcome counters.
+    pub outcomes: PerMode<OutcomeCounts>,
+    /// Worst observed response time over all tasks (time units; 0 when no
+    /// job completed).
+    pub max_response_time: f64,
+}
+
+impl SimSummary {
+    fn from_report(outcome: &PipelineOutcome, injected_faults: u64) -> Self {
+        let report: &SimulationReport = &outcome.simulation;
+        SimSummary {
+            period: outcome.solution.period,
+            slack_bandwidth: outcome.solution.slack_bandwidth(),
+            overhead_bandwidth: outcome.solution.overhead_bandwidth(),
+            released_jobs: report.released_jobs,
+            completed_jobs: report.completed_jobs,
+            deadline_misses: report.deadline_misses,
+            injected_faults,
+            effective_faults: report.effective_faults,
+            outcomes: report.outcomes,
+            max_response_time: report
+                .worst_response_times
+                .values()
+                .fold(0.0_f64, |acc, &rt| acc.max(rt)),
+        }
+    }
+}
+
+/// Baseline-scheme verdicts for one trial, in the fixed scheme order
+/// flexible / static-lockstep / static-parallel / primary-backup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineVerdicts {
+    /// The paper's flexible scheme (period region non-empty).
+    pub flexible: bool,
+    /// Permanently lock-stepped platform.
+    pub static_lockstep: bool,
+    /// Permanently parallel platform (ignores fault requirements).
+    pub static_parallel: bool,
+    /// Software primary/backup replication.
+    pub primary_backup: bool,
+}
+
+/// The complete, serialisable outcome of one trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Scenario grid index.
+    pub scenario: usize,
+    /// Trial index within the scenario.
+    pub trial: usize,
+    /// The derived RNG seed (sufficient to re-run this trial).
+    pub seed: u64,
+    /// Where the trial stopped.
+    pub status: TrialStatus,
+    /// Baseline verdicts, when the spec asked for them.
+    pub baselines: Option<BaselineVerdicts>,
+    /// Simulation summary, for accepted `DesignAndValidate` trials.
+    pub sim: Option<SimSummary>,
+}
+
+/// Runs one trial. See the module docs for the determinism contract.
+pub fn run_trial(spec: &CampaignSpec, scenario: &Scenario, trial: usize) -> TrialOutcome {
+    let (outcome, _) = run_trial_full(spec, scenario, trial);
+    outcome
+}
+
+/// Runs one trial and also returns the full [`PipelineOutcome`] for
+/// accepted `DesignAndValidate` trials (used by reproduction tests and
+/// debugging tools; campaigns keep only the compact summary).
+pub fn run_trial_full(
+    spec: &CampaignSpec,
+    scenario: &Scenario,
+    trial: usize,
+) -> (TrialOutcome, Option<PipelineOutcome>) {
+    // Seeds key on the workload coordinate so algorithm axes are paired
+    // (same task sets, same fault draws) — see `Scenario::workload_point`.
+    let seed = trial_seed(spec.master_seed, scenario.workload_point, trial);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let finish = |status: TrialStatus,
+                  baselines: Option<BaselineVerdicts>,
+                  sim: Option<SimSummary>| TrialOutcome {
+        scenario: scenario.index,
+        trial,
+        seed,
+        status,
+        baselines,
+        sim,
+    };
+
+    // 1. Workload. The RNG is consumed in a fixed order (task set first,
+    //    fault schedule second) — do not reorder.
+    let (tasks, partition) = match &spec.workload {
+        WorkloadSpec::Paper => {
+            let (tasks, partition) = ftsched_task::examples::paper_example();
+            (tasks, Some(partition))
+        }
+        WorkloadSpec::Synthetic { .. } => {
+            let config = spec
+                .workload
+                .generator_config(scenario.utilization.unwrap_or(1.0))
+                .expect("synthetic workloads have generator configs");
+            match generate_taskset(&mut rng, &config) {
+                Ok(tasks) => (tasks, None),
+                Err(_) => return (finish(TrialStatus::GenerationFailed, None, None), None),
+            }
+        }
+    };
+
+    // 2. Partition (synthetic workloads). Baselines that ignore the
+    //    partition are still evaluated when partitioning fails.
+    let partition = match partition {
+        Some(p) => p,
+        None => match partition_system(&tasks, spec.partition_heuristic) {
+            Ok(p) => p,
+            Err(_) => {
+                let baselines = spec.compare_baselines.then(|| BaselineVerdicts {
+                    flexible: false,
+                    static_lockstep: ftsched_design::baseline::static_lockstep_schedulable(
+                        &tasks,
+                        scenario.algorithm,
+                    ),
+                    static_parallel: ftsched_design::baseline::static_parallel_schedulable(
+                        &tasks,
+                        scenario.algorithm,
+                    ),
+                    primary_backup: ftsched_design::baseline::primary_backup_schedulable(
+                        &tasks,
+                        scenario.algorithm,
+                    ),
+                });
+                return (finish(TrialStatus::PartitionFailed, baselines, None), None);
+            }
+        },
+    };
+
+    let problem = match DesignProblem::with_total_overhead(
+        tasks,
+        partition,
+        spec.total_overhead,
+        scenario.algorithm,
+    ) {
+        Ok(p) => p,
+        Err(_) => return (finish(TrialStatus::PartitionFailed, None, None), None),
+    };
+    let region = spec.region_config(&problem);
+
+    let baselines = spec.compare_baselines.then(|| {
+        let cmp = compare_schemes(&problem, &region)
+            .expect("compare_schemes is infallible on a validated problem");
+        BaselineVerdicts {
+            flexible: cmp.flexible,
+            static_lockstep: cmp.static_lockstep,
+            static_parallel: cmp.static_parallel,
+            primary_backup: cmp.primary_backup,
+        }
+    });
+
+    match spec.kind {
+        TrialKind::DesignOnly => {
+            let feasible = match &baselines {
+                // `compare_schemes` already answered the feasibility
+                // question; don't sweep the region twice.
+                Some(b) => b.flexible,
+                None => max_feasible_period(&problem, &region).is_ok(),
+            };
+            let status = if feasible {
+                TrialStatus::Accepted
+            } else {
+                TrialStatus::DesignRejected
+            };
+            (finish(status, baselines, None), None)
+        }
+        TrialKind::DesignAndValidate => {
+            // 3. Fault schedule over the exact simulation horizon the
+            //    pipeline will use.
+            let hyperperiod = problem.tasks.hyperperiod();
+            let horizon = hyperperiod * spec.horizon_hyperperiods.max(1) as f64;
+            let faults: FaultSchedule = spec.faults.schedule(&mut rng, Time::from_units(horizon));
+            let injected = faults.len() as u64;
+            let config = PipelineConfig {
+                region,
+                slack_policy: spec.slack_policy,
+                horizon_hyperperiods: spec.horizon_hyperperiods,
+                fault_schedule: faults,
+                record_trace: false,
+            };
+            match design_and_validate(&problem, spec.goal, &config) {
+                Ok(outcome) => {
+                    let sim = SimSummary::from_report(&outcome, injected);
+                    (
+                        finish(TrialStatus::Accepted, baselines, Some(sim)),
+                        Some(outcome),
+                    )
+                }
+                Err(PipelineError::Design(_)) => {
+                    (finish(TrialStatus::DesignRejected, baselines, None), None)
+                }
+                Err(PipelineError::Simulation(_)) => {
+                    (finish(TrialStatus::SimulationFailed, baselines, None), None)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::CampaignSpec;
+    use ftsched_analysis::Algorithm;
+
+    fn validate_spec() -> CampaignSpec {
+        CampaignSpec {
+            kind: TrialKind::DesignAndValidate,
+            faults: ftsched_platform::FaultModel::Poisson {
+                mean_interarrival: 8.0,
+                fault_duration: 0.25,
+            },
+            horizon_hyperperiods: 1,
+            trials_per_scenario: 3,
+            ..CampaignSpec::base("trial-test")
+        }
+    }
+
+    #[test]
+    fn paper_trial_reproduces_table_2b() {
+        let spec = CampaignSpec {
+            workload: WorkloadSpec::Paper,
+            utilizations: vec![],
+            ..validate_spec()
+        };
+        let scenario = spec.scenarios()[0];
+        let (outcome, full) = run_trial_full(&spec, &scenario, 0);
+        assert_eq!(outcome.status, TrialStatus::Accepted);
+        let sim = outcome
+            .sim
+            .expect("accepted validation trials carry a summary");
+        assert!((sim.period - 2.966).abs() < 0.01, "period {}", sim.period);
+        assert_eq!(sim.deadline_misses, 0);
+        assert!(full.is_some());
+    }
+
+    #[test]
+    fn trials_are_reproducible() {
+        let spec = validate_spec();
+        let scenario = spec.scenarios()[0];
+        let (a, full_a) = run_trial_full(&spec, &scenario, 1);
+        let (b, full_b) = run_trial_full(&spec, &scenario, 1);
+        assert_eq!(a, b);
+        assert_eq!(full_a, full_b);
+        let (c, _) = run_trial_full(&spec, &scenario, 2);
+        assert_ne!(a.seed, c.seed);
+    }
+
+    #[test]
+    fn design_only_trials_carry_no_simulation() {
+        let spec = CampaignSpec {
+            kind: TrialKind::DesignOnly,
+            compare_baselines: true,
+            algorithms: vec![Algorithm::EarliestDeadlineFirst],
+            ..CampaignSpec::base("design-only")
+        };
+        let scenario = spec.scenarios()[0];
+        let outcome = run_trial(&spec, &scenario, 0);
+        assert!(outcome.sim.is_none());
+        assert!(outcome.baselines.is_some());
+        assert!(matches!(
+            outcome.status,
+            TrialStatus::Accepted | TrialStatus::DesignRejected | TrialStatus::PartitionFailed
+        ));
+    }
+
+    #[test]
+    fn overloaded_scenarios_are_rejected_not_crashed() {
+        let spec = CampaignSpec {
+            utilizations: vec![12.5], // far beyond 4 processors
+            kind: TrialKind::DesignOnly,
+            ..CampaignSpec::base("overload")
+        };
+        let scenario = spec.scenarios()[0];
+        let outcome = run_trial(&spec, &scenario, 0);
+        assert_ne!(outcome.status, TrialStatus::Accepted);
+    }
+}

@@ -1,0 +1,208 @@
+//! `ftsched` — run experiment campaigns from declarative spec files.
+//!
+//! ```text
+//! ftsched run <spec.json> [--threads N] [--block-size N]
+//!                         [--out report.json] [--csv report.csv] [--quiet]
+//! ftsched validate <spec.json>
+//! ftsched example
+//! ```
+//!
+//! `run` loads a [`CampaignSpec`], fans its trials out over worker
+//! threads with a progress line, prints the summary table and optionally
+//! writes the full JSON report and a per-scenario CSV. Reports are a pure
+//! function of the spec: the same file produces byte-identical output at
+//! any `--threads` value.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use ftsched_campaign::prelude::*;
+
+const USAGE: &str = "\
+ftsched — deterministic experiment campaigns for the flexible \
+fault-tolerant scheduling scheme
+
+USAGE:
+    ftsched run <spec.json> [OPTIONS]   run a campaign
+    ftsched validate <spec.json>        check a spec and show its grid
+    ftsched example                     print a sample spec to stdout
+
+OPTIONS (run):
+    --threads <N>      worker threads (default: one per core)
+    --block-size <N>   trials per work block (default: 32)
+    --out <FILE>       write the full JSON report
+    --csv <FILE>       write a per-scenario CSV
+    --quiet            no progress line
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some("example") => {
+            println!("{}", serde_json::to_string_pretty(&example_spec()).unwrap());
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("ftsched: unknown command `{other}`\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<&str> = None;
+    let mut exec = ExecutorConfig {
+        progress: true,
+        ..ExecutorConfig::default()
+    };
+    let mut out_json: Option<&str> = None;
+    let mut out_csv: Option<&str> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => match take_value(args, &mut i) {
+                Some(v) => match v.parse() {
+                    Ok(n) => exec.threads = n,
+                    Err(_) => return usage_error(&format!("invalid --threads value `{v}`")),
+                },
+                None => return usage_error("--threads needs a value"),
+            },
+            "--block-size" => match take_value(args, &mut i) {
+                Some(v) => match v.parse() {
+                    Ok(n) if n > 0 => exec.block_size = n,
+                    _ => return usage_error(&format!("invalid --block-size value `{v}`")),
+                },
+                None => return usage_error("--block-size needs a value"),
+            },
+            "--out" => match take_value(args, &mut i) {
+                Some(v) => out_json = Some(v),
+                None => return usage_error("--out needs a value"),
+            },
+            "--csv" => match take_value(args, &mut i) {
+                Some(v) => out_csv = Some(v),
+                None => return usage_error("--csv needs a value"),
+            },
+            "--quiet" => exec.progress = false,
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other);
+            }
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    let Some(spec_path) = spec_path else {
+        return usage_error("run needs a spec file");
+    };
+
+    let spec = match load_spec(spec_path) {
+        Ok(spec) => spec,
+        Err(message) => {
+            eprintln!("ftsched: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "campaign `{}`: {} scenarios x {} trials = {} trials on {} threads",
+        spec.name,
+        spec.scenarios().len(),
+        spec.trials_per_scenario,
+        spec.trial_count(),
+        exec.effective_threads(),
+    );
+    let started = Instant::now();
+    let report = match run_campaign(&spec, &exec) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("ftsched: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let elapsed = started.elapsed().as_secs_f64();
+    let trials = report.total_trials();
+    eprintln!(
+        "completed {trials} trials in {elapsed:.2}s ({:.0} trials/s)",
+        trials as f64 / elapsed.max(1e-9)
+    );
+
+    println!("{}", report.render_table());
+
+    if let Some(path) = out_json {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("ftsched: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote JSON report to {path}");
+    }
+    if let Some(path) = out_csv {
+        if let Err(e) = std::fs::write(path, report.to_csv()) {
+            eprintln!("ftsched: cannot write `{path}`: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote CSV report to {path}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_validate(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage_error("validate needs a spec file");
+    };
+    match load_spec(path) {
+        Ok(spec) => {
+            println!(
+                "`{}` is valid: {} scenarios ({} algorithms x {} workload points), \
+                 {} trials per scenario, {} trials total",
+                spec.name,
+                spec.scenarios().len(),
+                spec.algorithms.len(),
+                spec.scenarios().len() / spec.algorithms.len().max(1),
+                spec.trials_per_scenario,
+                spec.trial_count(),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("ftsched: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_spec(path: &str) -> Result<CampaignSpec, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let spec: CampaignSpec =
+        serde_json::from_str(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
+    spec.validate().map_err(|e| format!("`{path}`: {e}"))?;
+    Ok(spec)
+}
+
+fn take_value<'a>(args: &'a [String], i: &mut usize) -> Option<&'a str> {
+    *i += 1;
+    args.get(*i).map(String::as_str)
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("ftsched: {message}\n\n{USAGE}");
+    ExitCode::FAILURE
+}
+
+/// The spec printed by `ftsched example` — built in code so it can never
+/// drift out of sync with the schema.
+fn example_spec() -> CampaignSpec {
+    CampaignSpec {
+        trials_per_scenario: 25,
+        utilizations: (4..=30).step_by(2).map(|u| u as f64 / 10.0).collect(),
+        algorithms: vec![Algorithm::EarliestDeadlineFirst, Algorithm::RateMonotonic],
+        region_samples: Some(300),
+        region_refine_iterations: Some(10),
+        ..CampaignSpec::base("example-acceptance-ratio")
+    }
+}

@@ -53,8 +53,7 @@ pub use pipeline::{design_and_validate, PipelineConfig, PipelineOutcome};
 /// Convenience re-exports of the most commonly used items of every layer.
 pub mod prelude {
     pub use ftsched_analysis::{
-        min_quantum, min_quantum_multi, Algorithm, LinearSupply, PeriodicSlotSupply,
-        SupplyFunction,
+        min_quantum, min_quantum_multi, Algorithm, LinearSupply, PeriodicSlotSupply, SupplyFunction,
     };
     pub use ftsched_design::{
         baseline::{compare_schemes, Scheme},
@@ -69,7 +68,7 @@ pub mod prelude {
         DesignGoal, DesignProblem, DesignSolution,
     };
     pub use ftsched_platform::{
-        classify_outcome, Fault, FaultInjector, FaultSchedule, JobOutcome, Platform,
+        classify_outcome, Fault, FaultInjector, FaultModel, FaultSchedule, JobOutcome, Platform,
         PlatformConfig,
     };
     pub use ftsched_sim::{simulate, SimulationConfig, SimulationReport, SlotSchedule};

@@ -131,7 +131,11 @@ pub fn design_and_validate(
         },
     )?;
 
-    Ok(PipelineOutcome { solution, slots, simulation })
+    Ok(PipelineOutcome {
+        solution,
+        slots,
+        simulation,
+    })
 }
 
 #[cfg(test)]
@@ -164,7 +168,10 @@ mod tests {
             SlackPolicy::Even,
             SlackPolicy::AllTo(Mode::NonFaultTolerant),
         ] {
-            let config = PipelineConfig { slack_policy: policy, ..PipelineConfig::default() };
+            let config = PipelineConfig {
+                slack_policy: policy,
+                ..PipelineConfig::default()
+            };
             let outcome =
                 design_and_validate(&problem, DesignGoal::MaximizeSlackBandwidth, &config).unwrap();
             assert!(
@@ -186,7 +193,10 @@ mod tests {
             &PipelineConfig::default(),
         )
         .unwrap_err();
-        assert!(matches!(err, PipelineError::Design(DesignError::NoFeasiblePeriod { .. })));
+        assert!(matches!(
+            err,
+            PipelineError::Design(DesignError::NoFeasiblePeriod { .. })
+        ));
         assert!(err.to_string().contains("design stage"));
     }
 

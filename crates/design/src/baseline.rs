@@ -50,8 +50,12 @@ pub enum Scheme {
 
 impl Scheme {
     /// All schemes, in report order.
-    pub const ALL: [Scheme; 4] =
-        [Scheme::Flexible, Scheme::StaticLockstep, Scheme::StaticParallel, Scheme::PrimaryBackup];
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Flexible,
+        Scheme::StaticLockstep,
+        Scheme::StaticParallel,
+        Scheme::PrimaryBackup,
+    ];
 
     /// Short label for reports.
     pub const fn label(self) -> &'static str {
@@ -128,7 +132,9 @@ pub fn static_parallel_schedulable(tasks: &TaskSet, algorithm: Algorithm) -> boo
             c
         })
         .collect();
-    let Ok(relabelled) = TaskSet::new(relabelled) else { return false };
+    let Ok(relabelled) = TaskSet::new(relabelled) else {
+        return false;
+    };
     let Ok(partition) = partition_mode(
         &relabelled,
         Mode::NonFaultTolerant,
@@ -136,8 +142,12 @@ pub fn static_parallel_schedulable(tasks: &TaskSet, algorithm: Algorithm) -> boo
     ) else {
         return false;
     };
-    let Ok(channels) = partition.channel_task_sets(&relabelled) else { return false };
-    channels.iter().all(|c| uniprocessor_schedulable(c, algorithm))
+    let Ok(channels) = partition.channel_task_sets(&relabelled) else {
+        return false;
+    };
+    channels
+        .iter()
+        .all(|c| uniprocessor_schedulable(c, algorithm))
 }
 
 /// Software primary/backup on four parallel processors: FT and FS tasks
@@ -167,7 +177,9 @@ pub fn primary_backup_schedulable(tasks: &TaskSet, algorithm: Algorithm) -> bool
             inflated.push(backup);
         }
     }
-    let Ok(inflated) = TaskSet::new(inflated) else { return false };
+    let Ok(inflated) = TaskSet::new(inflated) else {
+        return false;
+    };
     let Ok(partition) = partition_mode(
         &inflated,
         Mode::NonFaultTolerant,
@@ -175,8 +187,12 @@ pub fn primary_backup_schedulable(tasks: &TaskSet, algorithm: Algorithm) -> bool
     ) else {
         return false;
     };
-    let Ok(channels) = partition.channel_task_sets(&inflated) else { return false };
-    channels.iter().all(|c| uniprocessor_schedulable(c, algorithm))
+    let Ok(channels) = partition.channel_task_sets(&inflated) else {
+        return false;
+    };
+    channels
+        .iter()
+        .all(|c| uniprocessor_schedulable(c, algorithm))
 }
 
 /// The paper's flexible scheme: schedulable iff a feasible period exists
@@ -234,7 +250,10 @@ mod tests {
             .collect();
         let light = TaskSet::new(light).unwrap();
         // Halved WCETs bring the total utilisation to ≈ 0.68 < 1.
-        assert!(static_lockstep_schedulable(&light, Algorithm::EarliestDeadlineFirst));
+        assert!(static_lockstep_schedulable(
+            &light,
+            Algorithm::EarliestDeadlineFirst
+        ));
     }
 
     #[test]
@@ -248,9 +267,15 @@ mod tests {
             Task::implicit_deadline(4, 6.0, 10.0, Mode::FaultTolerant).unwrap(),
         ])
         .unwrap();
-        assert!(static_parallel_schedulable(&tasks, Algorithm::EarliestDeadlineFirst));
+        assert!(static_parallel_schedulable(
+            &tasks,
+            Algorithm::EarliestDeadlineFirst
+        ));
         // 8 copies of U=0.6 need 4.8 processors' worth of bandwidth.
-        assert!(!primary_backup_schedulable(&tasks, Algorithm::EarliestDeadlineFirst));
+        assert!(!primary_backup_schedulable(
+            &tasks,
+            Algorithm::EarliestDeadlineFirst
+        ));
     }
 
     #[test]
@@ -261,7 +286,10 @@ mod tests {
             Task::implicit_deadline(3, 1.0, 10.0, Mode::NonFaultTolerant).unwrap(),
         ])
         .unwrap();
-        assert!(primary_backup_schedulable(&tasks, Algorithm::EarliestDeadlineFirst));
+        assert!(primary_backup_schedulable(
+            &tasks,
+            Algorithm::EarliestDeadlineFirst
+        ));
     }
 
     #[test]
@@ -295,15 +323,20 @@ mod tests {
         )
         .unwrap();
         // Five tasks of U=0.9 cannot fit on four processors.
-        assert!(!static_parallel_schedulable(&tasks, Algorithm::EarliestDeadlineFirst));
+        assert!(!static_parallel_schedulable(
+            &tasks,
+            Algorithm::EarliestDeadlineFirst
+        ));
     }
 
     #[test]
     fn rm_baselines_are_no_more_permissive_than_edf() {
         let tasks = paper_taskset();
-        for scheme_fn in
-            [static_lockstep_schedulable, static_parallel_schedulable, primary_backup_schedulable]
-        {
+        for scheme_fn in [
+            static_lockstep_schedulable,
+            static_parallel_schedulable,
+            primary_backup_schedulable,
+        ] {
             let by_rm = scheme_fn(&tasks, Algorithm::RateMonotonic);
             let by_edf = scheme_fn(&tasks, Algorithm::EarliestDeadlineFirst);
             if by_rm {

@@ -57,7 +57,10 @@ impl fmt::Display for DesignError {
             Self::InvalidOverhead { value } => {
                 write!(f, "overhead {value} must be non-negative and finite")
             }
-            Self::NoFeasiblePeriod { total_overhead, max_admissible_overhead } => write!(
+            Self::NoFeasiblePeriod {
+                total_overhead,
+                max_admissible_overhead,
+            } => write!(
                 f,
                 "no feasible period: total overhead {total_overhead:.3} exceeds the maximum \
                  admissible overhead {max_admissible_overhead:.3}"
@@ -70,7 +73,10 @@ impl fmt::Display for DesignError {
                 write!(f, "invalid period search range [{min}, {max}]")
             }
             Self::PartitioningFailed { task } => {
-                write!(f, "automatic partitioning failed: task {task} does not fit on any channel")
+                write!(
+                    f,
+                    "automatic partitioning failed: task {task} does not fit on any channel"
+                )
             }
         }
     }

@@ -126,7 +126,10 @@ mod tests {
             .with_overheads(PerMode::splat(0.1))
             .unwrap(); // O_tot = 0.3 > 0.201
         let config = RegionConfig::paper_figure4();
-        for goal in [DesignGoal::MinimizeOverheadBandwidth, DesignGoal::MaximizeSlackBandwidth] {
+        for goal in [
+            DesignGoal::MinimizeOverheadBandwidth,
+            DesignGoal::MaximizeSlackBandwidth,
+        ] {
             assert!(matches!(
                 solve(&problem, goal, &config),
                 Err(DesignError::NoFeasiblePeriod { .. })

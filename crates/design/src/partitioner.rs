@@ -83,8 +83,9 @@ pub fn partition_mode(
 
     for task in mode_tasks {
         let u = task.utilization();
-        let candidates: Vec<usize> =
-            (0..channels).filter(|&c| load[c] + u <= 1.0 + 1e-9).collect();
+        let candidates: Vec<usize> = (0..channels)
+            .filter(|&c| load[c] + u <= 1.0 + 1e-9)
+            .collect();
         if candidates.is_empty() {
             return Err(DesignError::PartitioningFailed { task: task.id });
         }
@@ -163,12 +164,18 @@ mod tests {
             nf_task(4, 0.3),
         ])
         .unwrap();
-        let wfd =
-            partition_mode(&tasks, Mode::NonFaultTolerant, PartitionHeuristic::WorstFitDecreasing)
-                .unwrap();
-        let ffd =
-            partition_mode(&tasks, Mode::NonFaultTolerant, PartitionHeuristic::FirstFitDecreasing)
-                .unwrap();
+        let wfd = partition_mode(
+            &tasks,
+            Mode::NonFaultTolerant,
+            PartitionHeuristic::WorstFitDecreasing,
+        )
+        .unwrap();
+        let ffd = partition_mode(
+            &tasks,
+            Mode::NonFaultTolerant,
+            PartitionHeuristic::FirstFitDecreasing,
+        )
+        .unwrap();
         let max_load = |p: &ModePartition| {
             p.channel_task_sets(&tasks)
                 .unwrap()
@@ -185,9 +192,12 @@ mod tests {
         // Tasks 0.6, 0.4, 0.3: BFD puts 0.4 with 0.6 (exactly filling a
         // channel), then 0.3 on a fresh one → 2 channels used.
         let tasks = TaskSet::new(vec![nf_task(1, 0.6), nf_task(2, 0.4), nf_task(3, 0.3)]).unwrap();
-        let bfd =
-            partition_mode(&tasks, Mode::NonFaultTolerant, PartitionHeuristic::BestFitDecreasing)
-                .unwrap();
+        let bfd = partition_mode(
+            &tasks,
+            Mode::NonFaultTolerant,
+            PartitionHeuristic::BestFitDecreasing,
+        )
+        .unwrap();
         let sets = bfd.channel_task_sets(&tasks).unwrap();
         assert_eq!(sets.len(), 2);
         let loads: Vec<f64> = sets.iter().map(TaskSet::utilization).collect();
@@ -214,8 +224,12 @@ mod tests {
     #[test]
     fn empty_mode_gives_an_empty_partition() {
         let tasks = TaskSet::new(vec![nf_task(1, 0.5)]).unwrap();
-        let ft = partition_mode(&tasks, Mode::FaultTolerant, PartitionHeuristic::FirstFitDecreasing)
-            .unwrap();
+        let ft = partition_mode(
+            &tasks,
+            Mode::FaultTolerant,
+            PartitionHeuristic::FirstFitDecreasing,
+        )
+        .unwrap();
         assert_eq!(ft.channel_count(), 0);
     }
 

@@ -42,7 +42,12 @@ impl DesignProblem {
                 return Err(DesignError::InvalidOverhead { value: o });
             }
         }
-        Ok(DesignProblem { tasks, partition, overheads, algorithm })
+        Ok(DesignProblem {
+            tasks,
+            partition,
+            overheads,
+            algorithm,
+        })
     }
 
     /// Builds a problem with the total overhead split equally over the
@@ -59,9 +64,16 @@ impl DesignProblem {
         algorithm: Algorithm,
     ) -> Result<Self, DesignError> {
         if !(total_overhead >= 0.0 && total_overhead.is_finite()) {
-            return Err(DesignError::InvalidOverhead { value: total_overhead });
+            return Err(DesignError::InvalidOverhead {
+                value: total_overhead,
+            });
         }
-        DesignProblem::new(tasks, partition, PerMode::splat(total_overhead / 3.0), algorithm)
+        DesignProblem::new(
+            tasks,
+            partition,
+            PerMode::splat(total_overhead / 3.0),
+            algorithm,
+        )
     }
 
     /// Total switching overhead `O_tot = O_FT + O_FS + O_NF`.
@@ -131,7 +143,10 @@ impl DesignProblem {
     /// A copy of this problem with a different scheduling algorithm (used
     /// for the EDF-vs-RM comparisons of Figure 4).
     pub fn with_algorithm(&self, algorithm: Algorithm) -> DesignProblem {
-        DesignProblem { algorithm, ..self.clone() }
+        DesignProblem {
+            algorithm,
+            ..self.clone()
+        }
     }
 
     /// A copy of this problem with different per-mode overheads.
@@ -145,7 +160,10 @@ impl DesignProblem {
                 return Err(DesignError::InvalidOverhead { value: o });
             }
         }
-        Ok(DesignProblem { overheads, ..self.clone() })
+        Ok(DesignProblem {
+            overheads,
+            ..self.clone()
+        })
     }
 }
 
@@ -191,7 +209,12 @@ mod tests {
         let mut overheads = PerMode::splat(0.01);
         overheads.fs = -0.01;
         assert!(matches!(
-            DesignProblem::new(tasks, partition, overheads, Algorithm::EarliestDeadlineFirst),
+            DesignProblem::new(
+                tasks,
+                partition,
+                overheads,
+                Algorithm::EarliestDeadlineFirst
+            ),
             Err(DesignError::InvalidOverhead { .. })
         ));
     }
@@ -205,7 +228,9 @@ mod tests {
         let partition = SystemPartition::new(
             ModePartition::new(Mode::FaultTolerant, vec![vec![id(10), id(11), id(12)]]).unwrap(),
             examples::paper_partition().mode(Mode::FailSilent).clone(),
-            examples::paper_partition().mode(Mode::NonFaultTolerant).clone(),
+            examples::paper_partition()
+                .mode(Mode::NonFaultTolerant)
+                .clone(),
         );
         assert!(DesignProblem::new(
             tasks,
@@ -249,7 +274,13 @@ mod tests {
     fn with_overheads_validates() {
         let p = paper_problem(Algorithm::EarliestDeadlineFirst);
         assert!(p.with_overheads(PerMode::splat(f64::NAN)).is_err());
-        let q = p.with_overheads(PerMode { ft: 0.02, fs: 0.02, nf: 0.01 }).unwrap();
+        let q = p
+            .with_overheads(PerMode {
+                ft: 0.02,
+                fs: 0.02,
+                nf: 0.01,
+            })
+            .unwrap();
         assert!((q.total_overhead() - 0.05).abs() < 1e-12);
     }
 

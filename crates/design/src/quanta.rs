@@ -130,7 +130,9 @@ pub fn distribute_slack(allocation: &QuantaAllocation, policy: SlackPolicy) -> Q
             if total_min <= 0.0 {
                 PerMode::splat(allocation.slack / 3.0)
             } else {
-                allocation.min_useful.map(|&q| allocation.slack * q / total_min)
+                allocation
+                    .min_useful
+                    .map(|&q| allocation.slack * q / total_min)
             }
         }
         SlackPolicy::AllTo(mode) => {
@@ -162,9 +164,21 @@ mod tests {
         // useful quanta are Q̃_FT = 0.820, Q̃_FS = 1.281, Q̃_NF = 0.815 and
         // the slack is 0.
         let alloc = minimum_allocation(&edf(), 2.966).unwrap();
-        assert!((alloc.min_useful.ft - 0.820).abs() < 0.005, "FT {:.4}", alloc.min_useful.ft);
-        assert!((alloc.min_useful.fs - 1.281).abs() < 0.005, "FS {:.4}", alloc.min_useful.fs);
-        assert!((alloc.min_useful.nf - 0.815).abs() < 0.005, "NF {:.4}", alloc.min_useful.nf);
+        assert!(
+            (alloc.min_useful.ft - 0.820).abs() < 0.005,
+            "FT {:.4}",
+            alloc.min_useful.ft
+        );
+        assert!(
+            (alloc.min_useful.fs - 1.281).abs() < 0.005,
+            "FS {:.4}",
+            alloc.min_useful.fs
+        );
+        assert!(
+            (alloc.min_useful.nf - 0.815).abs() < 0.005,
+            "NF {:.4}",
+            alloc.min_useful.nf
+        );
         assert!(alloc.slack.abs() < 0.01, "slack {:.4}", alloc.slack);
         // Allocated bandwidths: 0.276 / 0.432 / 0.275.
         let bw = alloc.allocated_bandwidth();
@@ -179,10 +193,26 @@ mod tests {
         // Paper Table 2(c): at P = 0.855 the minimum quanta are
         // 0.230 / 0.252 / 0.220 and the slack is 0.103 (12.1 % of P).
         let alloc = minimum_allocation(&edf(), 0.855).unwrap();
-        assert!((alloc.min_useful.ft - 0.230).abs() < 0.005, "FT {:.4}", alloc.min_useful.ft);
-        assert!((alloc.min_useful.fs - 0.252).abs() < 0.005, "FS {:.4}", alloc.min_useful.fs);
-        assert!((alloc.min_useful.nf - 0.220).abs() < 0.005, "NF {:.4}", alloc.min_useful.nf);
-        assert!((alloc.slack - 0.103).abs() < 0.005, "slack {:.4}", alloc.slack);
+        assert!(
+            (alloc.min_useful.ft - 0.230).abs() < 0.005,
+            "FT {:.4}",
+            alloc.min_useful.ft
+        );
+        assert!(
+            (alloc.min_useful.fs - 0.252).abs() < 0.005,
+            "FS {:.4}",
+            alloc.min_useful.fs
+        );
+        assert!(
+            (alloc.min_useful.nf - 0.220).abs() < 0.005,
+            "NF {:.4}",
+            alloc.min_useful.nf
+        );
+        assert!(
+            (alloc.slack - 0.103).abs() < 0.005,
+            "slack {:.4}",
+            alloc.slack
+        );
         assert!((alloc.slack_bandwidth() - 0.121).abs() < 0.005);
         let bw = alloc.allocated_bandwidth();
         assert!((bw.ft - 0.269).abs() < 0.005);
@@ -279,8 +309,7 @@ mod tests {
     #[test]
     fn rm_needs_at_least_as_much_quantum_as_edf() {
         let edf_alloc = minimum_allocation(&edf(), 2.0).unwrap();
-        let rm_alloc =
-            minimum_allocation(&paper_problem(Algorithm::RateMonotonic), 2.0).unwrap();
+        let rm_alloc = minimum_allocation(&paper_problem(Algorithm::RateMonotonic), 2.0).unwrap();
         for mode in Mode::ALL {
             assert!(rm_alloc.min_useful[mode] + 1e-9 >= edf_alloc.min_useful[mode]);
         }

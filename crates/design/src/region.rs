@@ -45,14 +45,23 @@ impl RegionConfig {
     /// The sweep used to reproduce the paper's Figure 4: periods up to 3.5
     /// with a fine grid.
     pub fn paper_figure4() -> Self {
-        RegionConfig { period_min: 0.02, period_max: 3.5, samples: 1_400, refine_iterations: 60 }
+        RegionConfig {
+            period_min: 0.02,
+            period_max: 3.5,
+            samples: 1_400,
+            refine_iterations: 60,
+        }
     }
 
     /// A default sweep whose upper bound adapts to the task set (twice the
     /// largest deadline is always past the peak of `f`).
     pub fn for_problem(problem: &DesignProblem) -> Self {
-        let max_deadline =
-            problem.tasks.iter().map(|t| t.deadline).fold(0.0_f64, f64::max).max(1.0);
+        let max_deadline = problem
+            .tasks
+            .iter()
+            .map(|t| t.deadline)
+            .fold(0.0_f64, f64::max)
+            .max(1.0);
         RegionConfig {
             period_min: 0.02,
             period_max: max_deadline,
@@ -78,7 +87,9 @@ impl RegionConfig {
 
     fn grid(&self) -> Vec<f64> {
         let step = (self.period_max - self.period_min) / (self.samples - 1) as f64;
-        (0..self.samples).map(|i| self.period_min + i as f64 * step).collect()
+        (0..self.samples)
+            .map(|i| self.period_min + i as f64 * step)
+            .collect()
     }
 }
 
@@ -113,12 +124,20 @@ impl FeasibleRegion {
 
     /// The largest sampled period with `f(P) ≥ threshold`.
     pub fn last_feasible_sample(&self, threshold: f64) -> Option<RegionPoint> {
-        self.points.iter().rev().find(|p| p.lhs >= threshold).copied()
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.lhs >= threshold)
+            .copied()
     }
 
     /// All samples with `f(P) ≥ threshold` (the feasible sub-grid).
     pub fn feasible_samples(&self, threshold: f64) -> Vec<RegionPoint> {
-        self.points.iter().filter(|p| p.lhs >= threshold).copied().collect()
+        self.points
+            .iter()
+            .filter(|p| p.lhs >= threshold)
+            .copied()
+            .collect()
     }
 }
 
@@ -136,9 +155,17 @@ pub fn sweep_region(
     let grid = config.grid();
     let points: Result<Vec<RegionPoint>, DesignError> = grid
         .par_iter()
-        .map(|&period| Ok(RegionPoint { period, lhs: problem.eq15_lhs(period)? }))
+        .map(|&period| {
+            Ok(RegionPoint {
+                period,
+                lhs: problem.eq15_lhs(period)?,
+            })
+        })
         .collect();
-    Ok(FeasibleRegion { points: points?, total_overhead: problem.total_overhead() })
+    Ok(FeasibleRegion {
+        points: points?,
+        total_overhead: problem.total_overhead(),
+    })
 }
 
 /// The largest feasible period for the problem's total overhead: the
@@ -157,12 +184,13 @@ pub fn max_feasible_period(
 ) -> Result<f64, DesignError> {
     let region = sweep_region(problem, config)?;
     let threshold = problem.total_overhead();
-    let last = region.last_feasible_sample(threshold).ok_or_else(|| {
-        DesignError::NoFeasiblePeriod {
-            total_overhead: threshold,
-            max_admissible_overhead: region.peak().lhs,
-        }
-    })?;
+    let last =
+        region
+            .last_feasible_sample(threshold)
+            .ok_or_else(|| DesignError::NoFeasiblePeriod {
+                total_overhead: threshold,
+                max_admissible_overhead: region.peak().lhs,
+            })?;
 
     // Bracket [last feasible sample, next (infeasible) sample] and bisect on
     // the continuous function f(P) − threshold.
@@ -203,7 +231,9 @@ pub fn max_admissible_overhead(
     let region = sweep_region(problem, config)?;
     let coarse = region.peak();
     let step = (config.period_max - config.period_min) / (config.samples - 1) as f64;
-    refine_maximum(problem, coarse, step, config.refine_iterations, |lhs, _| lhs)
+    refine_maximum(problem, coarse, step, config.refine_iterations, |lhs, _| {
+        lhs
+    })
 }
 
 /// The period maximising the redistributable slack bandwidth
@@ -237,9 +267,13 @@ pub fn max_slack_ratio_period(
         })
         .expect("feasible set is non-empty");
     let step = (config.period_max - config.period_min) / (config.samples - 1) as f64;
-    refine_maximum(problem, coarse, step, config.refine_iterations, |lhs, period| {
-        (lhs - threshold) / period
-    })
+    refine_maximum(
+        problem,
+        coarse,
+        step,
+        config.refine_iterations,
+        |lhs, period| (lhs - threshold) / period,
+    )
 }
 
 /// Refines a maximiser of `score(f(P), P)` with successive local grids
@@ -289,14 +323,20 @@ mod tests {
     }
 
     fn rm_problem_with_overhead(o: f64) -> DesignProblem {
-        paper_problem(Algorithm::RateMonotonic).with_overheads(PerMode::splat(o / 3.0)).unwrap()
+        paper_problem(Algorithm::RateMonotonic)
+            .with_overheads(PerMode::splat(o / 3.0))
+            .unwrap()
     }
 
     #[test]
     fn sweep_produces_the_requested_samples() {
         let p = edf_problem_with_overhead(0.05);
-        let config =
-            RegionConfig { period_min: 0.1, period_max: 3.5, samples: 50, refine_iterations: 20 };
+        let config = RegionConfig {
+            period_min: 0.1,
+            period_max: 3.5,
+            samples: 50,
+            refine_iterations: 20,
+        };
         let region = sweep_region(&p, &config).unwrap();
         assert_eq!(region.points.len(), 50);
         assert!((region.points[0].period - 0.1).abs() < 1e-12);
@@ -307,14 +347,22 @@ mod tests {
     #[test]
     fn invalid_ranges_are_rejected() {
         let p = edf_problem_with_overhead(0.05);
-        let bad =
-            RegionConfig { period_min: 2.0, period_max: 1.0, samples: 10, refine_iterations: 5 };
+        let bad = RegionConfig {
+            period_min: 2.0,
+            period_max: 1.0,
+            samples: 10,
+            refine_iterations: 5,
+        };
         assert!(matches!(
             sweep_region(&p, &bad),
             Err(DesignError::InvalidSearchRange { .. })
         ));
-        let bad =
-            RegionConfig { period_min: 0.0, period_max: 1.0, samples: 10, refine_iterations: 5 };
+        let bad = RegionConfig {
+            period_min: 0.0,
+            period_max: 1.0,
+            samples: 10,
+            refine_iterations: 5,
+        };
         assert!(sweep_region(&p, &bad).is_err());
     }
 
@@ -341,7 +389,11 @@ mod tests {
         // Paper: maximum admissible total overhead 0.201 under EDF.
         let p = edf_problem_with_overhead(0.0);
         let peak = max_admissible_overhead(&p, &RegionConfig::paper_figure4()).unwrap();
-        assert!((peak.lhs - 0.201).abs() < 0.005, "EDF max overhead {:.4}", peak.lhs);
+        assert!(
+            (peak.lhs - 0.201).abs() < 0.005,
+            "EDF max overhead {:.4}",
+            peak.lhs
+        );
     }
 
     #[test]
@@ -349,7 +401,11 @@ mod tests {
         // Paper: maximum admissible total overhead 0.129 under RM.
         let p = rm_problem_with_overhead(0.0);
         let peak = max_admissible_overhead(&p, &RegionConfig::paper_figure4()).unwrap();
-        assert!((peak.lhs - 0.129).abs() < 0.005, "RM max overhead {:.4}", peak.lhs);
+        assert!(
+            (peak.lhs - 0.129).abs() < 0.005,
+            "RM max overhead {:.4}",
+            peak.lhs
+        );
     }
 
     #[test]
@@ -366,8 +422,12 @@ mod tests {
         // lies above the RM curve).
         let edf = edf_problem_with_overhead(0.05);
         let rm = rm_problem_with_overhead(0.05);
-        let config =
-            RegionConfig { period_min: 0.1, period_max: 3.5, samples: 120, refine_iterations: 0 };
+        let config = RegionConfig {
+            period_min: 0.1,
+            period_max: 3.5,
+            samples: 120,
+            refine_iterations: 0,
+        };
         let edf_region = sweep_region(&edf, &config).unwrap();
         let rm_region = sweep_region(&rm, &config).unwrap();
         for (e, r) in edf_region.points.iter().zip(&rm_region.points) {
@@ -380,7 +440,10 @@ mod tests {
         let p = edf_problem_with_overhead(0.3); // > 0.201
         let err = max_feasible_period(&p, &RegionConfig::paper_figure4()).unwrap_err();
         match err {
-            DesignError::NoFeasiblePeriod { max_admissible_overhead, .. } => {
+            DesignError::NoFeasiblePeriod {
+                max_admissible_overhead,
+                ..
+            } => {
                 assert!((max_admissible_overhead - 0.201).abs() < 0.01);
             }
             other => panic!("unexpected error {other:?}"),
@@ -394,15 +457,23 @@ mod tests {
         let p = edf_problem_with_overhead(0.05);
         let best = max_slack_ratio_period(&p, &RegionConfig::paper_figure4()).unwrap();
         let ratio = (best.lhs - 0.05) / best.period;
-        assert!((best.period - 0.855).abs() < 0.02, "slack-optimal period {:.4}", best.period);
+        assert!(
+            (best.period - 0.855).abs() < 0.02,
+            "slack-optimal period {:.4}",
+            best.period
+        );
         assert!((ratio - 0.121).abs() < 0.005, "slack ratio {ratio:.4}");
     }
 
     #[test]
     fn feasible_samples_threshold_filters() {
         let p = edf_problem_with_overhead(0.05);
-        let config =
-            RegionConfig { period_min: 0.1, period_max: 3.5, samples: 200, refine_iterations: 0 };
+        let config = RegionConfig {
+            period_min: 0.1,
+            period_max: 3.5,
+            samples: 200,
+            refine_iterations: 0,
+        };
         let region = sweep_region(&p, &config).unwrap();
         let feasible = region.feasible_samples(0.05);
         assert!(!feasible.is_empty());

@@ -14,7 +14,11 @@ use crate::solution::DesignSolution;
 /// Renders the paper's Table 1 (the task set) as an aligned text table.
 pub fn render_table1(tasks: &TaskSet) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "{:<6} {:>4} {:>8} {:>8} {:>8}", "Mode", "i", "C_i", "T_i", "U_i");
+    let _ = writeln!(
+        out,
+        "{:<6} {:>4} {:>8} {:>8} {:>8}",
+        "Mode", "i", "C_i", "T_i", "U_i"
+    );
     for mode in Mode::ALL {
         for task in tasks.iter().filter(|t| t.mode == mode) {
             let _ = writeln!(
@@ -100,7 +104,7 @@ mod tests {
         let rendered = render_table1(&paper_taskset());
         let lines: Vec<&str> = rendered.lines().collect();
         assert_eq!(lines.len(), 14); // header + 13 tasks
-        // FT rows come first, NF rows last (slot order).
+                                     // FT rows come first, NF rows last (slot order).
         assert!(lines[1].starts_with("FT"));
         assert!(lines[13].starts_with("NF"));
     }
@@ -108,8 +112,12 @@ mod tests {
     #[test]
     fn region_csv_has_one_row_per_sample() {
         let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
-        let config =
-            RegionConfig { period_min: 0.5, period_max: 3.0, samples: 20, refine_iterations: 0 };
+        let config = RegionConfig {
+            period_min: 0.5,
+            period_max: 3.0,
+            samples: 20,
+            refine_iterations: 0,
+        };
         let region = sweep_region(&problem, &config).unwrap();
         let csv = region_to_csv("EDF", &region);
         assert_eq!(csv.lines().count(), 22); // comment + header + 20 rows

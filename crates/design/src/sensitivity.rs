@@ -90,7 +90,9 @@ pub fn mode_bandwidth_margin(
     let required = problem.required_utilizations()?;
     let bw = alloc.allocated_bandwidth();
     let redistributable = alloc.slack_bandwidth();
-    Ok(PerMode::from_fn(|m| (bw[m] - required[m]).max(0.0) + redistributable))
+    Ok(PerMode::from_fn(|m| {
+        (bw[m] - required[m]).max(0.0) + redistributable
+    }))
 }
 
 /// A copy of the problem with every WCET multiplied by `factor`.

@@ -183,7 +183,11 @@ mod tests {
         )
         .unwrap();
         let rows = solution.table2_rows();
-        assert!((rows.length.period - 0.855).abs() < 0.02, "P = {:.4}", rows.length.period);
+        assert!(
+            (rows.length.period - 0.855).abs() < 0.02,
+            "P = {:.4}",
+            rows.length.period
+        );
         assert!((rows.length.useful_ft - 0.230).abs() < 0.01);
         assert!((rows.length.useful_fs - 0.252).abs() < 0.01);
         assert!((rows.length.useful_nf - 0.220).abs() < 0.01);
@@ -195,7 +199,10 @@ mod tests {
     #[test]
     fn spare_bandwidth_is_nonnegative_for_valid_designs() {
         let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
-        for goal in [DesignGoal::MinimizeOverheadBandwidth, DesignGoal::MaximizeSlackBandwidth] {
+        for goal in [
+            DesignGoal::MinimizeOverheadBandwidth,
+            DesignGoal::MaximizeSlackBandwidth,
+        ] {
             let solution = solve(&problem, goal, &RegionConfig::paper_figure4()).unwrap();
             let spare = solution.spare_bandwidth();
             for mode in Mode::ALL {

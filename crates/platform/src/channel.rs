@@ -28,9 +28,7 @@ impl ChannelLayout {
             Mode::FailSilent => {
                 vec![vec![CoreId(0), CoreId(1)], vec![CoreId(2), CoreId(3)]]
             }
-            Mode::NonFaultTolerant => {
-                (0..PROCESSOR_COUNT).map(|i| vec![CoreId(i)]).collect()
-            }
+            Mode::NonFaultTolerant => (0..PROCESSOR_COUNT).map(|i| vec![CoreId(i)]).collect(),
         };
         ChannelLayout { mode, groups }
     }
@@ -126,7 +124,12 @@ mod tests {
         assert!(!wrong_count.is_valid());
         let out_of_range = ChannelLayout {
             mode: Mode::NonFaultTolerant,
-            groups: vec![vec![CoreId(0)], vec![CoreId(1)], vec![CoreId(2)], vec![CoreId(7)]],
+            groups: vec![
+                vec![CoreId(0)],
+                vec![CoreId(1)],
+                vec![CoreId(2)],
+                vec![CoreId(7)],
+            ],
         };
         assert!(!out_of_range.is_valid());
     }

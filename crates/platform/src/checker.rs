@@ -54,7 +54,10 @@ impl CheckerVerdict {
 
     /// Whether the checker observed (and therefore detected) a divergence.
     pub fn fault_observed(&self) -> bool {
-        matches!(self, CheckerVerdict::MajorityVote { .. } | CheckerVerdict::Blocked)
+        matches!(
+            self,
+            CheckerVerdict::MajorityVote { .. } | CheckerVerdict::Blocked
+        )
     }
 }
 
@@ -89,7 +92,10 @@ impl Checker {
     /// returns the verdict. `outputs` must contain one word per replica
     /// (1, 2, 3 or 4 entries).
     pub fn check(&mut self, outputs: &[OutputWord]) -> CheckerVerdict {
-        assert!(!outputs.is_empty(), "a channel always has at least one core");
+        assert!(
+            !outputs.is_empty(),
+            "a channel always has at least one core"
+        );
         if outputs.len() == 1 {
             self.stats.unchecked += 1;
             return CheckerVerdict::Unchecked { value: outputs[0] };
@@ -103,11 +109,16 @@ impl Checker {
         for &o in outputs {
             *counts.entry(o).or_insert(0) += 1;
         }
-        let (&value, &count) =
-            counts.iter().max_by_key(|&(_, &c)| c).expect("at least one output");
+        let (&value, &count) = counts
+            .iter()
+            .max_by_key(|&(_, &c)| c)
+            .expect("at least one output");
         if count * 2 > outputs.len() {
             self.stats.votes += 1;
-            CheckerVerdict::MajorityVote { value, dissenters: outputs.len() - count }
+            CheckerVerdict::MajorityVote {
+                value,
+                dissenters: outputs.len() - count,
+            }
         } else {
             self.stats.blocks += 1;
             CheckerVerdict::Blocked
@@ -148,7 +159,13 @@ mod tests {
     fn one_dissenter_in_four_is_outvoted() {
         let mut c = Checker::new();
         let verdict = c.check(&[w(7), w(9), w(7), w(7)]);
-        assert_eq!(verdict, CheckerVerdict::MajorityVote { value: w(7), dissenters: 1 });
+        assert_eq!(
+            verdict,
+            CheckerVerdict::MajorityVote {
+                value: w(7),
+                dissenters: 1
+            }
+        );
         assert_eq!(verdict.committed_value(), Some(w(7)));
         assert!(verdict.fault_observed());
         assert_eq!(c.stats().votes, 1);
@@ -176,7 +193,13 @@ mod tests {
         // The paper notes that 3 cores are enough for an FT channel.
         let mut c = Checker::new();
         let verdict = c.check(&[w(7), w(9), w(7)]);
-        assert_eq!(verdict, CheckerVerdict::MajorityVote { value: w(7), dissenters: 1 });
+        assert_eq!(
+            verdict,
+            CheckerVerdict::MajorityVote {
+                value: w(7),
+                dissenters: 1
+            }
+        );
     }
 
     #[test]
@@ -196,10 +219,7 @@ mod tests {
         c.check(&[w(3)]);
         c.check(&[w(4), w(4), w(4), w(5)]);
         let s = c.stats();
-        assert_eq!(
-            (s.agreements, s.blocks, s.unchecked, s.votes),
-            (1, 1, 1, 1)
-        );
+        assert_eq!((s.agreements, s.blocks, s.unchecked, s.votes), (1, 1, 1, 1));
         c.reset_stats();
         assert_eq!(c.stats(), CheckerStats::default());
     }

@@ -34,7 +34,12 @@ pub struct Core {
 impl Core {
     /// Creates a healthy core.
     pub fn new(id: CoreId) -> Self {
-        Core { id, corruption: 0, executed_units: 0, corrupted_units: 0 }
+        Core {
+            id,
+            corruption: 0,
+            executed_units: 0,
+            corrupted_units: 0,
+        }
     }
 
     /// Whether the core currently carries corrupted state.

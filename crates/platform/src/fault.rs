@@ -141,6 +141,55 @@ impl FaultSchedule {
     }
 }
 
+/// A declarative, serialisable description of how transient faults are
+/// drawn for a run.
+///
+/// This is the *single* fault-model vocabulary of the workspace: campaign
+/// spec files (`ftsched-campaign`), the fault-injection experiment binary
+/// and directed tests all describe fault processes with this type and
+/// materialise them into a concrete [`FaultSchedule`] with
+/// [`FaultModel::schedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum FaultModel {
+    /// Fault-free operation.
+    #[default]
+    None,
+    /// Poisson strikes: exponentially distributed inter-arrival times
+    /// (mean `mean_interarrival`, in paper time units), fixed transient
+    /// window `fault_duration`, uniformly chosen core — the model of
+    /// [`FaultSchedule::poisson`].
+    Poisson {
+        /// Mean inter-arrival time between strikes, in paper time units.
+        mean_interarrival: f64,
+        /// Length of each transient window, in paper time units.
+        fault_duration: f64,
+    },
+}
+
+impl FaultModel {
+    /// True for the fault-free model.
+    pub fn is_none(&self) -> bool {
+        matches!(self, FaultModel::None)
+    }
+
+    /// Materialises the model into a concrete schedule covering
+    /// `[0, horizon)`, drawing from `rng`.
+    pub fn schedule(&self, rng: &mut impl Rng, horizon: Time) -> FaultSchedule {
+        match *self {
+            FaultModel::None => FaultSchedule::none(),
+            FaultModel::Poisson {
+                mean_interarrival,
+                fault_duration,
+            } => FaultSchedule::poisson(
+                rng,
+                horizon,
+                Duration::from_units(mean_interarrival),
+                Duration::from_units(fault_duration),
+            ),
+        }
+    }
+}
+
 /// Replays a [`FaultSchedule`] against a monotonically advancing clock,
 /// reporting which faults start and end as time moves forward.
 #[derive(Debug, Clone)]
@@ -154,7 +203,11 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector for the given schedule.
     pub fn new(schedule: FaultSchedule) -> Self {
-        FaultInjector { schedule, next_index: 0, active: None }
+        FaultInjector {
+            schedule,
+            next_index: 0,
+            active: None,
+        }
     }
 
     /// Advances the injector to time `now` and returns the events that
@@ -247,10 +300,14 @@ mod tests {
         assert_eq!(s.active_at(Time::from_units(5.5)).unwrap().core, CoreId(0));
         assert!(s.active_at(Time::from_units(8.0)).is_none());
         assert_eq!(
-            s.overlapping(Time::from_units(9.0), Time::from_units(11.0)).unwrap().core,
+            s.overlapping(Time::from_units(9.0), Time::from_units(11.0))
+                .unwrap()
+                .core,
             CoreId(3)
         );
-        assert!(s.overlapping(Time::from_units(6.5), Time::from_units(9.0)).is_none());
+        assert!(s
+            .overlapping(Time::from_units(6.5), Time::from_units(9.0))
+            .is_none());
     }
 
     #[test]
@@ -292,6 +349,41 @@ mod tests {
         assert!(started.is_none());
         assert!(ended.is_some());
         assert!(inj.active_fault().is_none());
+    }
+
+    #[test]
+    fn fault_model_matches_direct_schedule_construction() {
+        let model = FaultModel::Poisson {
+            mean_interarrival: 10.0,
+            fault_duration: 0.5,
+        };
+        let direct = FaultSchedule::poisson(
+            &mut StdRng::seed_from_u64(7),
+            Time::from_units(1_000.0),
+            Duration::from_units(10.0),
+            Duration::from_units(0.5),
+        );
+        let via_model = model.schedule(&mut StdRng::seed_from_u64(7), Time::from_units(1_000.0));
+        assert_eq!(direct, via_model);
+        assert!(FaultModel::None
+            .schedule(&mut StdRng::seed_from_u64(7), Time::from_units(100.0))
+            .is_empty());
+        assert!(FaultModel::default().is_none());
+    }
+
+    #[test]
+    fn fault_model_serde_round_trip() {
+        for model in [
+            FaultModel::None,
+            FaultModel::Poisson {
+                mean_interarrival: 8.0,
+                fault_duration: 0.25,
+            },
+        ] {
+            let json = serde_json::to_string(&model).unwrap();
+            let back: FaultModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, model);
+        }
     }
 
     #[test]

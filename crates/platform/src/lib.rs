@@ -50,7 +50,7 @@ pub mod recovery;
 
 pub use channel::ChannelLayout;
 pub use checker::{Checker, CheckerVerdict};
-pub use fault::{Fault, FaultInjector, FaultSchedule};
+pub use fault::{Fault, FaultInjector, FaultModel, FaultSchedule};
 pub use outcome::{classify_outcome, JobOutcome};
 pub use platform::{Platform, PlatformConfig, PlatformStats};
 pub use recovery::{plan_recovery, RecoveryPlan, RecoveryPolicy};

@@ -81,16 +81,28 @@ mod tests {
 
     #[test]
     fn ft_masks_fs_silences_nf_corrupts() {
-        assert_eq!(classify_outcome(Mode::FaultTolerant, true), JobOutcome::CorrectMasked);
-        assert_eq!(classify_outcome(Mode::FailSilent, true), JobOutcome::SilencedLost);
-        assert_eq!(classify_outcome(Mode::NonFaultTolerant, true), JobOutcome::WrongResult);
+        assert_eq!(
+            classify_outcome(Mode::FaultTolerant, true),
+            JobOutcome::CorrectMasked
+        );
+        assert_eq!(
+            classify_outcome(Mode::FailSilent, true),
+            JobOutcome::SilencedLost
+        );
+        assert_eq!(
+            classify_outcome(Mode::NonFaultTolerant, true),
+            JobOutcome::WrongResult
+        );
     }
 
     #[test]
     fn outcome_predicates_are_consistent_with_mode_semantics() {
         for mode in Mode::ALL {
             let outcome = classify_outcome(mode, true);
-            assert_eq!(outcome.integrity_violated(), mode.can_propagate_wrong_results());
+            assert_eq!(
+                outcome.integrity_violated(),
+                mode.can_propagate_wrong_results()
+            );
             assert_eq!(outcome.result_committed(), mode.masks_faults());
             assert_eq!(outcome.fault_detected(), mode.detects_faults());
         }
@@ -107,7 +119,10 @@ mod tests {
         // FT: four replicas, one corrupted → majority vote commits golden.
         let mut cores: Vec<Core> = (0..4).map(|i| Core::new(CoreId(i))).collect();
         cores[2].inject_fault(0xF00D);
-        let outputs: Vec<_> = cores.iter_mut().map(|c| c.execute_unit(seed, unit)).collect();
+        let outputs: Vec<_> = cores
+            .iter_mut()
+            .map(|c| c.execute_unit(seed, unit))
+            .collect();
         let mut checker = Checker::new();
         match checker.check(&outputs) {
             CheckerVerdict::MajorityVote { value, dissenters } => {
@@ -116,7 +131,10 @@ mod tests {
             }
             other => panic!("expected a majority vote, got {other:?}"),
         }
-        assert_eq!(classify_outcome(Mode::FaultTolerant, true), JobOutcome::CorrectMasked);
+        assert_eq!(
+            classify_outcome(Mode::FaultTolerant, true),
+            JobOutcome::CorrectMasked
+        );
 
         // FS: two replicas, one corrupted → blocked.
         let mut a = Core::new(CoreId(0));
@@ -124,7 +142,10 @@ mod tests {
         b.inject_fault(0xBAD);
         let verdict = checker.check(&[a.execute_unit(seed, unit), b.execute_unit(seed, unit)]);
         assert_eq!(verdict, CheckerVerdict::Blocked);
-        assert_eq!(classify_outcome(Mode::FailSilent, true), JobOutcome::SilencedLost);
+        assert_eq!(
+            classify_outcome(Mode::FailSilent, true),
+            JobOutcome::SilencedLost
+        );
 
         // NF: single corrupted replica → wrong value committed unchecked.
         let mut c = Core::new(CoreId(3));
@@ -134,6 +155,9 @@ mod tests {
             CheckerVerdict::Unchecked { value } => assert_ne!(value, golden),
             other => panic!("expected an unchecked commit, got {other:?}"),
         }
-        assert_eq!(classify_outcome(Mode::NonFaultTolerant, true), JobOutcome::WrongResult);
+        assert_eq!(
+            classify_outcome(Mode::NonFaultTolerant, true),
+            JobOutcome::WrongResult
+        );
     }
 }

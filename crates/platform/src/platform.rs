@@ -38,7 +38,10 @@ pub struct PlatformConfig {
 
 impl Default for PlatformConfig {
     fn default() -> Self {
-        PlatformConfig { initial_mode: Mode::FaultTolerant, record_writes: true }
+        PlatformConfig {
+            initial_mode: Mode::FaultTolerant,
+            record_writes: true,
+        }
     }
 }
 
@@ -173,9 +176,7 @@ impl Platform {
             "channel {channel} does not exist in {} mode",
             self.layout.mode
         );
-        let outputs: Vec<OutputWord> = self
-            .layout
-            .groups[channel]
+        let outputs: Vec<OutputWord> = self.layout.groups[channel]
             .iter()
             .map(|&core| self.cores[core.0].execute_unit(task_seed, unit_index))
             .collect();
@@ -193,7 +194,13 @@ impl Platform {
                 self.stats.wrong_commits += 1;
             }
             if self.config.record_writes {
-                self.memory.commit(CommittedWrite { at: now, task_seed, unit_index, value, golden });
+                self.memory.commit(CommittedWrite {
+                    at: now,
+                    task_seed,
+                    unit_index,
+                    value,
+                    golden,
+                });
             }
         }
         verdict
@@ -261,7 +268,10 @@ mod tests {
     use ftsched_task::Duration;
 
     fn platform(mode: Mode) -> Platform {
-        Platform::new(PlatformConfig { initial_mode: mode, record_writes: true })
+        Platform::new(PlatformConfig {
+            initial_mode: mode,
+            record_writes: true,
+        })
     }
 
     fn fault_on(core: usize) -> Fault {
@@ -375,8 +385,10 @@ mod tests {
 
     #[test]
     fn write_log_can_be_disabled() {
-        let mut p =
-            Platform::new(PlatformConfig { initial_mode: Mode::NonFaultTolerant, record_writes: false });
+        let mut p = Platform::new(PlatformConfig {
+            initial_mode: Mode::NonFaultTolerant,
+            record_writes: false,
+        });
         p.inject_fault(&fault_on(0));
         let _ = p.run_job(0, 3, 4, Time::ZERO);
         assert!(p.memory().is_empty());

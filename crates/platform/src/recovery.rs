@@ -51,7 +51,10 @@ impl RecoveryPolicy {
         match *self {
             RecoveryPolicy::None => Duration::ZERO,
             RecoveryPolicy::RestartAffected => wcet,
-            RecoveryPolicy::CheckpointRollback { resume_fraction, rollback_cost } => {
+            RecoveryPolicy::CheckpointRollback {
+                resume_fraction,
+                rollback_cost,
+            } => {
                 let fraction = resume_fraction.clamp(0.0, 1.0);
                 Duration::from_units(wcet.as_units() * fraction + rollback_cost.max(0.0))
             }
@@ -115,7 +118,10 @@ mod tests {
     fn none_policy_never_recovers() {
         let plan = plan_recovery(
             RecoveryPolicy::None,
-            vec![(JobOutcome::WrongResult, d(2.0)), (JobOutcome::SilencedLost, d(1.0))],
+            vec![
+                (JobOutcome::WrongResult, d(2.0)),
+                (JobOutcome::SilencedLost, d(1.0)),
+            ],
             100.0,
         );
         assert_eq!(plan.jobs_to_recover, 0);
@@ -144,12 +150,16 @@ mod tests {
 
     #[test]
     fn checkpoint_policy_charges_fraction_plus_rollback() {
-        let policy =
-            RecoveryPolicy::CheckpointRollback { resume_fraction: 0.25, rollback_cost: 0.1 };
+        let policy = RecoveryPolicy::CheckpointRollback {
+            resume_fraction: 0.25,
+            rollback_cost: 0.1,
+        };
         assert!((policy.recovery_demand(d(2.0)).as_units() - 0.6).abs() < 1e-9);
         // Fractions are clamped to [0, 1] and negative costs ignored.
-        let weird =
-            RecoveryPolicy::CheckpointRollback { resume_fraction: 3.0, rollback_cost: -1.0 };
+        let weird = RecoveryPolicy::CheckpointRollback {
+            resume_fraction: 3.0,
+            rollback_cost: -1.0,
+        };
         assert!((weird.recovery_demand(d(2.0)).as_units() - 2.0).abs() < 1e-9);
     }
 
@@ -157,7 +167,10 @@ mod tests {
     fn masked_and_clean_jobs_never_need_recovery() {
         for policy in [
             RecoveryPolicy::RestartAffected,
-            RecoveryPolicy::CheckpointRollback { resume_fraction: 0.5, rollback_cost: 0.0 },
+            RecoveryPolicy::CheckpointRollback {
+                resume_fraction: 0.5,
+                rollback_cost: 0.0,
+            },
         ] {
             assert!(!policy.applies_to(JobOutcome::CorrectNoFault));
             assert!(!policy.applies_to(JobOutcome::CorrectMasked));
@@ -175,7 +188,10 @@ mod tests {
         ];
         let restart = plan_recovery(RecoveryPolicy::RestartAffected, affected.clone(), 50.0);
         let checkpoint = plan_recovery(
-            RecoveryPolicy::CheckpointRollback { resume_fraction: 0.3, rollback_cost: 0.05 },
+            RecoveryPolicy::CheckpointRollback {
+                resume_fraction: 0.3,
+                rollback_cost: 0.05,
+            },
             affected,
             50.0,
         );

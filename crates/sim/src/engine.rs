@@ -39,7 +39,11 @@ pub struct SimulationConfig {
 impl SimulationConfig {
     /// A fault-free run over the given horizon with trace recording on.
     pub fn fault_free(horizon: f64) -> Self {
-        SimulationConfig { horizon, fault_schedule: FaultSchedule::none(), record_trace: true }
+        SimulationConfig {
+            horizon,
+            fault_schedule: FaultSchedule::none(),
+            record_trace: true,
+        }
     }
 }
 
@@ -91,9 +95,7 @@ pub fn simulate(
                 // channel.
                 let mut overlapped = false;
                 for slice in result.slices.iter().filter(|s| s.job == record.job) {
-                    if let Some(fault) =
-                        config.fault_schedule.overlapping(slice.start, slice.end)
-                    {
+                    if let Some(fault) = config.fault_schedule.overlapping(slice.start, slice.end) {
                         if layout.channel_of_core(fault.core) == Some(channel) {
                             overlapped = true;
                             effective_faults.insert(fault.at.ticks());
@@ -124,8 +126,11 @@ pub fn simulate(
                 }
                 trace.jobs.push(record);
             }
-            executed_time[mode] +=
-                result.slices.iter().map(|s| s.length().as_units()).sum::<f64>();
+            executed_time[mode] += result
+                .slices
+                .iter()
+                .map(|s| s.length().as_units())
+                .sum::<f64>();
             trace.slices.extend(result.slices);
         }
     }
@@ -139,7 +144,11 @@ pub fn simulate(
         worst_response_times: worst_response,
         executed_time,
         effective_faults: effective_faults.len() as u64,
-        trace: if config.record_trace { Some(trace) } else { None },
+        trace: if config.record_trace {
+            Some(trace)
+        } else {
+            None
+        },
     })
 }
 
@@ -203,7 +212,13 @@ fn simulate_channel(
             }
             let executed = job.execute(run_until - now);
             debug_assert_eq!(executed, run_until - now);
-            slices.push(ExecutionSlice { job: job.id, mode, channel, start: now, end: run_until });
+            slices.push(ExecutionSlice {
+                job: job.id,
+                mode,
+                channel,
+                start: now,
+                end: run_until,
+            });
             now = run_until;
             if job.is_complete() {
                 completion_times.insert(job.id, now);
@@ -241,7 +256,11 @@ mod tests {
     fn table2b_slots() -> SlotSchedule {
         SlotSchedule::new(
             2.966,
-            PerMode { ft: 0.820, fs: 1.281, nf: 0.815 },
+            PerMode {
+                ft: 0.820,
+                fs: 1.281,
+                nf: 0.815,
+            },
             PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0),
         )
         .unwrap()
@@ -268,7 +287,11 @@ mod tests {
         )
         .unwrap();
         assert!(report.released_jobs > 50);
-        assert!(report.all_deadlines_met(), "misses: {}", report.deadline_misses);
+        assert!(
+            report.all_deadlines_met(),
+            "misses: {}",
+            report.deadline_misses
+        );
         assert!(report.integrity_preserved());
         let trace = report.trace.as_ref().unwrap();
         assert!(trace.slices_are_disjoint_per_channel());
@@ -292,7 +315,10 @@ mod tests {
             .quantum
         });
         let total = quanta.total() + PAPER_TOTAL_OVERHEAD;
-        assert!(total <= period, "P={period} not RM-feasible (needs {total:.3})");
+        assert!(
+            total <= period,
+            "P={period} not RM-feasible (needs {total:.3})"
+        );
         let slots =
             SlotSchedule::new(period, quanta, PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0)).unwrap();
         let report = simulate(
@@ -303,7 +329,11 @@ mod tests {
             &SimulationConfig::fault_free(240.0),
         )
         .unwrap();
-        assert!(report.all_deadlines_met(), "misses: {}", report.deadline_misses);
+        assert!(
+            report.all_deadlines_met(),
+            "misses: {}",
+            report.deadline_misses
+        );
     }
 
     #[test]
@@ -312,7 +342,11 @@ mod tests {
         // Starve the FT slot: 0.1 per period is far below minQ ≈ 0.82.
         let slots = SlotSchedule::new(
             2.966,
-            PerMode { ft: 0.1, fs: 1.281, nf: 0.815 },
+            PerMode {
+                ft: 0.1,
+                fs: 1.281,
+                nf: 0.815,
+            },
             PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0),
         )
         .unwrap();
@@ -387,7 +421,11 @@ mod tests {
             &partition,
             Algorithm::EarliestDeadlineFirst,
             &table2b_slots(),
-            &SimulationConfig { horizon: 60.0, fault_schedule: schedule, record_trace: false },
+            &SimulationConfig {
+                horizon: 60.0,
+                fault_schedule: schedule,
+                record_trace: false,
+            },
         )
         .unwrap();
         assert!(report.outcomes[Mode::FaultTolerant].correct_masked >= 1);
@@ -408,7 +446,11 @@ mod tests {
             &partition,
             Algorithm::EarliestDeadlineFirst,
             &table2b_slots(),
-            &SimulationConfig { horizon: 60.0, fault_schedule: schedule, record_trace: false },
+            &SimulationConfig {
+                horizon: 60.0,
+                fault_schedule: schedule,
+                record_trace: false,
+            },
         )
         .unwrap();
         assert!(report.outcomes[Mode::FailSilent].silenced_lost >= 1);
@@ -427,7 +469,11 @@ mod tests {
             &partition,
             Algorithm::EarliestDeadlineFirst,
             &table2b_slots(),
-            &SimulationConfig { horizon: 60.0, fault_schedule: schedule, record_trace: false },
+            &SimulationConfig {
+                horizon: 60.0,
+                fault_schedule: schedule,
+                record_trace: false,
+            },
         )
         .unwrap();
         assert!(report.outcomes[Mode::NonFaultTolerant].wrong_result >= 1);
@@ -448,7 +494,11 @@ mod tests {
             &partition,
             Algorithm::EarliestDeadlineFirst,
             &table2b_slots(),
-            &SimulationConfig { horizon: 30.0, fault_schedule: schedule, record_trace: false },
+            &SimulationConfig {
+                horizon: 30.0,
+                fault_schedule: schedule,
+                record_trace: false,
+            },
         )
         .unwrap();
         assert_eq!(report.total_outcomes().silenced_lost, 0);
@@ -478,7 +528,11 @@ mod tests {
             &partition,
             Algorithm::EarliestDeadlineFirst,
             &table2b_slots(),
-            &SimulationConfig { horizon: 30.0, fault_schedule: FaultSchedule::none(), record_trace: false },
+            &SimulationConfig {
+                horizon: 30.0,
+                fault_schedule: FaultSchedule::none(),
+                record_trace: false,
+            },
         )
         .unwrap();
         assert!(report.trace.is_none());

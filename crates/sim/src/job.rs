@@ -38,7 +38,10 @@ impl Job {
     pub fn nth_of(task: &Task, activation: u64, priority: usize) -> Job {
         let release = Time::ZERO + task.period_ticks() * activation;
         Job {
-            id: JobId { task: task.id, activation },
+            id: JobId {
+                task: task.id,
+                activation,
+            },
             release,
             deadline: release + task.deadline_ticks(),
             wcet: task.wcet_ticks(),

@@ -23,7 +23,10 @@ pub struct ReadyQueue {
 impl ReadyQueue {
     /// Creates an empty queue for the given dispatching policy.
     pub fn new(algorithm: Algorithm) -> Self {
-        ReadyQueue { algorithm, jobs: Vec::new() }
+        ReadyQueue {
+            algorithm,
+            jobs: Vec::new(),
+        }
     }
 
     /// Adds a released job.

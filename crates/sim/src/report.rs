@@ -79,7 +79,9 @@ impl SimulationReport {
     /// True if no job may have committed a wrong result (memory integrity
     /// preserved from the application's point of view).
     pub fn integrity_preserved(&self) -> bool {
-        Mode::ALL.iter().all(|&m| self.outcomes[m].wrong_result == 0)
+        Mode::ALL
+            .iter()
+            .all(|&m| self.outcomes[m].wrong_result == 0)
     }
 
     /// Total outcome counters over all modes.
@@ -106,7 +108,9 @@ impl SimulationReport {
 
     /// Worst observed response time of one task, if it completed any job.
     pub fn worst_response_time(&self, task: TaskId) -> Option<Duration> {
-        self.worst_response_times.get(&task).map(|&rt| Duration::from_units(rt))
+        self.worst_response_times
+            .get(&task)
+            .map(|&rt| Duration::from_units(rt))
     }
 }
 

@@ -241,7 +241,11 @@ mod tests {
     fn table2b() -> SlotSchedule {
         SlotSchedule::new(
             2.966,
-            PerMode { ft: 0.820, fs: 1.281, nf: 0.815 },
+            PerMode {
+                ft: 0.820,
+                fs: 1.281,
+                nf: 0.815,
+            },
             PerMode::splat(0.05 / 3.0),
         )
         .unwrap()
@@ -251,10 +255,26 @@ mod tests {
     fn rejects_inconsistent_schedules() {
         assert!(SlotSchedule::new(0.0, PerMode::splat(0.1), PerMode::splat(0.0)).is_err());
         assert!(SlotSchedule::new(1.0, PerMode::splat(0.4), PerMode::splat(0.1)).is_err());
-        assert!(SlotSchedule::new(1.0, PerMode { ft: -0.1, fs: 0.1, nf: 0.1 }, PerMode::splat(0.0))
-            .is_err());
-        assert!(SlotSchedule::new(1.0, PerMode::splat(0.1), PerMode { ft: f64::NAN, fs: 0.0, nf: 0.0 })
-            .is_err());
+        assert!(SlotSchedule::new(
+            1.0,
+            PerMode {
+                ft: -0.1,
+                fs: 0.1,
+                nf: 0.1
+            },
+            PerMode::splat(0.0)
+        )
+        .is_err());
+        assert!(SlotSchedule::new(
+            1.0,
+            PerMode::splat(0.1),
+            PerMode {
+                ft: f64::NAN,
+                fs: 0.0,
+                nf: 0.0
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -268,7 +288,10 @@ mod tests {
     fn phases_follow_the_figure_2_layout() {
         let s = table2b();
         // Instant 0.1 is inside the FT useful part.
-        assert_eq!(s.phase_at(Time::from_units(0.1)), Some(SlotPhase::Useful(Mode::FaultTolerant)));
+        assert_eq!(
+            s.phase_at(Time::from_units(0.1)),
+            Some(SlotPhase::Useful(Mode::FaultTolerant))
+        );
         // Just after Q̃_FT comes the FT switch-out overhead.
         assert_eq!(
             s.phase_at(Time::from_units(0.825)),
@@ -295,7 +318,11 @@ mod tests {
     fn slack_region_has_no_phase() {
         let s = SlotSchedule::new(
             1.0,
-            PerMode { ft: 0.2, fs: 0.2, nf: 0.2 },
+            PerMode {
+                ft: 0.2,
+                fs: 0.2,
+                nf: 0.2,
+            },
             PerMode::splat(0.05),
         )
         .unwrap();
@@ -335,11 +362,17 @@ mod tests {
     fn zero_quantum_mode_gets_no_windows() {
         let s = SlotSchedule::new(
             1.0,
-            PerMode { ft: 0.0, fs: 0.3, nf: 0.3 },
+            PerMode {
+                ft: 0.0,
+                fs: 0.3,
+                nf: 0.3,
+            },
             PerMode::splat(0.0),
         )
         .unwrap();
-        assert!(s.useful_windows(Mode::FaultTolerant, Duration::from_units(10.0)).is_empty());
+        assert!(s
+            .useful_windows(Mode::FaultTolerant, Duration::from_units(10.0))
+            .is_empty());
     }
 
     #[test]

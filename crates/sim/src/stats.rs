@@ -129,7 +129,9 @@ pub fn jobs_to_csv(trace: &Trace) -> String {
             job.mode.short_name(),
             job.release.as_units(),
             job.deadline.as_units(),
-            job.completion.map(|c| format!("{:.6}", c.as_units())).unwrap_or_else(|| "-".into()),
+            job.completion
+                .map(|c| format!("{:.6}", c.as_units()))
+                .unwrap_or_else(|| "-".into()),
             job.deadline_met,
             job.outcome
         );
@@ -150,7 +152,11 @@ mod tests {
         let (tasks, partition) = paper_example();
         let slots = SlotSchedule::new(
             2.966,
-            PerMode { ft: 0.820, fs: 1.281, nf: 0.815 },
+            PerMode {
+                ft: 0.820,
+                fs: 1.281,
+                nf: 0.815,
+            },
             PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0),
         )
         .unwrap();

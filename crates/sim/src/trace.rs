@@ -77,12 +77,19 @@ impl Trace {
     /// The worst observed response time of a task, if any of its jobs
     /// completed.
     pub fn worst_response_time(&self, task: TaskId) -> Option<Duration> {
-        self.records_of(task).iter().filter_map(|r| r.response_time()).max()
+        self.records_of(task)
+            .iter()
+            .filter_map(|r| r.response_time())
+            .max()
     }
 
     /// Total executed time per mode (sum of slice lengths).
     pub fn executed_time_in_mode(&self, mode: Mode) -> Duration {
-        self.slices.iter().filter(|s| s.mode == mode).map(ExecutionSlice::length).sum()
+        self.slices
+            .iter()
+            .filter(|s| s.mode == mode)
+            .map(ExecutionSlice::length)
+            .sum()
     }
 
     /// True if no two slices of the same channel overlap (a basic sanity
@@ -91,7 +98,10 @@ impl Trace {
         let mut per_channel: std::collections::HashMap<(Mode, usize), Vec<&ExecutionSlice>> =
             std::collections::HashMap::new();
         for slice in &self.slices {
-            per_channel.entry((slice.mode, slice.channel)).or_default().push(slice);
+            per_channel
+                .entry((slice.mode, slice.channel))
+                .or_default()
+                .push(slice);
         }
         for slices in per_channel.values_mut() {
             slices.sort_by_key(|s| s.start);
@@ -111,7 +121,10 @@ mod tests {
 
     fn slice(task: u32, channel: usize, start: f64, end: f64) -> ExecutionSlice {
         ExecutionSlice {
-            job: JobId { task: TaskId(task), activation: 0 },
+            job: JobId {
+                task: TaskId(task),
+                activation: 0,
+            },
             mode: Mode::NonFaultTolerant,
             channel,
             start: Time::from_units(start),
@@ -127,7 +140,10 @@ mod tests {
     #[test]
     fn job_record_response_time() {
         let r = JobRecord {
-            job: JobId { task: TaskId(1), activation: 0 },
+            job: JobId {
+                task: TaskId(1),
+                activation: 0,
+            },
             mode: Mode::FaultTolerant,
             channel: 0,
             release: Time::from_units(4.0),
@@ -137,7 +153,10 @@ mod tests {
             outcome: JobOutcome::CorrectNoFault,
         };
         assert!((r.response_time().unwrap().as_units() - 3.5).abs() < 1e-9);
-        let unfinished = JobRecord { completion: None, ..r };
+        let unfinished = JobRecord {
+            completion: None,
+            ..r
+        };
         assert!(unfinished.response_time().is_none());
     }
 
@@ -157,7 +176,17 @@ mod tests {
         let mut trace = Trace::default();
         trace.slices.push(slice(1, 0, 0.0, 1.0));
         trace.slices.push(slice(2, 1, 0.0, 2.0));
-        assert!((trace.executed_time_in_mode(Mode::NonFaultTolerant).as_units() - 3.0).abs() < 1e-9);
-        assert_eq!(trace.executed_time_in_mode(Mode::FaultTolerant), Duration::ZERO);
+        assert!(
+            (trace
+                .executed_time_in_mode(Mode::NonFaultTolerant)
+                .as_units()
+                - 3.0)
+                .abs()
+                < 1e-9
+        );
+        assert_eq!(
+            trace.executed_time_in_mode(Mode::FaultTolerant),
+            Duration::ZERO
+        );
     }
 }

@@ -157,7 +157,10 @@ mod tests {
 
     #[test]
     fn display_messages_mention_the_task() {
-        let err = TaskModelError::NonPositiveWcet { task: TaskId(7), wcet: -1.0 };
+        let err = TaskModelError::NonPositiveWcet {
+            task: TaskId(7),
+            wcet: -1.0,
+        };
         let msg = err.to_string();
         assert!(msg.contains("7"));
         assert!(msg.contains("-1"));

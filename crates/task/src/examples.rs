@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn fs_channel_1_holds_tasks_6_7_8() {
         let (tasks, partition) = paper_example();
-        let fs_sets = partition.mode(Mode::FailSilent).channel_task_sets(&tasks).unwrap();
+        let fs_sets = partition
+            .mode(Mode::FailSilent)
+            .channel_task_sets(&tasks)
+            .unwrap();
         let ids: Vec<u32> = fs_sets[0].ids().iter().map(|i| i.0).collect();
         assert_eq!(ids, vec![6, 7, 8]);
         assert!((fs_sets[0].utilization() - 0.2667).abs() < 5e-4);

@@ -49,7 +49,9 @@ impl PeriodDistribution {
     /// A period menu of harmonic-ish values similar in magnitude to
     /// Table 1, keeping hyperperiods below 120 time units.
     pub fn table1_like() -> Self {
-        PeriodDistribution::Choice { periods: [4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 20.0, 30.0] }
+        PeriodDistribution::Choice {
+            periods: [4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 20.0, 30.0],
+        }
     }
 
     fn sample(&self, rng: &mut impl Rng) -> f64 {
@@ -58,9 +60,7 @@ impl PeriodDistribution {
                 let u = Uniform::new(min.ln(), max.ln()).sample(rng);
                 u.exp()
             }
-            PeriodDistribution::Choice { periods } => {
-                periods[rng.gen_range(0..periods.len())]
-            }
+            PeriodDistribution::Choice { periods } => periods[rng.gen_range(0..periods.len())],
         }
     }
 }
@@ -79,12 +79,20 @@ pub struct ModeMix {
 impl ModeMix {
     /// The mix of the paper's example: 4 FT, 4 FS, 5 NF out of 13 tasks.
     pub fn paper_like() -> Self {
-        ModeMix { ft: 4.0 / 13.0, fs: 4.0 / 13.0, nf: 5.0 / 13.0 }
+        ModeMix {
+            ft: 4.0 / 13.0,
+            fs: 4.0 / 13.0,
+            nf: 5.0 / 13.0,
+        }
     }
 
     /// Equal share for every mode.
     pub fn uniform() -> Self {
-        ModeMix { ft: 1.0 / 3.0, fs: 1.0 / 3.0, nf: 1.0 / 3.0 }
+        ModeMix {
+            ft: 1.0 / 3.0,
+            fs: 1.0 / 3.0,
+            nf: 1.0 / 3.0,
+        }
     }
 
     /// Validates that the shares are non-negative and sum to ~1.
@@ -155,7 +163,10 @@ impl GeneratorConfig {
         }
         if self.total_utilization <= 0.0 || !self.total_utilization.is_finite() {
             return Err(TaskModelError::InvalidGeneratorConfig {
-                reason: format!("total utilisation {} must be positive", self.total_utilization),
+                reason: format!(
+                    "total utilisation {} must be positive",
+                    self.total_utilization
+                ),
             });
         }
         if !(0.0 < self.max_task_utilization && self.max_task_utilization <= 1.0) {
@@ -353,21 +364,31 @@ mod tests {
             task_count: 20,
             total_utilization: 1.0,
             max_task_utilization: 1.0,
-            periods: PeriodDistribution::LogUniform { min: 3.0, max: 100.0 },
+            periods: PeriodDistribution::LogUniform {
+                min: 3.0,
+                max: 100.0,
+            },
             mode_mix: ModeMix::uniform(),
             period_granularity: Some(5.0),
         };
         let set = generate_taskset(&mut r, &config).unwrap();
         for task in set.iter() {
             let ratio = task.period / 5.0;
-            assert!((ratio - ratio.round()).abs() < 1e-9, "period {}", task.period);
+            assert!(
+                (ratio - ratio.round()).abs() < 1e-9,
+                "period {}",
+                task.period
+            );
         }
     }
 
     #[test]
     fn log_uniform_periods_stay_in_range() {
         let mut r = rng(7);
-        let dist = PeriodDistribution::LogUniform { min: 10.0, max: 100.0 };
+        let dist = PeriodDistribution::LogUniform {
+            min: 10.0,
+            max: 100.0,
+        };
         for _ in 0..1000 {
             let p = dist.sample(&mut r);
             assert!((10.0..=100.0).contains(&p));
@@ -377,7 +398,11 @@ mod tests {
     #[test]
     fn mode_mix_shares_are_respected_in_the_large() {
         let mut r = rng(8);
-        let mix = ModeMix { ft: 0.5, fs: 0.25, nf: 0.25 };
+        let mix = ModeMix {
+            ft: 0.5,
+            fs: 0.25,
+            nf: 0.25,
+        };
         let mut counts = [0usize; 3];
         for _ in 0..10_000 {
             counts[mix.sample(&mut r).slot_index()] += 1;
@@ -399,10 +424,17 @@ mod tests {
         bad.max_task_utilization = 0.5;
         assert!(bad.validate().is_err());
         bad = GeneratorConfig::paper_like(5, 1.0);
-        bad.mode_mix = ModeMix { ft: 0.9, fs: 0.9, nf: -0.8 };
+        bad.mode_mix = ModeMix {
+            ft: 0.9,
+            fs: 0.9,
+            nf: -0.8,
+        };
         assert!(bad.validate().is_err());
         bad = GeneratorConfig::paper_like(5, 1.0);
-        bad.periods = PeriodDistribution::LogUniform { min: -1.0, max: 5.0 };
+        bad.periods = PeriodDistribution::LogUniform {
+            min: -1.0,
+            max: 5.0,
+        };
         assert!(bad.validate().is_err());
     }
 

@@ -42,7 +42,11 @@ pub enum Mode {
 impl Mode {
     /// All modes, in the slot order used by the paper's Figure 2
     /// (FT slot first, then FS, then NF).
-    pub const ALL: [Mode; 3] = [Mode::FaultTolerant, Mode::FailSilent, Mode::NonFaultTolerant];
+    pub const ALL: [Mode; 3] = [
+        Mode::FaultTolerant,
+        Mode::FailSilent,
+        Mode::NonFaultTolerant,
+    ];
 
     /// Number of logical execution channels the platform offers in this
     /// mode (`numP_k` in Eq. 15).
@@ -166,7 +170,11 @@ impl<T> PerMode<T> {
 
     /// Applies `f` to every element, preserving the mode association.
     pub fn map<U>(&self, mut f: impl FnMut(&T) -> U) -> PerMode<U> {
-        PerMode { ft: f(&self.ft), fs: f(&self.fs), nf: f(&self.nf) }
+        PerMode {
+            ft: f(&self.ft),
+            fs: f(&self.fs),
+            nf: f(&self.nf),
+        }
     }
 
     /// Iterates over `(mode, &value)` pairs in slot order.
@@ -178,7 +186,11 @@ impl<T> PerMode<T> {
 impl<T: Copy> PerMode<T> {
     /// Builds a `PerMode` with the same value for every mode.
     pub fn splat(value: T) -> Self {
-        PerMode { ft: value, fs: value, nf: value }
+        PerMode {
+            ft: value,
+            fs: value,
+            nf: value,
+        }
     }
 }
 
@@ -277,7 +289,11 @@ mod tests {
 
     #[test]
     fn per_mode_iter_follows_slot_order() {
-        let pm = PerMode { ft: "a", fs: "b", nf: "c" };
+        let pm = PerMode {
+            ft: "a",
+            fs: "b",
+            nf: "c",
+        };
         let collected: Vec<_> = pm.iter().map(|(m, v)| (m.short_name(), *v)).collect();
         assert_eq!(collected, vec![("FT", "a"), ("FS", "b"), ("NF", "c")]);
     }

@@ -54,7 +54,10 @@ impl ModePartition {
 
     /// Creates an empty partition (no channels used) for `mode`.
     pub fn empty(mode: Mode) -> Self {
-        ModePartition { mode, channels: Vec::new() }
+        ModePartition {
+            mode,
+            channels: Vec::new(),
+        }
     }
 
     /// The mode this partition belongs to.
@@ -109,7 +112,9 @@ impl ModePartition {
     /// of this mode in `tasks` must be assigned to exactly one channel.
     pub fn validate(&self, tasks: &TaskSet) -> Result<(), TaskModelError> {
         for &id in self.channels.iter().flatten() {
-            let task = tasks.get(id).ok_or(TaskModelError::UnknownTask { task: id })?;
+            let task = tasks
+                .get(id)
+                .ok_or(TaskModelError::UnknownTask { task: id })?;
             if task.mode != self.mode {
                 return Err(TaskModelError::ModeMismatch {
                     task: id,
@@ -118,11 +123,13 @@ impl ModePartition {
                 });
             }
         }
-        let assigned: std::collections::HashSet<TaskId> =
-            self.assigned_ids().into_iter().collect();
+        let assigned: std::collections::HashSet<TaskId> = self.assigned_ids().into_iter().collect();
         for task in tasks.iter().filter(|t| t.mode == self.mode) {
             if !assigned.contains(&task.id) {
-                return Err(TaskModelError::TaskNotAssigned { task: task.id, mode: self.mode });
+                return Err(TaskModelError::TaskNotAssigned {
+                    task: task.id,
+                    mode: self.mode,
+                });
             }
         }
         Ok(())
@@ -147,7 +154,9 @@ pub struct SystemPartition {
 impl SystemPartition {
     /// Builds a system partition from the three per-mode partitions.
     pub fn new(ft: ModePartition, fs: ModePartition, nf: ModePartition) -> Self {
-        SystemPartition { modes: PerMode { ft, fs, nf } }
+        SystemPartition {
+            modes: PerMode { ft, fs, nf },
+        }
     }
 
     /// The partition of the given mode.
@@ -214,18 +223,21 @@ mod tests {
 
     #[test]
     fn partition_rejects_too_many_channels() {
-        let err = ModePartition::new(
-            Mode::FailSilent,
-            vec![vec![id(6)], vec![id(9)], vec![]],
-        )
-        .unwrap_err();
-        assert!(matches!(err, TaskModelError::TooManyChannels { used: 3, available: 2, .. }));
+        let err = ModePartition::new(Mode::FailSilent, vec![vec![id(6)], vec![id(9)], vec![]])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TaskModelError::TooManyChannels {
+                used: 3,
+                available: 2,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn partition_rejects_double_assignment() {
-        let err =
-            ModePartition::new(Mode::FailSilent, vec![vec![id(6)], vec![id(6)]]).unwrap_err();
+        let err = ModePartition::new(Mode::FailSilent, vec![vec![id(6)], vec![id(6)]]).unwrap_err();
         assert!(matches!(err, TaskModelError::TaskAssignedTwice { .. }));
     }
 
@@ -233,29 +245,37 @@ mod tests {
     fn validate_detects_unknown_tasks() {
         let set = mixed_set();
         let part = ModePartition::new(Mode::FailSilent, vec![vec![id(6)], vec![id(99)]]).unwrap();
-        assert!(matches!(part.validate(&set), Err(TaskModelError::UnknownTask { .. })));
+        assert!(matches!(
+            part.validate(&set),
+            Err(TaskModelError::UnknownTask { .. })
+        ));
     }
 
     #[test]
     fn validate_detects_mode_mismatch() {
         let set = mixed_set();
-        let part = ModePartition::new(Mode::FailSilent, vec![vec![id(6), id(1)], vec![id(9)]])
-            .unwrap();
-        assert!(matches!(part.validate(&set), Err(TaskModelError::ModeMismatch { .. })));
+        let part =
+            ModePartition::new(Mode::FailSilent, vec![vec![id(6), id(1)], vec![id(9)]]).unwrap();
+        assert!(matches!(
+            part.validate(&set),
+            Err(TaskModelError::ModeMismatch { .. })
+        ));
     }
 
     #[test]
     fn validate_detects_unassigned_tasks() {
         let set = mixed_set();
         let part = ModePartition::new(Mode::FailSilent, vec![vec![id(6)]]).unwrap();
-        assert!(matches!(part.validate(&set), Err(TaskModelError::TaskNotAssigned { .. })));
+        assert!(matches!(
+            part.validate(&set),
+            Err(TaskModelError::TaskNotAssigned { .. })
+        ));
     }
 
     #[test]
     fn valid_partition_passes_validation() {
         let set = mixed_set();
-        let part =
-            ModePartition::new(Mode::FailSilent, vec![vec![id(6)], vec![id(9)]]).unwrap();
+        let part = ModePartition::new(Mode::FailSilent, vec![vec![id(6)], vec![id(9)]]).unwrap();
         part.validate(&set).unwrap();
         assert_eq!(part.channel_of(id(9)), Some(1));
         assert_eq!(part.channel_of(id(1)), None);
@@ -293,8 +313,11 @@ mod tests {
         let sys = SystemPartition::new(
             ModePartition::new(Mode::FaultTolerant, vec![vec![id(10)]]).unwrap(),
             ModePartition::new(Mode::FailSilent, vec![vec![id(6)], vec![id(9)]]).unwrap(),
-            ModePartition::new(Mode::NonFaultTolerant, vec![vec![id(1)], vec![id(2), id(3)]])
-                .unwrap(),
+            ModePartition::new(
+                Mode::NonFaultTolerant,
+                vec![vec![id(1)], vec![id(2), id(3)]],
+            )
+            .unwrap(),
         );
         sys.validate(&set).unwrap();
         let per_mode = sys.channel_task_sets(&set).unwrap();
@@ -314,8 +337,7 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let part =
-            ModePartition::new(Mode::FailSilent, vec![vec![id(6)], vec![id(9)]]).unwrap();
+        let part = ModePartition::new(Mode::FailSilent, vec![vec![id(6)], vec![id(9)]]).unwrap();
         let json = serde_json::to_string(&part).unwrap();
         let back: ModePartition = serde_json::from_str(&json).unwrap();
         assert_eq!(back, part);

@@ -60,7 +60,11 @@ impl Task {
         period: f64,
         mode: Mode,
     ) -> Result<Task, TaskModelError> {
-        TaskBuilder::new(id).wcet(wcet).period(period).mode(mode).build()
+        TaskBuilder::new(id)
+            .wcet(wcet)
+            .period(period)
+            .mode(mode)
+            .build()
     }
 
     /// Convenience constructor for a constrained-deadline task.
@@ -76,7 +80,12 @@ impl Task {
         deadline: f64,
         mode: Mode,
     ) -> Result<Task, TaskModelError> {
-        TaskBuilder::new(id).wcet(wcet).period(period).deadline(deadline).mode(mode).build()
+        TaskBuilder::new(id)
+            .wcet(wcet)
+            .period(period)
+            .deadline(deadline)
+            .mode(mode)
+            .build()
     }
 
     /// Utilisation `U_i = C_i / T_i`.
@@ -124,10 +133,16 @@ impl Task {
     /// Validates the structural constraints of the sporadic model.
     pub fn validate(&self) -> Result<(), TaskModelError> {
         if self.wcet <= 0.0 || !self.wcet.is_finite() {
-            return Err(TaskModelError::NonPositiveWcet { task: self.id, wcet: self.wcet });
+            return Err(TaskModelError::NonPositiveWcet {
+                task: self.id,
+                wcet: self.wcet,
+            });
         }
         if self.period <= 0.0 || !self.period.is_finite() {
-            return Err(TaskModelError::NonPositivePeriod { task: self.id, period: self.period });
+            return Err(TaskModelError::NonPositivePeriod {
+                task: self.id,
+                period: self.period,
+            });
         }
         if self.deadline <= 0.0 || !self.deadline.is_finite() {
             return Err(TaskModelError::NonPositiveDeadline {
@@ -286,13 +301,22 @@ mod tests {
 
     #[test]
     fn zero_period_is_rejected() {
-        let err = TaskBuilder::new(1).wcet(1.0).period(0.0).build().unwrap_err();
+        let err = TaskBuilder::new(1)
+            .wcet(1.0)
+            .period(0.0)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, TaskModelError::NonPositivePeriod { .. }));
     }
 
     #[test]
     fn negative_deadline_is_rejected() {
-        let err = TaskBuilder::new(1).wcet(1.0).period(5.0).deadline(-2.0).build().unwrap_err();
+        let err = TaskBuilder::new(1)
+            .wcet(1.0)
+            .period(5.0)
+            .deadline(-2.0)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, TaskModelError::NonPositiveDeadline { .. }));
     }
 
@@ -310,8 +334,11 @@ mod tests {
 
     #[test]
     fn infinite_parameters_are_rejected() {
-        let err =
-            TaskBuilder::new(1).wcet(f64::INFINITY).period(5.0).build().unwrap_err();
+        let err = TaskBuilder::new(1)
+            .wcet(f64::INFINITY)
+            .period(5.0)
+            .build()
+            .unwrap_err();
         assert!(matches!(err, TaskModelError::NonPositiveWcet { .. }));
     }
 

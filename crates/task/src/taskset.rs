@@ -105,11 +105,7 @@ impl TaskSet {
     /// consistently; the result saturates gracefully for pathological
     /// period combinations.
     pub fn hyperperiod(&self) -> f64 {
-        let ticks = self
-            .tasks
-            .iter()
-            .map(Task::period_in_ticks)
-            .fold(1u64, lcm);
+        let ticks = self.tasks.iter().map(Task::period_in_ticks).fold(1u64, lcm);
         ticks as f64 / crate::time::TICKS_PER_UNIT as f64
     }
 
@@ -122,8 +118,12 @@ impl TaskSet {
     ///
     /// Returns `None` if no task requires that mode.
     pub fn tasks_in_mode(&self, mode: Mode) -> Option<TaskSet> {
-        let tasks: Vec<Task> =
-            self.tasks.iter().filter(|t| t.mode == mode).cloned().collect();
+        let tasks: Vec<Task> = self
+            .tasks
+            .iter()
+            .filter(|t| t.mode == mode)
+            .cloned()
+            .collect();
         if tasks.is_empty() {
             None
         } else {
@@ -139,7 +139,11 @@ impl TaskSet {
 
     /// Utilisation of the subset of tasks requiring `mode` (0 if none).
     pub fn mode_utilization(&self, mode: Mode) -> f64 {
-        self.tasks.iter().filter(|t| t.mode == mode).map(Task::utilization).sum()
+        self.tasks
+            .iter()
+            .filter(|t| t.mode == mode)
+            .map(Task::utilization)
+            .sum()
     }
 
     /// A copy of the tasks sorted by the given fixed-priority order,
@@ -177,8 +181,9 @@ impl TaskSet {
         }
         let mut tasks = Vec::with_capacity(ids.len());
         for &id in ids {
-            let task =
-                self.get(id).ok_or(TaskModelError::UnknownTask { task: id })?;
+            let task = self
+                .get(id)
+                .ok_or(TaskModelError::UnknownTask { task: id })?;
             tasks.push(task.clone());
         }
         TaskSet::new(tasks)
@@ -219,7 +224,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_sets() {
-        assert!(matches!(TaskSet::new(vec![]), Err(TaskModelError::EmptyTaskSet)));
+        assert!(matches!(
+            TaskSet::new(vec![]),
+            Err(TaskModelError::EmptyTaskSet)
+        ));
     }
 
     #[test]
@@ -279,8 +287,10 @@ mod tests {
         assert_eq!(split.nf.as_ref().unwrap().len(), 2);
         assert_eq!(split.fs.as_ref().unwrap().len(), 1);
         assert_eq!(split.ft.as_ref().unwrap().len(), 1);
-        let total: usize =
-            Mode::ALL.iter().map(|&m| split.get(m).as_ref().map_or(0, TaskSet::len)).sum();
+        let total: usize = Mode::ALL
+            .iter()
+            .map(|&m| split.get(m).as_ref().map_or(0, TaskSet::len))
+            .sum();
         assert_eq!(total, set.len());
     }
 
@@ -295,8 +305,10 @@ mod tests {
         let set = sample_set();
         for mode in Mode::ALL {
             let direct = set.mode_utilization(mode);
-            let via_split =
-                set.tasks_in_mode(mode).map(|s| s.utilization()).unwrap_or(0.0);
+            let via_split = set
+                .tasks_in_mode(mode)
+                .map(|s| s.utilization())
+                .unwrap_or(0.0);
             assert!((direct - via_split).abs() < 1e-12);
         }
     }
@@ -362,7 +374,9 @@ mod tests {
     #[test]
     fn all_implicit_deadlines_detects_constrained_tasks() {
         let mut tasks = sample_set().tasks().to_vec();
-        assert!(TaskSet::new(tasks.clone()).unwrap().all_implicit_deadlines());
+        assert!(TaskSet::new(tasks.clone())
+            .unwrap()
+            .all_implicit_deadlines());
         tasks.push(
             TaskBuilder::new(20)
                 .wcet(1.0)

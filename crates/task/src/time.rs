@@ -319,8 +319,10 @@ mod tests {
 
     #[test]
     fn duration_sum() {
-        let total: Duration =
-            [1u64, 2, 3, 4].iter().map(|&t| Duration::from_ticks(t)).sum();
+        let total: Duration = [1u64, 2, 3, 4]
+            .iter()
+            .map(|&t| Duration::from_ticks(t))
+            .sum();
         assert_eq!(total.ticks(), 10);
     }
 

@@ -42,7 +42,9 @@ fn main() {
         let mut generated = 0usize;
 
         for _ in 0..SETS_PER_POINT {
-            let Ok(tasks) = generate_taskset(&mut rng, &config) else { continue };
+            let Ok(tasks) = generate_taskset(&mut rng, &config) else {
+                continue;
+            };
             let Ok(partition) = partition_system(&tasks, PartitionHeuristic::WorstFitDecreasing)
             else {
                 generated += 1;

@@ -60,7 +60,11 @@ fn build_application() -> TaskSet {
 
 fn main() {
     let tasks = build_application();
-    println!("engine-control application: {} tasks, U = {:.3}", tasks.len(), tasks.utilization());
+    println!(
+        "engine-control application: {} tasks, U = {:.3}",
+        tasks.len(),
+        tasks.utilization()
+    );
 
     // Automatic partitioning (the paper partitions manually; here the
     // worst-fit-decreasing heuristic balances the channels).
@@ -68,9 +72,15 @@ fn main() {
         .expect("the workload fits on the platform");
     for mode in Mode::ALL {
         let channels = partition.mode(mode).channel_task_sets(&tasks).unwrap();
-        let loads: Vec<String> =
-            channels.iter().map(|c| format!("{:.3}", c.utilization())).collect();
-        println!("  {mode}: {} channel(s), per-channel utilisation [{}]", channels.len(), loads.join(", "));
+        let loads: Vec<String> = channels
+            .iter()
+            .map(|c| format!("{:.3}", c.utilization()))
+            .collect();
+        println!(
+            "  {mode}: {} channel(s), per-channel utilisation [{}]",
+            channels.len(),
+            loads.join(", ")
+        );
     }
 
     // Design with a realistic switching overhead.
@@ -82,7 +92,10 @@ fn main() {
     )
     .expect("valid design problem");
     let region = RegionConfig::for_problem(&problem);
-    let config = PipelineConfig { region, ..PipelineConfig::default() };
+    let config = PipelineConfig {
+        region,
+        ..PipelineConfig::default()
+    };
 
     let outcome = design_and_validate(&problem, DesignGoal::MinimizeOverheadBandwidth, &config)
         .expect("a feasible design exists");
@@ -109,8 +122,14 @@ fn main() {
         Duration::from_units(15.0),
         Duration::from_units(0.2),
     );
-    println!("\ninjecting {} transient faults over {horizon:.0} time units", faults.len());
-    let faulty_config = PipelineConfig { fault_schedule: faults, ..config };
+    println!(
+        "\ninjecting {} transient faults over {horizon:.0} time units",
+        faults.len()
+    );
+    let faulty_config = PipelineConfig {
+        fault_schedule: faults,
+        ..config
+    };
     let faulty = design_and_validate(
         &problem,
         DesignGoal::MinimizeOverheadBandwidth,
@@ -127,11 +146,13 @@ fn main() {
         );
     }
     assert_eq!(
-        report.outcomes[Mode::FaultTolerant].wrong_result, 0,
+        report.outcomes[Mode::FaultTolerant].wrong_result,
+        0,
         "the control loops must never commit a wrong result"
     );
     assert_eq!(
-        report.outcomes[Mode::FailSilent].wrong_result, 0,
+        report.outcomes[Mode::FailSilent].wrong_result,
+        0,
         "the diagnostics must never propagate a wrong verdict"
     );
     println!(

@@ -18,7 +18,11 @@ use ftsched_platform::cpu::CoreId;
 
 fn main() {
     let mut platform = Platform::new(PlatformConfig::default());
-    println!("platform boots in {} mode with {} channel(s)\n", platform.mode(), platform.channel_count());
+    println!(
+        "platform boots in {} mode with {} channel(s)\n",
+        platform.mode(),
+        platform.channel_count()
+    );
 
     // --- FT slot ---------------------------------------------------------
     platform.set_mode(Mode::FaultTolerant);
@@ -28,7 +32,12 @@ fn main() {
         core: CoreId(2),
         mask: 0xDEAD_BEEF,
     });
-    let report = platform.run_job(0, /*task seed*/ 10, /*units*/ 8, Time::from_units(0.1));
+    let report = platform.run_job(
+        0,
+        /*task seed*/ 10,
+        /*units*/ 8,
+        Time::from_units(0.1),
+    );
     println!("FT slot: particle strike on core 2 while the control job runs");
     println!(
         "  -> {} units committed, {} divergences observed, {} wrong commits (fault MASKED by voting)",
@@ -93,8 +102,17 @@ fn main() {
 
     // The job-level classification used by the scheduling simulator agrees
     // with what the checker just did.
-    assert_eq!(classify_outcome(Mode::FaultTolerant, true), JobOutcome::CorrectMasked);
-    assert_eq!(classify_outcome(Mode::FailSilent, true), JobOutcome::SilencedLost);
-    assert_eq!(classify_outcome(Mode::NonFaultTolerant, true), JobOutcome::WrongResult);
+    assert_eq!(
+        classify_outcome(Mode::FaultTolerant, true),
+        JobOutcome::CorrectMasked
+    );
+    assert_eq!(
+        classify_outcome(Mode::FailSilent, true),
+        JobOutcome::SilencedLost
+    );
+    assert_eq!(
+        classify_outcome(Mode::NonFaultTolerant, true),
+        JobOutcome::WrongResult
+    );
     println!("\njob-level outcome classification matches the checker behaviour — done.");
 }

@@ -32,8 +32,14 @@ fn main() {
     // 3. Solve for both goals demonstrated in the paper and validate each
     //    design by simulation over two hyperperiods.
     let goals = [
-        ("(b) minimise overhead bandwidth", DesignGoal::MinimizeOverheadBandwidth),
-        ("(c) maximise redistributable slack", DesignGoal::MaximizeSlackBandwidth),
+        (
+            "(b) minimise overhead bandwidth",
+            DesignGoal::MinimizeOverheadBandwidth,
+        ),
+        (
+            "(c) maximise redistributable slack",
+            DesignGoal::MaximizeSlackBandwidth,
+        ),
     ];
     println!("=== Table 2: design solutions (EDF) ===");
     for (label, goal) in goals {
@@ -47,7 +53,11 @@ fn main() {
             outcome.simulation.horizon,
             outcome.simulation.released_jobs,
             outcome.simulation.deadline_misses,
-            if outcome.simulation.integrity_preserved() { "preserved" } else { "VIOLATED" },
+            if outcome.simulation.integrity_preserved() {
+                "preserved"
+            } else {
+                "VIOLATED"
+            },
         );
     }
 

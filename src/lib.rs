@@ -1,0 +1,34 @@
+//! # ftsched — workspace facade
+//!
+//! Umbrella crate for the `ftsched` reproduction of *"A Flexible Scheme
+//! for Scheduling Fault-Tolerant Real-Time Tasks on Multiprocessors"*
+//! (Cirinei, Bini, Lipari, Ferrari — IPPS 2007). It re-exports every
+//! subsystem crate and anchors the workspace-level integration tests
+//! (`tests/`) and runnable walkthroughs (`examples/`).
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`task`](ftsched_task) | sporadic task model, modes, partitions, generators |
+//! | [`analysis`](ftsched_analysis) | supply functions, FP/EDF hierarchical tests, `minQ` |
+//! | [`platform`](ftsched_platform) | the 4-core lock-step platform with fault injection |
+//! | [`sim`](ftsched_sim) | slot-based discrete-event scheduling simulator |
+//! | [`design`](ftsched_design) | feasible-period region, quanta selection, design goals |
+//! | [`core`](ftsched_core) | the design-and-validate pipeline |
+//! | [`campaign`](ftsched_campaign) | parallel, deterministic experiment-campaign engine |
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use ftsched_analysis as analysis;
+pub use ftsched_campaign as campaign;
+pub use ftsched_core as core;
+pub use ftsched_design as design;
+pub use ftsched_platform as platform;
+pub use ftsched_sim as sim;
+pub use ftsched_task as task;
+
+/// The most commonly used items of every layer, re-exported.
+pub mod prelude {
+    pub use ftsched_campaign::prelude::*;
+    pub use ftsched_core::prelude::*;
+}

@@ -24,7 +24,9 @@ fn generated_problem(seed: u64, utilization: f64) -> Option<DesignProblem> {
 fn generated_workloads_design_and_validate_cleanly() {
     let mut designed = 0;
     for seed in 0..20u64 {
-        let Some(problem) = generated_problem(seed, 1.2) else { continue };
+        let Some(problem) = generated_problem(seed, 1.2) else {
+            continue;
+        };
         let config = PipelineConfig {
             region: RegionConfig::for_problem(&problem),
             horizon_hyperperiods: 1,
@@ -44,21 +46,34 @@ fn generated_workloads_design_and_validate_cleanly() {
             Err(_) => { /* genuinely infeasible workloads are fine */ }
         }
     }
-    assert!(designed >= 10, "only {designed}/20 generated workloads admitted a design");
+    assert!(
+        designed >= 10,
+        "only {designed}/20 generated workloads admitted a design"
+    );
 }
 
 #[test]
 fn both_goals_agree_on_feasibility() {
     for seed in 0..10u64 {
-        let Some(problem) = generated_problem(seed, 1.0) else { continue };
+        let Some(problem) = generated_problem(seed, 1.0) else {
+            continue;
+        };
         let region = RegionConfig::for_problem(&problem);
-        let a = ftsched_design::goals::solve(&problem, DesignGoal::MinimizeOverheadBandwidth, &region);
+        let a =
+            ftsched_design::goals::solve(&problem, DesignGoal::MinimizeOverheadBandwidth, &region);
         let b = ftsched_design::goals::solve(&problem, DesignGoal::MaximizeSlackBandwidth, &region);
-        assert_eq!(a.is_ok(), b.is_ok(), "seed {seed}: goals disagree on feasibility");
+        assert_eq!(
+            a.is_ok(),
+            b.is_ok(),
+            "seed {seed}: goals disagree on feasibility"
+        );
         if let (Ok(a), Ok(b)) = (a, b) {
             // The max-period goal never has more slack bandwidth than the
             // slack-maximising goal.
-            assert!(a.slack_bandwidth() <= b.slack_bandwidth() + 1e-9, "seed {seed}");
+            assert!(
+                a.slack_bandwidth() <= b.slack_bandwidth() + 1e-9,
+                "seed {seed}"
+            );
             // And the slack-maximising goal never has a larger period.
             assert!(b.period <= a.period + 1e-9, "seed {seed}");
         }
@@ -82,7 +97,11 @@ fn partition_heuristics_produce_valid_partitions_and_wfd_matches_the_manual_desi
             Algorithm::EarliestDeadlineFirst,
         )
         .unwrap();
-        match design_and_validate(&problem, DesignGoal::MinimizeOverheadBandwidth, &PipelineConfig::default()) {
+        match design_and_validate(
+            &problem,
+            DesignGoal::MinimizeOverheadBandwidth,
+            &PipelineConfig::default(),
+        ) {
             Ok(outcome) => assert!(outcome.simulation.all_deadlines_met(), "{heuristic:?}"),
             Err(err) => assert!(
                 !matches!(heuristic, PartitionHeuristic::WorstFitDecreasing),
@@ -103,7 +122,11 @@ fn partition_heuristics_produce_valid_partitions_and_wfd_matches_the_manual_desi
     )
     .unwrap();
     assert!(outcome.simulation.all_deadlines_met());
-    assert!(outcome.solution.period > 1.4, "WFD design period {:.3}", outcome.solution.period);
+    assert!(
+        outcome.solution.period > 1.4,
+        "WFD design period {:.3}",
+        outcome.solution.period
+    );
 }
 
 #[test]
@@ -140,7 +163,10 @@ fn baseline_comparison_on_the_paper_example() {
     let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
     let cmp = compare_schemes(&problem, &RegionConfig::paper_figure4()).unwrap();
     assert!(cmp.verdict(Scheme::Flexible));
-    assert!(!cmp.verdict(Scheme::StaticLockstep), "U ≈ 1.35 cannot fit one processor");
+    assert!(
+        !cmp.verdict(Scheme::StaticLockstep),
+        "U ≈ 1.35 cannot fit one processor"
+    );
     assert!(cmp.verdict(Scheme::StaticParallel));
     assert!(cmp.verdict(Scheme::PrimaryBackup));
 }

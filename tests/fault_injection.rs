@@ -12,7 +12,11 @@ use ftsched_platform::cpu::CoreId;
 fn table2b_slots() -> SlotSchedule {
     SlotSchedule::new(
         2.966,
-        PerMode { ft: 0.820, fs: 1.281, nf: 0.815 },
+        PerMode {
+            ft: 0.820,
+            fs: 1.281,
+            nf: 0.815,
+        },
         PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0),
     )
     .unwrap()
@@ -22,7 +26,10 @@ fn table2b_slots() -> SlotSchedule {
 fn platform_level_campaign_preserves_memory_integrity_in_protected_modes() {
     let mut rng = StdRng::seed_from_u64(99);
     for mode in [Mode::FaultTolerant, Mode::FailSilent] {
-        let mut platform = Platform::new(PlatformConfig { initial_mode: mode, record_writes: true });
+        let mut platform = Platform::new(PlatformConfig {
+            initial_mode: mode,
+            record_writes: true,
+        });
         let schedule = FaultSchedule::poisson(
             &mut rng,
             Time::from_units(100.0),
@@ -49,8 +56,10 @@ fn platform_level_campaign_preserves_memory_integrity_in_protected_modes() {
 
 #[test]
 fn platform_level_campaign_lets_wrong_values_through_only_in_nf_mode() {
-    let mut platform =
-        Platform::new(PlatformConfig { initial_mode: Mode::NonFaultTolerant, record_writes: true });
+    let mut platform = Platform::new(PlatformConfig {
+        initial_mode: Mode::NonFaultTolerant,
+        record_writes: true,
+    });
     let mut rng = StdRng::seed_from_u64(7);
     let schedule = FaultSchedule::poisson(
         &mut rng,
@@ -65,7 +74,10 @@ fn platform_level_campaign_lets_wrong_values_through_only_in_nf_mode() {
         corrupted += report.wrong_units;
         platform.clear_fault(fault.core);
     }
-    assert!(corrupted > 0, "NF mode must let corrupted work units through");
+    assert!(
+        corrupted > 0,
+        "NF mode must let corrupted work units through"
+    );
     assert!(!platform.memory().integrity_preserved());
 }
 
@@ -86,7 +98,11 @@ fn simulator_campaign_matches_mode_guarantees_on_the_paper_design() {
         &partition,
         Algorithm::EarliestDeadlineFirst,
         &table2b_slots(),
-        &SimulationConfig { horizon, fault_schedule: faults, record_trace: false },
+        &SimulationConfig {
+            horizon,
+            fault_schedule: faults,
+            record_trace: false,
+        },
     )
     .unwrap();
 
@@ -96,8 +112,14 @@ fn simulator_campaign_matches_mode_guarantees_on_the_paper_design() {
     assert_eq!(report.outcomes[Mode::FaultTolerant].silenced_lost, 0);
     // With ~75 faults over 600 time units and ~36% of the timeline being
     // NF useful time, some corruption and some masking must be observed.
-    assert!(report.outcomes[Mode::FaultTolerant].correct_masked > 0, "no FT fault was masked");
-    assert!(report.outcomes[Mode::NonFaultTolerant].wrong_result > 0, "no NF job was corrupted");
+    assert!(
+        report.outcomes[Mode::FaultTolerant].correct_masked > 0,
+        "no FT fault was masked"
+    );
+    assert!(
+        report.outcomes[Mode::NonFaultTolerant].wrong_result > 0,
+        "no NF job was corrupted"
+    );
     assert!(report.effective_faults > 0);
     assert!(report.effective_faults <= injected);
     // Timing is unaffected by faults in this fault model.
@@ -127,7 +149,11 @@ fn directed_faults_hit_exactly_the_targeted_mode() {
             &partition,
             Algorithm::EarliestDeadlineFirst,
             &table2b_slots(),
-            &SimulationConfig { horizon: 30.0, fault_schedule: schedule, record_trace: false },
+            &SimulationConfig {
+                horizon: 30.0,
+                fault_schedule: schedule,
+                record_trace: false,
+            },
         )
         .unwrap();
         let affected: u64 = Mode::ALL
@@ -140,7 +166,10 @@ fn directed_faults_hit_exactly_the_targeted_mode() {
         let own = report.outcomes[mode];
         let own_affected = own.correct_masked + own.silenced_lost + own.wrong_result;
         assert!(own_affected > 0, "{mode}: the directed fault had no effect");
-        assert_eq!(affected, own_affected, "{mode}: a fault leaked into another mode");
+        assert_eq!(
+            affected, own_affected,
+            "{mode}: a fault leaked into another mode"
+        );
     }
 }
 
@@ -164,7 +193,11 @@ fn fault_rate_sweep_shows_monotone_exposure_in_nf_mode() {
             &partition,
             Algorithm::EarliestDeadlineFirst,
             &table2b_slots(),
-            &SimulationConfig { horizon, fault_schedule: faults, record_trace: false },
+            &SimulationConfig {
+                horizon,
+                fault_schedule: faults,
+                record_trace: false,
+            },
         )
         .unwrap();
         let corrupted = report.outcomes[Mode::NonFaultTolerant].wrong_result;

@@ -2,7 +2,9 @@
 //! (Table 1, Table 2 and Figure 4) is reproduced by the public API.
 
 use ftsched_core::prelude::*;
-use ftsched_design::region::{max_admissible_overhead, max_feasible_period, max_slack_ratio_period};
+use ftsched_design::region::{
+    max_admissible_overhead, max_feasible_period, max_slack_ratio_period,
+};
 
 fn edf_problem() -> DesignProblem {
     paper_problem(Algorithm::EarliestDeadlineFirst)
@@ -20,7 +22,10 @@ fn zero_overhead(problem: &DesignProblem) -> DesignProblem {
 fn table1_task_set_structure() {
     let tasks = paper_taskset();
     assert_eq!(tasks.len(), 13);
-    assert_eq!(tasks.tasks_in_mode(Mode::NonFaultTolerant).unwrap().len(), 5);
+    assert_eq!(
+        tasks.tasks_in_mode(Mode::NonFaultTolerant).unwrap().len(),
+        5
+    );
     assert_eq!(tasks.tasks_in_mode(Mode::FailSilent).unwrap().len(), 4);
     assert_eq!(tasks.tasks_in_mode(Mode::FaultTolerant).unwrap().len(), 4);
     // Spot-check a few rows of Table 1.
@@ -44,8 +49,14 @@ fn figure4_maximum_periods_with_zero_overhead() {
     let config = RegionConfig::paper_figure4();
     let edf = max_feasible_period(&zero_overhead(&edf_problem()), &config).unwrap();
     let rm = max_feasible_period(&zero_overhead(&rm_problem()), &config).unwrap();
-    assert!((edf - 3.176).abs() < 0.01, "EDF max period {edf:.4} (paper: 3.176)");
-    assert!((rm - 2.381).abs() < 0.01, "RM max period {rm:.4} (paper: 2.381)");
+    assert!(
+        (edf - 3.176).abs() < 0.01,
+        "EDF max period {edf:.4} (paper: 3.176)"
+    );
+    assert!(
+        (rm - 2.381).abs() < 0.01,
+        "RM max period {rm:.4} (paper: 2.381)"
+    );
 }
 
 #[test]
@@ -53,15 +64,26 @@ fn figure4_maximum_admissible_overheads() {
     let config = RegionConfig::paper_figure4();
     let edf = max_admissible_overhead(&zero_overhead(&edf_problem()), &config).unwrap();
     let rm = max_admissible_overhead(&zero_overhead(&rm_problem()), &config).unwrap();
-    assert!((edf.lhs - 0.201).abs() < 0.005, "EDF max overhead {:.4} (paper: 0.201)", edf.lhs);
-    assert!((rm.lhs - 0.129).abs() < 0.005, "RM max overhead {:.4} (paper: 0.129)", rm.lhs);
+    assert!(
+        (edf.lhs - 0.201).abs() < 0.005,
+        "EDF max overhead {:.4} (paper: 0.201)",
+        edf.lhs
+    );
+    assert!(
+        (rm.lhs - 0.129).abs() < 0.005,
+        "RM max overhead {:.4} (paper: 0.129)",
+        rm.lhs
+    );
 }
 
 #[test]
 fn figure4_maximum_period_with_paper_overhead() {
     let config = RegionConfig::paper_figure4();
     let p = max_feasible_period(&edf_problem(), &config).unwrap();
-    assert!((p - 2.966).abs() < 0.01, "EDF max period at O=0.05 is {p:.4} (paper: 2.966)");
+    assert!(
+        (p - 2.966).abs() < 0.01,
+        "EDF max period at O=0.05 is {p:.4} (paper: 2.966)"
+    );
 }
 
 #[test]
@@ -89,7 +111,11 @@ fn table2b_min_overhead_design() {
 fn table2c_max_slack_design() {
     let config = RegionConfig::paper_figure4();
     let best = max_slack_ratio_period(&edf_problem(), &config).unwrap();
-    assert!((best.period - 0.855).abs() < 0.02, "slack-optimal period {:.4} (paper: 0.855)", best.period);
+    assert!(
+        (best.period - 0.855).abs() < 0.02,
+        "slack-optimal period {:.4} (paper: 0.855)",
+        best.period
+    );
 
     let outcome = design_and_validate(
         &edf_problem(),
@@ -102,7 +128,10 @@ fn table2c_max_slack_design() {
     assert!((alloc.min_useful[Mode::FailSilent] - 0.252).abs() < 0.01);
     assert!((alloc.min_useful[Mode::NonFaultTolerant] - 0.220).abs() < 0.01);
     assert!((alloc.slack - 0.103).abs() < 0.01);
-    assert!((outcome.solution.slack_bandwidth() - 0.121).abs() < 0.006, "paper: 12.1% redistributable");
+    assert!(
+        (outcome.solution.slack_bandwidth() - 0.121).abs() < 0.006,
+        "paper: 12.1% redistributable"
+    );
 }
 
 #[test]
@@ -122,11 +151,16 @@ fn edf_region_strictly_contains_rm_region() {
     // "the EDF region is larger than the RM one, because every RM
     // schedulable task set is also schedulable under EDF."
     let config = RegionConfig::paper_figure4();
-    let edf = ftsched_design::region::sweep_region(&zero_overhead(&edf_problem()), &config).unwrap();
+    let edf =
+        ftsched_design::region::sweep_region(&zero_overhead(&edf_problem()), &config).unwrap();
     let rm = ftsched_design::region::sweep_region(&zero_overhead(&rm_problem()), &config).unwrap();
     let mut strictly_larger_somewhere = false;
     for (e, r) in edf.points.iter().zip(&rm.points) {
-        assert!(e.lhs + 1e-9 >= r.lhs, "EDF curve below RM at P = {}", e.period);
+        assert!(
+            e.lhs + 1e-9 >= r.lhs,
+            "EDF curve below RM at P = {}",
+            e.period
+        );
         if e.lhs > r.lhs + 1e-3 {
             strictly_larger_somewhere = true;
         }

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 
-use ftsched_core::prelude::*;
 use ftsched_analysis::{edf, fp, minq};
+use ftsched_core::prelude::*;
 use ftsched_task::PriorityOrder;
 
 /// Strategy: a small implicit-deadline task with bounded utilisation.

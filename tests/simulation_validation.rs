@@ -9,7 +9,11 @@ use ftsched_design::quanta::minimum_allocation;
 fn table2b_slots() -> SlotSchedule {
     SlotSchedule::new(
         2.966,
-        PerMode { ft: 0.820, fs: 1.281, nf: 0.815 },
+        PerMode {
+            ft: 0.820,
+            fs: 1.281,
+            nf: 0.815,
+        },
         PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0),
     )
     .unwrap()
@@ -27,7 +31,11 @@ fn table2b_design_meets_every_deadline_over_many_hyperperiods() {
     )
     .unwrap();
     assert!(report.released_jobs > 300);
-    assert!(report.all_deadlines_met(), "{} misses", report.deadline_misses);
+    assert!(
+        report.all_deadlines_met(),
+        "{} misses",
+        report.deadline_misses
+    );
     assert!(report.integrity_preserved());
 }
 
@@ -62,7 +70,11 @@ fn every_feasible_period_of_the_paper_example_simulates_cleanly() {
 fn starving_each_mode_in_turn_causes_misses_in_that_mode_only() {
     let (tasks, partition) = paper_example();
     for starved in Mode::ALL {
-        let mut quanta = PerMode { ft: 0.820, fs: 1.281, nf: 0.815 };
+        let mut quanta = PerMode {
+            ft: 0.820,
+            fs: 1.281,
+            nf: 0.815,
+        };
         quanta[starved] = 0.05; // far below the required minimum
         let slots =
             SlotSchedule::new(2.966, quanta, PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0)).unwrap();
@@ -74,12 +86,19 @@ fn starving_each_mode_in_turn_causes_misses_in_that_mode_only() {
             &SimulationConfig::fault_free(240.0),
         )
         .unwrap();
-        assert!(report.deadline_misses > 0, "starving {starved} should cause misses");
+        assert!(
+            report.deadline_misses > 0,
+            "starving {starved} should cause misses"
+        );
         // Misses must be confined to tasks of the starved mode.
         let trace = report.trace.expect("trace recorded");
         for record in trace.jobs.iter().filter(|r| !r.deadline_met) {
             let task = tasks.get(record.job.task).unwrap();
-            assert_eq!(task.mode, starved, "a {} task missed while starving {starved}", task.mode);
+            assert_eq!(
+                task.mode, starved,
+                "a {} task missed while starving {starved}",
+                task.mode
+            );
         }
     }
 }
@@ -112,8 +131,9 @@ fn slot_supply_dominates_the_linear_bound_used_by_the_analysis() {
         let p = slots.period().as_units();
         let supply = LinearSupply::from_slot(q, p).unwrap();
         for window in [0.25, 0.5, 1.0, 2.0, 4.0, 6.0, 9.0] {
-            let empirical =
-                slots.empirical_min_supply(mode, Duration::from_units(window), 97).as_units();
+            let empirical = slots
+                .empirical_min_supply(mode, Duration::from_units(window), 97)
+                .as_units();
             assert!(
                 empirical + 1e-6 >= supply.supply(window),
                 "{mode}: window {window}: {empirical:.4} < {:.4}",
@@ -169,7 +189,10 @@ fn execution_slices_never_overlap_and_respect_slot_boundaries() {
         let mid = slice.start + slice.length() / 2;
         match slots.phase_at(mid) {
             Some(phase) => {
-                assert!(phase.is_useful(), "slice executes during an overhead window");
+                assert!(
+                    phase.is_useful(),
+                    "slice executes during an overhead window"
+                );
                 assert_eq!(phase.mode(), slice.mode);
             }
             None => panic!("slice executes during unallocated slack"),

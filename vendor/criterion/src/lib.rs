@@ -1,0 +1,170 @@
+//! Offline stand-in for `criterion`, sufficient for this workspace.
+//!
+//! Provides the group/bench/iter API shape the workspace's benches use
+//! and measures wall-clock nanoseconds per iteration with a short
+//! calibration phase — no statistics, plots or baselines. Output is one
+//! line per benchmark: `bench <name> ... <ns/iter> ns/iter (<iters> iters)`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for a parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label)
+    }
+}
+
+/// Throughput annotation (accepted, echoed in output).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&name.to_string(), None, &mut f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl fmt::Display, mut f: impl FnMut(&mut Bencher)) {
+        run_one(&format!("{}/{id}", self.name), self.throughput, &mut f);
+    }
+
+    /// Runs one benchmark with an explicit input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(&format!("{}/{id}", self.name), self.throughput, &mut |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` for the number of iterations the calibration chose.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration: grow the iteration count until one batch costs ≥ ~20 ms
+    // (or we hit a cap), then report that batch.
+    let mut iters: u64 = 1;
+    let (ns, total_iters) = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let elapsed = b.elapsed;
+        if elapsed >= Duration::from_millis(20) || iters >= 1 << 20 {
+            break (elapsed.as_nanos() as f64 / iters.max(1) as f64, iters);
+        }
+        // Aim straight at the budget with a safety factor.
+        let per_iter = elapsed.as_nanos().max(1) as f64 / iters as f64;
+        let target = (25_000_000.0 / per_iter).ceil() as u64;
+        iters = target.clamp(iters * 2, 1 << 20);
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!("bench {name:<55} {ns:>14.1} ns/iter ({total_iters} iters, {n} elems/iter)")
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("bench {name:<55} {ns:>14.1} ns/iter ({total_iters} iters, {n} bytes/iter)")
+        }
+        None => println!("bench {name:<55} {ns:>14.1} ns/iter ({total_iters} iters)"),
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,422 @@
+//! Offline stand-in for `rayon`, sufficient for this workspace.
+//!
+//! Provides the data-parallel iterator subset the workspace uses
+//! (`par_iter`/`into_par_iter` with `map`, `filter_map`, `collect`,
+//! `reduce`, `count`) over plain `std::thread::scope` workers.
+//!
+//! Semantics are deliberately *stricter* than real rayon:
+//!
+//! * results are always materialised in **input order**, and
+//! * `reduce` folds the ordered results **left-to-right** from the
+//!   identity,
+//!
+//! so every pipeline is deterministic regardless of worker count —
+//! convenient for the experiment campaigns, and a superset of rayon's
+//! (weaker) unordered-reduction contract so code written against this
+//! shim remains correct under the real crate.
+//!
+//! Worker count comes from `RAYON_NUM_THREADS` or
+//! `std::thread::available_parallelism`.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The glob-importable API surface, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+}
+
+/// Number of worker threads to use.
+pub fn current_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// An indexed, element-wise parallel pipeline.
+///
+/// `p_get(i)` returns the pipeline's output for input index `i`, or
+/// `None` when a `filter_map` stage dropped it.
+pub trait ParallelIterator: Sized + Sync {
+    /// The element type produced by the pipeline.
+    type Item: Send;
+
+    /// Number of input indices.
+    fn p_len(&self) -> usize;
+
+    /// Evaluates the pipeline at one input index.
+    fn p_get(&self, index: usize) -> Option<Self::Item>;
+
+    /// Element-wise transformation.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Element-wise transformation that can drop elements.
+    fn filter_map<F, R>(self, f: F) -> FilterMap<Self, F>
+    where
+        F: Fn(Self::Item) -> Option<R> + Sync,
+        R: Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    /// Element-wise filter.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync,
+    {
+        Filter { base: self, f }
+    }
+
+    /// Runs the pipeline and gathers the surviving elements in input
+    /// order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_ordered_vec(run(&self))
+    }
+
+    /// Runs the pipeline and folds the ordered results left-to-right.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+    {
+        run(&self).into_iter().fold(identity(), &op)
+    }
+
+    /// Number of elements surviving the pipeline.
+    fn count(self) -> usize {
+        run(&self).len()
+    }
+
+    /// Sums the surviving elements.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item>,
+    {
+        run(&self).into_iter().sum()
+    }
+}
+
+/// Evaluates an indexed pipeline over scoped worker threads, preserving
+/// input order. Workers claim fixed-size blocks from an atomic cursor, so
+/// scheduling is dynamic but the result is order-stable.
+fn run<P: ParallelIterator>(pipeline: &P) -> Vec<P::Item> {
+    let n = pipeline.p_len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).filter_map(|i| pipeline.p_get(i)).collect();
+    }
+    const BLOCK: usize = 32;
+    let blocks = n.div_ceil(BLOCK);
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Vec<P::Item>>>> =
+        (0..blocks).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let b = cursor.fetch_add(1, Ordering::Relaxed);
+                if b >= blocks {
+                    break;
+                }
+                let lo = b * BLOCK;
+                let hi = (lo + BLOCK).min(n);
+                let items: Vec<P::Item> = (lo..hi).filter_map(|i| pipeline.p_get(i)).collect();
+                *slots[b].lock().unwrap() = Some(items);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .flat_map(|m| {
+            m.into_inner()
+                .unwrap()
+                .expect("worker finished every claimed block")
+        })
+        .collect()
+}
+
+/// `map` adapter.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn p_len(&self) -> usize {
+        self.base.p_len()
+    }
+
+    fn p_get(&self, index: usize) -> Option<R> {
+        self.base.p_get(index).map(&self.f)
+    }
+}
+
+/// `filter_map` adapter.
+pub struct FilterMap<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> Option<R> + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn p_len(&self) -> usize {
+        self.base.p_len()
+    }
+
+    fn p_get(&self, index: usize) -> Option<R> {
+        self.base.p_get(index).and_then(&self.f)
+    }
+}
+
+/// `filter` adapter.
+pub struct Filter<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Sync,
+{
+    type Item = B::Item;
+
+    fn p_len(&self) -> usize {
+        self.base.p_len()
+    }
+
+    fn p_get(&self, index: usize) -> Option<B::Item> {
+        self.base.p_get(index).filter(|x| (self.f)(x))
+    }
+}
+
+/// Conversion into a parallel pipeline by value.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Builds the pipeline.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Leaf source: an integer range.
+pub struct RangePar<T> {
+    start: T,
+    len: usize,
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = RangePar<$t>;
+            fn into_par_iter(self) -> RangePar<$t> {
+                let len = if self.end > self.start {
+                    (self.end - self.start) as usize
+                } else {
+                    0
+                };
+                RangePar { start: self.start, len }
+            }
+        }
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+            fn p_len(&self) -> usize {
+                self.len
+            }
+            fn p_get(&self, index: usize) -> Option<$t> {
+                Some(self.start + index as $t)
+            }
+        }
+    )*};
+}
+impl_range_par!(usize, u32, u64, i32, i64);
+
+/// Leaf source: a slice.
+pub struct SlicePar<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+
+    fn p_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn p_get(&self, index: usize) -> Option<&'a T> {
+        Some(&self.items[index])
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+
+    fn into_par_iter(self) -> SlicePar<'a, T> {
+        SlicePar { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+
+    fn into_par_iter(self) -> SlicePar<'a, T> {
+        SlicePar { items: self }
+    }
+}
+
+/// Leaf source: an owned vector.
+pub struct VecPar<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync + Clone> ParallelIterator for VecPar<T> {
+    type Item = T;
+
+    fn p_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn p_get(&self, index: usize) -> Option<T> {
+        Some(self.items[index].clone())
+    }
+}
+
+impl<T: Send + Sync + Clone> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecPar<T>;
+
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { items: self }
+    }
+}
+
+/// Conversion into a borrowing parallel pipeline (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Element type (a reference).
+    type Item: Send;
+    /// Pipeline type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Builds the pipeline over `&self`.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { items: self }
+    }
+}
+
+/// Ordered collection targets for [`ParallelIterator::collect`].
+pub trait FromParallelIterator<T>: Sized {
+    /// Builds the collection from the ordered pipeline output.
+    fn from_ordered_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_vec(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_collect_matches_sequential() {
+        let par: Vec<u64> = (0u64..1000).into_par_iter().map(|x| x * x).collect();
+        let seq: Vec<u64> = (0u64..1000).map(|x| x * x).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn filter_map_preserves_order() {
+        let par: Vec<usize> = (0usize..500)
+            .into_par_iter()
+            .filter_map(|x| (x % 3 == 0).then_some(x))
+            .collect();
+        let seq: Vec<usize> = (0..500).filter(|x| x % 3 == 0).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn slice_par_iter_and_result_collect() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let ok: Result<Vec<f64>, String> =
+            xs.par_iter().map(|&x| Ok::<f64, String>(x + 1.0)).collect();
+        assert_eq!(ok.unwrap()[99], 100.0);
+        let err: Result<Vec<f64>, String> = xs
+            .par_iter()
+            .map(|&x| {
+                if x > 50.0 {
+                    Err("too big".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn reduce_is_deterministic() {
+        let a: u64 = (0u64..10_000)
+            .into_par_iter()
+            .map(|x| x % 7)
+            .reduce(|| 0, |x, y| x + y);
+        let b: u64 = (0u64..10_000).map(|x| x % 7).sum();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,529 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment of this repository has no access to crates.io, so
+//! the workspace vendors a minimal `serde` data model (a self-describing
+//! [`Value`] tree with `to_value`/`from_value` traits) and this proc-macro
+//! crate derives impls for it. The macro hand-parses the item's token
+//! stream (no `syn`/`quote` available) and supports exactly the shapes the
+//! workspace uses:
+//!
+//! * named-field structs (including one type parameter with no bounds,
+//!   e.g. `PerMode<T>`),
+//! * tuple structs (newtype and wider) and unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged, the
+//!   serde default representation).
+//!
+//! Unsupported shapes (lifetimes, const generics, `where` clauses) fail
+//! loudly at compile time rather than generating wrong code.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shape of the item.
+
+struct Item {
+    name: String,
+    /// Plain type-parameter names (`T`, `U`, ...). Lifetimes/consts are
+    /// rejected.
+    generics: Vec<String>,
+    body: Body,
+}
+
+enum Body {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-level parsing helpers.
+
+fn is_punct(t: Option<&TokenTree>, c: char) -> bool {
+    matches!(t, Some(TokenTree::Punct(p)) if p.as_char() == c)
+}
+
+fn is_ident(t: Option<&TokenTree>, s: &str) -> bool {
+    matches!(t, Some(TokenTree::Ident(id)) if id.to_string() == s)
+}
+
+fn ident_string(t: Option<&TokenTree>) -> Option<String> {
+    match t {
+        Some(TokenTree::Ident(id)) => Some(id.to_string()),
+        _ => None,
+    }
+}
+
+fn group_with(t: Option<&TokenTree>, delim: Delimiter) -> Option<Group> {
+    match t {
+        Some(TokenTree::Group(g)) if g.delimiter() == delim => Some(g.clone()),
+        _ => None,
+    }
+}
+
+/// Skips `#[...]` attributes (doc comments included) starting at `i`.
+fn skip_attrs(toks: &[TokenTree], mut i: usize) -> usize {
+    while is_punct(toks.get(i), '#') {
+        i += 2; // '#' plus the bracketed group
+    }
+    i
+}
+
+fn skip_visibility(toks: &[TokenTree], mut i: usize) -> usize {
+    if is_ident(toks.get(i), "pub") {
+        i += 1;
+        if group_with(toks.get(i), Delimiter::Parenthesis).is_some() {
+            i += 1;
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs(&toks, 0);
+    i = skip_visibility(&toks, i);
+
+    let kw = ident_string(toks.get(i)).expect("serde_derive: expected `struct` or `enum`");
+    i += 1;
+    let name = ident_string(toks.get(i)).expect("serde_derive: expected a type name");
+    i += 1;
+
+    let mut generics = Vec::new();
+    if is_punct(toks.get(i), '<') {
+        let (params, next) = parse_generics(&toks, i);
+        generics = params;
+        i = next;
+    }
+    assert!(
+        !is_ident(toks.get(i), "where"),
+        "serde_derive: `where` clauses are not supported (type `{name}`)"
+    );
+
+    let body = match kw.as_str() {
+        "struct" => {
+            if let Some(g) = group_with(toks.get(i), Delimiter::Brace) {
+                Body::Named(parse_named_fields(&g))
+            } else if let Some(g) = group_with(toks.get(i), Delimiter::Parenthesis) {
+                Body::Tuple(count_tuple_fields(&g))
+            } else if is_punct(toks.get(i), ';') {
+                Body::Unit
+            } else {
+                panic!("serde_derive: unrecognised struct body for `{name}`");
+            }
+        }
+        "enum" => {
+            let g = group_with(toks.get(i), Delimiter::Brace)
+                .unwrap_or_else(|| panic!("serde_derive: expected enum body for `{name}`"));
+            Body::Enum(parse_variants(&g))
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item {
+        name,
+        generics,
+        body,
+    }
+}
+
+/// Parses `<...>` starting at the `<` token; returns the type-parameter
+/// names and the index just past the closing `>`.
+fn parse_generics(toks: &[TokenTree], start: usize) -> (Vec<String>, usize) {
+    let mut depth = 0i32;
+    let mut i = start;
+    let mut segments: Vec<Vec<&TokenTree>> = vec![Vec::new()];
+    loop {
+        let t = toks.get(i).expect("serde_derive: unterminated generics");
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    if depth == 1 {
+                        i += 1;
+                        continue;
+                    }
+                }
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                ',' if depth == 1 => {
+                    segments.push(Vec::new());
+                    i += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        segments.last_mut().unwrap().push(t);
+        i += 1;
+    }
+    let mut params = Vec::new();
+    for seg in segments.iter().filter(|s| !s.is_empty()) {
+        if let TokenTree::Punct(p) = seg[0] {
+            assert!(
+                p.as_char() != '\'',
+                "serde_derive: lifetime parameters are not supported"
+            );
+        }
+        match seg[0] {
+            TokenTree::Ident(id) if id.to_string() == "const" => {
+                panic!("serde_derive: const generics are not supported")
+            }
+            TokenTree::Ident(id) => params.push(id.to_string()),
+            _ => panic!("serde_derive: unrecognised generic parameter"),
+        }
+    }
+    (params, i)
+}
+
+/// Extracts field names from a `{ ... }` body; field types are skipped
+/// (angle-bracket aware) because the generated code never needs them.
+fn parse_named_fields(g: &Group) -> Vec<String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        i = skip_visibility(&toks, i);
+        let name = ident_string(toks.get(i)).expect("serde_derive: expected a field name");
+        fields.push(name);
+        i += 1;
+        assert!(
+            is_punct(toks.get(i), ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i += 1;
+        let mut depth = 0i32;
+        while i < toks.len() {
+            if let TokenTree::Punct(p) = &toks[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts the fields of a `( ... )` body (top-level commas, angle aware).
+fn count_tuple_fields(g: &Group) -> usize {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut fields = 1usize;
+    let mut last_was_comma = false;
+    for t in &toks {
+        last_was_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    fields += 1;
+                    last_was_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if last_was_comma {
+        fields -= 1; // trailing comma
+    }
+    fields
+}
+
+fn parse_variants(g: &Group) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs(&toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = ident_string(toks.get(i)).expect("serde_derive: expected a variant name");
+        i += 1;
+        let kind = if let Some(p) = group_with(toks.get(i), Delimiter::Parenthesis) {
+            i += 1;
+            VariantKind::Tuple(count_tuple_fields(&p))
+        } else if let Some(b) = group_with(toks.get(i), Delimiter::Brace) {
+            i += 1;
+            VariantKind::Named(parse_named_fields(&b))
+        } else {
+            VariantKind::Unit
+        };
+        // Skip to the next variant (tolerates explicit discriminants).
+        while i < toks.len() && !is_punct(toks.get(i), ',') {
+            i += 1;
+        }
+        i += 1;
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation. Output is built as a string and re-parsed; all paths are
+// fully qualified so the generated code is hygiene-independent.
+
+const ALLOW: &str = "#[automatically_derived]\n#[allow(unused_variables, unused_mut, \
+                     unreachable_code, unreachable_patterns, clippy::all)]\n";
+
+fn impl_header(item: &Item, trait_name: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), String::new())
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let params = item.generics.join(", ");
+        (format!("<{}>", bounds.join(", ")), format!("<{params}>"))
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (ig, tg) = impl_header(item, "Serialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let pushes: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n{}\n::serde::Value::Map(__fields)",
+                pushes.join("\n")
+            )
+        }
+        Body::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Body::Unit => "::serde::Value::Null".to_string(),
+        Body::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vname}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({}) => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Seq(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| format!("{f}: __{f}")).collect();
+                            let pushes: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value(__{f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {} }} => ::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Map(::std::vec![{}]))]),",
+                                binds.join(", "),
+                                pushes.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "{ALLOW}impl{ig} ::serde::Serialize for {name}{tg} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}"
+    )
+}
+
+/// Deserialisation of one named field from map entries `__m` of type `ty`.
+fn field_from_map(f: &str, ty: &str) -> String {
+    format!(
+        "{f}: match ::serde::get_field(__m, \"{f}\") {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => ::serde::Deserialize::from_value(&::serde::Value::Null)\n\
+         .map_err(|_| ::serde::Error::custom(\"missing field `{f}` in `{ty}`\"))?,\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (ig, tg) = impl_header(item, "Deserialize");
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Named(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| field_from_map(f, name)).collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected a map for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{}\n}})",
+                inits.join(",\n")
+            )
+        }
+        Body::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Body::Tuple(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected a sequence for `{name}`\"))?;\n\
+                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"wrong tuple length for `{name}`\")); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Body::Unit => format!("::std::result::Result::Ok({name})"),
+        Body::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => return ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__inner)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let __s = __inner.as_seq().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected a sequence for variant \
+                                 `{name}::{vname}`\"))?;\n\
+                                 if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                                 ::serde::Error::custom(\"wrong tuple length for variant \
+                                 `{name}::{vname}`\")); }}\n\
+                                 return ::std::result::Result::Ok({name}::{vname}({}));\n}}",
+                                elems.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let scoped = format!("{name}::{vname}");
+                            let inits: Vec<String> =
+                                fields.iter().map(|f| field_from_map(f, &scoped)).collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                 let __m = __inner.as_map().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected a map for variant \
+                                 `{name}::{vname}`\"))?;\n\
+                                 return ::std::result::Result::Ok({name}::{vname} {{\n{}\n}});\n}}",
+                                inits.join(",\n")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {{\n\
+                 return match __s {{\n{unit}\n_ => ::std::result::Result::Err(\
+                 ::serde::Error::custom(\"unknown variant of `{name}`\")),\n}};\n}}\n\
+                 if let ::std::option::Option::Some(__m) = __v.as_map() {{\n\
+                 if __m.len() == 1 {{\n\
+                 let (__k, __inner) = &__m[0];\n\
+                 match __k.as_str() {{\n{data}\n_ => {{}}\n}}\n}}\n}}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(\
+                 \"invalid value for enum `{name}`\"))",
+                unit = unit_arms.join("\n"),
+                data = data_arms.join("\n"),
+            )
+        }
+    };
+    format!(
+        "{ALLOW}impl{ig} ::serde::Deserialize for {name}{tg} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}"
+    )
+}
