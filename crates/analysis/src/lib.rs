@@ -26,6 +26,10 @@
 //! * [`minq`] — the inversion of those tests into the minimum slot quantum
 //!   `minQ(T, alg, P)` of Eq. 6 (FP) and Eq. 11 (EDF), the function the
 //!   whole design methodology of the paper is built on.
+//! * [`sweep`] — the sweep-aware form of `minQ`: [`sweep::MinQSweep`]
+//!   precomputes the period-independent `(t, W(t))` pairs once so period
+//!   grids evaluate only the closed-form `q(t)` per sample. The one-shot
+//!   [`min_quantum`] is a thin wrapper over it.
 //! * [`scheduler`] — the [`scheduler::Algorithm`] selector shared by all
 //!   layers (RM, DM or EDF).
 //!
@@ -44,6 +48,7 @@ pub mod multislot;
 pub mod points;
 pub mod scheduler;
 pub mod supply;
+pub mod sweep;
 pub mod workload;
 
 pub use error::AnalysisError;
@@ -51,3 +56,4 @@ pub use minq::{min_quantum, min_quantum_multi, MinQuantum};
 pub use multislot::{min_quantum_multislot, MultiSlotSupply};
 pub use scheduler::Algorithm;
 pub use supply::{DedicatedSupply, LinearSupply, PeriodicSlotSupply, SupplyFunction};
+pub use sweep::{MinQSweep, MinQSweepMulti};

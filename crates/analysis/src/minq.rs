@@ -28,12 +28,8 @@ use serde::{Deserialize, Serialize};
 use ftsched_task::TaskSet;
 
 use crate::error::AnalysisError;
-use crate::points::{capped_hyperperiod, deadline_set, scheduling_points};
 use crate::scheduler::Algorithm;
-use crate::workload::{edf_demand, fp_workload};
-
-/// Cap on the EDF analysis horizon (see [`crate::edf::DEFAULT_HORIZON_CAP`]).
-const HORIZON_CAP: f64 = 100_000.0;
+use crate::sweep::{MinQSweep, MinQSweepMulti};
 
 /// Result of a minimum-quantum computation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -71,6 +67,12 @@ pub fn quantum_at_point(t: f64, period: f64, workload: f64) -> f64 {
 /// Computes `minQ(T, alg, P)`: the minimum useful slot quantum that makes
 /// `tasks` schedulable by `algorithm` when the slot recurs every `period`.
 ///
+/// This is the one-shot convenience form: it builds a [`MinQSweep`],
+/// evaluates it at the single period and drops it. Period-grid consumers
+/// (region sweeps, design searches, campaigns) should build the sweep once
+/// and call [`MinQSweep::min_quantum_at`] per sample instead — the result
+/// is bit-for-bit identical, the cost per sample is O(points).
+///
 /// # Errors
 ///
 /// Returns an error for an empty task set or a non-positive/non-finite
@@ -80,72 +82,7 @@ pub fn min_quantum(
     algorithm: Algorithm,
     period: f64,
 ) -> Result<MinQuantum, AnalysisError> {
-    if tasks.is_empty() {
-        return Err(AnalysisError::EmptyTaskSet);
-    }
-    if !(period > 0.0 && period.is_finite()) {
-        return Err(AnalysisError::InvalidParameter {
-            name: "period",
-            value: period,
-        });
-    }
-    match algorithm {
-        Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic => {
-            let order = algorithm
-                .priority_order()
-                .expect("fixed-priority algorithms define an order");
-            let sorted = tasks.sorted_by_priority(order);
-            let mut worst = MinQuantum {
-                quantum: 0.0,
-                period,
-                binding_instant: 0.0,
-            };
-            for (i, task) in sorted.iter().enumerate() {
-                let hp = &sorted[..i];
-                let points = scheduling_points(task.deadline, hp);
-                // Each task needs only its best scheduling point (Eq. 6: min over t).
-                let mut best = MinQuantum {
-                    quantum: f64::INFINITY,
-                    period,
-                    binding_instant: task.deadline,
-                };
-                for &t in &points {
-                    let q = quantum_at_point(t, period, fp_workload(task, hp, t));
-                    if q < best.quantum {
-                        best = MinQuantum {
-                            quantum: q,
-                            period,
-                            binding_instant: t,
-                        };
-                    }
-                }
-                if best.quantum > worst.quantum {
-                    worst = best;
-                }
-            }
-            Ok(worst)
-        }
-        Algorithm::EarliestDeadlineFirst => {
-            let horizon = capped_hyperperiod(tasks.tasks(), HORIZON_CAP);
-            let deadlines = deadline_set(tasks.tasks(), horizon);
-            let mut worst = MinQuantum {
-                quantum: 0.0,
-                period,
-                binding_instant: 0.0,
-            };
-            for &t in &deadlines {
-                let q = quantum_at_point(t, period, edf_demand(tasks.tasks(), t));
-                if q > worst.quantum {
-                    worst = MinQuantum {
-                        quantum: q,
-                        period,
-                        binding_instant: t,
-                    };
-                }
-            }
-            Ok(worst)
-        }
-    }
+    MinQSweep::new(tasks, algorithm)?.min_quantum_at(period)
 }
 
 /// `max_i minQ(T_i, alg, P)` over several per-channel task sets — the form
@@ -161,27 +98,7 @@ pub fn min_quantum_multi(
     algorithm: Algorithm,
     period: f64,
 ) -> Result<MinQuantum, AnalysisError> {
-    if !(period > 0.0 && period.is_finite()) {
-        return Err(AnalysisError::InvalidParameter {
-            name: "period",
-            value: period,
-        });
-    }
-    let mut worst = MinQuantum {
-        quantum: 0.0,
-        period,
-        binding_instant: 0.0,
-    };
-    for channel in channels {
-        if channel.is_empty() {
-            continue;
-        }
-        let mq = min_quantum(channel, algorithm, period)?;
-        if mq.quantum > worst.quantum {
-            worst = mq;
-        }
-    }
-    Ok(worst)
+    MinQSweepMulti::new(channels, algorithm)?.min_quantum_at(period)
 }
 
 #[cfg(test)]

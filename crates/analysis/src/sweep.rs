@@ -1,0 +1,354 @@
+//! Sweep-aware evaluation of `minQ(T, alg, P)` over period grids.
+//!
+//! The design layer never asks for `minQ` at a single period: Figure 4
+//! region sweeps, design-goal searches and acceptance-ratio campaigns all
+//! evaluate the same task set at hundreds of candidate periods. The naive
+//! kernel re-derives the test-point sets (Bini–Buttazzo scheduling points
+//! for FP, the capped-hyperperiod deadline set for EDF) and re-sums the
+//! workloads at every call — yet **neither depends on the slot period**.
+//! Only the closed form
+//!
+//! ```text
+//! q(t) = ( sqrt((t − P)² + 4 P W(t)) − (t − P) ) / 2
+//! ```
+//!
+//! does. A [`MinQSweep`] therefore computes the `(t, W(t))` pairs once per
+//! `(task set, algorithm)` and answers [`MinQSweep::min_quantum_at`] for
+//! any number of periods with O(points) float work per sample — no
+//! re-sorting, no re-enumeration, no allocation.
+//!
+//! The one-shot [`crate::min_quantum`] is a thin wrapper over this type
+//! (build, evaluate once, drop), so there is exactly one code path and the
+//! sweep is bit-for-bit identical to the historical per-sample kernel:
+//! same iteration order, same `f64` operations, same tie-breaking.
+
+use ftsched_task::TaskSet;
+
+use crate::error::AnalysisError;
+use crate::minq::{quantum_at_point, MinQuantum};
+use crate::points::{capped_hyperperiod, deadline_set, scheduling_points};
+use crate::scheduler::Algorithm;
+use crate::workload::{edf_demand, fp_workload};
+
+/// Cap on the EDF analysis horizon (see [`crate::edf::DEFAULT_HORIZON_CAP`]).
+const HORIZON_CAP: f64 = 100_000.0;
+
+/// One precomputed test point: the instant `t` and the period-independent
+/// workload/demand `W(t)` at that instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct PointLoad {
+    t: f64,
+    w: f64,
+}
+
+/// How the precomputed points are quantified over, mirroring Eq. 6 vs
+/// Eq. 11.
+#[derive(Debug, Clone, PartialEq)]
+enum SweepKind {
+    /// Eq. 6: points are grouped per task (in priority order); each group
+    /// takes its *minimum* `q(t)`, the sweep takes the *maximum* over
+    /// groups. `groups[i]` is `(end, fallback)`: the exclusive end index
+    /// of task `i`'s points in the flat array and the task's relative
+    /// deadline (the binding instant reported if the group were empty).
+    FixedPriority { groups: Vec<(usize, f64)> },
+    /// Eq. 11: one flat point set, maximum over all points.
+    EarliestDeadlineFirst,
+}
+
+/// Precomputed `(t, W(t))` pairs for one task set under one algorithm,
+/// ready to answer `minQ` at any period in O(points) without allocating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinQSweep {
+    algorithm: Algorithm,
+    points: Vec<PointLoad>,
+    kind: SweepKind,
+}
+
+impl MinQSweep {
+    /// Enumerates the scheduling points / deadline set of `tasks` under
+    /// `algorithm` and computes the period-independent workloads, so that
+    /// [`Self::min_quantum_at`] only evaluates the closed-form `q(t)`.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::EmptyTaskSet`] for an empty task set.
+    pub fn new(tasks: &TaskSet, algorithm: Algorithm) -> Result<Self, AnalysisError> {
+        if tasks.is_empty() {
+            return Err(AnalysisError::EmptyTaskSet);
+        }
+        match algorithm {
+            Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic => {
+                let order = algorithm
+                    .priority_order()
+                    .expect("fixed-priority algorithms define an order");
+                let sorted = tasks.sorted_by_priority(order);
+                let mut points = Vec::new();
+                let mut groups = Vec::with_capacity(sorted.len());
+                for (i, task) in sorted.iter().enumerate() {
+                    let hp = &sorted[..i];
+                    for t in scheduling_points(task.deadline, hp) {
+                        points.push(PointLoad {
+                            t,
+                            w: fp_workload(task, hp, t),
+                        });
+                    }
+                    groups.push((points.len(), task.deadline));
+                }
+                Ok(MinQSweep {
+                    algorithm,
+                    points,
+                    kind: SweepKind::FixedPriority { groups },
+                })
+            }
+            Algorithm::EarliestDeadlineFirst => {
+                let horizon = capped_hyperperiod(tasks.tasks(), HORIZON_CAP);
+                let points = deadline_set(tasks.tasks(), horizon)
+                    .into_iter()
+                    .map(|t| PointLoad {
+                        t,
+                        w: edf_demand(tasks.tasks(), t),
+                    })
+                    .collect();
+                Ok(MinQSweep {
+                    algorithm,
+                    points,
+                    kind: SweepKind::EarliestDeadlineFirst,
+                })
+            }
+        }
+    }
+
+    /// The algorithm the sweep was built for.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Number of precomputed `(t, W(t))` points — the per-sample work of
+    /// [`Self::min_quantum_at`].
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no points were enumerated (cannot happen for the task
+    /// sets accepted by [`Self::new`], kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Evaluates `minQ` at one period by folding the closed-form `q(t)`
+    /// over the precomputed points. Bit-for-bit identical to the
+    /// historical [`crate::min_quantum`] at the same period.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::InvalidParameter`] for a non-positive or
+    /// non-finite period.
+    pub fn min_quantum_at(&self, period: f64) -> Result<MinQuantum, AnalysisError> {
+        if !(period > 0.0 && period.is_finite()) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "period",
+                value: period,
+            });
+        }
+        let mut worst = MinQuantum {
+            quantum: 0.0,
+            period,
+            binding_instant: 0.0,
+        };
+        match &self.kind {
+            SweepKind::FixedPriority { groups } => {
+                let mut start = 0usize;
+                for &(end, fallback) in groups {
+                    // Each task needs only its best scheduling point
+                    // (Eq. 6: min over t).
+                    let mut best = MinQuantum {
+                        quantum: f64::INFINITY,
+                        period,
+                        binding_instant: fallback,
+                    };
+                    for p in &self.points[start..end] {
+                        let q = quantum_at_point(p.t, period, p.w);
+                        if q < best.quantum {
+                            best = MinQuantum {
+                                quantum: q,
+                                period,
+                                binding_instant: p.t,
+                            };
+                        }
+                    }
+                    if best.quantum > worst.quantum {
+                        worst = best;
+                    }
+                    start = end;
+                }
+            }
+            SweepKind::EarliestDeadlineFirst => {
+                for p in &self.points {
+                    let q = quantum_at_point(p.t, period, p.w);
+                    if q > worst.quantum {
+                        worst = MinQuantum {
+                            quantum: q,
+                            period,
+                            binding_instant: p.t,
+                        };
+                    }
+                }
+            }
+        }
+        Ok(worst)
+    }
+}
+
+/// The multi-channel form `max_i minQ(T_i, alg, P)` of Eq. 13–14, with the
+/// per-channel point sets precomputed once. Empty channels contribute
+/// nothing (mirroring [`crate::min_quantum_multi`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MinQSweepMulti {
+    sweeps: Vec<MinQSweep>,
+}
+
+impl MinQSweepMulti {
+    /// Builds one [`MinQSweep`] per non-empty channel.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MinQSweep::new`] errors (cannot occur: empty channels
+    /// are skipped, not rejected).
+    pub fn new(channels: &[TaskSet], algorithm: Algorithm) -> Result<Self, AnalysisError> {
+        let mut sweeps = Vec::with_capacity(channels.len());
+        for channel in channels {
+            if channel.is_empty() {
+                continue;
+            }
+            sweeps.push(MinQSweep::new(channel, algorithm)?);
+        }
+        Ok(MinQSweepMulti { sweeps })
+    }
+
+    /// Number of non-empty channels behind the sweep.
+    pub fn channel_count(&self) -> usize {
+        self.sweeps.len()
+    }
+
+    /// Total number of precomputed points over all channels.
+    pub fn point_count(&self) -> usize {
+        self.sweeps.iter().map(MinQSweep::len).sum()
+    }
+
+    /// `max_i minQ(T_i, alg, P)` at one period. With no channels the mode
+    /// needs no slot at all and the quantum is zero.
+    ///
+    /// # Errors
+    ///
+    /// [`AnalysisError::InvalidParameter`] for an invalid period.
+    pub fn min_quantum_at(&self, period: f64) -> Result<MinQuantum, AnalysisError> {
+        if !(period > 0.0 && period.is_finite()) {
+            return Err(AnalysisError::InvalidParameter {
+                name: "period",
+                value: period,
+            });
+        }
+        let mut worst = MinQuantum {
+            quantum: 0.0,
+            period,
+            binding_instant: 0.0,
+        };
+        for sweep in &self.sweeps {
+            let mq = sweep.min_quantum_at(period)?;
+            if mq.quantum > worst.quantum {
+                worst = mq;
+            }
+        }
+        Ok(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ftsched_task::{Mode, Task};
+
+    fn task(id: u32, c: f64, t: f64) -> Task {
+        Task::implicit_deadline(id, c, t, Mode::NonFaultTolerant).unwrap()
+    }
+
+    fn set(tasks: Vec<Task>) -> TaskSet {
+        TaskSet::new(tasks).unwrap()
+    }
+
+    fn sample_set() -> TaskSet {
+        set(vec![
+            task(1, 1.0, 6.0),
+            task(2, 1.0, 8.0),
+            task(3, 2.0, 12.0),
+        ])
+    }
+
+    #[test]
+    fn sweep_matches_one_shot_bit_for_bit() {
+        let ts = sample_set();
+        for alg in Algorithm::ALL {
+            let sweep = MinQSweep::new(&ts, alg).unwrap();
+            for i in 1..=60 {
+                let p = i as f64 * 0.07;
+                let one_shot = crate::min_quantum(&ts, alg, p).unwrap();
+                let swept = sweep.min_quantum_at(p).unwrap();
+                assert_eq!(one_shot.quantum.to_bits(), swept.quantum.to_bits());
+                assert_eq!(
+                    one_shot.binding_instant.to_bits(),
+                    swept.binding_instant.to_bits()
+                );
+                assert_eq!(one_shot.period.to_bits(), swept.period.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn multi_sweep_matches_min_quantum_multi() {
+        let c1 = sample_set();
+        let c2 = set(vec![task(9, 1.0, 4.0)]);
+        let channels = vec![c1, c2];
+        for alg in Algorithm::ALL {
+            let multi = MinQSweepMulti::new(&channels, alg).unwrap();
+            assert_eq!(multi.channel_count(), 2);
+            for p in [0.3, 0.855, 1.5, 2.966] {
+                let one_shot = crate::min_quantum_multi(&channels, alg, p).unwrap();
+                let swept = multi.min_quantum_at(p).unwrap();
+                assert_eq!(one_shot.quantum.to_bits(), swept.quantum.to_bits());
+                assert_eq!(
+                    one_shot.binding_instant.to_bits(),
+                    swept.binding_instant.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_periods_are_rejected() {
+        let sweep = MinQSweep::new(&sample_set(), Algorithm::RateMonotonic).unwrap();
+        for p in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                sweep.min_quantum_at(p),
+                Err(AnalysisError::InvalidParameter { .. })
+            ));
+        }
+        let multi = MinQSweepMulti::new(&[], Algorithm::EarliestDeadlineFirst).unwrap();
+        assert!(multi.min_quantum_at(-1.0).is_err());
+    }
+
+    #[test]
+    fn no_channels_need_no_slot() {
+        let multi = MinQSweepMulti::new(&[], Algorithm::EarliestDeadlineFirst).unwrap();
+        let mq = multi.min_quantum_at(2.0).unwrap();
+        assert_eq!(mq.quantum, 0.0);
+        assert_eq!(multi.point_count(), 0);
+    }
+
+    #[test]
+    fn point_counts_are_exposed() {
+        let sweep = MinQSweep::new(&sample_set(), Algorithm::EarliestDeadlineFirst).unwrap();
+        assert!(sweep.len() >= 3);
+        assert!(!sweep.is_empty());
+        assert_eq!(sweep.algorithm(), Algorithm::EarliestDeadlineFirst);
+    }
+}

@@ -1,61 +1,28 @@
-//! Criterion benchmark of the core analytical kernel: the minimum-quantum
-//! function `minQ(T, alg, P)` of Eq. 6 (FP) and Eq. 11 (EDF), which the
-//! design layer evaluates thousands of times per region sweep.
+//! Benchmark of the core analytical kernel: the minimum-quantum function
+//! `minQ(T, alg, P)` of Eq. 6 (FP) and Eq. 11 (EDF), single-shot and over
+//! a 120-point period grid — per-sample recomputation vs the sweep-aware
+//! `MinQSweep` kernel the design layer runs on.
+//!
+//! Results are printed as one line per case and written machine-readably
+//! to `BENCH_minq.json` at the repository root. `--quick` (or
+//! `FTSCHED_BENCH_QUICK=1`) shrinks the measurement budget for CI smoke
+//! runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+use ftsched_bench::perf::{
+    check_minq_contract, quick_mode_from, render_summary, run_minq_bench, write_report,
+};
 
-use ftsched_analysis::{min_quantum, Algorithm};
-use ftsched_task::examples::paper_taskset;
-use ftsched_task::{Mode, TaskSet};
-
-fn mode_sets() -> Vec<(&'static str, TaskSet)> {
-    let tasks = paper_taskset();
-    vec![
-        (
-            "FT_channel",
-            tasks.tasks_in_mode(Mode::FaultTolerant).unwrap(),
-        ),
-        ("FS_channel", tasks.tasks_in_mode(Mode::FailSilent).unwrap()),
-        (
-            "NF_all",
-            tasks.tasks_in_mode(Mode::NonFaultTolerant).unwrap(),
-        ),
-    ]
-}
-
-fn bench_min_quantum(c: &mut Criterion) {
-    let mut group = c.benchmark_group("minq");
-    for (label, set) in mode_sets() {
-        for alg in [Algorithm::EarliestDeadlineFirst, Algorithm::RateMonotonic] {
-            group.bench_with_input(BenchmarkId::new(alg.label(), label), &set, |b, set| {
-                b.iter(|| min_quantum(black_box(set), alg, black_box(1.5)).unwrap())
-            });
-        }
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = quick_mode_from(&args);
+    let report = run_minq_bench(quick);
+    print!("{}", render_summary(&report));
+    match write_report(&report, "BENCH_minq.json") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("minq_performance: cannot write BENCH_minq.json: {e}"),
     }
-    group.finish();
+    if let Err(violation) = check_minq_contract(&report) {
+        eprintln!("minq_performance: PERF CONTRACT VIOLATED: {violation}");
+        std::process::exit(1);
+    }
 }
-
-fn bench_schedulability_tests(c: &mut Criterion) {
-    use ftsched_analysis::{edf, fp, LinearSupply};
-    use ftsched_task::PriorityOrder;
-    let tasks = paper_taskset().tasks_in_mode(Mode::FaultTolerant).unwrap();
-    let supply = LinearSupply::from_slot(0.82, 2.966).unwrap();
-    let mut group = c.benchmark_group("hierarchical_tests");
-    group.bench_function("edf_theorem2", |b| {
-        b.iter(|| edf::schedulable_with_supply(black_box(&tasks), black_box(&supply)))
-    });
-    group.bench_function("fp_theorem1", |b| {
-        b.iter(|| {
-            fp::schedulable_with_supply(
-                black_box(&tasks),
-                PriorityOrder::RateMonotonic,
-                black_box(&supply),
-            )
-        })
-    });
-    group.finish();
-}
-
-criterion_group!(benches, bench_min_quantum, bench_schedulability_tests);
-criterion_main!(benches);

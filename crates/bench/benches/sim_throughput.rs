@@ -1,93 +1,21 @@
-//! Criterion benchmark of the discrete-event simulator: fault-free and
-//! fault-injected runs of the Table 2(b) design over increasing horizons.
+//! Benchmark of the discrete-event simulator: fault-free and
+//! fault-injected runs of the Table 2(b) design over increasing horizons,
+//! with fresh per-call allocation vs a reused `SimArena`.
+//!
+//! Results are printed as one line per case and written machine-readably
+//! to `BENCH_sim.json` at the repository root. `--quick` (or
+//! `FTSCHED_BENCH_QUICK=1`) shrinks the measurement budget for CI smoke
+//! runs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
+use ftsched_bench::perf::{quick_mode_from, render_summary, run_sim_bench, write_report};
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use ftsched_analysis::Algorithm;
-use ftsched_platform::FaultSchedule;
-use ftsched_sim::{simulate, SimulationConfig, SlotSchedule};
-use ftsched_task::examples::{paper_example, PAPER_TOTAL_OVERHEAD};
-use ftsched_task::{Duration, PerMode, Time};
-
-fn table2b_slots() -> SlotSchedule {
-    SlotSchedule::new(
-        2.966,
-        PerMode {
-            ft: 0.820,
-            fs: 1.281,
-            nf: 0.815,
-        },
-        PerMode::splat(PAPER_TOTAL_OVERHEAD / 3.0),
-    )
-    .unwrap()
-}
-
-fn bench_fault_free_simulation(c: &mut Criterion) {
-    let (tasks, partition) = paper_example();
-    let slots = table2b_slots();
-    let mut group = c.benchmark_group("sim_fault_free");
-    for horizon in [120.0, 600.0, 2400.0] {
-        group.throughput(Throughput::Elements(horizon as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(horizon as u64),
-            &horizon,
-            |b, &horizon| {
-                b.iter(|| {
-                    simulate(
-                        black_box(&tasks),
-                        black_box(&partition),
-                        Algorithm::EarliestDeadlineFirst,
-                        black_box(&slots),
-                        &SimulationConfig {
-                            horizon,
-                            fault_schedule: FaultSchedule::none(),
-                            record_trace: false,
-                        },
-                    )
-                    .unwrap()
-                })
-            },
-        );
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = quick_mode_from(&args);
+    let report = run_sim_bench(quick);
+    print!("{}", render_summary(&report));
+    match write_report(&report, "BENCH_sim.json") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("sim_throughput: cannot write BENCH_sim.json: {e}"),
     }
-    group.finish();
 }
-
-fn bench_fault_injected_simulation(c: &mut Criterion) {
-    let (tasks, partition) = paper_example();
-    let slots = table2b_slots();
-    let horizon = 600.0;
-    let mut rng = StdRng::seed_from_u64(2007);
-    let faults = FaultSchedule::poisson(
-        &mut rng,
-        Time::from_units(horizon),
-        Duration::from_units(8.0),
-        Duration::from_units(0.25),
-    );
-    c.bench_function("sim_fault_injected_600", |b| {
-        b.iter(|| {
-            simulate(
-                black_box(&tasks),
-                black_box(&partition),
-                Algorithm::EarliestDeadlineFirst,
-                black_box(&slots),
-                &SimulationConfig {
-                    horizon,
-                    fault_schedule: faults.clone(),
-                    record_trace: false,
-                },
-            )
-            .unwrap()
-        })
-    });
-}
-
-criterion_group!(
-    benches,
-    bench_fault_free_simulation,
-    bench_fault_injected_simulation
-);
-criterion_main!(benches);

@@ -10,6 +10,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod perf;
+
 use ftsched_analysis::Algorithm;
 use ftsched_design::problem::paper_problem;
 use ftsched_design::DesignProblem;

@@ -1,0 +1,140 @@
+//! A shared, thread-safe memo table for the deterministic design stage.
+//!
+//! `WorkloadSpec::Paper` campaigns run the *same* task set through the
+//! *same* design pipeline on every trial — only the per-trial fault draw
+//! differs. The design stage (feasible-period search, goal optimisation,
+//! quanta allocation, baseline comparison) is a pure function of the
+//! trial's grid coordinates, so the executor computes it once per
+//! [`DesignKey`] and shares the result across trials and worker threads.
+//!
+//! Determinism contract: the cache can change *how often* the design
+//! stage runs, never *what* it computes — cached and uncached campaigns
+//! produce byte-identical reports (enforced by
+//! `tests/campaign_design_cache.rs`).
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use ftsched_analysis::Algorithm;
+
+/// Identity of one deterministic design-stage computation: the workload
+/// grid coordinate, the scheduling algorithm and the total mode-switch
+/// overhead. Everything else a design depends on (goal, slack policy,
+/// region overrides) is fixed per campaign spec, and each campaign owns
+/// its own cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignKey {
+    /// Position along the spec's workload axis.
+    pub workload_point: usize,
+    /// Local scheduling algorithm of the scenario.
+    pub algorithm: Algorithm,
+    /// Bit pattern of the total overhead (`f64::to_bits`), making the
+    /// key hashable without tolerance games.
+    pub overhead_bits: u64,
+}
+
+impl DesignKey {
+    /// Builds the key for one scenario's design computation.
+    pub fn new(workload_point: usize, algorithm: Algorithm, total_overhead: f64) -> Self {
+        DesignKey {
+            workload_point,
+            algorithm,
+            overhead_bits: total_overhead.to_bits(),
+        }
+    }
+}
+
+/// A keyed memo table shared by the campaign workers. Disabled caches
+/// degrade to computing every request (the uncached reference path used
+/// by the byte-equality tests).
+#[derive(Debug, Default)]
+pub struct DesignCache<V> {
+    enabled: bool,
+    map: Mutex<HashMap<DesignKey, Arc<V>>>,
+}
+
+impl<V> DesignCache<V> {
+    /// Creates a cache; `enabled = false` makes [`Self::get_or_compute`]
+    /// always compute.
+    pub fn new(enabled: bool) -> Self {
+        DesignCache {
+            enabled,
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether the cache stores results at all.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of distinct keys currently cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock poisoned").len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the cached value for `key`, computing and inserting it on
+    /// a miss.
+    ///
+    /// The computation runs *outside* the lock: two workers racing on the
+    /// same fresh key may both compute it, which costs duplicated work
+    /// but never a wrong answer — `compute` must be (and for the design
+    /// stage is) a pure function of the key, and the first insertion
+    /// wins.
+    pub fn get_or_compute(&self, key: DesignKey, compute: impl FnOnce() -> V) -> Arc<V> {
+        if !self.enabled {
+            return Arc::new(compute());
+        }
+        if let Some(value) = self.map.lock().expect("cache lock poisoned").get(&key) {
+            return Arc::clone(value);
+        }
+        let value = Arc::new(compute());
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        Arc::clone(map.entry(key).or_insert(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caches_by_key_and_computes_once() {
+        let cache: DesignCache<u64> = DesignCache::new(true);
+        let key = DesignKey::new(0, Algorithm::EarliestDeadlineFirst, 0.05);
+        assert!(cache.is_empty());
+        let a = cache.get_or_compute(key, || 41);
+        let b = cache.get_or_compute(key, || panic!("must hit the cache"));
+        assert_eq!(*a, 41);
+        assert_eq!(*b, 41);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_are_distinct_entries() {
+        let cache: DesignCache<usize> = DesignCache::new(true);
+        let k1 = DesignKey::new(0, Algorithm::EarliestDeadlineFirst, 0.05);
+        let k2 = DesignKey::new(0, Algorithm::RateMonotonic, 0.05);
+        let k3 = DesignKey::new(0, Algorithm::EarliestDeadlineFirst, 0.06);
+        cache.get_or_compute(k1, || 1);
+        cache.get_or_compute(k2, || 2);
+        cache.get_or_compute(k3, || 3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(*cache.get_or_compute(k2, || 99), 2);
+    }
+
+    #[test]
+    fn disabled_cache_always_computes() {
+        let cache: DesignCache<u32> = DesignCache::new(false);
+        let key = DesignKey::new(1, Algorithm::DeadlineMonotonic, 0.0);
+        assert_eq!(*cache.get_or_compute(key, || 1), 1);
+        assert_eq!(*cache.get_or_compute(key, || 2), 2);
+        assert!(cache.is_empty());
+        assert!(!cache.enabled());
+    }
+}

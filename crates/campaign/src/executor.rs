@@ -12,10 +12,12 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+use ftsched_sim::SimArena;
+
 use crate::report::{CampaignReport, ScenarioReport};
 use crate::spec::CampaignSpec;
 use crate::stats::ScenarioStats;
-use crate::trial::run_trial;
+use crate::trial::{run_trial_with, TrialDesignCache};
 use crate::CampaignError;
 
 /// Execution knobs. These may change *how fast* a campaign runs, never
@@ -29,6 +31,11 @@ pub struct ExecutorConfig {
     pub block_size: usize,
     /// Print a progress line to stderr while running.
     pub progress: bool,
+    /// Share the deterministic design stage of `WorkloadSpec::Paper`
+    /// trials across the campaign (see [`crate::cache`]). On by default;
+    /// turning it off only re-runs identical computations — reports are
+    /// byte-identical either way.
+    pub design_cache: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -37,6 +44,7 @@ impl Default for ExecutorConfig {
             threads: 0,
             block_size: 32,
             progress: false,
+            design_cache: true,
         }
     }
 }
@@ -83,16 +91,20 @@ pub fn run_campaign(
     // first-touch (= trial index) order.
     type BlockPartials = Vec<(usize, ScenarioStats)>;
 
+    // The deterministic design stage of Paper workloads is shared across
+    // every worker; synthetic workloads never consult it.
+    let cache = TrialDesignCache::new(config.design_cache);
+
     // Each block folds its contiguous trial range into per-scenario
-    // accumulators.
-    let run_block = |b: usize| -> BlockPartials {
+    // accumulators, reusing the worker's simulation arena.
+    let run_block = |b: usize, arena: &mut SimArena| -> BlockPartials {
         let lo = b * block_size;
         let hi = (lo + block_size).min(total);
         let mut partials: BlockPartials = Vec::new();
         for t in lo..hi {
             let scenario = &scenarios[t / trials_per];
             let trial = t % trials_per;
-            let outcome = run_trial(spec, scenario, trial);
+            let outcome = run_trial_with(spec, scenario, trial, &cache, arena);
             match partials.last_mut() {
                 Some((idx, stats)) if *idx == scenario.index => stats.observe(&outcome),
                 _ => {
@@ -110,8 +122,9 @@ pub fn run_campaign(
     let done = AtomicUsize::new(0);
 
     if threads <= 1 {
+        let mut arena = SimArena::new();
         for (b, slot) in slots.iter().enumerate() {
-            *slot.lock().unwrap() = Some(run_block(b));
+            *slot.lock().unwrap() = Some(run_block(b, &mut arena));
             if config.progress {
                 print_progress(&spec.name, (b + 1) * block_size, total);
             }
@@ -119,17 +132,20 @@ pub fn run_campaign(
     } else {
         std::thread::scope(|scope| {
             for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let b = cursor.fetch_add(1, Ordering::Relaxed);
-                    if b >= blocks {
-                        break;
-                    }
-                    let partials = run_block(b);
-                    let completed = (b * block_size + block_size).min(total) - b * block_size;
-                    *slots[b].lock().unwrap() = Some(partials);
-                    let finished = done.fetch_add(completed, Ordering::Relaxed) + completed;
-                    if config.progress {
-                        print_progress(&spec.name, finished, total);
+                scope.spawn(|| {
+                    let mut arena = SimArena::new();
+                    loop {
+                        let b = cursor.fetch_add(1, Ordering::Relaxed);
+                        if b >= blocks {
+                            break;
+                        }
+                        let partials = run_block(b, &mut arena);
+                        let completed = (b * block_size + block_size).min(total) - b * block_size;
+                        *slots[b].lock().unwrap() = Some(partials);
+                        let finished = done.fetch_add(completed, Ordering::Relaxed) + completed;
+                        if config.progress {
+                            print_progress(&spec.name, finished, total);
+                        }
                     }
                 });
             }

@@ -19,6 +19,10 @@
 //! * [`trial`] — the per-trial kernel over
 //!   [`ftsched_core::design_and_validate`] (or the cheaper
 //!   feasible-region check), with optional baseline-scheme comparison.
+//! * [`cache`] — the design cache: `WorkloadSpec::Paper` campaigns run
+//!   the deterministic design stage once per `(workload, algorithm,
+//!   overhead)` key instead of once per trial, with byte-identical
+//!   reports.
 //! * [`stats`] — mergeable streaming accumulators; workers never keep raw
 //!   trial lists, so memory stays flat at any campaign size.
 //! * [`executor`] — a scoped-thread fan-out with dynamic scheduling but
@@ -44,6 +48,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cache;
 pub mod executor;
 pub mod report;
 pub mod seed;

@@ -8,22 +8,26 @@
 //! pipeline. Re-running a trial with the coordinates recorded in a report
 //! reproduces its outcome exactly.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use ftsched_core::pipeline::{design_and_validate, PipelineError, PipelineOutcome};
+use ftsched_core::pipeline::{design_stage_with, validate_stage, PipelineError, PipelineOutcome};
 use ftsched_core::PipelineConfig;
-use ftsched_design::baseline::compare_schemes;
+use ftsched_design::baseline::compare_schemes_with;
 use ftsched_design::partitioner::partition_system;
 use ftsched_design::problem::DesignProblem;
-use ftsched_design::region::max_feasible_period;
+use ftsched_design::region::max_feasible_period_with;
+use ftsched_design::DesignSolution;
 use ftsched_platform::FaultSchedule;
 use ftsched_sim::report::OutcomeCounts;
-use ftsched_sim::SimulationReport;
+use ftsched_sim::{SimArena, SimulationReport, SlotSchedule};
 use ftsched_task::generator::generate_taskset;
 use ftsched_task::{PerMode, Time};
 
+use crate::cache::{DesignCache, DesignKey};
 use crate::seed::trial_seed;
 use crate::spec::{CampaignSpec, Scenario, TrialKind, WorkloadSpec};
 
@@ -123,6 +127,107 @@ pub struct TrialOutcome {
     pub sim: Option<SimSummary>,
 }
 
+/// The deterministic, trial-independent prefix of a `WorkloadSpec::Paper`
+/// trial: problem construction, baseline comparison and the design stage.
+/// A pure function of `(spec, scenario)` — no randomness — which is what
+/// the campaign's [`DesignCache`] shares across trials and workers.
+#[derive(Debug)]
+pub(crate) struct PaperPrefix {
+    baselines: Option<BaselineVerdicts>,
+    stage: PaperStage,
+}
+
+/// Where the deterministic prefix stopped, mirroring the per-trial
+/// statuses of the uncached path exactly.
+#[derive(Debug)]
+enum PaperStage {
+    /// Problem construction failed (cannot happen for the paper example;
+    /// kept so the cached path maps statuses 1:1 with the uncached one).
+    ProblemInvalid,
+    /// Feasibility verdict of a [`TrialKind::DesignOnly`] campaign.
+    DesignOnly { feasible: bool },
+    /// Full design-stage result of a [`TrialKind::DesignAndValidate`]
+    /// campaign; the per-trial remainder is fault draw + simulation.
+    /// Boxed: this variant dwarfs the tag-only ones.
+    Designed(Box<DesignedStage>),
+    /// The feasible-period region of Eq. 15 is empty for the overhead.
+    DesignRejected,
+    /// Slot-schedule construction failed (cannot happen for consistent
+    /// designs).
+    SlotsFailed,
+}
+
+/// The cached output of the design stage for one Paper scenario.
+#[derive(Debug)]
+struct DesignedStage {
+    problem: DesignProblem,
+    solution: DesignSolution,
+    slots: SlotSchedule,
+}
+
+/// The design-cache type campaigns share across workers.
+pub(crate) type TrialDesignCache = DesignCache<PaperPrefix>;
+
+/// Computes the deterministic prefix of a Paper-workload trial.
+fn paper_prefix(spec: &CampaignSpec, scenario: &Scenario) -> PaperPrefix {
+    let (tasks, partition) = ftsched_task::examples::paper_example();
+    let problem = match DesignProblem::with_total_overhead(
+        tasks,
+        partition,
+        spec.total_overhead,
+        scenario.algorithm,
+    ) {
+        Ok(p) => p,
+        Err(_) => {
+            return PaperPrefix {
+                baselines: None,
+                stage: PaperStage::ProblemInvalid,
+            }
+        }
+    };
+    let region = spec.region_config(&problem);
+    // One point-set enumeration serves the baseline comparison and the
+    // design search alike.
+    let ctx = problem
+        .analysis_context()
+        .expect("a validated problem always yields a context");
+
+    let baselines = spec.compare_baselines.then(|| {
+        let cmp = compare_schemes_with(&problem, &ctx, &region)
+            .expect("compare_schemes is infallible on a validated problem");
+        BaselineVerdicts {
+            flexible: cmp.flexible,
+            static_lockstep: cmp.static_lockstep,
+            static_parallel: cmp.static_parallel,
+            primary_backup: cmp.primary_backup,
+        }
+    });
+
+    let stage = match spec.kind {
+        TrialKind::DesignOnly => {
+            let feasible = match &baselines {
+                // `compare_schemes` already answered the feasibility
+                // question; don't sweep the region twice.
+                Some(b) => b.flexible,
+                None => max_feasible_period_with(&ctx, &region).is_ok(),
+            };
+            PaperStage::DesignOnly { feasible }
+        }
+        TrialKind::DesignAndValidate => {
+            match design_stage_with(&problem, &ctx, spec.goal, &region, spec.slack_policy) {
+                Ok((solution, slots)) => PaperStage::Designed(Box::new(DesignedStage {
+                    problem,
+                    solution,
+                    slots,
+                })),
+                Err(PipelineError::Design(_)) => PaperStage::DesignRejected,
+                Err(PipelineError::Simulation(_)) => PaperStage::SlotsFailed,
+            }
+        }
+    };
+    PaperPrefix { baselines, stage }
+}
+
 /// Runs one trial. See the module docs for the determinism contract.
 pub fn run_trial(spec: &CampaignSpec, scenario: &Scenario, trial: usize) -> TrialOutcome {
     let (outcome, _) = run_trial_full(spec, scenario, trial);
@@ -136,6 +241,31 @@ pub fn run_trial_full(
     spec: &CampaignSpec,
     scenario: &Scenario,
     trial: usize,
+) -> (TrialOutcome, Option<PipelineOutcome>) {
+    let mut arena = SimArena::new();
+    run_trial_inner(spec, scenario, trial, None, &mut arena)
+}
+
+/// The campaign executor's entry point: a shared [`DesignCache`] plus a
+/// per-worker [`SimArena`]. Produces exactly the outcome of
+/// [`run_trial`] — the cache and the arena change only how much work is
+/// redone, never the result.
+pub(crate) fn run_trial_with(
+    spec: &CampaignSpec,
+    scenario: &Scenario,
+    trial: usize,
+    cache: &TrialDesignCache,
+    arena: &mut SimArena,
+) -> TrialOutcome {
+    run_trial_inner(spec, scenario, trial, Some(cache), arena).0
+}
+
+fn run_trial_inner(
+    spec: &CampaignSpec,
+    scenario: &Scenario,
+    trial: usize,
+    cache: Option<&TrialDesignCache>,
+    arena: &mut SimArena,
 ) -> (TrialOutcome, Option<PipelineOutcome>) {
     // Seeds key on the workload coordinate so algorithm axes are paired
     // (same task sets, same fault draws) — see `Scenario::workload_point`.
@@ -152,50 +282,103 @@ pub fn run_trial_full(
         sim,
     };
 
+    // The paper workload consumes no randomness before the fault draw, so
+    // its whole design prefix is a pure function of (spec, scenario) and
+    // goes through the design cache.
+    if matches!(spec.workload, WorkloadSpec::Paper) {
+        let key = DesignKey::new(
+            scenario.workload_point,
+            scenario.algorithm,
+            spec.total_overhead,
+        );
+        let prefix: Arc<PaperPrefix> = match cache {
+            Some(cache) => cache.get_or_compute(key, || paper_prefix(spec, scenario)),
+            None => Arc::new(paper_prefix(spec, scenario)),
+        };
+        let baselines = prefix.baselines;
+        return match &prefix.stage {
+            PaperStage::ProblemInvalid => (finish(TrialStatus::PartitionFailed, None, None), None),
+            PaperStage::DesignOnly { feasible } => {
+                let status = if *feasible {
+                    TrialStatus::Accepted
+                } else {
+                    TrialStatus::DesignRejected
+                };
+                (finish(status, baselines, None), None)
+            }
+            PaperStage::DesignRejected => {
+                (finish(TrialStatus::DesignRejected, baselines, None), None)
+            }
+            PaperStage::SlotsFailed => {
+                (finish(TrialStatus::SimulationFailed, baselines, None), None)
+            }
+            PaperStage::Designed(designed) => {
+                let DesignedStage {
+                    problem,
+                    solution,
+                    slots,
+                } = designed.as_ref();
+                // Per-trial remainder: fault schedule over the exact
+                // simulation horizon, then the validation stage.
+                let hyperperiod = problem.tasks.hyperperiod();
+                let horizon = hyperperiod * spec.horizon_hyperperiods.max(1) as f64;
+                let faults: FaultSchedule =
+                    spec.faults.schedule(&mut rng, Time::from_units(horizon));
+                let injected = faults.len() as u64;
+                let config = PipelineConfig {
+                    region: spec.region_config(problem),
+                    slack_policy: spec.slack_policy,
+                    horizon_hyperperiods: spec.horizon_hyperperiods,
+                    fault_schedule: faults,
+                    record_trace: false,
+                };
+                match validate_stage(problem, solution, slots, &config, arena) {
+                    Ok(outcome) => {
+                        let sim = SimSummary::from_report(&outcome, injected);
+                        (
+                            finish(TrialStatus::Accepted, baselines, Some(sim)),
+                            Some(outcome),
+                        )
+                    }
+                    Err(_) => (finish(TrialStatus::SimulationFailed, baselines, None), None),
+                }
+            }
+        };
+    }
+
     // 1. Workload. The RNG is consumed in a fixed order (task set first,
     //    fault schedule second) — do not reorder.
-    let (tasks, partition) = match &spec.workload {
-        WorkloadSpec::Paper => {
-            let (tasks, partition) = ftsched_task::examples::paper_example();
-            (tasks, Some(partition))
-        }
-        WorkloadSpec::Synthetic { .. } => {
-            let config = spec
-                .workload
-                .generator_config(scenario.utilization.unwrap_or(1.0))
-                .expect("synthetic workloads have generator configs");
-            match generate_taskset(&mut rng, &config) {
-                Ok(tasks) => (tasks, None),
-                Err(_) => return (finish(TrialStatus::GenerationFailed, None, None), None),
-            }
-        }
+    let config = spec
+        .workload
+        .generator_config(scenario.utilization.unwrap_or(1.0))
+        .expect("synthetic workloads have generator configs");
+    let tasks = match generate_taskset(&mut rng, &config) {
+        Ok(tasks) => tasks,
+        Err(_) => return (finish(TrialStatus::GenerationFailed, None, None), None),
     };
 
-    // 2. Partition (synthetic workloads). Baselines that ignore the
-    //    partition are still evaluated when partitioning fails.
-    let partition = match partition {
-        Some(p) => p,
-        None => match partition_system(&tasks, spec.partition_heuristic) {
-            Ok(p) => p,
-            Err(_) => {
-                let baselines = spec.compare_baselines.then(|| BaselineVerdicts {
-                    flexible: false,
-                    static_lockstep: ftsched_design::baseline::static_lockstep_schedulable(
-                        &tasks,
-                        scenario.algorithm,
-                    ),
-                    static_parallel: ftsched_design::baseline::static_parallel_schedulable(
-                        &tasks,
-                        scenario.algorithm,
-                    ),
-                    primary_backup: ftsched_design::baseline::primary_backup_schedulable(
-                        &tasks,
-                        scenario.algorithm,
-                    ),
-                });
-                return (finish(TrialStatus::PartitionFailed, baselines, None), None);
-            }
-        },
+    // 2. Partition. Baselines that ignore the partition are still
+    //    evaluated when partitioning fails.
+    let partition = match partition_system(&tasks, spec.partition_heuristic) {
+        Ok(p) => p,
+        Err(_) => {
+            let baselines = spec.compare_baselines.then(|| BaselineVerdicts {
+                flexible: false,
+                static_lockstep: ftsched_design::baseline::static_lockstep_schedulable(
+                    &tasks,
+                    scenario.algorithm,
+                ),
+                static_parallel: ftsched_design::baseline::static_parallel_schedulable(
+                    &tasks,
+                    scenario.algorithm,
+                ),
+                primary_backup: ftsched_design::baseline::primary_backup_schedulable(
+                    &tasks,
+                    scenario.algorithm,
+                ),
+            });
+            return (finish(TrialStatus::PartitionFailed, baselines, None), None);
+        }
     };
 
     let problem = match DesignProblem::with_total_overhead(
@@ -208,9 +391,14 @@ pub fn run_trial_full(
         Err(_) => return (finish(TrialStatus::PartitionFailed, None, None), None),
     };
     let region = spec.region_config(&problem);
+    // One point-set enumeration serves the baseline comparison and the
+    // design search alike.
+    let ctx = problem
+        .analysis_context()
+        .expect("a validated problem always yields a context");
 
     let baselines = spec.compare_baselines.then(|| {
-        let cmp = compare_schemes(&problem, &region)
+        let cmp = compare_schemes_with(&problem, &ctx, &region)
             .expect("compare_schemes is infallible on a validated problem");
         BaselineVerdicts {
             flexible: cmp.flexible,
@@ -226,7 +414,7 @@ pub fn run_trial_full(
                 // `compare_schemes` already answered the feasibility
                 // question; don't sweep the region twice.
                 Some(b) => b.flexible,
-                None => max_feasible_period(&problem, &region).is_ok(),
+                None => max_feasible_period_with(&ctx, &region).is_ok(),
             };
             let status = if feasible {
                 TrialStatus::Accepted
@@ -249,7 +437,16 @@ pub fn run_trial_full(
                 fault_schedule: faults,
                 record_trace: false,
             };
-            match design_and_validate(&problem, spec.goal, &config) {
+            let designed = design_stage_with(
+                &problem,
+                &ctx,
+                spec.goal,
+                &config.region,
+                config.slack_policy,
+            );
+            match designed.and_then(|(solution, slots)| {
+                validate_stage(&problem, &solution, &slots, &config, arena)
+            }) {
                 Ok(outcome) => {
                     let sim = SimSummary::from_report(&outcome, injected);
                     (

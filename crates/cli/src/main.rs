@@ -3,7 +3,9 @@
 //! ```text
 //! ftsched run <spec.json> [--threads N] [--block-size N]
 //!                         [--out report.json] [--csv report.csv] [--quiet]
+//!                         [--no-design-cache]
 //! ftsched validate <spec.json>
+//! ftsched bench [--quick] [--minq] [--sim]
 //! ftsched example
 //! ```
 //!
@@ -11,7 +13,9 @@
 //! threads with a progress line, prints the summary table and optionally
 //! writes the full JSON report and a per-scenario CSV. Reports are a pure
 //! function of the spec: the same file produces byte-identical output at
-//! any `--threads` value.
+//! any `--threads` value. `bench` runs the minQ / simulator
+//! micro-benchmarks and writes `BENCH_minq.json` / `BENCH_sim.json` at
+//! the repository root.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -25,6 +29,7 @@ fault-tolerant scheduling scheme
 USAGE:
     ftsched run <spec.json> [OPTIONS]   run a campaign
     ftsched validate <spec.json>        check a spec and show its grid
+    ftsched bench [OPTIONS]             run the perf benches, write BENCH_*.json
     ftsched example                     print a sample spec to stdout
 
 OPTIONS (run):
@@ -33,6 +38,13 @@ OPTIONS (run):
     --out <FILE>       write the full JSON report
     --csv <FILE>       write a per-scenario CSV
     --quiet            no progress line
+    --no-design-cache  recompute the design stage per trial (debugging;
+                       reports are byte-identical either way)
+
+OPTIONS (bench):
+    --quick            reduced measurement budget (CI smoke)
+    --minq             only the minQ kernel bench
+    --sim              only the simulator bench
 ";
 
 fn main() -> ExitCode {
@@ -40,6 +52,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("example") => {
             println!("{}", serde_json::to_string_pretty(&example_spec()).unwrap());
             ExitCode::SUCCESS
@@ -90,6 +103,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 None => return usage_error("--csv needs a value"),
             },
             "--quiet" => exec.progress = false,
+            "--no-design-cache" => exec.design_cache = false,
             other if spec_path.is_none() && !other.starts_with('-') => {
                 spec_path = Some(other);
             }
@@ -149,6 +163,55 @@ fn cmd_run(args: &[String]) -> ExitCode {
         eprintln!("wrote CSV report to {path}");
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    use ftsched_bench::perf::{
+        check_minq_contract, render_summary, run_minq_bench, run_sim_bench, write_report,
+    };
+
+    let quick = args.iter().any(|a| a == "--quick");
+    let only_minq = args.iter().any(|a| a == "--minq");
+    let only_sim = args.iter().any(|a| a == "--sim");
+    if let Some(bad) = args
+        .iter()
+        .find(|a| !matches!(a.as_str(), "--quick" | "--minq" | "--sim"))
+    {
+        return usage_error(&format!("unexpected argument `{bad}`"));
+    }
+    let run_minq = only_minq || !only_sim;
+    let run_sim = only_sim || !only_minq;
+
+    let mut failed = false;
+    for (enabled, file, report) in [
+        (run_minq, "BENCH_minq.json", run_minq_bench as fn(bool) -> _),
+        (run_sim, "BENCH_sim.json", run_sim_bench as fn(bool) -> _),
+    ] {
+        if !enabled {
+            continue;
+        }
+        let report = report(quick);
+        print!("{}", render_summary(&report));
+        println!("{}", report.to_json());
+        match write_report(&report, file) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("ftsched: cannot write `{file}`: {e}");
+                failed = true;
+            }
+        }
+        if report.bench == "minq" {
+            if let Err(violation) = check_minq_contract(&report) {
+                eprintln!("ftsched: PERF CONTRACT VIOLATED: {violation}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_validate(args: &[String]) -> ExitCode {

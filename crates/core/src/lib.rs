@@ -48,7 +48,10 @@
 
 pub mod pipeline;
 
-pub use pipeline::{design_and_validate, PipelineConfig, PipelineOutcome};
+pub use pipeline::{
+    design_and_validate, design_and_validate_in, design_stage, design_stage_with, validate_stage,
+    PipelineConfig, PipelineOutcome,
+};
 
 /// Convenience re-exports of the most commonly used items of every layer.
 pub mod prelude {
@@ -71,7 +74,9 @@ pub mod prelude {
         classify_outcome, Fault, FaultInjector, FaultModel, FaultSchedule, JobOutcome, Platform,
         PlatformConfig,
     };
-    pub use ftsched_sim::{simulate, SimulationConfig, SimulationReport, SlotSchedule};
+    pub use ftsched_sim::{
+        simulate, simulate_in, SimArena, SimulationConfig, SimulationReport, SlotSchedule,
+    };
     pub use ftsched_task::{
         examples::{paper_example, paper_partition, paper_taskset, PAPER_TOTAL_OVERHEAD},
         generator::{generate_taskset, GeneratorConfig},
@@ -79,5 +84,8 @@ pub mod prelude {
         TaskSet, Time,
     };
 
-    pub use crate::pipeline::{design_and_validate, PipelineConfig, PipelineOutcome};
+    pub use crate::pipeline::{
+        design_and_validate, design_and_validate_in, design_stage, design_stage_with,
+        validate_stage, PipelineConfig, PipelineOutcome,
+    };
 }

@@ -10,12 +10,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use ftsched_design::goals::solve;
+use ftsched_design::goals::solve_with;
 use ftsched_design::quanta::{distribute_slack, SlackPolicy};
 use ftsched_design::region::RegionConfig;
 use ftsched_design::{DesignError, DesignGoal, DesignProblem, DesignSolution};
 use ftsched_platform::FaultSchedule;
-use ftsched_sim::{simulate, SimError, SimulationConfig, SimulationReport, SlotSchedule};
+use ftsched_sim::{
+    simulate_in, SimArena, SimError, SimulationConfig, SimulationReport, SlotSchedule,
+};
 use ftsched_task::PerMode;
 
 /// Configuration of the design-and-validate pipeline.
@@ -102,6 +104,89 @@ pub fn slots_from_solution(solution: &DesignSolution) -> Result<SlotSchedule, Si
     )
 }
 
+/// The deterministic design stage of the pipeline: solve the design
+/// problem for `goal`, apply the slack policy, build the slot schedule.
+///
+/// This half is a pure function of `(problem, goal, region, policy)` — no
+/// randomness, no simulation — which is what makes it cacheable across
+/// the trials of a validation campaign (only the fault draw differs per
+/// trial).
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if the design stage fails.
+pub fn design_stage(
+    problem: &DesignProblem,
+    goal: DesignGoal,
+    region: &RegionConfig,
+    slack_policy: SlackPolicy,
+) -> Result<(DesignSolution, SlotSchedule), PipelineError> {
+    design_stage_with(
+        problem,
+        &problem.analysis_context()?,
+        goal,
+        region,
+        slack_policy,
+    )
+}
+
+/// [`design_stage`] over a prebuilt
+/// [`AnalysisContext`](ftsched_design::AnalysisContext) of the same
+/// problem, for callers (baseline comparison + design in one trial) that
+/// already paid for the point-set enumeration.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if the design stage fails.
+pub fn design_stage_with(
+    problem: &DesignProblem,
+    ctx: &ftsched_design::AnalysisContext,
+    goal: DesignGoal,
+    region: &RegionConfig,
+    slack_policy: SlackPolicy,
+) -> Result<(DesignSolution, SlotSchedule), PipelineError> {
+    let mut solution = solve_with(problem, ctx, goal, region)?;
+    solution.allocation = distribute_slack(&solution.allocation, slack_policy);
+    let slots = slots_from_solution(&solution)?;
+    Ok((solution, slots))
+}
+
+/// The validation stage: simulate an already-designed slot schedule over
+/// the configured horizon with the configured fault schedule, reusing the
+/// caller's [`SimArena`].
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if the simulation stage fails.
+pub fn validate_stage(
+    problem: &DesignProblem,
+    solution: &DesignSolution,
+    slots: &SlotSchedule,
+    config: &PipelineConfig,
+    arena: &mut SimArena,
+) -> Result<PipelineOutcome, PipelineError> {
+    let hyperperiod = problem.tasks.hyperperiod();
+    let horizon = hyperperiod * config.horizon_hyperperiods.max(1) as f64;
+    let simulation = simulate_in(
+        &problem.tasks,
+        &problem.partition,
+        problem.algorithm,
+        slots,
+        &SimulationConfig {
+            horizon,
+            fault_schedule: config.fault_schedule.clone(),
+            record_trace: config.record_trace,
+        },
+        arena,
+    )?;
+
+    Ok(PipelineOutcome {
+        solution: solution.clone(),
+        slots: slots.clone(),
+        simulation,
+    })
+}
+
 /// Runs the full pipeline: solve the design problem for `goal`, apply the
 /// configured slack policy, build the slot schedule and simulate it.
 ///
@@ -113,29 +198,24 @@ pub fn design_and_validate(
     goal: DesignGoal,
     config: &PipelineConfig,
 ) -> Result<PipelineOutcome, PipelineError> {
-    let mut solution = solve(problem, goal, &config.region)?;
-    solution.allocation = distribute_slack(&solution.allocation, config.slack_policy);
-    let slots = slots_from_solution(&solution)?;
+    let mut arena = SimArena::default();
+    design_and_validate_in(problem, goal, config, &mut arena)
+}
 
-    let hyperperiod = problem.tasks.hyperperiod();
-    let horizon = hyperperiod * config.horizon_hyperperiods.max(1) as f64;
-    let simulation = simulate(
-        &problem.tasks,
-        &problem.partition,
-        problem.algorithm,
-        &slots,
-        &SimulationConfig {
-            horizon,
-            fault_schedule: config.fault_schedule.clone(),
-            record_trace: config.record_trace,
-        },
-    )?;
-
-    Ok(PipelineOutcome {
-        solution,
-        slots,
-        simulation,
-    })
+/// [`design_and_validate`] with a caller-owned [`SimArena`], for hot
+/// loops that run many pipelines back to back.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if either stage fails.
+pub fn design_and_validate_in(
+    problem: &DesignProblem,
+    goal: DesignGoal,
+    config: &PipelineConfig,
+    arena: &mut SimArena,
+) -> Result<PipelineOutcome, PipelineError> {
+    let (solution, slots) = design_stage(problem, goal, &config.region, config.slack_policy)?;
+    validate_stage(problem, &solution, &slots, config, arena)
 }
 
 #[cfg(test)]

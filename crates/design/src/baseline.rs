@@ -211,8 +211,23 @@ pub fn compare_schemes(
     problem: &DesignProblem,
     config: &RegionConfig,
 ) -> Result<BaselineComparison, DesignError> {
+    compare_schemes_with(problem, &problem.analysis_context()?, config)
+}
+
+/// [`compare_schemes`] over a prebuilt [`AnalysisContext`] of the same
+/// problem, so the flexible-scheme region sweep shares the context with
+/// the caller's own searches instead of rebuilding it.
+///
+/// # Errors
+///
+/// Same as [`compare_schemes`].
+pub fn compare_schemes_with(
+    problem: &DesignProblem,
+    ctx: &crate::context::AnalysisContext,
+    config: &RegionConfig,
+) -> Result<BaselineComparison, DesignError> {
     Ok(BaselineComparison {
-        flexible: flexible_scheme_schedulable(problem, config),
+        flexible: crate::region::max_feasible_period_with(ctx, config).is_ok(),
         static_lockstep: static_lockstep_schedulable(&problem.tasks, problem.algorithm),
         static_parallel: static_parallel_schedulable(&problem.tasks, problem.algorithm),
         primary_backup: primary_backup_schedulable(&problem.tasks, problem.algorithm),

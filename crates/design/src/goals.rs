@@ -16,10 +16,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::context::AnalysisContext;
 use crate::error::DesignError;
 use crate::problem::DesignProblem;
-use crate::quanta::minimum_allocation;
-use crate::region::{max_feasible_period, max_slack_ratio_period, RegionConfig};
+use crate::region::{max_feasible_period_with, max_slack_ratio_period_with, RegionConfig};
 use crate::solution::DesignSolution;
 
 /// The optimisation objective used to choose the slot period.
@@ -47,17 +47,34 @@ pub fn solve(
     goal: DesignGoal,
     config: &RegionConfig,
 ) -> Result<DesignSolution, DesignError> {
+    solve_with(problem, &problem.analysis_context()?, goal, config)
+}
+
+/// [`solve`] over a prebuilt [`AnalysisContext`] of the same problem: the
+/// period search and the final allocation both reuse the precomputed
+/// point sets, so one context serves any number of goals.
+///
+/// # Errors
+///
+/// Same as [`solve`].
+pub fn solve_with(
+    problem: &DesignProblem,
+    ctx: &AnalysisContext,
+    goal: DesignGoal,
+    config: &RegionConfig,
+) -> Result<DesignSolution, DesignError> {
     let period = match goal {
-        DesignGoal::MinimizeOverheadBandwidth => max_feasible_period(problem, config)?,
-        DesignGoal::MaximizeSlackBandwidth => max_slack_ratio_period(problem, config)?.period,
+        DesignGoal::MinimizeOverheadBandwidth => max_feasible_period_with(ctx, config)?,
+        DesignGoal::MaximizeSlackBandwidth => max_slack_ratio_period_with(ctx, config)?.period,
         DesignGoal::FixedPeriod(p) => p,
     };
-    let allocation = minimum_allocation(problem, period)?;
+    let allocation = ctx.minimum_allocation(period)?;
     DesignSolution::new(problem, goal, allocation)
 }
 
 /// Solves the same problem under every goal (convenience for reports and
-/// the Table 2 regeneration binary).
+/// the Table 2 regeneration binary). One [`AnalysisContext`] is shared by
+/// both searches.
 ///
 /// # Errors
 ///
@@ -66,9 +83,10 @@ pub fn solve_all(
     problem: &DesignProblem,
     config: &RegionConfig,
 ) -> Result<Vec<DesignSolution>, DesignError> {
+    let ctx = problem.analysis_context()?;
     Ok(vec![
-        solve(problem, DesignGoal::MinimizeOverheadBandwidth, config)?,
-        solve(problem, DesignGoal::MaximizeSlackBandwidth, config)?,
+        solve_with(problem, &ctx, DesignGoal::MinimizeOverheadBandwidth, config)?,
+        solve_with(problem, &ctx, DesignGoal::MaximizeSlackBandwidth, config)?,
     ])
 }
 
@@ -76,6 +94,7 @@ pub fn solve_all(
 mod tests {
     use super::*;
     use crate::problem::paper_problem;
+    use crate::quanta::minimum_allocation;
     use ftsched_analysis::Algorithm;
     use ftsched_task::PerMode;
 

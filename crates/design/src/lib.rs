@@ -11,6 +11,10 @@
 //!
 //! * [`problem`] — the [`problem::DesignProblem`]: task set, partition,
 //!   scheduling algorithm and overheads.
+//! * [`context`] — the sweep-aware [`context::AnalysisContext`]: the
+//!   per-mode `(t, W(t))` point sets precomputed once per problem, so the
+//!   period searches below evaluate thousands of candidate periods
+//!   without re-enumerating scheduling points or deadline sets.
 //! * [`region`] — the feasible-period region of Eq. 15: the function
 //!   `f(P) = P − Σ_k max_i minQ(T_k^i, alg, P)` whose super-level set
 //!   `{P : f(P) ≥ O_tot}` contains every admissible period. This is what
@@ -40,6 +44,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baseline;
+pub mod context;
 pub mod error;
 pub mod goals;
 pub mod partitioner;
@@ -50,6 +55,7 @@ pub mod report;
 pub mod sensitivity;
 pub mod solution;
 
+pub use context::AnalysisContext;
 pub use error::DesignError;
 pub use goals::DesignGoal;
 pub use problem::DesignProblem;

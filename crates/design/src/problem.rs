@@ -4,9 +4,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use ftsched_analysis::{min_quantum_multi, Algorithm};
-use ftsched_task::{Mode, PerMode, SystemPartition, TaskSet};
+use ftsched_analysis::Algorithm;
+use ftsched_task::{PerMode, SystemPartition, TaskSet};
 
+use crate::context::AnalysisContext;
 use crate::error::DesignError;
 
 /// A fully specified instance of the paper's design problem.
@@ -91,20 +92,29 @@ impl DesignProblem {
         Ok(self.partition.channel_task_sets(&self.tasks)?)
     }
 
+    /// Precomputes the sweep-aware [`AnalysisContext`] of this problem:
+    /// the per-mode, per-channel `(t, W(t))` point sets that every period
+    /// search reuses. Build it once per problem, evaluate it at any
+    /// number of periods.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition errors (cannot occur on a validated problem).
+    pub fn analysis_context(&self) -> Result<AnalysisContext, DesignError> {
+        AnalysisContext::new(self)
+    }
+
     /// The per-mode minimum useful quanta
     /// `Q̃_k ≥ max_i minQ(T_k^i, alg, P)` of Eq. 12–14 at the given period.
+    ///
+    /// One-shot convenience over [`DesignProblem::analysis_context`];
+    /// period-grid consumers should hold the context instead.
     ///
     /// # Errors
     ///
     /// Propagates analysis errors (invalid period).
     pub fn min_quanta(&self, period: f64) -> Result<PerMode<f64>, DesignError> {
-        let channels = self.channel_task_sets()?;
-        let mut result = PerMode::splat(0.0);
-        for mode in Mode::ALL {
-            let mq = min_quantum_multi(channels.get(mode), self.algorithm, period)?;
-            result[mode] = mq.quantum;
-        }
-        Ok(result)
+        self.analysis_context()?.min_quanta(period)
     }
 
     /// The left-hand side of Eq. 15 at the given period:
@@ -184,7 +194,7 @@ pub fn paper_problem(algorithm: Algorithm) -> DesignProblem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ftsched_task::examples;
+    use ftsched_task::{examples, Mode};
 
     #[test]
     fn paper_problem_is_valid() {

@@ -91,6 +91,11 @@ impl QuantaAllocation {
 /// Computes the minimal allocation at a given period: every useful quantum
 /// set to its Eq. 12–14 minimum and all remaining time left as slack.
 ///
+/// One-shot convenience over
+/// [`AnalysisContext::minimum_allocation`](crate::context::AnalysisContext::minimum_allocation);
+/// callers probing many periods of one problem should build the context
+/// once.
+///
 /// # Errors
 ///
 /// [`DesignError::InfeasiblePeriod`] if the minimum slots plus overheads do
@@ -99,21 +104,7 @@ pub fn minimum_allocation(
     problem: &DesignProblem,
     period: f64,
 ) -> Result<QuantaAllocation, DesignError> {
-    let min_useful = problem.min_quanta(period)?;
-    let overheads = problem.overheads;
-    let slots = PerMode::from_fn(|m| min_useful[m] + overheads[m]);
-    let slack = period - slots.total();
-    if slack < -1e-9 {
-        return Err(DesignError::InfeasiblePeriod { period, slack });
-    }
-    Ok(QuantaAllocation {
-        period,
-        overheads,
-        min_useful,
-        useful: min_useful,
-        slots,
-        slack: slack.max(0.0),
-    })
+    problem.analysis_context()?.minimum_allocation(period)
 }
 
 /// Applies a slack-distribution policy to a minimal allocation.

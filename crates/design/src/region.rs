@@ -24,6 +24,7 @@
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
+use crate::context::AnalysisContext;
 use crate::error::DesignError;
 use crate::problem::DesignProblem;
 
@@ -143,12 +144,29 @@ impl FeasibleRegion {
 
 /// Sweeps `f(P)` over the configured period grid (in parallel).
 ///
+/// Builds the problem's [`AnalysisContext`] once and evaluates only the
+/// closed-form `q(t)` per grid sample.
+///
 /// # Errors
 ///
 /// Returns a [`DesignError`] for an invalid search range or analysis
 /// failure.
 pub fn sweep_region(
     problem: &DesignProblem,
+    config: &RegionConfig,
+) -> Result<FeasibleRegion, DesignError> {
+    sweep_region_with(&problem.analysis_context()?, config)
+}
+
+/// [`sweep_region`] over a prebuilt [`AnalysisContext`] — the grid-aware
+/// entry point for callers that evaluate several searches on one problem.
+///
+/// # Errors
+///
+/// Returns a [`DesignError`] for an invalid search range or analysis
+/// failure.
+pub fn sweep_region_with(
+    ctx: &AnalysisContext,
     config: &RegionConfig,
 ) -> Result<FeasibleRegion, DesignError> {
     config.validate()?;
@@ -158,13 +176,13 @@ pub fn sweep_region(
         .map(|&period| {
             Ok(RegionPoint {
                 period,
-                lhs: problem.eq15_lhs(period)?,
+                lhs: ctx.eq15_lhs(period)?,
             })
         })
         .collect();
     Ok(FeasibleRegion {
         points: points?,
-        total_overhead: problem.total_overhead(),
+        total_overhead: ctx.total_overhead(),
     })
 }
 
@@ -182,8 +200,20 @@ pub fn max_feasible_period(
     problem: &DesignProblem,
     config: &RegionConfig,
 ) -> Result<f64, DesignError> {
-    let region = sweep_region(problem, config)?;
-    let threshold = problem.total_overhead();
+    max_feasible_period_with(&problem.analysis_context()?, config)
+}
+
+/// [`max_feasible_period`] over a prebuilt [`AnalysisContext`].
+///
+/// # Errors
+///
+/// [`DesignError::NoFeasiblePeriod`] if no sampled period is feasible.
+pub fn max_feasible_period_with(
+    ctx: &AnalysisContext,
+    config: &RegionConfig,
+) -> Result<f64, DesignError> {
+    let region = sweep_region_with(ctx, config)?;
+    let threshold = ctx.total_overhead();
     let last =
         region
             .last_feasible_sample(threshold)
@@ -207,7 +237,7 @@ pub fn max_feasible_period(
     let mut hi = region.points[idx + 1].period;
     for _ in 0..config.refine_iterations {
         let mid = 0.5 * (lo + hi);
-        if problem.eq15_lhs(mid)? >= threshold {
+        if ctx.eq15_lhs(mid)? >= threshold {
             lo = mid;
         } else {
             hi = mid;
@@ -228,12 +258,22 @@ pub fn max_admissible_overhead(
     problem: &DesignProblem,
     config: &RegionConfig,
 ) -> Result<RegionPoint, DesignError> {
-    let region = sweep_region(problem, config)?;
+    max_admissible_overhead_with(&problem.analysis_context()?, config)
+}
+
+/// [`max_admissible_overhead`] over a prebuilt [`AnalysisContext`].
+///
+/// # Errors
+///
+/// Propagates sweep errors.
+pub fn max_admissible_overhead_with(
+    ctx: &AnalysisContext,
+    config: &RegionConfig,
+) -> Result<RegionPoint, DesignError> {
+    let region = sweep_region_with(ctx, config)?;
     let coarse = region.peak();
     let step = (config.period_max - config.period_min) / (config.samples - 1) as f64;
-    refine_maximum(problem, coarse, step, config.refine_iterations, |lhs, _| {
-        lhs
-    })
+    refine_maximum(ctx, coarse, step, config.refine_iterations, |lhs, _| lhs)
 }
 
 /// The period maximising the redistributable slack bandwidth
@@ -249,8 +289,21 @@ pub fn max_slack_ratio_period(
     problem: &DesignProblem,
     config: &RegionConfig,
 ) -> Result<RegionPoint, DesignError> {
-    let region = sweep_region(problem, config)?;
-    let threshold = problem.total_overhead();
+    max_slack_ratio_period_with(&problem.analysis_context()?, config)
+}
+
+/// [`max_slack_ratio_period`] over a prebuilt [`AnalysisContext`].
+///
+/// # Errors
+///
+/// [`DesignError::NoFeasiblePeriod`] if no period is feasible for the
+/// problem's overhead.
+pub fn max_slack_ratio_period_with(
+    ctx: &AnalysisContext,
+    config: &RegionConfig,
+) -> Result<RegionPoint, DesignError> {
+    let region = sweep_region_with(ctx, config)?;
+    let threshold = ctx.total_overhead();
     let feasible = region.feasible_samples(threshold);
     if feasible.is_empty() {
         return Err(DesignError::NoFeasiblePeriod {
@@ -268,7 +321,7 @@ pub fn max_slack_ratio_period(
         .expect("feasible set is non-empty");
     let step = (config.period_max - config.period_min) / (config.samples - 1) as f64;
     refine_maximum(
-        problem,
+        ctx,
         coarse,
         step,
         config.refine_iterations,
@@ -279,7 +332,7 @@ pub fn max_slack_ratio_period(
 /// Refines a maximiser of `score(f(P), P)` with successive local grids
 /// around the coarse sample.
 fn refine_maximum(
-    problem: &DesignProblem,
+    ctx: &AnalysisContext,
     coarse: RegionPoint,
     initial_step: f64,
     iterations: usize,
@@ -297,7 +350,7 @@ fn refine_maximum(
         let local_step = (hi - lo) / 20.0;
         for i in 0..=20 {
             let period = lo + i as f64 * local_step;
-            let lhs = problem.eq15_lhs(period)?;
+            let lhs = ctx.eq15_lhs(period)?;
             let s = score(lhs, period);
             if s > best_score {
                 best_score = s;

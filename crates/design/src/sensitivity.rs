@@ -13,9 +13,9 @@
 
 use ftsched_task::{PerMode, Task, TaskSet};
 
+use crate::context::AnalysisContext;
 use crate::error::DesignError;
 use crate::problem::DesignProblem;
-use crate::quanta::minimum_allocation;
 
 /// The maximum total overhead the design tolerates at a fixed period:
 /// exactly the Eq. 15 slack `f(P)`.
@@ -43,9 +43,12 @@ pub fn wcet_scaling_margin(
     period: f64,
     tolerance: f64,
 ) -> Result<f64, DesignError> {
+    // Each probe changes every WCET, so the workloads (and with them the
+    // sweep context) must be rebuilt per factor — but only evaluated at
+    // the single period under test.
     let feasible_at = |factor: f64| -> Result<bool, DesignError> {
         let scaled = scale_wcets(problem, factor)?;
-        match minimum_allocation(&scaled, period) {
+        match scaled.analysis_context()?.minimum_allocation(period) {
             Ok(_) => Ok(true),
             Err(DesignError::InfeasiblePeriod { .. }) => Ok(false),
             Err(e) => Err(e),
@@ -86,7 +89,7 @@ pub fn mode_bandwidth_margin(
     problem: &DesignProblem,
     period: f64,
 ) -> Result<PerMode<f64>, DesignError> {
-    let alloc = minimum_allocation(problem, period)?;
+    let alloc = AnalysisContext::new(problem)?.minimum_allocation(period)?;
     let required = problem.required_utilizations()?;
     let bw = alloc.allocated_bandwidth();
     let redistributable = alloc.slack_bandwidth();

@@ -18,10 +18,10 @@ use ftsched_platform::{classify_outcome, ChannelLayout, FaultSchedule};
 use ftsched_task::{Duration, Mode, PerMode, SystemPartition, Task, TaskSet, Time};
 
 use crate::error::SimError;
-use crate::job::release_jobs;
+use crate::job::{release_jobs_into, Job, JobId};
 use crate::queue::ReadyQueue;
 use crate::report::{OutcomeCounts, SimulationReport};
-use crate::slot::SlotSchedule;
+use crate::slot::{SlotSchedule, UsefulWindow};
 use crate::trace::{ExecutionSlice, JobRecord, Trace};
 
 /// Configuration of one simulation run.
@@ -47,6 +47,47 @@ impl SimulationConfig {
     }
 }
 
+/// Reusable scratch storage for [`simulate_in`]: the job list, ready
+/// queue, execution slices, job records, useful windows and completion
+/// map of one simulation run.
+///
+/// A fresh arena is allocated by the convenience [`simulate`]; campaign
+/// kernels that run thousands of trials keep one arena per worker and
+/// pass it to [`simulate_in`], so every trial after the first reuses the
+/// buffers instead of reallocating them. The arena carries **no state
+/// between runs** — every buffer is cleared before use, and reports are
+/// bit-identical with or without reuse.
+#[derive(Debug)]
+pub struct SimArena {
+    jobs: Vec<Job>,
+    windows: Vec<UsefulWindow>,
+    queue: ReadyQueue,
+    slices: Vec<ExecutionSlice>,
+    records: Vec<JobRecord>,
+    completions: HashMap<JobId, Time>,
+}
+
+impl Default for SimArena {
+    fn default() -> Self {
+        SimArena {
+            jobs: Vec::new(),
+            windows: Vec::new(),
+            // Placeholder policy; `reset` installs the real one per run.
+            queue: ReadyQueue::new(Algorithm::EarliestDeadlineFirst),
+            slices: Vec::new(),
+            records: Vec::new(),
+            completions: HashMap::new(),
+        }
+    }
+}
+
+impl SimArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        SimArena::default()
+    }
+}
+
 /// Simulates the partitioned, slot-gated system.
 ///
 /// * `tasks` — the whole application task set;
@@ -54,6 +95,9 @@ impl SimulationConfig {
 /// * `algorithm` — the local dispatching policy on every channel;
 /// * `slots` — the slot schedule (period, quanta, overheads);
 /// * `config` — horizon, fault schedule, trace recording.
+///
+/// Allocates a fresh [`SimArena`] per call; hot loops should hold one
+/// arena and call [`simulate_in`] instead.
 ///
 /// # Errors
 ///
@@ -65,6 +109,27 @@ pub fn simulate(
     algorithm: Algorithm,
     slots: &SlotSchedule,
     config: &SimulationConfig,
+) -> Result<SimulationReport, SimError> {
+    let mut arena = SimArena::default();
+    simulate_in(tasks, partition, algorithm, slots, config, &mut arena)
+}
+
+/// [`simulate`] with caller-owned scratch storage: buffers in `arena` are
+/// cleared and reused instead of reallocated, which is the dominant
+/// saving for short campaign trials. The report is bit-identical to
+/// [`simulate`]'s.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] for a non-positive horizon or an invalid
+/// partition.
+pub fn simulate_in(
+    tasks: &TaskSet,
+    partition: &SystemPartition,
+    algorithm: Algorithm,
+    slots: &SlotSchedule,
+    config: &SimulationConfig,
+    arena: &mut SimArena,
 ) -> Result<SimulationReport, SimError> {
     if !(config.horizon > 0.0 && config.horizon.is_finite()) {
         return Err(SimError::InvalidHorizon);
@@ -86,15 +151,15 @@ pub fn simulate(
         let channel_sets = partition.mode(mode).channel_task_sets(tasks)?;
         let layout = ChannelLayout::canonical(mode);
         for (channel, channel_set) in channel_sets.iter().enumerate() {
-            let result = simulate_channel(channel_set, mode, channel, algorithm, slots, horizon);
-            released_jobs += result.records.len() as u64;
-            for record in &result.records {
+            simulate_channel(channel_set, mode, channel, algorithm, slots, horizon, arena);
+            released_jobs += arena.records.len() as u64;
+            for record in &arena.records {
                 // Classify the job against the fault schedule: a fault is
                 // effective for this job if its window overlaps one of the
                 // job's execution slices and it struck a core of this
                 // channel.
                 let mut overlapped = false;
-                for slice in result.slices.iter().filter(|s| s.job == record.job) {
+                for slice in arena.slices.iter().filter(|s| s.job == record.job) {
                     if let Some(fault) = config.fault_schedule.overlapping(slice.start, slice.end) {
                         if layout.channel_of_core(fault.core) == Some(channel) {
                             overlapped = true;
@@ -124,14 +189,18 @@ pub fn simulate(
                 if missed {
                     deadline_misses += 1;
                 }
-                trace.jobs.push(record);
+                if config.record_trace {
+                    trace.jobs.push(record);
+                }
             }
-            executed_time[mode] += result
+            executed_time[mode] += arena
                 .slices
                 .iter()
                 .map(|s| s.length().as_units())
                 .sum::<f64>();
-            trace.slices.extend(result.slices);
+            if config.record_trace {
+                trace.slices.extend_from_slice(&arena.slices);
+            }
         }
     }
 
@@ -152,13 +221,9 @@ pub fn simulate(
     })
 }
 
-/// Result of simulating one channel.
-struct ChannelResult {
-    slices: Vec<ExecutionSlice>,
-    records: Vec<JobRecord>,
-}
-
-/// Simulates one channel of one mode over the horizon.
+/// Simulates one channel of one mode over the horizon, leaving the
+/// execution slices and job records in `arena.slices` / `arena.records`.
+#[allow(clippy::too_many_arguments)]
 fn simulate_channel(
     channel_tasks: &TaskSet,
     mode: Mode,
@@ -166,22 +231,33 @@ fn simulate_channel(
     algorithm: Algorithm,
     slots: &SlotSchedule,
     horizon: Duration,
-) -> ChannelResult {
+    arena: &mut SimArena,
+) {
     // Order tasks by the dispatching policy's priority (only meaningful for
     // FP; EDF ignores the index).
     let ordered: Vec<Task> = match algorithm.priority_order() {
         Some(order) => channel_tasks.sorted_by_priority(order),
         None => channel_tasks.tasks().to_vec(),
     };
-    let all_jobs = release_jobs(&ordered, horizon);
-    let mut completion_times: HashMap<crate::job::JobId, Time> = HashMap::new();
-    let mut slices = Vec::new();
+    let SimArena {
+        jobs,
+        windows,
+        queue,
+        slices,
+        records,
+        completions,
+    } = arena;
+    release_jobs_into(&ordered, horizon, jobs);
+    completions.clear();
+    slices.clear();
+    records.clear();
+    queue.reset(algorithm);
+    slots.useful_windows_into(mode, horizon, windows);
 
-    let mut queue = ReadyQueue::new(algorithm);
+    let all_jobs: &[Job] = jobs;
     let mut next_release_idx = 0usize;
-    let windows = slots.useful_windows(mode, horizon);
 
-    for window in windows {
+    for window in windows.iter() {
         let mut now = window.start;
         loop {
             // Admit everything released up to `now`.
@@ -221,28 +297,25 @@ fn simulate_channel(
             });
             now = run_until;
             if job.is_complete() {
-                completion_times.insert(job.id, now);
+                completions.insert(job.id, now);
             } else {
                 queue.push(job);
             }
         }
     }
 
-    let records = all_jobs
-        .iter()
-        .map(|job| JobRecord {
+    for job in all_jobs {
+        records.push(JobRecord {
             job: job.id,
             mode,
             channel,
             release: job.release,
             deadline: job.deadline,
-            completion: completion_times.get(&job.id).copied(),
+            completion: completions.get(&job.id).copied(),
             deadline_met: true, // finalised by the caller
             outcome: ftsched_platform::JobOutcome::CorrectNoFault, // finalised by the caller
-        })
-        .collect();
-
-    ChannelResult { slices, records }
+        });
+    }
 }
 
 #[cfg(test)]
@@ -537,6 +610,44 @@ mod tests {
         .unwrap();
         assert!(report.trace.is_none());
         assert!(report.released_jobs > 0);
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical_to_fresh_allocation() {
+        let (tasks, partition) = paper_example();
+        let slots = table2b_slots();
+        let faults =
+            FaultSchedule::new(vec![fault_at(0.1, 0.3, 2), fault_at(1.0, 0.4, 1)]).unwrap();
+        let mut arena = SimArena::new();
+        for record_trace in [true, false] {
+            for horizon in [30.0, 120.0, 60.0] {
+                let config = SimulationConfig {
+                    horizon,
+                    fault_schedule: faults.clone(),
+                    record_trace,
+                };
+                let fresh = simulate(
+                    &tasks,
+                    &partition,
+                    Algorithm::EarliestDeadlineFirst,
+                    &slots,
+                    &config,
+                )
+                .unwrap();
+                // The same arena reused across horizons and trace modes
+                // (dirty from the previous run) must not change a bit.
+                let reused = simulate_in(
+                    &tasks,
+                    &partition,
+                    Algorithm::EarliestDeadlineFirst,
+                    &slots,
+                    &config,
+                    &mut arena,
+                )
+                .unwrap();
+                assert_eq!(fresh, reused, "horizon {horizon}, trace {record_trace}");
+            }
+        }
     }
 
     #[test]

@@ -68,8 +68,16 @@ impl Job {
 /// `horizon`, with priorities taken from the task's position in `tasks`
 /// (index 0 = highest priority).
 pub fn release_jobs(tasks: &[Task], horizon: Duration) -> Vec<Job> {
-    let horizon_time = Time::ZERO + horizon;
     let mut jobs = Vec::new();
+    release_jobs_into(tasks, horizon, &mut jobs);
+    jobs
+}
+
+/// [`release_jobs`] writing into a caller-owned buffer (cleared first):
+/// the allocation-free form used by the simulator arena.
+pub fn release_jobs_into(tasks: &[Task], horizon: Duration, jobs: &mut Vec<Job>) {
+    jobs.clear();
+    let horizon_time = Time::ZERO + horizon;
     for (priority, task) in tasks.iter().enumerate() {
         let mut activation = 0u64;
         loop {
@@ -82,7 +90,6 @@ pub fn release_jobs(tasks: &[Task], horizon: Duration) -> Vec<Job> {
         }
     }
     jobs.sort_by_key(|j| (j.release, j.id.task));
-    jobs
 }
 
 #[cfg(test)]

@@ -39,7 +39,7 @@ pub mod slot;
 pub mod stats;
 pub mod trace;
 
-pub use engine::{simulate, SimulationConfig};
+pub use engine::{simulate, simulate_in, SimArena, SimulationConfig};
 pub use error::SimError;
 pub use report::SimulationReport;
 pub use slot::{SlotPhase, SlotSchedule};

@@ -29,6 +29,14 @@ impl ReadyQueue {
         }
     }
 
+    /// Empties the queue and switches it to a (possibly different)
+    /// dispatching policy, keeping the allocated capacity — the arena
+    /// reuse hook between simulation runs.
+    pub fn reset(&mut self, algorithm: Algorithm) {
+        self.algorithm = algorithm;
+        self.jobs.clear();
+    }
+
     /// Adds a released job.
     pub fn push(&mut self, job: Job) {
         self.jobs.push(job);

@@ -172,12 +172,26 @@ impl SlotSchedule {
 
     /// The useful windows of a mode inside `[0, horizon)`, in order.
     pub fn useful_windows(&self, mode: Mode, horizon: Duration) -> Vec<UsefulWindow> {
+        let mut windows = Vec::new();
+        self.useful_windows_into(mode, horizon, &mut windows);
+        windows
+    }
+
+    /// [`SlotSchedule::useful_windows`] writing into a caller-owned buffer
+    /// (cleared first): the allocation-free form used by the simulator
+    /// arena.
+    pub fn useful_windows_into(
+        &self,
+        mode: Mode,
+        horizon: Duration,
+        windows: &mut Vec<UsefulWindow>,
+    ) {
+        windows.clear();
         let quantum = self.useful_quantum(mode);
         if quantum.is_zero() {
-            return Vec::new();
+            return;
         }
         let offset = self.slot_offset(mode);
-        let mut windows = Vec::new();
         let mut cycle_start = Time::ZERO;
         let horizon_time = Time::ZERO + horizon;
         while cycle_start < horizon_time {
@@ -189,7 +203,6 @@ impl SlotSchedule {
             windows.push(UsefulWindow { start, end });
             cycle_start += self.period;
         }
-        windows
     }
 
     /// Total useful time granted to a mode in the window `[t0, t1)` —

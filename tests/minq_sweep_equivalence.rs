@@ -1,0 +1,198 @@
+//! Equivalence proof for the sweep-aware minQ kernel: over randomized
+//! task sets, all three algorithms and dense period grids,
+//! `MinQSweep::min_quantum_at(P)` must reproduce the historical
+//! per-sample kernel **bit for bit** — same `quantum`, same `period`,
+//! same `binding_instant`.
+//!
+//! The reference below re-implements the seed algorithm literally
+//! (re-enumerating scheduling points / deadline sets and re-summing the
+//! workloads at every period), so the production one-shot wrapper and the
+//! sweep are both checked against an independent third implementation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use ftsched::analysis::edf::DEFAULT_HORIZON_CAP;
+use ftsched::analysis::minq::quantum_at_point;
+use ftsched::analysis::points::{capped_hyperperiod, deadline_set, scheduling_points};
+use ftsched::analysis::workload::{edf_demand, fp_workload};
+use ftsched::analysis::{min_quantum, min_quantum_multi, Algorithm, MinQuantum};
+use ftsched::analysis::{MinQSweep, MinQSweepMulti};
+use ftsched::task::generator::{generate_taskset, GeneratorConfig, ModeMix, PeriodDistribution};
+use ftsched::task::{Mode, TaskSet};
+
+/// A literal re-implementation of the seed's per-sample `min_quantum`:
+/// everything is recomputed at every call, exactly in the seed's
+/// iteration order.
+fn naive_min_quantum(tasks: &TaskSet, algorithm: Algorithm, period: f64) -> MinQuantum {
+    match algorithm {
+        Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic => {
+            let order = algorithm.priority_order().unwrap();
+            let sorted = tasks.sorted_by_priority(order);
+            let mut worst = MinQuantum {
+                quantum: 0.0,
+                period,
+                binding_instant: 0.0,
+            };
+            for (i, task) in sorted.iter().enumerate() {
+                let hp = &sorted[..i];
+                let points = scheduling_points(task.deadline, hp);
+                let mut best = MinQuantum {
+                    quantum: f64::INFINITY,
+                    period,
+                    binding_instant: task.deadline,
+                };
+                for &t in &points {
+                    let q = quantum_at_point(t, period, fp_workload(task, hp, t));
+                    if q < best.quantum {
+                        best = MinQuantum {
+                            quantum: q,
+                            period,
+                            binding_instant: t,
+                        };
+                    }
+                }
+                if best.quantum > worst.quantum {
+                    worst = best;
+                }
+            }
+            worst
+        }
+        Algorithm::EarliestDeadlineFirst => {
+            let horizon = capped_hyperperiod(tasks.tasks(), DEFAULT_HORIZON_CAP);
+            let deadlines = deadline_set(tasks.tasks(), horizon);
+            let mut worst = MinQuantum {
+                quantum: 0.0,
+                period,
+                binding_instant: 0.0,
+            };
+            for &t in &deadlines {
+                let q = quantum_at_point(t, period, edf_demand(tasks.tasks(), t));
+                if q > worst.quantum {
+                    worst = MinQuantum {
+                        quantum: q,
+                        period,
+                        binding_instant: t,
+                    };
+                }
+            }
+            worst
+        }
+    }
+}
+
+fn assert_bitwise_eq(a: &MinQuantum, b: &MinQuantum, context: &str) {
+    assert_eq!(
+        a.quantum.to_bits(),
+        b.quantum.to_bits(),
+        "{context}: quantum {} vs {}",
+        a.quantum,
+        b.quantum
+    );
+    assert_eq!(
+        a.period.to_bits(),
+        b.period.to_bits(),
+        "{context}: period {} vs {}",
+        a.period,
+        b.period
+    );
+    assert_eq!(
+        a.binding_instant.to_bits(),
+        b.binding_instant.to_bits(),
+        "{context}: binding instant {} vs {}",
+        a.binding_instant,
+        b.binding_instant
+    );
+}
+
+fn random_taskset(seed: u64, task_count: usize, utilization: f64) -> Option<TaskSet> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let config = GeneratorConfig {
+        task_count,
+        total_utilization: utilization,
+        max_task_utilization: 0.8,
+        periods: PeriodDistribution::table1_like(),
+        mode_mix: ModeMix::paper_like(),
+        period_granularity: None,
+    };
+    generate_taskset(&mut rng, &config).ok()
+}
+
+fn period_grid(tasks: &TaskSet) -> Vec<f64> {
+    let max_deadline = tasks.iter().map(|t| t.deadline).fold(1.0_f64, f64::max);
+    (1..=64)
+        .map(|i| 0.02 + (i as f64 / 64.0) * 1.5 * max_deadline)
+        .collect()
+}
+
+#[test]
+fn sweep_matches_the_seed_kernel_bit_for_bit_on_random_sets() {
+    let mut checked = 0usize;
+    for seed in 0..24u64 {
+        let utilization = 0.4 + 0.1 * (seed % 8) as f64;
+        let task_count = 3 + (seed % 6) as usize;
+        let Some(tasks) = random_taskset(seed, task_count, utilization) else {
+            continue;
+        };
+        for alg in Algorithm::ALL {
+            let sweep = MinQSweep::new(&tasks, alg).unwrap();
+            for p in period_grid(&tasks) {
+                let reference = naive_min_quantum(&tasks, alg, p);
+                let one_shot = min_quantum(&tasks, alg, p).unwrap();
+                let swept = sweep.min_quantum_at(p).unwrap();
+                let context = format!("seed {seed}, {alg}, P={p}");
+                assert_bitwise_eq(&reference, &one_shot, &context);
+                assert_bitwise_eq(&reference, &swept, &context);
+                checked += 1;
+            }
+        }
+    }
+    assert!(
+        checked > 2000,
+        "too few grid points checked ({checked}); generator rejecting everything?"
+    );
+}
+
+#[test]
+fn multi_channel_sweep_matches_the_per_channel_maximum() {
+    for seed in 100..112u64 {
+        let Some(a) = random_taskset(seed, 4, 0.5) else {
+            continue;
+        };
+        let Some(b) = random_taskset(seed + 1000, 3, 0.4) else {
+            continue;
+        };
+        let channels = vec![a, b];
+        for alg in Algorithm::ALL {
+            let multi = MinQSweepMulti::new(&channels, alg).unwrap();
+            for p in [0.1, 0.5, 1.0, 2.5, 7.0] {
+                let reference = min_quantum_multi(&channels, alg, p).unwrap();
+                let swept = multi.min_quantum_at(p).unwrap();
+                assert_bitwise_eq(&reference, &swept, &format!("seed {seed}, {alg}, P={p}"));
+                // And the multi max really is the channel-wise max.
+                let worst = channels
+                    .iter()
+                    .map(|c| min_quantum(c, alg, p).unwrap().quantum)
+                    .fold(0.0_f64, f64::max);
+                assert_eq!(reference.quantum.to_bits(), worst.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn paper_example_sweep_matches_on_a_dense_grid() {
+    let tasks = ftsched::task::examples::paper_taskset();
+    for mode in Mode::ALL {
+        let set = tasks.tasks_in_mode(mode).unwrap();
+        for alg in Algorithm::ALL {
+            let sweep = MinQSweep::new(&set, alg).unwrap();
+            for i in 1..=300 {
+                let p = i as f64 * 0.012;
+                let reference = naive_min_quantum(&set, alg, p);
+                let swept = sweep.min_quantum_at(p).unwrap();
+                assert_bitwise_eq(&reference, &swept, &format!("{mode}, {alg}, P={p}"));
+            }
+        }
+    }
+}
