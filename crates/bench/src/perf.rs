@@ -290,6 +290,7 @@ pub fn run_sim_bench(quick: bool) -> BenchReport {
             horizon,
             fault_schedule: FaultSchedule::none(),
             record_trace: false,
+            record_response_times: false,
         };
         entry(
             &mut entries,
@@ -348,6 +349,7 @@ pub fn run_sim_bench(quick: bool) -> BenchReport {
         horizon,
         fault_schedule: faults,
         record_trace: false,
+        record_response_times: false,
     };
     let mut arena = SimArena::new();
     entry(&mut entries, "sim_fault_injected_fresh/600", quick, || {

@@ -1,27 +1,40 @@
-//! A shared, thread-safe memo table for the deterministic design stage.
+//! Shared, thread-safe memo tables for deterministic trial stages.
 //!
-//! `WorkloadSpec::Paper` campaigns run the *same* task set through the
-//! *same* design pipeline on every trial — only the per-trial fault draw
-//! differs. The design stage (feasible-period search, goal optimisation,
-//! quanta allocation, baseline comparison) is a pure function of the
-//! trial's grid coordinates, so the executor computes it once per
-//! [`DesignKey`] and shares the result across trials and worker threads.
+//! Two classes of work inside a campaign are pure functions of data that
+//! repeats across trials, so the executor computes them once and shares
+//! the result across trials and worker threads:
 //!
-//! Determinism contract: the cache can change *how often* the design
-//! stage runs, never *what* it computes — cached and uncached campaigns
-//! produce byte-identical reports (enforced by
-//! `tests/campaign_design_cache.rs`).
+//! * `WorkloadSpec::Paper` campaigns run the *same* task set through the
+//!   *same* design pipeline on every trial — only the per-trial fault
+//!   draw differs. The design stage (feasible-period search, goal
+//!   optimisation, quanta allocation, baseline comparison) is keyed by
+//!   [`DesignKey`].
+//! * Synthetic campaigns pair trials across the algorithm / overhead /
+//!   partition-heuristic axes: scenarios sharing a workload point draw
+//!   **identical** task sets per trial index. Workload generation is
+//!   keyed by the trial's workload coordinates, and the partitioning
+//!   stage is keyed by [`PartitionKey`] — the generated task set's
+//!   content hash ([`ftsched_task::TaskSet::content_hash`]) crossed with
+//!   the heuristic — so it is shared across the algorithm and overhead
+//!   axes.
+//!
+//! Determinism contract: a cache can change *how often* a stage runs,
+//! never *what* it computes — cached and uncached campaigns produce
+//! byte-identical reports (enforced by `tests/campaign_design_cache.rs`
+//! and `tests/campaign_synthetic_cache.rs`).
 
 use std::collections::HashMap;
+use std::hash::Hash;
 use std::sync::{Arc, Mutex};
 
 use ftsched_analysis::Algorithm;
+use ftsched_design::partitioner::PartitionHeuristic;
 
-/// Identity of one deterministic design-stage computation: the workload
-/// grid coordinate, the scheduling algorithm and the total mode-switch
-/// overhead. Everything else a design depends on (goal, slack policy,
-/// region overrides) is fixed per campaign spec, and each campaign owns
-/// its own cache.
+/// Identity of one deterministic design-stage computation for the paper
+/// workload: the workload grid coordinate, the scheduling algorithm and
+/// the total mode-switch overhead. Everything else a design depends on
+/// (goal, slack policy, region overrides) is fixed per campaign spec, and
+/// each campaign owns its own cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DesignKey {
     /// Position along the spec's workload axis.
@@ -44,21 +57,71 @@ impl DesignKey {
     }
 }
 
+/// Identity of one synthetic-workload partitioning computation: the
+/// generated task set (by content hash) crossed with the bin-packing
+/// heuristic. Scenarios that differ only in algorithm or overhead share
+/// the partition of a given task set through this key.
+///
+/// The content hash is not collision-free, so cached entries carry the
+/// task set they were computed for and lookups verify it with `==`
+/// before trusting a hit (see `trial.rs`) — a collision costs a
+/// recomputation, never a wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PartitionKey {
+    /// [`ftsched_task::TaskSet::content_hash`] of the generated set.
+    pub taskset_hash: u64,
+    /// The bin-packing heuristic of the scenario.
+    pub heuristic: PartitionHeuristic,
+}
+
 /// A keyed memo table shared by the campaign workers. Disabled caches
 /// degrade to computing every request (the uncached reference path used
 /// by the byte-equality tests).
+///
+/// Memory is bounded two ways, so campaign size never translates into
+/// unbounded cache growth: a per-key **use budget** evicts an entry the
+/// moment its last consumer has read it (campaign grids know exactly how
+/// many scenarios share one key), and a **capacity cap** stops inserting
+/// once the map holds `max_entries` keys — further misses just compute.
+/// Neither bound can change a result: cached values are pure functions
+/// of their key, so an evicted or never-inserted entry only costs a
+/// recomputation.
 #[derive(Debug, Default)]
-pub struct DesignCache<V> {
+pub struct MemoCache<K, V> {
     enabled: bool,
-    map: Mutex<HashMap<DesignKey, Arc<V>>>,
+    /// Evict an entry after this many reads (including the inserting
+    /// one); `0` means never evict.
+    uses_per_key: usize,
+    /// Stop inserting beyond this many live entries; `usize::MAX` (the
+    /// [`Self::new`] default) means unbounded.
+    max_entries: usize,
+    map: Mutex<HashMap<K, Entry<V>>>,
 }
 
-impl<V> DesignCache<V> {
-    /// Creates a cache; `enabled = false` makes [`Self::get_or_compute`]
-    /// always compute.
+#[derive(Debug)]
+struct Entry<V> {
+    value: Arc<V>,
+    /// Reads left before eviction; meaningless when `uses_per_key == 0`.
+    remaining: usize,
+}
+
+/// The paper-workload design cache (see [`DesignKey`]).
+pub type DesignCache<V> = MemoCache<DesignKey, V>;
+
+impl<K: Eq + Hash, V> MemoCache<K, V> {
+    /// Creates an unbounded cache; `enabled = false` makes
+    /// [`Self::get_or_compute`] always compute.
     pub fn new(enabled: bool) -> Self {
-        DesignCache {
+        MemoCache::with_limits(enabled, 0, usize::MAX)
+    }
+
+    /// Creates a cache with a per-key use budget (`0` = never evict) and
+    /// a live-entry capacity cap.
+    pub fn with_limits(enabled: bool, uses_per_key: usize, max_entries: usize) -> Self {
+        MemoCache {
             enabled,
+            uses_per_key,
+            max_entries,
             map: Mutex::new(HashMap::new()),
         }
     }
@@ -73,29 +136,63 @@ impl<V> DesignCache<V> {
         self.map.lock().expect("cache lock poisoned").len()
     }
 
-    /// True when nothing has been cached yet.
+    /// True when nothing is currently cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Returns the cached value for `key`, computing and inserting it on
-    /// a miss.
+    /// Takes one read of the cached value for `key`, computing it on a
+    /// miss and inserting when the budget and capacity allow.
     ///
     /// The computation runs *outside* the lock: two workers racing on the
     /// same fresh key may both compute it, which costs duplicated work
-    /// but never a wrong answer — `compute` must be (and for the design
-    /// stage is) a pure function of the key, and the first insertion
+    /// but never a wrong answer — `compute` must be (and for the cached
+    /// stages is) a pure function of the key, and the first insertion
     /// wins.
-    pub fn get_or_compute(&self, key: DesignKey, compute: impl FnOnce() -> V) -> Arc<V> {
+    pub fn get_or_compute(&self, key: K, compute: impl FnOnce() -> V) -> Arc<V> {
         if !self.enabled {
             return Arc::new(compute());
         }
-        if let Some(value) = self.map.lock().expect("cache lock poisoned").get(&key) {
-            return Arc::clone(value);
+        if let Some(value) = self.take_read(&key) {
+            return value;
         }
         let value = Arc::new(compute());
         let mut map = self.map.lock().expect("cache lock poisoned");
-        Arc::clone(map.entry(key).or_insert(value))
+        match map.get(&key) {
+            // Lost an insertion race: consume a read of the winner.
+            Some(_) => {
+                drop(map);
+                self.take_read(&key).unwrap_or(value)
+            }
+            None => {
+                // The inserting call is itself the first read.
+                if self.uses_per_key != 1 && map.len() < self.max_entries {
+                    map.insert(
+                        key,
+                        Entry {
+                            value: Arc::clone(&value),
+                            remaining: self.uses_per_key.saturating_sub(1),
+                        },
+                    );
+                }
+                value
+            }
+        }
+    }
+
+    /// One budgeted read: returns the entry's value and evicts it when
+    /// its use budget is exhausted.
+    fn take_read(&self, key: &K) -> Option<Arc<V>> {
+        let mut map = self.map.lock().expect("cache lock poisoned");
+        let entry = map.get_mut(key)?;
+        let value = Arc::clone(&entry.value);
+        if self.uses_per_key > 0 {
+            entry.remaining = entry.remaining.saturating_sub(1);
+            if entry.remaining == 0 {
+                map.remove(key);
+            }
+        }
+        Some(value)
     }
 }
 
@@ -136,5 +233,61 @@ mod tests {
         assert_eq!(*cache.get_or_compute(key, || 2), 2);
         assert!(cache.is_empty());
         assert!(!cache.enabled());
+    }
+
+    #[test]
+    fn use_budget_evicts_entries_after_their_last_read() {
+        // Budget of 3 reads: insert (first read), two hits, then gone.
+        let cache: MemoCache<u32, u32> = MemoCache::with_limits(true, 3, usize::MAX);
+        assert_eq!(*cache.get_or_compute(7, || 70), 70);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(*cache.get_or_compute(7, || 99), 70);
+        assert_eq!(*cache.get_or_compute(7, || 99), 70);
+        assert!(cache.is_empty(), "third read must evict");
+        // A later request recomputes and re-inserts (pure function, so
+        // over-budget reads are merely slower, never wrong).
+        assert_eq!(*cache.get_or_compute(7, || 70), 70);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn single_use_budget_never_stores() {
+        let cache: MemoCache<u32, u32> = MemoCache::with_limits(true, 1, usize::MAX);
+        assert_eq!(*cache.get_or_compute(1, || 10), 10);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_cap_stops_insertions_not_results() {
+        let cache: MemoCache<u32, u32> = MemoCache::with_limits(true, 0, 2);
+        cache.get_or_compute(1, || 10);
+        cache.get_or_compute(2, || 20);
+        assert_eq!(*cache.get_or_compute(3, || 30), 30);
+        assert_eq!(cache.len(), 2, "cap keeps the map at two entries");
+        // The capped-out key recomputes; the resident keys still hit.
+        assert_eq!(*cache.get_or_compute(3, || 31), 31);
+        assert_eq!(*cache.get_or_compute(1, || 99), 10);
+    }
+
+    #[test]
+    fn partition_keys_cross_hash_and_heuristic() {
+        let cache: MemoCache<PartitionKey, u32> = MemoCache::new(true);
+        let k1 = PartitionKey {
+            taskset_hash: 7,
+            heuristic: PartitionHeuristic::WorstFitDecreasing,
+        };
+        let k2 = PartitionKey {
+            taskset_hash: 7,
+            heuristic: PartitionHeuristic::FirstFitDecreasing,
+        };
+        let k3 = PartitionKey {
+            taskset_hash: 8,
+            heuristic: PartitionHeuristic::WorstFitDecreasing,
+        };
+        cache.get_or_compute(k1, || 1);
+        cache.get_or_compute(k2, || 2);
+        cache.get_or_compute(k3, || 3);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(*cache.get_or_compute(k1, || 99), 1);
     }
 }

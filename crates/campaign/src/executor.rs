@@ -8,16 +8,24 @@
 //! wall-clock time only — the report is a pure function of the spec, down
 //! to the last floating-point bit, whatever the worker count. The
 //! determinism contract is enforced by `tests/campaign_determinism.rs`.
+//!
+//! Sharding extends the same mechanism across processes and hosts:
+//! [`run_campaign_shard`] restricts the executor to one contiguous,
+//! deterministic slice of the global trial index space and emits a
+//! *partial* report. Because every scenario's statistics fold in trial
+//! order within a shard, and [`crate::merge_reports`] folds the shards in
+//! shard order, the merged report is byte-identical to the unsharded run
+//! (enforced by `tests/campaign_sharding.rs`).
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use ftsched_sim::SimArena;
 
-use crate::report::{CampaignReport, ScenarioReport};
+use crate::report::{CampaignReport, ScenarioReport, ShardInfo};
 use crate::spec::CampaignSpec;
 use crate::stats::ScenarioStats;
-use crate::trial::{run_trial_with, TrialDesignCache};
+use crate::trial::{run_trial_with, TrialCaches};
 use crate::CampaignError;
 
 /// Execution knobs. These may change *how fast* a campaign runs, never
@@ -31,10 +39,12 @@ pub struct ExecutorConfig {
     pub block_size: usize,
     /// Print a progress line to stderr while running.
     pub progress: bool,
-    /// Share the deterministic design stage of `WorkloadSpec::Paper`
-    /// trials across the campaign (see [`crate::cache`]). On by default;
-    /// turning it off only re-runs identical computations — reports are
-    /// byte-identical either way.
+    /// Share the deterministic trial stages across the campaign: the
+    /// design stage of `WorkloadSpec::Paper` trials, and the generation +
+    /// partitioning stages of synthetic trials paired across the
+    /// algorithm / overhead / heuristic axes (see [`crate::cache`]). On
+    /// by default; turning it off only re-runs identical computations —
+    /// reports are byte-identical either way.
     pub design_cache: bool,
 }
 
@@ -74,37 +84,75 @@ pub fn run_campaign(
     spec: &CampaignSpec,
     config: &ExecutorConfig,
 ) -> Result<CampaignReport, CampaignError> {
+    run_campaign_shard(spec, config, None)
+}
+
+/// [`run_campaign`] restricted to one shard of the campaign's trial
+/// space.
+///
+/// Shard `i` of `n` executes the `i`-th of `n` contiguous, near-equal
+/// slices of the global trial index space — a pure function of the spec
+/// and the shard coordinates, independent of threads and block size. The
+/// resulting report is *partial*: it covers only the scenarios the slice
+/// touches, carries the shard coordinates in
+/// [`CampaignReport::shard`], and is meant to be folded back with
+/// [`crate::merge_reports`], which reproduces the unsharded report byte
+/// for byte. `shard = None` runs everything (identical to
+/// [`run_campaign`]).
+///
+/// # Errors
+///
+/// Returns [`CampaignError::InvalidSpec`] for an invalid spec or shard.
+pub fn run_campaign_shard(
+    spec: &CampaignSpec,
+    config: &ExecutorConfig,
+    shard: Option<ShardInfo>,
+) -> Result<CampaignReport, CampaignError> {
     spec.validate()?;
     if config.block_size == 0 {
         return Err(CampaignError::InvalidSpec(
             "block_size must be at least 1".into(),
         ));
     }
+    if let Some(shard) = shard {
+        if shard.count == 0 || shard.index >= shard.count {
+            return Err(CampaignError::InvalidSpec(format!(
+                "shard {}/{} is out of range",
+                shard.index, shard.count
+            )));
+        }
+    }
     let scenarios = spec.scenarios();
     let trials_per = spec.trials_per_scenario;
     let total = scenarios.len() * trials_per;
+    // The shard's contiguous slice of the global trial index space.
+    let (shard_lo, shard_hi) = match shard {
+        Some(s) => (s.index * total / s.count, (s.index + 1) * total / s.count),
+        None => (0, total),
+    };
+    let shard_trials = shard_hi - shard_lo;
     let block_size = config.block_size;
-    let blocks = total.div_ceil(block_size);
+    let blocks = shard_trials.div_ceil(block_size);
     let threads = config.effective_threads().min(blocks.max(1));
 
     // Per-block partial statistics, keyed by scenario index in
     // first-touch (= trial index) order.
     type BlockPartials = Vec<(usize, ScenarioStats)>;
 
-    // The deterministic design stage of Paper workloads is shared across
-    // every worker; synthetic workloads never consult it.
-    let cache = TrialDesignCache::new(config.design_cache);
+    // Deterministic trial stages shared across every worker (paper
+    // design stage; synthetic generation and partitioning).
+    let caches = TrialCaches::new(spec, config.design_cache);
 
     // Each block folds its contiguous trial range into per-scenario
     // accumulators, reusing the worker's simulation arena.
     let run_block = |b: usize, arena: &mut SimArena| -> BlockPartials {
-        let lo = b * block_size;
-        let hi = (lo + block_size).min(total);
+        let lo = shard_lo + b * block_size;
+        let hi = (lo + block_size).min(shard_hi);
         let mut partials: BlockPartials = Vec::new();
         for t in lo..hi {
             let scenario = &scenarios[t / trials_per];
             let trial = t % trials_per;
-            let outcome = run_trial_with(spec, scenario, trial, &cache, arena);
+            let outcome = run_trial_with(spec, scenario, trial, &caches, arena);
             match partials.last_mut() {
                 Some((idx, stats)) if *idx == scenario.index => stats.observe(&outcome),
                 _ => {
@@ -126,7 +174,7 @@ pub fn run_campaign(
         for (b, slot) in slots.iter().enumerate() {
             *slot.lock().unwrap() = Some(run_block(b, &mut arena));
             if config.progress {
-                print_progress(&spec.name, (b + 1) * block_size, total);
+                print_progress(&spec.name, (b + 1) * block_size, shard_trials);
             }
         }
     } else {
@@ -140,11 +188,12 @@ pub fn run_campaign(
                             break;
                         }
                         let partials = run_block(b, &mut arena);
-                        let completed = (b * block_size + block_size).min(total) - b * block_size;
+                        let completed =
+                            (b * block_size + block_size).min(shard_trials) - b * block_size;
                         *slots[b].lock().unwrap() = Some(partials);
                         let finished = done.fetch_add(completed, Ordering::Relaxed) + completed;
                         if config.progress {
-                            print_progress(&spec.name, finished, total);
+                            print_progress(&spec.name, finished, shard_trials);
                         }
                     }
                 });
@@ -168,21 +217,21 @@ pub fn run_campaign(
         }
     }
 
+    // A partial report covers only the scenarios its slice touched; an
+    // unsharded report covers the whole grid.
     let scenario_reports: Vec<ScenarioReport> = scenarios
         .iter()
         .zip(stats)
-        .map(|(scenario, stats)| ScenarioReport {
-            scenario: scenario.index,
-            algorithm: scenario.algorithm,
-            utilization: scenario.utilization,
-            stats,
-        })
+        .filter(|(_, stats)| shard.is_none() || stats.trials > 0)
+        .map(|(scenario, stats)| ScenarioReport::for_scenario(spec, scenario, stats))
         .collect();
 
     // Wall-clock time is deliberately NOT part of the report: a report is
     // a pure function of its spec, byte for byte (callers wanting timing
     // measure around this call).
-    Ok(CampaignReport::new(spec.clone(), scenario_reports))
+    let mut report = CampaignReport::new(spec.clone(), scenario_reports);
+    report.shard = shard;
+    Ok(report)
 }
 
 fn print_progress(name: &str, done: usize, total: usize) {

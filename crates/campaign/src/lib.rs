@@ -10,26 +10,33 @@
 //! one-off experiment scripts into a subsystem:
 //!
 //! * [`spec`] — a declarative, serialisable [`CampaignSpec`] describing a
-//!   scenario grid (workload × algorithm × utilisation) plus the design
-//!   goal, slack policy, fault model and horizon of every trial. A JSON
-//!   spec file *is* the experiment.
+//!   scenario grid (workload × algorithm × utilisation, optionally
+//!   crossed with mode-switch overheads and partition heuristics) plus
+//!   the design goal, slack policy, fault model and horizon of every
+//!   trial. A JSON spec file *is* the experiment.
 //! * [`seed`] — per-trial seeds derived from the master seed by a frozen
-//!   SplitMix64 mix of the trial's grid coordinates; any report line can
-//!   be re-run in isolation.
+//!   SplitMix64 mix of the trial's *workload* coordinates, so every
+//!   non-workload axis is paired; any report line can be re-run in
+//!   isolation.
 //! * [`trial`] — the per-trial kernel over
 //!   [`ftsched_core::design_and_validate`] (or the cheaper
-//!   feasible-region check), with optional baseline-scheme comparison.
-//! * [`cache`] — the design cache: `WorkloadSpec::Paper` campaigns run
-//!   the deterministic design stage once per `(workload, algorithm,
-//!   overhead)` key instead of once per trial, with byte-identical
+//!   feasible-region check), with optional baseline-scheme comparison
+//!   and per-task response-time histograms.
+//! * [`cache`] — deterministic-stage memo tables: the paper workload's
+//!   design stage per `(workload, algorithm, overhead)` key, and the
+//!   synthetic workloads' generation + partitioning stages (keyed on the
+//!   generated task set's content hash), all with byte-identical
 //!   reports.
-//! * [`stats`] — mergeable streaming accumulators; workers never keep raw
-//!   trial lists, so memory stays flat at any campaign size.
+//! * [`stats`] — mergeable streaming accumulators, including exact
+//!   fixed-bin [`ResponseHistogram`]s; workers never keep raw trial
+//!   lists, so memory stays flat at any campaign size.
 //! * [`executor`] — a scoped-thread fan-out with dynamic scheduling but
 //!   *static* aggregation order, making every report a pure function of
-//!   its spec: **byte-identical output for any worker count**.
+//!   its spec: **byte-identical output for any worker count**. The same
+//!   mechanism shards across processes/hosts via [`run_campaign_shard`].
 //! * [`report`] — JSON / CSV / table renderings that echo the spec for
-//!   reproducibility.
+//!   reproducibility, and [`merge_reports`], which folds shard partials
+//!   into a report byte-identical to the unsharded run.
 //!
 //! ```
 //! use ftsched_campaign::prelude::*;
@@ -58,10 +65,12 @@ pub mod trial;
 
 use std::fmt;
 
-pub use executor::{run_campaign, ExecutorConfig};
-pub use report::{CampaignReport, ScenarioReport};
-pub use spec::{CampaignSpec, Scenario, TrialKind, WorkloadSpec};
-pub use stats::{BaselineCounts, ExactSum, ScenarioStats, SimAggregate};
+pub use executor::{run_campaign, run_campaign_shard, ExecutorConfig};
+pub use report::{merge_reports, CampaignReport, ScenarioReport, ShardInfo};
+pub use spec::{CampaignSpec, ResponseHistogramSpec, Scenario, TrialKind, WorkloadSpec};
+pub use stats::{
+    BaselineCounts, ExactSum, ResponseHistogram, ScenarioStats, SimAggregate, TaskResponse,
+};
 pub use trial::{run_trial, run_trial_full, SimSummary, TrialOutcome, TrialStatus};
 
 /// Campaign-level errors. Per-trial failures (generation, partitioning,
@@ -70,12 +79,17 @@ pub use trial::{run_trial, run_trial_full, SimSummary, TrialOutcome, TrialStatus
 pub enum CampaignError {
     /// The spec fails validation; the string explains why.
     InvalidSpec(String),
+    /// Shard reports cannot be merged; the string explains why.
+    InvalidMerge(String),
 }
 
 impl fmt::Display for CampaignError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CampaignError::InvalidSpec(reason) => write!(f, "invalid campaign spec: {reason}"),
+            CampaignError::InvalidMerge(reason) => {
+                write!(f, "cannot merge shard reports: {reason}")
+            }
         }
     }
 }
@@ -86,11 +100,11 @@ impl std::error::Error for CampaignError {}
 /// vocabulary from the lower layers (algorithms, goals, policies, fault
 /// models) so spec-building code needs only this one import.
 pub mod prelude {
-    pub use crate::executor::{run_campaign, ExecutorConfig};
-    pub use crate::report::{CampaignReport, ScenarioReport};
+    pub use crate::executor::{run_campaign, run_campaign_shard, ExecutorConfig};
+    pub use crate::report::{merge_reports, CampaignReport, ScenarioReport, ShardInfo};
     pub use crate::seed::trial_seed;
-    pub use crate::spec::{CampaignSpec, Scenario, TrialKind, WorkloadSpec};
-    pub use crate::stats::ScenarioStats;
+    pub use crate::spec::{CampaignSpec, ResponseHistogramSpec, Scenario, TrialKind, WorkloadSpec};
+    pub use crate::stats::{ResponseHistogram, ScenarioStats};
     pub use crate::trial::{run_trial, run_trial_full, TrialOutcome, TrialStatus};
     pub use crate::CampaignError;
 

@@ -1,21 +1,56 @@
-//! Campaign reports: JSON, CSV and human-readable renderings.
+//! Campaign reports: JSON, CSV and human-readable renderings, plus the
+//! shard-merge fold.
 //!
 //! A [`CampaignReport`] is a pure function of its spec (the executor
 //! guarantees this); it echoes the spec so a report file alone is enough
-//! to reproduce, extend or audit the experiment.
+//! to reproduce, extend or audit the experiment. Reports produced by
+//! [`crate::run_campaign_shard`] are *partial*: they carry their
+//! [`ShardInfo`] and cover only the scenarios their trial slice touched;
+//! [`merge_reports`] folds a complete set of partials back into a report
+//! byte-identical to the unsharded run.
 
 use std::fmt::Write as _;
 
 use serde::{Deserialize, Serialize};
 
 use ftsched_analysis::Algorithm;
+use ftsched_design::partitioner::PartitionHeuristic;
 use ftsched_task::Mode;
 
-use crate::spec::{CampaignSpec, TrialKind};
+use crate::spec::{CampaignSpec, Scenario, TrialKind};
 use crate::stats::ScenarioStats;
+use crate::CampaignError;
+
+/// Coordinates of one campaign shard: slice `index` of `count` contiguous,
+/// near-equal slices of the global trial index space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardInfo {
+    /// Which slice this shard executes (`0 <= index < count`).
+    pub index: usize,
+    /// Total number of shards the campaign is split into.
+    pub count: usize,
+}
+
+impl ShardInfo {
+    /// Parses the CLI syntax `i/N` (e.g. `0/3`), requiring `i < N`.
+    pub fn parse(text: &str) -> Option<ShardInfo> {
+        let (index, count) = text.split_once('/')?;
+        let shard = ShardInfo {
+            index: index.trim().parse().ok()?,
+            count: count.trim().parse().ok()?,
+        };
+        (shard.index < shard.count).then_some(shard)
+    }
+}
+
+impl std::fmt::Display for ShardInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
 
 /// Aggregated results for one scenario grid point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioReport {
     /// Grid index (matches [`CampaignSpec::scenarios`] order).
     pub scenario: usize,
@@ -23,28 +58,151 @@ pub struct ScenarioReport {
     pub algorithm: Algorithm,
     /// Target utilisation of the point (`None` for the paper workload).
     pub utilization: Option<f64>,
+    /// Total overhead of the point — `Some` only when the spec sweeps
+    /// the `overheads` axis explicitly (keeps pre-axis reports
+    /// byte-identical).
+    pub overhead: Option<f64>,
+    /// Partition heuristic of the point — `Some` only when the spec
+    /// sweeps the `partition_heuristics` axis explicitly.
+    pub partition_heuristic: Option<PartitionHeuristic>,
     /// The merged trial statistics.
     pub stats: ScenarioStats,
 }
 
-/// The complete result of one campaign run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+impl ScenarioReport {
+    /// Builds the report row for one scenario: the executor and the
+    /// shard merge both go through here, so rows are constructed
+    /// identically everywhere (a precondition of byte-identical merges).
+    pub fn for_scenario(spec: &CampaignSpec, scenario: &Scenario, stats: ScenarioStats) -> Self {
+        ScenarioReport {
+            scenario: scenario.index,
+            algorithm: scenario.algorithm,
+            utilization: scenario.utilization,
+            overhead: spec.has_overhead_axis().then_some(scenario.overhead),
+            partition_heuristic: spec
+                .has_heuristic_axis()
+                .then_some(scenario.partition_heuristic),
+            stats,
+        }
+    }
+}
+
+// Hand-written serialisation: the two axis columns appear only when
+// their axis is explicit, so reports of pre-axis specs do not change by
+// a byte. Field order otherwise matches the old derive output.
+impl Serialize for ScenarioReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("scenario".into(), self.scenario.to_value()),
+            ("algorithm".into(), self.algorithm.to_value()),
+            ("utilization".into(), self.utilization.to_value()),
+        ];
+        if let Some(overhead) = self.overhead {
+            fields.push(("overhead".into(), overhead.to_value()));
+        }
+        if let Some(heuristic) = self.partition_heuristic {
+            fields.push(("partition_heuristic".into(), heuristic.to_value()));
+        }
+        fields.push(("stats".into(), self.stats.to_value()));
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for ScenarioReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a map for `ScenarioReport`"))?;
+        let field = |name: &str| {
+            serde::get_field(m, name).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{name}` in `ScenarioReport`"))
+            })
+        };
+        Ok(ScenarioReport {
+            scenario: Deserialize::from_value(field("scenario")?)?,
+            algorithm: Deserialize::from_value(field("algorithm")?)?,
+            utilization: Deserialize::from_value(field("utilization")?)?,
+            overhead: match serde::get_field(m, "overhead") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => None,
+            },
+            partition_heuristic: match serde::get_field(m, "partition_heuristic") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => None,
+            },
+            stats: Deserialize::from_value(field("stats")?)?,
+        })
+    }
+}
+
+/// The complete result of one campaign run (or one shard of it).
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
     /// The spec that produced this report, echoed verbatim.
     pub spec: CampaignSpec,
-    /// Per-scenario results, in grid order.
+    /// Per-scenario results, in grid order. Partial (shard) reports list
+    /// only the scenarios their trial slice touched.
     pub scenarios: Vec<ScenarioReport>,
+    /// `Some` for partial reports produced by
+    /// [`crate::run_campaign_shard`]; `None` for complete reports.
+    pub shard: Option<ShardInfo>,
+}
+
+// Hand-written serialisation: the shard marker appears only on partial
+// reports, so complete reports stay byte-identical to the pre-shard
+// engine's output.
+impl Serialize for CampaignReport {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("spec".into(), self.spec.to_value()),
+            ("scenarios".into(), self.scenarios.to_value()),
+        ];
+        if let Some(shard) = &self.shard {
+            fields.push(("shard".into(), shard.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for CampaignReport {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a map for `CampaignReport`"))?;
+        let field = |name: &str| {
+            serde::get_field(m, name).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{name}` in `CampaignReport`"))
+            })
+        };
+        Ok(CampaignReport {
+            spec: Deserialize::from_value(field("spec")?)?,
+            scenarios: Deserialize::from_value(field("scenarios")?)?,
+            shard: match serde::get_field(m, "shard") {
+                Some(v) => Some(Deserialize::from_value(v)?),
+                None => None,
+            },
+        })
+    }
 }
 
 impl CampaignReport {
-    /// Assembles a report (used by the executor).
+    /// Assembles a complete report (used by the executor).
     pub fn new(spec: CampaignSpec, scenarios: Vec<ScenarioReport>) -> Self {
-        CampaignReport { spec, scenarios }
+        CampaignReport {
+            spec,
+            scenarios,
+            shard: None,
+        }
     }
 
     /// Total trials across all scenarios.
     pub fn total_trials(&self) -> u64 {
         self.scenarios.iter().map(|s| s.stats.trials).sum()
+    }
+
+    /// True when this report covers the whole grid (not a shard).
+    pub fn is_complete(&self) -> bool {
+        self.shard.is_none()
     }
 
     /// Pretty JSON rendering of the full report.
@@ -53,25 +211,63 @@ impl CampaignReport {
     }
 
     /// CSV rendering: a header plus one row per scenario, stable column
-    /// order, suitable for plotting scripts.
+    /// order, suitable for plotting scripts. The `overhead`, `heuristic`
+    /// and `rt_p*` percentile columns appear only when the spec enables
+    /// the corresponding axis/histograms, so pre-axis CSVs are unchanged.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from(
-            "scenario,algorithm,utilization,trials,sampled,accepted,acceptance_ratio,\
+        let has_overhead = self.spec.has_overhead_axis();
+        let has_heuristic = self.spec.has_heuristic_axis();
+        let has_response = self.spec.response_histogram.is_some();
+        let mut out = String::from("scenario,algorithm,utilization");
+        if has_overhead {
+            out.push_str(",overhead");
+        }
+        if has_heuristic {
+            out.push_str(",heuristic");
+        }
+        out.push_str(
+            ",trials,sampled,accepted,acceptance_ratio,\
              generation_failures,partition_failures,design_rejected,simulation_failures,\
              sim_runs,released_jobs,completed_jobs,deadline_misses,injected_faults,\
              effective_faults,masked_jobs,silenced_jobs,corrupted_jobs,mean_period,\
-             mean_slack_bandwidth,max_response_time,baseline_evaluated,baseline_flexible,\
+             mean_slack_bandwidth,max_response_time,",
+        );
+        if has_response {
+            out.push_str("rt_p50,rt_p95,rt_p99,");
+        }
+        out.push_str(
+            "baseline_evaluated,baseline_flexible,\
              baseline_lockstep,baseline_parallel,baseline_primary_backup\n",
         );
         for s in &self.scenarios {
             let st = &s.stats;
             let totals = st.sim.total_outcomes();
-            let _ = writeln!(
+            let _ = write!(
                 out,
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+                "{},{},{}",
                 s.scenario,
                 s.algorithm.label(),
                 s.utilization.map(|u| u.to_string()).unwrap_or_default(),
+            );
+            if has_overhead {
+                let _ = write!(
+                    out,
+                    ",{}",
+                    s.overhead.map(|o| o.to_string()).unwrap_or_default()
+                );
+            }
+            if has_heuristic {
+                let _ = write!(
+                    out,
+                    ",{}",
+                    s.partition_heuristic
+                        .map(|h| h.label().to_string())
+                        .unwrap_or_default()
+                );
+            }
+            let _ = write!(
+                out,
+                ",{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},",
                 st.trials,
                 st.sampled(),
                 st.accepted,
@@ -92,6 +288,24 @@ impl CampaignReport {
                 st.sim.mean_period(),
                 st.sim.mean_slack_bandwidth(),
                 st.sim.max_response_time,
+            );
+            if has_response {
+                match st.sim.pooled_response() {
+                    Some(pooled) => {
+                        let _ = write!(
+                            out,
+                            "{},{},{},",
+                            pooled.quantile(0.50),
+                            pooled.quantile(0.95),
+                            pooled.quantile(0.99),
+                        );
+                    }
+                    None => out.push_str(",,,"),
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{}",
                 st.baselines.evaluated,
                 st.baselines.flexible,
                 st.baselines.static_lockstep,
@@ -102,15 +316,85 @@ impl CampaignReport {
         out
     }
 
-    /// Human-readable summary table: one row per utilisation bucket, one
-    /// acceptance column per algorithm (plus fault columns for
-    /// validation campaigns).
+    /// Per-task response-time percentile CSV (`None` when the spec did
+    /// not request histograms): one row per `(scenario, task)` with
+    /// p50/p95/p99 and the exact observation counts behind them.
+    pub fn response_csv(&self) -> Option<String> {
+        self.spec.response_histogram?;
+        let has_overhead = self.spec.has_overhead_axis();
+        let has_heuristic = self.spec.has_heuristic_axis();
+        let mut out = String::from("scenario,algorithm,utilization");
+        if has_overhead {
+            out.push_str(",overhead");
+        }
+        if has_heuristic {
+            out.push_str(",heuristic");
+        }
+        out.push_str(",task,completed,rt_p50,rt_p95,rt_p99,overflow\n");
+        for s in &self.scenarios {
+            for response in &s.stats.sim.response {
+                let _ = write!(
+                    out,
+                    "{},{},{}",
+                    s.scenario,
+                    s.algorithm.label(),
+                    s.utilization.map(|u| u.to_string()).unwrap_or_default(),
+                );
+                if has_overhead {
+                    let _ = write!(
+                        out,
+                        ",{}",
+                        s.overhead.map(|o| o.to_string()).unwrap_or_default()
+                    );
+                }
+                if has_heuristic {
+                    let _ = write!(
+                        out,
+                        ",{}",
+                        s.partition_heuristic
+                            .map(|h| h.label().to_string())
+                            .unwrap_or_default()
+                    );
+                }
+                let h = &response.histogram;
+                let _ = writeln!(
+                    out,
+                    ",{},{},{},{},{},{}",
+                    response.task.0,
+                    h.total(),
+                    h.quantile(0.50),
+                    h.quantile(0.95),
+                    h.quantile(0.99),
+                    h.overflow,
+                );
+            }
+        }
+        Some(out)
+    }
+
+    /// Human-readable summary table: one row per non-algorithm grid
+    /// point (utilisation, crossed with overhead / heuristic when those
+    /// axes are explicit), one acceptance column per algorithm (plus
+    /// fault columns for validation campaigns). Partial (shard) reports
+    /// render as a flat per-scenario listing instead.
     pub fn render_table(&self) -> String {
+        let grid = self.spec.scenarios();
+        if self.shard.is_some() || self.scenarios.len() != grid.len() {
+            return self.render_partial_table();
+        }
         let mut out = String::new();
         let algorithms = &self.spec.algorithms;
+        let has_overhead = self.spec.has_overhead_axis();
+        let has_heuristic = self.spec.has_heuristic_axis();
         let validating = self.spec.kind == TrialKind::DesignAndValidate;
 
         let _ = write!(out, "{:>8}", "U");
+        if has_overhead {
+            let _ = write!(out, " {:>8}", "O_tot");
+        }
+        if has_heuristic {
+            let _ = write!(out, " {:>6}", "part");
+        }
         for alg in algorithms {
             let _ = write!(out, " {:>12}", format!("{} accept", alg.label()));
         }
@@ -124,9 +408,11 @@ impl CampaignReport {
         }
         out.push('\n');
 
-        // Scenario order is algorithm-major; walk utilisation-major here.
+        // Scenario order is algorithm-major; walk the inner axes here
+        // (the first algorithm's grid block carries each row's axis
+        // labels — every algorithm repeats the same inner coordinates).
         let points = self.scenarios.len() / algorithms.len().max(1);
-        for p in 0..points {
+        for (p, labels) in grid.iter().take(points).enumerate() {
             let row: Vec<&ScenarioReport> = (0..algorithms.len())
                 .map(|a| &self.scenarios[a * points + p])
                 .collect();
@@ -137,6 +423,12 @@ impl CampaignReport {
                 None => {
                     let _ = write!(out, "{:>8}", "paper");
                 }
+            }
+            if has_overhead {
+                let _ = write!(out, " {:>8.3}", labels.overhead);
+            }
+            if has_heuristic {
+                let _ = write!(out, " {:>6}", labels.partition_heuristic.label());
             }
             for s in &row {
                 let _ = write!(out, " {:>11.1}%", 100.0 * s.stats.acceptance_ratio());
@@ -166,6 +458,41 @@ impl CampaignReport {
         out
     }
 
+    /// The flat rendering used for partial (shard) reports, where the
+    /// algorithm-paired row layout of [`Self::render_table`] does not
+    /// apply.
+    fn render_partial_table(&self) -> String {
+        let mut out = String::new();
+        if let Some(shard) = self.shard {
+            let _ = writeln!(
+                out,
+                "partial report: shard {shard} of campaign `{}`",
+                self.spec.name
+            );
+        }
+        let _ = writeln!(
+            out,
+            "{:>9} {:>6} {:>8} {:>9} {:>11}",
+            "scenario", "alg", "U", "trials", "accept"
+        );
+        for s in &self.scenarios {
+            let u = s
+                .utilization
+                .map(|u| format!("{u:.2}"))
+                .unwrap_or_else(|| "paper".into());
+            let _ = writeln!(
+                out,
+                "{:>9} {:>6} {:>8} {:>9} {:>10.1}%",
+                s.scenario,
+                s.algorithm.label(),
+                u,
+                s.stats.trials,
+                100.0 * s.stats.acceptance_ratio()
+            );
+        }
+        out
+    }
+
     /// Sanity predicate used by validation campaigns: no protected-mode
     /// corruption anywhere in the report.
     pub fn integrity_preserved(&self) -> bool {
@@ -174,6 +501,93 @@ impl CampaignReport {
                 && s.stats.sim.outcomes[Mode::FailSilent].wrong_result == 0
         })
     }
+}
+
+/// Folds a complete set of shard reports back into the unsharded
+/// campaign report — **byte-identical** to running the campaign in one
+/// piece, because per-scenario statistics merge associatively and the
+/// fold walks shards in index order (= global trial order).
+///
+/// # Errors
+///
+/// Returns [`CampaignError::InvalidMerge`] when the parts are not the
+/// complete, consistent shard set of one campaign: mismatched specs,
+/// missing/duplicate shard indices, disagreeing shard counts, unknown
+/// scenario indices or a trial count that does not add up.
+pub fn merge_reports(parts: Vec<CampaignReport>) -> Result<CampaignReport, CampaignError> {
+    let fail = |reason: String| Err(CampaignError::InvalidMerge(reason));
+    let Some(first) = parts.first() else {
+        return fail("no partial reports to merge".into());
+    };
+    let spec = first.spec.clone();
+    spec.validate()
+        .map_err(|e| CampaignError::InvalidMerge(format!("echoed spec is invalid: {e}")))?;
+    let Some(ShardInfo { count, .. }) = first.shard else {
+        return fail(format!(
+            "report for `{}` is not a shard (already complete?)",
+            spec.name
+        ));
+    };
+    if parts.len() != count {
+        return fail(format!(
+            "campaign `{}` was split into {count} shards, got {} reports",
+            spec.name,
+            parts.len()
+        ));
+    }
+    let mut seen = vec![false; count];
+    for part in &parts {
+        if part.spec != spec {
+            return fail("partial reports come from different campaign specs".into());
+        }
+        match part.shard {
+            Some(shard) if shard.count == count => {
+                if std::mem::replace(&mut seen[shard.index], true) {
+                    return fail(format!("shard {shard} appears twice"));
+                }
+            }
+            Some(shard) => {
+                return fail(format!(
+                    "shard {shard} disagrees with the shard count {count}"
+                ));
+            }
+            None => return fail("a complete report cannot be merged with shards".into()),
+        }
+    }
+
+    // Fold shard statistics in shard-index order: within every scenario
+    // this concatenates increasing trial ranges, i.e. exactly the
+    // unsharded executor's reduction order.
+    let scenarios = spec.scenarios();
+    let mut ordered: Vec<&CampaignReport> = parts.iter().collect();
+    ordered.sort_by_key(|p| p.shard.expect("checked above").index);
+    let mut stats: Vec<ScenarioStats> = vec![ScenarioStats::default(); scenarios.len()];
+    for part in ordered {
+        for row in &part.scenarios {
+            if row.scenario >= scenarios.len() {
+                return fail(format!(
+                    "scenario index {} is outside the campaign grid",
+                    row.scenario
+                ));
+            }
+            stats[row.scenario].merge(&row.stats);
+        }
+    }
+    let merged_trials: u64 = stats.iter().map(|s| s.trials).sum();
+    if merged_trials != spec.trial_count() as u64 {
+        return fail(format!(
+            "merged shards cover {merged_trials} trials, campaign `{}` has {}",
+            spec.name,
+            spec.trial_count()
+        ));
+    }
+
+    let rows = scenarios
+        .iter()
+        .zip(stats)
+        .map(|(scenario, stats)| ScenarioReport::for_scenario(&spec, scenario, stats))
+        .collect();
+    Ok(CampaignReport::new(spec, rows))
 }
 
 #[cfg(test)]
@@ -196,12 +610,7 @@ mod tests {
                 stats.trials = 4;
                 stats.accepted = if sc.utilization == Some(0.5) { 4 } else { 1 };
                 stats.design_rejected = 4 - stats.accepted;
-                ScenarioReport {
-                    scenario: sc.index,
-                    algorithm: sc.algorithm,
-                    utilization: sc.utilization,
-                    stats,
-                }
+                ScenarioReport::for_scenario(&spec, sc, stats)
             })
             .collect();
         CampaignReport::new(spec, scenarios)
@@ -213,6 +622,12 @@ mod tests {
         let json = report.to_json();
         let back: CampaignReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back, report);
+        // Complete reports never mention sharding, and without explicit
+        // axes the per-scenario overhead/heuristic columns are absent
+        // (the spec's scalar `partition_heuristic` is the only mention).
+        assert!(!json.contains("shard"));
+        assert!(!json.contains("\"overhead\""));
+        assert_eq!(json.matches("\"partition_heuristic\"").count(), 1);
     }
 
     #[test]
@@ -227,6 +642,44 @@ mod tests {
         assert!(lines[1..]
             .iter()
             .all(|l| l.split(',').count() == header_cols));
+    }
+
+    #[test]
+    fn widened_axes_add_csv_columns_and_table_labels() {
+        let spec = CampaignSpec {
+            overheads: vec![0.02, 0.08],
+            partition_heuristics: vec![
+                PartitionHeuristic::FirstFitDecreasing,
+                PartitionHeuristic::WorstFitDecreasing,
+            ],
+            ..tiny_report().spec
+        };
+        let scenarios: Vec<ScenarioReport> = spec
+            .scenarios()
+            .iter()
+            .map(|sc| {
+                let stats = ScenarioStats {
+                    trials: 4,
+                    accepted: 2,
+                    design_rejected: 2,
+                    ..ScenarioStats::default()
+                };
+                ScenarioReport::for_scenario(&spec, sc, stats)
+            })
+            .collect();
+        assert!(scenarios.iter().all(|s| s.overhead.is_some()));
+        let report = CampaignReport::new(spec, scenarios);
+        let csv = report.to_csv();
+        let header = csv.lines().next().unwrap();
+        assert!(header.starts_with("scenario,algorithm,utilization,overhead,heuristic,trials"));
+        assert!(csv.lines().nth(1).unwrap().contains(",0.02,FFD,"));
+        let table = report.render_table();
+        assert!(table.contains("O_tot") && table.contains("part"));
+        assert!(table.contains("FFD") && table.contains("WFD"));
+        // 2 overheads x 2 heuristics x 2 utilisations rows + header.
+        assert_eq!(table.lines().count(), 9);
+        let back: CampaignReport = serde_json::from_str(&report.to_json()).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]
@@ -246,5 +699,53 @@ mod tests {
         let report = tiny_report();
         assert_eq!(report.total_trials(), 16);
         assert!(report.integrity_preserved());
+        assert!(report.is_complete());
+    }
+
+    #[test]
+    fn shard_info_parses_and_prints() {
+        assert_eq!(
+            ShardInfo::parse("0/3"),
+            Some(ShardInfo { index: 0, count: 3 })
+        );
+        assert_eq!(ShardInfo::parse("2/3").unwrap().to_string(), "2/3");
+        assert_eq!(ShardInfo::parse("3/3"), None);
+        assert_eq!(ShardInfo::parse("x/3"), None);
+        assert_eq!(ShardInfo::parse("3"), None);
+    }
+
+    #[test]
+    fn partial_reports_serialize_their_shard_and_render_flat() {
+        let mut report = tiny_report();
+        report.shard = Some(ShardInfo { index: 1, count: 2 });
+        let json = report.to_json();
+        assert!(json.contains("\"shard\""));
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(!back.is_complete());
+        assert!(report
+            .render_table()
+            .starts_with("partial report: shard 1/2"));
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_shard_sets() {
+        let complete = tiny_report();
+        assert!(matches!(
+            merge_reports(vec![complete.clone()]),
+            Err(CampaignError::InvalidMerge(_))
+        ));
+        let mut a = complete.clone();
+        a.shard = Some(ShardInfo { index: 0, count: 2 });
+        // Wrong count of parts.
+        assert!(merge_reports(vec![a.clone()]).is_err());
+        // Duplicate shard index.
+        assert!(merge_reports(vec![a.clone(), a.clone()]).is_err());
+        // Mismatched specs.
+        let mut b = complete.clone();
+        b.shard = Some(ShardInfo { index: 1, count: 2 });
+        b.spec.master_seed += 1;
+        assert!(merge_reports(vec![a, b]).is_err());
+        assert!(merge_reports(vec![]).is_err());
     }
 }

@@ -4,9 +4,11 @@
 //! function of `(master_seed, workload_point, trial_index)`. The second
 //! coordinate is the trial's position along the **workload axis**
 //! ([`crate::spec::Scenario::workload_point`]), *not* its full scenario
-//! index: scenarios that differ only in algorithm share workload points
-//! and therefore draw identical task sets and fault schedules — algorithm
-//! comparisons are paired by construction.
+//! index: scenarios that differ only in algorithm, mode-switch overhead
+//! or partition heuristic share workload points and therefore draw
+//! identical task sets and fault schedules — comparisons along every
+//! non-workload grid axis are paired by construction, and columns stay
+//! comparable however many axes a spec opens.
 //!
 //! Nothing about scheduling — thread count, block size, execution order —
 //! enters the derivation, which is what makes campaign results

@@ -1,12 +1,20 @@
 //! Declarative campaign specifications.
 //!
 //! A [`CampaignSpec`] describes a *grid* of scenarios — workload
-//! parameters crossed with scheduling algorithms and utilisation levels —
-//! plus everything one trial needs: design goal, slack policy, fault
-//! model, simulation horizon. Specs serialise to JSON (see
-//! `examples/*.json` at the repository root) and expand deterministically
-//! into an ordered scenario list; together with the per-trial seed
-//! derivation of [`crate::seed`], a spec file *is* the experiment.
+//! parameters crossed with scheduling algorithms, utilisation levels and
+//! (optionally) mode-switch overheads and partition heuristics — plus
+//! everything one trial needs: design goal, slack policy, fault model,
+//! simulation horizon. Specs serialise to JSON (see `examples/*.json` at
+//! the repository root) and expand deterministically into an ordered
+//! scenario list; together with the per-trial seed derivation of
+//! [`crate::seed`], a spec file *is* the experiment.
+//!
+//! Backward compatibility: the `overheads`, `partition_heuristics` and
+//! `response_histogram` axes are optional extensions. A spec that omits
+//! them behaves exactly like the pre-axis engine (single overhead, single
+//! heuristic, no histograms), and — because absent axes are also omitted
+//! when the spec is echoed into a report — produces **byte-identical**
+//! reports to it (enforced by `tests/campaign_golden.rs`).
 
 use serde::{Deserialize, Serialize};
 
@@ -93,8 +101,32 @@ pub enum TrialKind {
     DesignAndValidate,
 }
 
+/// Binning of the deterministic per-task response-time histograms (see
+/// [`crate::stats::ResponseHistogram`]). Fixed bins with integer counts:
+/// the histograms merge exactly, so sharded and multi-threaded campaigns
+/// report bit-identical percentiles.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResponseHistogramSpec {
+    /// Width of one bin, in paper time units.
+    pub bin_width: f64,
+    /// Number of regular bins (at most [`Self::MAX_BINS`]); response
+    /// times at or beyond `bins * bin_width` land in a single overflow
+    /// bin.
+    pub bins: usize,
+}
+
+impl ResponseHistogramSpec {
+    /// Upper bound on `bins`, enforced by [`CampaignSpec::validate`]:
+    /// one histogram is allocated per task per trial, so a runaway bin
+    /// count in a spec file must fail validation instead of aborting a
+    /// long campaign on an enormous allocation mid-run. A million
+    /// 8-byte bins (8 MB per histogram) is already far past any useful
+    /// resolution.
+    pub const MAX_BINS: usize = 1_000_000;
+}
+
 /// A declarative experiment campaign.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
     /// Human-readable campaign name (echoed in reports).
     pub name: String,
@@ -108,9 +140,11 @@ pub struct CampaignSpec {
     pub algorithms: Vec<Algorithm>,
     /// Grid axis: target total utilisations (empty for [`WorkloadSpec::Paper`]).
     pub utilizations: Vec<f64>,
-    /// Partitioning heuristic for synthetic workloads.
+    /// Partitioning heuristic for synthetic workloads (the single-value
+    /// fallback when the `partition_heuristics` axis is empty).
     pub partition_heuristic: PartitionHeuristic,
-    /// Total mode-switch overhead `O_tot`, split evenly over the modes.
+    /// Total mode-switch overhead `O_tot`, split evenly over the modes
+    /// (the single-value fallback when the `overheads` axis is empty).
     pub total_overhead: f64,
     /// Design objective (only used by [`TrialKind::DesignAndValidate`]).
     pub goal: DesignGoal,
@@ -128,6 +162,127 @@ pub struct CampaignSpec {
     pub region_samples: Option<usize>,
     /// Override for the region bisection refinement iterations.
     pub region_refine_iterations: Option<usize>,
+    /// Grid axis: total mode-switch overheads to sweep. Empty (the
+    /// default, and what every pre-axis spec deserialises to) means the
+    /// single [`Self::total_overhead`] value.
+    pub overheads: Vec<f64>,
+    /// Grid axis: partition heuristics to sweep (synthetic workloads
+    /// only). Empty means the single [`Self::partition_heuristic`].
+    pub partition_heuristics: Vec<PartitionHeuristic>,
+    /// When set, `DesignAndValidate` trials record per-task response-time
+    /// histograms with this binning, and reports gain p50/p95/p99
+    /// response-time columns.
+    pub response_histogram: Option<ResponseHistogramSpec>,
+}
+
+// `CampaignSpec` serialisation is written by hand (the only such type in
+// the workspace) because reports echo the spec verbatim and must stay
+// byte-identical for specs that predate the optional axes: the three
+// extension fields are emitted only when they deviate from their
+// defaults, and tolerated as absent on the way in. The field order
+// matches the declaration order, exactly as the derive would emit.
+impl Serialize for CampaignSpec {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("name".into(), self.name.to_value()),
+            ("master_seed".into(), self.master_seed.to_value()),
+            (
+                "trials_per_scenario".into(),
+                self.trials_per_scenario.to_value(),
+            ),
+            ("workload".into(), self.workload.to_value()),
+            ("algorithms".into(), self.algorithms.to_value()),
+            ("utilizations".into(), self.utilizations.to_value()),
+            (
+                "partition_heuristic".into(),
+                self.partition_heuristic.to_value(),
+            ),
+            ("total_overhead".into(), self.total_overhead.to_value()),
+            ("goal".into(), self.goal.to_value()),
+            ("slack_policy".into(), self.slack_policy.to_value()),
+            ("faults".into(), self.faults.to_value()),
+            (
+                "horizon_hyperperiods".into(),
+                self.horizon_hyperperiods.to_value(),
+            ),
+            ("kind".into(), self.kind.to_value()),
+            (
+                "compare_baselines".into(),
+                self.compare_baselines.to_value(),
+            ),
+            ("region_samples".into(), self.region_samples.to_value()),
+            (
+                "region_refine_iterations".into(),
+                self.region_refine_iterations.to_value(),
+            ),
+        ];
+        if !self.overheads.is_empty() {
+            fields.push(("overheads".into(), self.overheads.to_value()));
+        }
+        if !self.partition_heuristics.is_empty() {
+            fields.push((
+                "partition_heuristics".into(),
+                self.partition_heuristics.to_value(),
+            ));
+        }
+        if let Some(histogram) = &self.response_histogram {
+            fields.push(("response_histogram".into(), histogram.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+/// One required spec field, mirroring the derive macro's semantics:
+/// a missing field is tried against `null` (so `Option` fields may be
+/// omitted) and otherwise reported by name.
+fn required<T: Deserialize>(m: &[(String, serde::Value)], name: &str) -> Result<T, serde::Error> {
+    match serde::get_field(m, name) {
+        Some(v) => T::from_value(v),
+        None => T::from_value(&serde::Value::Null)
+            .map_err(|_| serde::Error::custom(format!("missing field `{name}` in `CampaignSpec`"))),
+    }
+}
+
+/// One optional spec field with an explicit default for when it is
+/// absent (the extension axes of pre-axis specs).
+fn optional<T: Deserialize>(
+    m: &[(String, serde::Value)],
+    name: &str,
+    default: T,
+) -> Result<T, serde::Error> {
+    match serde::get_field(m, name) {
+        Some(v) => T::from_value(v),
+        None => Ok(default),
+    }
+}
+
+impl Deserialize for CampaignSpec {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a map for `CampaignSpec`"))?;
+        Ok(CampaignSpec {
+            name: required(m, "name")?,
+            master_seed: required(m, "master_seed")?,
+            trials_per_scenario: required(m, "trials_per_scenario")?,
+            workload: required(m, "workload")?,
+            algorithms: required(m, "algorithms")?,
+            utilizations: required(m, "utilizations")?,
+            partition_heuristic: required(m, "partition_heuristic")?,
+            total_overhead: required(m, "total_overhead")?,
+            goal: required(m, "goal")?,
+            slack_policy: required(m, "slack_policy")?,
+            faults: required(m, "faults")?,
+            horizon_hyperperiods: required(m, "horizon_hyperperiods")?,
+            kind: required(m, "kind")?,
+            compare_baselines: required(m, "compare_baselines")?,
+            region_samples: required(m, "region_samples")?,
+            region_refine_iterations: required(m, "region_refine_iterations")?,
+            overheads: optional(m, "overheads", Vec::new())?,
+            partition_heuristics: optional(m, "partition_heuristics", Vec::new())?,
+            response_histogram: optional(m, "response_histogram", None)?,
+        })
+    }
 }
 
 impl CampaignSpec {
@@ -151,6 +306,42 @@ impl CampaignSpec {
             compare_baselines: false,
             region_samples: None,
             region_refine_iterations: None,
+            overheads: Vec::new(),
+            partition_heuristics: Vec::new(),
+            response_histogram: None,
+        }
+    }
+
+    /// True when the spec sweeps the overhead axis explicitly (reports
+    /// then carry a per-scenario overhead column).
+    pub fn has_overhead_axis(&self) -> bool {
+        !self.overheads.is_empty()
+    }
+
+    /// True when the spec sweeps the partition-heuristic axis explicitly
+    /// (reports then carry a per-scenario heuristic column).
+    pub fn has_heuristic_axis(&self) -> bool {
+        !self.partition_heuristics.is_empty()
+    }
+
+    /// The overhead axis the grid actually crosses: the explicit
+    /// `overheads` list, or the single `total_overhead` fallback.
+    pub fn effective_overheads(&self) -> Vec<f64> {
+        if self.overheads.is_empty() {
+            vec![self.total_overhead]
+        } else {
+            self.overheads.clone()
+        }
+    }
+
+    /// The heuristic axis the grid actually crosses: the explicit
+    /// `partition_heuristics` list, or the single `partition_heuristic`
+    /// fallback.
+    pub fn effective_partition_heuristics(&self) -> Vec<PartitionHeuristic> {
+        if self.partition_heuristics.is_empty() {
+            vec![self.partition_heuristic]
+        } else {
+            self.partition_heuristics.clone()
         }
     }
 
@@ -168,14 +359,31 @@ impl CampaignSpec {
         if self.algorithms.is_empty() {
             return fail("at least one algorithm is required".into());
         }
-        if !(self.total_overhead >= 0.0 && self.total_overhead.is_finite()) {
-            return fail(format!(
-                "total_overhead {} must be non-negative",
-                self.total_overhead
-            ));
+        for &overhead in std::iter::once(&self.total_overhead).chain(&self.overheads) {
+            if !(overhead >= 0.0 && overhead.is_finite()) {
+                return fail(format!("total_overhead {overhead} must be non-negative"));
+            }
         }
         if self.horizon_hyperperiods == 0 {
             return fail("horizon_hyperperiods must be at least 1".into());
+        }
+        if let Some(histogram) = &self.response_histogram {
+            if !(histogram.bin_width > 0.0 && histogram.bin_width.is_finite()) {
+                return fail(format!(
+                    "response_histogram bin_width {} must be positive",
+                    histogram.bin_width
+                ));
+            }
+            if histogram.bins == 0 {
+                return fail("response_histogram needs at least one bin".into());
+            }
+            if histogram.bins > ResponseHistogramSpec::MAX_BINS {
+                return fail(format!(
+                    "response_histogram bins {} exceeds the maximum of {}",
+                    histogram.bins,
+                    ResponseHistogramSpec::MAX_BINS
+                ));
+            }
         }
         if let FaultModel::Poisson {
             mean_interarrival,
@@ -195,6 +403,13 @@ impl CampaignSpec {
                     return fail(
                         "the paper workload fixes its own utilisation; \
                          `utilizations` must be empty"
+                            .into(),
+                    );
+                }
+                if !self.partition_heuristics.is_empty() {
+                    return fail(
+                        "the paper workload carries its §4 manual partition; \
+                         `partition_heuristics` must be empty"
                             .into(),
                     );
                 }
@@ -219,23 +434,36 @@ impl CampaignSpec {
         Ok(())
     }
 
-    /// Expands the grid into its ordered scenario list
-    /// (algorithm-major, then utilisation, matching report order).
+    /// Expands the grid into its ordered scenario list: algorithm-major,
+    /// then overhead, then partition heuristic, then workload point —
+    /// matching report order. With the extension axes at their single
+    /// default values this degenerates to the original
+    /// algorithm × utilisation order.
     pub fn scenarios(&self) -> Vec<Scenario> {
         let points: Vec<Option<f64>> = match &self.workload {
             WorkloadSpec::Paper => vec![None],
             WorkloadSpec::Synthetic { .. } => self.utilizations.iter().copied().map(Some).collect(),
         };
-        let mut out = Vec::with_capacity(self.algorithms.len() * points.len());
+        let overheads = self.effective_overheads();
+        let heuristics = self.effective_partition_heuristics();
+        let mut out = Vec::with_capacity(
+            self.algorithms.len() * overheads.len() * heuristics.len() * points.len(),
+        );
         for &algorithm in &self.algorithms {
-            for (workload_point, &utilization) in points.iter().enumerate() {
-                let index = out.len();
-                out.push(Scenario {
-                    index,
-                    workload_point,
-                    algorithm,
-                    utilization,
-                });
+            for &overhead in &overheads {
+                for &partition_heuristic in &heuristics {
+                    for (workload_point, &utilization) in points.iter().enumerate() {
+                        let index = out.len();
+                        out.push(Scenario {
+                            index,
+                            workload_point,
+                            algorithm,
+                            utilization,
+                            overhead,
+                            partition_heuristic,
+                        });
+                    }
+                }
             }
         }
         out
@@ -267,14 +495,19 @@ pub struct Scenario {
     pub index: usize,
     /// Position along the workload axis only. Per-trial seeds derive from
     /// *this* coordinate, not `index`, so scenarios that differ only in
-    /// algorithm draw identical workloads — algorithm comparisons are
-    /// paired, the stronger experimental design (and the one the EDF ⊇ RM
+    /// algorithm, overhead or partition heuristic draw identical
+    /// workloads — comparisons along every non-workload axis are paired,
+    /// the stronger experimental design (and the one the EDF ⊇ RM
     /// dominance property is stated for).
     pub workload_point: usize,
     /// Local scheduling algorithm.
     pub algorithm: Algorithm,
     /// Target total utilisation (`None` for the paper workload).
     pub utilization: Option<f64>,
+    /// Total mode-switch overhead `O_tot` of this grid point.
+    pub overhead: f64,
+    /// Partitioning heuristic of this grid point.
+    pub partition_heuristic: PartitionHeuristic,
 }
 
 #[cfg(test)]
@@ -299,11 +532,53 @@ mod tests {
         assert_eq!(scenarios[2].utilization, Some(1.5));
         assert_eq!(scenarios[3].algorithm, Algorithm::RateMonotonic);
         assert!(scenarios.iter().enumerate().all(|(i, s)| s.index == i));
+        // Single-valued extension axes collapse onto the fallbacks.
+        assert!(scenarios.iter().all(|s| s.overhead == 0.05));
+        assert!(scenarios
+            .iter()
+            .all(|s| s.partition_heuristic == PartitionHeuristic::WorstFitDecreasing));
         // The workload axis repeats per algorithm: paired comparisons.
         assert_eq!(scenarios[0].workload_point, scenarios[3].workload_point);
         assert_eq!(scenarios[2].workload_point, scenarios[5].workload_point);
         assert_ne!(scenarios[0].workload_point, scenarios[1].workload_point);
         assert_eq!(sweep_spec().trial_count(), 42);
+    }
+
+    #[test]
+    fn widened_axes_cross_the_full_grid() {
+        let spec = CampaignSpec {
+            overheads: vec![0.02, 0.05],
+            partition_heuristics: vec![
+                PartitionHeuristic::FirstFitDecreasing,
+                PartitionHeuristic::WorstFitDecreasing,
+            ],
+            ..sweep_spec()
+        };
+        spec.validate().unwrap();
+        let scenarios = spec.scenarios();
+        // 2 algorithms x 2 overheads x 2 heuristics x 3 utilisations.
+        assert_eq!(scenarios.len(), 24);
+        assert_eq!(spec.trial_count(), 24 * 7);
+        assert!(scenarios.iter().enumerate().all(|(i, s)| s.index == i));
+        // Order: algorithm-major, then overhead, then heuristic, then
+        // workload point.
+        assert_eq!(scenarios[0].overhead, 0.02);
+        assert_eq!(
+            scenarios[0].partition_heuristic,
+            PartitionHeuristic::FirstFitDecreasing
+        );
+        assert_eq!(
+            scenarios[3].partition_heuristic,
+            PartitionHeuristic::WorstFitDecreasing
+        );
+        assert_eq!(scenarios[6].overhead, 0.05);
+        assert_eq!(scenarios[12].algorithm, Algorithm::RateMonotonic);
+        // Every scenario of one workload point shares that coordinate:
+        // trials stay paired across ALL non-workload axes.
+        for s in &scenarios {
+            assert_eq!(s.workload_point, s.index % 3);
+            assert_eq!(s.utilization, Some([0.5, 1.0, 1.5][s.workload_point]));
+        }
     }
 
     #[test]
@@ -316,6 +591,24 @@ mod tests {
         spec.validate().unwrap();
         assert_eq!(spec.scenarios().len(), 2);
         assert_eq!(spec.scenarios()[0].utilization, None);
+    }
+
+    #[test]
+    fn paper_workload_can_sweep_overheads_but_not_heuristics() {
+        let spec = CampaignSpec {
+            workload: WorkloadSpec::Paper,
+            utilizations: vec![],
+            overheads: vec![0.0, 0.05, 0.1],
+            ..sweep_spec()
+        };
+        spec.validate().unwrap();
+        assert_eq!(spec.scenarios().len(), 6);
+        assert_eq!(spec.scenarios()[1].overhead, 0.05);
+        let bad = CampaignSpec {
+            partition_heuristics: vec![PartitionHeuristic::FirstFitDecreasing],
+            ..spec
+        };
+        assert!(bad.validate().is_err());
     }
 
     #[test]
@@ -342,6 +635,39 @@ mod tests {
         .is_err());
         assert!(CampaignSpec {
             total_overhead: -0.1,
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            overheads: vec![0.05, f64::NAN],
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            response_histogram: Some(ResponseHistogramSpec {
+                bin_width: 0.0,
+                bins: 10
+            }),
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            response_histogram: Some(ResponseHistogramSpec {
+                bin_width: 0.5,
+                bins: 0
+            }),
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        assert!(CampaignSpec {
+            response_histogram: Some(ResponseHistogramSpec {
+                bin_width: 0.5,
+                bins: ResponseHistogramSpec::MAX_BINS + 1
+            }),
             ..spec.clone()
         }
         .validate()
@@ -396,6 +722,15 @@ mod tests {
             kind: TrialKind::DesignAndValidate,
             compare_baselines: true,
             region_samples: Some(300),
+            overheads: vec![0.01, 0.05],
+            partition_heuristics: vec![
+                PartitionHeuristic::BestFitDecreasing,
+                PartitionHeuristic::WorstFitDecreasing,
+            ],
+            response_histogram: Some(ResponseHistogramSpec {
+                bin_width: 0.25,
+                bins: 64,
+            }),
             ..sweep_spec()
         };
         let json = serde_json::to_string_pretty(&spec).unwrap();
@@ -413,5 +748,23 @@ mod tests {
         let trimmed = trimmed.trim_end_matches(['}', ',']).to_string() + "}";
         let back: CampaignSpec = serde_json::from_str(&trimmed).unwrap();
         assert_eq!(back, sweep_spec());
+    }
+
+    #[test]
+    fn default_axes_are_not_serialized() {
+        // The serialised form of a spec without extension axes must not
+        // mention them at all — pre-axis reports stay byte-identical.
+        let json = serde_json::to_string(&sweep_spec()).unwrap();
+        assert!(!json.contains("overheads"));
+        assert!(!json.contains("partition_heuristics"));
+        assert!(!json.contains("response_histogram"));
+        // And explicit axes round-trip through the same field names.
+        let widened = CampaignSpec {
+            overheads: vec![0.1],
+            ..sweep_spec()
+        };
+        assert!(serde_json::to_string(&widened)
+            .unwrap()
+            .contains("overheads"));
     }
 }

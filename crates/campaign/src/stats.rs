@@ -12,9 +12,110 @@
 use serde::{Deserialize, Serialize};
 
 use ftsched_sim::report::OutcomeCounts;
-use ftsched_task::{Mode, PerMode};
+use ftsched_task::{Mode, PerMode, TaskId};
 
+use crate::spec::ResponseHistogramSpec;
 use crate::trial::{TrialOutcome, TrialStatus};
+
+/// A deterministic fixed-bin histogram of response times.
+///
+/// Bins are `[i*w, (i+1)*w)` for bin width `w`; observations at or past
+/// the last regular bin land in a single overflow bin. Counts are
+/// integers, so [`ResponseHistogram::merge`] is **exactly** associative
+/// and commutative — the property that lets sharded and multi-threaded
+/// campaigns report bit-identical percentiles
+/// (`tests/property_merge.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseHistogram {
+    /// Width of one regular bin, in paper time units.
+    pub bin_width: f64,
+    /// Per-bin observation counts.
+    pub counts: Vec<u64>,
+    /// Observations at or beyond `counts.len() * bin_width`.
+    pub overflow: u64,
+}
+
+impl ResponseHistogram {
+    /// An empty histogram with the spec's binning.
+    pub fn new(spec: ResponseHistogramSpec) -> Self {
+        ResponseHistogram {
+            bin_width: spec.bin_width,
+            counts: vec![0; spec.bins],
+            overflow: 0,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, value: f64) {
+        let bin = (value / self.bin_width).max(0.0);
+        if bin < self.counts.len() as f64 {
+            self.counts[bin as usize] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Merges another histogram (associative and commutative for
+    /// histograms of the same binning — which all histograms of one
+    /// campaign share by construction). A wider `counts` vector on
+    /// either side is tolerated by widening, so malformed partial
+    /// reports degrade instead of panicking.
+    pub fn merge(&mut self, other: &ResponseHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (into, &from) in self.counts.iter_mut().zip(&other.counts) {
+            *into += from;
+        }
+        self.overflow += other.overflow;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.overflow
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) as the upper edge of the bin
+    /// holding the `ceil(q * total)`-th smallest observation —
+    /// a deterministic, conservative (never under-reporting) estimate.
+    /// Returns `0.0` for an empty histogram and `f64::INFINITY` when the
+    /// rank falls into the overflow bin.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cumulative = 0u64;
+        for (bin, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= rank {
+                return (bin as f64 + 1.0) * self.bin_width;
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+/// One task's response-time histogram within a scenario aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskResponse {
+    /// The task.
+    pub task: TaskId,
+    /// Its merged response-time histogram.
+    pub histogram: ResponseHistogram,
+}
+
+/// Merges per-task histogram lists (both sorted by task id) in place —
+/// an order-preserving union where shared tasks merge bin-wise.
+pub(crate) fn merge_task_responses(into: &mut Vec<TaskResponse>, from: &[TaskResponse]) {
+    for response in from {
+        match into.binary_search_by_key(&response.task, |r| r.task) {
+            Ok(i) => into[i].histogram.merge(&response.histogram),
+            Err(i) => into.insert(i, response.clone()),
+        }
+    }
+}
 
 /// Order-independent accumulator for sums of small reals.
 ///
@@ -74,7 +175,7 @@ pub struct BaselineCounts {
 }
 
 /// Aggregated simulation counters for accepted validation trials.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimAggregate {
     /// Simulated (accepted `DesignAndValidate`) trials.
     pub runs: u64,
@@ -101,6 +202,82 @@ pub struct SimAggregate {
     /// Worst response time over every simulated trial (`max` is exact and
     /// associative in `f64`, so no quantisation is needed here).
     pub max_response_time: f64,
+    /// Per-task response-time histograms, sorted by task id — populated
+    /// only when the spec sets
+    /// [`response_histogram`](crate::CampaignSpec::response_histogram).
+    /// Omitted from serialised reports when empty, so histogram-free
+    /// campaigns stay byte-identical to the pre-histogram engine.
+    pub response: Vec<TaskResponse>,
+}
+
+// Serialisation is written by hand so that the `response` field only
+// appears when histograms were collected (byte-compatibility with
+// pre-histogram reports); everything else matches the derive's output
+// field for field.
+impl Serialize for SimAggregate {
+    fn to_value(&self) -> serde::Value {
+        let mut fields: Vec<(String, serde::Value)> = vec![
+            ("runs".into(), self.runs.to_value()),
+            ("released_jobs".into(), self.released_jobs.to_value()),
+            ("completed_jobs".into(), self.completed_jobs.to_value()),
+            ("deadline_misses".into(), self.deadline_misses.to_value()),
+            ("injected_faults".into(), self.injected_faults.to_value()),
+            ("effective_faults".into(), self.effective_faults.to_value()),
+            ("outcomes".into(), self.outcomes.to_value()),
+            ("sum_period".into(), self.sum_period.to_value()),
+            (
+                "sum_slack_bandwidth".into(),
+                self.sum_slack_bandwidth.to_value(),
+            ),
+            (
+                "sum_overhead_bandwidth".into(),
+                self.sum_overhead_bandwidth.to_value(),
+            ),
+            (
+                "sum_max_response_time".into(),
+                self.sum_max_response_time.to_value(),
+            ),
+            (
+                "max_response_time".into(),
+                self.max_response_time.to_value(),
+            ),
+        ];
+        if !self.response.is_empty() {
+            fields.push(("response".into(), self.response.to_value()));
+        }
+        serde::Value::Map(fields)
+    }
+}
+
+impl Deserialize for SimAggregate {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::Error::custom("expected a map for `SimAggregate`"))?;
+        let field = |name: &str| {
+            serde::get_field(m, name).ok_or_else(|| {
+                serde::Error::custom(format!("missing field `{name}` in `SimAggregate`"))
+            })
+        };
+        Ok(SimAggregate {
+            runs: Deserialize::from_value(field("runs")?)?,
+            released_jobs: Deserialize::from_value(field("released_jobs")?)?,
+            completed_jobs: Deserialize::from_value(field("completed_jobs")?)?,
+            deadline_misses: Deserialize::from_value(field("deadline_misses")?)?,
+            injected_faults: Deserialize::from_value(field("injected_faults")?)?,
+            effective_faults: Deserialize::from_value(field("effective_faults")?)?,
+            outcomes: Deserialize::from_value(field("outcomes")?)?,
+            sum_period: Deserialize::from_value(field("sum_period")?)?,
+            sum_slack_bandwidth: Deserialize::from_value(field("sum_slack_bandwidth")?)?,
+            sum_overhead_bandwidth: Deserialize::from_value(field("sum_overhead_bandwidth")?)?,
+            sum_max_response_time: Deserialize::from_value(field("sum_max_response_time")?)?,
+            max_response_time: Deserialize::from_value(field("max_response_time")?)?,
+            response: match serde::get_field(m, "response") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => Vec::new(),
+            },
+        })
+    }
 }
 
 impl SimAggregate {
@@ -119,6 +296,9 @@ impl SimAggregate {
         self.sum_overhead_bandwidth.observe(sim.overhead_bandwidth);
         self.sum_max_response_time.observe(sim.max_response_time);
         self.max_response_time = self.max_response_time.max(sim.max_response_time);
+        if let Some(response) = &sim.response {
+            merge_task_responses(&mut self.response, response);
+        }
     }
 
     fn merge(&mut self, other: &SimAggregate) {
@@ -138,6 +318,7 @@ impl SimAggregate {
         self.sum_max_response_time
             .merge(&other.sum_max_response_time);
         self.max_response_time = self.max_response_time.max(other.max_response_time);
+        merge_task_responses(&mut self.response, &other.response);
     }
 
     /// Total outcome counters over all modes.
@@ -162,6 +343,18 @@ impl SimAggregate {
     /// Mean per-trial worst response time.
     pub fn mean_max_response_time(&self) -> f64 {
         mean(self.sum_max_response_time.value(), self.runs)
+    }
+
+    /// All per-task response histograms pooled into one (exact: integer
+    /// counts over a shared binning). `None` when no histograms were
+    /// collected.
+    pub fn pooled_response(&self) -> Option<ResponseHistogram> {
+        let mut tasks = self.response.iter();
+        let mut pooled = tasks.next()?.histogram.clone();
+        for response in tasks {
+            pooled.merge(&response.histogram);
+        }
+        Some(pooled)
     }
 }
 
@@ -291,6 +484,7 @@ mod tests {
                     wrong_result: 0,
                 }),
                 max_response_time: 1.5,
+                response: None,
             }),
         }
     }
@@ -341,5 +535,80 @@ mod tests {
         assert_eq!(stats.acceptance_ratio(), 0.0);
         assert_eq!(stats.sim.mean_period(), 0.0);
         assert_eq!(stats.sim.mean_max_response_time(), 0.0);
+        assert!(stats.sim.pooled_response().is_none());
+    }
+
+    fn histogram(values: &[f64]) -> ResponseHistogram {
+        let mut h = ResponseHistogram::new(ResponseHistogramSpec {
+            bin_width: 0.5,
+            bins: 8,
+        });
+        for &v in values {
+            h.observe(v);
+        }
+        h
+    }
+
+    #[test]
+    fn histogram_bins_quantiles_and_overflow() {
+        let h = histogram(&[0.1, 0.4, 0.6, 1.2, 3.9, 100.0]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts[0], 2); // [0.0, 0.5)
+        assert_eq!(h.counts[1], 1); // [0.5, 1.0)
+        assert_eq!(h.counts[2], 1); // [1.0, 1.5)
+        assert_eq!(h.counts[7], 1); // [3.5, 4.0)
+        assert_eq!(h.overflow, 1); // >= 4.0
+                                   // p50 -> 3rd of 6 observations, in bin [0.5, 1.0) -> edge 1.0.
+        assert_eq!(h.quantile(0.5), 1.0);
+        // p99 -> 6th observation: overflow.
+        assert_eq!(h.quantile(0.99), f64::INFINITY);
+        assert_eq!(h.quantile(0.8), 4.0);
+        // Empty histograms report 0.
+        assert_eq!(histogram(&[]).quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_is_exact_and_commutative() {
+        let all = histogram(&[0.1, 0.4, 0.6, 1.2, 3.9, 100.0]);
+        let a = histogram(&[0.1, 0.6, 100.0]);
+        let b = histogram(&[0.4, 1.2, 3.9]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all);
+    }
+
+    #[test]
+    fn task_response_lists_merge_as_sorted_unions() {
+        let tr = |id: u32, values: &[f64]| TaskResponse {
+            task: TaskId(id),
+            histogram: histogram(values),
+        };
+        let mut into = vec![tr(1, &[0.1]), tr(3, &[1.2])];
+        merge_task_responses(&mut into, &[tr(2, &[0.4]), tr(3, &[0.6])]);
+        assert_eq!(
+            into.iter().map(|r| r.task.0).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(into[2].histogram.total(), 2);
+    }
+
+    #[test]
+    fn aggregate_serde_omits_empty_response_and_round_trips_full() {
+        let mut stats = ScenarioStats::default();
+        stats.observe(&outcome(TrialStatus::Accepted, true));
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(!json.contains("\"response\""));
+
+        stats.sim.response = vec![TaskResponse {
+            task: TaskId(9),
+            histogram: histogram(&[0.25, 1.0]),
+        }];
+        let json = serde_json::to_string(&stats).unwrap();
+        assert!(json.contains("\"response\""));
+        let back: ScenarioStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
     }
 }

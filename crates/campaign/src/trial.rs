@@ -25,11 +25,13 @@ use ftsched_platform::FaultSchedule;
 use ftsched_sim::report::OutcomeCounts;
 use ftsched_sim::{SimArena, SimulationReport, SlotSchedule};
 use ftsched_task::generator::generate_taskset;
-use ftsched_task::{PerMode, Time};
+use ftsched_task::{PerMode, SystemPartition, TaskSet, Time};
 
-use crate::cache::{DesignCache, DesignKey};
+use crate::cache::DesignKey;
+use crate::cache::{DesignCache, MemoCache, PartitionKey};
 use crate::seed::trial_seed;
-use crate::spec::{CampaignSpec, Scenario, TrialKind, WorkloadSpec};
+use crate::spec::{CampaignSpec, ResponseHistogramSpec, Scenario, TrialKind, WorkloadSpec};
+use crate::stats::{ResponseHistogram, TaskResponse};
 
 /// Why a trial stopped where it did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -73,11 +75,37 @@ pub struct SimSummary {
     /// Worst observed response time over all tasks (time units; 0 when no
     /// job completed).
     pub max_response_time: f64,
+    /// Per-task response-time histograms (sorted by task id), when the
+    /// spec asked for them.
+    pub response: Option<Vec<TaskResponse>>,
 }
 
 impl SimSummary {
-    fn from_report(outcome: &PipelineOutcome, injected_faults: u64) -> Self {
+    fn from_report(
+        outcome: &PipelineOutcome,
+        injected_faults: u64,
+        histogram: Option<ResponseHistogramSpec>,
+    ) -> Self {
         let report: &SimulationReport = &outcome.simulation;
+        let response = histogram.map(|spec| {
+            report
+                .response_times
+                .as_ref()
+                .map(|per_task| {
+                    // BTreeMap iteration: task-id order, deterministic.
+                    per_task
+                        .iter()
+                        .map(|(&task, times)| {
+                            let mut histogram = ResponseHistogram::new(spec);
+                            for &rt in times {
+                                histogram.observe(rt);
+                            }
+                            TaskResponse { task, histogram }
+                        })
+                        .collect()
+                })
+                .unwrap_or_default()
+        });
         SimSummary {
             period: outcome.solution.period,
             slack_bandwidth: outcome.solution.slack_bandwidth(),
@@ -92,6 +120,7 @@ impl SimSummary {
                 .worst_response_times
                 .values()
                 .fold(0.0_f64, |acc, &rt| acc.max(rt)),
+            response,
         }
     }
 }
@@ -168,13 +197,90 @@ struct DesignedStage {
 /// The design-cache type campaigns share across workers.
 pub(crate) type TrialDesignCache = DesignCache<PaperPrefix>;
 
+/// The deterministic generation stage of one synthetic trial: the task
+/// set (or `None` for a generation failure) and the RNG state *after*
+/// the draw, so cached trials resume the stream exactly where an
+/// uncached trial would.
+#[derive(Debug)]
+pub(crate) struct GenPrefix {
+    tasks: Option<TaskSet>,
+    rng: StdRng,
+}
+
+/// The partition of one generated task set under one heuristic, stored
+/// with the set itself so content-hash collisions are detected by `==`
+/// instead of silently reusing a wrong partition.
+#[derive(Debug)]
+pub(crate) struct PartitionEntry {
+    tasks: TaskSet,
+    partition: Option<SystemPartition>,
+}
+
+/// The caches one campaign shares across its workers. The paper design
+/// cache memoises the whole deterministic prefix per grid coordinate;
+/// the synthetic caches memoise the generation stage per workload
+/// coordinate and the partitioning stage per task-set content hash, both
+/// of which repeat across the algorithm / overhead / heuristic axes
+/// (scenarios of one workload point draw identical task sets).
+///
+/// Each sub-cache is enabled only when the grid shape lets it hit:
+/// caching 30 000 task sets that are each used once would spend memory
+/// to save nothing. The synthetic caches are additionally bounded: every
+/// key's read count is known from the grid shape, so entries evict on
+/// their last read, and a capacity cap keeps worst-case residency at
+/// tens of megabytes however large the campaign is (cache misses beyond
+/// the cap just recompute — results are unaffected either way).
+#[derive(Debug)]
+pub(crate) struct TrialCaches {
+    pub(crate) design: TrialDesignCache,
+    gen: MemoCache<(usize, usize), GenPrefix>,
+    partition: MemoCache<PartitionKey, PartitionEntry>,
+}
+
+/// Live-entry cap of each synthetic cache (entries are one generated
+/// task set plus bookkeeping, so this is tens of megabytes at worst).
+const SYNTHETIC_CACHE_CAPACITY: usize = 1 << 16;
+
+impl TrialCaches {
+    /// Builds the cache set for one campaign, sizing enablement and use
+    /// budgets to the spec's grid shape. `enabled = false` (the
+    /// `--no-design-cache` reference path) disables everything.
+    pub(crate) fn new(spec: &CampaignSpec, enabled: bool) -> Self {
+        let synthetic = matches!(spec.workload, WorkloadSpec::Synthetic { .. });
+        let algorithms = spec.algorithms.len();
+        let overheads = spec.effective_overheads().len();
+        let heuristics = spec.effective_partition_heuristics().len();
+        // Scenarios sharing one workload point all draw the same task
+        // set — one generation read per (algorithm, overhead, heuristic)
+        // combination; the partition is additionally shared across
+        // algorithms and overheads (it depends only on the set and the
+        // heuristic), so each partition key is read once per
+        // (algorithm, overhead) combination.
+        let gen_uses = algorithms * overheads * heuristics;
+        let partition_uses = algorithms * overheads;
+        TrialCaches {
+            design: TrialDesignCache::new(enabled),
+            gen: MemoCache::with_limits(
+                enabled && synthetic && gen_uses > 1,
+                gen_uses,
+                SYNTHETIC_CACHE_CAPACITY,
+            ),
+            partition: MemoCache::with_limits(
+                enabled && synthetic && partition_uses > 1,
+                partition_uses,
+                SYNTHETIC_CACHE_CAPACITY,
+            ),
+        }
+    }
+}
+
 /// Computes the deterministic prefix of a Paper-workload trial.
 fn paper_prefix(spec: &CampaignSpec, scenario: &Scenario) -> PaperPrefix {
     let (tasks, partition) = ftsched_task::examples::paper_example();
     let problem = match DesignProblem::with_total_overhead(
         tasks,
         partition,
-        spec.total_overhead,
+        scenario.overhead,
         scenario.algorithm,
     ) {
         Ok(p) => p,
@@ -246,29 +352,30 @@ pub fn run_trial_full(
     run_trial_inner(spec, scenario, trial, None, &mut arena)
 }
 
-/// The campaign executor's entry point: a shared [`DesignCache`] plus a
+/// The campaign executor's entry point: shared [`TrialCaches`] plus a
 /// per-worker [`SimArena`]. Produces exactly the outcome of
-/// [`run_trial`] — the cache and the arena change only how much work is
+/// [`run_trial`] — the caches and the arena change only how much work is
 /// redone, never the result.
 pub(crate) fn run_trial_with(
     spec: &CampaignSpec,
     scenario: &Scenario,
     trial: usize,
-    cache: &TrialDesignCache,
+    caches: &TrialCaches,
     arena: &mut SimArena,
 ) -> TrialOutcome {
-    run_trial_inner(spec, scenario, trial, Some(cache), arena).0
+    run_trial_inner(spec, scenario, trial, Some(caches), arena).0
 }
 
 fn run_trial_inner(
     spec: &CampaignSpec,
     scenario: &Scenario,
     trial: usize,
-    cache: Option<&TrialDesignCache>,
+    caches: Option<&TrialCaches>,
     arena: &mut SimArena,
 ) -> (TrialOutcome, Option<PipelineOutcome>) {
-    // Seeds key on the workload coordinate so algorithm axes are paired
-    // (same task sets, same fault draws) — see `Scenario::workload_point`.
+    // Seeds key on the workload coordinate so every non-workload axis is
+    // paired (same task sets, same fault draws) — see
+    // `Scenario::workload_point`.
     let seed = trial_seed(spec.master_seed, scenario.workload_point, trial);
     let mut rng = StdRng::seed_from_u64(seed);
     let finish = |status: TrialStatus,
@@ -289,10 +396,12 @@ fn run_trial_inner(
         let key = DesignKey::new(
             scenario.workload_point,
             scenario.algorithm,
-            spec.total_overhead,
+            scenario.overhead,
         );
-        let prefix: Arc<PaperPrefix> = match cache {
-            Some(cache) => cache.get_or_compute(key, || paper_prefix(spec, scenario)),
+        let prefix: Arc<PaperPrefix> = match caches {
+            Some(caches) => caches
+                .design
+                .get_or_compute(key, || paper_prefix(spec, scenario)),
             None => Arc::new(paper_prefix(spec, scenario)),
         };
         let baselines = prefix.baselines;
@@ -331,10 +440,12 @@ fn run_trial_inner(
                     horizon_hyperperiods: spec.horizon_hyperperiods,
                     fault_schedule: faults,
                     record_trace: false,
+                    record_response_times: spec.response_histogram.is_some(),
                 };
                 match validate_stage(problem, solution, slots, &config, arena) {
                     Ok(outcome) => {
-                        let sim = SimSummary::from_report(&outcome, injected);
+                        let sim =
+                            SimSummary::from_report(&outcome, injected, spec.response_histogram);
                         (
                             finish(TrialStatus::Accepted, baselines, Some(sim)),
                             Some(outcome),
@@ -347,21 +458,56 @@ fn run_trial_inner(
     }
 
     // 1. Workload. The RNG is consumed in a fixed order (task set first,
-    //    fault schedule second) — do not reorder.
+    //    fault schedule second) — do not reorder. The generation cache
+    //    stores the post-draw RNG state, so cached trials resume the
+    //    stream exactly where uncached ones would.
     let config = spec
         .workload
         .generator_config(scenario.utilization.unwrap_or(1.0))
         .expect("synthetic workloads have generator configs");
-    let tasks = match generate_taskset(&mut rng, &config) {
-        Ok(tasks) => tasks,
-        Err(_) => return (finish(TrialStatus::GenerationFailed, None, None), None),
+    let tasks: Option<TaskSet> = match caches.filter(|c| c.gen.enabled()) {
+        Some(c) => {
+            let prefix = c.gen.get_or_compute((scenario.workload_point, trial), || {
+                let mut fresh = rng.clone();
+                let tasks = generate_taskset(&mut fresh, &config).ok();
+                GenPrefix { tasks, rng: fresh }
+            });
+            rng = prefix.rng.clone();
+            prefix.tasks.clone()
+        }
+        None => generate_taskset(&mut rng, &config).ok(),
+    };
+    let Some(tasks) = tasks else {
+        return (finish(TrialStatus::GenerationFailed, None, None), None);
     };
 
-    // 2. Partition. Baselines that ignore the partition are still
-    //    evaluated when partitioning fails.
-    let partition = match partition_system(&tasks, spec.partition_heuristic) {
-        Ok(p) => p,
-        Err(_) => {
+    // 2. Partition (shared across the algorithm and overhead axes via the
+    //    task set's content hash). Baselines that ignore the partition
+    //    are still evaluated when partitioning fails.
+    let heuristic = scenario.partition_heuristic;
+    let partition: Option<SystemPartition> = match caches.filter(|c| c.partition.enabled()) {
+        Some(c) => {
+            let key = PartitionKey {
+                taskset_hash: tasks.content_hash(),
+                heuristic,
+            };
+            let entry = c.partition.get_or_compute(key, || PartitionEntry {
+                tasks: tasks.clone(),
+                partition: partition_system(&tasks, heuristic).ok(),
+            });
+            if entry.tasks == tasks {
+                entry.partition.clone()
+            } else {
+                // 64-bit content-hash collision: recompute rather than
+                // trust the wrong set's partition.
+                partition_system(&tasks, heuristic).ok()
+            }
+        }
+        None => partition_system(&tasks, heuristic).ok(),
+    };
+    let partition = match partition {
+        Some(p) => p,
+        None => {
             let baselines = spec.compare_baselines.then(|| BaselineVerdicts {
                 flexible: false,
                 static_lockstep: ftsched_design::baseline::static_lockstep_schedulable(
@@ -384,7 +530,7 @@ fn run_trial_inner(
     let problem = match DesignProblem::with_total_overhead(
         tasks,
         partition,
-        spec.total_overhead,
+        scenario.overhead,
         scenario.algorithm,
     ) {
         Ok(p) => p,
@@ -436,6 +582,7 @@ fn run_trial_inner(
                 horizon_hyperperiods: spec.horizon_hyperperiods,
                 fault_schedule: faults,
                 record_trace: false,
+                record_response_times: spec.response_histogram.is_some(),
             };
             let designed = design_stage_with(
                 &problem,
@@ -448,7 +595,7 @@ fn run_trial_inner(
                 validate_stage(&problem, &solution, &slots, &config, arena)
             }) {
                 Ok(outcome) => {
-                    let sim = SimSummary::from_report(&outcome, injected);
+                    let sim = SimSummary::from_report(&outcome, injected, spec.response_histogram);
                     (
                         finish(TrialStatus::Accepted, baselines, Some(sim)),
                         Some(outcome),
@@ -542,5 +689,85 @@ mod tests {
         let scenario = spec.scenarios()[0];
         let outcome = run_trial(&spec, &scenario, 0);
         assert_ne!(outcome.status, TrialStatus::Accepted);
+    }
+
+    #[test]
+    fn histogram_trials_carry_per_task_response_histograms() {
+        let spec = CampaignSpec {
+            response_histogram: Some(ResponseHistogramSpec {
+                bin_width: 0.5,
+                bins: 64,
+            }),
+            ..validate_spec()
+        };
+        let scenario = spec.scenarios()[0];
+        let (outcome, _) = run_trial_full(&spec, &scenario, 0);
+        if outcome.status == TrialStatus::Accepted {
+            let sim = outcome.sim.unwrap();
+            let response = sim.response.expect("histograms were requested");
+            assert!(!response.is_empty());
+            // Sorted by task id, one entry per task that completed jobs,
+            // counts matching the completions.
+            assert!(response.windows(2).all(|w| w[0].task < w[1].task));
+            let total: u64 = response.iter().map(|r| r.histogram.total()).sum();
+            assert_eq!(total, sim.completed_jobs);
+        }
+        // Without the spec field, no histograms are collected.
+        let bare = run_trial(&validate_spec(), &scenario, 0);
+        if let Some(sim) = bare.sim {
+            assert!(sim.response.is_none());
+        }
+    }
+
+    #[test]
+    fn cached_synthetic_trials_match_uncached_ones() {
+        // The gen/partition caches must be a pure optimisation: identical
+        // outcomes per trial, across every axis combination.
+        let spec = CampaignSpec {
+            algorithms: vec![Algorithm::EarliestDeadlineFirst, Algorithm::RateMonotonic],
+            overheads: vec![0.02, 0.08],
+            partition_heuristics: vec![
+                ftsched_design::partitioner::PartitionHeuristic::FirstFitDecreasing,
+                ftsched_design::partitioner::PartitionHeuristic::WorstFitDecreasing,
+            ],
+            utilizations: vec![0.8, 1.6],
+            ..validate_spec()
+        };
+        let caches = TrialCaches::new(&spec, true);
+        assert!(caches.gen.enabled() && caches.partition.enabled());
+        let mut arena = SimArena::new();
+        for scenario in &spec.scenarios() {
+            for trial in 0..spec.trials_per_scenario {
+                let cached = run_trial_with(&spec, scenario, trial, &caches, &mut arena);
+                let uncached = run_trial(&spec, scenario, trial);
+                assert_eq!(
+                    cached, uncached,
+                    "scenario {} trial {trial}",
+                    scenario.index
+                );
+            }
+            if scenario.index == 0 {
+                // Mid-campaign the generation cache holds the first
+                // scenario's trials (one entry per trial index)...
+                assert_eq!(caches.gen.len(), spec.trials_per_scenario);
+            }
+        }
+        // ...and once every scenario sharing a key has taken its
+        // budgeted read, the entries are evicted: campaign size does not
+        // pin cache memory.
+        assert!(caches.gen.is_empty());
+        assert!(caches.partition.is_empty());
+    }
+
+    #[test]
+    fn single_column_grids_disable_the_synthetic_caches() {
+        let spec = CampaignSpec {
+            algorithms: vec![Algorithm::EarliestDeadlineFirst],
+            ..validate_spec()
+        };
+        let caches = TrialCaches::new(&spec, true);
+        assert!(caches.design.enabled());
+        assert!(!caches.gen.enabled());
+        assert!(!caches.partition.enabled());
     }
 }

@@ -1,9 +1,12 @@
 //! `ftsched` — run experiment campaigns from declarative spec files.
 //!
 //! ```text
-//! ftsched run <spec.json> [--threads N] [--block-size N]
-//!                         [--out report.json] [--csv report.csv] [--quiet]
+//! ftsched run <spec.json> [--threads N] [--block-size N] [--shard I/N]
+//!                         [--out report.json] [--csv report.csv]
+//!                         [--response-csv rt.csv] [--quiet]
 //!                         [--no-design-cache]
+//! ftsched merge <part.json>... [--out report.json] [--csv report.csv]
+//!                              [--response-csv rt.csv]
 //! ftsched validate <spec.json>
 //! ftsched bench [--quick] [--minq] [--sim]
 //! ftsched example
@@ -13,7 +16,11 @@
 //! threads with a progress line, prints the summary table and optionally
 //! writes the full JSON report and a per-scenario CSV. Reports are a pure
 //! function of the spec: the same file produces byte-identical output at
-//! any `--threads` value. `bench` runs the minQ / simulator
+//! any `--threads` value. With `--shard I/N` it executes only the `I`-th
+//! of `N` deterministic slices of the campaign (for spreading one
+//! campaign across processes or hosts) and writes a *partial* report;
+//! `merge` folds a complete set of partials into a report byte-identical
+//! to the unsharded run. `bench` runs the minQ / simulator
 //! micro-benchmarks and writes `BENCH_minq.json` / `BENCH_sim.json` at
 //! the repository root.
 
@@ -27,19 +34,29 @@ ftsched — deterministic experiment campaigns for the flexible \
 fault-tolerant scheduling scheme
 
 USAGE:
-    ftsched run <spec.json> [OPTIONS]   run a campaign
+    ftsched run <spec.json> [OPTIONS]   run a campaign (or one shard of it)
+    ftsched merge <part.json>... [OPTIONS]
+                                        fold shard reports into the full one
     ftsched validate <spec.json>        check a spec and show its grid
     ftsched bench [OPTIONS]             run the perf benches, write BENCH_*.json
     ftsched example                     print a sample spec to stdout
 
 OPTIONS (run):
-    --threads <N>      worker threads (default: one per core)
-    --block-size <N>   trials per work block (default: 32)
-    --out <FILE>       write the full JSON report
-    --csv <FILE>       write a per-scenario CSV
-    --quiet            no progress line
-    --no-design-cache  recompute the design stage per trial (debugging;
-                       reports are byte-identical either way)
+    --threads <N>       worker threads (default: one per core)
+    --block-size <N>    trials per work block (default: 32)
+    --shard <I/N>       run only the I-th of N deterministic campaign
+                        slices and emit a partial report (see `merge`)
+    --out <FILE>        write the full JSON report
+    --csv <FILE>        write a per-scenario CSV
+    --response-csv <FILE>
+                        write the per-task response-time percentile CSV
+                        (specs with `response_histogram` only)
+    --quiet             no progress line
+    --no-design-cache   recompute the deterministic trial stages per trial
+                        (debugging; reports are byte-identical either way)
+
+OPTIONS (merge):
+    --out / --csv / --response-csv as for `run`
 
 OPTIONS (bench):
     --quick            reduced measurement budget (CI smoke)
@@ -51,6 +68,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("merge") => cmd_merge(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("example") => {
@@ -68,14 +86,54 @@ fn main() -> ExitCode {
     }
 }
 
+/// Report output destinations shared by `run` and `merge`.
+#[derive(Default)]
+struct Outputs<'a> {
+    json: Option<&'a str>,
+    csv: Option<&'a str>,
+    response_csv: Option<&'a str>,
+}
+
+impl Outputs<'_> {
+    /// Writes the requested files; returns false on the first failure.
+    fn write(&self, report: &CampaignReport) -> bool {
+        if let Some(path) = self.json {
+            if let Err(e) = std::fs::write(path, report.to_json()) {
+                eprintln!("ftsched: cannot write `{path}`: {e}");
+                return false;
+            }
+            eprintln!("wrote JSON report to {path}");
+        }
+        if let Some(path) = self.csv {
+            if let Err(e) = std::fs::write(path, report.to_csv()) {
+                eprintln!("ftsched: cannot write `{path}`: {e}");
+                return false;
+            }
+            eprintln!("wrote CSV report to {path}");
+        }
+        if let Some(path) = self.response_csv {
+            let Some(csv) = report.response_csv() else {
+                eprintln!("ftsched: --response-csv needs a spec with `response_histogram` enabled");
+                return false;
+            };
+            if let Err(e) = std::fs::write(path, csv) {
+                eprintln!("ftsched: cannot write `{path}`: {e}");
+                return false;
+            }
+            eprintln!("wrote response-time CSV to {path}");
+        }
+        true
+    }
+}
+
 fn cmd_run(args: &[String]) -> ExitCode {
     let mut spec_path: Option<&str> = None;
     let mut exec = ExecutorConfig {
         progress: true,
         ..ExecutorConfig::default()
     };
-    let mut out_json: Option<&str> = None;
-    let mut out_csv: Option<&str> = None;
+    let mut outputs = Outputs::default();
+    let mut shard: Option<ShardInfo> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -94,13 +152,28 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 },
                 None => return usage_error("--block-size needs a value"),
             },
+            "--shard" => match take_value(args, &mut i) {
+                Some(v) => match ShardInfo::parse(v) {
+                    Some(s) => shard = Some(s),
+                    None => {
+                        return usage_error(&format!(
+                            "invalid --shard value `{v}` (expected I/N with I < N)"
+                        ))
+                    }
+                },
+                None => return usage_error("--shard needs a value"),
+            },
             "--out" => match take_value(args, &mut i) {
-                Some(v) => out_json = Some(v),
+                Some(v) => outputs.json = Some(v),
                 None => return usage_error("--out needs a value"),
             },
             "--csv" => match take_value(args, &mut i) {
-                Some(v) => out_csv = Some(v),
+                Some(v) => outputs.csv = Some(v),
                 None => return usage_error("--csv needs a value"),
+            },
+            "--response-csv" => match take_value(args, &mut i) {
+                Some(v) => outputs.response_csv = Some(v),
+                None => return usage_error("--response-csv needs a value"),
             },
             "--quiet" => exec.progress = false,
             "--no-design-cache" => exec.design_cache = false,
@@ -123,16 +196,24 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     };
 
-    eprintln!(
-        "campaign `{}`: {} scenarios x {} trials = {} trials on {} threads",
-        spec.name,
-        spec.scenarios().len(),
-        spec.trials_per_scenario,
-        spec.trial_count(),
-        exec.effective_threads(),
-    );
+    match shard {
+        None => eprintln!(
+            "campaign `{}`: {} scenarios x {} trials = {} trials on {} threads",
+            spec.name,
+            spec.scenarios().len(),
+            spec.trials_per_scenario,
+            spec.trial_count(),
+            exec.effective_threads(),
+        ),
+        Some(shard) => eprintln!(
+            "campaign `{}` shard {shard}: slice of {} total trials on {} threads",
+            spec.name,
+            spec.trial_count(),
+            exec.effective_threads(),
+        ),
+    }
     let started = Instant::now();
-    let report = match run_campaign(&spec, &exec) {
+    let report = match run_campaign_shard(&spec, &exec, shard) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("ftsched: {e}");
@@ -145,24 +226,85 @@ fn cmd_run(args: &[String]) -> ExitCode {
         "completed {trials} trials in {elapsed:.2}s ({:.0} trials/s)",
         trials as f64 / elapsed.max(1e-9)
     );
+    if shard.is_some() && outputs.json.is_none() {
+        eprintln!("note: partial (shard) reports are meant to be saved with --out and folded with `ftsched merge`");
+    }
 
     println!("{}", report.render_table());
 
-    if let Some(path) = out_json {
-        if let Err(e) = std::fs::write(path, report.to_json()) {
-            eprintln!("ftsched: cannot write `{path}`: {e}");
+    if outputs.write(&report) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn cmd_merge(args: &[String]) -> ExitCode {
+    let mut outputs = Outputs::default();
+    let mut files: Vec<&str> = Vec::new();
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => match take_value(args, &mut i) {
+                Some(v) => outputs.json = Some(v),
+                None => return usage_error("--out needs a value"),
+            },
+            "--csv" => match take_value(args, &mut i) {
+                Some(v) => outputs.csv = Some(v),
+                None => return usage_error("--csv needs a value"),
+            },
+            "--response-csv" => match take_value(args, &mut i) {
+                Some(v) => outputs.response_csv = Some(v),
+                None => return usage_error("--response-csv needs a value"),
+            },
+            other if !other.starts_with('-') => files.push(other),
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    if files.is_empty() {
+        return usage_error("merge needs at least one partial report file");
+    }
+
+    let mut parts = Vec::with_capacity(files.len());
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("ftsched: cannot read `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match serde_json::from_str::<CampaignReport>(&text) {
+            Ok(report) => parts.push(report),
+            Err(e) => {
+                eprintln!("ftsched: cannot parse `{path}`: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let report = match merge_reports(parts) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("ftsched: {e}");
             return ExitCode::FAILURE;
         }
-        eprintln!("wrote JSON report to {path}");
+    };
+    eprintln!(
+        "merged campaign `{}`: {} scenarios, {} trials",
+        report.spec.name,
+        report.scenarios.len(),
+        report.total_trials(),
+    );
+    println!("{}", report.render_table());
+
+    if outputs.write(&report) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
-    if let Some(path) = out_csv {
-        if let Err(e) = std::fs::write(path, report.to_csv()) {
-            eprintln!("ftsched: cannot write `{path}`: {e}");
-            return ExitCode::FAILURE;
-        }
-        eprintln!("wrote CSV report to {path}");
-    }
-    ExitCode::SUCCESS
 }
 
 fn cmd_bench(args: &[String]) -> ExitCode {
@@ -220,13 +362,18 @@ fn cmd_validate(args: &[String]) -> ExitCode {
     };
     match load_spec(path) {
         Ok(spec) => {
+            let algorithms = spec.algorithms.len();
+            let overheads = spec.effective_overheads().len();
+            let heuristics = spec.effective_partition_heuristics().len();
+            let workload_points =
+                spec.scenarios().len() / (algorithms * overheads * heuristics).max(1);
             println!(
-                "`{}` is valid: {} scenarios ({} algorithms x {} workload points), \
+                "`{}` is valid: {} scenarios ({algorithms} algorithms x \
+                 {overheads} overheads x {heuristics} heuristics x \
+                 {workload_points} workload points), \
                  {} trials per scenario, {} trials total",
                 spec.name,
                 spec.scenarios().len(),
-                spec.algorithms.len(),
-                spec.scenarios().len() / spec.algorithms.len().max(1),
                 spec.trials_per_scenario,
                 spec.trial_count(),
             );

@@ -33,6 +33,9 @@ pub struct PipelineConfig {
     pub fault_schedule: FaultSchedule,
     /// Whether the simulation keeps its full trace.
     pub record_trace: bool,
+    /// Whether the simulation records every completed job's response time
+    /// per task (feeds campaign response-time histograms).
+    pub record_response_times: bool,
 }
 
 impl Default for PipelineConfig {
@@ -43,6 +46,7 @@ impl Default for PipelineConfig {
             horizon_hyperperiods: 2,
             fault_schedule: FaultSchedule::none(),
             record_trace: false,
+            record_response_times: false,
         }
     }
 }
@@ -176,6 +180,7 @@ pub fn validate_stage(
             horizon,
             fault_schedule: config.fault_schedule.clone(),
             record_trace: config.record_trace,
+            record_response_times: config.record_response_times,
         },
         arena,
     )?;

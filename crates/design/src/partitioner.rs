@@ -53,6 +53,12 @@ impl PartitionHeuristic {
     }
 }
 
+impl std::fmt::Display for PartitionHeuristic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// Partitions the tasks of one mode onto that mode's channels with the
 /// given heuristic.
 ///

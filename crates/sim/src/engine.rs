@@ -34,6 +34,11 @@ pub struct SimulationConfig {
     /// Whether to keep the full trace in the report (disable for large
     /// campaigns).
     pub record_trace: bool,
+    /// Whether to record every completed job's response time, grouped per
+    /// task, in [`SimulationReport::response_times`]. Off by default: the
+    /// campaign engine enables it only when a spec asks for response-time
+    /// histograms, so trials that don't need the data pay nothing.
+    pub record_response_times: bool,
 }
 
 impl SimulationConfig {
@@ -43,6 +48,7 @@ impl SimulationConfig {
             horizon,
             fault_schedule: FaultSchedule::none(),
             record_trace: true,
+            record_response_times: false,
         }
     }
 }
@@ -141,6 +147,10 @@ pub fn simulate_in(
     let mut trace = Trace::default();
     let mut outcomes: PerMode<OutcomeCounts> = PerMode::splat(OutcomeCounts::default());
     let mut worst_response: HashMap<ftsched_task::TaskId, f64> = HashMap::new();
+    // BTreeMap: per-task response-time lists iterate in task-id order, so
+    // everything derived from them downstream is deterministic.
+    let mut response_times: Option<std::collections::BTreeMap<ftsched_task::TaskId, Vec<f64>>> =
+        config.record_response_times.then(Default::default);
     let mut executed_time = PerMode::splat(0.0);
     let mut released_jobs = 0u64;
     let mut completed_jobs = 0u64;
@@ -180,6 +190,9 @@ pub fn simulate_in(
                     if rt > *entry {
                         *entry = rt;
                     }
+                    if let Some(map) = response_times.as_mut() {
+                        map.entry(record.job.task).or_default().push(rt);
+                    }
                 }
                 let missed = match record.completion {
                     Some(completion) => completion > record.deadline,
@@ -211,6 +224,7 @@ pub fn simulate_in(
         deadline_misses,
         outcomes,
         worst_response_times: worst_response,
+        response_times,
         executed_time,
         effective_faults: effective_faults.len() as u64,
         trace: if config.record_trace {
@@ -498,6 +512,7 @@ mod tests {
                 horizon: 60.0,
                 fault_schedule: schedule,
                 record_trace: false,
+                record_response_times: false,
             },
         )
         .unwrap();
@@ -523,6 +538,7 @@ mod tests {
                 horizon: 60.0,
                 fault_schedule: schedule,
                 record_trace: false,
+                record_response_times: false,
             },
         )
         .unwrap();
@@ -546,6 +562,7 @@ mod tests {
                 horizon: 60.0,
                 fault_schedule: schedule,
                 record_trace: false,
+                record_response_times: false,
             },
         )
         .unwrap();
@@ -571,6 +588,7 @@ mod tests {
                 horizon: 30.0,
                 fault_schedule: schedule,
                 record_trace: false,
+                record_response_times: false,
             },
         )
         .unwrap();
@@ -605,6 +623,7 @@ mod tests {
                 horizon: 30.0,
                 fault_schedule: FaultSchedule::none(),
                 record_trace: false,
+                record_response_times: false,
             },
         )
         .unwrap();
@@ -625,6 +644,7 @@ mod tests {
                     horizon,
                     fault_schedule: faults.clone(),
                     record_trace,
+                    record_response_times: false,
                 };
                 let fresh = simulate(
                     &tasks,

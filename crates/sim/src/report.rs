@@ -1,6 +1,6 @@
 //! Aggregated results of a simulation run.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use serde::{Deserialize, Serialize};
 
@@ -61,6 +61,13 @@ pub struct SimulationReport {
     /// Worst observed response time per task (completed jobs only), in
     /// paper time units.
     pub worst_response_times: HashMap<TaskId, f64>,
+    /// Every completed job's response time, grouped per task in task-id
+    /// order — only recorded when
+    /// [`SimulationConfig::record_response_times`](crate::SimulationConfig)
+    /// is set (campaign response-time histograms feed on this). Within a
+    /// task, times appear in job-completion record order, which is
+    /// deterministic.
+    pub response_times: Option<BTreeMap<TaskId, Vec<f64>>>,
     /// Busy (executed) time per mode, in paper time units.
     pub executed_time: PerMode<f64>,
     /// Number of faults that overlapped at least one job.
@@ -143,6 +150,7 @@ mod tests {
             deadline_misses: 0,
             outcomes,
             worst_response_times: HashMap::new(),
+            response_times: None,
             executed_time: PerMode::splat(0.0),
             effective_faults: 2,
             trace: None,

@@ -114,6 +114,39 @@ impl TaskSet {
         self.tasks.iter().all(Task::has_implicit_deadline)
     }
 
+    /// A stable 64-bit hash of the set's scheduling-relevant content:
+    /// each task's `(id, C_i, T_i, D_i, mode)` in set order, with the
+    /// real-valued parameters hashed by IEEE-754 bit pattern (no
+    /// tolerance games). Task names are deliberately excluded — two sets
+    /// that schedule identically hash identically.
+    ///
+    /// The hash is FNV-1a over 64-bit words, fixed for all platforms, so
+    /// it can key cross-process memo tables (the campaign engine's
+    /// synthetic design cache keys on it). It is *not* collision-free:
+    /// callers that must never confuse distinct sets should verify with
+    /// `==` on a hit.
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix = |word: u64| {
+            // FNV-1a over the word's bytes, little-endian.
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.tasks.len() as u64);
+        for task in &self.tasks {
+            mix(u64::from(task.id.0));
+            mix(task.wcet.to_bits());
+            mix(task.period.to_bits());
+            mix(task.deadline.to_bits());
+            mix(task.mode as u64);
+        }
+        hash
+    }
+
     /// The subset of tasks requiring the given mode, preserving order.
     ///
     /// Returns `None` if no task requires that mode.
@@ -252,6 +285,39 @@ mod tests {
         };
         let err = TaskSet::new(vec![bad]).unwrap_err();
         assert!(matches!(err, TaskModelError::WcetExceedsDeadline { .. }));
+    }
+
+    #[test]
+    fn content_hash_keys_on_scheduling_parameters_only() {
+        let set = sample_set();
+        assert_eq!(set.content_hash(), sample_set().content_hash());
+        // Renaming a task does not change the hash...
+        let mut renamed = set.tasks().to_vec();
+        renamed[0].name = "rebadged".into();
+        let renamed = TaskSet::new(renamed).unwrap();
+        assert_eq!(renamed.content_hash(), set.content_hash());
+        // ...but changing any scheduling parameter, the mode, the id or
+        // the task order does.
+        let shorter = TaskSet::new(vec![
+            task(1, 1.0, 6.0, Mode::NonFaultTolerant),
+            task(2, 1.0, 8.0, Mode::NonFaultTolerant),
+            task(9, 0.5, 4.0, Mode::FailSilent),
+            task(10, 1.0, 12.0, Mode::FaultTolerant),
+        ])
+        .unwrap();
+        assert_ne!(shorter.content_hash(), set.content_hash());
+        let remoded = TaskSet::new(vec![
+            task(1, 1.0, 6.0, Mode::FailSilent),
+            task(2, 1.0, 8.0, Mode::NonFaultTolerant),
+            task(9, 1.0, 4.0, Mode::FailSilent),
+            task(10, 1.0, 12.0, Mode::FaultTolerant),
+        ])
+        .unwrap();
+        assert_ne!(remoded.content_hash(), set.content_hash());
+        let mut reordered = set.tasks().to_vec();
+        reordered.swap(0, 1);
+        let reordered = TaskSet::new(reordered).unwrap();
+        assert_ne!(reordered.content_hash(), set.content_hash());
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Backward compatibility against the pre-axis engine, enforced with
+//! golden files: every spec in `examples/` that predates the widened
+//! scenario grid must parse under the widened `CampaignSpec` and produce
+//! JSON / CSV / table reports **byte-identical** to the pre-PR binary's
+//! output (checked into `tests/golden/`, generated before the axes
+//! landed).
+//!
+//! If one of these tests fails, the report format changed for existing
+//! specs — that is a breaking change to every published campaign, not a
+//! formatting detail. Regenerate the goldens only with a deliberate
+//! format-version bump.
+
+use ftsched_campaign::prelude::*;
+
+fn root(path: &str) -> String {
+    format!("{}/{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn golden(name: &str, extension: &str) -> String {
+    let path = root(&format!("tests/golden/{name}.{extension}"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+fn check_example(name: &str) {
+    let path = root(&format!("examples/{name}.json"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let spec: CampaignSpec = serde_json::from_str(&text)
+        .unwrap_or_else(|e| panic!("pre-axis spec `{name}` no longer parses: {e}"));
+    spec.validate().unwrap();
+    // Pre-axis specs must stay on the single-value fallbacks.
+    assert!(!spec.has_overhead_axis() && !spec.has_heuristic_axis());
+    assert!(spec.response_histogram.is_none());
+
+    let report = run_campaign(
+        &spec,
+        &ExecutorConfig {
+            threads: 2,
+            block_size: 32,
+            progress: false,
+            design_cache: true,
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        report.to_json(),
+        golden(name, "json"),
+        "JSON report for `{name}` diverged from the pre-axis binary"
+    );
+    assert_eq!(
+        report.to_csv(),
+        golden(name, "csv"),
+        "CSV report for `{name}` diverged from the pre-axis binary"
+    );
+    // The golden table file is the binary's stdout: the table plus the
+    // trailing newline `println!` appends.
+    assert_eq!(
+        format!("{}\n", report.render_table()),
+        golden(name, "table.txt"),
+        "table for `{name}` diverged from the pre-axis binary"
+    );
+}
+
+#[test]
+fn acceptance_ratio_example_is_byte_identical_to_pre_axis_binary() {
+    check_example("acceptance_ratio");
+}
+
+#[test]
+fn baseline_comparison_example_is_byte_identical_to_pre_axis_binary() {
+    check_example("baseline_comparison");
+}
+
+#[test]
+fn fault_injection_example_is_byte_identical_to_pre_axis_binary() {
+    check_example("fault_injection");
+}
+
+#[test]
+fn golden_reports_parse_under_the_widened_schema() {
+    // A report written by the pre-axis binary still deserialises (the
+    // extension fields default), and re-serialising it reproduces the
+    // file byte for byte — the round trip is lossless in both formats.
+    for name in ["acceptance_ratio", "baseline_comparison", "fault_injection"] {
+        let text = golden(name, "json");
+        let report: CampaignReport = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("golden `{name}` no longer parses: {e}"));
+        assert!(report.is_complete());
+        assert_eq!(report.to_json(), text, "round trip of golden `{name}`");
+    }
+}

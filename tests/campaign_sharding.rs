@@ -1,0 +1,148 @@
+//! The shard/merge contract, end to end: splitting a campaign into
+//! shards with `run_campaign_shard` and folding the partial reports with
+//! `merge_reports` reproduces the unsharded report **byte for byte** —
+//! JSON, CSV and table — at any thread count, for both the
+//! paper-validation example spec and a synthetic spec that sweeps the
+//! widened overhead × heuristic grid.
+
+use ftsched_campaign::prelude::*;
+
+fn example_spec(name: &str) -> CampaignSpec {
+    let path = format!("{}/examples/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let spec: CampaignSpec = serde_json::from_str(&text).unwrap();
+    spec.validate().unwrap();
+    spec
+}
+
+fn exec(threads: usize, block_size: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        threads,
+        block_size,
+        progress: false,
+        design_cache: true,
+    }
+}
+
+/// Runs `spec` unsharded, then as `count` shards folded back together,
+/// and asserts every rendering is byte-identical at 1, 2 and 8 threads.
+fn assert_shards_merge_exactly(spec: &CampaignSpec, count: usize) {
+    let reference = run_campaign(spec, &exec(1, 32)).unwrap();
+    let reference_json = reference.to_json();
+    let reference_csv = reference.to_csv();
+    let reference_table = reference.render_table();
+
+    for threads in [1usize, 2, 8] {
+        // The unsharded run is thread-invariant...
+        let full = run_campaign(spec, &exec(threads, 5)).unwrap();
+        assert_eq!(
+            full.to_json(),
+            reference_json,
+            "unsharded JSON changed at {threads} threads"
+        );
+
+        // ...and so is the shard → merge round trip, even when each
+        // shard runs at a different thread/block configuration.
+        let parts: Vec<CampaignReport> = (0..count)
+            .map(|index| {
+                let shard = ShardInfo { index, count };
+                let config = exec(if index % 2 == 0 { threads } else { 1 }, 3 + index);
+                let part = run_campaign_shard(spec, &config, Some(shard)).unwrap();
+                assert_eq!(part.shard, Some(shard));
+                assert!(!part.is_complete());
+                // Round-trip each partial through its JSON file format,
+                // exactly as `ftsched merge` will see it.
+                serde_json::from_str(&part.to_json()).unwrap()
+            })
+            .collect();
+        let merged = merge_reports(parts).unwrap();
+        assert!(merged.is_complete());
+        assert_eq!(
+            merged.to_json(),
+            reference_json,
+            "merged JSON diverged ({count} shards, {threads} threads)"
+        );
+        assert_eq!(
+            merged.to_csv(),
+            reference_csv,
+            "merged CSV diverged ({count} shards, {threads} threads)"
+        );
+        assert_eq!(
+            merged.render_table(),
+            reference_table,
+            "merged table diverged ({count} shards, {threads} threads)"
+        );
+    }
+}
+
+#[test]
+fn paper_validation_campaign_shards_and_merges_byte_identically() {
+    // The paper-validation example spec: a single scenario whose 100
+    // trials are sliced across shards (trial-level sharding).
+    let spec = example_spec("fault_injection.json");
+    assert_shards_merge_exactly(&spec, 3);
+}
+
+#[test]
+fn widened_grid_campaign_shards_and_merges_byte_identically() {
+    // The widened-grid example: 54 scenarios across overhead × heuristic
+    // axes with response histograms, sliced across scenario boundaries.
+    let spec = example_spec("grid_sweep.json");
+    assert_shards_merge_exactly(&spec, 4);
+}
+
+#[test]
+fn shard_order_does_not_matter_to_merge() {
+    let spec = example_spec("fault_injection.json");
+    let reference = run_campaign(&spec, &exec(2, 8)).unwrap();
+    let mut parts: Vec<CampaignReport> = (0..3)
+        .map(|index| {
+            run_campaign_shard(&spec, &exec(2, 8), Some(ShardInfo { index, count: 3 })).unwrap()
+        })
+        .collect();
+    parts.reverse();
+    let merged = merge_reports(parts).unwrap();
+    assert_eq!(merged.to_json(), reference.to_json());
+}
+
+#[test]
+fn degenerate_shard_counts_still_merge() {
+    let spec = CampaignSpec {
+        trials_per_scenario: 5,
+        ..example_spec("fault_injection.json")
+    };
+    let reference = run_campaign(&spec, &exec(1, 32)).unwrap();
+    // More shards than trials: the tail shards are empty partials.
+    let count = 9;
+    let parts: Vec<CampaignReport> = (0..count)
+        .map(|index| {
+            run_campaign_shard(&spec, &exec(1, 32), Some(ShardInfo { index, count })).unwrap()
+        })
+        .collect();
+    assert!(parts.iter().any(|p| p.scenarios.is_empty()));
+    let merged = merge_reports(parts).unwrap();
+    assert_eq!(merged.to_json(), reference.to_json());
+}
+
+#[test]
+fn incomplete_shard_sets_are_rejected() {
+    let spec = example_spec("fault_injection.json");
+    let part0 =
+        run_campaign_shard(&spec, &exec(1, 32), Some(ShardInfo { index: 0, count: 2 })).unwrap();
+    let part1 =
+        run_campaign_shard(&spec, &exec(1, 32), Some(ShardInfo { index: 1, count: 2 })).unwrap();
+    // Missing shard.
+    assert!(matches!(
+        merge_reports(vec![part0.clone()]),
+        Err(CampaignError::InvalidMerge(_))
+    ));
+    // Duplicated shard.
+    assert!(merge_reports(vec![part0.clone(), part0.clone()]).is_err());
+    // Complete set works.
+    assert!(merge_reports(vec![part0, part1]).is_ok());
+    // Out-of-range shard coordinates are rejected up front.
+    assert!(matches!(
+        run_campaign_shard(&spec, &exec(1, 32), Some(ShardInfo { index: 2, count: 2 })),
+        Err(CampaignError::InvalidSpec(_))
+    ));
+}

@@ -102,6 +102,7 @@ fn simulator_campaign_matches_mode_guarantees_on_the_paper_design() {
             horizon,
             fault_schedule: faults,
             record_trace: false,
+            record_response_times: false,
         },
     )
     .unwrap();
@@ -153,6 +154,7 @@ fn directed_faults_hit_exactly_the_targeted_mode() {
                 horizon: 30.0,
                 fault_schedule: schedule,
                 record_trace: false,
+                record_response_times: false,
             },
         )
         .unwrap();
@@ -197,6 +199,7 @@ fn fault_rate_sweep_shows_monotone_exposure_in_nf_mode() {
                 horizon,
                 fault_schedule: faults,
                 record_trace: false,
+                record_response_times: false,
             },
         )
         .unwrap();

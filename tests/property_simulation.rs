@@ -49,7 +49,7 @@ proptest! {
             &problem.partition,
             problem.algorithm,
             &slots,
-            &SimulationConfig { horizon, fault_schedule: FaultSchedule::none(), record_trace: false },
+            &SimulationConfig { horizon, fault_schedule: FaultSchedule::none(), record_trace: false, record_response_times: false },
         ).unwrap();
         prop_assert!(
             report.all_deadlines_met(),
@@ -81,7 +81,7 @@ proptest! {
             &problem.partition,
             problem.algorithm,
             &slots,
-            &SimulationConfig { horizon, fault_schedule: faults, record_trace: false },
+            &SimulationConfig { horizon, fault_schedule: faults, record_trace: false, record_response_times: false },
         ).unwrap();
         prop_assert_eq!(report.outcomes[Mode::FaultTolerant].wrong_result, 0);
         prop_assert_eq!(report.outcomes[Mode::FailSilent].wrong_result, 0);
@@ -106,11 +106,11 @@ proptest! {
         );
         let clean = simulate(
             &problem.tasks, &problem.partition, problem.algorithm, &slots,
-            &SimulationConfig { horizon, fault_schedule: FaultSchedule::none(), record_trace: false },
+            &SimulationConfig { horizon, fault_schedule: FaultSchedule::none(), record_trace: false, record_response_times: false },
         ).unwrap();
         let faulty = simulate(
             &problem.tasks, &problem.partition, problem.algorithm, &slots,
-            &SimulationConfig { horizon, fault_schedule: faults, record_trace: false },
+            &SimulationConfig { horizon, fault_schedule: faults, record_trace: false, record_response_times: false },
         ).unwrap();
         prop_assert_eq!(clean.deadline_misses, faulty.deadline_misses);
         prop_assert_eq!(clean.released_jobs, faulty.released_jobs);
