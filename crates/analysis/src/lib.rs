@@ -51,6 +51,7 @@ pub mod supply;
 pub mod sweep;
 pub mod workload;
 
+pub use edf::DEFAULT_HORIZON_CAP;
 pub use error::AnalysisError;
 pub use minq::{min_quantum, min_quantum_multi, MinQuantum};
 pub use multislot::{min_quantum_multislot, MultiSlotSupply};

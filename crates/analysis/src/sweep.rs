@@ -21,17 +21,31 @@
 //! (build, evaluate once, drop), so there is exactly one code path and the
 //! sweep is bit-for-bit identical to the historical per-sample kernel:
 //! same iteration order, same `f64` operations, same tie-breaking.
+//!
+//! ## Parametric in the WCETs
+//!
+//! The point *instants* are WCET-independent (they come from deadlines
+//! and periods only); the WCETs enter solely through the workload sums
+//! `W(t) = Σ nᵢ(t) · Cᵢ`, whose activation coefficients `nᵢ(t)` are again
+//! WCET-independent. A sweep therefore stores those coefficients (its
+//! [`SweepShape`]) alongside the baked `W(t)` values, and
+//! [`MinQSweep::with_scaled_wcets`] / [`MinQSweep::rescale_into`]
+//! re-derive only the load vector for a uniform WCET inflation `λ` — no
+//! re-enumeration, no re-sort, and (for `rescale_into`) no allocation.
+//! Scaled WCETs are clamped at the task deadline, exactly like the
+//! sensitivity search's problem-cloning `scale_wcets`, and the `λ = 1`
+//! loads are **bit-identical** to a fresh build (same fold order).
+
+use std::sync::Arc;
 
 use ftsched_task::TaskSet;
 
+use crate::edf::DEFAULT_HORIZON_CAP;
 use crate::error::AnalysisError;
 use crate::minq::{quantum_at_point, MinQuantum};
 use crate::points::{capped_hyperperiod, deadline_set, scheduling_points};
 use crate::scheduler::Algorithm;
 use crate::workload::{edf_demand, fp_workload};
-
-/// Cap on the EDF analysis horizon (see [`crate::edf::DEFAULT_HORIZON_CAP`]).
-const HORIZON_CAP: f64 = 100_000.0;
 
 /// One precomputed test point: the instant `t` and the period-independent
 /// workload/demand `W(t)` at that instant.
@@ -39,6 +53,89 @@ const HORIZON_CAP: f64 = 100_000.0;
 struct PointLoad {
     t: f64,
     w: f64,
+}
+
+/// Per-task WCET parameters of the sweep's shape: the *base* (unscaled)
+/// WCET and the deadline that clamps any inflation of it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct TaskParams {
+    wcet: f64,
+    deadline: f64,
+}
+
+/// The WCET-independent part of a sweep: the per-task base parameters and
+/// the flat activation-coefficient array `nᵢ(t)`, one span per point in
+/// enumeration order.
+///
+/// Layout of `coeffs` (mirroring the workload fold order exactly):
+///
+/// * **Fixed priority** — a point of the `g`-th task (priority order) has
+///   `g + 1` coefficients: the task's own (always `1.0`), then
+///   `⌈t / T_j⌉` for each higher-priority task `j = 0..g` in order.
+/// * **EDF** — every point has one coefficient per task in set order:
+///   `max(⌊(t + T_i − D_i) / T_i⌋, 0)`.
+///
+/// Shapes are shared (`Arc`) between a sweep and everything derived from
+/// it via [`MinQSweep::with_scaled_wcets`], so rescaling never copies the
+/// enumeration.
+#[derive(Debug, PartialEq)]
+struct SweepShape {
+    tasks: Vec<TaskParams>,
+    coeffs: Vec<f64>,
+}
+
+impl SweepShape {
+    /// The per-task WCETs at inflation `λ`, clamped at each deadline —
+    /// the same clamp the design layer's `scale_wcets` applies when it
+    /// clones a problem.
+    fn scaled_wcets(&self, lambda: f64) -> Vec<f64> {
+        self.tasks
+            .iter()
+            .map(|t| (t.wcet * lambda).min(t.deadline))
+            .collect()
+    }
+}
+
+/// Recomputes every point's `W(t)` from the shape's coefficients at WCET
+/// inflation `lambda`, in exactly the fold order of [`fp_workload`] /
+/// [`edf_demand`]: bit-identical to a fresh build over the scaled task
+/// set.
+fn rescale_loads(points: &mut [PointLoad], kind: &SweepKind, shape: &SweepShape, lambda: f64) {
+    let scaled = shape.scaled_wcets(lambda);
+    let mut c = 0usize;
+    match kind {
+        SweepKind::FixedPriority { groups } => {
+            let mut start = 0usize;
+            for (task_idx, &(end, _)) in groups.iter().enumerate() {
+                for p in &mut points[start..end] {
+                    // fp_workload's fold order: the task's own WCET
+                    // first, then each higher-priority term in priority
+                    // order.
+                    let mut w = shape.coeffs[c] * scaled[task_idx];
+                    c += 1;
+                    for &cj in &scaled[..task_idx] {
+                        w += shape.coeffs[c] * cj;
+                        c += 1;
+                    }
+                    p.w = w;
+                }
+                start = end;
+            }
+        }
+        SweepKind::EarliestDeadlineFirst => {
+            for p in points {
+                // edf_demand's fold order: a left fold from 0.0 over the
+                // tasks in set order.
+                let mut w = 0.0;
+                for &cj in &scaled {
+                    w += shape.coeffs[c] * cj;
+                    c += 1;
+                }
+                p.w = w;
+            }
+        }
+    }
+    debug_assert_eq!(c, shape.coeffs.len(), "coefficient layout mismatch");
 }
 
 /// How the precomputed points are quantified over, mirroring Eq. 6 vs
@@ -57,9 +154,18 @@ enum SweepKind {
 
 /// Precomputed `(t, W(t))` pairs for one task set under one algorithm,
 /// ready to answer `minQ` at any period in O(points) without allocating.
+///
+/// The WCET-independent enumeration (instants, activation coefficients,
+/// grouping) lives in a shared [`SweepShape`];
+/// [`Self::with_scaled_wcets`] derives the sweep for uniformly inflated
+/// WCETs by recomputing only the `W(t)` sums.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MinQSweep {
     algorithm: Algorithm,
+    shape: Arc<SweepShape>,
+    /// The WCET inflation the current loads are baked for (1.0 after
+    /// [`Self::new`]); always relative to the *base* WCETs in the shape.
+    scale: f64,
     points: Vec<PointLoad>,
     kind: SweepKind,
 }
@@ -83,6 +189,7 @@ impl MinQSweep {
                     .expect("fixed-priority algorithms define an order");
                 let sorted = tasks.sorted_by_priority(order);
                 let mut points = Vec::new();
+                let mut coeffs = Vec::new();
                 let mut groups = Vec::with_capacity(sorted.len());
                 for (i, task) in sorted.iter().enumerate() {
                     let hp = &sorted[..i];
@@ -91,26 +198,59 @@ impl MinQSweep {
                             t,
                             w: fp_workload(task, hp, t),
                         });
+                        coeffs.push(1.0);
+                        coeffs.extend(hp.iter().map(|h| (t / h.period).ceil()));
                     }
                     groups.push((points.len(), task.deadline));
                 }
+                let shape = SweepShape {
+                    tasks: sorted
+                        .iter()
+                        .map(|t| TaskParams {
+                            wcet: t.wcet,
+                            deadline: t.deadline,
+                        })
+                        .collect(),
+                    coeffs,
+                };
                 Ok(MinQSweep {
                     algorithm,
+                    shape: Arc::new(shape),
+                    scale: 1.0,
                     points,
                     kind: SweepKind::FixedPriority { groups },
                 })
             }
             Algorithm::EarliestDeadlineFirst => {
-                let horizon = capped_hyperperiod(tasks.tasks(), HORIZON_CAP);
-                let points = deadline_set(tasks.tasks(), horizon)
+                let horizon = capped_hyperperiod(tasks.tasks(), DEFAULT_HORIZON_CAP);
+                let instants = deadline_set(tasks.tasks(), horizon);
+                let mut coeffs = Vec::with_capacity(instants.len() * tasks.len());
+                let points = instants
                     .into_iter()
-                    .map(|t| PointLoad {
-                        t,
-                        w: edf_demand(tasks.tasks(), t),
+                    .map(|t| {
+                        coeffs.extend(tasks.iter().map(|task| {
+                            (((t + task.period - task.deadline) / task.period).floor()).max(0.0)
+                        }));
+                        PointLoad {
+                            t,
+                            w: edf_demand(tasks.tasks(), t),
+                        }
                     })
                     .collect();
+                let shape = SweepShape {
+                    tasks: tasks
+                        .iter()
+                        .map(|t| TaskParams {
+                            wcet: t.wcet,
+                            deadline: t.deadline,
+                        })
+                        .collect(),
+                    coeffs,
+                };
                 Ok(MinQSweep {
                     algorithm,
+                    shape: Arc::new(shape),
+                    scale: 1.0,
                     points,
                     kind: SweepKind::EarliestDeadlineFirst,
                 })
@@ -121,6 +261,57 @@ impl MinQSweep {
     /// The algorithm the sweep was built for.
     pub fn algorithm(&self) -> Algorithm {
         self.algorithm
+    }
+
+    /// The uniform WCET inflation factor the current loads are baked for,
+    /// relative to the base task set the sweep was built from (`1.0`
+    /// after [`Self::new`]).
+    pub fn wcet_scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The sweep for every base WCET multiplied by `lambda` (clamped at
+    /// the task deadline, matching the sensitivity search's problem
+    /// clone): shares this sweep's enumeration and recomputes only the
+    /// `W(t)` sums. Bit-identical to building a fresh sweep over the
+    /// scaled task set — in particular `with_scaled_wcets(1.0)` equals
+    /// `self` exactly.
+    ///
+    /// `lambda` is always relative to the *base* WCETs, not to any scale
+    /// already applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn with_scaled_wcets(&self, lambda: f64) -> Self {
+        let mut scaled = self.clone();
+        self.rescale_into(lambda, &mut scaled);
+        scaled
+    }
+
+    /// [`Self::with_scaled_wcets`] into an existing sweep, reusing its
+    /// point allocation: the per-probe cost of a WCET-sensitivity search
+    /// is one pass over the coefficients, with no allocation when `out`
+    /// already shares this sweep's shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn rescale_into(&self, lambda: f64, out: &mut Self) {
+        assert!(
+            lambda.is_finite() && lambda > 0.0,
+            "WCET scale {lambda} must be finite and positive"
+        );
+        if !Arc::ptr_eq(&self.shape, &out.shape) {
+            // Different enumeration: copy it once; subsequent rescales
+            // against the same base are allocation-free.
+            out.algorithm = self.algorithm;
+            out.shape = Arc::clone(&self.shape);
+            out.kind.clone_from(&self.kind);
+            out.points.clone_from(&self.points);
+        }
+        out.scale = lambda;
+        rescale_loads(&mut out.points, &out.kind, &out.shape, lambda);
     }
 
     /// Number of precomputed `(t, W(t))` points — the per-sample work of
@@ -228,6 +419,40 @@ impl MinQSweepMulti {
     /// Number of non-empty channels behind the sweep.
     pub fn channel_count(&self) -> usize {
         self.sweeps.len()
+    }
+
+    /// The multi-channel sweep for every base WCET multiplied by `lambda`
+    /// (see [`MinQSweep::with_scaled_wcets`]): per-channel enumerations
+    /// are shared, only the `W(t)` sums are recomputed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn with_scaled_wcets(&self, lambda: f64) -> Self {
+        MinQSweepMulti {
+            sweeps: self
+                .sweeps
+                .iter()
+                .map(|s| s.with_scaled_wcets(lambda))
+                .collect(),
+        }
+    }
+
+    /// [`Self::with_scaled_wcets`] into an existing multi-sweep, reusing
+    /// its per-channel allocations (see [`MinQSweep::rescale_into`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn rescale_into(&self, lambda: f64, out: &mut Self) {
+        out.sweeps.truncate(self.sweeps.len());
+        let filled = out.sweeps.len();
+        for (sweep, slot) in self.sweeps.iter().zip(out.sweeps.iter_mut()) {
+            sweep.rescale_into(lambda, slot);
+        }
+        for sweep in self.sweeps.iter().skip(filled) {
+            out.sweeps.push(sweep.with_scaled_wcets(lambda));
+        }
     }
 
     /// Total number of precomputed points over all channels.
@@ -350,5 +575,115 @@ mod tests {
         assert!(sweep.len() >= 3);
         assert!(!sweep.is_empty());
         assert_eq!(sweep.algorithm(), Algorithm::EarliestDeadlineFirst);
+    }
+
+    /// The task set with every WCET inflated by `lambda`, clamped at the
+    /// deadline — the reference `with_scaled_wcets` must reproduce.
+    fn scaled_set(tasks: &TaskSet, lambda: f64) -> TaskSet {
+        let scaled: Vec<Task> = tasks
+            .iter()
+            .map(|t| {
+                let mut clone = t.clone();
+                clone.wcet = (t.wcet * lambda).min(clone.deadline);
+                clone
+            })
+            .collect();
+        TaskSet::new(scaled).unwrap()
+    }
+
+    #[test]
+    fn scaled_sweep_is_bit_identical_to_a_rebuild() {
+        let ts = sample_set();
+        for alg in Algorithm::ALL {
+            let base = MinQSweep::new(&ts, alg).unwrap();
+            for lambda in [1.0, 1.3, 2.0, 4.0, 8.0] {
+                let scaled = base.with_scaled_wcets(lambda);
+                let rebuilt = MinQSweep::new(&scaled_set(&ts, lambda), alg).unwrap();
+                assert_eq!(scaled.wcet_scale(), lambda);
+                assert_eq!(scaled.len(), rebuilt.len());
+                for i in 1..=40 {
+                    let p = i as f64 * 0.11;
+                    let a = scaled.min_quantum_at(p).unwrap();
+                    let b = rebuilt.min_quantum_at(p).unwrap();
+                    assert_eq!(a.quantum.to_bits(), b.quantum.to_bits(), "{alg} λ={lambda}");
+                    assert_eq!(a.binding_instant.to_bits(), b.binding_instant.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scale_one_is_the_identity() {
+        let ts = sample_set();
+        for alg in Algorithm::ALL {
+            let base = MinQSweep::new(&ts, alg).unwrap();
+            assert_eq!(base.with_scaled_wcets(1.0), base);
+        }
+    }
+
+    #[test]
+    fn rescale_into_reuses_and_matches_with_scaled_wcets() {
+        let ts = sample_set();
+        let base = MinQSweep::new(&ts, Algorithm::EarliestDeadlineFirst).unwrap();
+        let mut scratch = base.clone();
+        for lambda in [2.0, 1.5, 6.0, 1.0] {
+            base.rescale_into(lambda, &mut scratch);
+            assert_eq!(scratch, base.with_scaled_wcets(lambda));
+        }
+        // A scratch built from a different enumeration is overwritten.
+        let other =
+            MinQSweep::new(&set(vec![task(9, 1.0, 4.0)]), Algorithm::RateMonotonic).unwrap();
+        let mut scratch = other;
+        base.rescale_into(3.0, &mut scratch);
+        assert_eq!(scratch, base.with_scaled_wcets(3.0));
+    }
+
+    #[test]
+    fn multi_sweep_scaling_matches_per_channel_rebuilds() {
+        let c1 = sample_set();
+        let c2 = set(vec![task(9, 1.0, 4.0)]);
+        let channels = vec![c1.clone(), c2.clone()];
+        let multi = MinQSweepMulti::new(&channels, Algorithm::EarliestDeadlineFirst).unwrap();
+        for lambda in [1.0, 2.5, 8.0] {
+            let scaled = multi.with_scaled_wcets(lambda);
+            let rebuilt = MinQSweepMulti::new(
+                &[scaled_set(&c1, lambda), scaled_set(&c2, lambda)],
+                Algorithm::EarliestDeadlineFirst,
+            )
+            .unwrap();
+            let mut scratch = multi.with_scaled_wcets(1.0);
+            multi.rescale_into(lambda, &mut scratch);
+            for p in [0.3, 0.855, 1.5, 2.966] {
+                let a = scaled.min_quantum_at(p).unwrap();
+                let b = rebuilt.min_quantum_at(p).unwrap();
+                let c = scratch.min_quantum_at(p).unwrap();
+                assert_eq!(a.quantum.to_bits(), b.quantum.to_bits(), "λ={lambda} P={p}");
+                assert_eq!(a.quantum.to_bits(), c.quantum.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_clamps_at_the_deadline() {
+        // Beyond the clamp point every WCET saturates at its deadline, so
+        // further inflation is a no-op.
+        let ts = sample_set();
+        let base = MinQSweep::new(&ts, Algorithm::EarliestDeadlineFirst).unwrap();
+        let at_cap = base.with_scaled_wcets(64.0);
+        let beyond = base.with_scaled_wcets(640.0);
+        for i in 1..=20 {
+            let p = i as f64 * 0.2;
+            assert_eq!(
+                at_cap.min_quantum_at(p).unwrap().quantum.to_bits(),
+                beyond.min_quantum_at(p).unwrap().quantum.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite and positive")]
+    fn invalid_scales_are_rejected() {
+        let sweep = MinQSweep::new(&sample_set(), Algorithm::RateMonotonic).unwrap();
+        let _ = sweep.with_scaled_wcets(f64::NAN);
     }
 }

@@ -1,19 +1,22 @@
-//! Machine-readable micro-benchmarks of the two hot paths: the minQ
-//! analysis kernel and the discrete-event simulator.
+//! Machine-readable micro-benchmarks of the three hot paths: the minQ
+//! analysis kernel, the WCET-sensitivity search and the discrete-event
+//! simulator.
 //!
 //! The paper's experiments are period-grid sweeps and simulation
 //! campaigns, so the numbers that matter are (a) minQ evaluated over a
 //! period grid — per-sample recomputation vs the sweep-aware
-//! [`MinQSweep`] kernel — and (b) simulator trials with fresh allocation
+//! [`MinQSweep`] kernel — (b) the WCET-scaling margin search — a fresh
+//! problem clone and context per bisection probe vs the parametric
+//! in-place rescale — and (c) simulator trials with fresh allocation
 //! vs a reused [`SimArena`]. Each run produces a [`BenchReport`] that is
-//! written as `BENCH_minq.json` / `BENCH_sim.json` at the repository
-//! root, giving the repo a perf trajectory that CI and future PRs can
-//! diff.
+//! written as `BENCH_minq.json` / `BENCH_sensitivity.json` /
+//! `BENCH_sim.json` at the repository root, giving the repo a perf
+//! trajectory that CI and future PRs can diff.
 //!
-//! Entry points: [`run_minq_bench`], [`run_sim_bench`],
-//! [`write_report`]. The `minq_performance` / `sim_throughput` bench
-//! binaries and the `ftsched bench` CLI subcommand are thin wrappers over
-//! these.
+//! Entry points: [`run_minq_bench`], [`run_sensitivity_bench`],
+//! [`run_sim_bench`], [`write_report`]. The `minq_performance` /
+//! `sim_throughput` bench binaries and the `ftsched bench` CLI
+//! subcommand are thin wrappers over these.
 
 use std::path::PathBuf;
 use std::time::{Duration as StdDuration, Instant};
@@ -24,11 +27,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use ftsched_analysis::{min_quantum, Algorithm, MinQSweep};
+use ftsched_design::partitioner::{partition_system, PartitionHeuristic};
 use ftsched_design::region::RegionConfig;
-use ftsched_design::AnalysisContext;
+use ftsched_design::sensitivity::{margin_search, scale_wcets, wcet_margin_curve};
+use ftsched_design::{AnalysisContext, DesignProblem};
 use ftsched_platform::FaultSchedule;
 use ftsched_sim::{simulate, simulate_in, SimArena, SimulationConfig, SlotSchedule};
 use ftsched_task::examples::{paper_example, paper_taskset, PAPER_TOTAL_OVERHEAD};
+use ftsched_task::generator::{generate_taskset, GeneratorConfig, ModeMix, PeriodDistribution};
 use ftsched_task::{Duration, Mode, PerMode, TaskSet, Time};
 
 use crate::paper_edf;
@@ -258,6 +264,165 @@ pub fn run_minq_bench(quick: bool) -> BenchReport {
     }
 }
 
+/// The historical WCET-margin search: a problem clone, re-validation and
+/// full context rebuild (point enumeration + sort) for **every**
+/// bisection probe — the baseline the parametric kernel is contracted to
+/// beat. The probe sequence is the production `margin_search` skeleton
+/// by construction; only the feasibility oracle differs, so the returned
+/// margins must match the fast path bit for bit.
+fn margin_rebuild_per_probe(problem: &DesignProblem, period: f64, tolerance: f64) -> f64 {
+    let margin: Result<f64, std::convert::Infallible> = margin_search(
+        |factor| {
+            let scaled =
+                scale_wcets(problem, factor).expect("scaling up a valid problem stays valid");
+            Ok(scaled
+                .analysis_context()
+                .expect("a validated problem always yields a context")
+                .minimum_allocation(period)
+                .is_ok())
+        },
+        tolerance,
+    );
+    margin.expect("the rebuild oracle is infallible")
+}
+
+/// A campaign-sized synthetic design problem (more tasks and channels
+/// than the paper example, partitioned automatically) so the sensitivity
+/// comparison also covers the workloads campaigns actually sweep.
+fn synthetic_problem(algorithm: Algorithm) -> DesignProblem {
+    let mut rng = StdRng::seed_from_u64(2007);
+    let config = GeneratorConfig {
+        task_count: 24,
+        total_utilization: 1.6,
+        max_task_utilization: 0.5,
+        periods: PeriodDistribution::Choice {
+            periods: [4.0, 6.0, 8.0, 10.0, 12.0, 15.0, 20.0, 30.0],
+        },
+        mode_mix: ModeMix::paper_like(),
+        period_granularity: None,
+    };
+    let tasks = generate_taskset(&mut rng, &config).expect("the seeded draw is generable");
+    let partition = partition_system(&tasks, PartitionHeuristic::WorstFitDecreasing)
+        .expect("the seeded draw is partitionable");
+    DesignProblem::with_total_overhead(tasks, partition, PAPER_TOTAL_OVERHEAD, algorithm)
+        .expect("the generated problem is valid")
+}
+
+/// Benchmarks the WCET-sensitivity search: margin curves over a period
+/// grid, rebuild-per-probe baseline vs the parametric
+/// [`ScaledContext`](ftsched_design::ScaledContext) rescale, plus a
+/// bitwise equivalence check of every margin on the grid.
+pub fn run_sensitivity_bench(quick: bool) -> BenchReport {
+    let tolerance = 1e-3;
+    let curve_points = if quick { 6 } else { 16 };
+    let mut entries = Vec::new();
+    let mut speedups: Vec<DerivedMetric> = Vec::new();
+    let mut identical = true;
+
+    let problems: Vec<(String, DesignProblem)> = vec![
+        ("paper/EDF".into(), paper_edf()),
+        (
+            "paper/RM".into(),
+            ftsched_design::problem::paper_problem(Algorithm::RateMonotonic),
+        ),
+        (
+            "synthetic24/EDF".into(),
+            synthetic_problem(Algorithm::EarliestDeadlineFirst),
+        ),
+    ];
+    for (label, problem) in &problems {
+        // Periods spanning the feasible region into the infeasible tail,
+        // like a campaign's margin-vs-period sweep.
+        let periods: Vec<f64> = (1..=curve_points)
+            .map(|i| 0.2 + 3.0 * i as f64 / curve_points as f64)
+            .collect();
+
+        let fast = wcet_margin_curve(problem, &periods, tolerance)
+            .expect("margin curves on valid grids are infallible");
+        let slow: Vec<f64> = periods
+            .iter()
+            .map(|&p| margin_rebuild_per_probe(problem, p, tolerance))
+            .collect();
+        identical &= fast
+            .iter()
+            .zip(&slow)
+            .all(|(a, b)| a.to_bits() == b.to_bits());
+
+        entry(
+            &mut entries,
+            format!("wcet_margin_curve_rebuild/{label}"),
+            quick,
+            || {
+                for &p in &periods {
+                    std::hint::black_box(margin_rebuild_per_probe(problem, p, tolerance));
+                }
+            },
+        );
+        entry(
+            &mut entries,
+            format!("wcet_margin_curve_context/{label}"),
+            quick,
+            || {
+                // Building the context once is part of the kernel's cost.
+                std::hint::black_box(wcet_margin_curve(problem, &periods, tolerance).unwrap());
+            },
+        );
+        let rebuild = entries[entries.len() - 2].ns_per_iter;
+        let context = entries[entries.len() - 1].ns_per_iter;
+        speedups.push(DerivedMetric {
+            name: format!("sensitivity_speedup/{label}"),
+            value: rebuild / context.max(1.0),
+        });
+    }
+
+    let min_speedup = speedups
+        .iter()
+        .map(|d| d.value)
+        .fold(f64::INFINITY, f64::min);
+    speedups.push(DerivedMetric {
+        name: "sensitivity_speedup/min".into(),
+        value: min_speedup,
+    });
+    speedups.push(DerivedMetric {
+        name: "sensitivity_matches_rebuild_bitwise".into(),
+        value: if identical { 1.0 } else { 0.0 },
+    });
+
+    BenchReport {
+        bench: "sensitivity".into(),
+        quick,
+        entries,
+        derived: speedups,
+    }
+}
+
+/// The sensitivity kernel's perf contract, enforced in CI alongside
+/// [`check_minq_contract`]: every margin on the grid bit-identical to the
+/// rebuild-per-probe baseline, and a minimum speedup over it (5× at the
+/// full budget, 2× under the noise-prone quick budget — same rationale
+/// as the minQ contract).
+///
+/// # Errors
+///
+/// A human-readable description of the violated invariant.
+pub fn check_sensitivity_contract(report: &BenchReport) -> Result<(), String> {
+    if report.derived("sensitivity_matches_rebuild_bitwise") != Some(1.0) {
+        return Err(
+            "sensitivity search diverged bitwise from the rebuild-per-probe baseline".into(),
+        );
+    }
+    let min_speedup = report
+        .derived("sensitivity_speedup/min")
+        .ok_or("missing sensitivity_speedup/min")?;
+    let threshold = if report.quick { 2.0 } else { 5.0 };
+    if min_speedup < threshold {
+        return Err(format!(
+            "sensitivity speedup regressed to {min_speedup:.2}x (contract: >= {threshold}x)"
+        ));
+    }
+    Ok(())
+}
+
 fn table2b_slots() -> SlotSchedule {
     SlotSchedule::new(
         2.966,
@@ -482,6 +647,30 @@ mod tests {
         assert!(report.derived("minq_grid120_speedup/min").is_some());
         let json = report.to_json();
         assert!(json.contains("minq_grid120_sweep/EDF/FT_channel"));
+    }
+
+    #[test]
+    fn sensitivity_report_is_bitwise_equivalent_and_has_speedups() {
+        let report = run_sensitivity_bench(true);
+        assert_eq!(report.bench, "sensitivity");
+        assert!(report.entries.len() >= 6);
+        assert_eq!(
+            report.derived("sensitivity_matches_rebuild_bitwise"),
+            Some(1.0)
+        );
+        assert!(report.derived("sensitivity_speedup/min").is_some());
+        assert!(report
+            .to_json()
+            .contains("wcet_margin_curve_context/paper/EDF"));
+        // The contract only inspects the equivalence flag and the
+        // speedup floor; a violated flag must fail it.
+        let mut broken = report;
+        for d in &mut broken.derived {
+            if d.name == "sensitivity_matches_rebuild_bitwise" {
+                d.value = 0.0;
+            }
+        }
+        assert!(check_sensitivity_contract(&broken).is_err());
     }
 
     #[test]

@@ -67,9 +67,12 @@ use std::fmt;
 
 pub use executor::{run_campaign, run_campaign_shard, ExecutorConfig};
 pub use report::{merge_reports, CampaignReport, ScenarioReport, ShardInfo};
-pub use spec::{CampaignSpec, ResponseHistogramSpec, Scenario, TrialKind, WorkloadSpec};
+pub use spec::{
+    CampaignSpec, ResponseHistogramSpec, Scenario, TrialKind, WcetMarginSpec, WorkloadSpec,
+};
 pub use stats::{
     BaselineCounts, ExactSum, ResponseHistogram, ScenarioStats, SimAggregate, TaskResponse,
+    WcetMarginStats,
 };
 pub use trial::{run_trial, run_trial_full, SimSummary, TrialOutcome, TrialStatus};
 
@@ -103,8 +106,10 @@ pub mod prelude {
     pub use crate::executor::{run_campaign, run_campaign_shard, ExecutorConfig};
     pub use crate::report::{merge_reports, CampaignReport, ScenarioReport, ShardInfo};
     pub use crate::seed::trial_seed;
-    pub use crate::spec::{CampaignSpec, ResponseHistogramSpec, Scenario, TrialKind, WorkloadSpec};
-    pub use crate::stats::{ResponseHistogram, ScenarioStats};
+    pub use crate::spec::{
+        CampaignSpec, ResponseHistogramSpec, Scenario, TrialKind, WcetMarginSpec, WorkloadSpec,
+    };
+    pub use crate::stats::{ResponseHistogram, ScenarioStats, WcetMarginStats};
     pub use crate::trial::{run_trial, run_trial_full, TrialOutcome, TrialStatus};
     pub use crate::CampaignError;
 

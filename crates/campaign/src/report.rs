@@ -218,6 +218,7 @@ impl CampaignReport {
         let has_overhead = self.spec.has_overhead_axis();
         let has_heuristic = self.spec.has_heuristic_axis();
         let has_response = self.spec.response_histogram.is_some();
+        let has_margin = self.spec.wcet_margin.is_some();
         let mut out = String::from("scenario,algorithm,utilization");
         if has_overhead {
             out.push_str(",overhead");
@@ -234,6 +235,9 @@ impl CampaignReport {
         );
         if has_response {
             out.push_str("rt_p50,rt_p95,rt_p99,");
+        }
+        if has_margin {
+            out.push_str("wcet_margin_mean,wcet_margin_p50,");
         }
         out.push_str(
             "baseline_evaluated,baseline_flexible,\
@@ -301,6 +305,14 @@ impl CampaignReport {
                         );
                     }
                     None => out.push_str(",,,"),
+                }
+            }
+            if has_margin {
+                let margin = &st.sim.wcet_margin;
+                if margin.runs > 0 {
+                    let _ = write!(out, "{},{},", margin.mean(), margin.p50());
+                } else {
+                    out.push_str(",,");
                 }
             }
             let _ = writeln!(

@@ -125,6 +125,20 @@ impl ResponseHistogramSpec {
     pub const MAX_BINS: usize = 1_000_000;
 }
 
+/// The WCET-scaling sensitivity metric of a campaign (Table 2(c)'s
+/// robustness argument as a grid axis): every accepted
+/// [`TrialKind::DesignAndValidate`] trial additionally computes the
+/// uniform WCET inflation margin of its chosen design, via the trial's
+/// already-built analysis context (for the paper workload, via the shared
+/// design cache). Reports gain `wcet_margin_mean` / `wcet_margin_p50`
+/// columns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WcetMarginSpec {
+    /// Bisection tolerance of each margin search (absolute, on the
+    /// inflation factor).
+    pub tolerance: f64,
+}
+
 /// A declarative experiment campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
@@ -173,6 +187,10 @@ pub struct CampaignSpec {
     /// histograms with this binning, and reports gain p50/p95/p99
     /// response-time columns.
     pub response_histogram: Option<ResponseHistogramSpec>,
+    /// When set, accepted `DesignAndValidate` trials compute the
+    /// WCET-scaling margin of their chosen design and reports gain
+    /// `wcet_margin_{mean,p50}` columns.
+    pub wcet_margin: Option<WcetMarginSpec>,
 }
 
 // `CampaignSpec` serialisation is written by hand (the only such type in
@@ -228,6 +246,9 @@ impl Serialize for CampaignSpec {
         if let Some(histogram) = &self.response_histogram {
             fields.push(("response_histogram".into(), histogram.to_value()));
         }
+        if let Some(margin) = &self.wcet_margin {
+            fields.push(("wcet_margin".into(), margin.to_value()));
+        }
         serde::Value::Map(fields)
     }
 }
@@ -281,6 +302,7 @@ impl Deserialize for CampaignSpec {
             overheads: optional(m, "overheads", Vec::new())?,
             partition_heuristics: optional(m, "partition_heuristics", Vec::new())?,
             response_histogram: optional(m, "response_histogram", None)?,
+            wcet_margin: optional(m, "wcet_margin", None)?,
         })
     }
 }
@@ -309,6 +331,7 @@ impl CampaignSpec {
             overheads: Vec::new(),
             partition_heuristics: Vec::new(),
             response_histogram: None,
+            wcet_margin: None,
         }
     }
 
@@ -383,6 +406,21 @@ impl CampaignSpec {
                     histogram.bins,
                     ResponseHistogramSpec::MAX_BINS
                 ));
+            }
+        }
+        if let Some(margin) = &self.wcet_margin {
+            if !(margin.tolerance > 0.0 && margin.tolerance.is_finite()) {
+                return fail(format!(
+                    "wcet_margin tolerance {} must be positive and finite",
+                    margin.tolerance
+                ));
+            }
+            if self.kind != TrialKind::DesignAndValidate {
+                return fail(
+                    "the wcet_margin metric needs a chosen design per trial; \
+                     set kind to DesignAndValidate"
+                        .into(),
+                );
             }
         }
         if let FaultModel::Poisson {
@@ -679,6 +717,28 @@ mod tests {
         .validate()
         .is_err());
         assert!(CampaignSpec {
+            wcet_margin: Some(WcetMarginSpec { tolerance: 0.0 }),
+            kind: TrialKind::DesignAndValidate,
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        // The margin metric needs a chosen design, i.e. DesignAndValidate.
+        assert!(CampaignSpec {
+            wcet_margin: Some(WcetMarginSpec { tolerance: 0.01 }),
+            kind: TrialKind::DesignOnly,
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        CampaignSpec {
+            wcet_margin: Some(WcetMarginSpec { tolerance: 0.01 }),
+            kind: TrialKind::DesignAndValidate,
+            ..spec.clone()
+        }
+        .validate()
+        .unwrap();
+        assert!(CampaignSpec {
             faults: FaultModel::Poisson {
                 mean_interarrival: 0.0,
                 fault_duration: 1.0
@@ -731,6 +791,7 @@ mod tests {
                 bin_width: 0.25,
                 bins: 64,
             }),
+            wcet_margin: Some(WcetMarginSpec { tolerance: 0.005 }),
             ..sweep_spec()
         };
         let json = serde_json::to_string_pretty(&spec).unwrap();
@@ -758,6 +819,7 @@ mod tests {
         assert!(!json.contains("overheads"));
         assert!(!json.contains("partition_heuristics"));
         assert!(!json.contains("response_histogram"));
+        assert!(!json.contains("wcet_margin"));
         // And explicit axes round-trip through the same field names.
         let widened = CampaignSpec {
             overheads: vec![0.1],

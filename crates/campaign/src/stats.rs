@@ -159,6 +159,91 @@ impl ExactSum {
     }
 }
 
+/// Aggregated WCET-scaling margins of accepted validation trials (the
+/// [`crate::CampaignSpec::wcet_margin`] metric).
+///
+/// The mean comes from an [`ExactSum`]; the median from a fixed-bin
+/// integer-count histogram over the margin domain `[0, 64]` (the
+/// sensitivity search's growth cap) with a hard-coded bin width — both
+/// exactly associative and commutative, so sharded and multi-threaded
+/// campaigns report bit-identical margin columns. The histogram is
+/// allocated lazily on the first observation and sized to the largest
+/// observed bin (typical margins are a handful, so a few hundred bins —
+/// not the full 16k-bin domain), keeping margin-free campaigns
+/// allocation- and byte-identical to the pre-metric engine and
+/// margin-enabled reports compact. The length is a pure function of the
+/// observation multiset (and merging takes the wider side), so the
+/// byte-identity guarantees are unaffected.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WcetMarginStats {
+    /// Trials with a margin recorded (accepted `DesignAndValidate`
+    /// trials of a campaign with the metric enabled).
+    pub runs: u64,
+    /// Sum of margins (for the mean), in [`ExactSum`] ticks.
+    pub sum: ExactSum,
+    /// Fixed-bin histogram of the margins (`None` until the first
+    /// observation).
+    pub histogram: Option<ResponseHistogram>,
+}
+
+impl WcetMarginStats {
+    /// Histogram bin width: margins resolve to ~0.004, far below any
+    /// useful tolerance. Hard-coded (not spec-derived) so every report
+    /// of every campaign shares one binning.
+    pub const BIN_WIDTH: f64 = 1.0 / 256.0;
+    /// Upper bound on regular bins, covering the margin domain up to the
+    /// sensitivity search's growth cap with one spare row so the cap
+    /// value itself stays out of the overflow bin (whose quantile would
+    /// print as `inf`).
+    pub const BINS: usize =
+        (ftsched_design::sensitivity::MAX_WCET_SCALE / Self::BIN_WIDTH) as usize + 1;
+
+    fn empty_histogram() -> ResponseHistogram {
+        ResponseHistogram {
+            bin_width: Self::BIN_WIDTH,
+            counts: Vec::new(),
+            overflow: 0,
+        }
+    }
+
+    /// Folds one trial's margin into the accumulator.
+    pub fn observe(&mut self, margin: f64) {
+        self.runs += 1;
+        self.sum.observe(margin);
+        let histogram = self.histogram.get_or_insert_with(Self::empty_histogram);
+        // Grow to the observation's bin (never beyond the domain cap):
+        // the final length is the maximum over all observations, which is
+        // order-independent — merges and shards stay byte-identical.
+        let needed = (((margin / Self::BIN_WIDTH).max(0.0) as usize) + 1).min(Self::BINS);
+        if histogram.counts.len() < needed {
+            histogram.counts.resize(needed, 0);
+        }
+        histogram.observe(margin);
+    }
+
+    /// Merges another accumulator (associative and commutative).
+    pub fn merge(&mut self, other: &WcetMarginStats) {
+        self.runs += other.runs;
+        self.sum.merge(&other.sum);
+        if let Some(h) = &other.histogram {
+            self.histogram
+                .get_or_insert_with(Self::empty_histogram)
+                .merge(h);
+        }
+    }
+
+    /// Mean margin over the recorded trials (0 when none).
+    pub fn mean(&self) -> f64 {
+        mean(self.sum.value(), self.runs)
+    }
+
+    /// Median margin: the deterministic, conservative bin-edge quantile
+    /// of the histogram (0 when no margin was recorded).
+    pub fn p50(&self) -> f64 {
+        self.histogram.as_ref().map_or(0.0, |h| h.quantile(0.50))
+    }
+}
+
 /// Per-scheme acceptance counters for the baseline comparison.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BaselineCounts {
@@ -208,6 +293,11 @@ pub struct SimAggregate {
     /// Omitted from serialised reports when empty, so histogram-free
     /// campaigns stay byte-identical to the pre-histogram engine.
     pub response: Vec<TaskResponse>,
+    /// WCET-scaling margin aggregate — populated only when the spec sets
+    /// [`wcet_margin`](crate::CampaignSpec::wcet_margin). Omitted from
+    /// serialised reports while empty, so margin-free campaigns stay
+    /// byte-identical to the pre-metric engine.
+    pub wcet_margin: WcetMarginStats,
 }
 
 // Serialisation is written by hand so that the `response` field only
@@ -245,6 +335,9 @@ impl Serialize for SimAggregate {
         if !self.response.is_empty() {
             fields.push(("response".into(), self.response.to_value()));
         }
+        if self.wcet_margin.runs > 0 {
+            fields.push(("wcet_margin".into(), self.wcet_margin.to_value()));
+        }
         serde::Value::Map(fields)
     }
 }
@@ -276,6 +369,10 @@ impl Deserialize for SimAggregate {
                 Some(v) => Deserialize::from_value(v)?,
                 None => Vec::new(),
             },
+            wcet_margin: match serde::get_field(m, "wcet_margin") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => WcetMarginStats::default(),
+            },
         })
     }
 }
@@ -299,6 +396,9 @@ impl SimAggregate {
         if let Some(response) = &sim.response {
             merge_task_responses(&mut self.response, response);
         }
+        if let Some(margin) = sim.wcet_margin {
+            self.wcet_margin.observe(margin);
+        }
     }
 
     fn merge(&mut self, other: &SimAggregate) {
@@ -319,6 +419,7 @@ impl SimAggregate {
             .merge(&other.sum_max_response_time);
         self.max_response_time = self.max_response_time.max(other.max_response_time);
         merge_task_responses(&mut self.response, &other.response);
+        self.wcet_margin.merge(&other.wcet_margin);
     }
 
     /// Total outcome counters over all modes.
@@ -485,6 +586,7 @@ mod tests {
                 }),
                 max_response_time: 1.5,
                 response: None,
+                wcet_margin: Some(1.25),
             }),
         }
     }
@@ -527,6 +629,41 @@ mod tests {
         assert_eq!(merged.baselines.evaluated, 5);
         assert_eq!(merged.baselines.flexible, 2);
         assert_eq!(merged.baselines.static_parallel, 5);
+        assert_eq!(merged.sim.wcet_margin.runs, 2);
+        assert!((merged.sim.wcet_margin.mean() - 1.25).abs() < 1e-6);
+        // Conservative bin-edge median just above the exact value.
+        let p50 = merged.sim.wcet_margin.p50();
+        assert!((1.25..=1.25 + WcetMarginStats::BIN_WIDTH).contains(&p50));
+    }
+
+    #[test]
+    fn margin_stats_merge_exactly_and_handle_emptiness() {
+        let mut all = WcetMarginStats::default();
+        assert_eq!(all.mean(), 0.0);
+        assert_eq!(all.p50(), 0.0);
+        for m in [1.0, 1.5, 2.0, 64.0] {
+            all.observe(m);
+        }
+        let mut a = WcetMarginStats::default();
+        a.observe(1.0);
+        a.observe(1.5);
+        let mut b = WcetMarginStats::default();
+        b.observe(2.0);
+        b.observe(64.0);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all);
+        // Merging an empty accumulator is the identity (no histogram is
+        // conjured up).
+        let mut empty = WcetMarginStats::default();
+        empty.merge(&WcetMarginStats::default());
+        assert_eq!(empty, WcetMarginStats::default());
+        assert!(empty.histogram.is_none());
+        // The growth cap itself lands in a regular bin, not overflow.
+        assert_eq!(all.histogram.as_ref().unwrap().overflow, 0);
     }
 
     #[test]

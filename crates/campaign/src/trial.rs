@@ -20,6 +20,7 @@ use ftsched_design::baseline::compare_schemes_with;
 use ftsched_design::partitioner::partition_system;
 use ftsched_design::problem::DesignProblem;
 use ftsched_design::region::max_feasible_period_with;
+use ftsched_design::sensitivity::wcet_scaling_margin_with;
 use ftsched_design::DesignSolution;
 use ftsched_platform::FaultSchedule;
 use ftsched_sim::report::OutcomeCounts;
@@ -78,6 +79,9 @@ pub struct SimSummary {
     /// Per-task response-time histograms (sorted by task id), when the
     /// spec asked for them.
     pub response: Option<Vec<TaskResponse>>,
+    /// WCET-scaling margin of the chosen design at its period, when the
+    /// spec's `wcet_margin` metric is enabled.
+    pub wcet_margin: Option<f64>,
 }
 
 impl SimSummary {
@@ -85,6 +89,7 @@ impl SimSummary {
         outcome: &PipelineOutcome,
         injected_faults: u64,
         histogram: Option<ResponseHistogramSpec>,
+        wcet_margin: Option<f64>,
     ) -> Self {
         let report: &SimulationReport = &outcome.simulation;
         let response = histogram.map(|spec| {
@@ -121,6 +126,7 @@ impl SimSummary {
                 .values()
                 .fold(0.0_f64, |acc, &rt| acc.max(rt)),
             response,
+            wcet_margin,
         }
     }
 }
@@ -192,6 +198,11 @@ struct DesignedStage {
     problem: DesignProblem,
     solution: DesignSolution,
     slots: SlotSchedule,
+    /// WCET-scaling margin of the chosen design (when the spec's
+    /// `wcet_margin` metric is enabled): deterministic, so it is computed
+    /// once here — through the prefix's shared analysis context — and
+    /// reused by every trial of the scenario.
+    wcet_margin: Option<f64>,
 }
 
 /// The design-cache type campaigns share across workers.
@@ -321,11 +332,18 @@ fn paper_prefix(spec: &CampaignSpec, scenario: &Scenario) -> PaperPrefix {
         }
         TrialKind::DesignAndValidate => {
             match design_stage_with(&problem, &ctx, spec.goal, &region, spec.slack_policy) {
-                Ok((solution, slots)) => PaperStage::Designed(Box::new(DesignedStage {
-                    problem,
-                    solution,
-                    slots,
-                })),
+                Ok((solution, slots)) => {
+                    let wcet_margin = spec.wcet_margin.map(|m| {
+                        wcet_scaling_margin_with(&ctx, solution.period, m.tolerance)
+                            .expect("a designed period always admits a margin search")
+                    });
+                    PaperStage::Designed(Box::new(DesignedStage {
+                        problem,
+                        solution,
+                        slots,
+                        wcet_margin,
+                    }))
+                }
                 Err(PipelineError::Design(_)) => PaperStage::DesignRejected,
                 Err(PipelineError::Simulation(_)) => PaperStage::SlotsFailed,
             }
@@ -426,6 +444,7 @@ fn run_trial_inner(
                     problem,
                     solution,
                     slots,
+                    wcet_margin,
                 } = designed.as_ref();
                 // Per-trial remainder: fault schedule over the exact
                 // simulation horizon, then the validation stage.
@@ -444,8 +463,12 @@ fn run_trial_inner(
                 };
                 match validate_stage(problem, solution, slots, &config, arena) {
                     Ok(outcome) => {
-                        let sim =
-                            SimSummary::from_report(&outcome, injected, spec.response_histogram);
+                        let sim = SimSummary::from_report(
+                            &outcome,
+                            injected,
+                            spec.response_histogram,
+                            *wcet_margin,
+                        );
                         (
                             finish(TrialStatus::Accepted, baselines, Some(sim)),
                             Some(outcome),
@@ -592,10 +615,25 @@ fn run_trial_inner(
                 config.slack_policy,
             );
             match designed.and_then(|(solution, slots)| {
-                validate_stage(&problem, &solution, &slots, &config, arena)
+                validate_stage(&problem, &solution, &slots, &config, arena).map(|outcome| {
+                    // Only accepted trials report a margin, so the search
+                    // runs after validation succeeds. It reuses the
+                    // trial's context: the point sets were enumerated
+                    // once, each probe only rescales W(t).
+                    let wcet_margin = spec.wcet_margin.map(|m| {
+                        wcet_scaling_margin_with(&ctx, solution.period, m.tolerance)
+                            .expect("a designed period always admits a margin search")
+                    });
+                    (outcome, wcet_margin)
+                })
             }) {
-                Ok(outcome) => {
-                    let sim = SimSummary::from_report(&outcome, injected, spec.response_histogram);
+                Ok((outcome, wcet_margin)) => {
+                    let sim = SimSummary::from_report(
+                        &outcome,
+                        injected,
+                        spec.response_histogram,
+                        wcet_margin,
+                    );
                     (
                         finish(TrialStatus::Accepted, baselines, Some(sim)),
                         Some(outcome),

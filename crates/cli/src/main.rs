@@ -8,7 +8,7 @@
 //! ftsched merge <part.json>... [--out report.json] [--csv report.csv]
 //!                              [--response-csv rt.csv]
 //! ftsched validate <spec.json>
-//! ftsched bench [--quick] [--minq] [--sim]
+//! ftsched bench [--quick] [--minq] [--sim] [--sensitivity]
 //! ftsched example
 //! ```
 //!
@@ -20,9 +20,9 @@
 //! of `N` deterministic slices of the campaign (for spreading one
 //! campaign across processes or hosts) and writes a *partial* report;
 //! `merge` folds a complete set of partials into a report byte-identical
-//! to the unsharded run. `bench` runs the minQ / simulator
-//! micro-benchmarks and writes `BENCH_minq.json` / `BENCH_sim.json` at
-//! the repository root.
+//! to the unsharded run. `bench` runs the minQ / WCET-sensitivity /
+//! simulator micro-benchmarks and writes `BENCH_minq.json` /
+//! `BENCH_sensitivity.json` / `BENCH_sim.json` at the repository root.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -62,6 +62,7 @@ OPTIONS (bench):
     --quick            reduced measurement budget (CI smoke)
     --minq             only the minQ kernel bench
     --sim              only the simulator bench
+    --sensitivity      only the WCET-sensitivity search bench
 ";
 
 fn main() -> ExitCode {
@@ -309,24 +310,33 @@ fn cmd_merge(args: &[String]) -> ExitCode {
 
 fn cmd_bench(args: &[String]) -> ExitCode {
     use ftsched_bench::perf::{
-        check_minq_contract, render_summary, run_minq_bench, run_sim_bench, write_report,
+        check_minq_contract, check_sensitivity_contract, render_summary, run_minq_bench,
+        run_sensitivity_bench, run_sim_bench, write_report,
     };
 
     let quick = args.iter().any(|a| a == "--quick");
     let only_minq = args.iter().any(|a| a == "--minq");
     let only_sim = args.iter().any(|a| a == "--sim");
+    let only_sensitivity = args.iter().any(|a| a == "--sensitivity");
     if let Some(bad) = args
         .iter()
-        .find(|a| !matches!(a.as_str(), "--quick" | "--minq" | "--sim"))
+        .find(|a| !matches!(a.as_str(), "--quick" | "--minq" | "--sim" | "--sensitivity"))
     {
         return usage_error(&format!("unexpected argument `{bad}`"));
     }
-    let run_minq = only_minq || !only_sim;
-    let run_sim = only_sim || !only_minq;
+    let any_selected = only_minq || only_sim || only_sensitivity;
+    let run_minq = only_minq || !any_selected;
+    let run_sim = only_sim || !any_selected;
+    let run_sensitivity = only_sensitivity || !any_selected;
 
     let mut failed = false;
     for (enabled, file, report) in [
         (run_minq, "BENCH_minq.json", run_minq_bench as fn(bool) -> _),
+        (
+            run_sensitivity,
+            "BENCH_sensitivity.json",
+            run_sensitivity_bench as fn(bool) -> _,
+        ),
         (run_sim, "BENCH_sim.json", run_sim_bench as fn(bool) -> _),
     ] {
         if !enabled {
@@ -342,11 +352,14 @@ fn cmd_bench(args: &[String]) -> ExitCode {
                 failed = true;
             }
         }
-        if report.bench == "minq" {
-            if let Err(violation) = check_minq_contract(&report) {
-                eprintln!("ftsched: PERF CONTRACT VIOLATED: {violation}");
-                failed = true;
-            }
+        let contract = match report.bench.as_str() {
+            "minq" => Some(check_minq_contract(&report)),
+            "sensitivity" => Some(check_sensitivity_contract(&report)),
+            _ => None,
+        };
+        if let Some(Err(violation)) = contract {
+            eprintln!("ftsched: PERF CONTRACT VIOLATED: {violation}");
+            failed = true;
         }
     }
     if failed {

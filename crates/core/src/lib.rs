@@ -68,7 +68,11 @@ pub mod prelude {
             max_admissible_overhead, max_feasible_period, max_slack_ratio_period, sweep_region,
             RegionConfig,
         },
-        DesignGoal, DesignProblem, DesignSolution,
+        sensitivity::{
+            max_total_overhead_at_period, mode_bandwidth_margin, wcet_margin_curve,
+            wcet_scaling_margin, wcet_scaling_margin_with,
+        },
+        AnalysisContext, DesignGoal, DesignProblem, DesignSolution, ScaledContext,
     };
     pub use ftsched_platform::{
         classify_outcome, Fault, FaultInjector, FaultModel, FaultSchedule, JobOutcome, Platform,

@@ -103,6 +103,42 @@ impl AnalysisContext {
         Ok(period - quanta.total())
     }
 
+    /// The context for every base WCET multiplied by `lambda`, clamped
+    /// at each task's deadline — exactly the problem
+    /// [`crate::sensitivity::scale_wcets`] would build, without cloning
+    /// the problem or re-enumerating a single scheduling point. The
+    /// `lambda = 1` context is bit-identical to `self`.
+    ///
+    /// Probing many factors (a sensitivity bisection) should reuse a
+    /// [`ScaledContext`] scratch instead, which makes every probe
+    /// allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn scaled(&self, lambda: f64) -> AnalysisContext {
+        AnalysisContext {
+            sweeps: PerMode::from_fn(|m| self.sweeps[m].with_scaled_wcets(lambda)),
+            overheads: self.overheads,
+            algorithm: self.algorithm,
+        }
+    }
+
+    /// [`Self::scaled`] into an existing context, reusing its point
+    /// allocations (no allocation once `out` shares this context's
+    /// enumerations — see [`ScaledContext`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn rescale_into(&self, lambda: f64, out: &mut AnalysisContext) {
+        for mode in Mode::ALL {
+            self.sweeps[mode].rescale_into(lambda, &mut out.sweeps[mode]);
+        }
+        out.overheads = self.overheads;
+        out.algorithm = self.algorithm;
+    }
+
     /// The minimal allocation of Eq. 12–14 at one period: every useful
     /// quantum at its minimum, the remainder as slack (bit-identical to
     /// [`crate::quanta::minimum_allocation`]).
@@ -127,6 +163,44 @@ impl AnalysisContext {
             slots,
             slack: slack.max(0.0),
         })
+    }
+}
+
+/// A reusable scratch context for WCET-scaling probes.
+///
+/// The WCET-sensitivity searches of [`crate::sensitivity`] evaluate the
+/// same problem at dozens of inflation factors `λ`. Each probe only
+/// changes the workload sums `W(t)`, so the scratch holds one clone of
+/// the base context and [`ScaledContext::rescale`] rewrites its load
+/// vectors in place: after construction, probing a factor allocates
+/// nothing and re-enumerates nothing.
+#[derive(Debug, Clone)]
+pub struct ScaledContext {
+    ctx: AnalysisContext,
+}
+
+impl ScaledContext {
+    /// A scratch seeded from (and sharing the enumerations of) `base`.
+    pub fn new(base: &AnalysisContext) -> Self {
+        ScaledContext { ctx: base.clone() }
+    }
+
+    /// Rewrites the scratch to `base.scaled(lambda)` and returns it for
+    /// evaluation. Bit-identical to [`AnalysisContext::scaled`];
+    /// allocation-free when `base` is the context the scratch was seeded
+    /// from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is not finite and positive.
+    pub fn rescale(&mut self, base: &AnalysisContext, lambda: f64) -> &AnalysisContext {
+        base.rescale_into(lambda, &mut self.ctx);
+        &self.ctx
+    }
+
+    /// The context as last rescaled.
+    pub fn context(&self) -> &AnalysisContext {
+        &self.ctx
     }
 }
 
@@ -185,5 +259,44 @@ mod tests {
         let ctx = AnalysisContext::new(&p).unwrap();
         assert!(ctx.eq15_lhs(0.0).is_err());
         assert!(ctx.min_quanta(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn scaled_context_matches_a_scaled_problem_rebuild() {
+        use crate::sensitivity::scale_wcets;
+        for alg in Algorithm::ALL {
+            let p = paper_problem(alg);
+            let ctx = AnalysisContext::new(&p).unwrap();
+            for lambda in [1.0, 1.05, 1.2, 2.0] {
+                let scaled = ctx.scaled(lambda);
+                let rebuilt = AnalysisContext::new(&scale_wcets(&p, lambda).unwrap()).unwrap();
+                for i in 1..=30 {
+                    let period = i as f64 * 0.1;
+                    let a = scaled.min_quanta(period).unwrap();
+                    let b = rebuilt.min_quanta(period).unwrap();
+                    for mode in Mode::ALL {
+                        assert_eq!(
+                            a[mode].to_bits(),
+                            b[mode].to_bits(),
+                            "{alg} λ={lambda} P={period} {mode}"
+                        );
+                    }
+                }
+            }
+            // λ = 1 is the exact identity.
+            assert_eq!(ctx.scaled(1.0), ctx);
+        }
+    }
+
+    #[test]
+    fn scaled_scratch_is_bit_identical_to_scaled() {
+        let p = paper_problem(Algorithm::EarliestDeadlineFirst);
+        let ctx = AnalysisContext::new(&p).unwrap();
+        let mut scratch = ScaledContext::new(&ctx);
+        for lambda in [1.5, 1.0, 3.0, 1.01] {
+            let via_scratch = scratch.rescale(&ctx, lambda);
+            assert_eq!(via_scratch, &ctx.scaled(lambda));
+            assert_eq!(scratch.context(), &ctx.scaled(lambda));
+        }
     }
 }

@@ -8,14 +8,31 @@
 //! * [`wcet_scaling_margin`] — the largest factor by which *every* WCET can
 //!   be inflated while the design stays feasible (a global margin against
 //!   WCET under-estimation);
+//! * [`wcet_margin_curve`] — that margin over a whole period grid (the
+//!   natural Table 2(c) plot: slack-vs-period);
 //! * [`mode_bandwidth_margin`] — per mode, how much extra bandwidth demand
 //!   the unallocated slack could absorb if it were handed to that mode.
+//!
+//! The WCET searches are built on the parametric kernel: the scheduling
+//! points / deadline sets are WCET-independent, so one
+//! [`AnalysisContext`] is enumerated per problem and every probe of an
+//! inflation factor `λ` merely rewrites the workload sums through a
+//! [`ScaledContext`] scratch — no problem clone, no re-validation, no
+//! re-enumeration, identical results to the historical
+//! rebuild-per-probe search bit for bit.
 
 use ftsched_task::{PerMode, Task, TaskSet};
 
-use crate::context::AnalysisContext;
+use crate::context::{AnalysisContext, ScaledContext};
 use crate::error::DesignError;
 use crate::problem::DesignProblem;
+
+/// Cap on the exponential growth phase of the WCET-margin search: factors
+/// beyond this are reported as the cap itself (the deadline clamp makes
+/// ever-larger factors indistinguishable anyway). Public because it
+/// bounds the margin *domain* — consumers binning margins (the campaign
+/// layer's histogram) size themselves from it.
+pub const MAX_WCET_SCALE: f64 = 64.0;
 
 /// The maximum total overhead the design tolerates at a fixed period:
 /// exactly the Eq. 15 slack `f(P)`.
@@ -31,9 +48,14 @@ pub fn max_total_overhead_at_period(
 }
 
 /// The largest uniform WCET inflation factor `λ ≥ 1` such that the problem
-/// with every `C_i` replaced by `λ C_i` still admits the given period.
-/// Returns 1.0 if the design has no margin at all. Binary search to the
-/// requested tolerance.
+/// with every `C_i` replaced by `λ C_i` (clamped at `D_i`) still admits
+/// the given period. Returns 1.0 if the design has no margin at all.
+/// Binary search to the requested tolerance; factors beyond 64 are
+/// reported as the last *tested* feasible factor.
+///
+/// Builds the scheduling points exactly once; each probe rescales the
+/// workload sums in place. One-shot convenience over
+/// [`wcet_scaling_margin_with`].
 ///
 /// # Errors
 ///
@@ -43,17 +65,43 @@ pub fn wcet_scaling_margin(
     period: f64,
     tolerance: f64,
 ) -> Result<f64, DesignError> {
-    // Each probe changes every WCET, so the workloads (and with them the
-    // sweep context) must be rebuilt per factor — but only evaluated at
-    // the single period under test.
-    let feasible_at = |factor: f64| -> Result<bool, DesignError> {
-        let scaled = scale_wcets(problem, factor)?;
-        match scaled.analysis_context()?.minimum_allocation(period) {
-            Ok(_) => Ok(true),
-            Err(DesignError::InfeasiblePeriod { .. }) => Ok(false),
-            Err(e) => Err(e),
-        }
-    };
+    let ctx = problem.analysis_context()?;
+    wcet_scaling_margin_with(&ctx, period, tolerance)
+}
+
+/// [`wcet_scaling_margin`] over a prebuilt [`AnalysisContext`], for
+/// callers (campaign trials, margin curves) that already paid for the
+/// point-set enumeration.
+///
+/// # Errors
+///
+/// Propagates analysis errors (invalid period).
+pub fn wcet_scaling_margin_with(
+    ctx: &AnalysisContext,
+    period: f64,
+    tolerance: f64,
+) -> Result<f64, DesignError> {
+    let mut scratch = ScaledContext::new(ctx);
+    margin_with_scratch(ctx, &mut scratch, period, tolerance)
+}
+
+/// The probe sequence of every WCET-margin search: exponential growth
+/// from 1 capped at 64 (reporting the last *tested* feasible factor —
+/// the untested doubling could overstate the margin by 2×), then
+/// bisection to `tolerance`, over a caller-supplied feasibility oracle.
+///
+/// The production search, the rebuild-per-probe baseline of the
+/// sensitivity benchmark and the equivalence tests all drive this one
+/// skeleton — "identical probe sequence" holds by construction, only
+/// the oracles differ.
+///
+/// # Errors
+///
+/// Propagates the oracle's errors.
+pub fn margin_search<E>(
+    mut feasible_at: impl FnMut(f64) -> Result<bool, E>,
+    tolerance: f64,
+) -> Result<f64, E> {
     if !feasible_at(1.0)? {
         return Ok(1.0);
     }
@@ -62,8 +110,8 @@ pub fn wcet_scaling_margin(
     while feasible_at(hi)? {
         lo = hi;
         hi *= 2.0;
-        if hi > 64.0 {
-            return Ok(hi);
+        if hi > MAX_WCET_SCALE {
+            return Ok(lo);
         }
     }
     while hi - lo > tolerance {
@@ -75,6 +123,49 @@ pub fn wcet_scaling_margin(
         }
     }
     Ok(lo)
+}
+
+/// The margin search proper, over a caller-owned scratch so period grids
+/// reuse one allocation for every probe of every period.
+fn margin_with_scratch(
+    ctx: &AnalysisContext,
+    scratch: &mut ScaledContext,
+    period: f64,
+    tolerance: f64,
+) -> Result<f64, DesignError> {
+    // Each probe changes every WCET, but only the workload sums W(t)
+    // depend on them: rescale the shared context in place and evaluate
+    // at the single period under test.
+    margin_search(
+        |factor| match scratch.rescale(ctx, factor).minimum_allocation(period) {
+            Ok(_) => Ok(true),
+            Err(DesignError::InfeasiblePeriod { .. }) => Ok(false),
+            Err(e) => Err(e),
+        },
+        tolerance,
+    )
+}
+
+/// The WCET-scaling margin at every period of `periods` — the Table 2(c)
+/// robustness-vs-period curve — from a **single** context build: the
+/// scheduling points / deadline sets are enumerated once and every probe
+/// of every period reuses one scratch. Infeasible periods report a margin
+/// of 1.0 (no room at all), matching [`wcet_scaling_margin`].
+///
+/// # Errors
+///
+/// Propagates analysis errors (invalid periods in the grid).
+pub fn wcet_margin_curve(
+    problem: &DesignProblem,
+    periods: &[f64],
+    tolerance: f64,
+) -> Result<Vec<f64>, DesignError> {
+    let ctx = problem.analysis_context()?;
+    let mut scratch = ScaledContext::new(&ctx);
+    periods
+        .iter()
+        .map(|&period| margin_with_scratch(&ctx, &mut scratch, period, tolerance))
+        .collect()
 }
 
 /// Per-mode bandwidth headroom at a fixed period: the unallocated slack of
@@ -98,8 +189,19 @@ pub fn mode_bandwidth_margin(
     }))
 }
 
-/// A copy of the problem with every WCET multiplied by `factor`.
-fn scale_wcets(problem: &DesignProblem, factor: f64) -> Result<DesignProblem, DesignError> {
+/// A copy of the problem with every WCET multiplied by `factor`, clamped
+/// at the task deadline.
+///
+/// The margin searches above no longer need this (they rescale the
+/// analysis context in place); it remains the reference semantics those
+/// searches must match, and the rebuild-per-probe baseline the
+/// sensitivity benchmark times against.
+///
+/// # Errors
+///
+/// Propagates task/partition validation errors (cannot occur for
+/// `factor ≥ 1` on a validated problem).
+pub fn scale_wcets(problem: &DesignProblem, factor: f64) -> Result<DesignProblem, DesignError> {
     let scaled: Result<Vec<Task>, _> = problem
         .tasks
         .iter()
@@ -153,6 +255,91 @@ mod tests {
         let p = problem();
         let margin = wcet_scaling_margin(&p, 3.3, 1e-3).unwrap();
         assert!((margin - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn margin_with_context_matches_the_one_shot_form() {
+        let p = problem();
+        let ctx = p.analysis_context().unwrap();
+        for period in [0.5, 0.855, 1.5, 2.966] {
+            let one_shot = wcet_scaling_margin(&p, period, 1e-3).unwrap();
+            let with_ctx = wcet_scaling_margin_with(&ctx, period, 1e-3).unwrap();
+            assert_eq!(one_shot.to_bits(), with_ctx.to_bits(), "P={period}");
+        }
+    }
+
+    #[test]
+    fn margin_matches_the_rebuild_per_probe_reference() {
+        // The in-place rescale must reproduce the historical
+        // clone-and-rebuild probe bit for bit: same skeleton
+        // (`margin_search`), independent feasibility oracle.
+        let p = problem();
+        for period in [0.5, 0.855, 2.0, 2.966] {
+            let fast = wcet_scaling_margin(&p, period, 1e-3).unwrap();
+            let reference: f64 = margin_search::<std::convert::Infallible>(
+                |factor| {
+                    let scaled = scale_wcets(&p, factor).unwrap();
+                    Ok(scaled
+                        .analysis_context()
+                        .unwrap()
+                        .minimum_allocation(period)
+                        .is_ok())
+                },
+                1e-3,
+            )
+            .unwrap();
+            assert_eq!(fast.to_bits(), reference.to_bits(), "P={period}");
+        }
+    }
+
+    #[test]
+    fn capped_growth_returns_the_last_tested_factor() {
+        // A problem whose margin exceeds the 64x growth cap: shrink every
+        // WCET of the paper set 100-fold, so even 64x inflation stays far
+        // below the original (feasible) load. The search must report the
+        // last factor it actually verified (64), not the untested 128 the
+        // pre-fix code returned.
+        let p = problem();
+        let tiny: Vec<Task> = p
+            .tasks
+            .iter()
+            .map(|t| {
+                let mut clone = t.clone();
+                clone.wcet = t.wcet * 0.01;
+                clone
+            })
+            .collect();
+        let roomy = DesignProblem {
+            tasks: TaskSet::new(tiny).unwrap(),
+            partition: p.partition.clone(),
+            overheads: p.overheads,
+            algorithm: p.algorithm,
+        };
+        let margin = wcet_scaling_margin(&roomy, 0.855, 1e-3).unwrap();
+        assert_eq!(margin, 64.0, "must be the tested cap, not an untested 2x");
+        // And the reported factor really is feasible.
+        let at_cap = scale_wcets(&roomy, margin).unwrap();
+        assert!(at_cap
+            .analysis_context()
+            .unwrap()
+            .minimum_allocation(0.855)
+            .is_ok());
+    }
+
+    #[test]
+    fn margin_curve_matches_per_period_searches() {
+        let p = problem();
+        let grid = [0.5, 0.855, 1.5, 2.966, 3.3];
+        let curve = wcet_margin_curve(&p, &grid, 1e-3).unwrap();
+        assert_eq!(curve.len(), grid.len());
+        for (i, &period) in grid.iter().enumerate() {
+            let direct = wcet_scaling_margin(&p, period, 1e-3).unwrap();
+            assert_eq!(curve[i].to_bits(), direct.to_bits(), "P={period}");
+        }
+        // The infeasible tail of the grid reports no margin at all.
+        assert!((curve[4] - 1.0).abs() < 1e-9);
+        // And invalid periods propagate as errors.
+        assert!(wcet_margin_curve(&p, &[1.0, -1.0], 1e-3).is_err());
     }
 
     #[test]

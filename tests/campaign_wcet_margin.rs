@@ -1,0 +1,146 @@
+//! End-to-end tests of the `wcet_margin` campaign metric: margins are
+//! computed through the shared analysis context (design cache for the
+//! paper workload, the trial's own context for synthetic ones), aggregate
+//! exactly across threads and shards, and leave margin-free campaigns
+//! byte-identical to the pre-metric engine.
+
+use ftsched_campaign::prelude::*;
+use ftsched_campaign::{merge_reports, run_campaign, ShardInfo};
+use ftsched_design::problem::paper_problem;
+use ftsched_design::sensitivity::wcet_scaling_margin;
+
+fn margin_spec(name: &str) -> CampaignSpec {
+    CampaignSpec {
+        kind: TrialKind::DesignAndValidate,
+        faults: FaultModel::Poisson {
+            mean_interarrival: 10.0,
+            fault_duration: 0.25,
+        },
+        horizon_hyperperiods: 1,
+        trials_per_scenario: 6,
+        wcet_margin: Some(WcetMarginSpec { tolerance: 1e-3 }),
+        ..CampaignSpec::base(name)
+    }
+}
+
+#[test]
+fn paper_campaign_margin_matches_the_direct_sensitivity_search() {
+    let spec = CampaignSpec {
+        workload: WorkloadSpec::Paper,
+        utilizations: vec![],
+        algorithms: vec![Algorithm::EarliestDeadlineFirst],
+        // Maximising slack keeps the period inside the region, where the
+        // margin is meaningfully above 1 (the overhead-minimal design
+        // sits on the boundary with no WCET slack at all).
+        goal: DesignGoal::MaximizeSlackBandwidth,
+        ..margin_spec("paper-margin")
+    };
+    let report = run_campaign(&spec, &ExecutorConfig::default()).unwrap();
+    let stats = &report.scenarios[0].stats;
+    assert_eq!(stats.accepted, 6);
+    // Every accepted trial recorded the (deterministic) margin once.
+    assert_eq!(stats.sim.wcet_margin.runs, stats.sim.runs);
+    // The campaign's margin is the sensitivity module's margin at the
+    // chosen design period.
+    let problem = paper_problem(Algorithm::EarliestDeadlineFirst);
+    let expected = wcet_scaling_margin(&problem, stats.sim.mean_period(), 1e-3).unwrap();
+    let mean = stats.sim.wcet_margin.mean();
+    assert!(
+        (mean - expected).abs() < 1e-5,
+        "campaign mean {mean} vs direct {expected}"
+    );
+    assert!(mean > 1.0, "the paper design must keep real slack");
+    // Median of identical per-trial values: the (conservative) bin edge
+    // just above the mean.
+    let p50 = stats.sim.wcet_margin.p50();
+    assert!((mean..=mean + ftsched_campaign::WcetMarginStats::BIN_WIDTH).contains(&p50));
+}
+
+#[test]
+fn margin_campaigns_shard_merge_and_round_trip_byte_identically() {
+    let spec = CampaignSpec {
+        algorithms: vec![Algorithm::EarliestDeadlineFirst, Algorithm::RateMonotonic],
+        utilizations: vec![0.8, 1.6],
+        ..margin_spec("synthetic-margin")
+    };
+    let sequential = run_campaign(
+        &spec,
+        &ExecutorConfig {
+            threads: 1,
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    let parallel = run_campaign(
+        &spec,
+        &ExecutorConfig {
+            threads: 4,
+            block_size: 2,
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sequential.to_json(), parallel.to_json());
+    assert_eq!(sequential.to_csv(), parallel.to_csv());
+
+    // Shard, then fold back: byte-identical to the unsharded run.
+    let parts: Vec<_> = (0..3)
+        .map(|i| {
+            ftsched_campaign::run_campaign_shard(
+                &spec,
+                &ExecutorConfig::default(),
+                Some(ShardInfo { index: i, count: 3 }),
+            )
+            .unwrap()
+        })
+        .collect();
+    let merged = merge_reports(parts).unwrap();
+    assert_eq!(merged.to_json(), sequential.to_json());
+
+    // JSON round-trips with the margin aggregate intact.
+    let back: CampaignReport = serde_json::from_str(&sequential.to_json()).unwrap();
+    assert_eq!(back, sequential);
+
+    // Accepted scenarios carry margins; the CSV exposes the columns.
+    let accepted_margins = sequential
+        .scenarios
+        .iter()
+        .filter(|s| s.stats.sim.runs > 0)
+        .count();
+    assert!(accepted_margins > 0, "no scenario accepted anything");
+    for s in &sequential.scenarios {
+        assert_eq!(s.stats.sim.wcet_margin.runs, s.stats.sim.runs);
+        if s.stats.sim.wcet_margin.runs > 0 {
+            assert!(s.stats.sim.wcet_margin.mean() >= 1.0);
+        }
+    }
+    let csv = sequential.to_csv();
+    let header = csv.lines().next().unwrap();
+    assert!(header.contains("wcet_margin_mean,wcet_margin_p50"));
+
+    // The design cache must not change a single byte.
+    let uncached = run_campaign(
+        &spec,
+        &ExecutorConfig {
+            design_cache: false,
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(uncached.to_json(), sequential.to_json());
+}
+
+#[test]
+fn margin_free_campaigns_never_mention_the_metric() {
+    let spec = CampaignSpec {
+        wcet_margin: None,
+        ..margin_spec("no-margin")
+    };
+    let report = run_campaign(&spec, &ExecutorConfig::default()).unwrap();
+    let json = report.to_json();
+    assert!(
+        !json.contains("wcet_margin"),
+        "margin-free reports must stay byte-identical to the pre-metric engine"
+    );
+    assert!(!report.to_csv().contains("wcet_margin"));
+}

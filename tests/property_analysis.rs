@@ -146,6 +146,60 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parametric sweep kernel: `with_scaled_wcets(λ)` must match a
+    /// from-scratch `MinQSweep` built over the `scale_wcets`-style scaled
+    /// task set (WCETs multiplied by λ, clamped at the deadline) — to
+    /// ≤ 1e-12 relative error for any λ, and **bit-identical** at λ = 1.
+    /// `rescale_into` must agree with `with_scaled_wcets` exactly.
+    #[test]
+    fn scaled_sweep_matches_a_from_scratch_rebuild(
+        tasks in arb_taskset(),
+        alg_idx in 0usize..3,
+        lambda_steps in 0u32..=70,
+        period_tenths in 2u32..40,
+    ) {
+        use ftsched_analysis::MinQSweep;
+        let alg = Algorithm::ALL[alg_idx];
+        // λ ∈ [1, 8] on a 0.1 grid, including the exact identity λ = 1.
+        let lambda = 1.0 + f64::from(lambda_steps) * 0.1;
+        let period = f64::from(period_tenths) / 10.0;
+
+        let base = MinQSweep::new(&tasks, alg).unwrap();
+        let scaled = base.with_scaled_wcets(lambda);
+        let mut scratch = base.clone();
+        base.rescale_into(lambda, &mut scratch);
+
+        let rebuilt_set = TaskSet::new(
+            tasks
+                .iter()
+                .map(|t| {
+                    let mut clone = t.clone();
+                    clone.wcet = (t.wcet * lambda).min(clone.deadline);
+                    clone
+                })
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        let rebuilt = MinQSweep::new(&rebuilt_set, alg).unwrap();
+
+        let a = scaled.min_quantum_at(period).unwrap();
+        let b = rebuilt.min_quantum_at(period).unwrap();
+        let c = scratch.min_quantum_at(period).unwrap();
+
+        let rel = (a.quantum - b.quantum).abs() / b.quantum.abs().max(1e-300);
+        prop_assert!(rel <= 1e-12, "λ={lambda} P={period}: {} vs {}", a.quantum, b.quantum);
+        prop_assert_eq!(a.binding_instant.to_bits(), b.binding_instant.to_bits());
+        prop_assert_eq!(a.quantum.to_bits(), c.quantum.to_bits());
+        if lambda == 1.0 {
+            prop_assert_eq!(a.quantum.to_bits(), b.quantum.to_bits());
+            prop_assert!(scaled == base, "λ=1 must be the identity");
+        }
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     /// UUniFast returns exactly the requested number of non-negative

@@ -98,6 +98,10 @@ fn arb_outcome() -> impl Strategy<Value = TrialOutcome> {
                     }),
                     max_response_time: f64::from(period_scaled) / 40.0,
                     response: Some(responses_from(&observations)),
+                    // Roughly half the accepted trials carry a margin, so
+                    // the merge algebra is exercised across present and
+                    // absent observations.
+                    wcet_margin: (faults % 2 == 0).then(|| 1.0 + f64::from(slack_scaled) / 100.0),
                 });
                 TrialOutcome {
                     scenario: 0,
