@@ -28,7 +28,7 @@
 //! and periods only); the WCETs enter solely through the workload sums
 //! `W(t) = Σ nᵢ(t) · Cᵢ`, whose activation coefficients `nᵢ(t)` are again
 //! WCET-independent. A sweep therefore stores those coefficients (its
-//! [`SweepShape`]) alongside the baked `W(t)` values, and
+//! `SweepShape`) alongside the baked `W(t)` values, and
 //! [`MinQSweep::with_scaled_wcets`] / [`MinQSweep::rescale_into`]
 //! re-derive only the load vector for a uniform WCET inflation `λ` — no
 //! re-enumeration, no re-sort, and (for `rescale_into`) no allocation.
@@ -156,7 +156,7 @@ enum SweepKind {
 /// ready to answer `minQ` at any period in O(points) without allocating.
 ///
 /// The WCET-independent enumeration (instants, activation coefficients,
-/// grouping) lives in a shared [`SweepShape`];
+/// grouping) lives in a shared `SweepShape`;
 /// [`Self::with_scaled_wcets`] derives the sweep for uniformly inflated
 /// WCETs by recomputing only the `W(t)` sums.
 #[derive(Debug, Clone, PartialEq)]

@@ -9,6 +9,13 @@
 //! to the last floating-point bit, whatever the worker count. The
 //! determinism contract is enforced by `tests/campaign_determinism.rs`.
 //!
+//! Metric accumulators ride the same machinery: per-task response
+//! histograms, WCET margins and latency-vs-load curve points all fold
+//! into [`ScenarioStats`] inside the block accumulators, so every metric
+//! inherits the byte-identity guarantee — and, because per-trial seeds
+//! key on the workload coordinate alone, curves stay *paired* across the
+//! algorithm / overhead / heuristic columns of one workload point.
+//!
 //! Sharding extends the same mechanism across processes and hosts:
 //! [`run_campaign_shard`] restricts the executor to one contiguous,
 //! deterministic slice of the global trial index space and emits a

@@ -28,8 +28,9 @@
 //!   generated task set's content hash), all with byte-identical
 //!   reports.
 //! * [`stats`] — mergeable streaming accumulators, including exact
-//!   fixed-bin [`ResponseHistogram`]s; workers never keep raw trial
-//!   lists, so memory stays flat at any campaign size.
+//!   fixed-bin [`ResponseHistogram`]s and deadline-relative
+//!   [`LatencyCurve`] points (the latency-vs-load metric); workers never
+//!   keep raw trial lists, so memory stays flat at any campaign size.
 //! * [`executor`] — a scoped-thread fan-out with dynamic scheduling but
 //!   *static* aggregation order, making every report a pure function of
 //!   its spec: **byte-identical output for any worker count**. The same
@@ -66,13 +67,14 @@ pub mod trial;
 use std::fmt;
 
 pub use executor::{run_campaign, run_campaign_shard, ExecutorConfig};
-pub use report::{merge_reports, CampaignReport, ScenarioReport, ShardInfo};
+pub use report::{merge_reports, CampaignReport, LatencyCurvePoint, ScenarioReport, ShardInfo};
 pub use spec::{
-    CampaignSpec, ResponseHistogramSpec, Scenario, TrialKind, WcetMarginSpec, WorkloadSpec,
+    CampaignSpec, LatencyCurveSpec, ResponseHistogramSpec, Scenario, TrialKind, WcetMarginSpec,
+    WorkloadSpec,
 };
 pub use stats::{
-    BaselineCounts, ExactSum, ResponseHistogram, ScenarioStats, SimAggregate, TaskResponse,
-    WcetMarginStats,
+    BaselineCounts, ExactSum, LatencyCurve, ResponseHistogram, ScenarioStats, SimAggregate,
+    TaskResponse, WcetMarginStats,
 };
 pub use trial::{run_trial, run_trial_full, SimSummary, TrialOutcome, TrialStatus};
 
@@ -104,12 +106,15 @@ impl std::error::Error for CampaignError {}
 /// models) so spec-building code needs only this one import.
 pub mod prelude {
     pub use crate::executor::{run_campaign, run_campaign_shard, ExecutorConfig};
-    pub use crate::report::{merge_reports, CampaignReport, ScenarioReport, ShardInfo};
+    pub use crate::report::{
+        merge_reports, CampaignReport, LatencyCurvePoint, ScenarioReport, ShardInfo,
+    };
     pub use crate::seed::trial_seed;
     pub use crate::spec::{
-        CampaignSpec, ResponseHistogramSpec, Scenario, TrialKind, WcetMarginSpec, WorkloadSpec,
+        CampaignSpec, LatencyCurveSpec, ResponseHistogramSpec, Scenario, TrialKind, WcetMarginSpec,
+        WorkloadSpec,
     };
-    pub use crate::stats::{ResponseHistogram, ScenarioStats, WcetMarginStats};
+    pub use crate::stats::{LatencyCurve, ResponseHistogram, ScenarioStats, WcetMarginStats};
     pub use crate::trial::{run_trial, run_trial_full, TrialOutcome, TrialStatus};
     pub use crate::CampaignError;
 

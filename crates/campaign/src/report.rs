@@ -18,7 +18,7 @@ use ftsched_design::partitioner::PartitionHeuristic;
 use ftsched_task::Mode;
 
 use crate::spec::{CampaignSpec, Scenario, TrialKind};
-use crate::stats::ScenarioStats;
+use crate::stats::{LatencyCurve, ScenarioStats};
 use crate::CampaignError;
 
 /// Coordinates of one campaign shard: slice `index` of `count` contiguous,
@@ -135,6 +135,28 @@ impl Deserialize for ScenarioReport {
     }
 }
 
+/// One point of the report's pooled latency-vs-load curve: everything the
+/// campaign observed at one utilisation (workload point), merged across
+/// the algorithm / overhead / heuristic axes. Quantiles are
+/// deadline-relative (`1.0` = finished exactly at the deadline); a
+/// quantile whose rank falls into the overflow bin is infinite, and a
+/// point with no samples has NaN quantiles — both serialise as JSON
+/// `null`, so "no data" can never be mistaken for "zero latency".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCurvePoint {
+    /// Target utilisation of the workload point (`None` for the paper
+    /// workload).
+    pub utilization: Option<f64>,
+    /// Completed-job observations pooled into the point.
+    pub samples: u64,
+    /// Median deadline-relative latency.
+    pub lat_p50: f64,
+    /// 95th-percentile deadline-relative latency.
+    pub lat_p95: f64,
+    /// 99th-percentile deadline-relative latency.
+    pub lat_p99: f64,
+}
+
 /// The complete result of one campaign run (or one shard of it).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
@@ -149,14 +171,20 @@ pub struct CampaignReport {
 }
 
 // Hand-written serialisation: the shard marker appears only on partial
-// reports, so complete reports stay byte-identical to the pre-shard
-// engine's output.
+// reports (complete reports stay byte-identical to the pre-shard
+// engine's output), and the pooled latency curve appears only when the
+// spec enables the metric. The curve is *derived* from the per-scenario
+// statistics at serialisation time — deserialisation recomputes it — so
+// shard-merged reports reproduce it byte-identically for free.
 impl Serialize for CampaignReport {
     fn to_value(&self) -> serde::Value {
         let mut fields: Vec<(String, serde::Value)> = vec![
             ("spec".into(), self.spec.to_value()),
             ("scenarios".into(), self.scenarios.to_value()),
         ];
+        if let Some(points) = self.pooled_latency_curve() {
+            fields.push(("latency_curve".into(), points.to_value()));
+        }
         if let Some(shard) = &self.shard {
             fields.push(("shard".into(), shard.to_value()));
         }
@@ -219,6 +247,7 @@ impl CampaignReport {
         let has_heuristic = self.spec.has_heuristic_axis();
         let has_response = self.spec.response_histogram.is_some();
         let has_margin = self.spec.wcet_margin.is_some();
+        let has_latency = self.spec.latency_curves.is_some();
         let mut out = String::from("scenario,algorithm,utilization");
         if has_overhead {
             out.push_str(",overhead");
@@ -238,6 +267,9 @@ impl CampaignReport {
         }
         if has_margin {
             out.push_str("wcet_margin_mean,wcet_margin_p50,");
+        }
+        if has_latency {
+            out.push_str("lat_p50,lat_p95,lat_p99,");
         }
         out.push_str(
             "baseline_evaluated,baseline_flexible,\
@@ -315,6 +347,14 @@ impl CampaignReport {
                     out.push_str(",,");
                 }
             }
+            if has_latency {
+                match &st.sim.latency {
+                    Some(curve) => {
+                        let _ = write!(out, "{},{},{},", curve.p50(), curve.p95(), curve.p99());
+                    }
+                    None => out.push_str(",,,"),
+                }
+            }
             let _ = writeln!(
                 out,
                 "{},{},{},{},{}",
@@ -382,6 +422,110 @@ impl CampaignReport {
             }
         }
         Some(out)
+    }
+
+    /// Long-format latency-vs-load CSV (`None` when the spec did not
+    /// request `latency_curves`): one row per scenario — i.e. one curve
+    /// point per (algorithm, overhead, heuristic) combination and
+    /// utilisation — with the pooled sample count, the deadline-relative
+    /// `lat_p50/p95/p99` quantiles and the overflow count. Scenarios
+    /// without an accepted trial have no curve point and emit no row,
+    /// exactly like [`Self::response_csv`].
+    pub fn latency_csv(&self) -> Option<String> {
+        self.spec.latency_curves?;
+        let has_overhead = self.spec.has_overhead_axis();
+        let has_heuristic = self.spec.has_heuristic_axis();
+        let mut out = String::from("scenario,algorithm,utilization");
+        if has_overhead {
+            out.push_str(",overhead");
+        }
+        if has_heuristic {
+            out.push_str(",heuristic");
+        }
+        out.push_str(",samples,lat_p50,lat_p95,lat_p99,overflow\n");
+        for s in &self.scenarios {
+            let Some(curve) = &s.stats.sim.latency else {
+                continue;
+            };
+            let _ = write!(
+                out,
+                "{},{},{}",
+                s.scenario,
+                s.algorithm.label(),
+                s.utilization.map(|u| u.to_string()).unwrap_or_default(),
+            );
+            if has_overhead {
+                let _ = write!(
+                    out,
+                    ",{}",
+                    s.overhead.map(|o| o.to_string()).unwrap_or_default()
+                );
+            }
+            if has_heuristic {
+                let _ = write!(
+                    out,
+                    ",{}",
+                    s.partition_heuristic
+                        .map(|h| h.label().to_string())
+                        .unwrap_or_default()
+                );
+            }
+            let _ = writeln!(
+                out,
+                ",{},{},{},{},{}",
+                curve.samples(),
+                curve.p50(),
+                curve.p95(),
+                curve.p99(),
+                curve.histogram.overflow,
+            );
+        }
+        Some(out)
+    }
+
+    /// The pooled latency-vs-load curve (`None` when the spec did not
+    /// request `latency_curves`): per workload point — in grid order —
+    /// the exact merge of every scenario's curve across the algorithm /
+    /// overhead / heuristic axes. This is the campaign's one-look QoS
+    /// answer; the per-combination curves live in [`Self::latency_csv`].
+    /// Derived purely from the per-scenario statistics, so shard merges
+    /// reproduce it byte-identically.
+    pub fn pooled_latency_curve(&self) -> Option<Vec<LatencyCurvePoint>> {
+        self.spec.latency_curves?;
+        let grid = self.spec.scenarios();
+        let points = grid.iter().map(|s| s.workload_point).max()? + 1;
+        let mut utilizations: Vec<Option<f64>> = vec![None; points];
+        for s in &grid {
+            utilizations[s.workload_point] = s.utilization;
+        }
+        let mut pooled: Vec<Option<LatencyCurve>> = vec![None; points];
+        for row in &self.scenarios {
+            // Rows outside the grid cannot come from this spec; skip
+            // rather than panic on a hand-edited report.
+            let Some(scenario) = grid.get(row.scenario) else {
+                continue;
+            };
+            crate::stats::merge_latency(
+                &mut pooled[scenario.workload_point],
+                row.stats.sim.latency.as_ref(),
+            );
+        }
+        Some(
+            pooled
+                .iter()
+                .zip(utilizations)
+                .map(|(curve, utilization)| LatencyCurvePoint {
+                    utilization,
+                    samples: curve.as_ref().map_or(0, LatencyCurve::samples),
+                    // NaN (not 0.0) for sample-less points: it
+                    // serialises as JSON `null`, so "no data" can never
+                    // read as "zero latency".
+                    lat_p50: curve.as_ref().map_or(f64::NAN, LatencyCurve::p50),
+                    lat_p95: curve.as_ref().map_or(f64::NAN, LatencyCurve::p95),
+                    lat_p99: curve.as_ref().map_or(f64::NAN, LatencyCurve::p99),
+                })
+                .collect(),
+        )
     }
 
     /// Human-readable summary table: one row per non-algorithm grid

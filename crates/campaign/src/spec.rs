@@ -9,12 +9,13 @@
 //! scenario list; together with the per-trial seed derivation of
 //! [`crate::seed`], a spec file *is* the experiment.
 //!
-//! Backward compatibility: the `overheads`, `partition_heuristics` and
-//! `response_histogram` axes are optional extensions. A spec that omits
-//! them behaves exactly like the pre-axis engine (single overhead, single
-//! heuristic, no histograms), and — because absent axes are also omitted
-//! when the spec is echoed into a report — produces **byte-identical**
-//! reports to it (enforced by `tests/campaign_golden.rs`).
+//! Backward compatibility: the `overheads` / `partition_heuristics` axes
+//! and the `response_histogram` / `wcet_margin` / `latency_curves` metric
+//! blocks are optional extensions. A spec that omits them behaves exactly
+//! like the pre-axis engine (single overhead, single heuristic, no extra
+//! metrics), and — because absent extensions are also omitted when the
+//! spec is echoed into a report — produces **byte-identical** reports to
+//! it (enforced by `tests/campaign_golden.rs`).
 
 use serde::{Deserialize, Serialize};
 
@@ -139,6 +140,28 @@ pub struct WcetMarginSpec {
     pub tolerance: f64,
 }
 
+/// The latency-vs-load metric of a campaign: every accepted
+/// [`TrialKind::DesignAndValidate`] trial pools its completed jobs'
+/// **deadline-relative** response times (response time divided by the
+/// task's relative deadline `D_i`, so `1.0` = "finished exactly at the
+/// deadline" whatever the period) into one fixed-bin integer-count
+/// histogram per scenario — a [`crate::stats::LatencyCurve`] point.
+/// Reports gain `lat_p50/p95/p99` columns per utilisation (the QoS
+/// latency-vs-load question), a long-format `--latency-csv` export, and
+/// a pooled per-utilisation curve in the JSON report. Like every
+/// campaign statistic, curves merge exactly: byte-identical across
+/// thread counts, shards and `ftsched merge`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCurveSpec {
+    /// Width of one bin, as a fraction of the relative deadline (e.g.
+    /// `0.03125` resolves the distribution to 1/32 of a deadline).
+    pub bin_width: f64,
+    /// Number of regular bins (at most
+    /// [`ResponseHistogramSpec::MAX_BINS`]); normalised response times at
+    /// or beyond `bins * bin_width` land in a single overflow bin.
+    pub bins: usize,
+}
+
 /// A declarative experiment campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
@@ -191,6 +214,11 @@ pub struct CampaignSpec {
     /// WCET-scaling margin of their chosen design and reports gain
     /// `wcet_margin_{mean,p50}` columns.
     pub wcet_margin: Option<WcetMarginSpec>,
+    /// When set, accepted `DesignAndValidate` trials pool their
+    /// deadline-relative response times into per-scenario
+    /// latency-vs-load curve points; reports gain `lat_p50/p95/p99`
+    /// columns, a `--latency-csv` export and a pooled JSON curve.
+    pub latency_curves: Option<LatencyCurveSpec>,
 }
 
 // `CampaignSpec` serialisation is written by hand (the only such type in
@@ -249,6 +277,9 @@ impl Serialize for CampaignSpec {
         if let Some(margin) = &self.wcet_margin {
             fields.push(("wcet_margin".into(), margin.to_value()));
         }
+        if let Some(latency) = &self.latency_curves {
+            fields.push(("latency_curves".into(), latency.to_value()));
+        }
         serde::Value::Map(fields)
     }
 }
@@ -303,8 +334,32 @@ impl Deserialize for CampaignSpec {
             partition_heuristics: optional(m, "partition_heuristics", Vec::new())?,
             response_histogram: optional(m, "response_histogram", None)?,
             wcet_margin: optional(m, "wcet_margin", None)?,
+            latency_curves: optional(m, "latency_curves", None)?,
         })
     }
+}
+
+/// Shared binning rules of the histogram-shaped metric blocks
+/// (`response_histogram`, `latency_curves`): a positive finite bin width
+/// and a bin count in `1..=MAX_BINS`.
+fn validate_binning(block: &str, bin_width: f64, bins: usize) -> Result<(), CampaignError> {
+    if !(bin_width > 0.0 && bin_width.is_finite()) {
+        return Err(CampaignError::InvalidSpec(format!(
+            "{block} bin_width {bin_width} must be positive"
+        )));
+    }
+    if bins == 0 {
+        return Err(CampaignError::InvalidSpec(format!(
+            "{block} needs at least one bin"
+        )));
+    }
+    if bins > ResponseHistogramSpec::MAX_BINS {
+        return Err(CampaignError::InvalidSpec(format!(
+            "{block} bins {bins} exceeds the maximum of {}",
+            ResponseHistogramSpec::MAX_BINS
+        )));
+    }
+    Ok(())
 }
 
 impl CampaignSpec {
@@ -332,6 +387,7 @@ impl CampaignSpec {
             partition_heuristics: Vec::new(),
             response_histogram: None,
             wcet_margin: None,
+            latency_curves: None,
         }
     }
 
@@ -391,22 +447,7 @@ impl CampaignSpec {
             return fail("horizon_hyperperiods must be at least 1".into());
         }
         if let Some(histogram) = &self.response_histogram {
-            if !(histogram.bin_width > 0.0 && histogram.bin_width.is_finite()) {
-                return fail(format!(
-                    "response_histogram bin_width {} must be positive",
-                    histogram.bin_width
-                ));
-            }
-            if histogram.bins == 0 {
-                return fail("response_histogram needs at least one bin".into());
-            }
-            if histogram.bins > ResponseHistogramSpec::MAX_BINS {
-                return fail(format!(
-                    "response_histogram bins {} exceeds the maximum of {}",
-                    histogram.bins,
-                    ResponseHistogramSpec::MAX_BINS
-                ));
-            }
+            validate_binning("response_histogram", histogram.bin_width, histogram.bins)?;
         }
         if let Some(margin) = &self.wcet_margin {
             if !(margin.tolerance > 0.0 && margin.tolerance.is_finite()) {
@@ -418,6 +459,16 @@ impl CampaignSpec {
             if self.kind != TrialKind::DesignAndValidate {
                 return fail(
                     "the wcet_margin metric needs a chosen design per trial; \
+                     set kind to DesignAndValidate"
+                        .into(),
+                );
+            }
+        }
+        if let Some(latency) = &self.latency_curves {
+            validate_binning("latency_curves", latency.bin_width, latency.bins)?;
+            if self.kind != TrialKind::DesignAndValidate {
+                return fail(
+                    "the latency_curves metric needs simulated response times; \
                      set kind to DesignAndValidate"
                         .into(),
                 );
@@ -738,6 +789,54 @@ mod tests {
         }
         .validate()
         .unwrap();
+        for bad_latency in [
+            LatencyCurveSpec {
+                bin_width: 0.0,
+                bins: 64,
+            },
+            LatencyCurveSpec {
+                bin_width: f64::NAN,
+                bins: 64,
+            },
+            LatencyCurveSpec {
+                bin_width: 0.05,
+                bins: 0,
+            },
+            LatencyCurveSpec {
+                bin_width: 0.05,
+                bins: ResponseHistogramSpec::MAX_BINS + 1,
+            },
+        ] {
+            assert!(CampaignSpec {
+                latency_curves: Some(bad_latency),
+                kind: TrialKind::DesignAndValidate,
+                ..spec.clone()
+            }
+            .validate()
+            .is_err());
+        }
+        // The latency metric needs simulated response times, i.e.
+        // DesignAndValidate.
+        assert!(CampaignSpec {
+            latency_curves: Some(LatencyCurveSpec {
+                bin_width: 0.05,
+                bins: 64
+            }),
+            kind: TrialKind::DesignOnly,
+            ..spec.clone()
+        }
+        .validate()
+        .is_err());
+        CampaignSpec {
+            latency_curves: Some(LatencyCurveSpec {
+                bin_width: 0.05,
+                bins: 64,
+            }),
+            kind: TrialKind::DesignAndValidate,
+            ..spec.clone()
+        }
+        .validate()
+        .unwrap();
         assert!(CampaignSpec {
             faults: FaultModel::Poisson {
                 mean_interarrival: 0.0,
@@ -792,6 +891,10 @@ mod tests {
                 bins: 64,
             }),
             wcet_margin: Some(WcetMarginSpec { tolerance: 0.005 }),
+            latency_curves: Some(LatencyCurveSpec {
+                bin_width: 0.03125,
+                bins: 96,
+            }),
             ..sweep_spec()
         };
         let json = serde_json::to_string_pretty(&spec).unwrap();
@@ -820,6 +923,7 @@ mod tests {
         assert!(!json.contains("partition_heuristics"));
         assert!(!json.contains("response_histogram"));
         assert!(!json.contains("wcet_margin"));
+        assert!(!json.contains("latency_curves"));
         // And explicit axes round-trip through the same field names.
         let widened = CampaignSpec {
             overheads: vec![0.1],

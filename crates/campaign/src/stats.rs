@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use ftsched_sim::report::OutcomeCounts;
 use ftsched_task::{Mode, PerMode, TaskId};
 
-use crate::spec::ResponseHistogramSpec;
+use crate::spec::{LatencyCurveSpec, ResponseHistogramSpec};
 use crate::trial::{TrialOutcome, TrialStatus};
 
 /// A deterministic fixed-bin histogram of response times.
@@ -244,6 +244,83 @@ impl WcetMarginStats {
     }
 }
 
+/// One point of a latency-vs-load curve: the pooled distribution of
+/// **deadline-relative** response times (response time divided by the
+/// task's relative deadline, so `1.0` = "finished exactly at the
+/// deadline") over every completed job of one scenario's accepted
+/// trials. Normalising by the deadline is what makes the pool meaningful:
+/// tasks with 4-unit and 30-unit periods land on one comparable axis, and
+/// curves of different utilisation points answer the QoS question
+/// "how does latency degrade with load?".
+///
+/// The histogram is fixed-bin with integer counts (binning comes from the
+/// spec's [`LatencyCurveSpec`], shared by every curve of one campaign),
+/// so [`LatencyCurve::merge`] is **exactly** associative and commutative
+/// — sharded and multi-threaded campaigns report bit-identical curves
+/// (`tests/property_merge.rs`, `tests/campaign_latency.rs`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencyCurve {
+    /// The pooled deadline-relative response-time histogram.
+    pub histogram: ResponseHistogram,
+}
+
+impl LatencyCurve {
+    /// An empty curve point with the spec's binning.
+    pub fn new(spec: LatencyCurveSpec) -> Self {
+        LatencyCurve {
+            histogram: ResponseHistogram {
+                bin_width: spec.bin_width,
+                counts: vec![0; spec.bins],
+                overflow: 0,
+            },
+        }
+    }
+
+    /// Adds one deadline-relative response-time observation.
+    pub fn observe(&mut self, normalized: f64) {
+        self.histogram.observe(normalized);
+    }
+
+    /// Merges another curve point (associative and commutative for the
+    /// shared campaign binning).
+    pub fn merge(&mut self, other: &LatencyCurve) {
+        self.histogram.merge(&other.histogram);
+    }
+
+    /// Observations pooled into this point.
+    pub fn samples(&self) -> u64 {
+        self.histogram.total()
+    }
+
+    /// Median deadline-relative latency (conservative bin-edge quantile;
+    /// 0 when empty, infinite when the rank falls into the overflow bin).
+    pub fn p50(&self) -> f64 {
+        self.histogram.quantile(0.50)
+    }
+
+    /// 95th-percentile deadline-relative latency.
+    pub fn p95(&self) -> f64 {
+        self.histogram.quantile(0.95)
+    }
+
+    /// 99th-percentile deadline-relative latency.
+    pub fn p99(&self) -> f64 {
+        self.histogram.quantile(0.99)
+    }
+}
+
+/// Merges an optional curve point into an optional accumulator slot —
+/// `None` is the identity, so scenarios without accepted trials stay
+/// curve-free and serialised reports omit the field entirely.
+pub(crate) fn merge_latency(into: &mut Option<LatencyCurve>, from: Option<&LatencyCurve>) {
+    if let Some(from) = from {
+        match into {
+            Some(into) => into.merge(from),
+            None => *into = Some(from.clone()),
+        }
+    }
+}
+
 /// Per-scheme acceptance counters for the baseline comparison.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BaselineCounts {
@@ -298,6 +375,12 @@ pub struct SimAggregate {
     /// serialised reports while empty, so margin-free campaigns stay
     /// byte-identical to the pre-metric engine.
     pub wcet_margin: WcetMarginStats,
+    /// This scenario's latency-vs-load curve point — `Some` only when the
+    /// spec sets [`latency_curves`](crate::CampaignSpec::latency_curves)
+    /// and at least one trial was accepted. Omitted from serialised
+    /// reports while `None`, so curve-free campaigns stay byte-identical
+    /// to the pre-metric engine.
+    pub latency: Option<LatencyCurve>,
 }
 
 // Serialisation is written by hand so that the `response` field only
@@ -338,6 +421,9 @@ impl Serialize for SimAggregate {
         if self.wcet_margin.runs > 0 {
             fields.push(("wcet_margin".into(), self.wcet_margin.to_value()));
         }
+        if let Some(latency) = &self.latency {
+            fields.push(("latency".into(), latency.to_value()));
+        }
         serde::Value::Map(fields)
     }
 }
@@ -373,6 +459,10 @@ impl Deserialize for SimAggregate {
                 Some(v) => Deserialize::from_value(v)?,
                 None => WcetMarginStats::default(),
             },
+            latency: match serde::get_field(m, "latency") {
+                Some(v) => Some(Deserialize::from_value(v)?),
+                None => None,
+            },
         })
     }
 }
@@ -399,6 +489,7 @@ impl SimAggregate {
         if let Some(margin) = sim.wcet_margin {
             self.wcet_margin.observe(margin);
         }
+        merge_latency(&mut self.latency, sim.latency.as_ref());
     }
 
     fn merge(&mut self, other: &SimAggregate) {
@@ -420,6 +511,7 @@ impl SimAggregate {
         self.max_response_time = self.max_response_time.max(other.max_response_time);
         merge_task_responses(&mut self.response, &other.response);
         self.wcet_margin.merge(&other.wcet_margin);
+        merge_latency(&mut self.latency, other.latency.as_ref());
     }
 
     /// Total outcome counters over all modes.
@@ -557,6 +649,17 @@ mod tests {
     use super::*;
     use crate::trial::{BaselineVerdicts, SimSummary, TrialOutcome, TrialStatus};
 
+    fn latency_curve(values: &[f64]) -> LatencyCurve {
+        let mut curve = LatencyCurve::new(LatencyCurveSpec {
+            bin_width: 0.125,
+            bins: 16,
+        });
+        for &v in values {
+            curve.observe(v);
+        }
+        curve
+    }
+
     fn outcome(status: TrialStatus, with_sim: bool) -> TrialOutcome {
         TrialOutcome {
             scenario: 0,
@@ -587,6 +690,7 @@ mod tests {
                 max_response_time: 1.5,
                 response: None,
                 wcet_margin: Some(1.25),
+                latency: Some(latency_curve(&[0.25, 0.8])),
             }),
         }
     }
@@ -634,6 +738,42 @@ mod tests {
         // Conservative bin-edge median just above the exact value.
         let p50 = merged.sim.wcet_margin.p50();
         assert!((1.25..=1.25 + WcetMarginStats::BIN_WIDTH).contains(&p50));
+        // Two accepted trials, two observations each, pooled into one
+        // curve point.
+        let latency = merged.sim.latency.as_ref().unwrap();
+        assert_eq!(latency.samples(), 4);
+        assert_eq!(latency.p50(), 0.375);
+    }
+
+    #[test]
+    fn latency_curves_merge_exactly_and_handle_emptiness() {
+        let all = latency_curve(&[0.1, 0.5, 0.9, 1.3, 5.0]);
+        let a = latency_curve(&[0.1, 0.9]);
+        let b = latency_curve(&[0.5, 1.3, 5.0]);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, all);
+        assert_eq!(ba, all);
+        assert_eq!(all.samples(), 5);
+        // 5.0 deadlines is past the 16-bin domain: overflow.
+        assert_eq!(all.histogram.overflow, 1);
+        assert_eq!(all.p99(), f64::INFINITY);
+        // `None` is the identity of the optional-slot merge.
+        let mut slot: Option<LatencyCurve> = None;
+        merge_latency(&mut slot, None);
+        assert!(slot.is_none());
+        merge_latency(&mut slot, Some(&a));
+        assert_eq!(slot.as_ref(), Some(&a));
+        merge_latency(&mut slot, Some(&b));
+        let mut expected = a.clone();
+        expected.merge(&b);
+        assert_eq!(slot, Some(expected));
+        // An empty curve reports zero quantiles, not garbage.
+        let empty = latency_curve(&[]);
+        assert_eq!(empty.samples(), 0);
+        assert_eq!(empty.p50(), 0.0);
     }
 
     #[test]
@@ -738,6 +878,13 @@ mod tests {
         stats.observe(&outcome(TrialStatus::Accepted, true));
         let json = serde_json::to_string(&stats).unwrap();
         assert!(!json.contains("\"response\""));
+        // The latency field is present exactly when a curve was observed
+        // — and round-trips intact.
+        assert!(json.contains("\"latency\""));
+        let back: ScenarioStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        let bare = ScenarioStats::default();
+        assert!(!serde_json::to_string(&bare).unwrap().contains("latency"));
 
         stats.sim.response = vec![TaskResponse {
             task: TaskId(9),

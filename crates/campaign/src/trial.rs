@@ -31,8 +31,10 @@ use ftsched_task::{PerMode, SystemPartition, TaskSet, Time};
 use crate::cache::DesignKey;
 use crate::cache::{DesignCache, MemoCache, PartitionKey};
 use crate::seed::trial_seed;
-use crate::spec::{CampaignSpec, ResponseHistogramSpec, Scenario, TrialKind, WorkloadSpec};
-use crate::stats::{ResponseHistogram, TaskResponse};
+use crate::spec::{
+    CampaignSpec, LatencyCurveSpec, ResponseHistogramSpec, Scenario, TrialKind, WorkloadSpec,
+};
+use crate::stats::{LatencyCurve, ResponseHistogram, TaskResponse};
 
 /// Why a trial stopped where it did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -82,14 +84,19 @@ pub struct SimSummary {
     /// WCET-scaling margin of the chosen design at its period, when the
     /// spec's `wcet_margin` metric is enabled.
     pub wcet_margin: Option<f64>,
+    /// This trial's deadline-relative latency observations, pooled over
+    /// tasks, when the spec's `latency_curves` metric is enabled.
+    pub latency: Option<LatencyCurve>,
 }
 
 impl SimSummary {
     fn from_report(
         outcome: &PipelineOutcome,
+        tasks: &TaskSet,
         injected_faults: u64,
         histogram: Option<ResponseHistogramSpec>,
         wcet_margin: Option<f64>,
+        latency_spec: Option<LatencyCurveSpec>,
     ) -> Self {
         let report: &SimulationReport = &outcome.simulation;
         let response = histogram.map(|spec| {
@@ -111,6 +118,25 @@ impl SimSummary {
                 })
                 .unwrap_or_default()
         });
+        // The latency curve pools *deadline-relative* response times over
+        // all tasks (BTreeMap order: task-id, then completion-record
+        // order within a task — deterministic). The normalisation matches
+        // `SimulationReport::normalized_response_times`, inlined here so
+        // the per-trial hot path allocates nothing.
+        let latency = latency_spec.map(|spec| {
+            let mut curve = LatencyCurve::new(spec);
+            if let Some(recorded) = &report.response_times {
+                for (task, times) in recorded {
+                    let Some(deadline) = tasks.get(*task).map(|t| t.deadline) else {
+                        continue;
+                    };
+                    for &rt in times {
+                        curve.observe(rt / deadline);
+                    }
+                }
+            }
+            curve
+        });
         SimSummary {
             period: outcome.solution.period,
             slack_bandwidth: outcome.solution.slack_bandwidth(),
@@ -127,6 +153,7 @@ impl SimSummary {
                 .fold(0.0_f64, |acc, &rt| acc.max(rt)),
             response,
             wcet_margin,
+            latency,
         }
     }
 }
@@ -459,15 +486,18 @@ fn run_trial_inner(
                     horizon_hyperperiods: spec.horizon_hyperperiods,
                     fault_schedule: faults,
                     record_trace: false,
-                    record_response_times: spec.response_histogram.is_some(),
+                    record_response_times: spec.response_histogram.is_some()
+                        || spec.latency_curves.is_some(),
                 };
                 match validate_stage(problem, solution, slots, &config, arena) {
                     Ok(outcome) => {
                         let sim = SimSummary::from_report(
                             &outcome,
+                            &problem.tasks,
                             injected,
                             spec.response_histogram,
                             *wcet_margin,
+                            spec.latency_curves,
                         );
                         (
                             finish(TrialStatus::Accepted, baselines, Some(sim)),
@@ -605,7 +635,8 @@ fn run_trial_inner(
                 horizon_hyperperiods: spec.horizon_hyperperiods,
                 fault_schedule: faults,
                 record_trace: false,
-                record_response_times: spec.response_histogram.is_some(),
+                record_response_times: spec.response_histogram.is_some()
+                    || spec.latency_curves.is_some(),
             };
             let designed = design_stage_with(
                 &problem,
@@ -630,9 +661,11 @@ fn run_trial_inner(
                 Ok((outcome, wcet_margin)) => {
                     let sim = SimSummary::from_report(
                         &outcome,
+                        &problem.tasks,
                         injected,
                         spec.response_histogram,
                         wcet_margin,
+                        spec.latency_curves,
                     );
                     (
                         finish(TrialStatus::Accepted, baselines, Some(sim)),
@@ -754,6 +787,33 @@ mod tests {
         let bare = run_trial(&validate_spec(), &scenario, 0);
         if let Some(sim) = bare.sim {
             assert!(sim.response.is_none());
+        }
+    }
+
+    #[test]
+    fn latency_trials_pool_deadline_relative_response_times() {
+        let spec = CampaignSpec {
+            latency_curves: Some(LatencyCurveSpec {
+                bin_width: 0.03125,
+                bins: 64,
+            }),
+            ..validate_spec()
+        };
+        let scenario = spec.scenarios()[0];
+        let (outcome, _) = run_trial_full(&spec, &scenario, 0);
+        if outcome.status == TrialStatus::Accepted {
+            let sim = outcome.sim.unwrap();
+            let curve = sim.latency.expect("latency curves were requested");
+            // One observation per completed job, pooled over all tasks.
+            assert_eq!(curve.samples(), sim.completed_jobs);
+            // The per-task raw histograms were NOT requested.
+            assert!(sim.response.is_none());
+            assert!(curve.p50() <= curve.p95() && curve.p95() <= curve.p99());
+        }
+        // Without the spec block, no curve is collected.
+        let bare = run_trial(&validate_spec(), &scenario, 0);
+        if let Some(sim) = bare.sim {
+            assert!(sim.latency.is_none());
         }
     }
 

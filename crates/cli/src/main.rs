@@ -3,10 +3,10 @@
 //! ```text
 //! ftsched run <spec.json> [--threads N] [--block-size N] [--shard I/N]
 //!                         [--out report.json] [--csv report.csv]
-//!                         [--response-csv rt.csv] [--quiet]
-//!                         [--no-design-cache]
+//!                         [--response-csv rt.csv] [--latency-csv lat.csv]
+//!                         [--quiet] [--no-design-cache]
 //! ftsched merge <part.json>... [--out report.json] [--csv report.csv]
-//!                              [--response-csv rt.csv]
+//!                              [--response-csv rt.csv] [--latency-csv lat.csv]
 //! ftsched validate <spec.json>
 //! ftsched bench [--quick] [--minq] [--sim] [--sensitivity]
 //! ftsched example
@@ -51,12 +51,15 @@ OPTIONS (run):
     --response-csv <FILE>
                         write the per-task response-time percentile CSV
                         (specs with `response_histogram` only)
+    --latency-csv <FILE>
+                        write the long-format latency-vs-load CSV
+                        (specs with `latency_curves` only)
     --quiet             no progress line
     --no-design-cache   recompute the deterministic trial stages per trial
                         (debugging; reports are byte-identical either way)
 
 OPTIONS (merge):
-    --out / --csv / --response-csv as for `run`
+    --out / --csv / --response-csv / --latency-csv as for `run`
 
 OPTIONS (bench):
     --quick            reduced measurement budget (CI smoke)
@@ -93,6 +96,7 @@ struct Outputs<'a> {
     json: Option<&'a str>,
     csv: Option<&'a str>,
     response_csv: Option<&'a str>,
+    latency_csv: Option<&'a str>,
 }
 
 impl Outputs<'_> {
@@ -122,6 +126,17 @@ impl Outputs<'_> {
                 return false;
             }
             eprintln!("wrote response-time CSV to {path}");
+        }
+        if let Some(path) = self.latency_csv {
+            let Some(csv) = report.latency_csv() else {
+                eprintln!("ftsched: --latency-csv needs a spec with `latency_curves` enabled");
+                return false;
+            };
+            if let Err(e) = std::fs::write(path, csv) {
+                eprintln!("ftsched: cannot write `{path}`: {e}");
+                return false;
+            }
+            eprintln!("wrote latency-vs-load CSV to {path}");
         }
         true
     }
@@ -175,6 +190,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--response-csv" => match take_value(args, &mut i) {
                 Some(v) => outputs.response_csv = Some(v),
                 None => return usage_error("--response-csv needs a value"),
+            },
+            "--latency-csv" => match take_value(args, &mut i) {
+                Some(v) => outputs.latency_csv = Some(v),
+                None => return usage_error("--latency-csv needs a value"),
             },
             "--quiet" => exec.progress = false,
             "--no-design-cache" => exec.design_cache = false,
@@ -258,6 +277,10 @@ fn cmd_merge(args: &[String]) -> ExitCode {
             "--response-csv" => match take_value(args, &mut i) {
                 Some(v) => outputs.response_csv = Some(v),
                 None => return usage_error("--response-csv needs a value"),
+            },
+            "--latency-csv" => match take_value(args, &mut i) {
+                Some(v) => outputs.latency_csv = Some(v),
+                None => return usage_error("--latency-csv needs a value"),
             },
             other if !other.starts_with('-') => files.push(other),
             other => return usage_error(&format!("unexpected argument `{other}`")),

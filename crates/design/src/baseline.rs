@@ -214,7 +214,7 @@ pub fn compare_schemes(
     compare_schemes_with(problem, &problem.analysis_context()?, config)
 }
 
-/// [`compare_schemes`] over a prebuilt [`AnalysisContext`] of the same
+/// [`compare_schemes`] over a prebuilt [`AnalysisContext`](crate::AnalysisContext) of the same
 /// problem, so the flexible-scheme region sweep shares the context with
 /// the caller's own searches instead of rebuilding it.
 ///

@@ -30,7 +30,7 @@
 //!   utilisations).
 //! * [`partitioner`] — automatic partitioning heuristics (first-fit /
 //!   best-fit / worst-fit decreasing) for when no manual partition is
-//!   given (the paper assumes a manual partition but cites [6] for
+//!   given (the paper assumes a manual partition but cites \[6] for
 //!   automatic ones).
 //! * [`sensitivity`] — how far each overhead or task WCET can grow before
 //!   the chosen design becomes infeasible.

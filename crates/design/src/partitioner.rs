@@ -1,7 +1,7 @@
 //! Automatic task-to-channel partitioning.
 //!
 //! The paper assumes the partition is supplied manually (§3) and cites
-//! Baruah [6] for automatic approaches. For the campaign experiments we
+//! Baruah \[6] for automatic approaches. For the campaign experiments we
 //! need a partitioner that works on thousands of generated task sets, so
 //! this module implements the classic bin-packing heuristics used for
 //! partitioned multiprocessor scheduling:

@@ -5,7 +5,7 @@ use std::collections::{BTreeMap, HashMap};
 use serde::{Deserialize, Serialize};
 
 use ftsched_platform::JobOutcome;
-use ftsched_task::{Duration, Mode, PerMode, TaskId};
+use ftsched_task::{Duration, Mode, PerMode, TaskId, TaskSet};
 
 use crate::trace::Trace;
 
@@ -119,6 +119,32 @@ impl SimulationReport {
             .get(&task)
             .map(|&rt| Duration::from_units(rt))
     }
+
+    /// Deadline-relative view of [`Self::response_times`]: every recorded
+    /// response time divided by its task's relative deadline `D_i`, so
+    /// `1.0` means "completed exactly at the deadline" whatever the
+    /// task's period. This is the normalisation that makes latency
+    /// distributions comparable — and poolable — across tasks and across
+    /// workloads with different period ranges; the campaign engine's
+    /// latency-vs-load curves feed on it.
+    ///
+    /// Returns `None` when response times were not recorded
+    /// ([`SimulationConfig::record_response_times`](crate::SimulationConfig)
+    /// off). Tasks unknown to `tasks` are skipped — they cannot appear in
+    /// a report simulated from that set.
+    pub fn normalized_response_times(&self, tasks: &TaskSet) -> Option<BTreeMap<TaskId, Vec<f64>>> {
+        let recorded = self.response_times.as_ref()?;
+        let mut out = BTreeMap::new();
+        for (&task, times) in recorded {
+            let Some(deadline) = tasks.get(task).map(|t| t.deadline) else {
+                continue;
+            };
+            // Deadlines are validated positive by the task model, so the
+            // division is always well-defined.
+            out.insert(task, times.iter().map(|&rt| rt / deadline).collect());
+        }
+        Some(out)
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +186,41 @@ mod tests {
         assert_eq!(report.total_outcomes().wrong_result, 2);
         assert!((report.completion_ratio() - 0.9).abs() < 1e-12);
         assert!(report.worst_response_time(TaskId(1)).is_none());
+    }
+
+    #[test]
+    fn response_times_normalize_by_relative_deadline() {
+        use ftsched_task::{Mode, Task};
+
+        let tasks = TaskSet::new(vec![
+            Task::implicit_deadline(1, 1.0, 4.0, Mode::FaultTolerant).unwrap(),
+            Task::implicit_deadline(2, 2.0, 10.0, Mode::NonFaultTolerant).unwrap(),
+        ])
+        .unwrap();
+        let mut recorded = BTreeMap::new();
+        recorded.insert(TaskId(1), vec![1.0, 4.0]);
+        recorded.insert(TaskId(2), vec![5.0]);
+        let report = SimulationReport {
+            horizon: 20.0,
+            released_jobs: 3,
+            completed_jobs: 3,
+            deadline_misses: 0,
+            outcomes: PerMode::splat(OutcomeCounts::default()),
+            worst_response_times: HashMap::new(),
+            response_times: Some(recorded),
+            executed_time: PerMode::splat(0.0),
+            effective_faults: 0,
+            trace: None,
+        };
+        let normalized = report.normalized_response_times(&tasks).unwrap();
+        assert_eq!(normalized[&TaskId(1)], vec![0.25, 1.0]);
+        assert_eq!(normalized[&TaskId(2)], vec![0.5]);
+
+        // Unrecorded runs normalise to nothing at all.
+        let bare = SimulationReport {
+            response_times: None,
+            ..report
+        };
+        assert!(bare.normalized_response_times(&tasks).is_none());
     }
 }

@@ -8,13 +8,13 @@
 //!
 //! | crate | contents |
 //! |-------|----------|
-//! | [`task`](ftsched_task) | sporadic task model, modes, partitions, generators |
-//! | [`analysis`](ftsched_analysis) | supply functions, FP/EDF hierarchical tests, `minQ` |
-//! | [`platform`](ftsched_platform) | the 4-core lock-step platform with fault injection |
-//! | [`sim`](ftsched_sim) | slot-based discrete-event scheduling simulator |
-//! | [`design`](ftsched_design) | feasible-period region, quanta selection, design goals |
-//! | [`core`](ftsched_core) | the design-and-validate pipeline |
-//! | [`campaign`](ftsched_campaign) | parallel, deterministic experiment-campaign engine |
+//! | [`task`] | sporadic task model, modes, partitions, generators |
+//! | [`analysis`] | supply functions, FP/EDF hierarchical tests, `minQ` |
+//! | [`platform`] | the 4-core lock-step platform with fault injection |
+//! | [`sim`] | slot-based discrete-event scheduling simulator |
+//! | [`design`] | feasible-period region, quanta selection, design goals |
+//! | [`core`] | the design-and-validate pipeline |
+//! | [`campaign`] | parallel, deterministic experiment-campaign engine |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

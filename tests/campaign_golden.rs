@@ -21,15 +21,17 @@ fn golden(name: &str, extension: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
 }
 
-fn check_example(name: &str) {
+/// Loads `examples/<name>.json`, runs it, and asserts the JSON / CSV /
+/// table output is byte-identical to the goldens generated with the
+/// `era` binary (plus the per-task response CSV when the spec collects
+/// histograms). The shared core of every golden check, so the protocol
+/// cannot drift between spec eras.
+fn check_against_goldens(name: &str, era: &str) -> CampaignReport {
     let path = root(&format!("examples/{name}.json"));
     let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     let spec: CampaignSpec = serde_json::from_str(&text)
-        .unwrap_or_else(|e| panic!("pre-axis spec `{name}` no longer parses: {e}"));
+        .unwrap_or_else(|e| panic!("{era} spec `{name}` no longer parses: {e}"));
     spec.validate().unwrap();
-    // Pre-axis specs must stay on the single-value fallbacks.
-    assert!(!spec.has_overhead_axis() && !spec.has_heuristic_axis());
-    assert!(spec.response_histogram.is_none());
 
     let report = run_campaign(
         &spec,
@@ -44,20 +46,47 @@ fn check_example(name: &str) {
     assert_eq!(
         report.to_json(),
         golden(name, "json"),
-        "JSON report for `{name}` diverged from the pre-axis binary"
+        "JSON report for `{name}` diverged from the {era} binary"
     );
     assert_eq!(
         report.to_csv(),
         golden(name, "csv"),
-        "CSV report for `{name}` diverged from the pre-axis binary"
+        "CSV report for `{name}` diverged from the {era} binary"
     );
     // The golden table file is the binary's stdout: the table plus the
     // trailing newline `println!` appends.
     assert_eq!(
         format!("{}\n", report.render_table()),
         golden(name, "table.txt"),
-        "table for `{name}` diverged from the pre-axis binary"
+        "table for `{name}` diverged from the {era} binary"
     );
+    if let Some(response_csv) = report.response_csv() {
+        assert_eq!(
+            response_csv,
+            golden(name, "response.csv"),
+            "response CSV for `{name}` diverged from the {era} binary"
+        );
+    }
+    report
+}
+
+/// Golden check for the original, pre-axis example specs: they must stay
+/// on the single-value fallbacks forever.
+fn check_example(name: &str) {
+    let report = check_against_goldens(name, "pre-axis");
+    let spec = &report.spec;
+    assert!(!spec.has_overhead_axis() && !spec.has_heuristic_axis());
+    assert!(spec.response_histogram.is_none());
+}
+
+/// Golden check for specs that postdate the widened axes (so they may
+/// use them) while predating the latency-curve metric: a spec without
+/// the metric must never grow the new fields.
+fn check_post_axis_example(name: &str) {
+    let report = check_against_goldens(name, "pre-latency");
+    assert!(report.spec.latency_curves.is_none());
+    assert!(report.latency_csv().is_none());
+    assert!(!report.to_json().contains("latency"));
 }
 
 #[test]
@@ -76,11 +105,21 @@ fn fault_injection_example_is_byte_identical_to_pre_axis_binary() {
 }
 
 #[test]
+fn grid_sweep_example_is_byte_identical_to_pre_latency_binary() {
+    check_post_axis_example("grid_sweep");
+}
+
+#[test]
 fn golden_reports_parse_under_the_widened_schema() {
     // A report written by the pre-axis binary still deserialises (the
     // extension fields default), and re-serialising it reproduces the
     // file byte for byte — the round trip is lossless in both formats.
-    for name in ["acceptance_ratio", "baseline_comparison", "fault_injection"] {
+    for name in [
+        "acceptance_ratio",
+        "baseline_comparison",
+        "fault_injection",
+        "grid_sweep",
+    ] {
         let text = golden(name, "json");
         let report: CampaignReport = serde_json::from_str(&text)
             .unwrap_or_else(|e| panic!("golden `{name}` no longer parses: {e}"));

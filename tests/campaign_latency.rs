@@ -1,0 +1,173 @@
+//! End-to-end tests of the `latency_curves` campaign metric: per-scenario
+//! deadline-relative latency distributions aggregate exactly across
+//! threads and shards, the pooled per-utilisation curve is derived
+//! deterministically in the JSON report, and curve-free campaigns stay
+//! byte-identical to the pre-metric engine.
+
+use ftsched_campaign::prelude::*;
+use ftsched_campaign::{merge_reports, run_campaign, ShardInfo};
+
+fn latency_spec(name: &str) -> CampaignSpec {
+    CampaignSpec {
+        kind: TrialKind::DesignAndValidate,
+        faults: FaultModel::Poisson {
+            mean_interarrival: 10.0,
+            fault_duration: 0.25,
+        },
+        horizon_hyperperiods: 1,
+        trials_per_scenario: 6,
+        latency_curves: Some(LatencyCurveSpec {
+            bin_width: 0.0625,
+            bins: 48,
+        }),
+        ..CampaignSpec::base(name)
+    }
+}
+
+#[test]
+fn paper_campaign_curves_pool_all_completed_jobs_inside_the_deadline() {
+    let spec = CampaignSpec {
+        workload: WorkloadSpec::Paper,
+        utilizations: vec![],
+        algorithms: vec![Algorithm::EarliestDeadlineFirst],
+        ..latency_spec("paper-latency")
+    };
+    let report = run_campaign(&spec, &ExecutorConfig::default()).unwrap();
+    let stats = &report.scenarios[0].stats;
+    assert_eq!(stats.accepted, 6);
+    let curve = stats.sim.latency.as_ref().expect("curves were requested");
+    // Every completed job of every accepted trial contributes exactly one
+    // observation.
+    assert_eq!(curve.samples(), stats.sim.completed_jobs);
+    // A validated design never misses a deadline, so every normalised
+    // response time is at most 1.0: nothing lands past the deadline's
+    // bin. The quantile is the conservative *upper* bin edge, so an
+    // exactly-at-deadline completion may report one bin width above 1.0.
+    assert_eq!(stats.sim.deadline_misses, 0);
+    let bin_width = spec.latency_curves.unwrap().bin_width;
+    assert!(curve.p99() <= 1.0 + bin_width, "p99 {}", curve.p99());
+    assert_eq!(curve.histogram.overflow, 0);
+    assert!(curve.p50() > 0.0 && curve.p50() <= curve.p95());
+
+    // The pooled JSON curve degenerates to the single paper point.
+    let pooled = report.pooled_latency_curve().unwrap();
+    assert_eq!(pooled.len(), 1);
+    assert_eq!(pooled[0].utilization, None);
+    assert_eq!(pooled[0].samples, curve.samples());
+    assert_eq!(pooled[0].lat_p50, curve.p50());
+}
+
+#[test]
+fn latency_campaigns_shard_merge_and_round_trip_byte_identically() {
+    let spec = CampaignSpec {
+        algorithms: vec![Algorithm::EarliestDeadlineFirst, Algorithm::RateMonotonic],
+        utilizations: vec![0.8, 1.6],
+        overheads: vec![0.02, 0.08],
+        ..latency_spec("synthetic-latency")
+    };
+    let sequential = run_campaign(
+        &spec,
+        &ExecutorConfig {
+            threads: 1,
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    let parallel = run_campaign(
+        &spec,
+        &ExecutorConfig {
+            threads: 4,
+            block_size: 2,
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(sequential.to_json(), parallel.to_json());
+    assert_eq!(sequential.to_csv(), parallel.to_csv());
+    assert_eq!(sequential.latency_csv(), parallel.latency_csv());
+
+    // Shard, then fold back: byte-identical to the unsharded run, down
+    // to the derived pooled curve and the long-format CSV.
+    let parts: Vec<_> = (0..3)
+        .map(|i| {
+            ftsched_campaign::run_campaign_shard(
+                &spec,
+                &ExecutorConfig::default(),
+                Some(ShardInfo { index: i, count: 3 }),
+            )
+            .unwrap()
+        })
+        .collect();
+    let merged = merge_reports(parts).unwrap();
+    assert_eq!(merged.to_json(), sequential.to_json());
+    assert_eq!(merged.latency_csv(), sequential.latency_csv());
+
+    // JSON round-trips with the per-scenario curves intact (the pooled
+    // curve is derived, so re-serialising reproduces it too).
+    let json = sequential.to_json();
+    assert!(json.contains("\"latency\""));
+    assert!(json.contains("\"latency_curve\""));
+    let back: CampaignReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, sequential);
+    assert_eq!(back.to_json(), json);
+
+    // The wide CSV exposes the quantile columns; the long-format CSV has
+    // one row per scenario that accepted anything.
+    let header = sequential.to_csv().lines().next().unwrap().to_string();
+    assert!(header.contains("lat_p50,lat_p95,lat_p99"));
+    let latency_csv = sequential.latency_csv().unwrap();
+    let rows = latency_csv.lines().count() - 1;
+    let curved = sequential
+        .scenarios
+        .iter()
+        .filter(|s| s.stats.sim.latency.is_some())
+        .count();
+    assert!(curved > 0, "no scenario accepted anything");
+    assert_eq!(rows, curved);
+    assert!(latency_csv.starts_with("scenario,algorithm,utilization,overhead,samples,"));
+
+    // The pooled curve has one point per utilisation, each the exact
+    // merge of that utilisation's scenario curves.
+    let pooled = sequential.pooled_latency_curve().unwrap();
+    assert_eq!(pooled.len(), 2);
+    assert_eq!(pooled[0].utilization, Some(0.8));
+    assert_eq!(pooled[1].utilization, Some(1.6));
+    for (point, utilization) in pooled.iter().zip([0.8, 1.6]) {
+        let samples: u64 = sequential
+            .scenarios
+            .iter()
+            .filter(|s| s.utilization == Some(utilization))
+            .filter_map(|s| s.stats.sim.latency.as_ref())
+            .map(|c| c.samples())
+            .sum();
+        assert_eq!(point.samples, samples);
+    }
+
+    // The design cache must not change a single byte.
+    let uncached = run_campaign(
+        &spec,
+        &ExecutorConfig {
+            design_cache: false,
+            ..ExecutorConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(uncached.to_json(), sequential.to_json());
+}
+
+#[test]
+fn curve_free_campaigns_never_mention_the_metric() {
+    let spec = CampaignSpec {
+        latency_curves: None,
+        ..latency_spec("bare-metrics")
+    };
+    let report = run_campaign(&spec, &ExecutorConfig::default()).unwrap();
+    let json = report.to_json();
+    assert!(
+        !json.contains("latency"),
+        "curve-free reports must stay byte-identical to the pre-metric engine"
+    );
+    assert!(!report.to_csv().contains("lat_p50"));
+    assert!(report.latency_csv().is_none());
+    assert!(report.pooled_latency_curve().is_none());
+}

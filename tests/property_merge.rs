@@ -12,8 +12,8 @@ use proptest::prelude::*;
 
 use ftsched_campaign::trial::BaselineVerdicts;
 use ftsched_campaign::{
-    ResponseHistogram, ResponseHistogramSpec, ScenarioStats, SimSummary, TaskResponse,
-    TrialOutcome, TrialStatus,
+    LatencyCurve, LatencyCurveSpec, ResponseHistogram, ResponseHistogramSpec, ScenarioStats,
+    SimSummary, TaskResponse, TrialOutcome, TrialStatus,
 };
 use ftsched_sim::report::OutcomeCounts;
 use ftsched_task::{PerMode, TaskId};
@@ -22,6 +22,21 @@ const HISTOGRAM: ResponseHistogramSpec = ResponseHistogramSpec {
     bin_width: 0.5,
     bins: 32,
 };
+
+const LATENCY: LatencyCurveSpec = LatencyCurveSpec {
+    bin_width: 0.0625,
+    bins: 24,
+};
+
+/// Builds a latency-curve point from deadline-relative observations in
+/// eighths (`0..24` maps onto `0.0..3.0` deadlines, with some overflow).
+fn latency_from(observations: &[u8]) -> LatencyCurve {
+    let mut curve = LatencyCurve::new(LATENCY);
+    for &scaled in observations {
+        curve.observe(f64::from(scaled) / 8.0);
+    }
+    curve
+}
 
 fn status_from(code: u8) -> TrialStatus {
     match code % 5 {
@@ -65,14 +80,17 @@ fn arb_outcome() -> impl Strategy<Value = TrialOutcome> {
         (0u8..5, any::<u64>(), 0u8..32),
         (1u32..200, 0u32..200, 0u32..10, 0u32..20),
         (0u32..400, 0u32..100),
-        prop::collection::vec((0u8..8, 0u32..90), 0..10),
+        (
+            prop::collection::vec((0u8..8, 0u32..90), 0..10),
+            prop::collection::vec(0u8..32, 0..12),
+        ),
     )
         .prop_map(
             |(
                 (status_code, seed, baseline_bits),
                 (released, completed, misses, faults),
                 (period_scaled, slack_scaled),
-                observations,
+                (observations, latencies),
             )| {
                 let status = status_from(status_code);
                 let baselines = (baseline_bits < 16).then_some(BaselineVerdicts {
@@ -102,6 +120,10 @@ fn arb_outcome() -> impl Strategy<Value = TrialOutcome> {
                     // the merge algebra is exercised across present and
                     // absent observations.
                     wcet_margin: (faults % 2 == 0).then(|| 1.0 + f64::from(slack_scaled) / 100.0),
+                    // Likewise for the latency curve: some accepted
+                    // trials carry one, some do not — the optional-slot
+                    // merge must treat `None` as the identity.
+                    latency: (released % 3 != 0).then(|| latency_from(&latencies)),
                 });
                 TrialOutcome {
                     scenario: 0,
@@ -231,5 +253,64 @@ proptest! {
         if n > 0 {
             prop_assert!(p50 > 0.0);
         }
+    }
+
+    /// `LatencyCurve::merge` is exact over any three-way split of an
+    /// observation stream: associative, commutative, count-preserving —
+    /// and reassociates back to the single-pass fold.
+    #[test]
+    fn latency_curve_merge_is_associative_and_commutative(
+        observations in prop::collection::vec(0u8..32, 0..80),
+        cut_x in 0usize..81,
+        cut_y in 0usize..81,
+    ) {
+        let n = observations.len();
+        let (lo, hi) = if cut_x <= cut_y { (cut_x, cut_y) } else { (cut_y, cut_x) };
+        let (lo, hi) = (lo.min(n), hi.min(n));
+        let a = latency_from(&observations[..lo]);
+        let b = latency_from(&observations[lo..hi]);
+        let c = latency_from(&observations[hi..]);
+
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(&left, &latency_from(&observations));
+        prop_assert_eq!(left.samples(), n as u64);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+
+        // Quantiles stay monotone under the merge.
+        prop_assert!(left.p50() <= left.p95() && left.p95() <= left.p99());
+    }
+
+    /// Folding contiguous shards of a latency observation stream and
+    /// merging the shard curves in shard order reproduces the fold of
+    /// all observations — the invariant that makes `--shard` +
+    /// `ftsched merge` latency reports byte-identical to unsharded runs.
+    #[test]
+    fn latency_shard_fold_equals_all_observations_fold(
+        observations in prop::collection::vec(0u8..32, 1..60),
+        shard_count in 1usize..7,
+    ) {
+        let sequential = latency_from(&observations);
+        let n = observations.len();
+        let mut merged = LatencyCurve::new(LATENCY);
+        for shard in 0..shard_count {
+            // The same contiguous slicing `run_campaign_shard` uses.
+            let lo = shard * n / shard_count;
+            let hi = (shard + 1) * n / shard_count;
+            merged.merge(&latency_from(&observations[lo..hi]));
+        }
+        prop_assert_eq!(&merged, &sequential);
+        prop_assert_eq!(merged.samples(), n as u64);
     }
 }

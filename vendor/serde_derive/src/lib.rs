@@ -2,7 +2,7 @@
 //!
 //! The build environment of this repository has no access to crates.io, so
 //! the workspace vendors a minimal `serde` data model (a self-describing
-//! [`Value`] tree with `to_value`/`from_value` traits) and this proc-macro
+//! `Value` tree with `to_value`/`from_value` traits) and this proc-macro
 //! crate derives impls for it. The macro hand-parses the item's token
 //! stream (no `syn`/`quote` available) and supports exactly the shapes the
 //! workspace uses:
