@@ -182,6 +182,10 @@ impl MinQSweep {
         if tasks.is_empty() {
             return Err(AnalysisError::EmptyTaskSet);
         }
+        // Build-vs-rescale attribution for the metrics layer: a fresh
+        // enumeration is the expensive path `rescale_into` exists to
+        // avoid.
+        ftsched_obs::metrics().sweep_builds.incr();
         match algorithm {
             Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic => {
                 let order = algorithm
@@ -302,6 +306,7 @@ impl MinQSweep {
             lambda.is_finite() && lambda > 0.0,
             "WCET scale {lambda} must be finite and positive"
         );
+        ftsched_obs::metrics().sweep_rescales.incr();
         if !Arc::ptr_eq(&self.shape, &out.shape) {
             // Different enumeration: copy it once; subsequent rescales
             // against the same base are allocation-free.

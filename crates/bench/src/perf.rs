@@ -48,6 +48,60 @@ pub struct BenchEntry {
     pub ns_per_iter: f64,
     /// Iterations in the measured batch.
     pub iters: u64,
+    /// What the measured code actually did, from the `ftsched_obs`
+    /// stage counters.
+    pub stages: BenchStages,
+}
+
+/// Stage-counter deltas captured around one benchmark case, answering
+/// *what work the timed loop performed*: kernel builds vs in-place
+/// rescales, simulator volume and cache traffic. The deltas cover every
+/// calibration batch plus the final timed batch — `total_iters`
+/// iterations in all — so divide by `total_iters` for per-iteration
+/// rates. Attached to `BENCH_*.json` entries only; the perf contracts
+/// ([`check_minq_contract`], [`check_sensitivity_contract`]) read
+/// exclusively from `derived` and are unaffected.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct BenchStages {
+    /// Iterations executed across all batches (calibration + final).
+    pub total_iters: u64,
+    /// [`MinQSweep`] constructions.
+    pub sweep_builds: u64,
+    /// In-place parametric rescales (the sensitivity fast path).
+    pub sweep_rescales: u64,
+    /// Completed simulator runs.
+    pub sim_runs: u64,
+    /// Slot windows walked by the simulator.
+    pub sim_windows: u64,
+    /// Execution slices scheduled by the simulator.
+    pub sim_slices: u64,
+    /// Memo-cache hits summed over the design/generation/partition
+    /// caches.
+    pub cache_hits: u64,
+    /// Memo-cache misses summed over the same caches.
+    pub cache_misses: u64,
+}
+
+impl BenchStages {
+    /// Builds the breakdown from a [`ftsched_obs::MetricsSnapshot`]
+    /// delta spanning `total_iters` iterations.
+    fn from_delta(total_iters: u64, delta: &ftsched_obs::MetricsSnapshot) -> Self {
+        let caches = [
+            &delta.timing.design_cache,
+            &delta.timing.generation_cache,
+            &delta.timing.partition_cache,
+        ];
+        BenchStages {
+            total_iters,
+            sweep_builds: delta.timing.sweep_builds,
+            sweep_rescales: delta.timing.sweep_rescales,
+            sim_runs: delta.counters.sim_runs,
+            sim_windows: delta.counters.sim_windows,
+            sim_slices: delta.counters.sim_slices,
+            cache_hits: caches.iter().map(|c| c.hits).sum(),
+            cache_misses: caches.iter().map(|c| c.misses).sum(),
+        }
+    }
 }
 
 /// A derived metric (speedups, check flags) computed from the entries.
@@ -88,8 +142,9 @@ impl BenchReport {
 }
 
 /// Measures `f`, growing the iteration count until one batch exceeds the
-/// time budget (criterion-style calibration, no statistics).
-fn time_ns(quick: bool, mut f: impl FnMut()) -> (f64, u64) {
+/// time budget (criterion-style calibration, no statistics). Returns
+/// `(ns_per_iter, final_batch_iters, total_iters_across_all_batches)`.
+fn time_ns(quick: bool, mut f: impl FnMut()) -> (f64, u64, u64) {
     let budget = if quick {
         StdDuration::from_millis(4)
     } else {
@@ -97,14 +152,20 @@ fn time_ns(quick: bool, mut f: impl FnMut()) -> (f64, u64) {
     };
     let cap: u64 = if quick { 1 << 12 } else { 1 << 18 };
     let mut iters: u64 = 1;
+    let mut total: u64 = 0;
     loop {
         let start = Instant::now();
         for _ in 0..iters {
             f();
         }
         let elapsed = start.elapsed();
+        total += iters;
         if elapsed >= budget || iters >= cap {
-            return (elapsed.as_nanos() as f64 / iters.max(1) as f64, iters);
+            return (
+                elapsed.as_nanos() as f64 / iters.max(1) as f64,
+                iters,
+                total,
+            );
         }
         let per_iter = elapsed.as_nanos().max(1) as f64 / iters as f64;
         let target = (budget.as_nanos() as f64 * 1.25 / per_iter).ceil() as u64;
@@ -113,11 +174,14 @@ fn time_ns(quick: bool, mut f: impl FnMut()) -> (f64, u64) {
 }
 
 fn entry(entries: &mut Vec<BenchEntry>, name: impl Into<String>, quick: bool, f: impl FnMut()) {
-    let (ns_per_iter, iters) = time_ns(quick, f);
+    let before = ftsched_obs::metrics().snapshot();
+    let (ns_per_iter, iters, total_iters) = time_ns(quick, f);
+    let delta = ftsched_obs::metrics().snapshot().since(&before);
     entries.push(BenchEntry {
         name: name.into(),
         ns_per_iter,
         iters,
+        stages: BenchStages::from_delta(total_iters, &delta),
     });
 }
 
@@ -647,6 +711,15 @@ mod tests {
         assert!(report.derived("minq_grid120_speedup/min").is_some());
         let json = report.to_json();
         assert!(json.contains("minq_grid120_sweep/EDF/FT_channel"));
+        // The sweep-kernel cases build one MinQSweep per iteration, and
+        // the breakdown must account for every batch that ran.
+        let sweep = report
+            .entries
+            .iter()
+            .find(|e| e.name == "minq_grid120_sweep/EDF/FT_channel")
+            .unwrap();
+        assert!(sweep.stages.total_iters >= sweep.iters);
+        assert_eq!(sweep.stages.sweep_builds, sweep.stages.total_iters);
     }
 
     #[test]
@@ -681,6 +754,12 @@ mod tests {
         assert!(report
             .derived("sim_arena_speedup/fault_injected_600")
             .is_some());
+        // Every timed iteration is exactly one simulator run, and a run
+        // always walks at least one slot window.
+        for e in &report.entries {
+            assert_eq!(e.stages.sim_runs, e.stages.total_iters, "{}", e.name);
+            assert!(e.stages.sim_windows > 0, "{}", e.name);
+        }
     }
 
     #[test]

@@ -38,6 +38,11 @@
 //! * [`report`] — JSON / CSV / table renderings that echo the spec for
 //!   reproducibility, and [`merge_reports`], which folds shard partials
 //!   into a report byte-identical to the unsharded run.
+//! * [`metrics`] — the `--metrics-json` side channel: deterministic
+//!   event counters (byte-identical at any worker count, additive
+//!   across shards) strictly separated from machine-dependent timings.
+//!   Reports never embed metrics, so collecting them cannot perturb a
+//!   campaign's bytes.
 //!
 //! ```
 //! use ftsched_campaign::prelude::*;
@@ -58,6 +63,7 @@
 
 pub mod cache;
 pub mod executor;
+pub mod metrics;
 pub mod report;
 pub mod seed;
 pub mod spec;
@@ -67,6 +73,7 @@ pub mod trial;
 use std::fmt;
 
 pub use executor::{run_campaign, run_campaign_shard, ExecutorConfig};
+pub use metrics::{CacheCounts, RunCounters, RunMetrics, RunTimings, StageTiming};
 pub use report::{merge_reports, CampaignReport, LatencyCurvePoint, ScenarioReport, ShardInfo};
 pub use spec::{
     CampaignSpec, LatencyCurveSpec, ResponseHistogramSpec, Scenario, TrialKind, WcetMarginSpec,
@@ -76,7 +83,9 @@ pub use stats::{
     BaselineCounts, ExactSum, LatencyCurve, ResponseHistogram, ScenarioStats, SimAggregate,
     TaskResponse, WcetMarginStats,
 };
-pub use trial::{run_trial, run_trial_full, SimSummary, TrialOutcome, TrialStatus};
+pub use trial::{
+    run_trial, run_trial_full, run_trial_traced, SimSummary, TrialOutcome, TrialStatus,
+};
 
 /// Campaign-level errors. Per-trial failures (generation, partitioning,
 /// design rejection) are not errors — they are counted outcomes.
@@ -106,6 +115,7 @@ impl std::error::Error for CampaignError {}
 /// models) so spec-building code needs only this one import.
 pub mod prelude {
     pub use crate::executor::{run_campaign, run_campaign_shard, ExecutorConfig};
+    pub use crate::metrics::{RunCounters, RunMetrics, RunTimings};
     pub use crate::report::{
         merge_reports, CampaignReport, LatencyCurvePoint, ScenarioReport, ShardInfo,
     };
@@ -115,7 +125,9 @@ pub mod prelude {
         WorkloadSpec,
     };
     pub use crate::stats::{LatencyCurve, ResponseHistogram, ScenarioStats, WcetMarginStats};
-    pub use crate::trial::{run_trial, run_trial_full, TrialOutcome, TrialStatus};
+    pub use crate::trial::{
+        run_trial, run_trial_full, run_trial_traced, TrialOutcome, TrialStatus,
+    };
     pub use crate::CampaignError;
 
     pub use ftsched_analysis::Algorithm;

@@ -296,18 +296,21 @@ impl TrialCaches {
         // (algorithm, overhead) combination.
         let gen_uses = algorithms * overheads * heuristics;
         let partition_uses = algorithms * overheads;
+        let obs = ftsched_obs::metrics();
         TrialCaches {
-            design: TrialDesignCache::new(enabled),
+            design: TrialDesignCache::new(enabled).with_stats(&obs.design_cache),
             gen: MemoCache::with_limits(
                 enabled && synthetic && gen_uses > 1,
                 gen_uses,
                 SYNTHETIC_CACHE_CAPACITY,
-            ),
+            )
+            .with_stats(&obs.generation_cache),
             partition: MemoCache::with_limits(
                 enabled && synthetic && partition_uses > 1,
                 partition_uses,
                 SYNTHETIC_CACHE_CAPACITY,
-            ),
+            )
+            .with_stats(&obs.partition_cache),
         }
     }
 }
@@ -394,7 +397,25 @@ pub fn run_trial_full(
     trial: usize,
 ) -> (TrialOutcome, Option<PipelineOutcome>) {
     let mut arena = SimArena::new();
-    run_trial_inner(spec, scenario, trial, None, &mut arena)
+    run_trial_inner(spec, scenario, trial, None, &mut arena, false)
+}
+
+/// [`run_trial_full`] with full execution tracing: the returned
+/// [`PipelineOutcome`]'s simulation report carries the complete
+/// [`Trace`](ftsched_sim::trace::Trace) (every slot boundary, execution slice
+/// and job record) for accepted `DesignAndValidate` trials.
+///
+/// This is the single-trial inspection path (`ftsched inspect`):
+/// campaigns never record traces — a trace over a whole grid would dwarf
+/// the report — but any (scenario, trial) coordinate from a report can be
+/// re-run through here and dissected slice by slice.
+pub fn run_trial_traced(
+    spec: &CampaignSpec,
+    scenario: &Scenario,
+    trial: usize,
+) -> (TrialOutcome, Option<PipelineOutcome>) {
+    let mut arena = SimArena::new();
+    run_trial_inner(spec, scenario, trial, None, &mut arena, true)
 }
 
 /// The campaign executor's entry point: shared [`TrialCaches`] plus a
@@ -408,7 +429,7 @@ pub(crate) fn run_trial_with(
     caches: &TrialCaches,
     arena: &mut SimArena,
 ) -> TrialOutcome {
-    run_trial_inner(spec, scenario, trial, Some(caches), arena).0
+    run_trial_inner(spec, scenario, trial, Some(caches), arena, false).0
 }
 
 fn run_trial_inner(
@@ -417,6 +438,7 @@ fn run_trial_inner(
     trial: usize,
     caches: Option<&TrialCaches>,
     arena: &mut SimArena,
+    record_trace: bool,
 ) -> (TrialOutcome, Option<PipelineOutcome>) {
     // Seeds key on the workload coordinate so every non-workload axis is
     // paired (same task sets, same fault draws) — see
@@ -438,6 +460,9 @@ fn run_trial_inner(
     // its whole design prefix is a pure function of (spec, scenario) and
     // goes through the design cache.
     if matches!(spec.workload, WorkloadSpec::Paper) {
+        // One request per trial — a pure function of the spec, unlike the
+        // hit/miss split, which depends on worker interleaving.
+        ftsched_obs::metrics().design_cache_requests.incr();
         let key = DesignKey::new(
             scenario.workload_point,
             scenario.algorithm,
@@ -485,7 +510,7 @@ fn run_trial_inner(
                     slack_policy: spec.slack_policy,
                     horizon_hyperperiods: spec.horizon_hyperperiods,
                     fault_schedule: faults,
-                    record_trace: false,
+                    record_trace,
                     record_response_times: spec.response_histogram.is_some()
                         || spec.latency_curves.is_some(),
                 };
@@ -518,6 +543,9 @@ fn run_trial_inner(
         .workload
         .generator_config(scenario.utilization.unwrap_or(1.0))
         .expect("synthetic workloads have generator configs");
+    let obs = ftsched_obs::metrics();
+    obs.generation_cache_requests.incr();
+    let gen_span = obs.time(ftsched_obs::Stage::Generation);
     let tasks: Option<TaskSet> = match caches.filter(|c| c.gen.enabled()) {
         Some(c) => {
             let prefix = c.gen.get_or_compute((scenario.workload_point, trial), || {
@@ -530,6 +558,7 @@ fn run_trial_inner(
         }
         None => generate_taskset(&mut rng, &config).ok(),
     };
+    drop(gen_span);
     let Some(tasks) = tasks else {
         return (finish(TrialStatus::GenerationFailed, None, None), None);
     };
@@ -538,6 +567,8 @@ fn run_trial_inner(
     //    task set's content hash). Baselines that ignore the partition
     //    are still evaluated when partitioning fails.
     let heuristic = scenario.partition_heuristic;
+    obs.partition_cache_requests.incr();
+    let partition_span = obs.time(ftsched_obs::Stage::Partition);
     let partition: Option<SystemPartition> = match caches.filter(|c| c.partition.enabled()) {
         Some(c) => {
             let key = PartitionKey {
@@ -549,6 +580,7 @@ fn run_trial_inner(
                 partition: partition_system(&tasks, heuristic).ok(),
             });
             if entry.tasks == tasks {
+                obs.partition_cache.verified_hits.incr();
                 entry.partition.clone()
             } else {
                 // 64-bit content-hash collision: recompute rather than
@@ -558,6 +590,7 @@ fn run_trial_inner(
         }
         None => partition_system(&tasks, heuristic).ok(),
     };
+    drop(partition_span);
     let partition = match partition {
         Some(p) => p,
         None => {
@@ -634,7 +667,7 @@ fn run_trial_inner(
                 slack_policy: spec.slack_policy,
                 horizon_hyperperiods: spec.horizon_hyperperiods,
                 fault_schedule: faults,
-                record_trace: false,
+                record_trace,
                 record_response_times: spec.response_histogram.is_some()
                     || spec.latency_curves.is_some(),
             };

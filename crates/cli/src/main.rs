@@ -4,9 +4,13 @@
 //! ftsched run <spec.json> [--threads N] [--block-size N] [--shard I/N]
 //!                         [--out report.json] [--csv report.csv]
 //!                         [--response-csv rt.csv] [--latency-csv lat.csv]
+//!                         [--metrics-json m.json] [--progress]
 //!                         [--quiet] [--no-design-cache]
 //! ftsched merge <part.json>... [--out report.json] [--csv report.csv]
 //!                              [--response-csv rt.csv] [--latency-csv lat.csv]
+//!                              [--metrics m.json]... [--metrics-json out.json]
+//! ftsched inspect <spec.json> --scenario I --trial J [--trace-json trace.json]
+//! ftsched metrics-strip <metrics.json>
 //! ftsched validate <spec.json>
 //! ftsched bench [--quick] [--minq] [--sim] [--sensitivity]
 //! ftsched example
@@ -23,6 +27,20 @@
 //! to the unsharded run. `bench` runs the minQ / WCET-sensitivity /
 //! simulator micro-benchmarks and writes `BENCH_minq.json` /
 //! `BENCH_sensitivity.json` / `BENCH_sim.json` at the repository root.
+//!
+//! Observability is a side channel, never part of the report:
+//! `--metrics-json` writes a [`RunMetrics`] document whose
+//! *deterministic counters* half is byte-identical at any thread count
+//! and additive across shards (`merge --metrics` re-folds it), while the
+//! *timings* half carries the machine-dependent observations;
+//! `metrics-strip` prints just the deterministic half for comparisons.
+//! `--progress` switches the stderr progress line to a rate-limited
+//! heartbeat with throughput, ETA and per-scenario completion.
+//! `inspect` re-runs one (scenario, trial) coordinate from a report and
+//! can dump the full execution trace. Stderr diagnostics honour `-q` /
+//! `--quiet` and `FTSCHED_LOG=quiet|info`; errors always print.
+
+mod ui;
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -37,6 +55,12 @@ USAGE:
     ftsched run <spec.json> [OPTIONS]   run a campaign (or one shard of it)
     ftsched merge <part.json>... [OPTIONS]
                                         fold shard reports into the full one
+    ftsched inspect <spec.json> --scenario I --trial J [--trace-json FILE]
+                                        re-run one trial, optionally dumping
+                                        its full execution trace
+    ftsched metrics-strip <metrics.json>
+                                        print only the deterministic counter
+                                        half of a --metrics-json file
     ftsched validate <spec.json>        check a spec and show its grid
     ftsched bench [OPTIONS]             run the perf benches, write BENCH_*.json
     ftsched example                     print a sample spec to stdout
@@ -54,12 +78,25 @@ OPTIONS (run):
     --latency-csv <FILE>
                         write the long-format latency-vs-load CSV
                         (specs with `latency_curves` only)
-    --quiet             no progress line
+    --metrics-json <FILE>
+                        write run metrics (deterministic counters +
+                        machine-dependent timings; never in the report)
+    --progress          live heartbeat on stderr: trials/s, ETA and
+                        per-scenario completion (rate-limited)
+    -q, --quiet         no progress line, no informational notes
     --no-design-cache   recompute the deterministic trial stages per trial
                         (debugging; reports are byte-identical either way)
 
 OPTIONS (merge):
     --out / --csv / --response-csv / --latency-csv as for `run`
+    --metrics <FILE>    a shard's --metrics-json file (repeatable)
+    --metrics-json <FILE>
+                        write the folded metrics of the --metrics inputs
+
+ENVIRONMENT:
+    FTSCHED_LOG=quiet|info
+                        quiet silences notes/warnings like -q; errors
+                        always print and exit codes never change
 
 OPTIONS (bench):
     --quick            reduced measurement budget (CI smoke)
@@ -70,9 +107,14 @@ OPTIONS (bench):
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // The verbosity gate is global: resolve it before dispatch so every
+    // subcommand's notes honour -q/--quiet and FTSCHED_LOG.
+    ui::init(args.iter().any(|a| a == "-q" || a == "--quiet"));
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("inspect") => cmd_inspect(&args[1..]),
+        Some("metrics-strip") => cmd_metrics_strip(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("example") => {
@@ -84,7 +126,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some(other) => {
-            eprintln!("ftsched: unknown command `{other}`\n\n{USAGE}");
+            ui::error(format!("unknown command `{other}`\n\n{USAGE}"));
             ExitCode::FAILURE
         }
     }
@@ -104,42 +146,53 @@ impl Outputs<'_> {
     fn write(&self, report: &CampaignReport) -> bool {
         if let Some(path) = self.json {
             if let Err(e) = std::fs::write(path, report.to_json()) {
-                eprintln!("ftsched: cannot write `{path}`: {e}");
+                ui::error(format!("cannot write `{path}`: {e}"));
                 return false;
             }
-            eprintln!("wrote JSON report to {path}");
+            ui::note(format!("wrote JSON report to {path}"));
         }
         if let Some(path) = self.csv {
             if let Err(e) = std::fs::write(path, report.to_csv()) {
-                eprintln!("ftsched: cannot write `{path}`: {e}");
+                ui::error(format!("cannot write `{path}`: {e}"));
                 return false;
             }
-            eprintln!("wrote CSV report to {path}");
+            ui::note(format!("wrote CSV report to {path}"));
         }
         if let Some(path) = self.response_csv {
             let Some(csv) = report.response_csv() else {
-                eprintln!("ftsched: --response-csv needs a spec with `response_histogram` enabled");
+                ui::error("--response-csv needs a spec with `response_histogram` enabled");
                 return false;
             };
             if let Err(e) = std::fs::write(path, csv) {
-                eprintln!("ftsched: cannot write `{path}`: {e}");
+                ui::error(format!("cannot write `{path}`: {e}"));
                 return false;
             }
-            eprintln!("wrote response-time CSV to {path}");
+            ui::note(format!("wrote response-time CSV to {path}"));
         }
         if let Some(path) = self.latency_csv {
             let Some(csv) = report.latency_csv() else {
-                eprintln!("ftsched: --latency-csv needs a spec with `latency_curves` enabled");
+                ui::error("--latency-csv needs a spec with `latency_curves` enabled");
                 return false;
             };
             if let Err(e) = std::fs::write(path, csv) {
-                eprintln!("ftsched: cannot write `{path}`: {e}");
+                ui::error(format!("cannot write `{path}`: {e}"));
                 return false;
             }
-            eprintln!("wrote latency-vs-load CSV to {path}");
+            ui::note(format!("wrote latency-vs-load CSV to {path}"));
         }
         true
     }
+}
+
+/// Serialises `metrics` to `path`, reporting success as a note.
+fn write_metrics(metrics: &RunMetrics, path: &str) -> bool {
+    let json = serde_json::to_string_pretty(metrics).expect("metrics always serialise");
+    if let Err(e) = std::fs::write(path, json) {
+        ui::error(format!("cannot write `{path}`: {e}"));
+        return false;
+    }
+    ui::note(format!("wrote run metrics to {path}"));
+    true
 }
 
 fn cmd_run(args: &[String]) -> ExitCode {
@@ -150,6 +203,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     let mut outputs = Outputs::default();
     let mut shard: Option<ShardInfo> = None;
+    let mut metrics_json: Option<&str> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -195,7 +249,15 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 Some(v) => outputs.latency_csv = Some(v),
                 None => return usage_error("--latency-csv needs a value"),
             },
-            "--quiet" => exec.progress = false,
+            "--metrics-json" => match take_value(args, &mut i) {
+                Some(v) => metrics_json = Some(v),
+                None => return usage_error("--metrics-json needs a value"),
+            },
+            "--progress" => exec.heartbeat = true,
+            "-q" | "--quiet" => {
+                exec.progress = false;
+                exec.heartbeat = false;
+            }
             "--no-design-cache" => exec.design_cache = false,
             other if spec_path.is_none() && !other.starts_with('-') => {
                 spec_path = Some(other);
@@ -207,50 +269,69 @@ fn cmd_run(args: &[String]) -> ExitCode {
     let Some(spec_path) = spec_path else {
         return usage_error("run needs a spec file");
     };
+    // Progress lines are informational output too.
+    if ui::quiet() {
+        exec.progress = false;
+        exec.heartbeat = false;
+    }
 
     let spec = match load_spec(spec_path) {
         Ok(spec) => spec,
         Err(message) => {
-            eprintln!("ftsched: {message}");
+            ui::error(message);
             return ExitCode::FAILURE;
         }
     };
 
     match shard {
-        None => eprintln!(
+        None => ui::note(format!(
             "campaign `{}`: {} scenarios x {} trials = {} trials on {} threads",
             spec.name,
             spec.scenarios().len(),
             spec.trials_per_scenario,
             spec.trial_count(),
             exec.effective_threads(),
-        ),
-        Some(shard) => eprintln!(
+        )),
+        Some(shard) => ui::note(format!(
             "campaign `{}` shard {shard}: slice of {} total trials on {} threads",
             spec.name,
             spec.trial_count(),
             exec.effective_threads(),
-        ),
+        )),
     }
+    // Metrics are a delta between snapshots around the run, so nothing
+    // this process did before (spec validation, earlier subprocess work)
+    // leaks into the document.
+    let baseline = ftsched_obs::metrics().snapshot();
     let started = Instant::now();
     let report = match run_campaign_shard(&spec, &exec, shard) {
         Ok(report) => report,
         Err(e) => {
-            eprintln!("ftsched: {e}");
+            ui::error(e.to_string());
             return ExitCode::FAILURE;
         }
     };
     let elapsed = started.elapsed().as_secs_f64();
     let trials = report.total_trials();
-    eprintln!(
+    ui::note(format!(
         "completed {trials} trials in {elapsed:.2}s ({:.0} trials/s)",
         trials as f64 / elapsed.max(1e-9)
-    );
+    ));
     if shard.is_some() && outputs.json.is_none() {
-        eprintln!("note: partial (shard) reports are meant to be saved with --out and folded with `ftsched merge`");
+        ui::warn(
+            "partial (shard) reports are meant to be saved with --out and folded with `ftsched merge`",
+        );
     }
 
     println!("{}", report.render_table());
+
+    if let Some(path) = metrics_json {
+        let delta = ftsched_obs::metrics().snapshot().since(&baseline);
+        let doc = RunMetrics::from_snapshot(&delta, exec.effective_threads() as u64, elapsed);
+        if !write_metrics(&doc, path) {
+            return ExitCode::FAILURE;
+        }
+    }
 
     if outputs.write(&report) {
         ExitCode::SUCCESS
@@ -262,6 +343,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
 fn cmd_merge(args: &[String]) -> ExitCode {
     let mut outputs = Outputs::default();
     let mut files: Vec<&str> = Vec::new();
+    let mut metrics_files: Vec<&str> = Vec::new();
+    let mut metrics_json: Option<&str> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -282,6 +365,15 @@ fn cmd_merge(args: &[String]) -> ExitCode {
                 Some(v) => outputs.latency_csv = Some(v),
                 None => return usage_error("--latency-csv needs a value"),
             },
+            "--metrics" => match take_value(args, &mut i) {
+                Some(v) => metrics_files.push(v),
+                None => return usage_error("--metrics needs a value"),
+            },
+            "--metrics-json" => match take_value(args, &mut i) {
+                Some(v) => metrics_json = Some(v),
+                None => return usage_error("--metrics-json needs a value"),
+            },
+            "-q" | "--quiet" => {}
             other if !other.starts_with('-') => files.push(other),
             other => return usage_error(&format!("unexpected argument `{other}`")),
         }
@@ -290,20 +382,26 @@ fn cmd_merge(args: &[String]) -> ExitCode {
     if files.is_empty() {
         return usage_error("merge needs at least one partial report file");
     }
+    if metrics_json.is_some() && metrics_files.is_empty() {
+        return usage_error("merge --metrics-json needs at least one --metrics input");
+    }
+    if metrics_json.is_none() && !metrics_files.is_empty() {
+        return usage_error("merge --metrics needs --metrics-json for the folded output");
+    }
 
     let mut parts = Vec::with_capacity(files.len());
     for path in files {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) => {
-                eprintln!("ftsched: cannot read `{path}`: {e}");
+                ui::error(format!("cannot read `{path}`: {e}"));
                 return ExitCode::FAILURE;
             }
         };
         match serde_json::from_str::<CampaignReport>(&text) {
             Ok(report) => parts.push(report),
             Err(e) => {
-                eprintln!("ftsched: cannot parse `{path}`: {e}");
+                ui::error(format!("cannot parse `{path}`: {e}"));
                 return ExitCode::FAILURE;
             }
         }
@@ -312,23 +410,176 @@ fn cmd_merge(args: &[String]) -> ExitCode {
     let report = match merge_reports(parts) {
         Ok(report) => report,
         Err(e) => {
-            eprintln!("ftsched: {e}");
+            ui::error(e.to_string());
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
+    ui::note(format!(
         "merged campaign `{}`: {} scenarios, {} trials",
         report.spec.name,
         report.scenarios.len(),
         report.total_trials(),
-    );
+    ));
     println!("{}", report.render_table());
+
+    if let Some(out) = metrics_json {
+        // Counter merge is commutative, so the input order of the shard
+        // metrics files cannot change the deterministic half.
+        let mut folded: Option<RunMetrics> = None;
+        for path in metrics_files {
+            let text = match std::fs::read_to_string(path) {
+                Ok(text) => text,
+                Err(e) => {
+                    ui::error(format!("cannot read `{path}`: {e}"));
+                    return ExitCode::FAILURE;
+                }
+            };
+            let part: RunMetrics = match serde_json::from_str(&text) {
+                Ok(part) => part,
+                Err(e) => {
+                    ui::error(format!("cannot parse `{path}`: {e}"));
+                    return ExitCode::FAILURE;
+                }
+            };
+            folded = Some(match folded {
+                Some(acc) => acc.merged(&part),
+                None => part,
+            });
+        }
+        let folded = folded.expect("checked non-empty above");
+        if !write_metrics(&folded, out) {
+            return ExitCode::FAILURE;
+        }
+    }
 
     if outputs.write(&report) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn cmd_inspect(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<&str> = None;
+    let mut scenario_index: Option<usize> = None;
+    let mut trial: Option<usize> = None;
+    let mut trace_json: Option<&str> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scenario" => match take_value(args, &mut i).map(str::parse) {
+                Some(Ok(n)) => scenario_index = Some(n),
+                _ => return usage_error("--scenario needs an index"),
+            },
+            "--trial" => match take_value(args, &mut i).map(str::parse) {
+                Some(Ok(n)) => trial = Some(n),
+                _ => return usage_error("--trial needs an index"),
+            },
+            "--trace-json" => match take_value(args, &mut i) {
+                Some(v) => trace_json = Some(v),
+                None => return usage_error("--trace-json needs a value"),
+            },
+            "-q" | "--quiet" => {}
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other);
+            }
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    let Some(spec_path) = spec_path else {
+        return usage_error("inspect needs a spec file");
+    };
+    let (Some(scenario_index), Some(trial)) = (scenario_index, trial) else {
+        return usage_error("inspect needs --scenario and --trial");
+    };
+
+    let spec = match load_spec(spec_path) {
+        Ok(spec) => spec,
+        Err(message) => {
+            ui::error(message);
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenarios = spec.scenarios();
+    let Some(scenario) = scenarios.get(scenario_index) else {
+        ui::error(format!(
+            "scenario index {scenario_index} out of range (grid has {} scenarios)",
+            scenarios.len()
+        ));
+        return ExitCode::FAILURE;
+    };
+    if trial >= spec.trials_per_scenario {
+        ui::error(format!(
+            "trial index {trial} out of range ({} trials per scenario)",
+            spec.trials_per_scenario
+        ));
+        return ExitCode::FAILURE;
+    }
+
+    // The traced path is the campaign trial kernel with recording on:
+    // the outcome (stdout JSON) matches the campaign's byte for byte.
+    let (outcome, full) = run_trial_traced(&spec, scenario, trial);
+    ui::note(format!(
+        "scenario {scenario_index} trial {trial}: status {:?}, seed {}",
+        outcome.status, outcome.seed
+    ));
+    println!("{}", serde_json::to_string_pretty(&outcome).unwrap());
+
+    if let Some(path) = trace_json {
+        let trace = full.as_ref().and_then(|f| f.simulation.trace.as_ref());
+        let Some(trace) = trace else {
+            ui::error(format!(
+                "no execution trace: trial status is {:?} (only accepted \
+                 design_and_validate trials simulate)",
+                outcome.status
+            ));
+            return ExitCode::FAILURE;
+        };
+        let json = serde_json::to_string_pretty(trace).expect("traces always serialise");
+        if let Err(e) = std::fs::write(path, json) {
+            ui::error(format!("cannot write `{path}`: {e}"));
+            return ExitCode::FAILURE;
+        }
+        ui::note(format!(
+            "wrote execution trace ({} slices, {} job records) to {path}",
+            trace.slices.len(),
+            trace.jobs.len()
+        ));
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_metrics_strip(args: &[String]) -> ExitCode {
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| !matches!(a.as_str(), "-q" | "--quiet"))
+        .collect();
+    let [path] = files.as_slice() else {
+        return usage_error("metrics-strip needs exactly one metrics file");
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            ui::error(format!("cannot read `{path}`: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let metrics: RunMetrics = match serde_json::from_str(&text) {
+        Ok(metrics) => metrics,
+        Err(e) => {
+            ui::error(format!("cannot parse `{path}`: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    // Only the deterministic half survives: the output is suitable for
+    // byte comparison across thread counts and shard splits.
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&metrics.counters).unwrap()
+    );
+    ExitCode::SUCCESS
 }
 
 fn cmd_bench(args: &[String]) -> ExitCode {
@@ -341,10 +592,12 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     let only_minq = args.iter().any(|a| a == "--minq");
     let only_sim = args.iter().any(|a| a == "--sim");
     let only_sensitivity = args.iter().any(|a| a == "--sensitivity");
-    if let Some(bad) = args
-        .iter()
-        .find(|a| !matches!(a.as_str(), "--quick" | "--minq" | "--sim" | "--sensitivity"))
-    {
+    if let Some(bad) = args.iter().find(|a| {
+        !matches!(
+            a.as_str(),
+            "--quick" | "--minq" | "--sim" | "--sensitivity" | "-q" | "--quiet"
+        )
+    }) {
         return usage_error(&format!("unexpected argument `{bad}`"));
     }
     let any_selected = only_minq || only_sim || only_sensitivity;
@@ -369,9 +622,9 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         print!("{}", render_summary(&report));
         println!("{}", report.to_json());
         match write_report(&report, file) {
-            Ok(path) => eprintln!("wrote {}", path.display()),
+            Ok(path) => ui::note(format!("wrote {}", path.display())),
             Err(e) => {
-                eprintln!("ftsched: cannot write `{file}`: {e}");
+                ui::error(format!("cannot write `{file}`: {e}"));
                 failed = true;
             }
         }
@@ -381,7 +634,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             _ => None,
         };
         if let Some(Err(violation)) = contract {
-            eprintln!("ftsched: PERF CONTRACT VIOLATED: {violation}");
+            ui::error(format!("PERF CONTRACT VIOLATED: {violation}"));
             failed = true;
         }
     }
@@ -393,7 +646,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
 }
 
 fn cmd_validate(args: &[String]) -> ExitCode {
-    let Some(path) = args.first() else {
+    let files: Vec<&String> = args
+        .iter()
+        .filter(|a| !matches!(a.as_str(), "-q" | "--quiet"))
+        .collect();
+    let Some(path) = files.first() else {
         return usage_error("validate needs a spec file");
     };
     match load_spec(path) {
@@ -416,7 +673,7 @@ fn cmd_validate(args: &[String]) -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(message) => {
-            eprintln!("ftsched: {message}");
+            ui::error(message);
             ExitCode::FAILURE
         }
     }
@@ -436,7 +693,7 @@ fn take_value<'a>(args: &'a [String], i: &mut usize) -> Option<&'a str> {
 }
 
 fn usage_error(message: &str) -> ExitCode {
-    eprintln!("ftsched: {message}\n\n{USAGE}");
+    ui::error(format!("{message}\n\n{USAGE}"));
     ExitCode::FAILURE
 }
 

@@ -1,0 +1,47 @@
+//! Stderr diagnostics behind one process-wide verbosity gate.
+//!
+//! Three levels, one rule: [`error`] always prints (it accompanies a
+//! failure exit code), [`note`] and [`warn`] are silenced by `-q` /
+//! `--quiet` or `FTSCHED_LOG=quiet`. `FTSCHED_LOG=info` (or unset) is
+//! the default verbosity. The gate only affects stderr diagnostics —
+//! report/metrics payloads on stdout and in files are never gated, and
+//! exit codes are identical at every verbosity.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static QUIET: AtomicBool = AtomicBool::new(false);
+
+/// Resolves the gate once at startup from the CLI flag and the
+/// `FTSCHED_LOG` environment variable (`quiet` silences notes and
+/// warnings; `info` and everything else keeps them).
+pub fn init(cli_quiet: bool) {
+    let env_quiet = std::env::var("FTSCHED_LOG")
+        .map(|v| v.eq_ignore_ascii_case("quiet"))
+        .unwrap_or(false);
+    QUIET.store(cli_quiet || env_quiet, Ordering::Relaxed);
+}
+
+/// Whether notes and warnings are currently silenced.
+pub fn quiet() -> bool {
+    QUIET.load(Ordering::Relaxed)
+}
+
+/// Informational progress/diagnostic line; silenced when quiet.
+pub fn note(message: impl AsRef<str>) {
+    if !quiet() {
+        eprintln!("{}", message.as_ref());
+    }
+}
+
+/// Advisory that something is probably not what the user wanted, without
+/// failing the command; silenced when quiet.
+pub fn warn(message: impl AsRef<str>) {
+    if !quiet() {
+        eprintln!("ftsched: warning: {}", message.as_ref());
+    }
+}
+
+/// Hard error accompanying a failure exit code; never silenced.
+pub fn error(message: impl AsRef<str>) {
+    eprintln!("ftsched: {}", message.as_ref());
+}

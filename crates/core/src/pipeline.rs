@@ -149,6 +149,11 @@ pub fn design_stage_with(
     region: &RegionConfig,
     slack_policy: SlackPolicy,
 ) -> Result<(DesignSolution, SlotSchedule), PipelineError> {
+    // The run count is scheduling-dependent (the campaign caches this
+    // stage); the span feeds the design-vs-validate wall-clock split.
+    let metrics = ftsched_obs::metrics();
+    metrics.design_stage_runs.incr();
+    let _span = metrics.time(ftsched_obs::Stage::Design);
     let mut solution = solve_with(problem, ctx, goal, region)?;
     solution.allocation = distribute_slack(&solution.allocation, slack_policy);
     let slots = slots_from_solution(&solution)?;
@@ -169,6 +174,11 @@ pub fn validate_stage(
     config: &PipelineConfig,
     arena: &mut SimArena,
 ) -> Result<PipelineOutcome, PipelineError> {
+    // Validation is never cached: exactly one run per accepted trial, so
+    // the counter is deterministic; the span is the timing half.
+    let metrics = ftsched_obs::metrics();
+    metrics.validate_runs.incr();
+    let _span = metrics.time(ftsched_obs::Stage::Validate);
     let hyperperiod = problem.tasks.hyperperiod();
     let horizon = hyperperiod * config.horizon_hyperperiods.max(1) as f64;
     let simulation = simulate_in(

@@ -1,0 +1,704 @@
+//! # ftsched-obs
+//!
+//! Zero-dependency instrumentation for the `ftsched` workspace: atomic
+//! event counters and fixed-bin duration histograms behind one cheap,
+//! process-global [`Metrics`] handle.
+//!
+//! The build environment is offline and the workspace vendors its own
+//! shims, so this crate is hand-rolled in the same spirit instead of
+//! pulling in `tracing`: plain `std` atomics, one `Mutex` for the
+//! per-worker throughput list, nothing else. Every other crate may
+//! depend on it without cycles — it sits below `ftsched-task`.
+//!
+//! ## The two halves
+//!
+//! Instrumented events fall into two strictly separated classes, and the
+//! split is the whole point of the layer:
+//!
+//! * **Deterministic counters** ([`CounterSnapshot`]) — pure `u64` event
+//!   counts incremented a fixed number of times per campaign trial
+//!   (trials started/completed per status, cache *requests*, simulator
+//!   windows/slices/jobs). Their totals are sums over trials, so they
+//!   are identical at any thread count and add up exactly across
+//!   `--shard` runs: the shard-merged value equals the unsharded value,
+//!   byte for byte. CI compares this half across runs.
+//! * **Timing / scheduling-dependent data** ([`TimingSnapshot`]) —
+//!   wall-clock span histograms, cache hit/miss tallies (racing workers
+//!   may compute a key twice; shards keep separate caches), sweep
+//!   build-vs-rescale counts (they run inside cached stages), arena
+//!   reuse and per-worker throughput. Explicitly machine- and
+//!   schedule-dependent, excluded from every identity check.
+//!
+//! Counters are always on — one relaxed `fetch_add` per event, batched
+//! on hot paths — and recording a span costs two monotonic clock reads.
+//! Emission is what callers opt into: nothing here prints or writes.
+//!
+//! ## Usage
+//!
+//! ```
+//! use ftsched_obs::{metrics, Stage};
+//!
+//! let m = metrics();
+//! m.trials_started.incr();
+//! {
+//!     let _span = m.time(Stage::Design);
+//!     // ... design work ...
+//! }
+//! m.trials_completed.incr();
+//! let snap = m.snapshot();
+//! assert!(snap.counters.trials_completed >= 1);
+//! ```
+//!
+//! Consumers that need per-run numbers in a long-lived process (tests,
+//! benches, the CLI around one campaign) take a snapshot before and
+//! after and use [`MetricsSnapshot::since`].
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing event counter (relaxed atomic `u64`).
+///
+/// Relaxed ordering is sufficient: counts are only read in aggregate by
+/// [`Metrics::snapshot`], never used for synchronisation, and integer
+/// addition is commutative, so totals are independent of interleaving.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bin histogram of wall-clock durations.
+///
+/// Bin `i` counts spans in `[2^i, 2^(i+1))` microseconds (bin 0 also
+/// takes sub-microsecond spans, the last bin everything beyond the
+/// range). Power-of-two bins need no configuration, cover nanosecond
+/// kernels to multi-second campaigns in [`Self::BINS`] slots, and — like
+/// every count here — merge by plain addition.
+#[derive(Debug)]
+pub struct DurationHisto {
+    bins: [AtomicU64; Self::BINS],
+    count: AtomicU64,
+    total_nanos: AtomicU64,
+}
+
+impl Default for DurationHisto {
+    fn default() -> Self {
+        DurationHisto {
+            bins: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl DurationHisto {
+    /// Number of power-of-two microsecond bins: `2^21` µs ≈ 2 s in the
+    /// top regular bin, far beyond any single pipeline stage.
+    pub const BINS: usize = 22;
+
+    /// Records one span.
+    pub fn record(&self, d: Duration) {
+        let micros = u64::try_from(d.as_micros()).unwrap_or(u64::MAX);
+        // floor(log2(micros)) via the leading-zero count; sub-µs spans
+        // land in bin 0, outliers saturate into the last bin.
+        let idx = (63 - micros.max(1).leading_zeros()) as usize;
+        self.bins[idx.min(Self::BINS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.total_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// The current contents as plain integers.
+    pub fn snapshot(&self) -> HistoSnapshot {
+        HistoSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            total_nanos: self.total_nanos.load(Ordering::Relaxed),
+            bins: self
+                .bins
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+}
+
+/// An RAII span: records the elapsed wall-clock time into its histogram
+/// when dropped. Created by [`Metrics::time`].
+#[derive(Debug)]
+pub struct Span<'a> {
+    histo: &'a DurationHisto,
+    start: Instant,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.histo.record(self.start.elapsed());
+    }
+}
+
+/// The pipeline stages the layer keeps span histograms for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Synthetic task-set generation (UUniFast draw + construction).
+    Generation,
+    /// Partitioning a drawn task set onto the mode channels.
+    Partition,
+    /// The deterministic design stage (region sweep, goal search, slot
+    /// schedule construction).
+    Design,
+    /// The validation stage (discrete-event simulation of the design).
+    Validate,
+}
+
+impl Stage {
+    /// Every stage, in display order.
+    pub const ALL: [Stage; 4] = [
+        Stage::Generation,
+        Stage::Partition,
+        Stage::Design,
+        Stage::Validate,
+    ];
+
+    /// Stable lower-case label (the key used in metrics reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Generation => "generation",
+            Stage::Partition => "partition",
+            Stage::Design => "design",
+            Stage::Validate => "validate",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Generation => 0,
+            Stage::Partition => 1,
+            Stage::Design => 2,
+            Stage::Validate => 3,
+        }
+    }
+}
+
+/// Hit/miss tallies of one memo cache. Scheduling-dependent by nature:
+/// two workers racing on a fresh key each count a miss, and sharded runs
+/// keep per-process caches — which is exactly why these live in the
+/// timing half, never in the deterministic one.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: Counter,
+    /// Lookups that had to compute (includes racing double-computes).
+    pub misses: Counter,
+    /// Hits whose stored payload was additionally verified equal to the
+    /// caller's inputs (the synthetic partition cache's collision check).
+    pub verified_hits: Counter,
+}
+
+impl CacheStats {
+    fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            verified_hits: self.verified_hits.get(),
+        }
+    }
+}
+
+/// The process-global instrumentation registry.
+///
+/// All fields are plain counters or histograms; instrumentation sites
+/// reach them through [`metrics`] and bump them directly. The field
+/// split mirrors the two snapshot halves — see the crate docs for why a
+/// counter lands on one side or the other.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    // ------------------------------------------------------------------
+    // Deterministic half: incremented a fixed number of times per trial.
+    /// Campaign trials started.
+    pub trials_started: Counter,
+    /// Campaign trials completed (any status).
+    pub trials_completed: Counter,
+    /// Trials whose design was accepted.
+    pub trials_accepted: Counter,
+    /// Trials whose workload generation failed.
+    pub trials_generation_failed: Counter,
+    /// Trials whose task set could not be partitioned.
+    pub trials_partition_failed: Counter,
+    /// Trials whose design stage found no feasible period.
+    pub trials_design_rejected: Counter,
+    /// Trials whose validation simulation failed.
+    pub trials_simulation_failed: Counter,
+    /// Lookups *issued* to the paper design cache (one per paper trial
+    /// when caching is enabled — a pure function of the spec, unlike the
+    /// hit/miss split).
+    pub design_cache_requests: Counter,
+    /// Lookups issued to the synthetic generation cache.
+    pub generation_cache_requests: Counter,
+    /// Lookups issued to the synthetic partition cache.
+    pub partition_cache_requests: Counter,
+    /// Validation-stage executions (one per accepted validate trial).
+    pub validate_runs: Counter,
+    /// Simulation runs completed.
+    pub sim_runs: Counter,
+    /// Slot windows materialised across all simulation runs.
+    pub sim_windows: Counter,
+    /// Execution slices scheduled across all simulation runs.
+    pub sim_slices: Counter,
+    /// Jobs released inside simulated horizons.
+    pub sim_jobs_released: Counter,
+    /// Jobs completed inside simulated horizons.
+    pub sim_jobs_completed: Counter,
+    /// Faults injected by the simulated fault schedules.
+    pub sim_faults_injected: Counter,
+
+    // ------------------------------------------------------------------
+    // Timing half: scheduling- and machine-dependent.
+    /// Paper design-stage cache hit/miss tallies.
+    pub design_cache: CacheStats,
+    /// Synthetic generation cache hit/miss tallies.
+    pub generation_cache: CacheStats,
+    /// Synthetic partition cache hit/miss tallies.
+    pub partition_cache: CacheStats,
+    /// Design-stage executions (cache misses recompute, so this is
+    /// scheduling-dependent — unlike `validate_runs`).
+    pub design_stage_runs: Counter,
+    /// `MinQSweep` enumerations built from scratch.
+    pub sweep_builds: Counter,
+    /// `MinQSweep::rescale_into` reuses of an existing enumeration.
+    pub sweep_rescales: Counter,
+    /// Simulation runs that had to grow a fresh arena.
+    pub arena_fresh: Counter,
+    /// Simulation runs that reused a warm arena's buffers.
+    pub arena_reused: Counter,
+
+    spans: [DurationHisto; 4],
+    worker_trials: Mutex<Vec<u64>>,
+}
+
+impl Metrics {
+    /// The span histogram of one stage.
+    pub fn span_histo(&self, stage: Stage) -> &DurationHisto {
+        &self.spans[stage.index()]
+    }
+
+    /// Starts a wall-clock span for `stage`; the elapsed time is
+    /// recorded when the returned guard drops.
+    #[inline]
+    pub fn time(&self, stage: Stage) -> Span<'_> {
+        Span {
+            histo: self.span_histo(stage),
+            start: Instant::now(),
+        }
+    }
+
+    /// Records that one campaign worker processed `trials` trials (the
+    /// per-worker throughput list of the timing half).
+    pub fn record_worker_trials(&self, trials: u64) {
+        self.worker_trials
+            .lock()
+            .expect("worker list poisoned")
+            .push(trials);
+    }
+
+    /// A consistent-enough point-in-time copy of everything. (Individual
+    /// loads are relaxed; callers snapshot at quiescent points — before
+    /// and after a run — where no instrumented work is in flight.)
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: CounterSnapshot {
+                trials_started: self.trials_started.get(),
+                trials_completed: self.trials_completed.get(),
+                trials_accepted: self.trials_accepted.get(),
+                trials_generation_failed: self.trials_generation_failed.get(),
+                trials_partition_failed: self.trials_partition_failed.get(),
+                trials_design_rejected: self.trials_design_rejected.get(),
+                trials_simulation_failed: self.trials_simulation_failed.get(),
+                design_cache_requests: self.design_cache_requests.get(),
+                generation_cache_requests: self.generation_cache_requests.get(),
+                partition_cache_requests: self.partition_cache_requests.get(),
+                validate_runs: self.validate_runs.get(),
+                sim_runs: self.sim_runs.get(),
+                sim_windows: self.sim_windows.get(),
+                sim_slices: self.sim_slices.get(),
+                sim_jobs_released: self.sim_jobs_released.get(),
+                sim_jobs_completed: self.sim_jobs_completed.get(),
+                sim_faults_injected: self.sim_faults_injected.get(),
+            },
+            timing: TimingSnapshot {
+                design_cache: self.design_cache.snapshot(),
+                generation_cache: self.generation_cache.snapshot(),
+                partition_cache: self.partition_cache.snapshot(),
+                design_stage_runs: self.design_stage_runs.get(),
+                sweep_builds: self.sweep_builds.get(),
+                sweep_rescales: self.sweep_rescales.get(),
+                arena_fresh: self.arena_fresh.get(),
+                arena_reused: self.arena_reused.get(),
+                spans: Stage::ALL
+                    .iter()
+                    .map(|&s| StageSpan {
+                        stage: s,
+                        histo: self.span_histo(s).snapshot(),
+                    })
+                    .collect(),
+                worker_trials: self
+                    .worker_trials
+                    .lock()
+                    .expect("worker list poisoned")
+                    .clone(),
+            },
+        }
+    }
+}
+
+/// The process-global [`Metrics`] registry.
+pub fn metrics() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(Metrics::default)
+}
+
+/// Point-in-time values of the deterministic counters. All fields are
+/// pure per-trial event counts: byte-identical at any thread count and
+/// exactly additive across shards.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Campaign trials started.
+    pub trials_started: u64,
+    /// Campaign trials completed (any status).
+    pub trials_completed: u64,
+    /// Trials whose design was accepted.
+    pub trials_accepted: u64,
+    /// Trials whose workload generation failed.
+    pub trials_generation_failed: u64,
+    /// Trials whose task set could not be partitioned.
+    pub trials_partition_failed: u64,
+    /// Trials whose design stage found no feasible period.
+    pub trials_design_rejected: u64,
+    /// Trials whose validation simulation failed.
+    pub trials_simulation_failed: u64,
+    /// Lookups issued to the paper design cache.
+    pub design_cache_requests: u64,
+    /// Lookups issued to the synthetic generation cache.
+    pub generation_cache_requests: u64,
+    /// Lookups issued to the synthetic partition cache.
+    pub partition_cache_requests: u64,
+    /// Validation-stage executions.
+    pub validate_runs: u64,
+    /// Simulation runs completed.
+    pub sim_runs: u64,
+    /// Slot windows materialised.
+    pub sim_windows: u64,
+    /// Execution slices scheduled.
+    pub sim_slices: u64,
+    /// Jobs released inside simulated horizons.
+    pub sim_jobs_released: u64,
+    /// Jobs completed inside simulated horizons.
+    pub sim_jobs_completed: u64,
+    /// Faults injected by simulated fault schedules.
+    pub sim_faults_injected: u64,
+}
+
+impl CounterSnapshot {
+    /// `self − baseline`, per field (saturating, like all arithmetic in
+    /// this crate).
+    pub fn since(&self, baseline: &CounterSnapshot) -> CounterSnapshot {
+        CounterSnapshot {
+            trials_started: self.trials_started.saturating_sub(baseline.trials_started),
+            trials_completed: self
+                .trials_completed
+                .saturating_sub(baseline.trials_completed),
+            trials_accepted: self
+                .trials_accepted
+                .saturating_sub(baseline.trials_accepted),
+            trials_generation_failed: self
+                .trials_generation_failed
+                .saturating_sub(baseline.trials_generation_failed),
+            trials_partition_failed: self
+                .trials_partition_failed
+                .saturating_sub(baseline.trials_partition_failed),
+            trials_design_rejected: self
+                .trials_design_rejected
+                .saturating_sub(baseline.trials_design_rejected),
+            trials_simulation_failed: self
+                .trials_simulation_failed
+                .saturating_sub(baseline.trials_simulation_failed),
+            design_cache_requests: self
+                .design_cache_requests
+                .saturating_sub(baseline.design_cache_requests),
+            generation_cache_requests: self
+                .generation_cache_requests
+                .saturating_sub(baseline.generation_cache_requests),
+            partition_cache_requests: self
+                .partition_cache_requests
+                .saturating_sub(baseline.partition_cache_requests),
+            validate_runs: self.validate_runs.saturating_sub(baseline.validate_runs),
+            sim_runs: self.sim_runs.saturating_sub(baseline.sim_runs),
+            sim_windows: self.sim_windows.saturating_sub(baseline.sim_windows),
+            sim_slices: self.sim_slices.saturating_sub(baseline.sim_slices),
+            sim_jobs_released: self
+                .sim_jobs_released
+                .saturating_sub(baseline.sim_jobs_released),
+            sim_jobs_completed: self
+                .sim_jobs_completed
+                .saturating_sub(baseline.sim_jobs_completed),
+            sim_faults_injected: self
+                .sim_faults_injected
+                .saturating_sub(baseline.sim_faults_injected),
+        }
+    }
+}
+
+/// Point-in-time hit/miss tallies of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Hits additionally verified equal to the caller's inputs.
+    pub verified_hits: u64,
+}
+
+impl CacheSnapshot {
+    fn since(&self, baseline: &CacheSnapshot) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.saturating_sub(baseline.hits),
+            misses: self.misses.saturating_sub(baseline.misses),
+            verified_hits: self.verified_hits.saturating_sub(baseline.verified_hits),
+        }
+    }
+}
+
+/// Point-in-time contents of one duration histogram.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HistoSnapshot {
+    /// Spans recorded.
+    pub count: u64,
+    /// Sum of all span durations, in nanoseconds.
+    pub total_nanos: u64,
+    /// Per-bin span counts (see [`DurationHisto`] for the bin layout).
+    pub bins: Vec<u64>,
+}
+
+impl HistoSnapshot {
+    fn since(&self, baseline: &HistoSnapshot) -> HistoSnapshot {
+        HistoSnapshot {
+            count: self.count.saturating_sub(baseline.count),
+            total_nanos: self.total_nanos.saturating_sub(baseline.total_nanos),
+            bins: self
+                .bins
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| b.saturating_sub(baseline.bins.get(i).copied().unwrap_or(0)))
+                .collect(),
+        }
+    }
+}
+
+/// One stage's span histogram in a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpan {
+    /// The stage.
+    pub stage: Stage,
+    /// Its recorded spans.
+    pub histo: HistoSnapshot,
+}
+
+/// Point-in-time values of the timing half.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimingSnapshot {
+    /// Paper design-stage cache tallies.
+    pub design_cache: CacheSnapshot,
+    /// Synthetic generation cache tallies.
+    pub generation_cache: CacheSnapshot,
+    /// Synthetic partition cache tallies.
+    pub partition_cache: CacheSnapshot,
+    /// Design-stage executions.
+    pub design_stage_runs: u64,
+    /// `MinQSweep` enumerations built from scratch.
+    pub sweep_builds: u64,
+    /// `MinQSweep::rescale_into` reuses.
+    pub sweep_rescales: u64,
+    /// Simulation runs on a cold arena.
+    pub arena_fresh: u64,
+    /// Simulation runs on a warm arena.
+    pub arena_reused: u64,
+    /// Per-stage wall-clock span histograms, in [`Stage::ALL`] order.
+    pub spans: Vec<StageSpan>,
+    /// Trials processed per campaign worker, in completion order.
+    pub worker_trials: Vec<u64>,
+}
+
+impl TimingSnapshot {
+    fn since(&self, baseline: &TimingSnapshot) -> TimingSnapshot {
+        TimingSnapshot {
+            design_cache: self.design_cache.since(&baseline.design_cache),
+            generation_cache: self.generation_cache.since(&baseline.generation_cache),
+            partition_cache: self.partition_cache.since(&baseline.partition_cache),
+            design_stage_runs: self
+                .design_stage_runs
+                .saturating_sub(baseline.design_stage_runs),
+            sweep_builds: self.sweep_builds.saturating_sub(baseline.sweep_builds),
+            sweep_rescales: self.sweep_rescales.saturating_sub(baseline.sweep_rescales),
+            arena_fresh: self.arena_fresh.saturating_sub(baseline.arena_fresh),
+            arena_reused: self.arena_reused.saturating_sub(baseline.arena_reused),
+            spans: self
+                .spans
+                .iter()
+                .map(|s| {
+                    let base = baseline
+                        .spans
+                        .iter()
+                        .find(|b| b.stage == s.stage)
+                        .map(|b| b.histo.clone())
+                        .unwrap_or_default();
+                    StageSpan {
+                        stage: s.stage,
+                        histo: s.histo.since(&base),
+                    }
+                })
+                .collect(),
+            // The worker list only grows; the delta is the new suffix.
+            worker_trials: self
+                .worker_trials
+                .get(baseline.worker_trials.len()..)
+                .unwrap_or_default()
+                .to_vec(),
+        }
+    }
+}
+
+/// A point-in-time copy of the whole registry: the deterministic half
+/// and the timing half, kept strictly apart.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Deterministic per-trial event counts.
+    pub counters: CounterSnapshot,
+    /// Machine- and scheduling-dependent data.
+    pub timing: TimingSnapshot,
+}
+
+impl MetricsSnapshot {
+    /// The events recorded between `baseline` and `self` — how a
+    /// long-lived process (tests, benches, the CLI) attributes global
+    /// counters to one run.
+    pub fn since(&self, baseline: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.since(&baseline.counters),
+            timing: self.timing.since(&baseline.timing),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_delta() {
+        let m = Metrics::default();
+        m.trials_started.add(3);
+        m.trials_started.incr();
+        assert_eq!(m.trials_started.get(), 4);
+        let before = m.snapshot();
+        m.trials_started.add(5);
+        m.sim_runs.add(2);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.counters.trials_started, 5);
+        assert_eq!(delta.counters.sim_runs, 2);
+        assert_eq!(delta.counters.trials_completed, 0);
+    }
+
+    #[test]
+    fn histogram_bins_are_power_of_two_micros() {
+        let h = DurationHisto::default();
+        h.record(Duration::from_nanos(10)); // sub-µs → bin 0
+        h.record(Duration::from_micros(1)); // bin 0
+        h.record(Duration::from_micros(3)); // bin 1
+        h.record(Duration::from_micros(100)); // bin 6 (64..128 µs)
+        h.record(Duration::from_secs(60)); // saturates into last bin
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.bins[0], 2);
+        assert_eq!(s.bins[1], 1);
+        assert_eq!(s.bins[6], 1);
+        assert_eq!(s.bins[DurationHisto::BINS - 1], 1);
+        assert_eq!(s.bins.iter().sum::<u64>(), 5);
+        assert!(s.total_nanos >= 60_000_000_000);
+    }
+
+    #[test]
+    fn spans_record_on_drop() {
+        let m = Metrics::default();
+        {
+            let _s = m.time(Stage::Design);
+        }
+        {
+            let _s = m.time(Stage::Validate);
+        }
+        let snap = m.snapshot();
+        let design = &snap.timing.spans[Stage::Design.index()];
+        assert_eq!(design.stage, Stage::Design);
+        assert_eq!(design.histo.count, 1);
+        assert_eq!(snap.timing.spans[Stage::Validate.index()].histo.count, 1);
+        assert_eq!(snap.timing.spans[Stage::Generation.index()].histo.count, 0);
+    }
+
+    #[test]
+    fn worker_trials_delta_is_the_new_suffix() {
+        let m = Metrics::default();
+        m.record_worker_trials(10);
+        let before = m.snapshot();
+        m.record_worker_trials(20);
+        m.record_worker_trials(30);
+        let delta = m.snapshot().since(&before);
+        assert_eq!(delta.timing.worker_trials, vec![20, 30]);
+    }
+
+    #[test]
+    fn cache_stats_split_verified_hits() {
+        let m = Metrics::default();
+        m.partition_cache.hits.incr();
+        m.partition_cache.verified_hits.incr();
+        m.partition_cache.misses.add(2);
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.timing.partition_cache,
+            CacheSnapshot {
+                hits: 1,
+                misses: 2,
+                verified_hits: 1
+            }
+        );
+    }
+
+    #[test]
+    fn global_handle_is_stable() {
+        let a = metrics() as *const Metrics;
+        let b = metrics() as *const Metrics;
+        assert_eq!(a, b);
+    }
+}

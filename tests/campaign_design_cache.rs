@@ -33,6 +33,7 @@ fn run(spec: &CampaignSpec, threads: usize, block_size: usize, cache: bool) -> (
             threads,
             block_size,
             progress: false,
+            heartbeat: false,
             design_cache: cache,
         },
     )
@@ -83,6 +84,7 @@ fn cached_trials_reproduce_table_2b_per_trial() {
             threads: 4,
             block_size: 4,
             progress: false,
+            heartbeat: false,
             design_cache: true,
         },
     )

@@ -49,6 +49,7 @@ fn reports_are_byte_identical_across_thread_and_block_counts() {
             threads: 1,
             block_size: 32,
             progress: false,
+            heartbeat: false,
             design_cache: true,
         },
     )
@@ -64,6 +65,7 @@ fn reports_are_byte_identical_across_thread_and_block_counts() {
                 threads,
                 block_size,
                 progress: false,
+                heartbeat: false,
                 design_cache: true,
             },
         )
@@ -123,6 +125,7 @@ fn campaign_report_is_the_fold_of_its_trials() {
             threads: 4,
             block_size: 8,
             progress: false,
+            heartbeat: false,
             design_cache: true,
         },
     )

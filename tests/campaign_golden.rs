@@ -39,6 +39,7 @@ fn check_against_goldens(name: &str, era: &str) -> CampaignReport {
             threads: 2,
             block_size: 32,
             progress: false,
+            heartbeat: false,
             design_cache: true,
         },
     )

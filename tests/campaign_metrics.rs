@@ -1,0 +1,89 @@
+//! End-to-end check of the observability layer's determinism contract:
+//! the *deterministic counters* ([`RunCounters`]) extracted from a
+//! campaign run are byte-identical across worker counts and across
+//! shard + merge, while the campaign report itself stays byte-identical
+//! to its golden file — collecting metrics never perturbs a report.
+//!
+//! The `ftsched_obs` registry is process-global, so this file contains
+//! exactly **one** `#[test]`: a second concurrent test would interleave
+//! its events into our snapshot deltas. Everything below works on
+//! `snapshot().since(baseline)` deltas for the same reason.
+
+use ftsched_campaign::prelude::*;
+use ftsched_campaign::RunCounters;
+
+fn root(path: &str) -> String {
+    format!("{}/{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn exec(threads: usize, block_size: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        threads,
+        block_size,
+        progress: false,
+        heartbeat: false,
+        design_cache: true,
+    }
+}
+
+/// Runs `run` and returns its report plus the deterministic-counter
+/// delta it produced in the global registry.
+fn counted(run: impl FnOnce() -> CampaignReport) -> (CampaignReport, RunCounters) {
+    let metrics = ftsched_obs::metrics();
+    let baseline = metrics.snapshot();
+    let report = run();
+    let delta = metrics.snapshot().since(&baseline);
+    (report, RunCounters::from_snapshot(&delta))
+}
+
+#[test]
+fn deterministic_counters_match_across_thread_counts_and_shard_merge() {
+    let path = root("examples/grid_sweep.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let spec: CampaignSpec = serde_json::from_str(&text).expect("grid_sweep spec parses");
+    spec.validate().unwrap();
+    let golden = std::fs::read_to_string(root("tests/golden/grid_sweep.json")).unwrap();
+
+    let (sequential, seq_counters) = counted(|| run_campaign(&spec, &exec(1, 32)).unwrap());
+    let (threaded, thr_counters) = counted(|| run_campaign(&spec, &exec(4, 8)).unwrap());
+
+    // Two shards, each its own counter delta — exactly what two separate
+    // `ftsched run --shard i/2 --metrics-json` processes would write.
+    let shard = |index| ShardInfo { index, count: 2 };
+    let (part0, c0) = counted(|| run_campaign_shard(&spec, &exec(2, 16), Some(shard(0))).unwrap());
+    let (part1, c1) = counted(|| run_campaign_shard(&spec, &exec(2, 16), Some(shard(1))).unwrap());
+    let merged = merge_reports(vec![part0, part1]).unwrap();
+    let shard_counters = c0.merged(&c1);
+
+    // The deterministic half is a pure function of the spec: identical
+    // at any worker count, and additive across shards.
+    assert_eq!(seq_counters, thr_counters, "1-thread vs 4-thread counters");
+    assert_eq!(
+        seq_counters, shard_counters,
+        "unsharded vs shard-merged counters"
+    );
+
+    // Sanity on the event algebra itself: every trial is accounted for
+    // by exactly one terminal status, and the simulator ran once per
+    // accepted trial (caches memoise design stages, never simulation).
+    let c = &seq_counters;
+    let grid_trials = (spec.scenarios().len() * spec.trials_per_scenario) as u64;
+    assert_eq!(c.trials_started, grid_trials);
+    assert_eq!(c.trials_completed, c.trials_started);
+    assert_eq!(
+        c.trials_accepted
+            + c.trials_generation_failed
+            + c.trials_partition_failed
+            + c.trials_design_rejected
+            + c.trials_simulation_failed,
+        c.trials_completed
+    );
+    assert_eq!(c.sim_runs, c.trials_accepted);
+    assert_eq!(c.validate_runs, c.trials_accepted);
+
+    // Observability never touches report bytes: all three runs still
+    // reproduce the golden exactly.
+    assert_eq!(sequential.to_json(), golden, "1-thread report vs golden");
+    assert_eq!(threaded.to_json(), golden, "4-thread report vs golden");
+    assert_eq!(merged.to_json(), golden, "shard-merged report vs golden");
+}

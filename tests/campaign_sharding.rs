@@ -20,6 +20,7 @@ fn exec(threads: usize, block_size: usize) -> ExecutorConfig {
         threads,
         block_size,
         progress: false,
+        heartbeat: false,
         design_cache: true,
     }
 }

@@ -56,6 +56,7 @@ fn run(spec: &CampaignSpec, threads: usize, block_size: usize, cache: bool) -> (
             threads,
             block_size,
             progress: false,
+            heartbeat: false,
             design_cache: cache,
         },
     )

@@ -12,8 +12,8 @@ use proptest::prelude::*;
 
 use ftsched_campaign::trial::BaselineVerdicts;
 use ftsched_campaign::{
-    LatencyCurve, LatencyCurveSpec, ResponseHistogram, ResponseHistogramSpec, ScenarioStats,
-    SimSummary, TaskResponse, TrialOutcome, TrialStatus,
+    LatencyCurve, LatencyCurveSpec, ResponseHistogram, ResponseHistogramSpec, RunCounters,
+    ScenarioStats, SimSummary, TaskResponse, TrialOutcome, TrialStatus,
 };
 use ftsched_sim::report::OutcomeCounts;
 use ftsched_task::{PerMode, TaskId};
@@ -135,6 +135,30 @@ fn arb_outcome() -> impl Strategy<Value = TrialOutcome> {
                 }
             },
         )
+}
+
+/// Strategy: one randomized deterministic-counter block, covering the
+/// whole `u64` range so saturation is exercised too.
+fn arb_counters() -> impl Strategy<Value = RunCounters> {
+    prop::collection::vec(any::<u64>(), 17).prop_map(|v| RunCounters {
+        trials_started: v[0],
+        trials_completed: v[1],
+        trials_accepted: v[2],
+        trials_generation_failed: v[3],
+        trials_partition_failed: v[4],
+        trials_design_rejected: v[5],
+        trials_simulation_failed: v[6],
+        design_cache_requests: v[7],
+        generation_cache_requests: v[8],
+        partition_cache_requests: v[9],
+        validate_runs: v[10],
+        sim_runs: v[11],
+        sim_windows: v[12],
+        sim_slices: v[13],
+        sim_jobs_released: v[14],
+        sim_jobs_completed: v[15],
+        sim_faults_injected: v[16],
+    })
 }
 
 fn fold(outcomes: &[TrialOutcome]) -> ScenarioStats {
@@ -312,5 +336,25 @@ proptest! {
         }
         prop_assert_eq!(&merged, &sequential);
         prop_assert_eq!(merged.samples(), n as u64);
+    }
+
+    /// `RunCounters::merged` — the fold behind `ftsched merge
+    /// --metrics` — is associative and commutative with
+    /// `RunCounters::default()` as the identity, so shard metrics can be
+    /// folded in any grouping and any order.
+    #[test]
+    fn run_counters_merge_is_associative_and_commutative(
+        a in arb_counters(),
+        b in arb_counters(),
+        c in arb_counters(),
+    ) {
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        prop_assert_eq!(a.merged(&b).merged(&c), a.merged(&b.merged(&c)));
+        // Commutativity: a ⊕ b == b ⊕ a.
+        prop_assert_eq!(a.merged(&b), b.merged(&a));
+        // Zero identity on both sides.
+        let zero = RunCounters::default();
+        prop_assert_eq!(a.merged(&zero), a);
+        prop_assert_eq!(zero.merged(&a), a);
     }
 }
