@@ -1,0 +1,331 @@
+//! Durable per-shard checkpoints for resumable campaigns.
+//!
+//! A checkpoint is the unit of crash recovery in the orchestrator: one
+//! completed shard's partial [`CampaignReport`] plus its deterministic
+//! [`RunCounters`], written **atomically** (to a temp file in the same
+//! directory, then renamed into place) with an integrity footer. On
+//! restart the orchestrator adopts every checkpoint that validates and
+//! re-runs only the missing or corrupt shards; because the partial
+//! reports merge byte-identically (`crate::merge_reports`), recovery is
+//! provably lossless — the resumed campaign's report equals the
+//! uninterrupted one byte for byte.
+//!
+//! ## File format
+//!
+//! ```text
+//! <pretty JSON of the payload>\n
+//! #ftsched-checkpoint v1 len=<payload bytes> fnv1a=<16 hex digits>\n
+//! ```
+//!
+//! The footer carries the payload's byte length and its 64-bit FNV-1a
+//! hash. A truncated write loses the footer, a torn or bit-flipped
+//! payload fails the hash, and a checkpoint from a different spec or
+//! shard fails the semantic checks in [`load_checkpoint`] — every
+//! corruption mode degrades to "re-run this shard", never to silently
+//! merging bad data.
+
+use std::fmt;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::RunCounters;
+use crate::report::{CampaignReport, ShardInfo};
+use crate::spec::CampaignSpec;
+
+/// The payload of one shard checkpoint: everything needed to adopt the
+/// shard on resume without re-running it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// The shard's partial campaign report (carries its [`ShardInfo`]).
+    pub report: CampaignReport,
+    /// The shard run's deterministic metric counters, so merged campaign
+    /// metrics stay exact across a resume.
+    pub counters: RunCounters,
+}
+
+/// Why a checkpoint could not be adopted. Every variant means the same
+/// thing to the orchestrator — re-run the shard — but the reason is
+/// surfaced so operators can tell a fresh start from silent corruption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// No checkpoint file exists for the shard (a fresh run, or the
+    /// shard never completed).
+    Missing,
+    /// The file exists but cannot be read.
+    Io(String),
+    /// The integrity footer is absent, malformed or does not match the
+    /// payload (truncation, torn write, bit rot), or the payload does
+    /// not parse.
+    Corrupt(String),
+    /// The payload is intact but belongs to a different campaign spec or
+    /// shard coordinate.
+    Mismatch(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Missing => write!(f, "no checkpoint"),
+            CheckpointError::Io(e) => write!(f, "cannot read checkpoint: {e}"),
+            CheckpointError::Corrupt(e) => write!(f, "corrupt checkpoint: {e}"),
+            CheckpointError::Mismatch(e) => write!(f, "mismatched checkpoint: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Magic prefix of the integrity footer line.
+const FOOTER_PREFIX: &str = "#ftsched-checkpoint v1 ";
+
+/// 64-bit FNV-1a over raw bytes — the same cheap, dependency-free hash
+/// the task layer uses for content hashes. Not cryptographic; it guards
+/// against truncation and bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The canonical checkpoint path of one shard inside `dir`
+/// (`shard-0002-of-0008.ckpt` — zero-padded so listings sort).
+pub fn checkpoint_path(dir: &Path, shard: ShardInfo) -> PathBuf {
+    dir.join(format!(
+        "shard-{:04}-of-{:04}.ckpt",
+        shard.index, shard.count
+    ))
+}
+
+/// Serialises `checkpoint` and writes it atomically into `dir`,
+/// returning the final path. The write goes to a temp file in the same
+/// directory first and is renamed into place, so a crash mid-write can
+/// leave a stale temp file but never a half-written checkpoint under the
+/// canonical name.
+///
+/// # Errors
+///
+/// Any I/O error from the create/write/persist steps.
+pub fn write_checkpoint(dir: &Path, checkpoint: &Checkpoint) -> std::io::Result<PathBuf> {
+    let shard = checkpoint.report.shard.ok_or_else(|| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            "only shard (partial) reports can be checkpointed",
+        )
+    })?;
+    let payload = serde_json::to_string_pretty(checkpoint).expect("checkpoints always serialise");
+    let footer = format!(
+        "\n{FOOTER_PREFIX}len={} fnv1a={:016x}\n",
+        payload.len(),
+        fnv1a64(payload.as_bytes())
+    );
+    let path = checkpoint_path(dir, shard);
+    let tmp = dir.join(format!(
+        ".shard-{:04}-of-{:04}.ckpt.tmp",
+        shard.index, shard.count
+    ));
+    {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(payload.as_bytes())?;
+        file.write_all(footer.as_bytes())?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// Splits a checkpoint file into its payload and verifies the integrity
+/// footer (length + FNV-1a).
+fn verify_footer(text: &str) -> Result<&str, CheckpointError> {
+    let corrupt = |reason: &str| Err(CheckpointError::Corrupt(reason.into()));
+    let body = text.strip_suffix('\n').unwrap_or(text);
+    let Some(newline) = body.rfind('\n') else {
+        return corrupt("no integrity footer (truncated?)");
+    };
+    let (payload_nl, footer) = body.split_at(newline);
+    let Some(fields) = footer.trim_start_matches('\n').strip_prefix(FOOTER_PREFIX) else {
+        return corrupt("no integrity footer (truncated?)");
+    };
+    let mut len: Option<usize> = None;
+    let mut hash: Option<u64> = None;
+    for field in fields.split_whitespace() {
+        if let Some(v) = field.strip_prefix("len=") {
+            len = v.parse().ok();
+        } else if let Some(v) = field.strip_prefix("fnv1a=") {
+            hash = u64::from_str_radix(v, 16).ok();
+        }
+    }
+    let (Some(len), Some(hash)) = (len, hash) else {
+        return corrupt("malformed integrity footer");
+    };
+    if payload_nl.len() != len {
+        return Err(CheckpointError::Corrupt(format!(
+            "payload is {} bytes, footer says {len} (truncated or padded)",
+            payload_nl.len()
+        )));
+    }
+    if fnv1a64(payload_nl.as_bytes()) != hash {
+        return corrupt("payload hash does not match the footer (bit rot or torn write)");
+    }
+    Ok(payload_nl)
+}
+
+/// Loads and fully validates the checkpoint of `shard` from `dir`:
+/// integrity footer, JSON payload, and that the payload really is a
+/// partial report of `spec` at exactly `shard`.
+///
+/// # Errors
+///
+/// [`CheckpointError::Missing`] when the file does not exist,
+/// [`CheckpointError::Corrupt`] for any integrity or parse failure, and
+/// [`CheckpointError::Mismatch`] when an intact checkpoint belongs to a
+/// different spec or shard.
+pub fn load_checkpoint(
+    dir: &Path,
+    shard: ShardInfo,
+    spec: &CampaignSpec,
+) -> Result<Checkpoint, CheckpointError> {
+    let path = checkpoint_path(dir, shard);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Err(CheckpointError::Missing),
+        Err(e) => return Err(CheckpointError::Io(e.to_string())),
+    };
+    let payload = verify_footer(&text)?;
+    let checkpoint: Checkpoint = serde_json::from_str(payload)
+        .map_err(|e| CheckpointError::Corrupt(format!("payload does not parse: {e}")))?;
+    match checkpoint.report.shard {
+        Some(found) if found == shard => {}
+        Some(found) => {
+            return Err(CheckpointError::Mismatch(format!(
+                "checkpoint holds shard {found}, expected {shard}"
+            )))
+        }
+        None => {
+            return Err(CheckpointError::Mismatch(
+                "checkpoint holds a complete report, not a shard".into(),
+            ))
+        }
+    }
+    if checkpoint.report.spec != *spec {
+        return Err(CheckpointError::Mismatch(
+            "checkpoint belongs to a different campaign spec".into(),
+        ));
+    }
+    Ok(checkpoint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::executor::{run_campaign_shard, ExecutorConfig};
+    use crate::spec::CampaignSpec;
+    use ftsched_analysis::Algorithm;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ftsched-ckpt-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec {
+            algorithms: vec![Algorithm::EarliestDeadlineFirst],
+            utilizations: vec![0.5, 1.5],
+            trials_per_scenario: 3,
+            ..CampaignSpec::base("ckpt-test")
+        }
+    }
+
+    fn shard_checkpoint(spec: &CampaignSpec, shard: ShardInfo) -> Checkpoint {
+        let exec = ExecutorConfig {
+            threads: 1,
+            ..ExecutorConfig::default()
+        };
+        let report = run_campaign_shard(spec, &exec, Some(shard)).unwrap();
+        Checkpoint {
+            report,
+            counters: RunCounters {
+                trials_started: 3,
+                trials_completed: 3,
+                ..RunCounters::default()
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let dir = temp_dir("roundtrip");
+        let spec = tiny_spec();
+        let shard = ShardInfo { index: 0, count: 2 };
+        let checkpoint = shard_checkpoint(&spec, shard);
+        let path = write_checkpoint(&dir, &checkpoint).unwrap();
+        assert_eq!(path, checkpoint_path(&dir, shard));
+        let loaded = load_checkpoint(&dir, shard, &spec).unwrap();
+        assert_eq!(loaded, checkpoint);
+        // No stray temp file remains.
+        let entries: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(entries, vec!["shard-0000-of-0002.ckpt".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn detects_missing_truncation_tampering_and_mismatch() {
+        let dir = temp_dir("tamper");
+        let spec = tiny_spec();
+        let shard = ShardInfo { index: 1, count: 2 };
+        assert_eq!(
+            load_checkpoint(&dir, shard, &spec),
+            Err(CheckpointError::Missing)
+        );
+        let checkpoint = shard_checkpoint(&spec, shard);
+        let path = write_checkpoint(&dir, &checkpoint).unwrap();
+        let original = std::fs::read_to_string(&path).unwrap();
+
+        // Truncation loses the footer.
+        std::fs::write(&path, &original[..original.len() / 2]).unwrap();
+        assert!(matches!(
+            load_checkpoint(&dir, shard, &spec),
+            Err(CheckpointError::Corrupt(_))
+        ));
+
+        // A flipped payload byte fails the hash.
+        let mut flipped = original.clone().into_bytes();
+        let i = original.find("trials").unwrap();
+        flipped[i] = b'T';
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(matches!(
+            load_checkpoint(&dir, shard, &spec),
+            Err(CheckpointError::Corrupt(_))
+        ));
+
+        // An intact checkpoint of another spec is a mismatch.
+        std::fs::write(&path, &original).unwrap();
+        let mut other = spec.clone();
+        other.master_seed += 1;
+        assert!(matches!(
+            load_checkpoint(&dir, shard, &other),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        // And the untouched file still loads against its own spec.
+        assert_eq!(load_checkpoint(&dir, shard, &spec), Ok(checkpoint));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fnv1a_is_frozen() {
+        // Golden values: the footer format is an on-disk contract.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"ftsched"), fnv1a64(b"ftsched"));
+        assert_ne!(fnv1a64(b"ftsched"), fnv1a64(b"ftschee"));
+    }
+}

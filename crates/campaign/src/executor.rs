@@ -141,7 +141,7 @@ pub fn run_campaign_shard(
     let total = scenarios.len() * trials_per;
     // The shard's contiguous slice of the global trial index space.
     let (shard_lo, shard_hi) = match shard {
-        Some(s) => (s.index * total / s.count, (s.index + 1) * total / s.count),
+        Some(s) => s.slice(total),
         None => (0, total),
     };
     let shard_trials = shard_hi - shard_lo;

@@ -43,6 +43,13 @@
 //!   across shards) strictly separated from machine-dependent timings.
 //!   Reports never embed metrics, so collecting them cannot perturb a
 //!   campaign's bytes.
+//! * [`checkpoint`] — atomic, integrity-checked per-shard checkpoints
+//!   (partial report + deterministic counters) so an interrupted
+//!   campaign resumes losslessly.
+//! * [`orchestrator`] — the fault-tolerant shard driver behind
+//!   `ftsched orchestrate`: a [`WorkerBackend`] pool with per-shard
+//!   timeouts, deterministic retry/backoff, checkpoint adoption on
+//!   restart, and `--allow-partial` graceful degradation.
 //!
 //! ```
 //! use ftsched_campaign::prelude::*;
@@ -62,8 +69,10 @@
 #![warn(rust_2018_idioms)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod executor;
 pub mod metrics;
+pub mod orchestrator;
 pub mod report;
 pub mod seed;
 pub mod spec;
@@ -72,9 +81,18 @@ pub mod trial;
 
 use std::fmt;
 
+pub use checkpoint::{load_checkpoint, write_checkpoint, Checkpoint, CheckpointError};
 pub use executor::{run_campaign, run_campaign_shard, ExecutorConfig};
 pub use metrics::{CacheCounts, RunCounters, RunMetrics, RunTimings, StageTiming};
-pub use report::{merge_reports, CampaignReport, LatencyCurvePoint, ScenarioReport, ShardInfo};
+pub use orchestrator::{
+    orchestrate, InProcessBackend, LocalProcessBackend, OrchestratorConfig, OrchestratorEvent,
+    OrchestratorMetrics, OrchestratorOutcome, OrchestratorStats, ShardLaunch, WorkerBackend,
+    WorkerFailure,
+};
+pub use report::{
+    merge_reports, merge_reports_partial, CampaignReport, LatencyCurvePoint, ScenarioReport,
+    ShardInfo,
+};
 pub use spec::{
     CampaignSpec, LatencyCurveSpec, ResponseHistogramSpec, Scenario, TrialKind, WcetMarginSpec,
     WorkloadSpec,
@@ -95,6 +113,10 @@ pub enum CampaignError {
     InvalidSpec(String),
     /// Shard reports cannot be merged; the string explains why.
     InvalidMerge(String),
+    /// The orchestrator could not complete the campaign (shards failed
+    /// permanently and `--allow-partial` was off, or checkpoint /
+    /// worker I/O failed unrecoverably); the string explains why.
+    Orchestration(String),
 }
 
 impl fmt::Display for CampaignError {
@@ -103,6 +125,9 @@ impl fmt::Display for CampaignError {
             CampaignError::InvalidSpec(reason) => write!(f, "invalid campaign spec: {reason}"),
             CampaignError::InvalidMerge(reason) => {
                 write!(f, "cannot merge shard reports: {reason}")
+            }
+            CampaignError::Orchestration(reason) => {
+                write!(f, "orchestration failed: {reason}")
             }
         }
     }
@@ -114,10 +139,15 @@ impl std::error::Error for CampaignError {}
 /// vocabulary from the lower layers (algorithms, goals, policies, fault
 /// models) so spec-building code needs only this one import.
 pub mod prelude {
+    pub use crate::checkpoint::{load_checkpoint, write_checkpoint, Checkpoint, CheckpointError};
     pub use crate::executor::{run_campaign, run_campaign_shard, ExecutorConfig};
     pub use crate::metrics::{RunCounters, RunMetrics, RunTimings};
+    pub use crate::orchestrator::{
+        orchestrate, OrchestratorConfig, OrchestratorEvent, OrchestratorOutcome, WorkerBackend,
+    };
     pub use crate::report::{
-        merge_reports, CampaignReport, LatencyCurvePoint, ScenarioReport, ShardInfo,
+        merge_reports, merge_reports_partial, CampaignReport, LatencyCurvePoint, ScenarioReport,
+        ShardInfo,
     };
     pub use crate::seed::trial_seed;
     pub use crate::spec::{

@@ -34,12 +34,47 @@ pub struct ShardInfo {
 impl ShardInfo {
     /// Parses the CLI syntax `i/N` (e.g. `0/3`), requiring `i < N`.
     pub fn parse(text: &str) -> Option<ShardInfo> {
-        let (index, count) = text.split_once('/')?;
-        let shard = ShardInfo {
-            index: index.trim().parse().ok()?,
-            count: count.trim().parse().ok()?,
+        ShardInfo::parse_detailed(text).ok()
+    }
+
+    /// [`ShardInfo::parse`] with a one-line reason for every rejection:
+    /// malformed syntax, non-numeric parts, a zero shard count or an
+    /// out-of-range index each name the exact problem, so the CLI can
+    /// reject bad `--shard` values at argument-parse time with a usable
+    /// message.
+    pub fn parse_detailed(text: &str) -> Result<ShardInfo, String> {
+        let Some((index, count)) = text.split_once('/') else {
+            return Err(format!("expected I/N (e.g. 0/4), got `{text}`"));
         };
-        (shard.index < shard.count).then_some(shard)
+        let index: usize = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index `{}` is not a number", index.trim()))?;
+        let count: usize = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count `{}` is not a number", count.trim()))?;
+        if count == 0 {
+            return Err("shard count must be at least 1".into());
+        }
+        if index >= count {
+            return Err(format!(
+                "shard index {index} is out of range for {count} shards (indices are 0-based)"
+            ));
+        }
+        Ok(ShardInfo { index, count })
+    }
+
+    /// The half-open range `[lo, hi)` of the global trial index space
+    /// this shard executes: the `index`-th of `count` contiguous,
+    /// near-equal slices of `total` trials. A pure function of the
+    /// coordinates — the executor, the merge validation and the
+    /// orchestrator's missing-range reporting all share it.
+    pub fn slice(&self, total: usize) -> (usize, usize) {
+        (
+            self.index * total / self.count,
+            (self.index + 1) * total / self.count,
+        )
     }
 }
 
@@ -168,6 +203,13 @@ pub struct CampaignReport {
     /// `Some` for partial reports produced by
     /// [`crate::run_campaign_shard`]; `None` for complete reports.
     pub shard: Option<ShardInfo>,
+    /// Shards absent from an `--allow-partial` merge
+    /// ([`merge_reports_partial`]): the campaign degraded gracefully
+    /// instead of failing, and this field records exactly which slices of
+    /// the trial space are missing. Empty for complete reports and for
+    /// strict merges (and then absent from the JSON, so pre-existing
+    /// reports are byte-identical).
+    pub missing_shards: Vec<ShardInfo>,
 }
 
 // Hand-written serialisation: the shard marker appears only on partial
@@ -187,6 +229,9 @@ impl Serialize for CampaignReport {
         }
         if let Some(shard) = &self.shard {
             fields.push(("shard".into(), shard.to_value()));
+        }
+        if !self.missing_shards.is_empty() {
+            fields.push(("missing_shards".into(), self.missing_shards.to_value()));
         }
         serde::Value::Map(fields)
     }
@@ -209,6 +254,10 @@ impl Deserialize for CampaignReport {
                 Some(v) => Some(Deserialize::from_value(v)?),
                 None => None,
             },
+            missing_shards: match serde::get_field(m, "missing_shards") {
+                Some(v) => Deserialize::from_value(v)?,
+                None => Vec::new(),
+            },
         })
     }
 }
@@ -220,6 +269,7 @@ impl CampaignReport {
             spec,
             scenarios,
             shard: None,
+            missing_shards: Vec::new(),
         }
     }
 
@@ -228,9 +278,10 @@ impl CampaignReport {
         self.scenarios.iter().map(|s| s.stats.trials).sum()
     }
 
-    /// True when this report covers the whole grid (not a shard).
+    /// True when this report covers the whole grid (not a shard, and not
+    /// an `--allow-partial` merge with missing shards).
     pub fn is_complete(&self) -> bool {
-        self.shard.is_none()
+        self.shard.is_none() && self.missing_shards.is_empty()
     }
 
     /// Pretty JSON rendering of the full report.
@@ -535,7 +586,10 @@ impl CampaignReport {
     /// render as a flat per-scenario listing instead.
     pub fn render_table(&self) -> String {
         let grid = self.spec.scenarios();
-        if self.shard.is_some() || self.scenarios.len() != grid.len() {
+        if self.shard.is_some()
+            || !self.missing_shards.is_empty()
+            || self.scenarios.len() != grid.len()
+        {
             return self.render_partial_table();
         }
         let mut out = String::new();
@@ -626,6 +680,23 @@ impl CampaignReport {
                 self.spec.name
             );
         }
+        if !self.missing_shards.is_empty() {
+            let total = self.spec.trial_count();
+            let ranges: Vec<String> = self
+                .missing_shards
+                .iter()
+                .map(|s| {
+                    let (lo, hi) = s.slice(total);
+                    format!("{s} (trials {lo}..{hi})")
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "INCOMPLETE report for campaign `{}`: missing shards {}",
+                self.spec.name,
+                ranges.join(", ")
+            );
+        }
         let _ = writeln!(
             out,
             "{:>9} {:>6} {:>8} {:>9} {:>11}",
@@ -671,6 +742,33 @@ impl CampaignReport {
 /// missing/duplicate shard indices, disagreeing shard counts, unknown
 /// scenario indices or a trial count that does not add up.
 pub fn merge_reports(parts: Vec<CampaignReport>) -> Result<CampaignReport, CampaignError> {
+    merge_impl(parts, false)
+}
+
+/// [`merge_reports`] with graceful degradation: an *incomplete* shard set
+/// still folds, and every absent shard index is recorded in the result's
+/// [`CampaignReport::missing_shards`] (so the report explicitly says
+/// which trial ranges are missing, instead of silently passing off a
+/// subset as the whole campaign). The result covers only the scenarios
+/// the present shards touched and is **not** complete
+/// ([`CampaignReport::is_complete`] is false) unless every shard is
+/// present — in which case the output is byte-identical to
+/// [`merge_reports`].
+///
+/// # Errors
+///
+/// Returns [`CampaignError::InvalidMerge`] for the inconsistencies that
+/// graceful degradation cannot paper over: no parts at all, mismatched
+/// specs, duplicate shard indices, disagreeing shard counts or trial
+/// counts that do not add up to the present slices.
+pub fn merge_reports_partial(parts: Vec<CampaignReport>) -> Result<CampaignReport, CampaignError> {
+    merge_impl(parts, true)
+}
+
+fn merge_impl(
+    parts: Vec<CampaignReport>,
+    allow_missing: bool,
+) -> Result<CampaignReport, CampaignError> {
     let fail = |reason: String| Err(CampaignError::InvalidMerge(reason));
     let Some(first) = parts.first() else {
         return fail("no partial reports to merge".into());
@@ -684,7 +782,14 @@ pub fn merge_reports(parts: Vec<CampaignReport>) -> Result<CampaignReport, Campa
             spec.name
         ));
     };
-    if parts.len() != count {
+    if !allow_missing && parts.len() != count {
+        return fail(format!(
+            "campaign `{}` was split into {count} shards, got {} reports",
+            spec.name,
+            parts.len()
+        ));
+    }
+    if parts.len() > count {
         return fail(format!(
             "campaign `{}` was split into {count} shards, got {} reports",
             spec.name,
@@ -710,6 +815,12 @@ pub fn merge_reports(parts: Vec<CampaignReport>) -> Result<CampaignReport, Campa
             None => return fail("a complete report cannot be merged with shards".into()),
         }
     }
+    let missing: Vec<ShardInfo> = seen
+        .iter()
+        .enumerate()
+        .filter(|(_, present)| !**present)
+        .map(|(index, _)| ShardInfo { index, count })
+        .collect();
 
     // Fold shard statistics in shard-index order: within every scenario
     // this concatenates increasing trial ranges, i.e. exactly the
@@ -729,21 +840,33 @@ pub fn merge_reports(parts: Vec<CampaignReport>) -> Result<CampaignReport, Campa
             stats[row.scenario].merge(&row.stats);
         }
     }
+    let total = spec.trial_count();
+    let expected: u64 = (0..count)
+        .filter(|&i| seen[i])
+        .map(|index| {
+            let (lo, hi) = ShardInfo { index, count }.slice(total);
+            (hi - lo) as u64
+        })
+        .sum();
     let merged_trials: u64 = stats.iter().map(|s| s.trials).sum();
-    if merged_trials != spec.trial_count() as u64 {
+    if merged_trials != expected {
         return fail(format!(
-            "merged shards cover {merged_trials} trials, campaign `{}` has {}",
+            "merged shards cover {merged_trials} trials, their slices of campaign `{}` hold {expected}",
             spec.name,
-            spec.trial_count()
         ));
     }
 
+    // A degraded merge lists only the scenarios its shards touched, like
+    // any other partial report; a complete merge lists the whole grid.
     let rows = scenarios
         .iter()
         .zip(stats)
+        .filter(|(_, stats)| missing.is_empty() || stats.trials > 0)
         .map(|(scenario, stats)| ScenarioReport::for_scenario(&spec, scenario, stats))
         .collect();
-    Ok(CampaignReport::new(spec, rows))
+    let mut report = CampaignReport::new(spec, rows);
+    report.missing_shards = missing;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -868,6 +991,89 @@ mod tests {
         assert_eq!(ShardInfo::parse("3/3"), None);
         assert_eq!(ShardInfo::parse("x/3"), None);
         assert_eq!(ShardInfo::parse("3"), None);
+    }
+
+    #[test]
+    fn shard_parse_detailed_names_each_rejection() {
+        assert!(ShardInfo::parse_detailed("3").unwrap_err().contains("I/N"));
+        assert!(ShardInfo::parse_detailed("x/3")
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(ShardInfo::parse_detailed("0/y")
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(ShardInfo::parse_detailed("0/0")
+            .unwrap_err()
+            .contains("at least 1"));
+        assert!(ShardInfo::parse_detailed("3/3")
+            .unwrap_err()
+            .contains("out of range"));
+        assert_eq!(
+            ShardInfo::parse_detailed("1/4"),
+            Ok(ShardInfo { index: 1, count: 4 })
+        );
+    }
+
+    #[test]
+    fn shard_slices_partition_the_trial_space() {
+        for total in [0usize, 1, 7, 100] {
+            for count in [1usize, 2, 3, 8] {
+                let mut covered = 0;
+                for index in 0..count {
+                    let (lo, hi) = ShardInfo { index, count }.slice(total);
+                    assert_eq!(lo, covered, "slices must be contiguous");
+                    assert!(hi >= lo);
+                    covered = hi;
+                }
+                assert_eq!(covered, total, "slices must cover every trial");
+            }
+        }
+    }
+
+    #[test]
+    fn partial_merge_records_missing_shards() {
+        let spec = tiny_report().spec;
+        let exec = crate::ExecutorConfig {
+            threads: 1,
+            ..crate::ExecutorConfig::default()
+        };
+        let full = crate::run_campaign(&spec, &exec).unwrap();
+        let parts: Vec<CampaignReport> = (0..4)
+            .map(|index| {
+                crate::run_campaign_shard(&spec, &exec, Some(ShardInfo { index, count: 4 }))
+                    .unwrap()
+            })
+            .collect();
+        // All shards present: partial merge == strict merge, byte for byte.
+        let complete = merge_reports_partial(parts.clone()).unwrap();
+        assert!(complete.is_complete());
+        assert_eq!(
+            complete.to_json(),
+            merge_reports(parts.clone()).unwrap().to_json()
+        );
+        assert_eq!(complete.to_json(), full.to_json());
+        // Drop shard 2: the merge degrades gracefully and says so.
+        let subset: Vec<CampaignReport> = parts
+            .iter()
+            .filter(|p| p.shard.unwrap().index != 2)
+            .cloned()
+            .collect();
+        let degraded = merge_reports_partial(subset.clone()).unwrap();
+        assert!(!degraded.is_complete());
+        assert_eq!(
+            degraded.missing_shards,
+            vec![ShardInfo { index: 2, count: 4 }]
+        );
+        let json = degraded.to_json();
+        assert!(json.contains("missing_shards"));
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, degraded);
+        assert!(degraded.render_table().contains("missing shards 2/4"));
+        // The strict merge still refuses the incomplete set.
+        assert!(matches!(
+            merge_reports(subset),
+            Err(CampaignError::InvalidMerge(_))
+        ));
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //!                         [--response-csv rt.csv] [--latency-csv lat.csv]
 //!                         [--metrics-json m.json] [--progress]
 //!                         [--quiet] [--no-design-cache]
+//! ftsched orchestrate <spec.json> --shards N [--workers K]
+//!                         [--checkpoint-dir D] [--max-retries N]
+//!                         [--backoff-ms N] [--timeout-secs N]
+//!                         [--allow-partial] [--keep-checkpoints]
+//!                         [--worker-threads N] [run outputs...]
 //! ftsched merge <part.json>... [--out report.json] [--csv report.csv]
 //!                              [--response-csv rt.csv] [--latency-csv lat.csv]
 //!                              [--metrics m.json]... [--metrics-json out.json]
@@ -24,7 +29,17 @@
 //! of `N` deterministic slices of the campaign (for spreading one
 //! campaign across processes or hosts) and writes a *partial* report;
 //! `merge` folds a complete set of partials into a report byte-identical
-//! to the unsharded run. `bench` runs the minQ / WCET-sensitivity /
+//! to the unsharded run. `orchestrate` drives the whole shard protocol
+//! itself: a supervised local worker pool with per-shard timeouts,
+//! bounded retry with deterministic backoff + jitter, atomic
+//! integrity-checked checkpoints in `--checkpoint-dir` (rerunning with
+//! the same directory resumes, re-running only missing or corrupt
+//! shards) and `--allow-partial` graceful degradation — the merged
+//! report stays byte-identical to a plain `run` whenever every shard
+//! completes. The `FTSCHED_ORCH_FAULT=kill:I[,stall:J,corrupt:K]`
+//! environment hook makes shard worker `I`/`J`/`K` abort, hang or write
+//! a corrupt report on its first attempt (tests and CI use it to
+//! exercise recovery). `bench` runs the minQ / WCET-sensitivity /
 //! simulator micro-benchmarks and writes `BENCH_minq.json` /
 //! `BENCH_sensitivity.json` / `BENCH_sim.json` at the repository root.
 //!
@@ -42,10 +57,12 @@
 
 mod ui;
 
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use ftsched_campaign::prelude::*;
+use ftsched_campaign::{checkpoint, LocalProcessBackend, OrchestratorMetrics};
 
 const USAGE: &str = "\
 ftsched — deterministic experiment campaigns for the flexible \
@@ -53,6 +70,10 @@ fault-tolerant scheduling scheme
 
 USAGE:
     ftsched run <spec.json> [OPTIONS]   run a campaign (or one shard of it)
+    ftsched orchestrate <spec.json> --shards N [OPTIONS]
+                                        run a campaign as N supervised shard
+                                        workers with retries and resumable
+                                        checkpoints
     ftsched merge <part.json>... [OPTIONS]
                                         fold shard reports into the full one
     ftsched inspect <spec.json> --scenario I --trial J [--trace-json FILE]
@@ -87,6 +108,28 @@ OPTIONS (run):
     --no-design-cache   recompute the deterministic trial stages per trial
                         (debugging; reports are byte-identical either way)
 
+OPTIONS (orchestrate):
+    --shards <N>        split the campaign into N shard workers (required)
+    --workers <K>       concurrent worker processes (default: min(N, cores))
+    --worker-threads <N>
+                        --threads for each worker (default: worker default)
+    --checkpoint-dir <DIR>
+                        shard checkpoint directory (default: <spec>.ckpt);
+                        rerunning with the same directory resumes from the
+                        completed shards
+    --max-retries <N>   retry budget per shard beyond the first attempt
+                        (default: 3)
+    --backoff-ms <N>    base retry backoff; attempt a waits base*2^a
+                        (capped) plus deterministic jitter (default: 250)
+    --timeout-secs <N>  per-shard timeout; 0 disables it (default: 0)
+    --allow-partial     merge whatever completed and record the missing
+                        shard ranges instead of failing the run
+    --keep-checkpoints  keep checkpoint files after a fully successful run
+    --out / --csv / --response-csv / --latency-csv / -q as for `run`
+    --metrics-json <FILE>
+                        write orchestrator stats (timing-classified) plus
+                        the shard-merged deterministic worker counters
+
 OPTIONS (merge):
     --out / --csv / --response-csv / --latency-csv as for `run`
     --metrics <FILE>    a shard's --metrics-json file (repeatable)
@@ -97,6 +140,10 @@ ENVIRONMENT:
     FTSCHED_LOG=quiet|info
                         quiet silences notes/warnings like -q; errors
                         always print and exit codes never change
+    FTSCHED_ORCH_FAULT=kill:I[,stall:J,corrupt:K]
+                        fault injection for `run --shard` workers: shard
+                        I aborts, J hangs, K writes a corrupt report —
+                        first attempt only (orchestrate retries run clean)
 
 OPTIONS (bench):
     --quick            reduced measurement budget (CI smoke)
@@ -112,6 +159,7 @@ fn main() -> ExitCode {
     ui::init(args.iter().any(|a| a == "-q" || a == "--quiet"));
     match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("orchestrate") => cmd_orchestrate(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("metrics-strip") => cmd_metrics_strip(&args[1..]),
@@ -223,12 +271,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
                 None => return usage_error("--block-size needs a value"),
             },
             "--shard" => match take_value(args, &mut i) {
-                Some(v) => match ShardInfo::parse(v) {
-                    Some(s) => shard = Some(s),
-                    None => {
-                        return usage_error(&format!(
-                            "invalid --shard value `{v}` (expected I/N with I < N)"
-                        ))
+                Some(v) => match ShardInfo::parse_detailed(v) {
+                    Ok(s) => shard = Some(s),
+                    Err(reason) => {
+                        return value_error(&format!("invalid --shard value `{v}`: {reason}"))
                     }
                 },
                 None => return usage_error("--shard needs a value"),
@@ -299,6 +345,22 @@ fn cmd_run(args: &[String]) -> ExitCode {
             exec.effective_threads(),
         )),
     }
+    // Worker-side fault injection (tests/CI): only armed in shard mode,
+    // so a plain `ftsched run` never trips over a stale environment.
+    let fault = shard.and_then(planned_fault);
+    match fault {
+        Some(FaultAction::Kill) => {
+            ui::warn("FTSCHED_ORCH_FAULT: aborting this shard worker");
+            std::process::abort();
+        }
+        Some(FaultAction::Stall) => {
+            ui::warn("FTSCHED_ORCH_FAULT: stalling this shard worker");
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Some(FaultAction::Corrupt) | None => {}
+    }
     // Metrics are a delta between snapshots around the run, so nothing
     // this process did before (spec validation, earlier subprocess work)
     // leaks into the document.
@@ -333,11 +395,281 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
     }
 
+    if let Some(FaultAction::Corrupt) = fault {
+        // Claim success while handing the supervisor a truncated report:
+        // exactly the failure mode the orchestrator's output validation
+        // and checkpoint integrity footer exist to catch.
+        ui::warn("FTSCHED_ORCH_FAULT: writing a corrupt report for this shard");
+        if let Some(path) = outputs.json {
+            let json = report.to_json();
+            let _ = std::fs::write(path, &json[..json.len() / 2]);
+        }
+        return ExitCode::SUCCESS;
+    }
+
     if outputs.write(&report) {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// What `FTSCHED_ORCH_FAULT` tells this shard worker to do.
+enum FaultAction {
+    Kill,
+    Stall,
+    Corrupt,
+}
+
+/// Parses the fault-injection hook (`kill:I[,stall:J,corrupt:K]`) and
+/// returns the action aimed at this worker's shard index, if any.
+fn planned_fault(shard: ShardInfo) -> Option<FaultAction> {
+    let raw = std::env::var("FTSCHED_ORCH_FAULT").ok()?;
+    for item in raw.split(',') {
+        let Some((action, index)) = item.trim().split_once(':') else {
+            continue;
+        };
+        if index.trim().parse() != Ok(shard.index) {
+            continue;
+        }
+        match action.trim() {
+            "kill" => return Some(FaultAction::Kill),
+            "stall" => return Some(FaultAction::Stall),
+            "corrupt" => return Some(FaultAction::Corrupt),
+            _ => {}
+        }
+    }
+    None
+}
+
+fn cmd_orchestrate(args: &[String]) -> ExitCode {
+    let mut spec_path: Option<&str> = None;
+    let mut shards: Option<usize> = None;
+    let mut workers = 0usize;
+    let mut worker_threads = 0usize;
+    let mut max_retries = 3u32;
+    let mut backoff_ms = 250u64;
+    let mut timeout_secs = 0u64;
+    let mut allow_partial = false;
+    let mut keep_checkpoints = false;
+    let mut checkpoint_dir: Option<&str> = None;
+    let mut outputs = Outputs::default();
+    let mut metrics_json: Option<&str> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--shards" => match take_value(args, &mut i) {
+                Some(v) => match v.parse() {
+                    Ok(n) if n > 0 => shards = Some(n),
+                    _ => {
+                        return value_error(&format!(
+                            "invalid --shards value `{v}`: expected a positive shard count"
+                        ))
+                    }
+                },
+                None => return usage_error("--shards needs a value"),
+            },
+            "--workers" => match take_value(args, &mut i).map(str::parse) {
+                Some(Ok(n)) => workers = n,
+                _ => return usage_error("--workers needs a number"),
+            },
+            "--worker-threads" => match take_value(args, &mut i).map(str::parse) {
+                Some(Ok(n)) => worker_threads = n,
+                _ => return usage_error("--worker-threads needs a number"),
+            },
+            "--max-retries" => match take_value(args, &mut i).map(str::parse) {
+                Some(Ok(n)) => max_retries = n,
+                _ => return usage_error("--max-retries needs a number"),
+            },
+            "--backoff-ms" => match take_value(args, &mut i).map(str::parse) {
+                Some(Ok(n)) => backoff_ms = n,
+                _ => return usage_error("--backoff-ms needs a number"),
+            },
+            "--timeout-secs" => match take_value(args, &mut i).map(str::parse) {
+                Some(Ok(n)) => timeout_secs = n,
+                _ => return usage_error("--timeout-secs needs a number"),
+            },
+            "--checkpoint-dir" => match take_value(args, &mut i) {
+                Some(v) => checkpoint_dir = Some(v),
+                None => return usage_error("--checkpoint-dir needs a value"),
+            },
+            "--allow-partial" => allow_partial = true,
+            "--keep-checkpoints" => keep_checkpoints = true,
+            "--out" => match take_value(args, &mut i) {
+                Some(v) => outputs.json = Some(v),
+                None => return usage_error("--out needs a value"),
+            },
+            "--csv" => match take_value(args, &mut i) {
+                Some(v) => outputs.csv = Some(v),
+                None => return usage_error("--csv needs a value"),
+            },
+            "--response-csv" => match take_value(args, &mut i) {
+                Some(v) => outputs.response_csv = Some(v),
+                None => return usage_error("--response-csv needs a value"),
+            },
+            "--latency-csv" => match take_value(args, &mut i) {
+                Some(v) => outputs.latency_csv = Some(v),
+                None => return usage_error("--latency-csv needs a value"),
+            },
+            "--metrics-json" => match take_value(args, &mut i) {
+                Some(v) => metrics_json = Some(v),
+                None => return usage_error("--metrics-json needs a value"),
+            },
+            "-q" | "--quiet" => {}
+            other if spec_path.is_none() && !other.starts_with('-') => {
+                spec_path = Some(other);
+            }
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    let Some(spec_path) = spec_path else {
+        return usage_error("orchestrate needs a spec file");
+    };
+    let Some(shards) = shards else {
+        return usage_error("orchestrate needs --shards");
+    };
+
+    let spec = match load_spec(spec_path) {
+        Ok(spec) => spec,
+        Err(message) => {
+            ui::error(message);
+            return ExitCode::FAILURE;
+        }
+    };
+    let program = match std::env::current_exe() {
+        Ok(program) => program,
+        Err(e) => {
+            ui::error(format!("cannot locate the ftsched binary to spawn: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let checkpoint_dir = checkpoint_dir
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from(format!("{spec_path}.ckpt")));
+
+    let backend = LocalProcessBackend {
+        program,
+        spec_path: PathBuf::from(spec_path),
+        worker_threads,
+    };
+    let mut config = OrchestratorConfig::new(shards, checkpoint_dir.clone());
+    config.workers = workers;
+    config.max_retries = max_retries;
+    config.backoff_base_ms = backoff_ms.max(1);
+    config.jitter_seed = spec.master_seed;
+    config.shard_timeout = (timeout_secs > 0).then(|| Duration::from_secs(timeout_secs));
+    config.allow_partial = allow_partial;
+    config.on_event = Some(Box::new(|event| match event {
+        OrchestratorEvent::CheckpointAdopted { shard } => {
+            ui::note(format!("shard {shard}: adopted completed checkpoint"))
+        }
+        OrchestratorEvent::CheckpointInvalid { shard, reason } => {
+            ui::warn(format!("shard {shard}: {reason} — re-running"))
+        }
+        OrchestratorEvent::ShardStarted {
+            shard,
+            attempt,
+            worker,
+        } => ui::note(format!(
+            "worker {worker}: shard {shard} attempt {}",
+            attempt + 1
+        )),
+        OrchestratorEvent::ShardCompleted { shard, attempt } => ui::note(format!(
+            "shard {shard}: checkpoint written (attempt {})",
+            attempt + 1
+        )),
+        OrchestratorEvent::ShardFailed {
+            shard,
+            attempt,
+            error,
+            retry_in,
+        } => ui::warn(format!(
+            "shard {shard} attempt {} failed: {error}; retrying in {:.2}s",
+            attempt + 1,
+            retry_in.as_secs_f64()
+        )),
+        OrchestratorEvent::ShardAbandoned { shard, error } => ui::warn(format!(
+            "shard {shard} abandoned after exhausting its retries: {error}"
+        )),
+    }));
+
+    ui::note(format!(
+        "campaign `{}`: {} trials across {shards} shards (checkpoints in `{}`)",
+        spec.name,
+        spec.trial_count(),
+        checkpoint_dir.display(),
+    ));
+    let outcome = match orchestrate(&spec, &config, &backend) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            ui::error(e.to_string());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if outcome.missing.is_empty() {
+        ui::note(format!(
+            "orchestration complete: {} launches, {} retries, {} reassignments, \
+             {} checkpoints adopted, {:.2}s",
+            outcome.stats.launches,
+            outcome.stats.retries,
+            outcome.stats.reassignments,
+            outcome.stats.checkpoints_adopted,
+            outcome.stats.wall_seconds,
+        ));
+    } else {
+        let total = spec.trial_count();
+        let gaps: Vec<String> = outcome
+            .missing
+            .iter()
+            .map(|shard| {
+                let (lo, hi) = shard.slice(total);
+                format!("{shard} (trials {lo}..{hi})")
+            })
+            .collect();
+        ui::warn(format!(
+            "merged a PARTIAL report — missing shards {}; checkpoints kept in `{}`, \
+             rerun to fill the gaps",
+            gaps.join(", "),
+            checkpoint_dir.display(),
+        ));
+    }
+
+    println!("{}", outcome.report.render_table());
+
+    if let Some(path) = metrics_json {
+        let doc = OrchestratorMetrics {
+            orchestrator: outcome.stats.clone(),
+            workers: outcome.worker_counters,
+        };
+        let json = serde_json::to_string_pretty(&doc).expect("metrics always serialise");
+        if let Err(e) = std::fs::write(path, json) {
+            ui::error(format!("cannot write `{path}`: {e}"));
+            return ExitCode::FAILURE;
+        }
+        ui::note(format!("wrote orchestrator metrics to {path}"));
+    }
+
+    if !outputs.write(&outcome.report) {
+        return ExitCode::FAILURE;
+    }
+
+    // A fully successful campaign no longer needs its checkpoints; a
+    // partial one keeps them so a rerun resumes instead of restarting.
+    if outcome.missing.is_empty() && !keep_checkpoints {
+        for index in 0..shards {
+            let shard = ShardInfo {
+                index,
+                count: shards,
+            };
+            let _ = std::fs::remove_file(checkpoint::checkpoint_path(&checkpoint_dir, shard));
+        }
+        let _ = std::fs::remove_dir_all(checkpoint_dir.join("work"));
+        let _ = std::fs::remove_dir(&checkpoint_dir);
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_merge(args: &[String]) -> ExitCode {
@@ -390,18 +722,40 @@ fn cmd_merge(args: &[String]) -> ExitCode {
     }
 
     let mut parts = Vec::with_capacity(files.len());
-    for path in files {
+    for (position, path) in files.iter().enumerate() {
         let text = match std::fs::read_to_string(path) {
             Ok(text) => text,
             Err(e) => {
-                ui::error(format!("cannot read `{path}`: {e}"));
+                ui::error(format!(
+                    "cannot read partial report `{path}` (input #{}): {e}",
+                    position + 1
+                ));
                 return ExitCode::FAILURE;
             }
         };
         match serde_json::from_str::<CampaignReport>(&text) {
-            Ok(report) => parts.push(report),
+            Ok(report) => match report.shard {
+                Some(_) => parts.push(report),
+                None => {
+                    ui::error(format!(
+                        "`{path}` (input #{}) is a complete report, not a shard partial — \
+                         merge only folds `run --shard` outputs",
+                        position + 1
+                    ));
+                    return ExitCode::FAILURE;
+                }
+            },
             Err(e) => {
-                ui::error(format!("cannot parse `{path}`: {e}"));
+                // A truncated/corrupt partial should still name which
+                // shard it was, if the prefix survived far enough.
+                let shard_hint = guess_shard(&text)
+                    .map(|s| format!(", shard {s}"))
+                    .unwrap_or_default();
+                ui::error(format!(
+                    "cannot parse partial report `{path}` (input #{}{shard_hint}): {e} — \
+                     the file is truncated or corrupt; re-run that shard",
+                    position + 1
+                ));
                 return ExitCode::FAILURE;
             }
         }
@@ -695,6 +1049,38 @@ fn take_value<'a>(args: &'a [String], i: &mut usize) -> Option<&'a str> {
 fn usage_error(message: &str) -> ExitCode {
     ui::error(format!("{message}\n\n{USAGE}"));
     ExitCode::FAILURE
+}
+
+/// A one-line rejection of a bad argument *value*: just the reason,
+/// without re-printing the whole usage text (the flag was right, its
+/// value was not).
+fn value_error(message: &str) -> ExitCode {
+    ui::error(message);
+    ExitCode::FAILURE
+}
+
+/// Best-effort shard-coordinate extraction from a report that no longer
+/// parses: scans the raw text for the `"shard": {"index": i, "count": n}`
+/// block wherever it survives in the damaged text (it serialises after
+/// the scenario rows, so mid-file corruption usually leaves it intact).
+fn guess_shard(text: &str) -> Option<String> {
+    let at = text.find("\"shard\"")?;
+    let window = text
+        .get(at..(at + 256).min(text.len()))
+        .unwrap_or(&text[at..]);
+    let number_after = |key: &str| -> Option<u64> {
+        let start = window.find(key)? + key.len();
+        let rest = window[start..].trim_start_matches([':', ' ', '\t', '\n', '\r']);
+        let digits = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .map_or(rest, |end| &rest[..end]);
+        digits.parse().ok()
+    };
+    Some(format!(
+        "{}/{}",
+        number_after("\"index\"")?,
+        number_after("\"count\"")?
+    ))
 }
 
 /// The spec printed by `ftsched example` — built in code so it can never

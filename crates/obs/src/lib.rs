@@ -294,6 +294,20 @@ pub struct Metrics {
     pub arena_fresh: Counter,
     /// Simulation runs that reused a warm arena's buffers.
     pub arena_reused: Counter,
+    /// Orchestrator: shard worker launches (first attempts and retries).
+    pub orch_launches: Counter,
+    /// Orchestrator: shard attempts re-queued after a worker failure.
+    pub orch_retries: Counter,
+    /// Orchestrator: retried shards picked up by a different worker slot
+    /// than the one that last ran them.
+    pub orch_reassignments: Counter,
+    /// Orchestrator: shard attempts killed by the per-shard timeout.
+    pub orch_timeouts: Counter,
+    /// Orchestrator: shard checkpoints written after a successful run.
+    pub orch_checkpoints_written: Counter,
+    /// Orchestrator: completed checkpoints adopted on resume instead of
+    /// re-running their shard.
+    pub orch_checkpoints_adopted: Counter,
 
     spans: [DurationHisto; 4],
     worker_trials: Mutex<Vec<u64>>,
@@ -357,6 +371,12 @@ impl Metrics {
                 sweep_rescales: self.sweep_rescales.get(),
                 arena_fresh: self.arena_fresh.get(),
                 arena_reused: self.arena_reused.get(),
+                orch_launches: self.orch_launches.get(),
+                orch_retries: self.orch_retries.get(),
+                orch_reassignments: self.orch_reassignments.get(),
+                orch_timeouts: self.orch_timeouts.get(),
+                orch_checkpoints_written: self.orch_checkpoints_written.get(),
+                orch_checkpoints_adopted: self.orch_checkpoints_adopted.get(),
                 spans: Stage::ALL
                     .iter()
                     .map(|&s| StageSpan {
@@ -546,6 +566,18 @@ pub struct TimingSnapshot {
     pub arena_fresh: u64,
     /// Simulation runs on a warm arena.
     pub arena_reused: u64,
+    /// Orchestrator: shard worker launches.
+    pub orch_launches: u64,
+    /// Orchestrator: shard attempts re-queued after a failure.
+    pub orch_retries: u64,
+    /// Orchestrator: retried shards picked up by a different worker.
+    pub orch_reassignments: u64,
+    /// Orchestrator: shard attempts killed by the per-shard timeout.
+    pub orch_timeouts: u64,
+    /// Orchestrator: checkpoints written.
+    pub orch_checkpoints_written: u64,
+    /// Orchestrator: checkpoints adopted on resume.
+    pub orch_checkpoints_adopted: u64,
     /// Per-stage wall-clock span histograms, in [`Stage::ALL`] order.
     pub spans: Vec<StageSpan>,
     /// Trials processed per campaign worker, in completion order.
@@ -565,6 +597,18 @@ impl TimingSnapshot {
             sweep_rescales: self.sweep_rescales.saturating_sub(baseline.sweep_rescales),
             arena_fresh: self.arena_fresh.saturating_sub(baseline.arena_fresh),
             arena_reused: self.arena_reused.saturating_sub(baseline.arena_reused),
+            orch_launches: self.orch_launches.saturating_sub(baseline.orch_launches),
+            orch_retries: self.orch_retries.saturating_sub(baseline.orch_retries),
+            orch_reassignments: self
+                .orch_reassignments
+                .saturating_sub(baseline.orch_reassignments),
+            orch_timeouts: self.orch_timeouts.saturating_sub(baseline.orch_timeouts),
+            orch_checkpoints_written: self
+                .orch_checkpoints_written
+                .saturating_sub(baseline.orch_checkpoints_written),
+            orch_checkpoints_adopted: self
+                .orch_checkpoints_adopted
+                .saturating_sub(baseline.orch_checkpoints_adopted),
             spans: self
                 .spans
                 .iter()
