@@ -14,9 +14,12 @@
 //! trajectory that CI and future PRs can diff.
 //!
 //! Entry points: [`run_minq_bench`], [`run_sensitivity_bench`],
-//! [`run_sim_bench`], [`write_report`]. The `minq_performance` /
-//! `sim_throughput` bench binaries and the `ftsched bench` CLI
-//! subcommand are thin wrappers over these.
+//! [`run_sim_bench`], [`run_serve_bench`], [`write_report`]. The
+//! `minq_performance` / `sim_throughput` bench binaries and the
+//! `ftsched bench` CLI subcommand are thin wrappers over these.
+//! [`run_serve_bench`] covers the fourth hot path — the admission
+//! service's cached decision loop — and carries the
+//! `serve_replay_deterministic` transcript contract.
 
 use std::path::PathBuf;
 use std::time::{Duration as StdDuration, Instant};
@@ -619,6 +622,178 @@ pub fn run_sim_bench(quick: bool) -> BenchReport {
         entries,
         derived,
     }
+}
+
+/// One admission request over the paper task set (WFD is the only
+/// heuristic that leaves the full set admissible, see the serve tests).
+fn serve_request(
+    id: u64,
+    goal: ftsched_design::DesignGoal,
+    total_overhead: f64,
+) -> ftsched_serve::AdmissionRequest {
+    let tasks = paper_taskset()
+        .iter()
+        .map(|t| ftsched_serve::TaskRequest {
+            id: t.id.0,
+            wcet: t.wcet,
+            period: t.period,
+            deadline: t.deadline,
+            mode: t.mode,
+        })
+        .collect();
+    ftsched_serve::AdmissionRequest {
+        id,
+        tasks,
+        algorithm: Algorithm::EarliestDeadlineFirst,
+        goal,
+        total_overhead,
+        heuristic: PartitionHeuristic::WorstFitDecreasing,
+    }
+}
+
+/// An "exchange"-style request log: two goals flipping over one platform
+/// configuration plus a sprinkle of distinct overheads — mostly
+/// admission-cache hits, every miss at least a context-cache hit.
+fn serve_exchange_log(requests: usize) -> String {
+    use ftsched_design::DesignGoal;
+    let mut log = String::new();
+    for i in 0..requests {
+        let goal = if i % 2 == 0 {
+            DesignGoal::MinimizeOverheadBandwidth
+        } else {
+            DesignGoal::MaximizeSlackBandwidth
+        };
+        // Eight distinct overhead values cycle through the mix, so the
+        // log exercises misses and hits at a fixed ratio.
+        let overhead = 0.01 + 0.005 * (i % 8) as f64;
+        let request = serve_request(i as u64 + 1, goal, overhead);
+        log.push_str(&serde_json::to_string(&request).unwrap());
+        log.push('\n');
+    }
+    log
+}
+
+fn serve_replay_transcript(log: &str, threads: &str) -> String {
+    use ftsched_serve::{AdmissionEngine, EngineConfig};
+    let saved = std::env::var_os("RAYON_NUM_THREADS");
+    std::env::set_var("RAYON_NUM_THREADS", threads);
+    let engine = AdmissionEngine::new(EngineConfig::default());
+    let mut transcript = Vec::new();
+    ftsched_serve::replay(&engine, log, &mut transcript, 32).unwrap();
+    match saved {
+        Some(value) => std::env::set_var("RAYON_NUM_THREADS", value),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+    String::from_utf8(transcript).unwrap()
+}
+
+/// Benchmarks the admission service: the cached hot path (the
+/// steady-state of a long-running service answering repeat
+/// configurations), the uncached cold path (every request a full
+/// feasible-period search) and batched replay throughput over an
+/// exchange-style mix — plus the transcript-determinism check behind
+/// `serve_replay_deterministic`.
+pub fn run_serve_bench(quick: bool) -> BenchReport {
+    use ftsched_design::DesignGoal;
+    use ftsched_serve::{AdmissionEngine, EngineConfig};
+
+    let mut entries = Vec::new();
+    let mut derived = Vec::new();
+
+    // Steady state: the decision is memoised, a request costs request
+    // validation + a verified cache hit.
+    let hot_engine = AdmissionEngine::new(EngineConfig::default());
+    let hot_request = serve_request(1, DesignGoal::MinimizeOverheadBandwidth, 0.02);
+    std::hint::black_box(hot_engine.admit(&hot_request));
+    entry(&mut entries, "serve_admit_cached_hot", quick, || {
+        std::hint::black_box(hot_engine.admit(&hot_request));
+    });
+    let hot_ns = entries.last().unwrap().ns_per_iter;
+    derived.push(DerivedMetric {
+        name: "serve_cached_decisions_per_sec".into(),
+        value: 1e9 / hot_ns.max(1.0),
+    });
+
+    // Cold path: caches disabled, every request pays partitioning, the
+    // minQ enumeration and the feasible-period search.
+    let cold_engine = AdmissionEngine::new(EngineConfig {
+        cache: false,
+        ..EngineConfig::default()
+    });
+    entry(&mut entries, "serve_admit_cold", quick, || {
+        std::hint::black_box(cold_engine.admit(&hot_request));
+    });
+    let cold_ns = entries.last().unwrap().ns_per_iter;
+    derived.push(DerivedMetric {
+        name: "serve_cold_decisions_per_sec".into(),
+        value: 1e9 / cold_ns.max(1.0),
+    });
+    derived.push(DerivedMetric {
+        name: "serve_cache_speedup".into(),
+        value: cold_ns / hot_ns.max(1.0),
+    });
+
+    // Replay throughput: JSONL parse + batched rayon fan-out + compact
+    // transcript encode, over a warmed engine.
+    let log_lines: usize = if quick { 64 } else { 256 };
+    let log = serve_exchange_log(log_lines);
+    let replay_engine = AdmissionEngine::new(EngineConfig::default());
+    entry(
+        &mut entries,
+        format!("serve_replay_exchange/{log_lines}"),
+        quick,
+        || {
+            let mut transcript = Vec::new();
+            ftsched_serve::replay(&replay_engine, &log, &mut transcript, 32).unwrap();
+            std::hint::black_box(transcript);
+        },
+    );
+    let replay_ns = entries.last().unwrap().ns_per_iter;
+    derived.push(DerivedMetric {
+        name: "serve_replay_decisions_per_sec".into(),
+        value: log_lines as f64 * 1e9 / replay_ns.max(1.0),
+    });
+
+    // The transcript contract: byte-identical replay at any worker
+    // count, fresh engine each side so cache state cannot leak in.
+    let single = serve_replay_transcript(&log, "1");
+    let fanned = serve_replay_transcript(&log, "4");
+    derived.push(DerivedMetric {
+        name: "serve_replay_deterministic".into(),
+        value: if single == fanned { 1.0 } else { 0.0 },
+    });
+
+    BenchReport {
+        bench: "serve".into(),
+        quick,
+        entries,
+        derived,
+    }
+}
+
+/// The admission service's perf contract, enforced in CI alongside the
+/// kernel contracts: replay transcripts byte-identical across worker
+/// counts, and a cached decision rate of at least 100k/s at the full
+/// budget (25k/s under the noise-prone quick budget — same rationale as
+/// the minQ contract's reduced threshold).
+///
+/// # Errors
+///
+/// A human-readable description of the violated invariant.
+pub fn check_serve_contract(report: &BenchReport) -> Result<(), String> {
+    if report.derived("serve_replay_deterministic") != Some(1.0) {
+        return Err("serve replay transcripts diverged across worker counts".into());
+    }
+    let rate = report
+        .derived("serve_cached_decisions_per_sec")
+        .ok_or("missing serve_cached_decisions_per_sec")?;
+    let threshold = if report.quick { 25_000.0 } else { 100_000.0 };
+    if rate < threshold {
+        return Err(format!(
+            "cached admission rate regressed to {rate:.0}/s (contract: >= {threshold:.0}/s)"
+        ));
+    }
+    Ok(())
 }
 
 /// Where `BENCH_*.json` files go: `$FTSCHED_BENCH_DIR` if set, else the

@@ -30,6 +30,29 @@ use std::sync::{Arc, Mutex};
 use ftsched_analysis::Algorithm;
 use ftsched_design::partitioner::PartitionHeuristic;
 
+/// The canonical way an `f64` overhead (or any other real-valued cache
+/// axis) becomes part of a hashable cache key: its IEEE-754 bit pattern.
+///
+/// Keying on the bits instead of the float itself is what keeps the
+/// caches honest on the edge cases a raw `f64` key mishandles:
+///
+/// * `-0.0` and `0.0` compare equal but can produce *bitwise different*
+///   designs downstream (`c * -0.0` serialises as `-0.0`), so they must
+///   be **distinct** keys — collapsing them would let a `-0.0` campaign
+///   hit a `0.0` entry and break the byte-identity contract.
+/// * `NaN != NaN`, so a raw-float key could never hit its own entry and
+///   would poison a `HashMap` with unreachable garbage; the bit pattern
+///   is self-equal, so a NaN key hits exactly the entries computed for
+///   the *same* NaN payload.
+///
+/// Every overhead-keyed cache in the workspace ([`DesignKey`] here, the
+/// admission keys in `ftsched-serve`) must go through this one helper so
+/// the semantics cannot drift between them.
+#[inline]
+pub fn overhead_key_bits(total_overhead: f64) -> u64 {
+    total_overhead.to_bits()
+}
+
 /// Identity of one deterministic design-stage computation for the paper
 /// workload: the workload grid coordinate, the scheduling algorithm and
 /// the total mode-switch overhead. Everything else a design depends on
@@ -52,7 +75,7 @@ impl DesignKey {
         DesignKey {
             workload_point,
             algorithm,
-            overhead_bits: total_overhead.to_bits(),
+            overhead_bits: overhead_key_bits(total_overhead),
         }
     }
 }
@@ -289,6 +312,45 @@ mod tests {
         // The capped-out key recomputes; the resident keys still hit.
         assert_eq!(*cache.get_or_compute(3, || 31), 31);
         assert_eq!(*cache.get_or_compute(1, || 99), 10);
+    }
+
+    #[test]
+    fn negative_zero_and_zero_are_distinct_self_hitting_keys() {
+        // Regression: a raw `f64` key would make -0.0 == 0.0 (one entry
+        // shared by bitwise-different computations). The bit keying must
+        // keep them apart AND let each hit its own entry.
+        assert_ne!(overhead_key_bits(-0.0), overhead_key_bits(0.0));
+        let cache: DesignCache<i32> = DesignCache::new(true);
+        let pos = DesignKey::new(0, Algorithm::EarliestDeadlineFirst, 0.0);
+        let neg = DesignKey::new(0, Algorithm::EarliestDeadlineFirst, -0.0);
+        assert_ne!(pos, neg);
+        assert_eq!(*cache.get_or_compute(pos, || 1), 1);
+        assert_eq!(*cache.get_or_compute(neg, || 2), 2);
+        assert_eq!(cache.len(), 2, "-0.0 and 0.0 must not share an entry");
+        assert_eq!(*cache.get_or_compute(pos, || 99), 1);
+        assert_eq!(*cache.get_or_compute(neg, || 99), 2);
+    }
+
+    #[test]
+    fn nan_keys_hit_their_own_entry_and_never_poison_the_map() {
+        // Regression: a raw `f64` key would satisfy NaN != NaN, so a NaN
+        // overhead could never hit its own entry and every lookup would
+        // leak another unreachable map slot. The bit pattern is
+        // self-equal: one entry, repeated hits, and a different NaN
+        // payload is simply a different key.
+        let cache: DesignCache<i32> = DesignCache::new(true);
+        let quiet = DesignKey::new(0, Algorithm::RateMonotonic, f64::NAN);
+        assert_eq!(*cache.get_or_compute(quiet, || 7), 7);
+        assert_eq!(*cache.get_or_compute(quiet, || 99), 7, "NaN must self-hit");
+        assert_eq!(cache.len(), 1, "repeated NaN lookups must not grow the map");
+        let payload = DesignKey::new(
+            0,
+            Algorithm::RateMonotonic,
+            f64::from_bits(f64::NAN.to_bits() ^ 1),
+        );
+        assert_ne!(quiet, payload, "distinct NaN payloads are distinct keys");
+        assert_eq!(*cache.get_or_compute(payload, || 8), 8);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -309,14 +309,23 @@ impl OrchestratorConfig {
         slots.min(pending).max(1)
     }
 
+    /// The deterministic jitter (in milliseconds, below the base delay)
+    /// added to the backoff of `shard`'s failed `attempt`.
+    ///
+    /// This is *the* jitter formula: [`Self::backoff`] and the
+    /// orchestrator tests both call it, so the implementation and its
+    /// assertions cannot silently drift apart.
+    pub fn backoff_jitter(&self, shard: ShardInfo, attempt: u32) -> u64 {
+        trial_seed(self.jitter_seed, shard.index, attempt as usize) % self.backoff_base_ms.max(1)
+    }
+
     /// The deterministic delay before re-queueing `shard` after failed
     /// attempt `attempt`: capped exponential backoff plus seeded jitter.
     pub fn backoff(&self, shard: ShardInfo, attempt: u32) -> Duration {
         let exp = self
             .backoff_base_ms
             .saturating_mul(1u64.checked_shl(attempt.min(20)).unwrap_or(u64::MAX));
-        let jitter = trial_seed(self.jitter_seed, shard.index, attempt as usize)
-            % self.backoff_base_ms.max(1);
+        let jitter = self.backoff_jitter(shard, attempt);
         Duration::from_millis(exp.min(self.backoff_cap_ms).saturating_add(jitter))
     }
 }
@@ -816,9 +825,7 @@ mod tests {
         // The exponential part is monotone until the cap.
         let base: Vec<u128> = (0..8)
             .map(|a| {
-                config.backoff(shard, a).as_millis()
-                    - ((trial_seed(config.jitter_seed, 1, a as usize) % config.backoff_base_ms)
-                        as u128)
+                config.backoff(shard, a).as_millis() - (config.backoff_jitter(shard, a) as u128)
             })
             .collect();
         assert!(base.windows(2).all(|w| w[0] <= w[1]));

@@ -17,7 +17,11 @@
 //! ftsched inspect <spec.json> --scenario I --trial J [--trace-json trace.json]
 //! ftsched metrics-strip <metrics.json>
 //! ftsched validate <spec.json>
-//! ftsched bench [--quick] [--minq] [--sim] [--sensitivity]
+//! ftsched serve [--replay file.jsonl] [--out transcript.jsonl]
+//!               [--socket path.sock] [--threads N] [--batch-size N]
+//!               [--max-frame-bytes N] [--cache-capacity N] [--no-cache]
+//!               [--summary-json s.json]
+//! ftsched bench [--quick] [--minq] [--sim] [--sensitivity] [--serve]
 //! ftsched example
 //! ```
 //!
@@ -39,9 +43,15 @@
 //! completes. The `FTSCHED_ORCH_FAULT=kill:I[,stall:J,corrupt:K]`
 //! environment hook makes shard worker `I`/`J`/`K` abort, hang or write
 //! a corrupt report on its first attempt (tests and CI use it to
-//! exercise recovery). `bench` runs the minQ / WCET-sensitivity /
-//! simulator micro-benchmarks and writes `BENCH_minq.json` /
-//! `BENCH_sensitivity.json` / `BENCH_sim.json` at the repository root.
+//! exercise recovery). `serve` is the online admission service: it
+//! answers length-prefixed JSON admission requests over stdin/stdout or
+//! a unix socket through the [`ftsched_serve`] engine's hot caches, and
+//! `--replay` re-answers a JSONL request log into a transcript that is
+//! byte-identical at any `--threads` value (the golden-file contract).
+//! `bench` runs the minQ / WCET-sensitivity / simulator / admission-serve
+//! micro-benchmarks and writes `BENCH_minq.json` /
+//! `BENCH_sensitivity.json` / `BENCH_sim.json` / `BENCH_serve.json` at
+//! the repository root.
 //!
 //! Observability is a side channel, never part of the report:
 //! `--metrics-json` writes a [`RunMetrics`] document whose
@@ -83,6 +93,10 @@ USAGE:
                                         print only the deterministic counter
                                         half of a --metrics-json file
     ftsched validate <spec.json>        check a spec and show its grid
+    ftsched serve [OPTIONS]             online admission control: answer
+                                        framed JSON admission requests from
+                                        stdin or a unix socket, or replay a
+                                        JSONL request log deterministically
     ftsched bench [OPTIONS]             run the perf benches, write BENCH_*.json
     ftsched example                     print a sample spec to stdout
 
@@ -145,11 +159,34 @@ ENVIRONMENT:
                         I aborts, J hangs, K writes a corrupt report —
                         first attempt only (orchestrate retries run clean)
 
+OPTIONS (serve):
+    --replay <FILE>     answer a JSONL request log instead of serving a
+                        stream; the transcript is byte-identical at any
+                        --threads value
+    --out <FILE>        replay transcript destination (default: stdout)
+    --socket <PATH>     bind a unix socket and serve every connection
+                        (default: one framed stream on stdin/stdout)
+    --threads <N>       rayon workers for batched replay decisions
+    --batch-size <N>    requests decided per replay batch (default: 32)
+    --max-frame-bytes <N>
+                        frame payload cap; oversized prefixes get a
+                        structured error response (default: 1048576)
+    --cache-capacity <N>
+                        live-entry cap of the admission and context
+                        caches (default: 65536)
+    --no-cache          recompute every decision (responses are
+                        byte-identical either way)
+    --summary-json <FILE>
+                        write the ServeSummary (requests, verdict counts,
+                        latency p50/p95/p99, cache hit rates)
+    -q, --quiet         no stderr summary notes
+
 OPTIONS (bench):
     --quick            reduced measurement budget (CI smoke)
     --minq             only the minQ kernel bench
     --sim              only the simulator bench
     --sensitivity      only the WCET-sensitivity search bench
+    --serve            only the admission-service bench
 ";
 
 fn main() -> ExitCode {
@@ -164,11 +201,18 @@ fn main() -> ExitCode {
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("metrics-strip") => cmd_metrics_strip(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
-        Some("example") => {
-            println!("{}", serde_json::to_string_pretty(&example_spec()).unwrap());
-            ExitCode::SUCCESS
-        }
+        Some("example") => match serde_json::to_string_pretty(&example_spec()) {
+            Ok(json) => {
+                println!("{json}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                ui::error(format!("cannot serialise the example spec: {e}"));
+                ExitCode::FAILURE
+            }
+        },
         Some("--help" | "-h" | "help") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -879,7 +923,13 @@ fn cmd_inspect(args: &[String]) -> ExitCode {
         "scenario {scenario_index} trial {trial}: status {:?}, seed {}",
         outcome.status, outcome.seed
     ));
-    println!("{}", serde_json::to_string_pretty(&outcome).unwrap());
+    match serde_json::to_string_pretty(&outcome) {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            ui::error(format!("cannot serialise the trial outcome: {e}"));
+            return ExitCode::FAILURE;
+        }
+    }
 
     if let Some(path) = trace_json {
         let trace = full.as_ref().and_then(|f| f.simulation.trace.as_ref());
@@ -929,35 +979,226 @@ fn cmd_metrics_strip(args: &[String]) -> ExitCode {
     };
     // Only the deterministic half survives: the output is suitable for
     // byte comparison across thread counts and shard splits.
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&metrics.counters).unwrap()
-    );
+    match serde_json::to_string_pretty(&metrics.counters) {
+        Ok(json) => println!("{json}"),
+        Err(e) => {
+            ui::error(format!("cannot serialise the counter half: {e}"));
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    use ftsched_serve::{AdmissionEngine, EngineConfig, DEFAULT_MAX_FRAME_BYTES};
+
+    let mut replay_file: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut socket: Option<&str> = None;
+    let mut summary_json: Option<&str> = None;
+    let mut batch_size: usize = 32;
+    let mut max_frame_bytes: usize = DEFAULT_MAX_FRAME_BYTES;
+    let mut config = EngineConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--replay" => match take_value(args, &mut i) {
+                Some(v) => replay_file = Some(v),
+                None => return usage_error("--replay needs a value"),
+            },
+            "--out" => match take_value(args, &mut i) {
+                Some(v) => out = Some(v),
+                None => return usage_error("--out needs a value"),
+            },
+            "--socket" => match take_value(args, &mut i) {
+                Some(v) => socket = Some(v),
+                None => return usage_error("--socket needs a value"),
+            },
+            "--summary-json" => match take_value(args, &mut i) {
+                Some(v) => summary_json = Some(v),
+                None => return usage_error("--summary-json needs a value"),
+            },
+            "--threads" => match take_value(args, &mut i) {
+                Some(v) => match v.parse::<usize>() {
+                    // The vendor rayon shim reads the worker count per
+                    // call, so setting it here covers every batch.
+                    Ok(n) if n >= 1 => std::env::set_var("RAYON_NUM_THREADS", n.to_string()),
+                    _ => return usage_error(&format!("invalid --threads value `{v}`")),
+                },
+                None => return usage_error("--threads needs a value"),
+            },
+            "--batch-size" => match take_value(args, &mut i).map(str::parse) {
+                Some(Ok(n)) if n >= 1 => batch_size = n,
+                _ => return usage_error("--batch-size needs a number >= 1"),
+            },
+            "--max-frame-bytes" => match take_value(args, &mut i).map(str::parse) {
+                Some(Ok(n)) if n >= 1 => max_frame_bytes = n,
+                _ => return usage_error("--max-frame-bytes needs a number >= 1"),
+            },
+            "--cache-capacity" => match take_value(args, &mut i).map(str::parse) {
+                Some(Ok(n)) if n >= 1 => config.cache_capacity = n,
+                _ => return usage_error("--cache-capacity needs a number >= 1"),
+            },
+            "--no-cache" => config.cache = false,
+            "-q" | "--quiet" => {}
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    if socket.is_some() && replay_file.is_some() {
+        return usage_error("--socket and --replay are mutually exclusive");
+    }
+
+    let engine = AdmissionEngine::new(config);
+
+    if let Some(path) = replay_file {
+        let log = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                ui::error(format!("cannot read `{path}`: {e}"));
+                return ExitCode::FAILURE;
+            }
+        };
+        let stats = if let Some(out_path) = out {
+            let mut transcript = Vec::new();
+            match ftsched_serve::replay(&engine, &log, &mut transcript, batch_size) {
+                Ok(stats) => {
+                    if let Err(e) = std::fs::write(out_path, &transcript) {
+                        ui::error(format!("cannot write `{out_path}`: {e}"));
+                        return ExitCode::FAILURE;
+                    }
+                    stats
+                }
+                Err(e) => {
+                    ui::error(format!("replay failed: {e}"));
+                    return ExitCode::FAILURE;
+                }
+            }
+        } else {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            match ftsched_serve::replay(&engine, &log, &mut lock, batch_size) {
+                Ok(stats) => stats,
+                Err(e) => {
+                    ui::error(format!("replay failed: {e}"));
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        ui::note(format!(
+            "replayed {} requests -> {} responses",
+            stats.requests, stats.responses
+        ));
+        return finish_serve(&engine, summary_json);
+    }
+
+    if let Some(path) = socket {
+        #[cfg(unix)]
+        {
+            // A stale socket file from a previous run would make bind
+            // fail with AddrInUse even though nobody is listening.
+            let _ = std::fs::remove_file(path);
+            let listener = match std::os::unix::net::UnixListener::bind(path) {
+                Ok(listener) => listener,
+                Err(e) => {
+                    ui::error(format!("cannot bind `{path}`: {e}"));
+                    return ExitCode::FAILURE;
+                }
+            };
+            ui::note(format!("listening on `{path}`"));
+            let engine = std::sync::Arc::new(engine);
+            if let Err(e) = ftsched_serve::serve_unix(&engine, &listener, max_frame_bytes) {
+                ui::error(format!("accept failed: {e}"));
+                return ExitCode::FAILURE;
+            }
+            return ExitCode::SUCCESS;
+        }
+        #[cfg(not(unix))]
+        {
+            ui::error(format!(
+                "--socket `{path}` is only supported on unix platforms"
+            ));
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut reader = stdin.lock();
+    let mut writer = stdout.lock();
+    match ftsched_serve::serve_stream(&engine, &mut reader, &mut writer, max_frame_bytes) {
+        Ok(stats) => {
+            ui::note(format!(
+                "served {} responses ({} protocol errors)",
+                stats.responses, stats.protocol_errors
+            ));
+            finish_serve(&engine, summary_json)
+        }
+        Err(e) => {
+            ui::error(format!("stream failed: {e}"));
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// Reports the engine summary (stderr note + optional JSON file) and
+/// converts it into the subcommand's exit status.
+fn finish_serve(engine: &ftsched_serve::AdmissionEngine, summary_json: Option<&str>) -> ExitCode {
+    let summary = engine.summary();
+    ui::note(format!(
+        "admitted {} / rejected {} / errors {}; latency p50 {:.0} us, p95 {:.0} us, \
+         p99 {:.0} us; admission cache {}/{} hits, context cache {}/{} hits",
+        summary.admitted,
+        summary.rejected,
+        summary.errors,
+        summary.latency_p50_us,
+        summary.latency_p95_us,
+        summary.latency_p99_us,
+        summary.admission_cache_hits,
+        summary.admission_cache_hits + summary.admission_cache_misses,
+        summary.context_cache_hits,
+        summary.context_cache_hits + summary.context_cache_misses,
+    ));
+    if let Some(path) = summary_json {
+        let json = match serde_json::to_string_pretty(&summary) {
+            Ok(json) => json,
+            Err(e) => {
+                ui::error(format!("cannot serialise the serve summary: {e}"));
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            ui::error(format!("cannot write `{path}`: {e}"));
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn cmd_bench(args: &[String]) -> ExitCode {
     use ftsched_bench::perf::{
-        check_minq_contract, check_sensitivity_contract, render_summary, run_minq_bench,
-        run_sensitivity_bench, run_sim_bench, write_report,
+        check_minq_contract, check_sensitivity_contract, check_serve_contract, render_summary,
+        run_minq_bench, run_sensitivity_bench, run_serve_bench, run_sim_bench, write_report,
     };
 
     let quick = args.iter().any(|a| a == "--quick");
     let only_minq = args.iter().any(|a| a == "--minq");
     let only_sim = args.iter().any(|a| a == "--sim");
     let only_sensitivity = args.iter().any(|a| a == "--sensitivity");
+    let only_serve = args.iter().any(|a| a == "--serve");
     if let Some(bad) = args.iter().find(|a| {
         !matches!(
             a.as_str(),
-            "--quick" | "--minq" | "--sim" | "--sensitivity" | "-q" | "--quiet"
+            "--quick" | "--minq" | "--sim" | "--sensitivity" | "--serve" | "-q" | "--quiet"
         )
     }) {
         return usage_error(&format!("unexpected argument `{bad}`"));
     }
-    let any_selected = only_minq || only_sim || only_sensitivity;
+    let any_selected = only_minq || only_sim || only_sensitivity || only_serve;
     let run_minq = only_minq || !any_selected;
     let run_sim = only_sim || !any_selected;
     let run_sensitivity = only_sensitivity || !any_selected;
+    let run_serve = only_serve || !any_selected;
 
     let mut failed = false;
     for (enabled, file, report) in [
@@ -968,6 +1209,11 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             run_sensitivity_bench as fn(bool) -> _,
         ),
         (run_sim, "BENCH_sim.json", run_sim_bench as fn(bool) -> _),
+        (
+            run_serve,
+            "BENCH_serve.json",
+            run_serve_bench as fn(bool) -> _,
+        ),
     ] {
         if !enabled {
             continue;
@@ -985,6 +1231,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         let contract = match report.bench.as_str() {
             "minq" => Some(check_minq_contract(&report)),
             "sensitivity" => Some(check_sensitivity_contract(&report)),
+            "serve" => Some(check_serve_contract(&report)),
             _ => None,
         };
         if let Some(Err(violation)) = contract {

@@ -308,6 +308,13 @@ pub struct Metrics {
     /// Orchestrator: completed checkpoints adopted on resume instead of
     /// re-running their shard.
     pub orch_checkpoints_adopted: Counter,
+    /// Admission-service decision cache hit/miss tallies
+    /// (`ftsched serve`; keyed on task-set content hash × goal ×
+    /// overhead bits).
+    pub serve_admission_cache: CacheStats,
+    /// Admission-service hot `AnalysisContext` cache tallies (shared
+    /// across goals for one platform configuration).
+    pub serve_context_cache: CacheStats,
 
     spans: [DurationHisto; 4],
     worker_trials: Mutex<Vec<u64>>,
@@ -377,6 +384,8 @@ impl Metrics {
                 orch_timeouts: self.orch_timeouts.get(),
                 orch_checkpoints_written: self.orch_checkpoints_written.get(),
                 orch_checkpoints_adopted: self.orch_checkpoints_adopted.get(),
+                serve_admission_cache: self.serve_admission_cache.snapshot(),
+                serve_context_cache: self.serve_context_cache.snapshot(),
                 spans: Stage::ALL
                     .iter()
                     .map(|&s| StageSpan {
@@ -578,6 +587,10 @@ pub struct TimingSnapshot {
     pub orch_checkpoints_written: u64,
     /// Orchestrator: checkpoints adopted on resume.
     pub orch_checkpoints_adopted: u64,
+    /// Admission-service decision cache tallies (`ftsched serve`).
+    pub serve_admission_cache: CacheSnapshot,
+    /// Admission-service hot-context cache tallies (`ftsched serve`).
+    pub serve_context_cache: CacheSnapshot,
     /// Per-stage wall-clock span histograms, in [`Stage::ALL`] order.
     pub spans: Vec<StageSpan>,
     /// Trials processed per campaign worker, in completion order.
@@ -609,6 +622,12 @@ impl TimingSnapshot {
             orch_checkpoints_adopted: self
                 .orch_checkpoints_adopted
                 .saturating_sub(baseline.orch_checkpoints_adopted),
+            serve_admission_cache: self
+                .serve_admission_cache
+                .since(&baseline.serve_admission_cache),
+            serve_context_cache: self
+                .serve_context_cache
+                .since(&baseline.serve_context_cache),
             spans: self
                 .spans
                 .iter()

@@ -1,0 +1,308 @@
+//! The admission-service wire format.
+//!
+//! Two encodings of the same request/response types:
+//!
+//! * **Framed** — for live streams (stdin/stdout, unix sockets): a
+//!   4-byte big-endian length prefix followed by exactly that many bytes
+//!   of JSON. [`read_frame`] distinguishes a clean end-of-stream (EOF at
+//!   a frame boundary) from a truncated frame, and rejects length
+//!   prefixes beyond the configured cap *before* allocating.
+//! * **JSONL** — for replay logs and transcripts: one JSON document per
+//!   line, no prefix. The compact (non-pretty) serialisation keeps
+//!   transcripts diff- and `cmp`-friendly.
+//!
+//! A response is a pure function of its request — never of cache state,
+//! timing or arrival order — which is what makes replay transcripts
+//! byte-reproducible at any thread count.
+
+use std::io::{self, Read, Write};
+
+use ftsched_analysis::Algorithm;
+use ftsched_design::partitioner::PartitionHeuristic;
+use ftsched_design::DesignGoal;
+use ftsched_task::{Mode, PerMode};
+use serde::{Deserialize, Serialize};
+
+/// Default cap on one frame's payload size (1 MiB — thousands of tasks;
+/// anything larger is a protocol error, not a bigger allocation).
+pub const DEFAULT_MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// One task of an admission request, mirroring
+/// [`ftsched_task::Task`] without requiring pre-validated invariants:
+/// validation happens server-side and returns a structured error
+/// verdict instead of a parse failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskRequest {
+    /// Task identifier, unique within the request.
+    pub id: u32,
+    /// Worst-case execution time `C_i`.
+    pub wcet: f64,
+    /// Minimum inter-arrival time `T_i`.
+    pub period: f64,
+    /// Relative deadline `D_i ≤ T_i`.
+    pub deadline: f64,
+    /// Required operating mode (`FaultTolerant`, `FailSilent`,
+    /// `NonFaultTolerant`).
+    pub mode: Mode,
+}
+
+/// One admission query: "does this task set fit on the platform with
+/// this overhead and goal — and if so, with what design?".
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionRequest {
+    /// Caller-chosen correlation id, echoed verbatim in the response.
+    /// (Responses to frames that could not be parsed carry id `0`.)
+    pub id: u64,
+    /// The task set to admit.
+    pub tasks: Vec<TaskRequest>,
+    /// Local scheduling algorithm on every channel.
+    pub algorithm: Algorithm,
+    /// Design goal (`MinimizeOverheadBandwidth`,
+    /// `MaximizeSlackBandwidth` or `{"FixedPeriod": p}`).
+    pub goal: DesignGoal,
+    /// Total mode-switch overhead `O_tot`.
+    pub total_overhead: f64,
+    /// Partitioning heuristic for mapping tasks onto channels.
+    pub heuristic: PartitionHeuristic,
+}
+
+/// The chosen design of an admitted task set — the server-side
+/// counterpart of the paper's Table 2 rows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignSummary {
+    /// The chosen slot period `P`.
+    pub period: f64,
+    /// Allocated useful quanta `Q̃_k` per mode.
+    pub useful: PerMode<f64>,
+    /// Allocated slot lengths `Q_k = Q̃_k + O_k` per mode.
+    pub slots: PerMode<f64>,
+    /// Unallocated slack `P − Σ Q_k`.
+    pub slack: f64,
+    /// Bandwidth spent on mode switches, `O_tot / P`.
+    pub overhead_bandwidth: f64,
+    /// Redistributable slack bandwidth, `slack / P`.
+    pub slack_bandwidth: f64,
+    /// Per-mode maximum channel utilisation (the "required utilisation"
+    /// row of Table 2(a)).
+    pub required_utilization: PerMode<f64>,
+}
+
+/// The service's answer to one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The task set fits; here is the chosen design.
+    Admitted {
+        /// The design the scheme selected.
+        design: DesignSummary,
+    },
+    /// The task set does not fit (partitioning failed or the feasible
+    /// period region is empty).
+    Rejected {
+        /// Why admission failed.
+        reason: String,
+    },
+    /// The request itself is invalid (malformed task set, non-finite
+    /// overhead, unparseable frame).
+    Error {
+        /// What was wrong with the request.
+        reason: String,
+    },
+}
+
+/// One response, correlated to its request by `id`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdmissionResponse {
+    /// The request's correlation id (`0` for unparseable frames).
+    pub id: u64,
+    /// The decision.
+    pub verdict: Verdict,
+}
+
+/// Framing failures of [`read_frame`]. Protocol-level variants
+/// (truncation, oversized prefixes) are answered with a structured
+/// [`Verdict::Error`] response before the connection closes; transport
+/// failures ([`FrameError::Io`]) propagate to the caller.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The stream ended inside the 4-byte length prefix.
+    TruncatedLength {
+        /// Prefix bytes received before EOF (1–3).
+        got: usize,
+    },
+    /// The stream ended inside a frame's payload.
+    TruncatedPayload {
+        /// Payload length the prefix announced.
+        expected: usize,
+        /// Payload bytes received before EOF.
+        got: usize,
+    },
+    /// The length prefix exceeds the configured cap.
+    Oversized {
+        /// The announced payload length.
+        length: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The underlying transport failed.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::TruncatedLength { got } => {
+                write!(
+                    f,
+                    "truncated frame: EOF after {got} of 4 length-prefix bytes"
+                )
+            }
+            FrameError::TruncatedPayload { expected, got } => {
+                write!(
+                    f,
+                    "truncated frame: EOF after {got} of {expected} payload bytes"
+                )
+            }
+            FrameError::Oversized { length, max } => {
+                write!(
+                    f,
+                    "oversized frame: length prefix {length} exceeds the {max}-byte cap"
+                )
+            }
+            FrameError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Writes one length-prefixed frame and flushes the stream (a service
+/// peer must never wait on a buffered response).
+///
+/// # Errors
+///
+/// Propagates transport failures; payloads beyond `u32::MAX` bytes are
+/// reported as [`io::ErrorKind::InvalidInput`].
+pub fn write_frame(writer: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let length = u32::try_from(payload.len()).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame payload exceeds u32::MAX bytes",
+        )
+    })?;
+    writer.write_all(&length.to_be_bytes())?;
+    writer.write_all(payload)?;
+    writer.flush()
+}
+
+/// Reads one length-prefixed frame.
+///
+/// Returns `Ok(None)` on a clean EOF (the stream ended exactly at a
+/// frame boundary) and `Ok(Some(payload))` otherwise. The length prefix
+/// is validated against `max_bytes` *before* the payload buffer is
+/// allocated, so a hostile prefix can never balloon memory.
+///
+/// # Errors
+///
+/// [`FrameError::TruncatedLength`] / [`FrameError::TruncatedPayload`]
+/// when the stream ends mid-frame, [`FrameError::Oversized`] when the
+/// prefix exceeds the cap, [`FrameError::Io`] on transport failure.
+pub fn read_frame(reader: &mut impl Read, max_bytes: usize) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    let mut got = 0;
+    while got < prefix.len() {
+        match reader.read(&mut prefix[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(FrameError::TruncatedLength { got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let length = u32::from_be_bytes(prefix) as usize;
+    if length > max_bytes {
+        return Err(FrameError::Oversized {
+            length,
+            max: max_bytes,
+        });
+    }
+    let mut payload = vec![0u8; length];
+    let mut got = 0;
+    while got < length {
+        match reader.read(&mut payload[got..]) {
+            Ok(0) => {
+                return Err(FrameError::TruncatedPayload {
+                    expected: length,
+                    got,
+                })
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buffer = Vec::new();
+        write_frame(&mut buffer, b"{\"id\":1}").unwrap();
+        write_frame(&mut buffer, b"").unwrap();
+        let mut cursor = Cursor::new(buffer);
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+                .unwrap()
+                .as_deref(),
+            Some(&b"{\"id\":1}"[..])
+        );
+        assert_eq!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+                .unwrap()
+                .as_deref(),
+            Some(&b""[..])
+        );
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn eof_inside_the_prefix_is_truncation_not_eof() {
+        let mut cursor = Cursor::new(vec![0u8, 0, 1]);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES) {
+            Err(FrameError::TruncatedLength { got: 3 }) => {}
+            other => panic!("expected TruncatedLength, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eof_inside_the_payload_reports_progress() {
+        let mut buffer = 100u32.to_be_bytes().to_vec();
+        buffer.extend_from_slice(&[0u8; 10]);
+        let mut cursor = Cursor::new(buffer);
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES) {
+            Err(FrameError::TruncatedPayload {
+                expected: 100,
+                got: 10,
+            }) => {}
+            other => panic!("expected TruncatedPayload, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut cursor = Cursor::new(u32::MAX.to_be_bytes().to_vec());
+        match read_frame(&mut cursor, 1 << 10) {
+            Err(FrameError::Oversized { length, max }) => {
+                assert_eq!(length, u32::MAX as usize);
+                assert_eq!(max, 1 << 10);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`design`] | feasible-period region, quanta selection, design goals |
 //! | [`core`] | the design-and-validate pipeline |
 //! | [`campaign`] | parallel, deterministic experiment-campaign engine |
+//! | [`serve`] | online admission-control service with hot-context caches |
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -24,6 +25,7 @@ pub use ftsched_campaign as campaign;
 pub use ftsched_core as core;
 pub use ftsched_design as design;
 pub use ftsched_platform as platform;
+pub use ftsched_serve as serve;
 pub use ftsched_sim as sim;
 pub use ftsched_task as task;
 

@@ -85,6 +85,9 @@ impl Value {
         match *self {
             Value::U64(x) => Some(x),
             Value::I64(x) if x >= 0 => Some(x as u64),
+            // The JSON parser keeps `-0` as a float so f64 targets see
+            // the sign bit; integer targets read it as plain zero.
+            Value::F64(x) => (x == 0.0).then_some(0),
             _ => None,
         }
     }
@@ -94,6 +97,7 @@ impl Value {
         match *self {
             Value::I64(x) => Some(x),
             Value::U64(x) if x <= i64::MAX as u64 => Some(x as i64),
+            Value::F64(x) => (x == 0.0).then_some(0),
             _ => None,
         }
     }

@@ -394,7 +394,13 @@ impl<'a> Parser<'a> {
                 return Ok(Value::U64(n));
             }
             if let Ok(n) = text.parse::<i64>() {
-                return Ok(Value::I64(n));
+                // `-0` must stay a float: `I64(0)` would drop the sign
+                // bit that distinguishes -0.0 from 0.0 on the way to an
+                // f64 target (integer targets still coerce, see
+                // `Value::as_i64`).
+                if n != 0 {
+                    return Ok(Value::I64(n));
+                }
             }
         }
         text.parse::<f64>()
@@ -428,8 +434,22 @@ mod tests {
             12345.6789e-200,
         ] {
             let back: f64 = from_str(&to_string(&x).unwrap()).unwrap();
-            assert_eq!(back, x);
+            // Bitwise, not `==`: plain equality would let `-0.0` come
+            // back as `0.0` unnoticed.
+            assert_eq!(back.to_bits(), x.to_bits());
         }
+    }
+
+    #[test]
+    fn negative_zero_integers_coerce_but_floats_keep_the_sign() {
+        assert_eq!(
+            from_str::<f64>("-0").unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(from_str::<i64>("-0").unwrap(), 0);
+        assert_eq!(from_str::<u64>("-0").unwrap(), 0);
+        assert_eq!(from_str::<i64>("-1").unwrap(), -1);
+        assert!(from_str::<u64>("-1").is_err());
     }
 
     #[test]
