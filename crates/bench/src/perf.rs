@@ -47,10 +47,20 @@ use crate::paper_edf;
 pub struct BenchEntry {
     /// Benchmark name (stable across runs; the trajectory key).
     pub name: String,
-    /// Mean wall-clock nanoseconds per iteration.
+    /// Wall-clock nanoseconds per iteration: the minimum over the
+    /// measurement batches (scheduler contention only ever adds time, so
+    /// the minimum is the least-noisy estimator of the true cost).
     pub ns_per_iter: f64,
-    /// Iterations in the measured batch.
+    /// Iterations per measurement batch (calibrated, then floored so a
+    /// descheduling hiccup cannot dominate a handful of iterations).
     pub iters: u64,
+    /// Number of measurement batches behind `ns_per_iter`.
+    pub batches: u64,
+    /// Relative spread of the per-iter times across the measurement
+    /// batches, `(max − min) / min` — the run's own noise estimate. A
+    /// large spread flags a number that should not be trusted for
+    /// regression comparisons.
+    pub spread: f64,
     /// What the measured code actually did, from the `ftsched_obs`
     /// stage counters.
     pub stages: BenchStages,
@@ -59,14 +69,15 @@ pub struct BenchEntry {
 /// Stage-counter deltas captured around one benchmark case, answering
 /// *what work the timed loop performed*: kernel builds vs in-place
 /// rescales, simulator volume and cache traffic. The deltas cover every
-/// calibration batch plus the final timed batch — `total_iters`
+/// calibration batch plus every measurement batch — `total_iters`
 /// iterations in all — so divide by `total_iters` for per-iteration
 /// rates. Attached to `BENCH_*.json` entries only; the perf contracts
 /// ([`check_minq_contract`], [`check_sensitivity_contract`]) read
 /// exclusively from `derived` and are unaffected.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct BenchStages {
-    /// Iterations executed across all batches (calibration + final).
+    /// Iterations executed across all batches (calibration +
+    /// measurement).
     pub total_iters: u64,
     /// [`MinQSweep`] constructions.
     pub sweep_builds: u64,
@@ -144,16 +155,34 @@ impl BenchReport {
     }
 }
 
-/// Measures `f`, growing the iteration count until one batch exceeds the
-/// time budget (criterion-style calibration, no statistics). Returns
-/// `(ns_per_iter, final_batch_iters, total_iters_across_all_batches)`.
-fn time_ns(quick: bool, mut f: impl FnMut()) -> (f64, u64, u64) {
+/// The result of one [`time_ns`] measurement.
+struct Measurement {
+    ns_per_iter: f64,
+    iters: u64,
+    total_iters: u64,
+    batches: u64,
+    spread: f64,
+}
+
+/// Times `f` in two phases. **Calibration** grows the batch size until
+/// one batch exceeds the time budget (criterion-style, no statistics).
+/// **Measurement** then runs several fixed-size batches, with the batch
+/// size additionally floored at a minimum iteration count — the
+/// historical single-final-batch scheme could time a 40 ms case off a
+/// batch of one iteration, so a single descheduling hiccup became the
+/// entry's whole truth and made the derived speedups flaky. The reported
+/// per-iter time is the minimum across the measurement batches (noise is
+/// strictly additive), and the relative spread between the fastest and
+/// slowest batch is kept as the run's own flakiness signal.
+fn time_ns(quick: bool, mut f: impl FnMut()) -> Measurement {
     let budget = if quick {
         StdDuration::from_millis(4)
     } else {
         StdDuration::from_millis(40)
     };
     let cap: u64 = if quick { 1 << 12 } else { 1 << 18 };
+    let floor: u64 = if quick { 5 } else { 25 };
+    let batches: u64 = if quick { 2 } else { 3 };
     let mut iters: u64 = 1;
     let mut total: u64 = 0;
     loop {
@@ -164,27 +193,149 @@ fn time_ns(quick: bool, mut f: impl FnMut()) -> (f64, u64, u64) {
         let elapsed = start.elapsed();
         total += iters;
         if elapsed >= budget || iters >= cap {
-            return (
-                elapsed.as_nanos() as f64 / iters.max(1) as f64,
-                iters,
-                total,
-            );
+            break;
         }
         let per_iter = elapsed.as_nanos().max(1) as f64 / iters as f64;
         let target = (budget.as_nanos() as f64 * 1.25 / per_iter).ceil() as u64;
         iters = target.max(iters * 2).min(cap);
     }
+    let m_iters = iters.max(floor);
+    let mut best = f64::INFINITY;
+    let mut worst = 0.0f64;
+    for _ in 0..batches {
+        let start = Instant::now();
+        for _ in 0..m_iters {
+            f();
+        }
+        let ns = start.elapsed().as_nanos() as f64 / m_iters as f64;
+        total += m_iters;
+        best = best.min(ns);
+        worst = worst.max(ns);
+    }
+    Measurement {
+        ns_per_iter: best,
+        iters: m_iters,
+        total_iters: total,
+        batches,
+        spread: if best > 0.0 {
+            (worst - best) / best
+        } else {
+            0.0
+        },
+    }
 }
 
 fn entry(entries: &mut Vec<BenchEntry>, name: impl Into<String>, quick: bool, f: impl FnMut()) {
     let before = ftsched_obs::metrics().snapshot();
-    let (ns_per_iter, iters, total_iters) = time_ns(quick, f);
+    let m = time_ns(quick, f);
     let delta = ftsched_obs::metrics().snapshot().since(&before);
     entries.push(BenchEntry {
         name: name.into(),
-        ns_per_iter,
-        iters,
-        stages: BenchStages::from_delta(total_iters, &delta),
+        ns_per_iter: m.ns_per_iter,
+        iters: m.iters,
+        batches: m.batches,
+        spread: m.spread,
+        stages: BenchStages::from_delta(m.total_iters, &delta),
+    });
+}
+
+/// A task set whose WCETs sit exactly on a power-of-two grid, so the SoA
+/// rescale's quantised integer fast path is live. (Campaign generators
+/// draw full-mantissa WCETs, which take the scalar fallback — the
+/// bit-identity sweep below covers that path with a non-dyadic λ.)
+fn dyadic_set(n: usize) -> TaskSet {
+    // Non-harmonic periods keep the FP scheduling-point sets and the
+    // EDF deadline set rich (harmonic grids collapse them to a handful
+    // of instants); only the WCETs need to be dyadic for the integer
+    // grid.
+    let periods = [400.0, 600.0, 700.0, 900.0, 1100.0, 1300.0, 1700.0, 1900.0];
+    let wcets = [0.25, 0.5, 0.125, 0.375, 0.75, 0.0625, 0.3125, 0.875];
+    let tasks = (0..n)
+        .map(|i| {
+            ftsched_task::Task::implicit_deadline(
+                i as u32 + 1,
+                wcets[i % wcets.len()],
+                periods[i % periods.len()],
+                Mode::NonFaultTolerant,
+            )
+            .unwrap()
+        })
+        .collect();
+    TaskSet::new(tasks).unwrap()
+}
+
+/// Benchmarks the parametric rescale in isolation: the pre-SoA fold
+/// (per-probe WCET allocation + grouped cursor walk, preserved as
+/// `MinQSweep::rescale_into_reference`) against the SoA span kernel with
+/// its quantised integer fast path. The λ grid uses dyadic sixteenths so
+/// the scaled WCETs stay on the power-of-two grid; the bit-identity
+/// sweep additionally probes a non-dyadic λ to pin the scalar fallback.
+/// Shared by the minq and sensitivity reports — the rescale is the inner
+/// loop of both.
+fn push_rescale_entries(
+    entries: &mut Vec<BenchEntry>,
+    derived: &mut Vec<DerivedMetric>,
+    quick: bool,
+) {
+    let set = dyadic_set(64);
+    let lambdas: Vec<f64> = (1..=16).map(|i| 1.0 + i as f64 / 16.0).collect();
+    let mut identical = true;
+    let mut min_speedup = f64::INFINITY;
+    for alg in [Algorithm::EarliestDeadlineFirst, Algorithm::RateMonotonic] {
+        let base = MinQSweep::new(&set, alg).unwrap();
+        let mut out = base.clone();
+        let mut out_ref = base.clone();
+        for &l in lambdas.iter().chain(std::iter::once(&2.7)) {
+            base.rescale_into(l, &mut out);
+            base.rescale_into_reference(l, &mut out_ref);
+            identical &= out == out_ref;
+            for p in [0.4, 0.9, 1.7, 2.966] {
+                let a = out.min_quantum_at(p).unwrap();
+                let b = out_ref.min_quantum_at(p).unwrap();
+                identical &= a.quantum.to_bits() == b.quantum.to_bits()
+                    && a.binding_instant.to_bits() == b.binding_instant.to_bits();
+            }
+        }
+        entry(
+            entries,
+            format!("rescale_reference/{}/dyadic64", alg.label()),
+            quick,
+            || {
+                // black_box inside the loop: every λ's rescale must be
+                // materialised, not just the last overwrite.
+                for &l in &lambdas {
+                    base.rescale_into_reference(std::hint::black_box(l), &mut out_ref);
+                    std::hint::black_box(&out_ref);
+                }
+            },
+        );
+        entry(
+            entries,
+            format!("rescale_soa/{}/dyadic64", alg.label()),
+            quick,
+            || {
+                for &l in &lambdas {
+                    base.rescale_into(std::hint::black_box(l), &mut out);
+                    std::hint::black_box(&out);
+                }
+            },
+        );
+        let reference = entries[entries.len() - 2].ns_per_iter;
+        let soa = entries[entries.len() - 1].ns_per_iter;
+        let speedup = reference / soa.max(1.0);
+        min_speedup = min_speedup.min(speedup);
+        derived.push(DerivedMetric {
+            name: format!("rescale_speedup/{}/dyadic64", alg.label()),
+            value: speedup,
+        });
+    }
+    derived.push(DerivedMetric {
+        name: "rescale_speedup/min".into(),
+        value: min_speedup,
+    });
+    derived.push(DerivedMetric {
+        name: "rescale_matches_reference_bitwise".into(),
+        value: if identical { 1.0 } else { 0.0 },
     });
 }
 
@@ -323,6 +474,8 @@ pub fn run_minq_bench(quick: bool) -> BenchReport {
         value: if identical { 1.0 } else { 0.0 },
     });
 
+    push_rescale_entries(&mut entries, &mut speedups, quick);
+
     BenchReport {
         bench: "minq".into(),
         quick,
@@ -455,6 +608,8 @@ pub fn run_sensitivity_bench(quick: bool) -> BenchReport {
         value: if identical { 1.0 } else { 0.0 },
     });
 
+    push_rescale_entries(&mut entries, &mut speedups, quick);
+
     BenchReport {
         bench: "sensitivity".into(),
         quick,
@@ -487,6 +642,27 @@ pub fn check_sensitivity_contract(report: &BenchReport) -> Result<(), String> {
             "sensitivity speedup regressed to {min_speedup:.2}x (contract: >= {threshold}x)"
         ));
     }
+    check_rescale_gate(report)
+}
+
+/// The rescale gate shared by the minq and sensitivity contracts: the
+/// SoA span kernel must stay bit-identical to the preserved pre-SoA fold
+/// and at least 1.5× faster at the full budget (1.1× under the quick
+/// budget, which times millisecond batches on possibly contended CI
+/// runners).
+fn check_rescale_gate(report: &BenchReport) -> Result<(), String> {
+    if report.derived("rescale_matches_reference_bitwise") != Some(1.0) {
+        return Err("SoA rescale diverged bitwise from the pre-SoA reference fold".into());
+    }
+    let min_speedup = report
+        .derived("rescale_speedup/min")
+        .ok_or("missing rescale_speedup/min")?;
+    let threshold = if report.quick { 1.1 } else { 1.5 };
+    if min_speedup < threshold {
+        return Err(format!(
+            "rescale speedup regressed to {min_speedup:.2}x (contract: >= {threshold}x)"
+        ));
+    }
     Ok(())
 }
 
@@ -503,20 +679,98 @@ fn table2b_slots() -> SlotSchedule {
     .unwrap()
 }
 
-/// Benchmarks the simulator: fault-free runs over growing horizons and a
-/// fault-injected run, each with fresh per-call allocation vs a reused
-/// [`SimArena`].
+/// The seeded fault schedule the fault-injected cases share (one fault
+/// every ~8 time units, 0.25 units long — the campaign default shape).
+fn bench_faults(horizon: f64) -> FaultSchedule {
+    let mut rng = StdRng::seed_from_u64(2007);
+    FaultSchedule::poisson(
+        &mut rng,
+        Time::from_units(horizon),
+        Duration::from_units(8.0),
+        Duration::from_units(0.25),
+    )
+}
+
+/// Benchmarks the simulator: fault-free and fault-injected runs over
+/// growing horizons, three ways each — fresh per-call allocation, a
+/// reused [`SimArena`], and the retired slot-stepping engine
+/// ([`ftsched_sim::reference`]) that the event-driven core is contracted
+/// to beat while staying bit-identical to it.
 pub fn run_sim_bench(quick: bool) -> BenchReport {
     let (tasks, partition) = paper_example();
     let slots = table2b_slots();
     let mut entries = Vec::new();
     let mut derived = Vec::new();
 
+    // The 2400 horizon stays in quick mode: it anchors the event-vs-slot
+    // speedup contract, which must hold in the CI smoke too.
     let horizons: &[f64] = if quick {
-        &[120.0, 600.0]
+        &[600.0, 2400.0]
     } else {
         &[120.0, 600.0, 2400.0]
     };
+    let bench_case = |entries: &mut Vec<BenchEntry>,
+                      derived: &mut Vec<DerivedMetric>,
+                      label: String,
+                      config: &SimulationConfig| {
+        entry(entries, format!("sim_{label}_fresh"), quick, || {
+            std::hint::black_box(
+                simulate(
+                    &tasks,
+                    &partition,
+                    Algorithm::EarliestDeadlineFirst,
+                    &slots,
+                    config,
+                )
+                .unwrap(),
+            );
+        });
+        let mut arena = SimArena::new();
+        entry(entries, format!("sim_{label}_arena"), quick, || {
+            std::hint::black_box(
+                simulate_in(
+                    &tasks,
+                    &partition,
+                    Algorithm::EarliestDeadlineFirst,
+                    &slots,
+                    config,
+                    &mut arena,
+                )
+                .unwrap(),
+            );
+        });
+        let mut ref_arena = SimArena::new();
+        entry(
+            entries,
+            format!("sim_{label}_slot_reference"),
+            quick,
+            || {
+                std::hint::black_box(
+                    ftsched_sim::reference::simulate_slot_stepping_in(
+                        &tasks,
+                        &partition,
+                        Algorithm::EarliestDeadlineFirst,
+                        &slots,
+                        config,
+                        &mut ref_arena,
+                    )
+                    .unwrap(),
+                );
+            },
+        );
+        let fresh = entries[entries.len() - 3].ns_per_iter;
+        let reused = entries[entries.len() - 2].ns_per_iter;
+        let slot = entries[entries.len() - 1].ns_per_iter;
+        derived.push(DerivedMetric {
+            name: format!("sim_arena_speedup/{label}"),
+            value: fresh / reused.max(1.0),
+        });
+        derived.push(DerivedMetric {
+            name: format!("sim_event_speedup/{label}"),
+            value: slot / reused.max(1.0),
+        });
+    };
+
     for &horizon in horizons {
         let config = SimulationConfig {
             horizon,
@@ -524,96 +778,76 @@ pub fn run_sim_bench(quick: bool) -> BenchReport {
             record_trace: false,
             record_response_times: false,
         };
-        entry(
+        bench_case(
             &mut entries,
-            format!("sim_fault_free_fresh/{}", horizon as u64),
-            quick,
-            || {
-                std::hint::black_box(
-                    simulate(
-                        &tasks,
-                        &partition,
-                        Algorithm::EarliestDeadlineFirst,
-                        &slots,
-                        &config,
-                    )
-                    .unwrap(),
-                );
-            },
+            &mut derived,
+            format!("fault_free/{}", horizon as u64),
+            &config,
         );
-        let mut arena = SimArena::new();
-        entry(
+    }
+    for &horizon in [600.0, 2400.0].iter() {
+        let config = SimulationConfig {
+            horizon,
+            fault_schedule: bench_faults(horizon),
+            record_trace: false,
+            record_response_times: false,
+        };
+        bench_case(
             &mut entries,
-            format!("sim_fault_free_arena/{}", horizon as u64),
-            quick,
-            || {
-                std::hint::black_box(
-                    simulate_in(
-                        &tasks,
-                        &partition,
-                        Algorithm::EarliestDeadlineFirst,
-                        &slots,
-                        &config,
-                        &mut arena,
-                    )
-                    .unwrap(),
-                );
-            },
+            &mut derived,
+            format!("fault_injected/{}", horizon as u64),
+            &config,
         );
-        let fresh = entries[entries.len() - 2].ns_per_iter;
-        let reused = entries[entries.len() - 1].ns_per_iter;
-        derived.push(DerivedMetric {
-            name: format!("sim_arena_speedup/{}", horizon as u64),
-            value: fresh / reused.max(1.0),
-        });
     }
 
-    // Fault-injected trial at the campaign's typical horizon.
-    let horizon = 600.0;
-    let mut rng = StdRng::seed_from_u64(2007);
-    let faults = FaultSchedule::poisson(
-        &mut rng,
-        Time::from_units(horizon),
-        Duration::from_units(8.0),
-        Duration::from_units(0.25),
-    );
-    let config = SimulationConfig {
-        horizon,
-        fault_schedule: faults,
-        record_trace: false,
-        record_response_times: false,
-    };
-    let mut arena = SimArena::new();
-    entry(&mut entries, "sim_fault_injected_fresh/600", quick, || {
-        std::hint::black_box(
-            simulate(
-                &tasks,
-                &partition,
-                Algorithm::EarliestDeadlineFirst,
-                &slots,
-                &config,
-            )
-            .unwrap(),
-        );
-    });
-    entry(&mut entries, "sim_fault_injected_arena/600", quick, || {
-        std::hint::black_box(
-            simulate_in(
-                &tasks,
-                &partition,
-                Algorithm::EarliestDeadlineFirst,
-                &slots,
-                &config,
-                &mut arena,
-            )
-            .unwrap(),
-        );
-    });
-    let fresh = entries[entries.len() - 2].ns_per_iter;
-    let reused = entries[entries.len() - 1].ns_per_iter;
+    // The speedup contract anchors at the longest horizon, fault-free
+    // and fault-injected alike.
+    let min_2400 = [
+        "sim_event_speedup/fault_free/2400",
+        "sim_event_speedup/fault_injected/2400",
+    ]
+    .iter()
+    .filter_map(|name| derived.iter().find(|d| &d.name == name).map(|d| d.value))
+    .fold(f64::INFINITY, f64::min);
     derived.push(DerivedMetric {
-        name: "sim_arena_speedup/fault_injected_600".into(),
-        value: fresh / reused.max(1.0),
+        name: "sim_event_speedup/min2400".into(),
+        value: min_2400,
+    });
+
+    // The identity contract: the event engine's full report — records,
+    // classifications, trace, response times — byte-for-byte equal to
+    // the slot-stepping engine's, fault-free and under injection.
+    let mut identical = true;
+    for &horizon in [600.0, 2400.0].iter() {
+        for fault_schedule in [FaultSchedule::none(), bench_faults(horizon)] {
+            let config = SimulationConfig {
+                horizon,
+                fault_schedule,
+                record_trace: true,
+                record_response_times: true,
+            };
+            let event = simulate(
+                &tasks,
+                &partition,
+                Algorithm::EarliestDeadlineFirst,
+                &slots,
+                &config,
+            )
+            .unwrap();
+            let slot = ftsched_sim::reference::simulate_slot_stepping(
+                &tasks,
+                &partition,
+                Algorithm::EarliestDeadlineFirst,
+                &slots,
+                &config,
+            )
+            .unwrap();
+            identical &= event == slot;
+        }
+    }
+    derived.push(DerivedMetric {
+        name: "sim_event_matches_reference_bitwise".into(),
+        value: if identical { 1.0 } else { 0.0 },
     });
 
     BenchReport {
@@ -622,6 +856,32 @@ pub fn run_sim_bench(quick: bool) -> BenchReport {
         entries,
         derived,
     }
+}
+
+/// The event engine's perf contract, enforced in CI alongside the kernel
+/// contracts: the full simulation report bit-identical to the retired
+/// slot-stepping engine, and a minimum speedup over it at the 2400-unit
+/// horizon — fault-free and fault-injected both — of 5× at the full
+/// budget (2× under the noise-prone quick budget, same rationale as the
+/// minQ contract's reduced threshold).
+///
+/// # Errors
+///
+/// A human-readable description of the violated invariant.
+pub fn check_sim_contract(report: &BenchReport) -> Result<(), String> {
+    if report.derived("sim_event_matches_reference_bitwise") != Some(1.0) {
+        return Err("event engine diverged bitwise from the slot-stepping reference".into());
+    }
+    let min_speedup = report
+        .derived("sim_event_speedup/min2400")
+        .ok_or("missing sim_event_speedup/min2400")?;
+    let threshold = if report.quick { 2.0 } else { 5.0 };
+    if min_speedup < threshold {
+        return Err(format!(
+            "event-vs-slot speedup regressed to {min_speedup:.2}x (contract: >= {threshold}x)"
+        ));
+    }
+    Ok(())
 }
 
 /// One admission request over the paper task set (WFD is the only
@@ -824,8 +1084,12 @@ pub fn render_summary(report: &BenchReport) -> String {
     let mut out = String::new();
     for e in &report.entries {
         out.push_str(&format!(
-            "bench {:<55} {:>14.1} ns/iter ({} iters)\n",
-            e.name, e.ns_per_iter, e.iters
+            "bench {:<55} {:>14.1} ns/iter ({} iters x {} batches, spread {:.1}%)\n",
+            e.name,
+            e.ns_per_iter,
+            e.iters,
+            e.batches,
+            e.spread * 100.0
         ));
     }
     for d in &report.derived {
@@ -866,7 +1130,7 @@ pub fn check_minq_contract(report: &BenchReport) -> Result<(), String> {
             "grid sweep speedup regressed to {min_speedup:.2}x (contract: >= {threshold}x)"
         ));
     }
-    Ok(())
+    check_rescale_gate(report)
 }
 
 #[cfg(test)]
@@ -922,18 +1186,29 @@ mod tests {
     }
 
     #[test]
-    fn sim_report_has_arena_speedups() {
+    fn sim_report_has_arena_and_event_speedups() {
         let report = run_sim_bench(true);
         assert_eq!(report.bench, "sim");
-        assert!(report.derived("sim_arena_speedup/600").is_some());
+        assert!(report.derived("sim_arena_speedup/fault_free/600").is_some());
         assert!(report
-            .derived("sim_arena_speedup/fault_injected_600")
+            .derived("sim_arena_speedup/fault_injected/600")
             .is_some());
-        // Every timed iteration is exactly one simulator run, and a run
-        // always walks at least one slot window.
+        assert!(report.derived("sim_event_speedup/min2400").is_some());
+        assert_eq!(
+            report.derived("sim_event_matches_reference_bitwise"),
+            Some(1.0)
+        );
+        // Every timed iteration of the production engine is exactly one
+        // simulator run, and a run always walks at least one slot
+        // window. The slot-stepping reference reports no metrics at all
+        // — it must stay invisible to the obs layer.
         for e in &report.entries {
-            assert_eq!(e.stages.sim_runs, e.stages.total_iters, "{}", e.name);
-            assert!(e.stages.sim_windows > 0, "{}", e.name);
+            if e.name.contains("slot_reference") {
+                assert_eq!(e.stages.sim_runs, 0, "{}", e.name);
+            } else {
+                assert_eq!(e.stages.sim_runs, e.stages.total_iters, "{}", e.name);
+                assert!(e.stages.sim_windows > 0, "{}", e.name);
+            }
         }
     }
 

@@ -65,6 +65,14 @@ pub struct RunCounters {
     pub sim_jobs_completed: u64,
     /// Faults injected across all fault schedules.
     pub sim_faults_injected: u64,
+    /// Simulator events processed (windows walked, job admissions,
+    /// dispatches, completions).
+    pub sim_events: u64,
+    /// Idle spans the event engine skipped by jumping ≥ 2 windows at
+    /// once.
+    pub sim_idle_spans_jumped: u64,
+    /// Ticks materialised inside fault windows by the fault classifier.
+    pub sim_ticks_materialised: u64,
 }
 
 macro_rules! merge_counters {
@@ -97,6 +105,9 @@ impl RunCounters {
             sim_jobs_released: c.sim_jobs_released,
             sim_jobs_completed: c.sim_jobs_completed,
             sim_faults_injected: c.sim_faults_injected,
+            sim_events: c.sim_events,
+            sim_idle_spans_jumped: c.sim_idle_spans_jumped,
+            sim_ticks_materialised: c.sim_ticks_materialised,
         }
     }
 
@@ -122,6 +133,9 @@ impl RunCounters {
             sim_jobs_released,
             sim_jobs_completed,
             sim_faults_injected,
+            sim_events,
+            sim_idle_spans_jumped,
+            sim_ticks_materialised,
         )
     }
 }
@@ -220,6 +234,10 @@ pub struct RunTimings {
     pub sweep_builds: u64,
     /// Sweeps reused via WCET rescaling instead of a rebuild.
     pub sweep_rescales: u64,
+    /// Rescales served by the integer quantised fast path.
+    pub sweep_rescales_quantised: u64,
+    /// Rescales served by the sequential f64 fallback fold.
+    pub sweep_rescales_scalar: u64,
     /// Simulations that allocated a cold arena.
     pub arena_fresh: u64,
     /// Simulations that reused a warm arena.
@@ -242,6 +260,8 @@ impl RunTimings {
             design_stage_runs: t.design_stage_runs,
             sweep_builds: t.sweep_builds,
             sweep_rescales: t.sweep_rescales,
+            sweep_rescales_quantised: t.sweep_rescales_quantised,
+            sweep_rescales_scalar: t.sweep_rescales_scalar,
             arena_fresh: t.arena_fresh,
             arena_reused: t.arena_reused,
             stages: t
@@ -277,6 +297,12 @@ impl RunTimings {
                 .saturating_add(other.design_stage_runs),
             sweep_builds: self.sweep_builds.saturating_add(other.sweep_builds),
             sweep_rescales: self.sweep_rescales.saturating_add(other.sweep_rescales),
+            sweep_rescales_quantised: self
+                .sweep_rescales_quantised
+                .saturating_add(other.sweep_rescales_quantised),
+            sweep_rescales_scalar: self
+                .sweep_rescales_scalar
+                .saturating_add(other.sweep_rescales_scalar),
             arena_fresh: self.arena_fresh.saturating_add(other.arena_fresh),
             arena_reused: self.arena_reused.saturating_add(other.arena_reused),
             stages,
@@ -356,6 +382,8 @@ mod tests {
             design_stage_runs: 4,
             sweep_builds: 2,
             sweep_rescales: 7,
+            sweep_rescales_quantised: 3,
+            sweep_rescales_scalar: 4,
             arena_fresh: 1,
             arena_reused: 9,
             stages: vec![StageTiming {
@@ -386,6 +414,8 @@ mod tests {
             design_stage_runs: 1,
             sweep_builds: 0,
             sweep_rescales: 0,
+            sweep_rescales_quantised: 0,
+            sweep_rescales_scalar: 0,
             arena_fresh: 0,
             arena_reused: 0,
             stages: vec![],

@@ -1177,8 +1177,9 @@ fn finish_serve(engine: &ftsched_serve::AdmissionEngine, summary_json: Option<&s
 
 fn cmd_bench(args: &[String]) -> ExitCode {
     use ftsched_bench::perf::{
-        check_minq_contract, check_sensitivity_contract, check_serve_contract, render_summary,
-        run_minq_bench, run_sensitivity_bench, run_serve_bench, run_sim_bench, write_report,
+        check_minq_contract, check_sensitivity_contract, check_serve_contract, check_sim_contract,
+        render_summary, run_minq_bench, run_sensitivity_bench, run_serve_bench, run_sim_bench,
+        write_report,
     };
 
     let quick = args.iter().any(|a| a == "--quick");
@@ -1232,6 +1233,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             "minq" => Some(check_minq_contract(&report)),
             "sensitivity" => Some(check_sensitivity_contract(&report)),
             "serve" => Some(check_serve_contract(&report)),
+            "sim" => Some(check_sim_contract(&report)),
             _ => None,
         };
         if let Some(Err(violation)) = contract {

@@ -264,7 +264,8 @@ pub struct Metrics {
     pub validate_runs: Counter,
     /// Simulation runs completed.
     pub sim_runs: Counter,
-    /// Slot windows materialised across all simulation runs.
+    /// Useful windows the event engine actually walked (idle-jumped
+    /// windows are skipped, not counted).
     pub sim_windows: Counter,
     /// Execution slices scheduled across all simulation runs.
     pub sim_slices: Counter,
@@ -274,6 +275,15 @@ pub struct Metrics {
     pub sim_jobs_completed: Counter,
     /// Faults injected by the simulated fault schedules.
     pub sim_faults_injected: Counter,
+    /// Events the simulator processed: windows entered, job admissions,
+    /// dispatches and completions.
+    pub sim_events: Counter,
+    /// Idle spans the event engine skipped by jumping two or more
+    /// windows ahead at once.
+    pub sim_idle_spans_jumped: Counter,
+    /// Ticks materialised at tick granularity inside fault windows (the
+    /// overlap spans the fault classifier examined).
+    pub sim_ticks_materialised: Counter,
 
     // ------------------------------------------------------------------
     // Timing half: scheduling- and machine-dependent.
@@ -290,6 +300,13 @@ pub struct Metrics {
     pub sweep_builds: Counter,
     /// `MinQSweep::rescale_into` reuses of an existing enumeration.
     pub sweep_rescales: Counter,
+    /// Rescales served by the integer quantised fast path (all scaled
+    /// WCETs exactly representable on a shared power-of-two grid).
+    /// Timing half: rescales happen inside cached design stages, so the
+    /// count depends on scheduling.
+    pub sweep_rescales_quantised: Counter,
+    /// Rescales served by the sequential f64 fallback fold.
+    pub sweep_rescales_scalar: Counter,
     /// Simulation runs that had to grow a fresh arena.
     pub arena_fresh: Counter,
     /// Simulation runs that reused a warm arena's buffers.
@@ -368,6 +385,9 @@ impl Metrics {
                 sim_jobs_released: self.sim_jobs_released.get(),
                 sim_jobs_completed: self.sim_jobs_completed.get(),
                 sim_faults_injected: self.sim_faults_injected.get(),
+                sim_events: self.sim_events.get(),
+                sim_idle_spans_jumped: self.sim_idle_spans_jumped.get(),
+                sim_ticks_materialised: self.sim_ticks_materialised.get(),
             },
             timing: TimingSnapshot {
                 design_cache: self.design_cache.snapshot(),
@@ -376,6 +396,8 @@ impl Metrics {
                 design_stage_runs: self.design_stage_runs.get(),
                 sweep_builds: self.sweep_builds.get(),
                 sweep_rescales: self.sweep_rescales.get(),
+                sweep_rescales_quantised: self.sweep_rescales_quantised.get(),
+                sweep_rescales_scalar: self.sweep_rescales_scalar.get(),
                 arena_fresh: self.arena_fresh.get(),
                 arena_reused: self.arena_reused.get(),
                 orch_launches: self.orch_launches.get(),
@@ -438,7 +460,7 @@ pub struct CounterSnapshot {
     pub validate_runs: u64,
     /// Simulation runs completed.
     pub sim_runs: u64,
-    /// Slot windows materialised.
+    /// Useful windows walked by the event engine.
     pub sim_windows: u64,
     /// Execution slices scheduled.
     pub sim_slices: u64,
@@ -448,6 +470,13 @@ pub struct CounterSnapshot {
     pub sim_jobs_completed: u64,
     /// Faults injected by simulated fault schedules.
     pub sim_faults_injected: u64,
+    /// Simulator events processed (windows, admissions, dispatches,
+    /// completions).
+    pub sim_events: u64,
+    /// Idle spans skipped by jumping ≥ 2 windows at once.
+    pub sim_idle_spans_jumped: u64,
+    /// Ticks materialised inside fault windows by the classifier.
+    pub sim_ticks_materialised: u64,
 }
 
 impl CounterSnapshot {
@@ -496,6 +525,13 @@ impl CounterSnapshot {
             sim_faults_injected: self
                 .sim_faults_injected
                 .saturating_sub(baseline.sim_faults_injected),
+            sim_events: self.sim_events.saturating_sub(baseline.sim_events),
+            sim_idle_spans_jumped: self
+                .sim_idle_spans_jumped
+                .saturating_sub(baseline.sim_idle_spans_jumped),
+            sim_ticks_materialised: self
+                .sim_ticks_materialised
+                .saturating_sub(baseline.sim_ticks_materialised),
         }
     }
 }
@@ -571,6 +607,10 @@ pub struct TimingSnapshot {
     pub sweep_builds: u64,
     /// `MinQSweep::rescale_into` reuses.
     pub sweep_rescales: u64,
+    /// Rescales served by the integer quantised fast path.
+    pub sweep_rescales_quantised: u64,
+    /// Rescales served by the sequential f64 fallback fold.
+    pub sweep_rescales_scalar: u64,
     /// Simulation runs on a cold arena.
     pub arena_fresh: u64,
     /// Simulation runs on a warm arena.
@@ -608,6 +648,12 @@ impl TimingSnapshot {
                 .saturating_sub(baseline.design_stage_runs),
             sweep_builds: self.sweep_builds.saturating_sub(baseline.sweep_builds),
             sweep_rescales: self.sweep_rescales.saturating_sub(baseline.sweep_rescales),
+            sweep_rescales_quantised: self
+                .sweep_rescales_quantised
+                .saturating_sub(baseline.sweep_rescales_quantised),
+            sweep_rescales_scalar: self
+                .sweep_rescales_scalar
+                .saturating_sub(baseline.sweep_rescales_scalar),
             arena_fresh: self.arena_fresh.saturating_sub(baseline.arena_fresh),
             arena_reused: self.arena_reused.saturating_sub(baseline.arena_reused),
             orch_launches: self.orch_launches.saturating_sub(baseline.orch_launches),

@@ -2,12 +2,31 @@
 //!
 //! Because the partitioned scheme makes channels independent (a channel
 //! only ever executes its own task subset, and only during its mode's
-//! useful windows), the engine simulates one channel at a time: it walks
-//! that mode's useful windows in order, dispatching the pending job chosen
-//! by the local policy (RM/DM/EDF) and pre-empting at job releases and
-//! window boundaries. Fault classification happens per job, by checking
-//! whether any scheduled transient fault overlaps one of the job's
-//! execution slices on a core belonging to the job's channel.
+//! useful windows), the engine simulates one channel at a time. Time
+//! advances **event to event** — job releases, useful-window edges and
+//! job completions — never tick by tick:
+//!
+//! * useful windows are derived lazily from the cycle index `k`
+//!   (`[kP + offset, kP + offset + Q̃)`, clamped to the horizon) instead
+//!   of being materialised up front;
+//! * when the ready queue runs dry and the next release falls beyond the
+//!   current window, the engine jumps straight to the first window that
+//!   can run it, skipping every idle cycle in between;
+//! * jobs are dispatched by index into a flat release array, with
+//!   remaining-work and completion-time kept in parallel vectors — no
+//!   per-job cloning or hashing on the hot path.
+//!
+//! Fault classification is a single slice-major pass per channel: slices
+//! are produced in time order and the schedule's fault windows are sorted
+//! and disjoint, so one monotone cursor finds each slice's candidate
+//! fault in O(slices + faults). Tick granularity is materialised only
+//! inside fault windows (the overlap spans the classifier examines);
+//! everything else is interval arithmetic.
+//!
+//! The result is **bit-identical** to the original slot-stepping engine,
+//! which survives as [`crate::reference`] — an executable specification
+//! the proptest battery and the `ftsched bench --sim` bitwise gate check
+//! this engine against.
 
 use std::collections::HashMap;
 
@@ -53,9 +72,10 @@ impl SimulationConfig {
     }
 }
 
-/// Reusable scratch storage for [`simulate_in`]: the job list, ready
-/// queue, execution slices, job records, useful windows and completion
-/// map of one simulation run.
+/// Reusable scratch storage for [`simulate_in`]: the job list, execution
+/// slices, job records and the per-job dispatch state of one simulation
+/// run (plus the window/queue/completion buffers of the slot-stepping
+/// [`crate::reference`] engine, which shares the arena).
 ///
 /// A fresh arena is allocated by the convenience [`simulate`]; campaign
 /// kernels that run thousands of trials keep one arena per worker and
@@ -65,12 +85,24 @@ impl SimulationConfig {
 /// bit-identical with or without reuse.
 #[derive(Debug)]
 pub struct SimArena {
-    jobs: Vec<Job>,
-    windows: Vec<UsefulWindow>,
-    queue: ReadyQueue,
-    slices: Vec<ExecutionSlice>,
-    records: Vec<JobRecord>,
-    completions: HashMap<JobId, Time>,
+    pub(crate) jobs: Vec<Job>,
+    pub(crate) windows: Vec<UsefulWindow>,
+    pub(crate) queue: ReadyQueue,
+    pub(crate) slices: Vec<ExecutionSlice>,
+    pub(crate) records: Vec<JobRecord>,
+    pub(crate) completions: HashMap<JobId, Time>,
+    /// Indices (into `jobs`) of released-but-unfinished jobs.
+    ready: Vec<u32>,
+    /// Remaining work per job, parallel to `jobs`.
+    remaining: Vec<Duration>,
+    /// Completion instant per job, parallel to `jobs`.
+    completed_at: Vec<Option<Time>>,
+    /// Job index behind each entry of `slices` (the trace slice itself
+    /// carries only the `JobId`), so the fault classifier can mark jobs
+    /// in O(1).
+    slice_jobs: Vec<u32>,
+    /// Fault-overlap flag per job, parallel to `jobs`.
+    fault_marks: Vec<bool>,
 }
 
 impl Default for SimArena {
@@ -83,6 +115,11 @@ impl Default for SimArena {
             slices: Vec::new(),
             records: Vec::new(),
             completions: HashMap::new(),
+            ready: Vec::new(),
+            remaining: Vec::new(),
+            completed_at: Vec::new(),
+            slice_jobs: Vec::new(),
+            fault_marks: Vec::new(),
         }
     }
 }
@@ -92,6 +129,19 @@ impl SimArena {
     pub fn new() -> Self {
         SimArena::default()
     }
+}
+
+/// Per-channel tallies of the event engine, batched into `ftsched_obs`
+/// once per run. All three are pure functions of the simulation inputs.
+#[derive(Debug, Default, Clone, Copy)]
+struct ChannelStats {
+    /// Useful windows actually visited (idle-jumped windows don't count).
+    windows_walked: u64,
+    /// Events processed: windows entered, jobs admitted, dispatches,
+    /// completions.
+    events: u64,
+    /// Idle spans skipped by jumping ≥ 2 windows ahead at once.
+    idle_jumps: u64,
 }
 
 /// Simulates the partitioned, slot-gated system.
@@ -146,6 +196,9 @@ pub fn simulate_in(
     let arena_warm = arena.jobs.capacity() + arena.windows.capacity() + arena.slices.capacity() > 0;
     let mut windows_walked = 0u64;
     let mut slices_scheduled = 0u64;
+    let mut events_processed = 0u64;
+    let mut idle_jumps = 0u64;
+    let mut fault_ticks = 0u64;
     let horizon = Duration::from_units(config.horizon);
     let horizon_time = Time::ZERO + horizon;
 
@@ -166,25 +219,54 @@ pub fn simulate_in(
         let channel_sets = partition.mode(mode).channel_task_sets(tasks)?;
         let layout = ChannelLayout::canonical(mode);
         for (channel, channel_set) in channel_sets.iter().enumerate() {
-            simulate_channel(channel_set, mode, channel, algorithm, slots, horizon, arena);
-            windows_walked += arena.windows.len() as u64;
+            let stats =
+                simulate_channel(channel_set, mode, channel, algorithm, slots, horizon, arena);
+            windows_walked += stats.windows_walked;
+            events_processed += stats.events;
+            idle_jumps += stats.idle_jumps;
             slices_scheduled += arena.slices.len() as u64;
             released_jobs += arena.records.len() as u64;
-            for record in &arena.records {
-                // Classify the job against the fault schedule: a fault is
-                // effective for this job if its window overlaps one of the
-                // job's execution slices and it struck a core of this
-                // channel.
-                let mut overlapped = false;
-                for slice in arena.slices.iter().filter(|s| s.job == record.job) {
-                    if let Some(fault) = config.fault_schedule.overlapping(slice.start, slice.end) {
+
+            // Slice-major fault classification. The record-major form —
+            // "for each job, scan its slices in time order; at each slice
+            // take the schedule's first overlapping fault; mark the job
+            // and stop at the first right-channel hit" — is reproduced
+            // exactly by one pass over all slices (each job's slices
+            // appear in the same relative order) with a monotone cursor
+            // over the sorted, disjoint fault windows. Jobs already
+            // marked skip further checks, matching the record-major
+            // break; a wrong-channel overlap leaves the job unmarked so
+            // its later slices are still examined, as before.
+            let faults = config.fault_schedule.faults();
+            arena.fault_marks.clear();
+            arena.fault_marks.resize(arena.records.len(), false);
+            if !faults.is_empty() {
+                let mut cursor = 0usize;
+                for (slice, &ji) in arena.slices.iter().zip(&arena.slice_jobs) {
+                    while cursor < faults.len() && faults[cursor].end() <= slice.start {
+                        cursor += 1;
+                    }
+                    let Some(fault) = faults.get(cursor) else {
+                        break;
+                    };
+                    if arena.fault_marks[ji as usize] {
+                        continue;
+                    }
+                    if fault.overlaps(slice.start, slice.end) {
+                        // Tick granularity exists only here: the overlap
+                        // span the classifier examines inside the fault
+                        // window.
+                        fault_ticks +=
+                            fault.end().min(slice.end).ticks() - fault.at.max(slice.start).ticks();
                         if layout.channel_of_core(fault.core) == Some(channel) {
-                            overlapped = true;
+                            arena.fault_marks[ji as usize] = true;
                             effective_faults.insert(fault.at.ticks());
-                            break;
                         }
                     }
                 }
+            }
+
+            for (record, &overlapped) in arena.records.iter().zip(&arena.fault_marks) {
                 let outcome = classify_outcome(mode, overlapped);
                 outcomes[mode].record(outcome);
 
@@ -237,6 +319,9 @@ pub fn simulate_in(
     m.sim_jobs_completed.add(completed_jobs);
     m.sim_faults_injected
         .add(config.fault_schedule.len() as u64);
+    m.sim_events.add(events_processed);
+    m.sim_idle_spans_jumped.add(idle_jumps);
+    m.sim_ticks_materialised.add(fault_ticks);
     if arena_warm {
         m.arena_reused.incr();
     } else {
@@ -262,7 +347,17 @@ pub fn simulate_in(
 }
 
 /// Simulates one channel of one mode over the horizon, leaving the
-/// execution slices and job records in `arena.slices` / `arena.records`.
+/// execution slices and job records in `arena.slices` / `arena.records`
+/// (with `arena.slice_jobs` carrying the job index behind each slice).
+///
+/// Useful windows are derived on the fly from the cycle index: window `k`
+/// of a mode is `[kP + offset, kP + offset + Q̃)` clamped to the horizon,
+/// exactly the intervals [`SlotSchedule::useful_windows_into`] would
+/// materialise (`u64` tick arithmetic, so `k·P` equals the reference
+/// engine's iterated `cycle_start += P` bit for bit). Whenever the ready
+/// queue is empty and the next release lies beyond the current window,
+/// the cycle index jumps straight to the first window whose useful part
+/// can run that release.
 #[allow(clippy::too_many_arguments)]
 fn simulate_channel(
     channel_tasks: &TaskSet,
@@ -272,7 +367,7 @@ fn simulate_channel(
     slots: &SlotSchedule,
     horizon: Duration,
     arena: &mut SimArena,
-) {
+) -> ChannelStats {
     // Order tasks by the dispatching policy's priority (only meaningful for
     // FP; EDF ignores the index).
     let ordered: Vec<Task> = match algorithm.priority_order() {
@@ -281,53 +376,131 @@ fn simulate_channel(
     };
     let SimArena {
         jobs,
-        windows,
-        queue,
         slices,
         records,
-        completions,
+        ready,
+        remaining,
+        completed_at,
+        slice_jobs,
+        ..
     } = arena;
     release_jobs_into(&ordered, horizon, jobs);
-    completions.clear();
     slices.clear();
     records.clear();
-    queue.reset(algorithm);
-    slots.useful_windows_into(mode, horizon, windows);
+    slice_jobs.clear();
+    ready.clear();
+    remaining.clear();
+    remaining.extend(jobs.iter().map(|j| j.wcet));
+    completed_at.clear();
+    completed_at.resize(jobs.len(), None);
 
     let all_jobs: &[Job] = jobs;
-    let mut next_release_idx = 0usize;
+    let mut stats = ChannelStats::default();
 
-    for window in windows.iter() {
-        let mut now = window.start;
+    // Pick the ready job the dispatching policy would run next. The keys
+    // are exactly [`ReadyQueue`]'s and are unique per job (FP priorities
+    // are release-array indices per task, and (task, activation) breaks
+    // every remaining tie), so selection is order-insensitive.
+    let pop_best = |ready: &mut Vec<u32>| -> Option<u32> {
+        if ready.is_empty() {
+            return None;
+        }
+        let best = match algorithm {
+            Algorithm::RateMonotonic | Algorithm::DeadlineMonotonic => ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &i)| {
+                    let j = &all_jobs[i as usize];
+                    (j.priority, j.release, j.id.activation, j.id.task)
+                })
+                .map(|(pos, _)| pos),
+            Algorithm::EarliestDeadlineFirst => ready
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &i)| {
+                    let j = &all_jobs[i as usize];
+                    (j.deadline, j.id.task, j.id.activation)
+                })
+                .map(|(pos, _)| pos),
+        };
+        best.map(|pos| ready.swap_remove(pos))
+    };
+
+    let p = slots.period().ticks();
+    let o = slots.slot_offset(mode).ticks();
+    let q = slots.useful_quantum(mode).ticks();
+    let h = (Time::ZERO + horizon).ticks();
+
+    if q == 0 || p == 0 {
+        // No useful windows (a zero quantum, or a period that rounds to
+        // zero ticks and therefore admits no positive quantum): nothing
+        // runs, every record stays incomplete.
+        push_records(all_jobs, completed_at, mode, channel, records);
+        return stats;
+    }
+
+    let mut next_release = 0usize;
+    let mut k: u64 = 0;
+    'windows: loop {
+        let w_start = match k.checked_mul(p).and_then(|v| v.checked_add(o)) {
+            Some(v) if v < h => v,
+            _ => break,
+        };
+        let w_end = w_start.saturating_add(q).min(h);
+        let window_end = Time::from_ticks(w_end);
+        let mut now = Time::from_ticks(w_start);
+        stats.windows_walked += 1;
+        stats.events += 1;
         loop {
             // Admit everything released up to `now`.
-            while next_release_idx < all_jobs.len() && all_jobs[next_release_idx].release <= now {
-                queue.push(all_jobs[next_release_idx].clone());
-                next_release_idx += 1;
+            while next_release < all_jobs.len() && all_jobs[next_release].release <= now {
+                ready.push(next_release as u32);
+                next_release += 1;
+                stats.events += 1;
             }
-            if now >= window.end {
+            if now >= window_end {
                 break;
             }
-            let Some(mut job) = queue.pop() else {
-                // Idle until the next release or the end of the window.
-                match all_jobs.get(next_release_idx) {
-                    Some(next) if next.release < window.end => {
+            let Some(ji) = pop_best(ready) else {
+                // Idle: hop to the next release inside this window, or
+                // jump the whole idle span to the first window that can
+                // run the next release.
+                match all_jobs.get(next_release) {
+                    Some(next) if next.release < window_end => {
                         now = next.release.max(now);
                         continue;
                     }
-                    _ => break,
+                    Some(next) => {
+                        // `release ≥ window_end` and the horizon clamp
+                        // only bites on the last window (releases are
+                        // strictly inside the horizon), so here
+                        // `release ≥ kP + offset + Q̃`: the first cycle
+                        // whose useful part ends after the release is
+                        // `(release − offset − Q̃) / P + 1`.
+                        let r = next.release.ticks();
+                        let jump = if r < o + q { 0 } else { (r - o - q) / p + 1 };
+                        debug_assert!(jump > k);
+                        if jump > k + 1 {
+                            stats.idle_jumps += 1;
+                        }
+                        k = jump.max(k + 1);
+                        continue 'windows;
+                    }
+                    // No pending work and no future releases: done.
+                    None => break 'windows,
                 }
             };
+            let ji = ji as usize;
+            let job = &all_jobs[ji];
             // Run until the job completes, the window closes, or a new
             // release may pre-empt it.
-            let mut run_until = (now + job.remaining).min(window.end);
-            if let Some(next) = all_jobs.get(next_release_idx) {
+            let mut run_until = (now + remaining[ji]).min(window_end);
+            if let Some(next) = all_jobs.get(next_release) {
                 if next.release > now && next.release < run_until {
                     run_until = next.release;
                 }
             }
-            let executed = job.execute(run_until - now);
-            debug_assert_eq!(executed, run_until - now);
+            remaining[ji] -= run_until - now;
             slices.push(ExecutionSlice {
                 job: job.id,
                 mode,
@@ -335,23 +508,41 @@ fn simulate_channel(
                 start: now,
                 end: run_until,
             });
+            slice_jobs.push(ji as u32);
             now = run_until;
-            if job.is_complete() {
-                completions.insert(job.id, now);
+            stats.events += 1;
+            if remaining[ji].is_zero() {
+                completed_at[ji] = Some(now);
+                stats.events += 1;
             } else {
-                queue.push(job);
+                ready.push(ji as u32);
             }
         }
+        k += 1;
     }
 
-    for job in all_jobs {
+    push_records(all_jobs, completed_at, mode, channel, records);
+    stats
+}
+
+/// Emits one [`JobRecord`] per released job, completion taken from the
+/// parallel `completed_at` vector; outcome and deadline fields are
+/// finalised by [`simulate_in`].
+fn push_records(
+    all_jobs: &[Job],
+    completed_at: &[Option<Time>],
+    mode: Mode,
+    channel: usize,
+    records: &mut Vec<JobRecord>,
+) {
+    for (job, &completion) in all_jobs.iter().zip(completed_at) {
         records.push(JobRecord {
             job: job.id,
             mode,
             channel,
             release: job.release,
             deadline: job.deadline,
-            completion: completions.get(&job.id).copied(),
+            completion,
             deadline_met: true, // finalised by the caller
             outcome: ftsched_platform::JobOutcome::CorrectNoFault, // finalised by the caller
         });
@@ -710,5 +901,43 @@ mod tests {
         // τ9 (C=1, T=4, FS) releases 30 jobs in 120 units; it must appear.
         assert!(report.worst_response_time(TaskId(9)).is_some());
         assert!(report.worst_response_time(TaskId(9)).unwrap().as_units() <= 4.0 + 1e-9);
+    }
+
+    #[test]
+    fn event_engine_matches_slot_stepping_reference() {
+        // The proptest battery in `tests/sim_equivalence.rs` covers
+        // randomised workloads; this is the fast in-crate smoke over the
+        // paper design with and without faults.
+        let (tasks, partition) = paper_example();
+        let slots = table2b_slots();
+        let faults =
+            FaultSchedule::new(vec![fault_at(0.1, 0.3, 2), fault_at(5.9, 0.4, 1)]).unwrap();
+        for schedule in [FaultSchedule::none(), faults] {
+            for record_trace in [true, false] {
+                let config = SimulationConfig {
+                    horizon: 120.0,
+                    fault_schedule: schedule.clone(),
+                    record_trace,
+                    record_response_times: true,
+                };
+                let event = simulate(
+                    &tasks,
+                    &partition,
+                    Algorithm::EarliestDeadlineFirst,
+                    &slots,
+                    &config,
+                )
+                .unwrap();
+                let slot = crate::reference::simulate_slot_stepping(
+                    &tasks,
+                    &partition,
+                    Algorithm::EarliestDeadlineFirst,
+                    &slots,
+                    &config,
+                )
+                .unwrap();
+                assert_eq!(event, slot, "trace {record_trace}");
+            }
+        }
     }
 }

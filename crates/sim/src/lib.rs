@@ -34,6 +34,7 @@ pub mod engine;
 pub mod error;
 pub mod job;
 pub mod queue;
+pub mod reference;
 pub mod report;
 pub mod slot;
 pub mod stats;

@@ -143,7 +143,7 @@ impl SlotSchedule {
     }
 
     /// Offset of a mode's slot start within the cycle.
-    fn slot_offset(&self, mode: Mode) -> Duration {
+    pub(crate) fn slot_offset(&self, mode: Mode) -> Duration {
         Mode::ALL
             .iter()
             .take_while(|&&m| m != mode)

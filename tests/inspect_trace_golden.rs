@@ -1,0 +1,57 @@
+//! Golden-file pin for `ftsched inspect --trace-json`: the full execution
+//! trace of one frozen-seed fault-injection trial must stay
+//! **byte-identical** across engine rewrites. The golden was generated
+//! with the slot-stepping engine before the event-driven core landed, so
+//! this test proves the rewrite is observationally invisible all the way
+//! down to the serialised slice list and per-job fault classification —
+//! not just at the report-counter level.
+//!
+//! If this fails, the simulator's observable behaviour changed for a
+//! published spec. Regenerate the golden only with a deliberate decision
+//! that the new trace is the correct one:
+//!
+//! ```text
+//! ftsched inspect examples/fault_injection.json --scenario 0 --trial 0 \
+//!     --trace-json tests/golden/inspect_trace.json
+//! ```
+
+use ftsched_campaign::prelude::*;
+
+fn root(path: &str) -> String {
+    format!("{}/{path}", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn inspect_trace_json_is_byte_identical_to_golden() {
+    let spec_path = root("examples/fault_injection.json");
+    let text =
+        std::fs::read_to_string(&spec_path).unwrap_or_else(|e| panic!("read {spec_path}: {e}"));
+    let spec: CampaignSpec = serde_json::from_str(&text).expect("spec parses");
+    spec.validate().unwrap();
+
+    let scenarios = spec.scenarios();
+    let scenario = scenarios.first().expect("spec has at least one scenario");
+    let (outcome, full) = run_trial_traced(&spec, scenario, 0);
+    assert_eq!(
+        outcome.status,
+        TrialStatus::Accepted,
+        "the frozen trial no longer designs/validates: {outcome:?}"
+    );
+
+    let full = full.expect("accepted trials carry the full pipeline outcome");
+    let trace = full
+        .simulation
+        .trace
+        .as_ref()
+        .expect("traced runs record the execution trace");
+    // Exactly the bytes `cmd_inspect` writes for `--trace-json`.
+    let rendered = serde_json::to_string_pretty(trace).expect("traces always serialise");
+
+    let golden_path = root("tests/golden/inspect_trace.json");
+    let golden =
+        std::fs::read_to_string(&golden_path).unwrap_or_else(|e| panic!("read {golden_path}: {e}"));
+    assert_eq!(
+        rendered, golden,
+        "execution trace diverged from the pre-event-engine golden"
+    );
+}

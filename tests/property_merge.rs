@@ -140,7 +140,7 @@ fn arb_outcome() -> impl Strategy<Value = TrialOutcome> {
 /// Strategy: one randomized deterministic-counter block, covering the
 /// whole `u64` range so saturation is exercised too.
 fn arb_counters() -> impl Strategy<Value = RunCounters> {
-    prop::collection::vec(any::<u64>(), 17).prop_map(|v| RunCounters {
+    prop::collection::vec(any::<u64>(), 20).prop_map(|v| RunCounters {
         trials_started: v[0],
         trials_completed: v[1],
         trials_accepted: v[2],
@@ -158,6 +158,9 @@ fn arb_counters() -> impl Strategy<Value = RunCounters> {
         sim_jobs_released: v[14],
         sim_jobs_completed: v[15],
         sim_faults_injected: v[16],
+        sim_events: v[17],
+        sim_idle_spans_jumped: v[18],
+        sim_ticks_materialised: v[19],
     })
 }
 
