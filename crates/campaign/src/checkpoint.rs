@@ -17,6 +17,11 @@
 //! #ftsched-checkpoint v1 len=<payload bytes> fnv1a=<16 hex digits>\n
 //! ```
 //!
+//! With [`write_checkpoint_in`] the payload can instead be a
+//! `counters <compact JSON>` line followed by the shard report in the
+//! compact [`crate::columnar`] encoding; [`load_checkpoint`] sniffs the
+//! payload and reads either flavour transparently.
+//!
 //! The footer carries the payload's byte length and its 64-bit FNV-1a
 //! hash. A truncated write loses the footer, a torn or bit-flipped
 //! payload fails the hash, and a checkpoint from a different spec or
@@ -80,16 +85,27 @@ impl std::error::Error for CheckpointError {}
 /// Magic prefix of the integrity footer line.
 const FOOTER_PREFIX: &str = "#ftsched-checkpoint v1 ";
 
-/// 64-bit FNV-1a over raw bytes — the same cheap, dependency-free hash
-/// the task layer uses for content hashes. Not cryptographic; it guards
-/// against truncation and bit rot, not adversaries.
-pub fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+/// The FNV-1a 64-bit offset basis — the running-hash seed for
+/// [`fnv1a64_update`].
+pub const FNV1A64_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// Folds `bytes` into a running 64-bit FNV-1a hash, so streaming writers
+/// can hash incrementally without buffering the whole payload. Seed with
+/// [`FNV1A64_OFFSET`]; `fnv1a64_update(FNV1A64_OFFSET, b)` equals
+/// [`fnv1a64`]`(b)`.
+pub fn fnv1a64_update(mut hash: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         hash ^= u64::from(b);
         hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
     }
     hash
+}
+
+/// 64-bit FNV-1a over raw bytes — the same cheap, dependency-free hash
+/// the task layer uses for content hashes. Not cryptographic; it guards
+/// against truncation and bit rot, not adversaries.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_update(FNV1A64_OFFSET, bytes)
 }
 
 /// The canonical checkpoint path of one shard inside `dir`
@@ -111,13 +127,43 @@ pub fn checkpoint_path(dir: &Path, shard: ShardInfo) -> PathBuf {
 ///
 /// Any I/O error from the create/write/persist steps.
 pub fn write_checkpoint(dir: &Path, checkpoint: &Checkpoint) -> std::io::Result<PathBuf> {
+    write_checkpoint_in(dir, checkpoint, crate::columnar::ReportFormat::Json)
+}
+
+/// [`write_checkpoint`] with an explicit payload format. The JSON
+/// flavour is the pretty-printed `Checkpoint` struct; the columnar
+/// flavour is a `counters <compact JSON>` line followed by the shard
+/// report in the [`crate::columnar`] encoding — both wrapped in the same
+/// outer integrity footer, and [`load_checkpoint`] reads either
+/// transparently.
+///
+/// # Errors
+///
+/// Any I/O error from the create/write/persist steps.
+pub fn write_checkpoint_in(
+    dir: &Path,
+    checkpoint: &Checkpoint,
+    format: crate::columnar::ReportFormat,
+) -> std::io::Result<PathBuf> {
     let shard = checkpoint.report.shard.ok_or_else(|| {
         std::io::Error::new(
             std::io::ErrorKind::InvalidInput,
             "only shard (partial) reports can be checkpointed",
         )
     })?;
-    let payload = serde_json::to_string_pretty(checkpoint).expect("checkpoints always serialise");
+    let payload = match format {
+        crate::columnar::ReportFormat::Json => {
+            serde_json::to_string_pretty(checkpoint).expect("checkpoints always serialise")
+        }
+        crate::columnar::ReportFormat::Columnar => {
+            let counters =
+                serde_json::to_string(&checkpoint.counters).expect("counters always serialise");
+            format!(
+                "counters {counters}\n{}",
+                crate::columnar::encode_report(&checkpoint.report)
+            )
+        }
+    };
     let footer = format!(
         "\n{FOOTER_PREFIX}len={} fnv1a={:016x}\n",
         payload.len(),
@@ -174,6 +220,25 @@ fn verify_footer(text: &str) -> Result<&str, CheckpointError> {
     Ok(payload_nl)
 }
 
+/// Parses a footer-verified checkpoint payload in either flavour: a
+/// pretty-JSON `Checkpoint` struct, or a `counters <compact JSON>` line
+/// followed by a columnar shard report.
+fn parse_payload(payload: &str) -> Result<Checkpoint, CheckpointError> {
+    let corrupt =
+        |e: &dyn fmt::Display| CheckpointError::Corrupt(format!("payload does not parse: {e}"));
+    if let Some(rest) = payload.strip_prefix("counters ") {
+        let Some((counters, report)) = rest.split_once('\n') else {
+            return Err(CheckpointError::Corrupt(
+                "payload does not parse: counters line has no report after it".into(),
+            ));
+        };
+        let counters: RunCounters = serde_json::from_str(counters).map_err(|e| corrupt(&e))?;
+        let report = crate::columnar::read_report_str(report).map_err(|e| corrupt(&e))?;
+        return Ok(Checkpoint { report, counters });
+    }
+    serde_json::from_str(payload).map_err(|e| corrupt(&e))
+}
+
 /// Loads and fully validates the checkpoint of `shard` from `dir`:
 /// integrity footer, JSON payload, and that the payload really is a
 /// partial report of `spec` at exactly `shard`.
@@ -196,8 +261,7 @@ pub fn load_checkpoint(
         Err(e) => return Err(CheckpointError::Io(e.to_string())),
     };
     let payload = verify_footer(&text)?;
-    let checkpoint: Checkpoint = serde_json::from_str(payload)
-        .map_err(|e| CheckpointError::Corrupt(format!("payload does not parse: {e}")))?;
+    let checkpoint = parse_payload(payload)?;
     match checkpoint.report.shard {
         Some(found) if found == shard => {}
         Some(found) => {

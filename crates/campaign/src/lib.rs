@@ -46,6 +46,11 @@
 //! * [`checkpoint`] — atomic, integrity-checked per-shard checkpoints
 //!   (partial report + deterministic counters) so an interrupted
 //!   campaign resumes losslessly.
+//! * [`columnar`] — the compact columnar report encoding: a streaming
+//!   writer/reader with the checkpoint integrity-footer pattern, a
+//!   block-wise streaming shard merge ([`merge_columnar`]) and the
+//!   [`ReportFormat`] axis behind `ftsched convert` — decode∘encode is
+//!   the identity, so JSON → columnar → JSON is byte-exact.
 //! * [`orchestrator`] — the fault-tolerant shard driver behind
 //!   `ftsched orchestrate`: a [`WorkerBackend`] pool with per-shard
 //!   timeouts, deterministic retry/backoff, checkpoint adoption on
@@ -70,6 +75,7 @@
 
 pub mod cache;
 pub mod checkpoint;
+pub mod columnar;
 pub mod executor;
 pub mod metrics;
 pub mod orchestrator;
@@ -81,7 +87,10 @@ pub mod trial;
 
 use std::fmt;
 
-pub use checkpoint::{load_checkpoint, write_checkpoint, Checkpoint, CheckpointError};
+pub use checkpoint::{
+    load_checkpoint, write_checkpoint, write_checkpoint_in, Checkpoint, CheckpointError,
+};
+pub use columnar::{merge_columnar, ColumnarError, ColumnarReader, ColumnarWriter, ReportFormat};
 pub use executor::{run_campaign, run_campaign_shard, ExecutorConfig};
 pub use metrics::{CacheCounts, RunCounters, RunMetrics, RunTimings, StageTiming};
 pub use orchestrator::{
@@ -90,8 +99,8 @@ pub use orchestrator::{
     WorkerFailure,
 };
 pub use report::{
-    merge_reports, merge_reports_partial, CampaignReport, LatencyCurvePoint, ScenarioReport,
-    ShardInfo,
+    merge_reports, merge_reports_partial, CampaignReport, LatencyCurvePoint, MergeFold,
+    ScenarioReport, ShardInfo,
 };
 pub use spec::{
     CampaignSpec, LatencyCurveSpec, ResponseHistogramSpec, Scenario, TrialKind, WcetMarginSpec,
@@ -140,6 +149,7 @@ impl std::error::Error for CampaignError {}
 /// models) so spec-building code needs only this one import.
 pub mod prelude {
     pub use crate::checkpoint::{load_checkpoint, write_checkpoint, Checkpoint, CheckpointError};
+    pub use crate::columnar::{merge_columnar, ColumnarError, ReportFormat};
     pub use crate::executor::{run_campaign, run_campaign_shard, ExecutorConfig};
     pub use crate::metrics::{RunCounters, RunMetrics, RunTimings};
     pub use crate::orchestrator::{

@@ -42,7 +42,8 @@ use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 
-use crate::checkpoint::{load_checkpoint, write_checkpoint, Checkpoint, CheckpointError};
+use crate::checkpoint::{load_checkpoint, write_checkpoint_in, Checkpoint, CheckpointError};
+use crate::columnar::ReportFormat;
 use crate::executor::{run_campaign_shard, ExecutorConfig};
 use crate::metrics::{RunCounters, RunMetrics};
 use crate::report::{merge_reports, merge_reports_partial, CampaignReport, ShardInfo};
@@ -140,6 +141,10 @@ pub struct LocalProcessBackend {
     pub spec_path: PathBuf,
     /// `--threads` for each worker; `0` omits the flag (worker default).
     pub worker_threads: usize,
+    /// Report format the workers write (`--format columnar` is appended
+    /// when columnar); must match the orchestrator's
+    /// [`OrchestratorConfig::format`].
+    pub format: ReportFormat,
 }
 
 /// Name of the fault-injection environment hook honored by workers (see
@@ -165,6 +170,9 @@ impl WorkerBackend for LocalProcessBackend {
             .stderr(std::process::Stdio::null());
         if self.worker_threads > 0 {
             cmd.arg("--threads").arg(self.worker_threads.to_string());
+        }
+        if self.format == ReportFormat::Columnar {
+            cmd.arg("--format").arg("columnar");
         }
         if launch.attempt > 0 {
             // Injected faults are one-shot: the retry runs clean.
@@ -277,6 +285,11 @@ pub struct OrchestratorConfig {
     /// Where checkpoints (and worker scratch files) live. Created on
     /// demand; a later run pointed at the same directory resumes.
     pub checkpoint_dir: PathBuf,
+    /// Format the workers write their shard reports in (and checkpoints
+    /// are stored in). The merged result is format-agnostic — the
+    /// orchestrator sniffs worker output — but a columnar fleet keeps
+    /// scratch I/O and checkpoint sizes compact.
+    pub format: ReportFormat,
     /// Progress/event sink (the CLI routes these through `ui`); called
     /// from supervisor threads, without any internal lock held.
     pub on_event: Option<EventSink>,
@@ -297,6 +310,7 @@ impl OrchestratorConfig {
             shard_timeout: None,
             allow_partial: false,
             checkpoint_dir: checkpoint_dir.into(),
+            format: ReportFormat::Json,
             on_event: None,
         }
     }
@@ -679,7 +693,11 @@ fn supervise<B: WorkerBackend + ?Sized>(
                 worker: worker_id,
             },
         );
-        let report_path = work_dir.join(format!("shard-{:04}.report.json", task.shard.index));
+        let report_path = work_dir.join(format!(
+            "shard-{:04}.report.{}",
+            task.shard.index,
+            config.format.extension()
+        ));
         let metrics_path = work_dir.join(format!("shard-{:04}.metrics.json", task.shard.index));
         let launch = ShardLaunch {
             spec,
@@ -694,7 +712,7 @@ fn supervise<B: WorkerBackend + ?Sized>(
         // spec before anything is checkpointed.
         let result = backend.run_shard(&launch).and_then(|()| {
             let checkpoint = validate_worker_output(spec, task.shard, &report_path, &metrics_path)?;
-            write_checkpoint(&config.checkpoint_dir, &checkpoint)
+            write_checkpoint_in(&config.checkpoint_dir, &checkpoint, config.format)
                 .map_err(|e| WorkerFailure::Output(format!("cannot write checkpoint: {e}")))?;
             let _ = std::fs::remove_file(&report_path);
             let _ = std::fs::remove_file(&metrics_path);
@@ -779,12 +797,25 @@ fn validate_worker_output(
         std::fs::read_to_string(path)
             .map_err(|e| output(format!("cannot read `{}`: {e}", path.display())))
     };
-    let report: CampaignReport = serde_json::from_str(&read(report_path)?).map_err(|e| {
-        output(format!(
-            "report `{}` does not parse: {e}",
-            report_path.display()
-        ))
-    })?;
+    // Sniff the report format: the in-process test backend always writes
+    // JSON even when the orchestrator runs a columnar fleet, and a
+    // mixed-format scratch directory must never poison the merge.
+    let report_text = read(report_path)?;
+    let report: CampaignReport = if report_text.starts_with(crate::columnar::MAGIC) {
+        crate::columnar::read_report_str(&report_text).map_err(|e| {
+            output(format!(
+                "report `{}` does not parse: {e}",
+                report_path.display()
+            ))
+        })?
+    } else {
+        serde_json::from_str(&report_text).map_err(|e| {
+            output(format!(
+                "report `{}` does not parse: {e}",
+                report_path.display()
+            ))
+        })?
+    };
     match report.shard {
         Some(found) if found == shard => {}
         other => {

@@ -765,6 +765,201 @@ pub fn merge_reports_partial(parts: Vec<CampaignReport>) -> Result<CampaignRepor
     merge_impl(parts, true)
 }
 
+/// Streaming shard-merge accumulator: the block-wise core both
+/// [`merge_reports`] and the streaming paths (`ftsched merge`,
+/// [`crate::columnar::merge_columnar`]) fold through, so JSON and
+/// columnar merges share one set of validation rules and one reduction.
+///
+/// Feed it one [`MergeFold::add_header`] per shard (spec + shard
+/// coordinates) and then the shard's scenario blocks via
+/// [`MergeFold::add_scenario`] — in any arrival order, because
+/// [`ScenarioStats::merge`] is exactly associative *and* commutative
+/// (integer counters, saturating tick sums, `f64::max`, sorted-union
+/// histograms), the fold is byte-identical regardless of shard order.
+/// Peak memory is O(grid), never O(total report bytes): scenario blocks
+/// are merged as they stream in and dropped.
+#[derive(Debug, Default)]
+pub struct MergeFold {
+    spec: Option<CampaignSpec>,
+    grid: Vec<Scenario>,
+    count: usize,
+    seen: Vec<bool>,
+    parts: usize,
+    stats: Vec<ScenarioStats>,
+}
+
+impl MergeFold {
+    /// An empty fold; the first [`MergeFold::add_header`] fixes the spec
+    /// and shard count.
+    pub fn new() -> MergeFold {
+        MergeFold::default()
+    }
+
+    /// Opens one shard: validates its spec and shard coordinates against
+    /// the fold (the first call defines them).
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidMerge`] for an invalid or mismatched
+    /// spec, a complete (non-shard) report, a disagreeing shard count,
+    /// an out-of-range index or a duplicate shard.
+    pub fn add_header(
+        &mut self,
+        spec: &CampaignSpec,
+        shard: Option<ShardInfo>,
+    ) -> Result<(), CampaignError> {
+        let fail = |reason: String| Err(CampaignError::InvalidMerge(reason));
+        let Some(current) = &self.spec else {
+            spec.validate()
+                .map_err(|e| CampaignError::InvalidMerge(format!("echoed spec is invalid: {e}")))?;
+            let Some(shard) = shard else {
+                return fail(format!(
+                    "report for `{}` is not a shard (already complete?)",
+                    spec.name
+                ));
+            };
+            if shard.index >= shard.count {
+                return fail(format!(
+                    "shard {shard} disagrees with the shard count {}",
+                    shard.count
+                ));
+            }
+            self.grid = spec.scenarios();
+            self.spec = Some(spec.clone());
+            self.count = shard.count;
+            self.seen = vec![false; shard.count];
+            self.seen[shard.index] = true;
+            self.parts = 1;
+            self.stats = vec![ScenarioStats::default(); self.grid.len()];
+            return Ok(());
+        };
+        if spec != current {
+            return fail("partial reports come from different campaign specs".into());
+        }
+        match shard {
+            Some(shard) if shard.count == self.count && shard.index < self.count => {
+                if std::mem::replace(&mut self.seen[shard.index], true) {
+                    return fail(format!("shard {shard} appears twice"));
+                }
+            }
+            Some(shard) => {
+                return fail(format!(
+                    "shard {shard} disagrees with the shard count {}",
+                    self.count
+                ));
+            }
+            None => return fail("a complete report cannot be merged with shards".into()),
+        }
+        self.parts += 1;
+        Ok(())
+    }
+
+    /// Merges one scenario block of the most recently opened shard.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidMerge`] when the scenario index is outside
+    /// the campaign grid (or no header was added yet).
+    pub fn add_scenario(
+        &mut self,
+        index: usize,
+        stats: &ScenarioStats,
+    ) -> Result<(), CampaignError> {
+        if self.spec.is_none() || index >= self.grid.len() {
+            return Err(CampaignError::InvalidMerge(format!(
+                "scenario index {index} is outside the campaign grid"
+            )));
+        }
+        self.stats[index].merge(stats);
+        Ok(())
+    }
+
+    /// [`MergeFold::add_header`] plus every scenario block of an
+    /// in-memory report — the non-streaming convenience path.
+    ///
+    /// # Errors
+    ///
+    /// Any error of the two underlying steps.
+    pub fn add_report(&mut self, report: &CampaignReport) -> Result<(), CampaignError> {
+        self.add_header(&report.spec, report.shard)?;
+        for row in &report.scenarios {
+            self.add_scenario(row.scenario, &row.stats)?;
+        }
+        Ok(())
+    }
+
+    /// Shards folded so far.
+    pub fn parts(&self) -> usize {
+        self.parts
+    }
+
+    /// The shard count fixed by the first header (0 before any header).
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Closes the fold and assembles the merged report. With
+    /// `allow_missing` an incomplete shard set degrades gracefully,
+    /// recording absent indices in
+    /// [`CampaignReport::missing_shards`]; otherwise every shard must be
+    /// present.
+    ///
+    /// # Errors
+    ///
+    /// [`CampaignError::InvalidMerge`] when no shard was added, the set
+    /// is incomplete (strict mode) or the merged trial totals do not
+    /// match the present shards' slices of the trial space.
+    pub fn finish(self, allow_missing: bool) -> Result<CampaignReport, CampaignError> {
+        let fail = |reason: String| Err(CampaignError::InvalidMerge(reason));
+        let Some(spec) = self.spec else {
+            return fail("no partial reports to merge".into());
+        };
+        if !allow_missing && self.parts != self.count {
+            return fail(format!(
+                "campaign `{}` was split into {} shards, got {} reports",
+                spec.name, self.count, self.parts
+            ));
+        }
+        let count = self.count;
+        let missing: Vec<ShardInfo> = self
+            .seen
+            .iter()
+            .enumerate()
+            .filter(|(_, present)| !**present)
+            .map(|(index, _)| ShardInfo { index, count })
+            .collect();
+        let total = spec.trial_count();
+        let expected: u64 = (0..count)
+            .filter(|&i| self.seen[i])
+            .map(|index| {
+                let (lo, hi) = ShardInfo { index, count }.slice(total);
+                (hi - lo) as u64
+            })
+            .sum();
+        let merged_trials: u64 = self.stats.iter().map(|s| s.trials).sum();
+        if merged_trials != expected {
+            return fail(format!(
+                "merged shards cover {merged_trials} trials, their slices of campaign `{}` hold {expected}",
+                spec.name,
+            ));
+        }
+
+        // A degraded merge lists only the scenarios its shards touched,
+        // like any other partial report; a complete merge lists the
+        // whole grid.
+        let rows = self
+            .grid
+            .iter()
+            .zip(self.stats)
+            .filter(|(_, stats)| missing.is_empty() || stats.trials > 0)
+            .map(|(scenario, stats)| ScenarioReport::for_scenario(&spec, scenario, stats))
+            .collect();
+        let mut report = CampaignReport::new(spec, rows);
+        report.missing_shards = missing;
+        Ok(report)
+    }
+}
+
 fn merge_impl(
     parts: Vec<CampaignReport>,
     allow_missing: bool,
@@ -773,100 +968,31 @@ fn merge_impl(
     let Some(first) = parts.first() else {
         return fail("no partial reports to merge".into());
     };
-    let spec = first.spec.clone();
-    spec.validate()
-        .map_err(|e| CampaignError::InvalidMerge(format!("echoed spec is invalid: {e}")))?;
-    let Some(ShardInfo { count, .. }) = first.shard else {
+    let mut fold = MergeFold::new();
+    fold.add_header(&first.spec, first.shard)?;
+    if parts.len() != fold.count() && (!allow_missing || parts.len() > fold.count()) {
         return fail(format!(
-            "report for `{}` is not a shard (already complete?)",
-            spec.name
-        ));
-    };
-    if !allow_missing && parts.len() != count {
-        return fail(format!(
-            "campaign `{}` was split into {count} shards, got {} reports",
-            spec.name,
+            "campaign `{}` was split into {} shards, got {} reports",
+            first.spec.name,
+            fold.count(),
             parts.len()
         ));
     }
-    if parts.len() > count {
-        return fail(format!(
-            "campaign `{}` was split into {count} shards, got {} reports",
-            spec.name,
-            parts.len()
-        ));
+    for part in parts.iter().skip(1) {
+        fold.add_header(&part.spec, part.shard)?;
     }
-    let mut seen = vec![false; count];
-    for part in &parts {
-        if part.spec != spec {
-            return fail("partial reports come from different campaign specs".into());
-        }
-        match part.shard {
-            Some(shard) if shard.count == count => {
-                if std::mem::replace(&mut seen[shard.index], true) {
-                    return fail(format!("shard {shard} appears twice"));
-                }
-            }
-            Some(shard) => {
-                return fail(format!(
-                    "shard {shard} disagrees with the shard count {count}"
-                ));
-            }
-            None => return fail("a complete report cannot be merged with shards".into()),
-        }
-    }
-    let missing: Vec<ShardInfo> = seen
-        .iter()
-        .enumerate()
-        .filter(|(_, present)| !**present)
-        .map(|(index, _)| ShardInfo { index, count })
-        .collect();
 
-    // Fold shard statistics in shard-index order: within every scenario
-    // this concatenates increasing trial ranges, i.e. exactly the
-    // unsharded executor's reduction order.
-    let scenarios = spec.scenarios();
+    // Fold shard statistics in shard-index order for symmetry with the
+    // unsharded executor's reduction order (the merge is exactly
+    // commutative, so any order yields the same bytes — see MergeFold).
     let mut ordered: Vec<&CampaignReport> = parts.iter().collect();
     ordered.sort_by_key(|p| p.shard.expect("checked above").index);
-    let mut stats: Vec<ScenarioStats> = vec![ScenarioStats::default(); scenarios.len()];
     for part in ordered {
         for row in &part.scenarios {
-            if row.scenario >= scenarios.len() {
-                return fail(format!(
-                    "scenario index {} is outside the campaign grid",
-                    row.scenario
-                ));
-            }
-            stats[row.scenario].merge(&row.stats);
+            fold.add_scenario(row.scenario, &row.stats)?;
         }
     }
-    let total = spec.trial_count();
-    let expected: u64 = (0..count)
-        .filter(|&i| seen[i])
-        .map(|index| {
-            let (lo, hi) = ShardInfo { index, count }.slice(total);
-            (hi - lo) as u64
-        })
-        .sum();
-    let merged_trials: u64 = stats.iter().map(|s| s.trials).sum();
-    if merged_trials != expected {
-        return fail(format!(
-            "merged shards cover {merged_trials} trials, their slices of campaign `{}` hold {expected}",
-            spec.name,
-        ));
-    }
-
-    // A degraded merge lists only the scenarios its shards touched, like
-    // any other partial report; a complete merge lists the whole grid.
-    let rows = scenarios
-        .iter()
-        .zip(stats)
-        .filter(|(_, stats)| missing.is_empty() || stats.trials > 0)
-        .map(|(scenario, stats)| ScenarioReport::for_scenario(&spec, scenario, stats))
-        .collect();
-    let mut report = CampaignReport::new(spec, rows);
-    report.missing_shards = missing;
-    Ok(report)
+    fold.finish(allow_missing)
 }
 
 #[cfg(test)]

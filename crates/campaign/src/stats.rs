@@ -153,6 +153,19 @@ impl ExactSum {
         self.ticks = self.ticks.saturating_add(other.ticks);
     }
 
+    /// The raw quantised tick count — the exact internal state, for
+    /// binary encodings that must round-trip the accumulator losslessly
+    /// (see [`crate::columnar`]).
+    pub fn ticks(&self) -> i64 {
+        self.ticks
+    }
+
+    /// Rebuilds an accumulator from raw ticks (the exact inverse of
+    /// [`ExactSum::ticks`]).
+    pub fn from_ticks(ticks: i64) -> ExactSum {
+        ExactSum { ticks }
+    }
+
     /// The accumulated sum.
     pub fn value(&self) -> f64 {
         self.ticks as f64 / Self::SCALE

@@ -4,8 +4,8 @@
 //! ftsched run <spec.json> [--threads N] [--block-size N] [--shard I/N]
 //!                         [--out report.json] [--csv report.csv]
 //!                         [--response-csv rt.csv] [--latency-csv lat.csv]
-//!                         [--metrics-json m.json] [--progress]
-//!                         [--quiet] [--no-design-cache]
+//!                         [--metrics-json m.json] [--format json|columnar]
+//!                         [--progress] [--quiet] [--no-design-cache]
 //! ftsched orchestrate <spec.json> --shards N [--workers K]
 //!                         [--checkpoint-dir D] [--max-retries N]
 //!                         [--backoff-ms N] [--timeout-secs N]
@@ -14,6 +14,10 @@
 //! ftsched merge <part.json>... [--out report.json] [--csv report.csv]
 //!                              [--response-csv rt.csv] [--latency-csv lat.csv]
 //!                              [--metrics m.json]... [--metrics-json out.json]
+//!                              [--format json|columnar]
+//! ftsched convert <report> [--from json|columnar]
+//!                          --to json|columnar|csv|response-csv|latency-csv
+//!                          [--out FILE]
 //! ftsched inspect <spec.json> --scenario I --trial J [--trace-json trace.json]
 //! ftsched metrics-strip <metrics.json>
 //! ftsched validate <spec.json>
@@ -40,7 +44,13 @@
 //! the same directory resumes, re-running only missing or corrupt
 //! shards) and `--allow-partial` graceful degradation — the merged
 //! report stays byte-identical to a plain `run` whenever every shard
-//! completes. The `FTSCHED_ORCH_FAULT=kill:I[,stall:J,corrupt:K]`
+//! completes. Reports travel in two formats: pretty JSON (the default)
+//! and the compact columnar encoding from
+//! [`ftsched_campaign::columnar`]; `--format columnar` switches
+//! `run`/`merge`/`orchestrate` outputs (and orchestrator shard
+//! checkpoints) to it, and `convert` translates any report between the
+//! two — plus the CSV renderings — losslessly: JSON → columnar → JSON
+//! is byte-identical. The `FTSCHED_ORCH_FAULT=kill:I[,stall:J,corrupt:K]`
 //! environment hook makes shard worker `I`/`J`/`K` abort, hang or write
 //! a corrupt report on its first attempt (tests and CI use it to
 //! exercise recovery). `serve` is the online admission service: it
@@ -72,7 +82,7 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use ftsched_campaign::prelude::*;
-use ftsched_campaign::{checkpoint, LocalProcessBackend, OrchestratorMetrics};
+use ftsched_campaign::{checkpoint, columnar, LocalProcessBackend, MergeFold, OrchestratorMetrics};
 
 const USAGE: &str = "\
 ftsched — deterministic experiment campaigns for the flexible \
@@ -86,6 +96,11 @@ USAGE:
                                         checkpoints
     ftsched merge <part.json>... [OPTIONS]
                                         fold shard reports into the full one
+                                        (JSON and columnar shards both fold,
+                                        block-wise, without loading them all)
+    ftsched convert <report> --to FORMAT [OPTIONS]
+                                        translate a report between the JSON,
+                                        columnar and CSV renderings
     ftsched inspect <spec.json> --scenario I --trial J [--trace-json FILE]
                                         re-run one trial, optionally dumping
                                         its full execution trace
@@ -116,6 +131,9 @@ OPTIONS (run):
     --metrics-json <FILE>
                         write run metrics (deterministic counters +
                         machine-dependent timings; never in the report)
+    --format <json|columnar>
+                        --out encoding: pretty JSON (default) or the
+                        compact columnar format (see `convert`)
     --progress          live heartbeat on stderr: trials/s, ETA and
                         per-scenario completion (rate-limited)
     -q, --quiet         no progress line, no informational notes
@@ -139,16 +157,28 @@ OPTIONS (orchestrate):
     --allow-partial     merge whatever completed and record the missing
                         shard ranges instead of failing the run
     --keep-checkpoints  keep checkpoint files after a fully successful run
-    --out / --csv / --response-csv / --latency-csv / -q as for `run`
+    --out / --csv / --response-csv / --latency-csv / --format / -q
+                        as for `run`; --format also switches the worker
+                        shard reports and checkpoints to columnar
     --metrics-json <FILE>
                         write orchestrator stats (timing-classified) plus
                         the shard-merged deterministic worker counters
 
 OPTIONS (merge):
-    --out / --csv / --response-csv / --latency-csv as for `run`
+    --out / --csv / --response-csv / --latency-csv / --format as for
+                        `run`; input shard formats are sniffed per file
     --metrics <FILE>    a shard's --metrics-json file (repeatable)
     --metrics-json <FILE>
                         write the folded metrics of the --metrics inputs
+
+OPTIONS (convert):
+    --from <json|columnar>
+                        input format (default: sniffed from the first
+                        bytes of the file)
+    --to <json|columnar|csv|response-csv|latency-csv>
+                        output rendering (required); json <-> columnar
+                        round-trips are byte-identical
+    --out <FILE>        destination (default: stdout)
 
 ENVIRONMENT:
     FTSCHED_LOG=quiet|info
@@ -198,6 +228,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("orchestrate") => cmd_orchestrate(&args[1..]),
         Some("merge") => cmd_merge(&args[1..]),
+        Some("convert") => cmd_convert(&args[1..]),
         Some("inspect") => cmd_inspect(&args[1..]),
         Some("metrics-strip") => cmd_metrics_strip(&args[1..]),
         Some("validate") => cmd_validate(&args[1..]),
@@ -231,17 +262,27 @@ struct Outputs<'a> {
     csv: Option<&'a str>,
     response_csv: Option<&'a str>,
     latency_csv: Option<&'a str>,
+    /// Encoding for the `json` destination (`--format`).
+    format: ReportFormat,
 }
 
 impl Outputs<'_> {
+    /// Renders the report in the `--format` encoding (for `--out`).
+    fn render(&self, report: &CampaignReport) -> String {
+        match self.format {
+            ReportFormat::Json => report.to_json(),
+            ReportFormat::Columnar => columnar::encode_report(report),
+        }
+    }
+
     /// Writes the requested files; returns false on the first failure.
     fn write(&self, report: &CampaignReport) -> bool {
         if let Some(path) = self.json {
-            if let Err(e) = std::fs::write(path, report.to_json()) {
+            if let Err(e) = std::fs::write(path, self.render(report)) {
                 ui::error(format!("cannot write `{path}`: {e}"));
                 return false;
             }
-            ui::note(format!("wrote JSON report to {path}"));
+            ui::note(format!("wrote {} report to {path}", self.format.label()));
         }
         if let Some(path) = self.csv {
             if let Err(e) = std::fs::write(path, report.to_csv()) {
@@ -342,6 +383,17 @@ fn cmd_run(args: &[String]) -> ExitCode {
             "--metrics-json" => match take_value(args, &mut i) {
                 Some(v) => metrics_json = Some(v),
                 None => return usage_error("--metrics-json needs a value"),
+            },
+            "--format" => match take_value(args, &mut i) {
+                Some(v) => match ReportFormat::parse(v) {
+                    Some(f) => outputs.format = f,
+                    None => {
+                        return value_error(&format!(
+                            "invalid --format value `{v}`: expected `json` or `columnar`"
+                        ))
+                    }
+                },
+                None => return usage_error("--format needs a value"),
             },
             "--progress" => exec.heartbeat = true,
             "-q" | "--quiet" => {
@@ -445,8 +497,8 @@ fn cmd_run(args: &[String]) -> ExitCode {
         // and checkpoint integrity footer exist to catch.
         ui::warn("FTSCHED_ORCH_FAULT: writing a corrupt report for this shard");
         if let Some(path) = outputs.json {
-            let json = report.to_json();
-            let _ = std::fs::write(path, &json[..json.len() / 2]);
+            let rendered = outputs.render(&report);
+            let _ = std::fs::write(path, &rendered[..rendered.len() / 2]);
         }
         return ExitCode::SUCCESS;
     }
@@ -560,6 +612,17 @@ fn cmd_orchestrate(args: &[String]) -> ExitCode {
                 Some(v) => metrics_json = Some(v),
                 None => return usage_error("--metrics-json needs a value"),
             },
+            "--format" => match take_value(args, &mut i) {
+                Some(v) => match ReportFormat::parse(v) {
+                    Some(f) => outputs.format = f,
+                    None => {
+                        return value_error(&format!(
+                            "invalid --format value `{v}`: expected `json` or `columnar`"
+                        ))
+                    }
+                },
+                None => return usage_error("--format needs a value"),
+            },
             "-q" | "--quiet" => {}
             other if spec_path.is_none() && !other.starts_with('-') => {
                 spec_path = Some(other);
@@ -597,8 +660,10 @@ fn cmd_orchestrate(args: &[String]) -> ExitCode {
         program,
         spec_path: PathBuf::from(spec_path),
         worker_threads,
+        format: outputs.format,
     };
     let mut config = OrchestratorConfig::new(shards, checkpoint_dir.clone());
+    config.format = outputs.format;
     config.workers = workers;
     config.max_retries = max_retries;
     config.backoff_base_ms = backoff_ms.max(1);
@@ -749,6 +814,17 @@ fn cmd_merge(args: &[String]) -> ExitCode {
                 Some(v) => metrics_json = Some(v),
                 None => return usage_error("--metrics-json needs a value"),
             },
+            "--format" => match take_value(args, &mut i) {
+                Some(v) => match ReportFormat::parse(v) {
+                    Some(f) => outputs.format = f,
+                    None => {
+                        return value_error(&format!(
+                            "invalid --format value `{v}`: expected `json` or `columnar`"
+                        ))
+                    }
+                },
+                None => return usage_error("--format needs a value"),
+            },
             "-q" | "--quiet" => {}
             other if !other.starts_with('-') => files.push(other),
             other => return usage_error(&format!("unexpected argument `{other}`")),
@@ -765,47 +841,101 @@ fn cmd_merge(args: &[String]) -> ExitCode {
         return usage_error("merge --metrics needs --metrics-json for the folded output");
     }
 
-    let mut parts = Vec::with_capacity(files.len());
+    // Shards fold into the accumulator one at a time (columnar ones one
+    // *scenario block* at a time), so peak memory is one resident shard
+    // instead of the whole campaign's worth of partial reports.
+    use std::io::{BufRead, Read};
+    let mut fold = MergeFold::new();
     for (position, path) in files.iter().enumerate() {
-        let text = match std::fs::read_to_string(path) {
-            Ok(text) => text,
-            Err(e) => {
-                ui::error(format!(
-                    "cannot read partial report `{path}` (input #{}): {e}",
-                    position + 1
-                ));
+        let read_error = |e: &std::io::Error| {
+            ui::error(format!(
+                "cannot read partial report `{path}` (input #{}): {e}",
+                position + 1
+            ));
+            ExitCode::FAILURE
+        };
+        let complete_error = || {
+            ui::error(format!(
+                "`{path}` (input #{}) is a complete report, not a shard partial — \
+                 merge only folds `run --shard` outputs",
+                position + 1
+            ));
+            ExitCode::FAILURE
+        };
+        let parse_error = |shard_hint: String, e: &dyn std::fmt::Display| {
+            ui::error(format!(
+                "cannot parse partial report `{path}` (input #{}{shard_hint}): {e} — \
+                 the file is truncated or corrupt; re-run that shard",
+                position + 1
+            ));
+            ExitCode::FAILURE
+        };
+        let file = match std::fs::File::open(path) {
+            Ok(file) => file,
+            Err(e) => return read_error(&e),
+        };
+        let mut input = std::io::BufReader::new(file);
+        let is_columnar = match input.fill_buf() {
+            Ok(head) => head.starts_with(columnar::MAGIC.as_bytes()),
+            Err(e) => return read_error(&e),
+        };
+        if is_columnar {
+            let mut reader = match columnar::ColumnarReader::new(input) {
+                Ok(reader) => reader,
+                Err(e) => return parse_error(String::new(), &e),
+            };
+            let shard = reader.shard();
+            if shard.is_none() {
+                return complete_error();
+            }
+            if let Err(e) = fold.add_header(reader.spec(), shard) {
+                ui::error(e.to_string());
                 return ExitCode::FAILURE;
             }
-        };
-        match serde_json::from_str::<CampaignReport>(&text) {
-            Ok(report) => match report.shard {
-                Some(_) => parts.push(report),
-                None => {
-                    ui::error(format!(
-                        "`{path}` (input #{}) is a complete report, not a shard partial — \
-                         merge only folds `run --shard` outputs",
-                        position + 1
-                    ));
-                    return ExitCode::FAILURE;
+            loop {
+                match reader.next_block() {
+                    Ok(Some((index, stats))) => {
+                        if let Err(e) = fold.add_scenario(index, &stats) {
+                            ui::error(e.to_string());
+                            return ExitCode::FAILURE;
+                        }
+                        ftsched_obs::metrics().columnar_blocks_merged.incr();
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        let shard_hint = shard.map(|s| format!(", shard {s}")).unwrap_or_default();
+                        return parse_error(shard_hint, &e);
+                    }
                 }
-            },
-            Err(e) => {
-                // A truncated/corrupt partial should still name which
-                // shard it was, if the prefix survived far enough.
-                let shard_hint = guess_shard(&text)
-                    .map(|s| format!(", shard {s}"))
-                    .unwrap_or_default();
-                ui::error(format!(
-                    "cannot parse partial report `{path}` (input #{}{shard_hint}): {e} — \
-                     the file is truncated or corrupt; re-run that shard",
-                    position + 1
-                ));
-                return ExitCode::FAILURE;
+            }
+        } else {
+            let mut text = String::new();
+            if let Err(e) = input.read_to_string(&mut text) {
+                return read_error(&e);
+            }
+            match serde_json::from_str::<CampaignReport>(&text) {
+                Ok(part) => {
+                    if part.shard.is_none() {
+                        return complete_error();
+                    }
+                    if let Err(e) = fold.add_report(&part) {
+                        ui::error(e.to_string());
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    // A truncated/corrupt partial should still name which
+                    // shard it was, if the prefix survived far enough.
+                    let shard_hint = guess_shard(&text)
+                        .map(|s| format!(", shard {s}"))
+                        .unwrap_or_default();
+                    return parse_error(shard_hint, &e);
+                }
             }
         }
     }
 
-    let report = match merge_reports(parts) {
+    let report = match fold.finish(false) {
         Ok(report) => report,
         Err(e) => {
             ui::error(e.to_string());
@@ -855,6 +985,128 @@ fn cmd_merge(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn cmd_convert(args: &[String]) -> ExitCode {
+    let mut input: Option<&str> = None;
+    let mut from: Option<ReportFormat> = None;
+    let mut to: Option<&str> = None;
+    let mut out: Option<&str> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--from" => match take_value(args, &mut i) {
+                Some(v) => match ReportFormat::parse(v) {
+                    Some(f) => from = Some(f),
+                    None => {
+                        return value_error(&format!(
+                            "invalid --from value `{v}`: expected `json` or `columnar`"
+                        ))
+                    }
+                },
+                None => return usage_error("--from needs a value"),
+            },
+            "--to" => match take_value(args, &mut i) {
+                Some(v) => to = Some(v),
+                None => return usage_error("--to needs a value"),
+            },
+            "--out" => match take_value(args, &mut i) {
+                Some(v) => out = Some(v),
+                None => return usage_error("--out needs a value"),
+            },
+            "-q" | "--quiet" => {}
+            other if input.is_none() && !other.starts_with('-') => input = Some(other),
+            other => return usage_error(&format!("unexpected argument `{other}`")),
+        }
+        i += 1;
+    }
+    let Some(input) = input else {
+        return usage_error("convert needs a report file");
+    };
+    let Some(to) = to else {
+        return usage_error(
+            "convert needs --to (json, columnar, csv, response-csv or latency-csv)",
+        );
+    };
+
+    let text = match std::fs::read_to_string(input) {
+        Ok(text) => text,
+        Err(e) => {
+            ui::error(format!("cannot read `{input}`: {e}"));
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(from) = from.or_else(|| ReportFormat::sniff(&text)) else {
+        return value_error(&format!(
+            "cannot tell the format of `{input}`: it starts with neither `{{` (JSON) \
+             nor the columnar header; pass --from"
+        ));
+    };
+    // Every conversion routes through the in-memory CampaignReport, so
+    // any source format reaches any rendering and json <-> columnar is
+    // exactly decode-then-encode (byte-identical both ways).
+    let report = match from {
+        ReportFormat::Json => match serde_json::from_str::<CampaignReport>(&text) {
+            Ok(report) => report,
+            Err(e) => {
+                ui::error(format!("cannot parse `{input}` as a JSON report: {e}"));
+                return ExitCode::FAILURE;
+            }
+        },
+        ReportFormat::Columnar => match columnar::read_report_str(&text) {
+            Ok(report) => report,
+            Err(e) => {
+                ui::error(format!("cannot parse `{input}` as a columnar report: {e}"));
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    drop(text);
+
+    let rendered = match to {
+        "json" => report.to_json(),
+        "columnar" => columnar::encode_report(&report),
+        "csv" => report.to_csv(),
+        "response-csv" => match report.response_csv() {
+            Some(csv) => csv,
+            None => {
+                ui::error(
+                    "--to response-csv needs a report whose spec enables `response_histogram`",
+                );
+                return ExitCode::FAILURE;
+            }
+        },
+        "latency-csv" => match report.latency_csv() {
+            Some(csv) => csv,
+            None => {
+                ui::error("--to latency-csv needs a report whose spec enables `latency_curves`");
+                return ExitCode::FAILURE;
+            }
+        },
+        other => {
+            return value_error(&format!(
+                "invalid --to value `{other}`: expected json, columnar, csv, \
+                 response-csv or latency-csv"
+            ))
+        }
+    };
+    ftsched_obs::metrics().columnar_reports_converted.incr();
+
+    match out {
+        Some(dest) => {
+            if let Err(e) = std::fs::write(dest, rendered) {
+                ui::error(format!("cannot write `{dest}`: {e}"));
+                return ExitCode::FAILURE;
+            }
+            ui::note(format!(
+                "converted `{input}` ({}) -> {to} at `{dest}`",
+                from.label()
+            ));
+        }
+        None => print!("{rendered}"),
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_inspect(args: &[String]) -> ExitCode {

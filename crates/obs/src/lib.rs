@@ -332,6 +332,14 @@ pub struct Metrics {
     /// Admission-service hot `AnalysisContext` cache tallies (shared
     /// across goals for one platform configuration).
     pub serve_context_cache: CacheStats,
+    /// Columnar report format: scenario column blocks written by the
+    /// streaming writer.
+    pub columnar_blocks_written: Counter,
+    /// Columnar report format: scenario column blocks folded by the
+    /// streaming merge.
+    pub columnar_blocks_merged: Counter,
+    /// Reports routed through `ftsched convert` (any direction).
+    pub columnar_reports_converted: Counter,
 
     spans: [DurationHisto; 4],
     worker_trials: Mutex<Vec<u64>>,
@@ -408,6 +416,9 @@ impl Metrics {
                 orch_checkpoints_adopted: self.orch_checkpoints_adopted.get(),
                 serve_admission_cache: self.serve_admission_cache.snapshot(),
                 serve_context_cache: self.serve_context_cache.snapshot(),
+                columnar_blocks_written: self.columnar_blocks_written.get(),
+                columnar_blocks_merged: self.columnar_blocks_merged.get(),
+                columnar_reports_converted: self.columnar_reports_converted.get(),
                 spans: Stage::ALL
                     .iter()
                     .map(|&s| StageSpan {
@@ -631,6 +642,12 @@ pub struct TimingSnapshot {
     pub serve_admission_cache: CacheSnapshot,
     /// Admission-service hot-context cache tallies (`ftsched serve`).
     pub serve_context_cache: CacheSnapshot,
+    /// Columnar report blocks written by the streaming writer.
+    pub columnar_blocks_written: u64,
+    /// Columnar report blocks folded by the streaming merge.
+    pub columnar_blocks_merged: u64,
+    /// Reports routed through `ftsched convert`.
+    pub columnar_reports_converted: u64,
     /// Per-stage wall-clock span histograms, in [`Stage::ALL`] order.
     pub spans: Vec<StageSpan>,
     /// Trials processed per campaign worker, in completion order.
@@ -674,6 +691,15 @@ impl TimingSnapshot {
             serve_context_cache: self
                 .serve_context_cache
                 .since(&baseline.serve_context_cache),
+            columnar_blocks_written: self
+                .columnar_blocks_written
+                .saturating_sub(baseline.columnar_blocks_written),
+            columnar_blocks_merged: self
+                .columnar_blocks_merged
+                .saturating_sub(baseline.columnar_blocks_merged),
+            columnar_reports_converted: self
+                .columnar_reports_converted
+                .saturating_sub(baseline.columnar_reports_converted),
             spans: self
                 .spans
                 .iter()

@@ -1,0 +1,321 @@
+//! The columnar report format's contract, end to end: `decode ∘ encode`
+//! is the identity on every report the engine can produce, so routing a
+//! report through the compact encoding — or through `ftsched convert`,
+//! which is exactly that composition — can never change its bytes.
+//! Streaming shard merges ([`merge_columnar`], [`MergeFold`]) must fold
+//! to the same bytes as the in-memory [`merge_reports`], in any shard
+//! order and any scenario-block interleaving, and corrupt or
+//! version-skewed inputs must fail loudly with a structured error.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use ftsched_campaign::prelude::*;
+use ftsched_campaign::{columnar, merge_reports, MergeFold, ScenarioStats};
+
+fn exec(threads: usize) -> ExecutorConfig {
+    ExecutorConfig {
+        threads,
+        block_size: 7,
+        progress: false,
+        heartbeat: false,
+        design_cache: true,
+    }
+}
+
+fn example_spec(name: &str) -> CampaignSpec {
+    let path = format!("{}/examples/{name}", env!("CARGO_MANIFEST_DIR"));
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    let spec: CampaignSpec = serde_json::from_str(&text).unwrap();
+    spec.validate().unwrap();
+    spec
+}
+
+/// A small spec whose reports still exercise the optional columns
+/// (response histograms, WCET margins, latency curves).
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        algorithms: vec![Algorithm::EarliestDeadlineFirst],
+        utilizations: vec![0.6, 1.1, 1.5],
+        trials_per_scenario: 4,
+        kind: TrialKind::DesignAndValidate,
+        faults: FaultModel::Poisson {
+            mean_interarrival: 40.0,
+            fault_duration: 0.2,
+        },
+        compare_baselines: true,
+        response_histogram: Some(ResponseHistogramSpec {
+            bin_width: 0.5,
+            bins: 24,
+        }),
+        wcet_margin: Some(WcetMarginSpec { tolerance: 0.001 }),
+        latency_curves: Some(LatencyCurveSpec {
+            bin_width: 0.0625,
+            bins: 24,
+        }),
+        ..CampaignSpec::base("columnar-test")
+    }
+}
+
+static DIR_SERIAL: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh, empty scratch directory unique to this process + call.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "ftsched-columnar-test-{tag}-{}-{}",
+        std::process::id(),
+        DIR_SERIAL.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Asserts that `report` survives the columnar encoding exactly: equal
+/// as a struct and byte-identical in every rendering.
+fn assert_round_trips(report: &CampaignReport, context: &str) {
+    let encoded = columnar::encode_report(report);
+    let decoded = columnar::read_report_str(&encoded).unwrap_or_else(|e| {
+        panic!("{context}: decode failed: {e}");
+    });
+    assert_eq!(&decoded, report, "{context}: struct diverged");
+    assert_eq!(
+        decoded.to_json(),
+        report.to_json(),
+        "{context}: JSON diverged"
+    );
+    assert_eq!(decoded.to_csv(), report.to_csv(), "{context}: CSV diverged");
+    assert_eq!(
+        columnar::encode_report(&decoded),
+        encoded,
+        "{context}: re-encoding diverged"
+    );
+}
+
+/// Every shipped example spec round-trips through the columnar format —
+/// struct-exact and byte-identical in the JSON and CSV renderings —
+/// covering the full optional-column surface (baselines, response
+/// histograms, WCET margins, latency curves, fault sweeps).
+#[test]
+fn every_example_campaign_round_trips_exactly() {
+    for name in [
+        "acceptance_ratio.json",
+        "baseline_comparison.json",
+        "fault_injection.json",
+        "grid_sweep.json",
+        "latency_curves.json",
+        "sensitivity_grid.json",
+    ] {
+        let spec = example_spec(name);
+        let report = run_campaign(&spec, &exec(2)).unwrap();
+        assert_round_trips(&report, name);
+    }
+}
+
+/// The golden grid-sweep report: converting JSON → columnar → JSON
+/// reproduces the checked-in file byte for byte, and the columnar form
+/// is at least 5× smaller than the pretty JSON.
+#[test]
+fn golden_report_round_trips_bytewise_and_compresses() {
+    let path = format!(
+        "{}/tests/golden/grid_sweep.json",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let golden = std::fs::read_to_string(&path).unwrap();
+    let report: CampaignReport = serde_json::from_str(&golden).unwrap();
+
+    let encoded = columnar::encode_report(&report);
+    assert!(
+        encoded.len() * 5 <= golden.len(),
+        "columnar is only {}x smaller ({} vs {} bytes)",
+        golden.len() as f64 / encoded.len() as f64,
+        encoded.len(),
+        golden.len()
+    );
+
+    let decoded = columnar::read_report_str(&encoded).unwrap();
+    assert_eq!(
+        decoded.to_json(),
+        golden,
+        "JSON -> columnar -> JSON is not the identity on the golden report"
+    );
+}
+
+/// Partial (shard) reports carry their shard line through the encoding,
+/// and `merge_columnar` over shard *files* folds to the same bytes as
+/// the in-memory `merge_reports` and the unsharded run — in any file
+/// order.
+#[test]
+fn columnar_shard_files_merge_byte_identically() {
+    let spec = tiny_spec();
+    let reference = run_campaign(&spec, &exec(1)).unwrap();
+    let count = 3;
+    let parts: Vec<CampaignReport> = (0..count)
+        .map(|index| {
+            let shard = ShardInfo { index, count };
+            let part = run_campaign_shard(&spec, &exec(2), Some(shard)).unwrap();
+            assert_round_trips(&part, &format!("shard {shard}"));
+            part
+        })
+        .collect();
+
+    let dir = temp_dir("merge");
+    let paths: Vec<PathBuf> = parts
+        .iter()
+        .enumerate()
+        .map(|(index, part)| {
+            let path = dir.join(format!("shard-{index}.ftcr"));
+            std::fs::write(&path, columnar::encode_report(part)).unwrap();
+            path
+        })
+        .collect();
+
+    let merged_memory = merge_reports(parts).unwrap();
+    assert_eq!(merged_memory.to_json(), reference.to_json());
+
+    // Any permutation of the shard files folds to the same bytes: the
+    // underlying merge is commutative, and the fold re-sorts nothing.
+    for order in [vec![0, 1, 2], vec![2, 0, 1], vec![1, 2, 0]] {
+        let shuffled: Vec<&PathBuf> = order.iter().map(|&i| &paths[i]).collect();
+        let merged = merge_columnar(&shuffled).unwrap();
+        assert_eq!(
+            merged.to_json(),
+            reference.to_json(),
+            "streaming merge diverged for order {order:?}"
+        );
+        assert_eq!(
+            columnar::encode_report(&merged),
+            columnar::encode_report(&reference),
+            "columnar bytes diverged for order {order:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupt inputs fail with a structured one-line error, never a panic
+/// or a silently wrong report: truncation, bit rot, trailing garbage,
+/// a future format version, and merging a non-shard report.
+#[test]
+fn corrupt_and_version_skewed_inputs_fail_loudly() {
+    let spec = tiny_spec();
+    let report = run_campaign(&spec, &exec(2)).unwrap();
+    let encoded = columnar::encode_report(&report);
+
+    // Truncation anywhere — mid-block or mid-footer — is caught.
+    for keep in [encoded.len() / 3, encoded.len() - 10] {
+        let err = columnar::read_report_str(&encoded[..keep]).unwrap_err();
+        assert!(
+            matches!(err, ColumnarError::Corrupt(_)),
+            "truncation at {keep} gave {err}"
+        );
+    }
+
+    // A single flipped byte in the middle of the payload trips the
+    // FNV-1a footer even when the line still parses.
+    let mut flipped = encoded.clone().into_bytes();
+    let mid = flipped.len() / 2;
+    flipped[mid] = if flipped[mid] == b'1' { b'2' } else { b'1' };
+    let flipped = String::from_utf8(flipped).unwrap();
+    assert!(
+        columnar::read_report_str(&flipped).is_err(),
+        "flipped payload byte went undetected"
+    );
+
+    // Data after the footer means the file is not what was written.
+    let trailing = format!("{encoded}tail\n");
+    let err = columnar::read_report_str(&trailing).unwrap_err();
+    assert!(matches!(err, ColumnarError::Corrupt(_)), "got {err}");
+
+    // A future version is refused up front, with the version named.
+    let bumped = encoded.replace("columnar v1", "columnar v2");
+    let err = columnar::read_report_str(&bumped).unwrap_err();
+    match err {
+        ColumnarError::UnsupportedVersion(v) => assert!(v.contains("v2"), "version was `{v}`"),
+        other => panic!("expected UnsupportedVersion, got {other}"),
+    }
+
+    // merge_columnar refuses a complete (non-shard) report.
+    let dir = temp_dir("corrupt");
+    let complete = dir.join("complete.ftcr");
+    std::fs::write(&complete, &encoded).unwrap();
+    let err = merge_columnar(&[&complete]).unwrap_err();
+    assert!(
+        err.to_string().contains("not a shard"),
+        "unexpected error: {err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The shard set used by the interleaving property, built once.
+struct ShardFixture {
+    reference_json: String,
+    parts: Vec<CampaignReport>,
+    /// Every `(scenario index, stats)` block with its owning shard.
+    blocks: Vec<(usize, usize, ScenarioStats)>,
+}
+
+fn fixture() -> &'static ShardFixture {
+    static FIXTURE: OnceLock<ShardFixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let spec = tiny_spec();
+        let reference = run_campaign(&spec, &exec(1)).unwrap();
+        let count = 3;
+        let parts: Vec<CampaignReport> = (0..count)
+            .map(|index| {
+                run_campaign_shard(&spec, &exec(2), Some(ShardInfo { index, count })).unwrap()
+            })
+            .collect();
+        let blocks = parts
+            .iter()
+            .enumerate()
+            .flat_map(|(owner, part)| {
+                part.scenarios
+                    .iter()
+                    .map(move |row| (owner, row.scenario, row.stats.clone()))
+            })
+            .collect();
+        ShardFixture {
+            reference_json: reference.to_json(),
+            parts,
+            blocks,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Scenario-block streams from different shards can arrive in *any*
+    /// interleaving — as long as each shard's header is registered
+    /// first, folding the blocks through [`MergeFold`] reproduces the
+    /// unsharded report byte for byte. This is the property that lets
+    /// `merge_columnar` fold shard files block-wise without buffering.
+    #[test]
+    fn any_block_interleaving_folds_byte_identically(seed in any::<u64>()) {
+        let fixture = fixture();
+        let mut order: Vec<usize> = (0..fixture.blocks.len()).collect();
+        // Deterministic Fisher-Yates from the proptest-drawn seed (the
+        // vendored proptest has no shuffle strategy).
+        let mut state = seed | 1;
+        for i in (1..order.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            order.swap(i, (state >> 33) as usize % (i + 1));
+        }
+
+        let mut fold = MergeFold::new();
+        for part in &fixture.parts {
+            fold.add_header(&part.spec, part.shard).unwrap();
+        }
+        for &index in &order {
+            let (_, scenario, ref stats) = fixture.blocks[index];
+            fold.add_scenario(scenario, stats).unwrap();
+        }
+        let merged = fold.finish(false).unwrap();
+        prop_assert_eq!(&merged.to_json(), &fixture.reference_json);
+    }
+}
